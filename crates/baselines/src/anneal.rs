@@ -1,0 +1,151 @@
+//! Simulated-annealing mapper: the generic metaheuristic practitioners
+//! reach for when no structured algorithm is at hand. Serves as a
+//! quality/robustness comparator in T3-style experiments — strong given
+//! enough iterations, but unprincipled (no guarantee) and slow.
+
+use hgp_core::{Assignment, Instance};
+use hgp_graph::NodeId;
+use hgp_hierarchy::Hierarchy;
+use rand::Rng;
+
+/// Annealing schedule parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnealOpts {
+    /// Proposed moves in total.
+    pub iterations: usize,
+    /// Initial temperature as a fraction of the initial cost (falls
+    /// geometrically to ~1e-3 of it).
+    pub initial_temp_frac: f64,
+    /// Allowed leaf-load factor (1.0 = strictly feasible moves only).
+    pub capacity_factor: f64,
+}
+
+impl Default for AnnealOpts {
+    fn default() -> Self {
+        Self {
+            iterations: 20_000,
+            initial_temp_frac: 0.05,
+            capacity_factor: 1.0,
+        }
+    }
+}
+
+/// Marginal cost of `task` on `leaf` against the current placement.
+fn marginal(inst: &Instance, h: &Hierarchy, leaf_of: &[u32], task: usize, leaf: usize) -> f64 {
+    inst.graph()
+        .neighbors(NodeId(task as u32))
+        .map(|(u, w, _)| w * h.edge_multiplier(leaf, leaf_of[u.index()] as usize))
+        .sum()
+}
+
+/// Anneals from `start`, returning the best assignment found.
+pub fn anneal<R: Rng + ?Sized>(
+    inst: &Instance,
+    h: &Hierarchy,
+    start: &Assignment,
+    opts: &AnnealOpts,
+    rng: &mut R,
+) -> Assignment {
+    let n = inst.num_tasks();
+    let k = h.num_leaves();
+    let mut leaf_of: Vec<u32> = start.leaves().to_vec();
+    let mut loads = vec![0.0f64; k];
+    for t in 0..n {
+        loads[leaf_of[t] as usize] += inst.demand(t);
+    }
+    let mut cost = start.cost(inst, h);
+    let mut best = leaf_of.clone();
+    let mut best_cost = cost;
+
+    let t0 = (cost * opts.initial_temp_frac).max(1e-9);
+    let t_end = t0 * 1e-3;
+    let decay = (t_end / t0).powf(1.0 / opts.iterations.max(1) as f64);
+    let mut temp = t0;
+
+    for _ in 0..opts.iterations {
+        temp *= decay;
+        let task = rng.gen_range(0..n);
+        let from = leaf_of[task] as usize;
+        let to = rng.gen_range(0..k);
+        if to == from {
+            continue;
+        }
+        let d = inst.demand(task);
+        if loads[to] + d > opts.capacity_factor + 1e-9 {
+            continue;
+        }
+        let delta = marginal(inst, h, &leaf_of, task, to)
+            - marginal(inst, h, &leaf_of, task, from);
+        let accept = delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0));
+        if accept {
+            leaf_of[task] = to as u32;
+            loads[from] -= d;
+            loads[to] += d;
+            cost += delta;
+            if cost < best_cost - 1e-12 {
+                best_cost = cost;
+                best = leaf_of.clone();
+            }
+        }
+    }
+    Assignment::new(best, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::random_placement;
+    use hgp_graph::{generators, Graph};
+    use hgp_hierarchy::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn improves_a_random_start() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = generators::planted_clusters(&mut rng, 4, 4, 0.9, 5.0, 0.05, 0.3);
+        let inst = Instance::uniform(g, 0.25);
+        let h = presets::multicore(4, 4, 8.0, 1.0);
+        let start = random_placement(&inst, &h, &mut rng);
+        let out = anneal(&inst, &h, &start, &AnnealOpts::default(), &mut rng);
+        assert!(
+            out.cost(&inst, &h) < start.cost(&inst, &h),
+            "annealing should improve a random start"
+        );
+        assert!(out.is_feasible(&inst, &h, 1.0));
+    }
+
+    #[test]
+    fn never_returns_worse_than_start() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::grid2d(&mut rng, 4, 4, 0.5, 2.0);
+        let inst = Instance::uniform(g, 0.25);
+        let h = presets::multicore(2, 4, 4.0, 1.0);
+        let start = random_placement(&inst, &h, &mut rng);
+        let start_cost = start.cost(&inst, &h);
+        let out = anneal(&inst, &h, &start, &AnnealOpts::default(), &mut rng);
+        assert!(out.cost(&inst, &h) <= start_cost + 1e-9);
+    }
+
+    #[test]
+    fn finds_colocation_for_one_heavy_pair() {
+        let g = Graph::from_edges(4, &[(0, 1, 50.0), (1, 2, 0.1), (2, 3, 0.1)]);
+        let inst = Instance::uniform(g, 0.4);
+        let h = presets::multicore(2, 2, 4.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let start = Assignment::new(vec![0, 3, 1, 2], &h);
+        let out = anneal(&inst, &h, &start, &AnnealOpts::default(), &mut rng);
+        assert_eq!(out.leaf(0), out.leaf(1), "heavy pair should co-locate");
+    }
+
+    #[test]
+    fn respects_capacity_factor() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::gnp_connected(&mut rng, 12, 0.3, 0.5, 2.0);
+        let inst = Instance::uniform(g, 0.5);
+        let h = presets::flat(8);
+        let start = random_placement(&inst, &h, &mut rng);
+        let out = anneal(&inst, &h, &start, &AnnealOpts::default(), &mut rng);
+        assert!(out.is_feasible(&inst, &h, 1.0));
+    }
+}

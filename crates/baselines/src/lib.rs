@@ -1,0 +1,86 @@
+//! Baseline partitioners and mappers for the evaluation harness.
+//!
+//! These implement the practice the paper positions itself against
+//! (§1.1, "non-theory perspective"):
+//!
+//! * [`kway`] — a METIS-style multilevel `k`-way partitioner by recursive
+//!   demand-balanced bisection;
+//! * [`mapping::flat_kbgp`] — hierarchy-*oblivious* k-BGP: partition into
+//!   `k` balanced parts minimising total cut, then identify part `i` with
+//!   leaf `i` arbitrarily (what one gets by running a classic partitioner
+//!   and ignoring the topology);
+//! * [`mapping::dual_recursive`] — SCOTCH-style dual recursive
+//!   bipartitioning (Pellegrini '94): recursively bisect the task graph in
+//!   lock-step with the hierarchy tree;
+//! * [`mapping::greedy_placement`] — a best-fit scheduler: tasks in
+//!   decreasing connectivity order, each placed on the leaf minimising its
+//!   marginal Equation-1 cost;
+//! * [`mapping::random_placement`] — random feasible placement (the floor
+//!   any method must beat);
+//! * [`refine`] — architecture-aware local search (Moulitsas–Karypis
+//!   style): single-task moves and pairwise swaps that decrease the true
+//!   Equation-1 cost, usable as a `+refine` suffix on any baseline;
+//! * [`anneal`] — a simulated-annealing mapper, the generic metaheuristic
+//!   comparator.
+//!
+//! Every entry point returns an [`Assignment`] so quality and violations
+//! are measured by exactly the same code as the paper's algorithm.
+
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod kway;
+pub mod mapping;
+pub mod refine;
+
+use hgp_core::{Assignment, Instance};
+use hgp_hierarchy::Hierarchy;
+use rand::Rng;
+
+/// The baseline selector used by the experiment harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Baseline {
+    /// Flat k-BGP + oblivious identification of parts with leaves.
+    FlatKbgp,
+    /// SCOTCH-style dual recursive bipartitioning.
+    DualRecursive,
+    /// Best-fit greedy placement by marginal cost.
+    Greedy,
+    /// Random feasible placement.
+    Random,
+}
+
+impl Baseline {
+    /// All baselines, in reporting order.
+    pub const ALL: [Baseline; 4] = [
+        Baseline::FlatKbgp,
+        Baseline::DualRecursive,
+        Baseline::Greedy,
+        Baseline::Random,
+    ];
+
+    /// Short table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Baseline::FlatKbgp => "flat-kbgp",
+            Baseline::DualRecursive => "dual-recursive",
+            Baseline::Greedy => "greedy",
+            Baseline::Random => "random",
+        }
+    }
+
+    /// Runs the baseline (without refinement).
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        inst: &Instance,
+        h: &Hierarchy,
+        rng: &mut R,
+    ) -> Assignment {
+        match self {
+            Baseline::FlatKbgp => mapping::flat_kbgp(inst, h, rng),
+            Baseline::DualRecursive => mapping::dual_recursive(inst, h, rng),
+            Baseline::Greedy => mapping::greedy_placement(inst, h),
+            Baseline::Random => mapping::random_placement(inst, h, rng),
+        }
+    }
+}

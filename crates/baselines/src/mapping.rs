@@ -1,0 +1,235 @@
+//! Task-to-leaf mapping strategies (the baselines of experiment T3).
+
+#![allow(clippy::needless_range_loop)] // parallel-array indexing is clearer here
+use crate::kway::{kway_partition, split_into_groups, KwayOpts};
+use hgp_core::{Assignment, Instance};
+use hgp_hierarchy::Hierarchy;
+use rand::Rng;
+
+/// Hierarchy-*oblivious* k-BGP: run a balanced `k = num_leaves` partition
+/// minimising the plain cut, then identify parts with leaves by a
+/// **random** bijection. This is what a practitioner gets by feeding the
+/// task graph to a classic partitioner and ignoring which parts land near
+/// each other. (Identity identification would be accidentally
+/// hierarchy-aware here, because recursive-bisection part ids are
+/// themselves hierarchical — that informed variant is what
+/// [`dual_recursive`] represents.)
+pub fn flat_kbgp<R: Rng + ?Sized>(inst: &Instance, h: &Hierarchy, rng: &mut R) -> Assignment {
+    let k = h.num_leaves();
+    let part = kway_partition(inst.graph(), inst.demands(), k, &KwayOpts::default(), rng);
+    let mut leaf_of_part: Vec<u32> = (0..k as u32).collect();
+    for i in (1..k).rev() {
+        let j = rng.gen_range(0..=i);
+        leaf_of_part.swap(i, j);
+    }
+    let leaves = part.iter().map(|&p| leaf_of_part[p as usize]).collect();
+    Assignment::new(leaves, h)
+}
+
+/// SCOTCH-style dual recursive bipartitioning: at each hierarchy node the
+/// task set is split into `DEG(j)` balanced groups (by recursive bisection
+/// of the task graph), each handed to one child; recursion bottoms out at
+/// the leaves. Hierarchy-aware but greedy — it commits to top-level splits
+/// without lower-level lookahead, which is precisely the gap the paper's DP
+/// closes.
+pub fn dual_recursive<R: Rng + ?Sized>(inst: &Instance, h: &Hierarchy, rng: &mut R) -> Assignment {
+    let n = inst.num_tasks();
+    let mut leaf_of = vec![0u32; n];
+    let all: Vec<u32> = (0..n as u32).collect();
+    let opts = KwayOpts::default();
+    // stack of (hierarchy level, node index at that level, task set)
+    let mut stack = vec![(0usize, 0usize, all)];
+    while let Some((level, hnode, tasks)) = stack.pop() {
+        if level == h.height() {
+            for &t in &tasks {
+                leaf_of[t as usize] = hnode as u32;
+            }
+            continue;
+        }
+        let deg = h.degree(level);
+        let groups = split_into_groups(inst.graph(), inst.demands(), &tasks, deg, &opts, rng);
+        for (i, grp) in groups.into_iter().enumerate() {
+            if !grp.is_empty() {
+                stack.push((level + 1, hnode * deg + i, grp));
+            }
+        }
+    }
+    Assignment::new(leaf_of, h)
+}
+
+/// Best-fit greedy placement: tasks in decreasing weighted-degree order;
+/// each goes to the leaf minimising its marginal Equation-1 cost among
+/// leaves with room (ties to the lower index), falling back to the
+/// least-loaded leaf when nothing fits.
+pub fn greedy_placement(inst: &Instance, h: &Hierarchy) -> Assignment {
+    let g = inst.graph();
+    let n = inst.num_tasks();
+    let k = h.num_leaves();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let wd: Vec<f64> = (0..n)
+        .map(|v| g.weighted_degree(hgp_graph::NodeId(v as u32)))
+        .collect();
+    order.sort_by(|&a, &b| {
+        wd[b as usize]
+            .partial_cmp(&wd[a as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut leaf_of = vec![u32::MAX; n];
+    let mut load = vec![0.0f64; k];
+    for &t in &order {
+        let t = t as usize;
+        let d = inst.demand(t);
+        let mut best = usize::MAX;
+        let mut best_cost = f64::INFINITY;
+        for leaf in 0..k {
+            if load[leaf] + d > 1.0 + 1e-9 {
+                continue;
+            }
+            let mut c = 0.0;
+            for (u, w, _) in g.neighbors(hgp_graph::NodeId(t as u32)) {
+                let lu = leaf_of[u.index()];
+                if lu != u32::MAX {
+                    c += w * h.edge_multiplier(leaf, lu as usize);
+                }
+            }
+            if c < best_cost - 1e-15 {
+                best_cost = c;
+                best = leaf;
+            }
+        }
+        let leaf = if best != usize::MAX {
+            best
+        } else {
+            // overloaded instance: least-loaded leaf (accepts violation)
+            (0..k)
+                .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
+                .unwrap()
+        };
+        leaf_of[t] = leaf as u32;
+        load[leaf] += d;
+    }
+    Assignment::new(leaf_of, h)
+}
+
+/// Random feasible placement: random task order, each task on a uniformly
+/// random leaf with room (least-loaded fallback).
+pub fn random_placement<R: Rng + ?Sized>(inst: &Instance, h: &Hierarchy, rng: &mut R) -> Assignment {
+    let n = inst.num_tasks();
+    let k = h.num_leaves();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut leaf_of = vec![u32::MAX; n];
+    let mut load = vec![0.0f64; k];
+    for &t in &order {
+        let t = t as usize;
+        let d = inst.demand(t);
+        let feasible: Vec<usize> = (0..k).filter(|&l| load[l] + d <= 1.0 + 1e-9).collect();
+        let leaf = if feasible.is_empty() {
+            (0..k)
+                .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap())
+                .unwrap()
+        } else {
+            feasible[rng.gen_range(0..feasible.len())]
+        };
+        leaf_of[t] = leaf as u32;
+        load[leaf] += d;
+    }
+    Assignment::new(leaf_of, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::{generators, Graph};
+    use hgp_hierarchy::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mesh_instance(rng: &mut StdRng) -> Instance {
+        let g = generators::grid2d(rng, 4, 4, 1.0, 2.0);
+        Instance::uniform(g, 0.25)
+    }
+
+    #[test]
+    fn all_baselines_produce_feasible_assignments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = mesh_instance(&mut rng);
+        let h = presets::multicore(2, 4, 4.0, 1.0);
+        for b in crate::Baseline::ALL {
+            let a = b.run(&inst, &h, &mut rng);
+            assert_eq!(a.num_tasks(), 16);
+            assert!(
+                a.is_feasible(&inst, &h, 1.2),
+                "{} produced an infeasible assignment",
+                b.label()
+            );
+        }
+    }
+
+    #[test]
+    fn dual_recursive_beats_random_on_clusters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::planted_clusters(&mut rng, 4, 4, 0.9, 5.0, 0.05, 0.5);
+        let inst = Instance::uniform(g, 0.25);
+        let h = presets::multicore(4, 4, 8.0, 1.0);
+        let dr = dual_recursive(&inst, &h, &mut rng);
+        let rnd = random_placement(&inst, &h, &mut rng);
+        assert!(
+            dr.cost(&inst, &h) < rnd.cost(&inst, &h),
+            "dual-recursive should beat random"
+        );
+    }
+
+    #[test]
+    fn greedy_keeps_heavy_pairs_local() {
+        // one dominant edge: greedy must co-locate or socket-share it
+        let g = Graph::from_edges(4, &[(0, 1, 100.0), (2, 3, 0.1), (1, 2, 0.1)]);
+        let inst = Instance::uniform(g, 0.5);
+        let h = presets::multicore(2, 2, 4.0, 1.0);
+        let a = greedy_placement(&inst, &h);
+        assert_eq!(a.leaf(0), a.leaf(1), "heavy pair should share a leaf");
+    }
+
+    #[test]
+    fn greedy_handles_overload_gracefully() {
+        // 5 unit tasks on 4 leaves: someone must double up
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
+        let inst = Instance::uniform(g, 1.0);
+        let h = presets::flat(4);
+        let a = greedy_placement(&inst, &h);
+        let rep = a.violation_report(&inst, &h);
+        assert!(rep.worst_factor() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn flat_kbgp_ignores_hierarchy_structure() {
+        // flat k-bgp minimises cut; on a uniform hierarchy that is optimal,
+        // so its cost under uniform multipliers should be competitive with
+        // dual-recursive
+        let mut rng = StdRng::seed_from_u64(3);
+        let inst = mesh_instance(&mut rng);
+        let base = presets::multicore(2, 4, 4.0, 1.0);
+        let uniform = presets::uniform_like(&base);
+        let a = flat_kbgp(&inst, &uniform, &mut rng);
+        let b = dual_recursive(&inst, &uniform, &mut rng);
+        let (ca, cb) = (a.cost(&inst, &uniform), b.cost(&inst, &uniform));
+        assert!(ca <= cb * 1.5 + 1e-9, "flat {ca} vs dual {cb}");
+    }
+
+    #[test]
+    fn random_placement_is_feasible_and_deterministic_per_seed() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let mut rng = StdRng::seed_from_u64(4);
+        let inst = mesh_instance(&mut rng);
+        let h = presets::flat(8);
+        let a1 = random_placement(&inst, &h, &mut r1);
+        let a2 = random_placement(&inst, &h, &mut r2);
+        assert_eq!(a1, a2);
+        assert!(a1.is_feasible(&inst, &h, 1.0));
+    }
+}

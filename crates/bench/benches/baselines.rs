@@ -1,0 +1,37 @@
+//! Criterion bench: baseline mappers vs the paper's algorithm on the
+//! mesh workload (cost quality is T3; this measures time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgp_baselines::refine::{refine, RefineOpts};
+use hgp_baselines::Baseline;
+use hgp_bench::experiments::common;
+use hgp_hierarchy::presets;
+use hgp_workloads::standard_suite;
+
+fn bench_baselines(c: &mut Criterion) {
+    let suite = standard_suite(common::SEED);
+    let mesh = suite.iter().find(|w| w.name == "mesh-8x8").unwrap();
+    let h = presets::multicore(2, 4, 4.0, 1.0);
+
+    let mut group = c.benchmark_group("baselines_mesh8x8");
+    group.sample_size(20);
+    for b in Baseline::ALL {
+        group.bench_function(b.label(), |bch| {
+            bch.iter(|| {
+                let mut rng = common::rng(2);
+                b.run(&mesh.inst, &h, &mut rng)
+            })
+        });
+    }
+    group.bench_function("greedy_plus_refine", |bch| {
+        bch.iter(|| {
+            let mut a = hgp_baselines::mapping::greedy_placement(&mesh.inst, &h);
+            refine(&mut a, &mesh.inst, &h, &RefineOpts::default());
+            a
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

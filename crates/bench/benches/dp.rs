@@ -1,0 +1,36 @@
+//! Criterion bench: the signature DP on tree instances (experiment T4's
+//! timing arm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hgp_bench::experiments::common;
+use hgp_core::{solve_tree_instance, Rounding};
+use hgp_hierarchy::presets;
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_tree");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let demand = (0.8 * 8.0 / n as f64).min(1.0);
+        let inst = common::random_tree_instance(9000 + n as u64, n, demand);
+        let h2 = presets::multicore(2, 4, 4.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("h2_units8", n), &n, |b, _| {
+            b.iter(|| solve_tree_instance(&inst, &h2, Rounding::with_units(8)).unwrap())
+        });
+        let h1 = presets::flat(8);
+        group.bench_with_input(BenchmarkId::new("h1_units8", n), &n, |b, _| {
+            b.iter(|| solve_tree_instance(&inst, &h1, Rounding::with_units(8)).unwrap())
+        });
+    }
+    // grid-resolution axis at fixed n
+    let inst = common::random_tree_instance(9064, 64, 0.1);
+    let h2 = presets::multicore(2, 4, 4.0, 1.0);
+    for &units in &[4u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("h2_n64_units", units), &units, |b, &u| {
+            b.iter(|| solve_tree_instance(&inst, &h2, Rounding::with_units(u)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

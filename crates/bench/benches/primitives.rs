@@ -1,0 +1,39 @@
+//! Criterion bench: the graph-algorithm substrates (max-flow, global min
+//! cut, multilevel bisection, decomposition-tree construction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hgp_bench::experiments::common;
+use hgp_decomp::{build_decomp_tree, DecompOpts};
+use hgp_graph::flow::min_cut_groups;
+use hgp_graph::mincut::stoer_wagner;
+use hgp_graph::partition::{multilevel_bisection, BisectOpts};
+use hgp_graph::{generators, NodeId};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut rng = common::rng(3);
+    let g = generators::gnp_connected(&mut rng, 128, 0.06, 0.5, 2.0);
+    let w = vec![1.0f64; g.num_nodes()];
+
+    let mut group = c.benchmark_group("primitives_n128");
+    group.sample_size(20);
+    group.bench_function("dinic_st_cut", |b| {
+        b.iter(|| min_cut_groups(&g, &[NodeId(0)], &[NodeId(127)]))
+    });
+    group.bench_function("stoer_wagner", |b| b.iter(|| stoer_wagner(&g)));
+    group.bench_function("multilevel_bisection", |b| {
+        b.iter(|| {
+            let mut r = common::rng(4);
+            multilevel_bisection(&g, &w, &BisectOpts::default(), &mut r)
+        })
+    });
+    group.bench_function("decomp_tree", |b| {
+        b.iter(|| {
+            let mut r = common::rng(5);
+            build_decomp_tree(&g, &w, None, &DecompOpts::default(), &mut r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! The experiment harness: regenerates every table/figure of
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p hgp-bench --bin harness --release -- all
+//! cargo run -p hgp-bench --bin harness --release -- t3 f1
+//! ```
+
+use hgp_bench::{run_experiment, timed, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: harness <experiment id>... | all");
+        eprintln!("ids: {}", ALL_EXPERIMENTS.join(" "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match timed(|| run_experiment(id)) {
+            (Some(report), ms) => {
+                println!("{report}");
+                println!("({id} completed in {:.1} s)\n", ms / 1e3);
+            }
+            (None, _) => {
+                eprintln!("unknown experiment id: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! A1 — ablation: a single decomposition tree vs the MWU distribution.
+
+use super::common;
+use crate::table::{f2, Table};
+use hgp_core::solver::{solve, SolverOptions};
+use hgp_hierarchy::presets;
+use hgp_workloads::standard_suite;
+
+/// `(workload, cost with p=1, cost with p=8)`.
+pub(crate) fn collect() -> Vec<(String, f64, f64)> {
+    let suite = standard_suite(common::SEED);
+    let h = presets::multicore(2, 4, 4.0, 1.0);
+    let mut out = Vec::new();
+    for w in &suite {
+        let single = SolverOptions {
+            num_trees: 1,
+            ..common::default_solver()
+        };
+        let multi = SolverOptions {
+            num_trees: 8,
+            ..common::default_solver()
+        };
+        let (Ok(c1), Ok(c8)) = (solve(&w.inst, &h, &single), solve(&w.inst, &h, &multi)) else {
+            continue;
+        };
+        out.push((w.name.clone(), c1.cost, c8.cost));
+    }
+    out
+}
+
+/// Runs A1 and renders the table.
+pub fn run() -> String {
+    let rows = collect();
+    let mut t = Table::new(vec!["workload", "p = 1", "p = 8", "improvement %"]);
+    for (name, c1, c8) in &rows {
+        t.row(vec![
+            name.clone(),
+            f2(*c1),
+            f2(*c8),
+            f2(100.0 * (c1 - c8) / c1.max(1e-12)),
+        ]);
+    }
+    format!(
+        "## A1 — single tree vs distribution (2x4-socket)\n\n{}\n\
+         Expected shape: non-negative improvement; largest on graphs whose \
+         first bisection is ambiguous.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_never_loses() {
+        for (name, c1, c8) in collect() {
+            assert!(
+                c8 <= c1 + 1e-9,
+                "{name}: p=8 ({c8}) must be at least as good as p=1 ({c1})"
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! A3 — ablation: the Theorem-5 packing strategy (LPT vs naive order).
+
+use super::common;
+use crate::table::{f2, Table};
+use hgp_core::laminar::build_level_sets;
+use hgp_core::relaxed::solve_relaxed;
+use hgp_core::repair::{repair_assignment_with, PackStrategy};
+use hgp_core::tree_solver::rooted_with_dummies;
+use hgp_core::{Assignment, Rounding};
+use hgp_hierarchy::presets;
+
+const TRIALS: u64 = 12;
+
+/// `(strategy, mean worst violation, max worst violation, mean cost)`.
+pub(crate) fn collect() -> Vec<(&'static str, f64, f64, f64)> {
+    let h = presets::multicore(2, 4, 4.0, 1.0);
+    let rounding = Rounding::with_units(8);
+    let caps = rounding.level_caps(&h);
+    let deltas: Vec<f64> = (0..h.height())
+        .map(|k| h.cost_multiplier(k) - h.cost_multiplier(k + 1))
+        .collect();
+
+    let mut stats: Vec<(&'static str, Vec<f64>, Vec<f64>)> =
+        vec![("lpt", Vec::new(), Vec::new()), ("index-order", Vec::new(), Vec::new())];
+    for seed in 0..TRIALS {
+        // skewed demands stress the packing
+        let inst = {
+            let mut r = common::rng(0xA3_00 + seed);
+            use rand::Rng;
+            let g = hgp_graph::generators::random_tree(&mut r, 24, 0.5, 3.0);
+            let demands: Vec<f64> = (0..24)
+                .map(|_| if r.gen_bool(0.3) { r.gen_range(0.4..0.8) } else { r.gen_range(0.05..0.2) })
+                .collect();
+            hgp_core::Instance::new(g, demands)
+        };
+        let (tree, task_of_leaf) = rooted_with_dummies(&inst).unwrap();
+        let units: Vec<u32> = (0..tree.num_nodes())
+            .map(|v| {
+                if tree.is_leaf(v) {
+                    rounding.round(inst.demand(task_of_leaf[v] as usize))
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let Some(relaxed) = solve_relaxed(&tree, &units, &caps, &deltas) else {
+            continue;
+        };
+        let ls = build_level_sets(&tree, &relaxed.cut_level, h.height());
+        let mut demand = vec![0.0; tree.num_nodes()];
+        for v in 0..tree.num_nodes() {
+            if tree.is_leaf(v) {
+                demand[v] = inst.demand(task_of_leaf[v] as usize);
+            }
+        }
+        for (label, violations, costs) in stats.iter_mut() {
+            let strategy = if *label == "lpt" {
+                PackStrategy::Lpt
+            } else {
+                PackStrategy::IndexOrder
+            };
+            let (leaf_of, _) = repair_assignment_with(&ls, &demand, &h, strategy);
+            let mut task_leaf = vec![u32::MAX; inst.num_tasks()];
+            for v in 0..tree.num_nodes() {
+                if tree.is_leaf(v) {
+                    task_leaf[task_of_leaf[v] as usize] = leaf_of[v];
+                }
+            }
+            let a = Assignment::new(task_leaf, &h);
+            violations.push(a.violation_report(&inst, &h).worst_factor());
+            costs.push(a.cost(&inst, &h));
+        }
+    }
+    stats
+        .into_iter()
+        .map(|(label, v, c)| {
+            let mean_v = v.iter().sum::<f64>() / v.len() as f64;
+            let max_v = v.iter().copied().fold(0.0, f64::max);
+            let mean_c = c.iter().sum::<f64>() / c.len() as f64;
+            (label, mean_v, max_v, mean_c)
+        })
+        .collect()
+}
+
+/// Runs A3 and renders the table.
+pub fn run() -> String {
+    let rows = collect();
+    let mut t = Table::new(vec![
+        "packing",
+        "violation (mean)",
+        "violation (max)",
+        "cost (mean)",
+    ]);
+    for (label, mv, xv, mc) in &rows {
+        t.row(vec![label.to_string(), f2(*mv), f2(*xv), f2(*mc)]);
+    }
+    format!(
+        "## A3 — Theorem-5 packing strategy (skewed demands, 24 tasks)\n\n{}\n\
+         Expected shape: LPT's max violation at or below index-order's \
+         (LPT carries the (1+j) proof; naive order does not).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_no_worse_than_index_order_on_max_violation() {
+        let rows = collect();
+        let lpt = rows.iter().find(|r| r.0 == "lpt").unwrap();
+        let idx = rows.iter().find(|r| r.0 == "index-order").unwrap();
+        assert!(
+            lpt.2 <= idx.2 + 1e-9,
+            "LPT max violation {} vs index-order {}",
+            lpt.2,
+            idx.2
+        );
+    }
+
+    #[test]
+    fn both_strategies_stay_within_theorem5_bound() {
+        // bound: (1 + eps_eff)(1 + h); with 8 units/leaf and demands >= .05
+        // eps_eff is coarse, so check against the absolute (1+h) * 2 = 6
+        for (label, _, max_v, _) in collect() {
+            assert!(max_v <= 6.0, "{label}: violation {max_v} beyond any bound");
+        }
+    }
+}

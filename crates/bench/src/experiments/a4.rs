@@ -1,0 +1,165 @@
+//! A4 — ablation: the decomposition cut oracle (multilevel FM vs spectral
+//! Fiedler splits), measured both on tree quality (congestion, cut
+//! preservation against Gomory–Hu ground truth) and final solution cost.
+
+use super::common;
+use crate::table::{f2, Table};
+use hgp_core::solver::{solve, SolverOptions};
+use hgp_decomp::{build_decomp_tree, hop_congestion, CutOracle, DecompOpts};
+use hgp_graph::gomoryhu::gomory_hu;
+use hgp_graph::tree::LcaIndex;
+use hgp_graph::generators;
+use hgp_hierarchy::presets;
+
+/// One oracle's measurements on one graph.
+pub(crate) struct Row {
+    pub graph: &'static str,
+    pub oracle: &'static str,
+    pub avg_congestion: f64,
+    /// Mean over `G` edges of (cheapest tree edge separating the pair) /
+    /// (true pairwise min cut): ≥ 1 by Proposition 1; closer to 1 is a
+    /// better cut-preserving tree.
+    pub cut_preservation: f64,
+    pub hgp_cost: f64,
+}
+
+/// Cheapest tree-edge weight on the leaf path between `u` and `v`.
+fn tree_pair_cut(dt: &hgp_decomp::DecompTree, lca: &LcaIndex, leaf_of: &[u32], u: usize, v: usize) -> f64 {
+    let (mut a, mut b) = (leaf_of[u] as usize, leaf_of[v] as usize);
+    let anc = lca.lca(a, b);
+    let mut best = f64::INFINITY;
+    while a != anc {
+        best = best.min(dt.tree.edge_weight(a));
+        a = dt.tree.parent(a).unwrap();
+    }
+    while b != anc {
+        best = best.min(dt.tree.edge_weight(b));
+        b = dt.tree.parent(b).unwrap();
+    }
+    best
+}
+
+pub(crate) fn collect() -> Vec<Row> {
+    let h = presets::multicore(2, 4, 4.0, 1.0);
+    let graphs: Vec<(&'static str, hgp_graph::Graph)> = vec![
+        ("mesh-6x6", {
+            let mut r = common::rng(0xA4_01);
+            generators::grid2d(&mut r, 6, 6, 0.5, 2.0)
+        }),
+        ("powerlaw-36", {
+            let mut r = common::rng(0xA4_02);
+            generators::barabasi_albert(&mut r, 36, 2, 0.5, 3.0)
+        }),
+    ];
+    let mut out = Vec::new();
+    for (name, g) in graphs {
+        let n = g.num_nodes();
+        let demands = vec![(0.8 * 8.0 / n as f64).min(1.0); n];
+        let inst = hgp_core::Instance::new(g.clone(), demands.clone());
+        let gh = gomory_hu(&g);
+        for (label, oracle) in [("multilevel", CutOracle::Multilevel), ("spectral", CutOracle::Spectral)] {
+            let opts = DecompOpts {
+                oracle,
+                ..Default::default()
+            };
+            let mut rng = common::rng(0xA4_10);
+            let dt = build_decomp_tree(&g, &demands, None, &opts, &mut rng);
+            let (_, stats) = hop_congestion(&dt, &g);
+            let lca = LcaIndex::new(&dt.tree);
+            let leaf_of = dt.leaf_of_task(n);
+            let mut pres = 0.0;
+            let mut count = 0usize;
+            for (_, u, v, _) in g.edges() {
+                let tcut = tree_pair_cut(&dt, &lca, &leaf_of, u.index(), v.index());
+                let real = gh.min_cut(u.index(), v.index());
+                if real > 1e-12 {
+                    pres += tcut / real;
+                    count += 1;
+                }
+            }
+            let solver = SolverOptions {
+                num_trees: 4,
+                decomp: opts,
+                seed: common::SEED,
+                ..Default::default()
+            };
+            let cost = solve(&inst, &h, &solver).map(|r| r.cost).unwrap_or(f64::NAN);
+            out.push(Row {
+                graph: name,
+                oracle: label,
+                avg_congestion: stats.weighted_avg,
+                cut_preservation: pres / count.max(1) as f64,
+                hgp_cost: cost,
+            });
+        }
+    }
+    out
+}
+
+/// Runs A4 and renders the table.
+pub fn run() -> String {
+    let rows = collect();
+    let mut t = Table::new(vec![
+        "graph",
+        "oracle",
+        "E[congestion]",
+        "cut preservation",
+        "hgp cost",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.graph.to_string(),
+            r.oracle.to_string(),
+            f2(r.avg_congestion),
+            f2(r.cut_preservation),
+            f2(r.hgp_cost),
+        ]);
+    }
+    format!(
+        "## A4 — decomposition cut-oracle ablation\n\n{}\n\
+         Expected shape: cut preservation ≥ 1 everywhere (Proposition 1); \
+         the two oracles land in the same quality ballpark, with multilevel \
+         usually at or ahead of spectral.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_preservation_respects_proposition_1() {
+        for r in collect() {
+            assert!(
+                r.cut_preservation >= 1.0 - 1e-9,
+                "{} / {}: tree cuts must dominate true cuts, got {}",
+                r.graph,
+                r.oracle,
+                r.cut_preservation
+            );
+            assert!(r.hgp_cost.is_finite());
+        }
+    }
+
+    #[test]
+    fn both_oracles_produce_comparable_trees() {
+        let rows = collect();
+        for name in ["mesh-6x6", "powerlaw-36"] {
+            let ml = rows
+                .iter()
+                .find(|r| r.graph == name && r.oracle == "multilevel")
+                .unwrap();
+            let sp = rows
+                .iter()
+                .find(|r| r.graph == name && r.oracle == "spectral")
+                .unwrap();
+            assert!(
+                sp.hgp_cost <= 3.0 * ml.hgp_cost + 1e-9,
+                "{name}: spectral {} wildly worse than multilevel {}",
+                sp.hgp_cost,
+                ml.hgp_cost
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared experiment configuration.
+
+use hgp_core::solver::SolverOptions;
+use hgp_core::{Instance, Rounding};
+use hgp_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Master seed for every experiment (reproducible end to end).
+pub const SEED: u64 = 0x5AA5_2014;
+
+/// Default solver configuration for quality experiments.
+pub fn default_solver() -> SolverOptions {
+    SolverOptions {
+        num_trees: 8,
+        rounding: Rounding::with_units(8),
+        threads: 0,
+        seed: SEED,
+        ..Default::default()
+    }
+}
+
+/// Deterministic RNG for an experiment sub-run.
+pub fn rng(salt: u64) -> StdRng {
+    StdRng::seed_from_u64(SEED ^ salt)
+}
+
+/// A small random tree-shaped instance (communication graph is a tree).
+pub fn random_tree_instance(seed: u64, n: usize, demand: f64) -> Instance {
+    let mut r = rng(seed);
+    let g = generators::random_tree(&mut r, n, 0.5, 3.0);
+    Instance::uniform(g, demand)
+}
+
+/// A small random general-graph instance.
+pub fn random_graph_instance(seed: u64, n: usize, demand: f64) -> Instance {
+    let mut r = rng(seed);
+    let g = generators::gnp_connected(&mut r, n, 0.3, 0.5, 3.0);
+    Instance::uniform(g, demand)
+}

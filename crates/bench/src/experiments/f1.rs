@@ -1,0 +1,102 @@
+//! F1 — the ε trade-off curve: grid resolution vs cost, violation and
+//! running time on a fixed instance.
+
+use super::common;
+use crate::table::{f2, Table};
+use crate::timed;
+use hgp_core::solver::{solve_on_distribution, SolverOptions};
+use hgp_core::Rounding;
+use hgp_decomp::{racke_distribution, DecompOpts};
+use hgp_hierarchy::presets;
+use hgp_workloads::standard_suite;
+
+/// One point of the curve.
+pub(crate) struct Point {
+    pub units: u32,
+    pub cost: f64,
+    pub violation: f64,
+    pub ms: f64,
+    pub dp_entries: usize,
+}
+
+pub(crate) fn collect() -> Vec<Point> {
+    let suite = standard_suite(common::SEED);
+    let mesh = suite.iter().find(|w| w.name == "mesh-8x8").unwrap();
+    let h = presets::multicore(2, 4, 4.0, 1.0);
+    // one fixed distribution so only the grid varies
+    let mut rng = common::rng(0xF1);
+    let dist = racke_distribution(
+        mesh.inst.graph(),
+        mesh.inst.demands(),
+        4,
+        &DecompOpts::default(),
+        &mut rng,
+    );
+    let mut out = Vec::new();
+    for &units in &[1u32, 2, 4, 8, 16, 32, 64] {
+        let opts = SolverOptions {
+            num_trees: 4,
+            rounding: Rounding::with_units(units),
+            seed: common::SEED,
+            ..Default::default()
+        };
+        let (res, ms) = timed(|| solve_on_distribution(&mesh.inst, &h, &dist, &opts));
+        if let Ok(rep) = res {
+            out.push(Point {
+                units,
+                cost: rep.cost,
+                violation: rep.violation.worst_factor(),
+                ms,
+                dp_entries: rep.dp_entries_total,
+            });
+        }
+    }
+    out
+}
+
+/// Runs F1 and renders the series.
+pub fn run() -> String {
+    let pts = collect();
+    let mut t = Table::new(vec![
+        "units/leaf",
+        "cost",
+        "violation",
+        "time (ms)",
+        "dp entries",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            p.units.to_string(),
+            f2(p.cost),
+            f2(p.violation),
+            f2(p.ms),
+            p.dp_entries.to_string(),
+        ]);
+    }
+    format!(
+        "## F1 — rounding-grid trade-off (mesh-8x8, 2x4-socket)\n\n{}\n\
+         Expected shape: violations shrink toward 1.0 as the grid refines, \
+         time and DP size grow, cost stays flat or improves slightly.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finer_grids_do_not_increase_violation_much() {
+        let pts = collect();
+        assert!(pts.len() >= 4, "most grid points must solve");
+        let coarse = pts.first().unwrap();
+        let fine = pts.last().unwrap();
+        assert!(
+            fine.violation <= coarse.violation + 0.25,
+            "violation should shrink with finer grids: {} -> {}",
+            coarse.violation,
+            fine.violation
+        );
+        assert!(fine.dp_entries > coarse.dp_entries);
+    }
+}

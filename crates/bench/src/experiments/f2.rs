@@ -1,0 +1,126 @@
+//! F2 — decomposition-distribution quality vs the number of trees
+//! (the practical face of Theorems 6 and 7).
+
+use super::common;
+use crate::table::{f2, Table};
+use hgp_core::solver::{solve_on_distribution, SolverOptions};
+use hgp_decomp::{hop_congestion, racke_distribution, DecompOpts};
+use hgp_graph::generators;
+use hgp_hierarchy::presets;
+
+/// One sweep point.
+pub(crate) struct Point {
+    pub graph: &'static str,
+    pub p: usize,
+    pub expected_congestion: f64,
+    pub max_congestion: f64,
+    pub cost: f64,
+}
+
+pub(crate) fn collect() -> Vec<Point> {
+    let mut out = Vec::new();
+    let h = presets::multicore(2, 4, 4.0, 1.0);
+    let graphs: Vec<(&'static str, hgp_graph::Graph)> = vec![
+        ("mesh-8x8", {
+            let mut r = common::rng(0xF2_01);
+            generators::grid2d(&mut r, 8, 8, 0.5, 2.0)
+        }),
+        ("powerlaw-64", {
+            let mut r = common::rng(0xF2_02);
+            generators::barabasi_albert(&mut r, 64, 2, 0.5, 3.0)
+        }),
+        ("gnp-48", {
+            let mut r = common::rng(0xF2_03);
+            generators::gnp_connected(&mut r, 48, 0.15, 0.5, 2.0)
+        }),
+    ];
+    for (name, g) in graphs {
+        let n = g.num_nodes();
+        let demands = vec![(0.8 * 8.0 / n as f64).min(1.0); n];
+        let inst = hgp_core::Instance::new(g.clone(), demands.clone());
+        for &p in &[1usize, 2, 4, 8] {
+            let mut rng = common::rng(0xF2_10 ^ p as u64);
+            let dist = racke_distribution(&g, &demands, p, &DecompOpts::default(), &mut rng);
+            let max_c = dist
+                .trees
+                .iter()
+                .map(|t| hop_congestion(t, &g).1.max)
+                .fold(0.0, f64::max);
+            let opts = SolverOptions {
+                num_trees: p,
+                seed: common::SEED,
+                ..Default::default()
+            };
+            let cost = solve_on_distribution(&inst, &h, &dist, &opts)
+                .map(|r| r.cost)
+                .unwrap_or(f64::NAN);
+            out.push(Point {
+                graph: name,
+                p,
+                expected_congestion: dist.expected_congestion(&g),
+                max_congestion: max_c,
+                cost,
+            });
+        }
+    }
+    out
+}
+
+/// Runs F2 and renders the series.
+pub fn run() -> String {
+    let pts = collect();
+    let mut t = Table::new(vec![
+        "graph",
+        "p (trees)",
+        "E[congestion]",
+        "max congestion",
+        "hgp cost",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            p.graph.to_string(),
+            p.p.to_string(),
+            f2(p.expected_congestion),
+            f2(p.max_congestion),
+            f2(p.cost),
+        ]);
+    }
+    format!(
+        "## F2 — distribution quality vs number of trees\n\n{}\n\
+         Expected shape: solution cost non-increasing in p (more trees = \
+         more chances, Theorem 7); congestion in the O(log n) ballpark \
+         (tree depth bounded).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_trees_never_hurt_much() {
+        let pts = collect();
+        for name in ["mesh-8x8", "powerlaw-64", "gnp-48"] {
+            let series: Vec<&Point> = pts.iter().filter(|p| p.graph == name).collect();
+            let first = series.first().unwrap().cost;
+            let last = series.last().unwrap().cost;
+            assert!(
+                last <= first * 1.05 + 1e-9,
+                "{name}: cost should not grow with more trees ({first} -> {last})"
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_stays_logarithmic_ballpark() {
+        for p in collect() {
+            assert!(
+                p.max_congestion <= 40.0,
+                "{}: max congestion {} far beyond 2·depth of a balanced tree",
+                p.graph,
+                p.max_congestion
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! F3 — the crossover: how the value of hierarchy-awareness grows with the
+//! steepness of the cost multipliers. At `ratio = 1` (uniform multipliers)
+//! HGP degenerates to k-BGP and flat partitioning is as good as anything;
+//! as the multipliers steepen, hierarchy-oblivious mapping pays an
+//! ever-growing premium.
+
+use super::common;
+use crate::table::{f2, Table};
+use hgp_baselines::mapping::{dual_recursive, flat_kbgp};
+use hgp_core::solver::solve;
+use hgp_hierarchy::presets;
+use hgp_workloads::standard_suite;
+
+/// One sweep point: multiplier steepness → method costs.
+pub(crate) struct Point {
+    pub workload: String,
+    pub ratio: f64,
+    pub hgp: f64,
+    pub flat: f64,
+    pub dual: f64,
+}
+
+pub(crate) fn collect() -> Vec<Point> {
+    let suite = standard_suite(common::SEED);
+    let shape = presets::multicore(2, 4, 4.0, 1.0);
+    let mut out = Vec::new();
+    for wname in ["mesh-8x8", "stream"] {
+        let w = suite
+            .iter()
+            .find(|w| w.name.starts_with(wname))
+            .expect("workload in suite");
+        for &ratio in &[1.0f64, 2.0, 4.0, 8.0, 16.0] {
+            let h = presets::geometric_like(&shape, ratio);
+            let hgp = match solve(&w.inst, &h, &common::default_solver()) {
+                Ok(r) => r.cost,
+                Err(_) => continue,
+            };
+            let mut rng = common::rng(0xF3);
+            let flat = flat_kbgp(&w.inst, &h, &mut rng).cost(&w.inst, &h);
+            let dual = dual_recursive(&w.inst, &h, &mut rng).cost(&w.inst, &h);
+            out.push(Point {
+                workload: w.name.clone(),
+                ratio,
+                hgp,
+                flat,
+                dual,
+            });
+        }
+    }
+    out
+}
+
+/// Runs F3 and renders the series.
+pub fn run() -> String {
+    let pts = collect();
+    let mut t = Table::new(vec![
+        "workload",
+        "cm ratio",
+        "hgp",
+        "flat-kbgp",
+        "dual-recursive",
+        "flat / hgp",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            p.workload.clone(),
+            f2(p.ratio),
+            f2(p.hgp),
+            f2(p.flat),
+            f2(p.dual),
+            f2(p.flat / p.hgp.max(1e-12)),
+        ]);
+    }
+    format!(
+        "## F3 — crossover vs cost-multiplier steepness (2x4 shape)\n\n{}\n\
+         Expected shape: flat/hgp ≈ 1 at ratio 1 and increasing with the \
+         ratio; dual-recursive between the two.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_awareness_pays_more_at_steeper_multipliers() {
+        let pts = collect();
+        for wname in ["mesh", "stream"] {
+            let series: Vec<&Point> = pts
+                .iter()
+                .filter(|p| p.workload.starts_with(wname))
+                .collect();
+            assert!(series.len() >= 3);
+            let first = series.first().unwrap();
+            let last = series.last().unwrap();
+            let gain_flat_first = first.flat / first.hgp.max(1e-12);
+            let gain_flat_last = last.flat / last.hgp.max(1e-12);
+            assert!(
+                gain_flat_last >= gain_flat_first * 0.9,
+                "{wname}: premium should not collapse as multipliers steepen \
+                 ({gain_flat_first} -> {gain_flat_last})"
+            );
+        }
+    }
+
+    #[test]
+    fn hgp_never_loses_badly_to_flat_at_uniform_costs() {
+        for p in collect().iter().filter(|p| p.ratio == 1.0) {
+            assert!(
+                p.hgp <= p.flat * 1.6 + 1e-9,
+                "{}: at uniform multipliers hgp {} vs flat {}",
+                p.workload,
+                p.hgp,
+                p.flat
+            );
+        }
+    }
+}

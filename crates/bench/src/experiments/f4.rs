@@ -1,0 +1,142 @@
+//! F4 — structural invariants of the relaxed solutions (the content of the
+//! paper's Figures 1–2, Lemmas 4–5, Theorem 3 and Corollaries 2–3,
+//! verified computationally instead of illustrated).
+
+use super::common;
+use crate::table::Table;
+use hgp_core::cost::laminar_mirror_cost;
+use hgp_core::laminar::build_level_sets;
+use hgp_core::relaxed::{labelling_cost, solve_relaxed};
+use hgp_core::tree_solver::rooted_with_dummies;
+use hgp_core::{solve_tree_instance, Rounding};
+use hgp_hierarchy::presets;
+
+const TRIALS: u64 = 20;
+
+/// Verification counters.
+#[derive(Default)]
+pub(crate) struct Counts {
+    pub trials: usize,
+    pub laminar_ok: usize,
+    /// Equation-1 cost of the final assignment never exceeds the DP
+    /// certificate (Corollary 2 / Proposition 1 direction).
+    pub cost_le_certificate: usize,
+    /// Among trials where the Theorem-5 repair merged nothing, the
+    /// certificate equals the Equation-1 cost exactly (Corollary 3
+    /// specialised to trees).
+    pub unmerged_trials: usize,
+    pub exact_when_unmerged: usize,
+    pub certificate_bounds_mirror: usize,
+    pub oracle_matches_dp: usize,
+}
+
+pub(crate) fn collect() -> Counts {
+    let h = presets::multicore(2, 4, 4.0, 1.0);
+    let rounding = Rounding::with_units(16);
+    let mut c = Counts::default();
+    for seed in 0..TRIALS {
+        let inst = common::random_tree_instance(0xF4_00 + seed, 10, 0.35);
+        let Ok(rep) = solve_tree_instance(&inst, &h, rounding) else {
+            continue;
+        };
+        c.trials += 1;
+
+        // replay the relaxed DP on the dummy-augmented tree to inspect the
+        // labelling directly
+        let (tree, _) = rooted_with_dummies(&inst).unwrap();
+        let units: Vec<u32> = (0..tree.num_nodes())
+            .map(|v| {
+                if tree.is_leaf(v) {
+                    rounding.round(inst.demand(v - inst.num_tasks()))
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let caps = rounding.level_caps(&h);
+        let deltas: Vec<f64> = (0..h.height())
+            .map(|k| h.cost_multiplier(k) - h.cost_multiplier(k + 1))
+            .collect();
+        let relaxed = solve_relaxed(&tree, &units, &caps, &deltas).unwrap();
+
+        // (1) laminar family structure (Definition 4 via Lemmas 4-5)
+        let ls = build_level_sets(&tree, &relaxed.cut_level, h.height());
+        if ls.check_laminar(tree.leaves().len()).is_ok() {
+            c.laminar_ok += 1;
+        }
+        // (2) oracle recomputation of the certificate
+        let oracle = labelling_cost(&tree, &units, &relaxed.cut_level, &deltas);
+        if (oracle - relaxed.cost).abs() < 1e-6 {
+            c.oracle_matches_dp += 1;
+        }
+        // (3) Corollary 2 / Proposition 1: Eq.1 cost <= certificate
+        if rep.cost <= rep.certificate + 1e-6 {
+            c.cost_le_certificate += 1;
+        }
+        // (3b) exactness when the repair merged nothing (Corollary 3 on
+        // trees): merging sets can only lower the Eq.1 cost below the
+        // certificate, so equality is only promised merge-free
+        if rep.repair.merges.iter().all(|&m| m == 0) {
+            c.unmerged_trials += 1;
+            if (rep.certificate - rep.cost).abs() < 1e-6 {
+                c.exact_when_unmerged += 1;
+            }
+        }
+        // (4) Corollary 2: certificate >= Eq3 mirror cost with min-cuts
+        let mirror = laminar_mirror_cost(&tree, &h, &ls.sets);
+        if relaxed.cost >= mirror - 1e-6 {
+            c.certificate_bounds_mirror += 1;
+        }
+    }
+    c
+}
+
+/// Runs F4 and renders the table.
+pub fn run() -> String {
+    let c = collect();
+    let mut t = Table::new(vec!["invariant", "verified / applicable"]);
+    let frac = |x: usize, of: usize| format!("{x} / {of}");
+    t.row(vec![
+        "laminar family (Def. 4, Lemmas 4-5)".to_string(),
+        frac(c.laminar_ok, c.trials),
+    ]);
+    t.row(vec![
+        "DP cost = labelling oracle".to_string(),
+        frac(c.oracle_matches_dp, c.trials),
+    ]);
+    t.row(vec![
+        "Eq.1 cost <= certificate (Cor. 2)".to_string(),
+        frac(c.cost_le_certificate, c.trials),
+    ]);
+    t.row(vec![
+        "certificate = Eq.1 when repair merge-free (Cor. 3)".to_string(),
+        frac(c.exact_when_unmerged, c.unmerged_trials),
+    ]);
+    t.row(vec![
+        "certificate >= Eq.3 mirror cost (Cor. 2)".to_string(),
+        frac(c.certificate_bounds_mirror, c.trials),
+    ]);
+    format!(
+        "## F4 — structural invariants (paper Figures 1-2, Theorem 3)\n\n{}\n\
+         Expected shape: every invariant verified on every applicable \
+         trial.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_invariants_hold_on_all_trials() {
+        let c = collect();
+        assert!(c.trials >= 15, "most instances should solve");
+        assert_eq!(c.laminar_ok, c.trials);
+        assert_eq!(c.oracle_matches_dp, c.trials);
+        assert_eq!(c.cost_le_certificate, c.trials);
+        assert_eq!(c.exact_when_unmerged, c.unmerged_trials);
+        assert_eq!(c.certificate_bounds_mirror, c.trials);
+        assert!(c.unmerged_trials >= 1, "need at least one merge-free trial");
+    }
+}

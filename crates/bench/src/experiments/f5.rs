@@ -1,0 +1,170 @@
+//! F5 — realised quality at sizes beyond exact reach: HGP cost against the
+//! certified lower bound (`hgp-core::bounds`) and the best baseline, as
+//! `n` grows. The paper's approximation factor is `O(log n)`: on
+//! heuristic-friendly families (meshes) the decomposition embedding
+//! genuinely pays a factor against structured heuristics — that *is* the
+//! measured embedding loss — while the locally-refined configuration
+//! (`hgp+refine`) recovers most of it.
+
+use super::common;
+use crate::table::{f2, Table};
+use hgp_baselines::refine::{refine, RefineOpts};
+use hgp_baselines::Baseline;
+use hgp_core::bounds::component_count_bound;
+use hgp_core::solver::{solve, SolverOptions};
+use hgp_core::{Instance, Rounding};
+use hgp_graph::generators;
+use hgp_hierarchy::presets;
+
+/// One sweep point.
+pub(crate) struct Point {
+    pub family: &'static str,
+    pub n: usize,
+    pub hgp: f64,
+    pub hgp_refined: f64,
+    pub best_baseline: f64,
+    pub lower_bound: f64,
+}
+
+pub(crate) fn collect() -> Vec<Point> {
+    let h = presets::multicore(2, 4, 4.0, 1.0);
+    let mut out = Vec::new();
+    for &n in &[32usize, 64, 128] {
+        for family in ["gnp", "mesh"] {
+            let mut rng = common::rng(0xF5 ^ n as u64);
+            let g = match family {
+                "gnp" => generators::gnp_connected(&mut rng, n, (8.0 / n as f64).min(0.9), 0.5, 2.0),
+                _ => {
+                    let side = (n as f64).sqrt().round() as usize;
+                    generators::grid2d(&mut rng, side, n / side, 0.5, 2.0)
+                }
+            };
+            let nn = g.num_nodes();
+            let demand = (0.85 * 8.0 / nn as f64).min(1.0);
+            let inst = Instance::uniform(g, demand);
+            let opts = SolverOptions {
+                num_trees: 4,
+                rounding: Rounding::with_units(8),
+                seed: common::SEED,
+                ..Default::default()
+            };
+            let Ok(rep) = solve(&inst, &h, &opts) else {
+                continue;
+            };
+            let slack = rep.violation.worst_factor().max(1.0);
+            let lb = component_count_bound(&inst, &h, slack);
+            let mut polished = rep.assignment.clone();
+            refine(
+                &mut polished,
+                &inst,
+                &h,
+                &RefineOpts {
+                    capacity_factor: slack,
+                    ..Default::default()
+                },
+            );
+            let mut best = f64::INFINITY;
+            for b in Baseline::ALL {
+                let mut brng = common::rng(0xF5_10 ^ b as u64);
+                let a = b.run(&inst, &h, &mut brng);
+                best = best.min(a.cost(&inst, &h));
+            }
+            out.push(Point {
+                family,
+                n: nn,
+                hgp: rep.cost,
+                hgp_refined: polished.cost(&inst, &h),
+                best_baseline: best,
+                lower_bound: lb,
+            });
+        }
+    }
+    out
+}
+
+/// Runs F5 and renders the table.
+pub fn run() -> String {
+    let pts = collect();
+    let mut t = Table::new(vec![
+        "family",
+        "n",
+        "hgp",
+        "hgp+refine",
+        "best baseline",
+        "lower bound",
+        "hgp / LB",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            p.family.to_string(),
+            p.n.to_string(),
+            f2(p.hgp),
+            f2(p.hgp_refined),
+            f2(p.best_baseline),
+            if p.lower_bound > 0.0 {
+                f2(p.lower_bound)
+            } else {
+                "-".into()
+            },
+            if p.lower_bound > 0.0 {
+                f2(p.hgp / p.lower_bound)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    format!(
+        "## F5 — quality at scale vs certified lower bound (2x4-socket)\n\n{}\n\
+         Expected shape: on meshes the raw pipeline pays a visible embedding \
+         factor against structured heuristics (the O(log n) loss, measured); \
+         hgp+refine recovers most of it; the ratio to the loose \
+         component-count bound grows only mildly with n.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_never_exceeded() {
+        for p in collect() {
+            assert!(
+                p.hgp >= p.lower_bound - 1e-9,
+                "{} n={}: cost {} below certified bound {}",
+                p.family,
+                p.n,
+                p.hgp,
+                p.lower_bound
+            );
+            assert!(p.hgp_refined <= p.hgp + 1e-9, "refinement must not hurt");
+        }
+    }
+
+    #[test]
+    fn embedding_loss_stays_bounded() {
+        // the raw pipeline may lose to structured heuristics on meshes
+        // (the measured O(log n) embedding factor), but the loss should
+        // stay within a small constant at these sizes, and refinement
+        // should close most of the gap
+        for p in collect() {
+            assert!(
+                p.hgp <= 4.0 * p.best_baseline + 1e-9,
+                "{} n={}: raw hgp {} vs best baseline {}",
+                p.family,
+                p.n,
+                p.hgp,
+                p.best_baseline
+            );
+            assert!(
+                p.hgp_refined <= 2.0 * p.best_baseline + 1e-9,
+                "{} n={}: refined hgp {} vs best baseline {}",
+                p.family,
+                p.n,
+                p.hgp_refined,
+                p.best_baseline
+            );
+        }
+    }
+}

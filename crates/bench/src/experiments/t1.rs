@@ -1,0 +1,155 @@
+//! T1 — approximation quality against the exact optimum (Theorem 2).
+//!
+//! On tree-shaped instances the DP certificate is exact, so the pipeline's
+//! cost should match branch-and-bound (`ratio ≈ 1.00`; slightly below 1 is
+//! possible because the bicriteria solution may use its capacity slack).
+//! On general graphs the decomposition-tree embedding loses a factor the
+//! paper bounds by `O(log n)`; the measured ratio reports the realised
+//! loss.
+
+use super::common;
+use crate::table::{f2, f3, Table};
+use hgp_core::exact::{solve_exact, ExactOptions};
+use hgp_core::solver::{solve, SolverOptions};
+use hgp_core::{solve_tree_instance, Rounding};
+use hgp_hierarchy::presets;
+
+const TRIALS: u64 = 8;
+
+pub(crate) struct Outcome {
+    pub mean_ratio: f64,
+    pub max_ratio: f64,
+    pub mean_violation: f64,
+}
+
+fn summarize(ratios: &[f64], violations: &[f64]) -> Outcome {
+    let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let max_ratio = ratios.iter().copied().fold(0.0, f64::max);
+    let mean_violation = violations.iter().sum::<f64>() / violations.len() as f64;
+    Outcome {
+        mean_ratio,
+        max_ratio,
+        mean_violation,
+    }
+}
+
+/// Tree-instance arm: `(family, hierarchy label)` → outcome.
+pub(crate) fn tree_arm(h: &hgp_hierarchy::Hierarchy, demand: f64) -> Outcome {
+    let mut ratios = Vec::new();
+    let mut violations = Vec::new();
+    for seed in 0..TRIALS {
+        let inst = common::random_tree_instance(100 + seed, 8, demand);
+        let rep = solve_tree_instance(&inst, h, Rounding::with_units(64)).expect("solvable");
+        let (_, opt) = solve_exact(&inst, h, ExactOptions::default()).expect("exact solvable");
+        if opt > 1e-9 {
+            ratios.push(rep.cost / opt);
+        }
+        violations.push(rep.violation.worst_factor());
+    }
+    summarize(&ratios, &violations)
+}
+
+/// General-graph arm.
+pub(crate) fn graph_arm(h: &hgp_hierarchy::Hierarchy, demand: f64) -> Outcome {
+    let mut ratios = Vec::new();
+    let mut violations = Vec::new();
+    for seed in 0..TRIALS {
+        let inst = common::random_graph_instance(200 + seed, 8, demand);
+        let opts = SolverOptions {
+            num_trees: 8,
+            rounding: Rounding::with_units(32),
+            seed: common::SEED ^ seed,
+            ..Default::default()
+        };
+        let rep = solve(&inst, h, &opts).expect("solvable");
+        let (_, opt) = solve_exact(&inst, h, ExactOptions::default()).expect("exact solvable");
+        if opt > 1e-9 {
+            ratios.push(rep.cost / opt);
+        }
+        violations.push(rep.violation.worst_factor());
+    }
+    summarize(&ratios, &violations)
+}
+
+/// Runs T1 and renders the table.
+pub fn run() -> String {
+    let mut t = Table::new(vec![
+        "family", "hierarchy", "n", "trials", "cost/OPT (mean)", "cost/OPT (max)", "violation (mean)",
+    ]);
+    let m24 = presets::multicore(2, 4, 4.0, 1.0);
+    let f4 = presets::flat(4);
+
+    let o = tree_arm(&m24, 0.9);
+    t.row(vec![
+        "tree".into(),
+        "2x4-socket".into(),
+        "8".into(),
+        TRIALS.to_string(),
+        f3(o.mean_ratio),
+        f3(o.max_ratio),
+        f2(o.mean_violation),
+    ]);
+    let o = tree_arm(&f4, 0.45);
+    t.row(vec![
+        "tree".into(),
+        "flat-4".into(),
+        "8".into(),
+        TRIALS.to_string(),
+        f3(o.mean_ratio),
+        f3(o.max_ratio),
+        f2(o.mean_violation),
+    ]);
+    let o = graph_arm(&m24, 0.9);
+    t.row(vec![
+        "gnp".into(),
+        "2x4-socket".into(),
+        "8".into(),
+        TRIALS.to_string(),
+        f3(o.mean_ratio),
+        f3(o.max_ratio),
+        f2(o.mean_violation),
+    ]);
+    let o = graph_arm(&f4, 0.45);
+    t.row(vec![
+        "gnp".into(),
+        "flat-4".into(),
+        "8".into(),
+        TRIALS.to_string(),
+        f3(o.mean_ratio),
+        f3(o.max_ratio),
+        f2(o.mean_violation),
+    ]);
+
+    format!(
+        "## T1 — cost vs exact optimum (Theorem 2)\n\n{}\n\
+         Expected shape: tree rows ≈ 1.000 (the DP is cost-optimal on trees); \
+         graph rows bounded by the decomposition loss (paper: O(log n)).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_dp_matches_exact_optimum() {
+        let o = tree_arm(&presets::multicore(2, 4, 4.0, 1.0), 0.9);
+        assert!(
+            o.max_ratio <= 1.0 + 1e-6,
+            "DP must not exceed the optimum on trees, max ratio {}",
+            o.max_ratio
+        );
+        assert!(o.mean_ratio > 0.5, "sanity: ratios should be near 1");
+    }
+
+    #[test]
+    fn graph_arm_within_modest_factor() {
+        let o = graph_arm(&presets::flat(4), 0.45);
+        assert!(
+            o.max_ratio <= 3.0,
+            "decomposition loss blew past 3x on n=8: {}",
+            o.max_ratio
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! T2 — measured capacity violation against the `(1+ε)(1+h)` bound
+//! (Theorems 2 and 5).
+//!
+//! Uses dedicated small instances so the paper's fine grid `Δ = ⌈n/ε⌉`
+//! stays tractable on one core; the *bound* is per-instance, so scale does
+//! not weaken the check.
+
+use super::common;
+use crate::table::{f2, Table};
+use hgp_core::solver::{solve, SolverOptions};
+use hgp_core::{Instance, Rounding};
+use hgp_hierarchy::{presets, Hierarchy};
+use hgp_workloads::{stream_dag, StreamOpts};
+use rand::Rng;
+
+/// One measured row.
+pub(crate) struct Row {
+    pub machine: String,
+    pub workload: String,
+    pub eps: f64,
+    pub measured: f64,
+    pub bound: f64,
+}
+
+fn instances() -> Vec<(String, Instance)> {
+    let mut out = Vec::new();
+    {
+        let mut r = common::rng(0x72_01);
+        let g = hgp_graph::generators::random_tree(&mut r, 12, 0.5, 3.0);
+        let d: Vec<f64> = (0..12).map(|_| r.gen_range(0.1..0.3)).collect();
+        out.push(("tree-12".to_string(), Instance::new(g, d)));
+    }
+    {
+        let mut r = common::rng(0x72_02);
+        let g = hgp_graph::generators::gnp_connected(&mut r, 12, 0.3, 0.5, 2.0);
+        let d: Vec<f64> = (0..12).map(|_| r.gen_range(0.1..0.3)).collect();
+        out.push(("gnp-12".to_string(), Instance::new(g, d)));
+    }
+    {
+        let mut r = common::rng(0x72_03);
+        let inst = stream_dag(
+            &mut r,
+            &StreamOpts {
+                queries: 3,
+                depth: 2,
+                max_width: 2,
+                max_demand: 0.3,
+                ..Default::default()
+            },
+        );
+        out.push((format!("stream-{}", inst.num_tasks()), inst));
+    }
+    out
+}
+
+fn machines() -> Vec<(String, Hierarchy, Vec<f64>)> {
+    vec![
+        (
+            "2x4-socket".into(),
+            presets::multicore(2, 4, 4.0, 1.0),
+            vec![1.0, 0.5, 0.25],
+        ),
+        (
+            "2x2x2-cluster".into(),
+            presets::hyperthreaded(2, 2, 2, 8.0, 2.0, 1.0),
+            vec![1.0, 0.5],
+        ),
+    ]
+}
+
+pub(crate) fn collect() -> Vec<Row> {
+    let insts = instances();
+    let mut rows = Vec::new();
+    for (mname, h, eps_list) in machines() {
+        for (wname, inst) in &insts {
+            for &eps in &eps_list {
+                let rounding = Rounding::for_epsilon(inst.num_tasks(), eps);
+                let opts = SolverOptions {
+                    num_trees: 2,
+                    rounding,
+                    seed: common::SEED,
+                    ..Default::default()
+                };
+                if let Ok(rep) = solve(inst, &h, &opts) {
+                    rows.push(Row {
+                        machine: mname.clone(),
+                        workload: wname.clone(),
+                        eps,
+                        measured: rep.violation.worst_factor(),
+                        bound: (1.0 + eps) * (1.0 + h.height() as f64),
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Runs T2 and renders the table.
+pub fn run() -> String {
+    let rows = collect();
+    let mut t = Table::new(vec!["machine", "workload", "eps", "violation", "bound", "within"]);
+    for r in &rows {
+        t.row(vec![
+            r.machine.clone(),
+            r.workload.clone(),
+            f2(r.eps),
+            f2(r.measured),
+            f2(r.bound),
+            if r.measured <= r.bound + 1e-9 { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    format!(
+        "## T2 — capacity violation vs the (1+eps)(1+h) bound\n\n{}\n\
+         Expected shape: every row within its bound, and measured violations \
+         far below it (the bound is worst-case).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_measured_violations_within_bound() {
+        let rows = collect();
+        assert!(rows.len() >= 10, "most configurations must solve");
+        for r in rows {
+            assert!(
+                r.measured <= r.bound + 1e-9,
+                "{} on {} at eps {}: measured {} exceeds bound {}",
+                r.workload,
+                r.machine,
+                r.eps,
+                r.measured,
+                r.bound
+            );
+        }
+    }
+}

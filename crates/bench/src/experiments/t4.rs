@@ -1,0 +1,82 @@
+//! T4 — running-time scaling of the DP (§3: `O(n · D^{3h+2})` worst case;
+//! measured growth is far milder thanks to Pareto pruning and
+//! subtree-bounded signatures).
+
+use super::common;
+use crate::table::{f2, Table};
+use crate::timed;
+use hgp_core::{solve_tree_instance, Rounding};
+use hgp_hierarchy::presets;
+
+/// `(n, Δ, h)` → `(milliseconds, DP table entries)`.
+pub(crate) fn measure(n: usize, units: u32, height2: bool) -> (f64, usize) {
+    let k: usize = 8;
+    let demand = (0.8 * k as f64 / n as f64).min(1.0);
+    let inst = common::random_tree_instance(4000 + n as u64, n, demand);
+    let h = if height2 {
+        presets::multicore(2, 4, 4.0, 1.0)
+    } else {
+        presets::flat(8)
+    };
+    let (rep, ms) = timed(|| solve_tree_instance(&inst, &h, Rounding::with_units(units)).unwrap());
+    (ms, rep.dp_entries)
+}
+
+/// Runs T4 and renders the tables.
+pub fn run() -> String {
+    let mut out = String::from("## T4 — DP running time scaling\n\n");
+
+    let mut t = Table::new(vec!["h", "n", "units/leaf", "time (ms)", "dp entries"]);
+    for &height2 in &[false, true] {
+        for &n in &[16usize, 32, 64, 128, 256] {
+            let (ms, entries) = measure(n, 8, height2);
+            t.row(vec![
+                if height2 { "2" } else { "1" }.to_string(),
+                n.to_string(),
+                "8".into(),
+                f2(ms),
+                entries.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    let mut t = Table::new(vec!["h", "n", "units/leaf", "time (ms)", "dp entries"]);
+    for &units in &[2u32, 4, 8, 16, 32, 64] {
+        let (ms, entries) = measure(64, units, true);
+        t.row(vec![
+            "2".into(),
+            "64".into(),
+            units.to_string(),
+            f2(ms),
+            entries.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nExpected shape: near-linear growth in n at fixed grid; polynomial \
+         growth in the grid resolution (the paper's D), flattened by Pareto \
+         pruning.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_grow_with_n() {
+        let (_, e16) = measure(16, 8, true);
+        let (_, e128) = measure(128, 8, true);
+        assert!(e128 > e16, "DP size must grow with n: {e16} vs {e128}");
+    }
+
+    #[test]
+    fn entries_grow_with_grid() {
+        let (_, coarse) = measure(64, 2, true);
+        let (_, fine) = measure(64, 32, true);
+        assert!(fine >= coarse, "finer grids cannot shrink the DP: {coarse} vs {fine}");
+    }
+}

@@ -1,0 +1,308 @@
+//! Argument parsing and command implementations for the `hgp` binary
+//! (kept in a library so they are unit-testable).
+
+#![warn(missing_docs)]
+
+use hgp_baselines::refine::{refine, RefineOpts};
+use hgp_core::solver::{solve, SolverOptions};
+use hgp_core::{Instance, Rounding};
+use hgp_graph::io::read_metis;
+use hgp_graph::{traversal, Graph};
+use hgp_hierarchy::{parse_hierarchy, Hierarchy};
+use std::io::Write;
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage:
+  hgp partition --graph FILE.metis --machine SHAPE[:CMS] [options]
+  hgp info --graph FILE.metis
+
+options for `partition`:
+  --demands FILE   one demand per line, (0,1]; default 0.8*k/n each
+  --units N        rounding grid units per leaf (default 8)
+  --trees P        decomposition trees in the distribution (default 8)
+  --seed S         RNG seed (default 1)
+  --refine         polish the result with hierarchy-aware local search
+
+machine SHAPE examples: 16 | 2x8 | 4x8x2:8,2,1,0";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cli {
+    /// `hgp partition …`
+    Partition {
+        /// METIS graph path.
+        graph: String,
+        /// Machine descriptor.
+        machine: String,
+        /// Optional demand file.
+        demands: Option<String>,
+        /// Rounding units.
+        units: u32,
+        /// Distribution size.
+        trees: usize,
+        /// Seed.
+        seed: u64,
+        /// Post-refinement toggle.
+        refine: bool,
+    },
+    /// `hgp info …`
+    Info {
+        /// METIS graph path.
+        graph: String,
+    },
+}
+
+impl Cli {
+    /// Parses raw arguments.
+    pub fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut it = args.iter();
+        let cmd = it.next().ok_or("missing command")?;
+        let mut graph = None;
+        let mut machine = None;
+        let mut demands = None;
+        let mut units = 8u32;
+        let mut trees = 8usize;
+        let mut seed = 1u64;
+        let mut do_refine = false;
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--graph" => graph = Some(value("--graph")?),
+                "--machine" => machine = Some(value("--machine")?),
+                "--demands" => demands = Some(value("--demands")?),
+                "--units" => {
+                    units = value("--units")?
+                        .parse()
+                        .map_err(|_| "bad --units".to_string())?
+                }
+                "--trees" => {
+                    trees = value("--trees")?
+                        .parse()
+                        .map_err(|_| "bad --trees".to_string())?
+                }
+                "--seed" => {
+                    seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "bad --seed".to_string())?
+                }
+                "--refine" => do_refine = true,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        let graph = graph.ok_or("--graph is required")?;
+        match cmd.as_str() {
+            "partition" => Ok(Cli::Partition {
+                graph,
+                machine: machine.ok_or("--machine is required")?,
+                demands,
+                units: units.max(1),
+                trees: trees.max(1),
+                seed,
+                refine: do_refine,
+            }),
+            "info" => Ok(Cli::Info { graph }),
+            other => Err(format!("unknown command {other}")),
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    read_metis(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_demands(path: &str, n: usize) -> Result<Vec<f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let d: Vec<f64> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.parse::<f64>().map_err(|_| format!("bad demand {l:?}")))
+        .collect::<Result<_, _>>()?;
+    if d.len() != n {
+        return Err(format!("expected {n} demands, found {}", d.len()));
+    }
+    Ok(d)
+}
+
+/// Executes a parsed command, writing the machine-readable result to `out`.
+pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
+    match cli {
+        Cli::Info { graph } => {
+            let g = load_graph(graph)?;
+            let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+            writeln!(out, "nodes      {}", g.num_nodes()).unwrap();
+            writeln!(out, "edges      {}", g.num_edges()).unwrap();
+            writeln!(out, "weight     {}", g.total_weight()).unwrap();
+            writeln!(out, "connected  {}", traversal::is_connected(&g)).unwrap();
+            writeln!(
+                out,
+                "degree     min {} max {} avg {:.2}",
+                degrees.iter().min().unwrap_or(&0),
+                degrees.iter().max().unwrap_or(&0),
+                if degrees.is_empty() {
+                    0.0
+                } else {
+                    degrees.iter().sum::<usize>() as f64 / degrees.len() as f64
+                }
+            )
+            .unwrap();
+            Ok(())
+        }
+        Cli::Partition {
+            graph,
+            machine,
+            demands,
+            units,
+            trees,
+            seed,
+            refine: do_refine,
+        } => {
+            let g = load_graph(graph)?;
+            let h: Hierarchy = parse_hierarchy(machine).map_err(|e| e.to_string())?;
+            let n = g.num_nodes();
+            let d = match demands {
+                Some(path) => load_demands(path, n)?,
+                None => vec![(0.8 * h.num_leaves() as f64 / n as f64).min(1.0); n],
+            };
+            let inst = Instance::new(g, d);
+            let opts = SolverOptions {
+                num_trees: *trees,
+                rounding: Rounding::with_units(*units),
+                seed: *seed,
+                ..Default::default()
+            };
+            let rep = solve(&inst, &h, &opts).map_err(|e| e.to_string())?;
+            let mut assignment = rep.assignment.clone();
+            if *do_refine {
+                let cap = rep.violation.worst_factor().max(1.0);
+                refine(
+                    &mut assignment,
+                    &inst,
+                    &h,
+                    &RefineOpts {
+                        capacity_factor: cap,
+                        ..Default::default()
+                    },
+                );
+            }
+            let cost = assignment.cost(&inst, &h);
+            let violation = assignment.violation_report(&inst, &h).worst_factor();
+            eprintln!(
+                "cost {cost:.4}  violation {violation:.3}  (bound {:.2})",
+                (1.0 + n as f64 / *units as f64).min(2.0) * (1.0 + h.height() as f64)
+            );
+            writeln!(out, "# task ancestors(level 1..h)").unwrap();
+            for t in 0..n {
+                let leaf = assignment.leaf(t);
+                write!(out, "{t}").unwrap();
+                for j in 1..=h.height() {
+                    write!(out, " {}", h.ancestor_at_level(leaf, j)).unwrap();
+                }
+                writeln!(out).unwrap();
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_partition_flags() {
+        let cli = Cli::parse(&argv(
+            "partition --graph g.metis --machine 2x4:4,1,0 --units 16 --trees 3 --seed 9 --refine",
+        ))
+        .unwrap();
+        assert_eq!(
+            cli,
+            Cli::Partition {
+                graph: "g.metis".into(),
+                machine: "2x4:4,1,0".into(),
+                demands: None,
+                units: 16,
+                trees: 3,
+                seed: 9,
+                refine: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_info() {
+        let cli = Cli::parse(&argv("info --graph g.metis")).unwrap();
+        assert_eq!(cli, Cli::Info { graph: "g.metis".into() });
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Cli::parse(&argv("")).is_err());
+        assert!(Cli::parse(&argv("partition --machine 2x2")).is_err());
+        assert!(Cli::parse(&argv("partition --graph g")).is_err());
+        assert!(Cli::parse(&argv("frobnicate --graph g")).is_err());
+        assert!(Cli::parse(&argv("partition --graph g --machine 2x2 --units x")).is_err());
+        assert!(Cli::parse(&argv("partition --graph g --machine 2x2 --wat")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_partition_on_temp_file() {
+        let dir = std::env::temp_dir().join("hgp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dumbbell.metis");
+        // two triangles + bridge, unweighted
+        std::fs::write(&path, "6 7\n2 3\n1 3\n1 2 4\n3 5 6\n4 6\n4 5\n").unwrap();
+        let cli = Cli::parse(&[
+            "partition".into(),
+            "--graph".into(),
+            path.to_string_lossy().into_owned(),
+            "--machine".into(),
+            "2x3:4,1,0".into(),
+            "--seed".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(lines.len(), 6);
+        // each line: task socket core
+        for (t, line) in lines.iter().enumerate() {
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(toks.len(), 3);
+            assert_eq!(toks[0].parse::<usize>().unwrap(), t);
+            assert!(toks[1].parse::<usize>().unwrap() < 2);
+            assert!(toks[2].parse::<usize>().unwrap() < 6);
+        }
+    }
+
+    #[test]
+    fn info_reports_stats() {
+        let dir = std::env::temp_dir().join("hgp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("path.metis");
+        std::fs::write(&path, "3 2\n2\n1 3\n2\n").unwrap();
+        let cli = Cli::parse(&[
+            "info".into(),
+            "--graph".into(),
+            path.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("nodes      3"));
+        assert!(text.contains("connected  true"));
+    }
+}

@@ -1,0 +1,30 @@
+//! `hgp` — command-line hierarchical graph partitioner.
+//!
+//! ```text
+//! hgp partition --graph app.metis --machine 2x8:4,1,0 [--demands d.txt]
+//!               [--units 8] [--trees 8] [--seed 1] [--refine]
+//! hgp info --graph app.metis
+//! ```
+//!
+//! `partition` reads a METIS `.graph` file, solves HGP for the given
+//! machine descriptor (see `hgp-hierarchy::parse`), and prints one
+//! `task level1 level2 … leaf` line per task plus a cost/violation
+//! summary on stderr. `info` prints instance statistics.
+
+use hgp_cli::{run, Cli};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", hgp_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&cli, &mut std::io::stdout()) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Exact branch-and-bound HGP solver for small instances.
+//!
+//! Enumerates task-to-leaf assignments in decreasing-connectivity order
+//! with cost-bound pruning and hierarchy-symmetry breaking (sibling
+//! subtrees of `H` are interchangeable, so an empty subtree is only ever
+//! entered through its first empty sibling). Produces the true optimum of
+//! Equation 1 **without any capacity violation** — the reference point for
+//! the approximation-quality experiment (T1).
+
+use crate::{Assignment, Instance};
+use hgp_hierarchy::Hierarchy;
+
+/// Search limits for [`solve_exact`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExactOptions {
+    /// Abort (returning `None`) after this many search nodes.
+    pub node_limit: u64,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        Self {
+            node_limit: 50_000_000,
+        }
+    }
+}
+
+struct Search<'a> {
+    inst: &'a Instance,
+    h: &'a Hierarchy,
+    order: Vec<u32>,
+    adj: Vec<Vec<(u32, f64)>>,
+    leaf_of: Vec<u32>,
+    load: Vec<f64>,
+    /// tasks placed under each node, per level 1..=h: used[j-1][node]
+    used: Vec<Vec<u32>>,
+    best_cost: f64,
+    best: Option<Vec<u32>>,
+    nodes: u64,
+    limit: u64,
+}
+
+impl Search<'_> {
+    fn canonical(&self, leaf: usize) -> bool {
+        // An empty leaf may only be entered if, at every level, its (empty)
+        // ancestor is the first empty child of its parent.
+        let height = self.h.height();
+        for j in (1..=height).rev() {
+            let a = self.h.ancestor_at_level(leaf, j);
+            if self.used[j - 1][a] > 0 {
+                continue;
+            }
+            let deg = self.h.degree(j - 1);
+            let first_in_parent = (a / deg) * deg;
+            for b in first_in_parent..a {
+                if self.used[j - 1][b] == 0 {
+                    return false; // an earlier empty sibling exists
+                }
+            }
+        }
+        true
+    }
+
+    fn place_cost(&self, task: usize, leaf: usize) -> f64 {
+        let mut c = 0.0;
+        for &(u, w) in &self.adj[task] {
+            let lu = self.leaf_of[u as usize];
+            if lu != u32::MAX {
+                c += w * self.h.edge_multiplier(leaf, lu as usize);
+            }
+        }
+        c
+    }
+
+    fn recurse(&mut self, i: usize, cost: f64) -> bool {
+        self.nodes += 1;
+        if self.nodes > self.limit {
+            return false;
+        }
+        if cost >= self.best_cost - 1e-12 {
+            return true;
+        }
+        if i == self.order.len() {
+            self.best_cost = cost;
+            self.best = Some(self.leaf_of.clone());
+            return true;
+        }
+        let task = self.order[i] as usize;
+        let d = self.inst.demand(task);
+        let k = self.h.num_leaves();
+        for leaf in 0..k {
+            if self.load[leaf] + d > 1.0 + 1e-9 {
+                continue;
+            }
+            if self.load[leaf] == 0.0 && !self.canonical(leaf) {
+                continue;
+            }
+            let dc = self.place_cost(task, leaf);
+            // apply
+            self.leaf_of[task] = leaf as u32;
+            self.load[leaf] += d;
+            for j in 1..=self.h.height() {
+                self.used[j - 1][self.h.ancestor_at_level(leaf, j)] += 1;
+            }
+            let ok = self.recurse(i + 1, cost + dc);
+            // undo
+            for j in 1..=self.h.height() {
+                self.used[j - 1][self.h.ancestor_at_level(leaf, j)] -= 1;
+            }
+            self.load[leaf] -= d;
+            self.leaf_of[task] = u32::MAX;
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Finds the minimum-cost assignment with **no** capacity violation, or
+/// `None` when the node limit is exhausted or no feasible assignment
+/// exists. Exponential time — intended for `n ≲ 14` reference solutions.
+pub fn solve_exact(inst: &Instance, h: &Hierarchy, opts: ExactOptions) -> Option<(Assignment, f64)> {
+    let n = inst.num_tasks();
+    // high-connectivity tasks first: their placement prunes hardest
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let g = inst.graph();
+    let wd: Vec<f64> = (0..n)
+        .map(|v| g.weighted_degree(hgp_graph::NodeId(v as u32)))
+        .collect();
+    order.sort_by(|&a, &b| {
+        wd[b as usize]
+            .partial_cmp(&wd[a as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    for (_, u, v, w) in g.edges() {
+        adj[u.index()].push((v.0, w));
+        adj[v.index()].push((u.0, w));
+    }
+    let mut search = Search {
+        inst,
+        h,
+        order,
+        adj,
+        leaf_of: vec![u32::MAX; n],
+        load: vec![0.0; h.num_leaves()],
+        used: (1..=h.height())
+            .map(|j| vec![0u32; h.nodes_at_level(j)])
+            .collect(),
+        best_cost: f64::INFINITY,
+        best: None,
+        nodes: 0,
+        limit: opts.node_limit,
+    };
+    let completed = search.recurse(0, 0.0);
+    if !completed {
+        return None;
+    }
+    search
+        .best
+        .map(|leaves| (Assignment::new(leaves, h), search.best_cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::Graph;
+    use hgp_hierarchy::presets;
+
+    #[test]
+    fn path_optimum_matches_hand_solution() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let inst = Instance::uniform(g, 1.0);
+        let h = presets::multicore(2, 2, 4.0, 1.0);
+        let (a, c) = solve_exact(&inst, &h, ExactOptions::default()).unwrap();
+        assert!((c - 6.0).abs() < 1e-9, "optimal is 6, got {c}");
+        assert!(a.is_feasible(&inst, &h, 1.0));
+    }
+
+    #[test]
+    fn bisection_of_a_dumbbell() {
+        // two triangles joined by a weak edge, min bisection = the bridge
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 5.0),
+                (1, 2, 5.0),
+                (0, 2, 5.0),
+                (3, 4, 5.0),
+                (4, 5, 5.0),
+                (3, 5, 5.0),
+                (2, 3, 1.0),
+            ],
+        );
+        let inst = Instance::kbgp(g, 2); // demands 1/3, two parts
+        let h = presets::bisection();
+        let (a, c) = solve_exact(&inst, &h, ExactOptions::default()).unwrap();
+        assert!((c - 1.0).abs() < 1e-9);
+        assert_eq!(a.leaf(0), a.leaf(1));
+        assert_eq!(a.leaf(3), a.leaf(4));
+        assert_ne!(a.leaf(0), a.leaf(3));
+    }
+
+    #[test]
+    fn zero_cost_when_everything_fits_one_leaf() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let inst = Instance::uniform(g, 0.3);
+        let h = presets::flat(3);
+        let (_, c) = solve_exact(&inst, &h, ExactOptions::default()).unwrap();
+        assert!(c.abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_returns_some_none_distinction() {
+        // 3 unit tasks, 2 leaves: no feasible assignment, search completes
+        let g = Graph::from_edges(3, &[(0, 1, 1.0)]);
+        let inst = Instance::uniform(g, 1.0);
+        let h = presets::flat(2);
+        assert!(solve_exact(&inst, &h, ExactOptions::default()).is_none());
+    }
+
+    #[test]
+    fn node_limit_aborts() {
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                edges.push((u, v, 1.0 + (u + v) as f64));
+            }
+        }
+        let g = Graph::from_edges(10, &edges);
+        let inst = Instance::uniform(g, 1.0);
+        let h = presets::flat(10);
+        let opts = ExactOptions { node_limit: 5 };
+        assert!(solve_exact(&inst, &h, opts).is_none());
+    }
+
+    #[test]
+    fn symmetry_breaking_preserves_optimality() {
+        // brute-force (no symmetry pruning would change cost) on a random
+        // small instance vs a naive full enumeration
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let n = 5;
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.7) {
+                        edges.push((u, v, rng.gen_range(0.5..3.0)));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            let inst = Instance::uniform(g.clone(), 1.0);
+            let h = presets::multicore(2, 3, 4.0, 1.0);
+            let (_, c) = solve_exact(&inst, &h, ExactOptions::default()).unwrap();
+            // naive enumeration over all 6^5 assignments
+            let mut best = f64::INFINITY;
+            let k = 6usize;
+            for code in 0..k.pow(n as u32) {
+                let mut x = code;
+                let mut leaves = vec![0u32; n];
+                let mut load = vec![0.0; k];
+                let mut ok = true;
+                for l in leaves.iter_mut() {
+                    *l = (x % k) as u32;
+                    x /= k;
+                    load[*l as usize] += 1.0;
+                    if load[*l as usize] > 1.0 {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let a = Assignment::new(leaves, &h);
+                best = best.min(a.cost(&inst, &h));
+            }
+            assert!((c - best).abs() < 1e-9, "B&B {c} vs naive {best}");
+        }
+    }
+}

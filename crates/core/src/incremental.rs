@@ -1,0 +1,323 @@
+//! Incremental placement for evolving task graphs.
+//!
+//! Stream-processing deployments (the paper's motivating system) add,
+//! remove and resize operators at runtime; re-running the full pipeline on
+//! every change would re-pin everything. [`DynamicPlacer`] maintains a
+//! placement under such churn: new tasks are placed best-fit against the
+//! hierarchical cost, removals free capacity, demand changes trigger
+//! relocation only on overflow, and [`DynamicPlacer::rebalance`] runs
+//! bounded local-search passes (single-task moves) against the true
+//! Equation-1 objective. Every mutation is counted so operators can weigh
+//! placement quality against re-pinning churn.
+
+use crate::{Assignment, Instance};
+use hgp_hierarchy::Hierarchy;
+
+/// An online task-to-leaf placement under task churn.
+#[derive(Clone, Debug)]
+pub struct DynamicPlacer {
+    h: Hierarchy,
+    demands: Vec<f64>,
+    active: Vec<bool>,
+    /// adjacency: per task, `(neighbour, weight)` (symmetric).
+    adj: Vec<Vec<(u32, f64)>>,
+    leaf_of: Vec<u32>,
+    loads: Vec<f64>,
+    moves: u64,
+}
+
+impl DynamicPlacer {
+    /// An empty placer on machine `h`.
+    pub fn new(h: Hierarchy) -> Self {
+        let k = h.num_leaves();
+        Self {
+            h,
+            demands: Vec::new(),
+            active: Vec::new(),
+            adj: Vec::new(),
+            leaf_of: Vec::new(),
+            loads: vec![0.0; k],
+            moves: 0,
+        }
+    }
+
+    /// Seeds the placer from an offline solution (e.g. the full pipeline).
+    pub fn with_initial(h: Hierarchy, inst: &Instance, assignment: &Assignment) -> Self {
+        let mut p = Self::new(h);
+        for v in 0..inst.num_tasks() {
+            p.demands.push(inst.demand(v));
+            p.active.push(true);
+            p.adj.push(Vec::new());
+            p.leaf_of.push(assignment.leaf(v) as u32);
+            p.loads[assignment.leaf(v)] += inst.demand(v);
+        }
+        for (_, u, v, w) in inst.graph().edges() {
+            p.adj[u.index()].push((v.0, w));
+            p.adj[v.index()].push((u.0, w));
+        }
+        p.moves = 0;
+        p
+    }
+
+    /// Number of live tasks.
+    pub fn num_active(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Leaf currently hosting `task`.
+    ///
+    /// # Panics
+    /// Panics if the task was removed.
+    pub fn leaf_of(&self, task: usize) -> usize {
+        assert!(self.active[task], "task {task} was removed");
+        self.leaf_of[task] as usize
+    }
+
+    /// Per-leaf loads.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Worst leaf load (capacity is 1.0).
+    pub fn max_load(&self) -> f64 {
+        self.loads.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total placement mutations so far (initial placements, relocations,
+    /// rebalance moves) — the re-pinning churn.
+    pub fn churn(&self) -> u64 {
+        self.moves
+    }
+
+    /// Current Equation-1 cost.
+    pub fn cost(&self) -> f64 {
+        let mut c = 0.0;
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            if !self.active[u] {
+                continue;
+            }
+            for &(v, w) in nbrs {
+                let v = v as usize;
+                if self.active[v] && u < v {
+                    c += w
+                        * self
+                            .h
+                            .edge_multiplier(self.leaf_of[u] as usize, self.leaf_of[v] as usize);
+                }
+            }
+        }
+        c
+    }
+
+    fn marginal(&self, task: usize, leaf: usize) -> f64 {
+        self.adj[task]
+            .iter()
+            .filter(|&&(v, _)| self.active[v as usize])
+            .map(|&(v, w)| w * self.h.edge_multiplier(leaf, self.leaf_of[v as usize] as usize))
+            .sum()
+    }
+
+    fn best_leaf(&self, task: usize, demand: f64) -> usize {
+        let k = self.h.num_leaves();
+        let mut best = usize::MAX;
+        let mut best_cost = f64::INFINITY;
+        for leaf in 0..k {
+            if self.loads[leaf] + demand > 1.0 + 1e-9 {
+                continue;
+            }
+            let c = self.marginal(task, leaf);
+            if c < best_cost - 1e-15 {
+                best_cost = c;
+                best = leaf;
+            }
+        }
+        if best == usize::MAX {
+            // overloaded: least-loaded leaf, violation accepted and visible
+            (0..k)
+                .min_by(|&a, &b| self.loads[a].partial_cmp(&self.loads[b]).unwrap())
+                .unwrap()
+        } else {
+            best
+        }
+    }
+
+    /// Adds a task with edges to existing tasks; returns its id.
+    ///
+    /// # Panics
+    /// Panics on an invalid demand or a neighbour that is absent/removed.
+    pub fn add_task(&mut self, demand: f64, neighbors: &[(usize, f64)]) -> usize {
+        assert!(demand > 0.0 && demand <= 1.0, "demand must be in (0,1]");
+        let id = self.demands.len();
+        for &(v, w) in neighbors {
+            assert!(v < id && self.active[v], "neighbour {v} not placeable");
+            assert!(w >= 0.0);
+        }
+        self.demands.push(demand);
+        self.active.push(true);
+        self.adj.push(neighbors.iter().map(|&(v, w)| (v as u32, w)).collect());
+        for &(v, w) in neighbors {
+            self.adj[v].push((id as u32, w));
+        }
+        self.leaf_of.push(0);
+        let leaf = self.best_leaf(id, demand);
+        self.leaf_of[id] = leaf as u32;
+        self.loads[leaf] += demand;
+        self.moves += 1;
+        id
+    }
+
+    /// Removes a task, freeing its capacity. Its id is never reused.
+    pub fn remove_task(&mut self, task: usize) {
+        assert!(self.active[task], "task {task} already removed");
+        self.active[task] = false;
+        self.loads[self.leaf_of[task] as usize] -= self.demands[task];
+    }
+
+    /// Changes a task's demand; relocates it (best-fit) only if its leaf
+    /// overflows.
+    pub fn update_demand(&mut self, task: usize, demand: f64) {
+        assert!(self.active[task]);
+        assert!(demand > 0.0 && demand <= 1.0);
+        let leaf = self.leaf_of[task] as usize;
+        self.loads[leaf] += demand - self.demands[task];
+        self.demands[task] = demand;
+        if self.loads[leaf] > 1.0 + 1e-9 {
+            self.loads[leaf] -= demand;
+            let new_leaf = self.best_leaf(task, demand);
+            self.leaf_of[task] = new_leaf as u32;
+            self.loads[new_leaf] += demand;
+            if new_leaf != leaf {
+                self.moves += 1;
+            }
+        }
+    }
+
+    /// One bounded local-search pass: strictly-improving single-task moves
+    /// in task order, at most `max_moves` of them. Returns `(moves made,
+    /// cost gained)`.
+    pub fn rebalance(&mut self, max_moves: usize) -> (usize, f64) {
+        let k = self.h.num_leaves();
+        let mut made = 0usize;
+        let mut gained = 0.0;
+        for t in 0..self.demands.len() {
+            if made >= max_moves {
+                break;
+            }
+            if !self.active[t] {
+                continue;
+            }
+            let from = self.leaf_of[t] as usize;
+            let d = self.demands[t];
+            let cur = self.marginal(t, from);
+            let mut best = from;
+            let mut best_cost = cur;
+            for leaf in 0..k {
+                if leaf == from || self.loads[leaf] + d > 1.0 + 1e-9 {
+                    continue;
+                }
+                let c = self.marginal(t, leaf);
+                if c < best_cost - 1e-12 {
+                    best_cost = c;
+                    best = leaf;
+                }
+            }
+            if best != from {
+                self.loads[from] -= d;
+                self.loads[best] += d;
+                self.leaf_of[t] = best as u32;
+                self.moves += 1;
+                made += 1;
+                gained += cur - best_cost;
+            }
+        }
+        (made, gained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::Graph;
+    use hgp_hierarchy::presets;
+
+    fn machine() -> Hierarchy {
+        presets::multicore(2, 2, 4.0, 1.0)
+    }
+
+    #[test]
+    fn heavy_neighbors_colocate_on_arrival() {
+        let mut p = DynamicPlacer::new(machine());
+        let a = p.add_task(0.4, &[]);
+        let b = p.add_task(0.4, &[(a, 10.0)]);
+        assert_eq!(p.leaf_of(a), p.leaf_of(b), "heavy pair should share a leaf");
+        assert_eq!(p.cost(), 0.0);
+    }
+
+    #[test]
+    fn capacity_forces_spread() {
+        let mut p = DynamicPlacer::new(machine());
+        let a = p.add_task(0.8, &[]);
+        let b = p.add_task(0.8, &[(a, 5.0)]);
+        assert_ne!(p.leaf_of(a), p.leaf_of(b));
+        // but they should at least share a socket (multiplier 1 not 4)
+        assert_eq!(p.leaf_of(a) / 2, p.leaf_of(b) / 2);
+        assert!((p.cost() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn removal_frees_capacity() {
+        let mut p = DynamicPlacer::new(machine());
+        let a = p.add_task(0.9, &[]);
+        let leaf = p.leaf_of(a);
+        p.remove_task(a);
+        assert!(p.loads()[leaf].abs() < 1e-12);
+        assert_eq!(p.num_active(), 0);
+        let b = p.add_task(0.9, &[]);
+        assert_eq!(p.leaf_of(b), leaf, "freed leaf is reusable");
+    }
+
+    #[test]
+    fn demand_growth_relocates_on_overflow() {
+        let mut p = DynamicPlacer::new(machine());
+        let a = p.add_task(0.5, &[]);
+        let b = p.add_task(0.5, &[(a, 1.0)]);
+        assert_eq!(p.leaf_of(a), p.leaf_of(b));
+        p.update_demand(b, 0.9);
+        assert_ne!(p.leaf_of(a), p.leaf_of(b), "overflow must relocate");
+        assert!(p.max_load() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn rebalance_improves_seeded_placement() {
+        // seed a deliberately bad placement and let rebalance fix it
+        let g = Graph::from_edges(4, &[(0, 1, 5.0), (2, 3, 5.0)]);
+        let inst = Instance::uniform(g, 0.4);
+        let h = machine();
+        let bad = Assignment::new(vec![0, 3, 1, 2], &h);
+        let mut p = DynamicPlacer::with_initial(h, &inst, &bad);
+        let before = p.cost();
+        let (made, gained) = p.rebalance(10);
+        assert!(made > 0);
+        assert!((before - p.cost() - gained).abs() < 1e-9);
+        assert!(p.cost() < before);
+    }
+
+    #[test]
+    fn churn_is_tracked() {
+        let mut p = DynamicPlacer::new(machine());
+        let a = p.add_task(0.3, &[]);
+        let _b = p.add_task(0.3, &[(a, 1.0)]);
+        assert_eq!(p.churn(), 2);
+        p.update_demand(a, 0.4); // no overflow -> no move
+        assert_eq!(p.churn(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not placeable")]
+    fn edges_to_removed_tasks_rejected() {
+        let mut p = DynamicPlacer::new(machine());
+        let a = p.add_task(0.3, &[]);
+        p.remove_task(a);
+        p.add_task(0.3, &[(a, 1.0)]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Problem instances: a task graph with per-task CPU demands.
+
+use hgp_graph::Graph;
+use hgp_hierarchy::Hierarchy;
+
+/// An HGP instance: the communication graph `G` plus vertex demands
+/// `d : V → (0, 1]` (fraction of one leaf's capacity each task consumes).
+#[derive(Clone, Debug)]
+pub struct Instance {
+    graph: Graph,
+    demands: Vec<f64>,
+}
+
+/// Why an instance cannot be scheduled on a given hierarchy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Infeasibility {
+    /// Total demand exceeds the number of leaves `k` (no assignment without
+    /// capacity violation can exist).
+    TotalDemand {
+        /// Sum of all task demands.
+        total: f64,
+        /// Number of leaves.
+        leaves: usize,
+    },
+}
+
+impl std::fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Infeasibility::TotalDemand { total, leaves } => write!(
+                f,
+                "total demand {total} exceeds the {leaves} unit-capacity leaves"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Infeasibility {}
+
+impl Instance {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    /// Panics if `demands.len() != graph.num_nodes()` or any demand lies
+    /// outside `(0, 1]`.
+    pub fn new(graph: Graph, demands: Vec<f64>) -> Self {
+        assert_eq!(
+            demands.len(),
+            graph.num_nodes(),
+            "one demand per graph node"
+        );
+        assert!(
+            demands.iter().all(|&d| d > 0.0 && d <= 1.0),
+            "demands must lie in (0, 1]"
+        );
+        Self { graph, demands }
+    }
+
+    /// Instance with every task demanding the same `demand`.
+    pub fn uniform(graph: Graph, demand: f64) -> Self {
+        let n = graph.num_nodes();
+        Self::new(graph, vec![demand; n])
+    }
+
+    /// The k-BGP convention: `n` tasks on `k` parts, each task demanding
+    /// `k/n`-th... i.e. each leaf holds `n/k` tasks, so `d(v) = k/n`.
+    pub fn kbgp(graph: Graph, k: usize) -> Self {
+        let n = graph.num_nodes();
+        assert!(n >= 1 && k >= 1);
+        Self::uniform(graph, (k as f64 / n as f64).min(1.0))
+    }
+
+    /// The communication graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Demand of task `v`.
+    #[inline]
+    pub fn demand(&self, v: usize) -> f64 {
+        self.demands[v]
+    }
+
+    /// All demands.
+    #[inline]
+    pub fn demands(&self) -> &[f64] {
+        &self.demands
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Sum of all demands.
+    pub fn total_demand(&self) -> f64 {
+        self.demands.iter().sum()
+    }
+
+    /// Checks the instance can in principle fit on `h` (total demand at
+    /// most `k`).
+    pub fn check_feasible(&self, h: &Hierarchy) -> Result<(), Infeasibility> {
+        let total = self.total_demand();
+        if total > h.num_leaves() as f64 + 1e-9 {
+            Err(Infeasibility::TotalDemand {
+                total,
+                leaves: h.num_leaves(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::Graph;
+    use hgp_hierarchy::presets;
+
+    fn g3() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)])
+    }
+
+    #[test]
+    fn uniform_demands() {
+        let inst = Instance::uniform(g3(), 0.5);
+        assert_eq!(inst.num_tasks(), 3);
+        assert!((inst.total_demand() - 1.5).abs() < 1e-12);
+        assert!((inst.demand(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kbgp_convention() {
+        // 3 tasks, 3 parts: each task demands 1 (one per leaf)
+        let inst = Instance::kbgp(g3(), 3);
+        assert!((inst.demand(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility() {
+        let inst = Instance::uniform(g3(), 1.0);
+        assert!(inst.check_feasible(&presets::flat(3)).is_ok());
+        let err = inst.check_feasible(&presets::flat(2)).unwrap_err();
+        assert!(matches!(err, Infeasibility::TotalDemand { leaves: 2, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "demands must lie in (0, 1]")]
+    fn rejects_oversized_demand() {
+        Instance::new(g3(), vec![0.5, 2.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one demand per graph node")]
+    fn rejects_wrong_demand_count() {
+        Instance::new(g3(), vec![0.5, 0.5]);
+    }
+}

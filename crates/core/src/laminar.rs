@@ -1,0 +1,205 @@
+//! Reconstructing the laminar family `S⁽¹⁾, …, S⁽ʰ⁾` (Definition 4) from an
+//! edge labelling produced by the DP.
+//!
+//! The Level-`j` sets are the leaf contents of the connected components of
+//! the forest retaining exactly the edges with cut level `≥ j`. Because the
+//! edge sets shrink as `j` grows, the family is laminar (each Level-`j+1`
+//! set refines a Level-`j` set) by construction.
+
+use hgp_graph::tree::RootedTree;
+use hgp_graph::unionfind::UnionFind;
+
+/// The per-level partition of a tree's leaves.
+#[derive(Clone, Debug)]
+pub struct LevelSets {
+    /// `sets[j-1][s]` = tree-leaf ids of the `s`-th Level-`j` set.
+    pub sets: Vec<Vec<Vec<u32>>>,
+    /// `set_of[j-1][v]` = index of the Level-`j` set containing leaf `v`
+    /// (`u32::MAX` for non-leaf nodes).
+    pub set_of: Vec<Vec<u32>>,
+}
+
+impl LevelSets {
+    /// Number of levels `h`.
+    pub fn height(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Number of sets at level `j`.
+    pub fn count_at_level(&self, j: usize) -> usize {
+        self.sets[j - 1].len()
+    }
+
+    /// Checks Definition 4's structural invariants: the Level-`j` sets
+    /// partition the leaves and every Level-`j+1` set is contained in a
+    /// single Level-`j` set. Used by tests and debug assertions.
+    pub fn check_laminar(&self, num_leaves: usize) -> Result<(), String> {
+        for (idx, level) in self.sets.iter().enumerate() {
+            let total: usize = level.iter().map(|s| s.len()).sum();
+            if total != num_leaves {
+                return Err(format!(
+                    "level {} covers {total} of {num_leaves} leaves",
+                    idx + 1
+                ));
+            }
+        }
+        for j in 1..self.sets.len() {
+            for set in &self.sets[j] {
+                let parent = self.set_of[j - 1][set[0] as usize];
+                if set
+                    .iter()
+                    .any(|&v| self.set_of[j - 1][v as usize] != parent)
+                {
+                    return Err(format!(
+                        "a level-{} set spans multiple level-{} sets",
+                        j + 1,
+                        j
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the per-level leaf partition from the DP's edge labelling.
+pub fn build_level_sets(tree: &RootedTree, cut_level: &[u8], h: usize) -> LevelSets {
+    let n = tree.num_nodes();
+    assert_eq!(cut_level.len(), n);
+    let leaves: Vec<usize> = tree.leaves();
+    let mut uf = UnionFind::new(n);
+    let mut sets_rev: Vec<Vec<Vec<u32>>> = Vec::with_capacity(h);
+    let mut set_of_rev: Vec<Vec<u32>> = Vec::with_capacity(h);
+
+    // group edges by label so each sweep is O(edges at that label)
+    let mut by_label: Vec<Vec<u32>> = vec![Vec::new(); h + 1];
+    for v in 0..n {
+        if tree.parent(v).is_some() {
+            by_label[cut_level[v] as usize].push(v as u32);
+        }
+    }
+
+    for j in (1..=h).rev() {
+        // edges with label >= j are present at level j; those with label > j
+        // were added in earlier (deeper) iterations.
+        for &v in &by_label[j] {
+            let v = v as usize;
+            uf.union(v, tree.parent(v).expect("non-root"));
+        }
+        // snapshot components containing leaves
+        let mut set_of = vec![u32::MAX; n];
+        let mut root_to_set: Vec<(usize, u32)> = Vec::new();
+        let mut sets: Vec<Vec<u32>> = Vec::new();
+        for &leaf in &leaves {
+            let r = uf.find(leaf);
+            let id = match root_to_set.iter().find(|&&(rr, _)| rr == r) {
+                Some(&(_, id)) => id,
+                None => {
+                    let id = sets.len() as u32;
+                    root_to_set.push((r, id));
+                    sets.push(Vec::new());
+                    id
+                }
+            };
+            set_of[leaf] = id;
+            sets[id as usize].push(leaf as u32);
+        }
+        sets_rev.push(sets);
+        set_of_rev.push(set_of);
+    }
+    sets_rev.reverse();
+    set_of_rev.reverse();
+    LevelSets {
+        sets: sets_rev,
+        set_of: set_of_rev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::tree::TreeBuilder;
+
+    /// root -- l -- {l1, l2}; root -- r -- {r1, r2}
+    fn two_groups() -> (RootedTree, [usize; 4]) {
+        let mut b = TreeBuilder::new_root();
+        let l = b.add_child(0, 1.0);
+        let r = b.add_child(0, 1.0);
+        let l1 = b.add_child(l, 1.0);
+        let l2 = b.add_child(l, 1.0);
+        let r1 = b.add_child(r, 1.0);
+        let r2 = b.add_child(r, 1.0);
+        (b.build(), [l1, l2, r1, r2])
+    }
+
+    #[test]
+    fn builds_expected_two_level_family() {
+        let (t, [l1, l2, r1, r2]) = two_groups();
+        let h = 2;
+        // labels: l-edge cut at level 0 (separated everywhere), leaves:
+        // l1 keeps (2), l2 cut at level 1, r-side symmetric via r-edge kept.
+        let mut labels = vec![2u8; t.num_nodes()];
+        labels[1] = 0; // l edge
+        labels[l2] = 1;
+        labels[r2] = 1;
+        let ls = build_level_sets(&t, &labels, h);
+        ls.check_laminar(4).unwrap();
+        // level 1: {l1,l2} and {r1,r2}
+        assert_eq!(ls.count_at_level(1), 2);
+        assert_eq!(ls.set_of[0][l1], ls.set_of[0][l2]);
+        assert_eq!(ls.set_of[0][r1], ls.set_of[0][r2]);
+        assert_ne!(ls.set_of[0][l1], ls.set_of[0][r1]);
+        // level 2: l1 | l2 | r1 | r2 all singletons? l1 kept with l (no other
+        // leaf), l2 cut alone, r1 connected to root side, r2 alone
+        assert_eq!(ls.count_at_level(2), 4);
+    }
+
+    #[test]
+    fn all_kept_is_single_set_per_level() {
+        let (t, _) = two_groups();
+        let labels = vec![2u8; t.num_nodes()];
+        let ls = build_level_sets(&t, &labels, 2);
+        ls.check_laminar(4).unwrap();
+        assert_eq!(ls.count_at_level(1), 1);
+        assert_eq!(ls.count_at_level(2), 1);
+    }
+
+    #[test]
+    fn all_cut_gives_singletons() {
+        let (t, _) = two_groups();
+        let mut labels = vec![0u8; t.num_nodes()];
+        labels[t.root()] = 2;
+        let ls = build_level_sets(&t, &labels, 2);
+        ls.check_laminar(4).unwrap();
+        assert_eq!(ls.count_at_level(1), 4);
+        assert_eq!(ls.count_at_level(2), 4);
+    }
+
+    #[test]
+    fn laminar_violation_detected() {
+        // hand-build an inconsistent LevelSets and ensure the check trips
+        let bad = LevelSets {
+            sets: vec![
+                vec![vec![0, 1], vec![2]],
+                vec![vec![0, 2], vec![1]], // {0,2} spans two level-1 sets
+            ],
+            set_of: vec![
+                {
+                    let mut s = vec![u32::MAX; 5];
+                    s[0] = 0;
+                    s[1] = 0;
+                    s[2] = 1;
+                    s
+                },
+                {
+                    let mut s = vec![u32::MAX; 5];
+                    s[0] = 0;
+                    s[1] = 1;
+                    s[2] = 0;
+                    s
+                },
+            ],
+        };
+        assert!(bad.check_laminar(3).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Hierarchical graph partitioning — the SPAA'14 algorithm.
+//!
+//! This crate implements the paper's primary contribution end to end:
+//!
+//! * [`Instance`] / [`Assignment`] — problem and solution types with the
+//!   Equation-1 cost and per-level capacity diagnostics;
+//! * [`Rounding`] — the `(1+ε)` demand grid (Theorem 2's rounding step);
+//! * [`relaxed`] — the signature dynamic program solving the relaxed
+//!   problem RHGPT exactly on rounded demands (Theorem 4);
+//! * [`laminar`] — reconstruction of the level-set family `S⁽⁰⁾…S⁽ʰ⁾`
+//!   (Definition 4) from the DP's edge labelling;
+//! * [`repair`] — Theorem 5's fan-out repair via LPT packing, giving the
+//!   `(1+h)` capacity factor;
+//! * [`tree_solver`] — the full HGPT pipeline ([`solve_tree_instance`] for
+//!   tree-shaped communication graphs);
+//! * [`solver`] — HGP on arbitrary graphs: embed into a distribution of
+//!   decomposition trees (Theorem 6/7), solve each tree, keep the best
+//!   assignment when mapped back to `G` (Theorem 1);
+//! * [`exact`] — a branch-and-bound reference optimum for small instances;
+//! * [`cost`] — Equation-3 mirror costs and minimum leaf-separating tree
+//!   cuts, used to validate Lemmas 1–2 and Corollaries 2–3.
+
+#![warn(missing_docs)]
+
+mod assignment;
+pub mod bounds;
+pub mod cost;
+pub mod exact;
+mod instance;
+pub mod incremental;
+pub mod kbgp;
+pub mod laminar;
+pub mod relaxed;
+pub mod repair;
+mod rounding;
+pub mod solver;
+pub mod tree_solver;
+
+pub use assignment::{Assignment, ViolationReport};
+pub use instance::{Infeasibility, Instance};
+pub use rounding::Rounding;
+pub use tree_solver::{solve_tree_instance, SolveError, TreeSolveReport};

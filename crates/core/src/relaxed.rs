@@ -1,0 +1,563 @@
+//! The signature dynamic program for the Relaxed HGP on Trees (RHGPT),
+//! §3 of the paper (Definition 8, Definition 9, Claim 1).
+//!
+//! # Formulation
+//!
+//! A solution to RHGPT assigns every tree edge `e` a *cut level*
+//! `j_e ∈ {0, …, h}`: the edge is kept at levels `1..=j_e` and cut at
+//! levels `j_e+1..=h`. The Level-`j` sets of Definition 4 are then the
+//! leaf contents of the connected components of the forest containing the
+//! edges with `j_e ≥ j`; the laminar/refinement constraints hold by
+//! construction, and Theorem 3 (nice solutions) guarantees some optimal
+//! RHGPT solution has this component form.
+//!
+//! The certificate cost of a labelling charges, for every edge `e` and
+//! every level `k > j_e` at which the component below `e` is non-empty,
+//! `w(e) · (cm(k-1) - cm(k))` — i.e. a cut edge pays both `hd(k)` halves
+//! of Equation 3, one for the set on each side. Corollary 2 (certificate ≥
+//! true mirror cost) and Corollary 3 (equality at the optimum) of the paper
+//! justify optimising this certificate.
+//!
+//! # The DP
+//!
+//! Processing the tree bottom-up, the subproblem state at node `v` is the
+//! *signature* `(D⁽¹⁾, …, D⁽ʰ⁾)`: the rounded demand of the `(v, j)`-active
+//! set (the component currently containing `v`) per level. Children are
+//! folded in one at a time — folding child `c` with cut level `j` adds
+//! `c`'s signature prefix `1..=j` to `v`'s (Definition 9's
+//! `(j₁, j₂)`-consistency) and pays the suffix charges. Folding children
+//! sequentially is exactly the paper's binarised merge with dummy nodes,
+//! without materialising the dummies.
+//!
+//! Signatures are packed into `u64` (16-bit lane per level, `h ≤ 4`);
+//! tables use a deterministic FxHash-style hasher so runs are reproducible.
+
+#![allow(clippy::needless_range_loop)] // parallel-array indexing is clearer here
+use hgp_graph::tree::RootedTree;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Maximum supported hierarchy height (signature lanes in a `u64`).
+pub const MAX_HEIGHT: usize = 4;
+
+/// Deterministic multiplicative hasher (FxHash-style) for `u64` signature
+/// keys — fast, and reproducible across runs unlike `RandomState`.
+#[derive(Default)]
+pub struct FxHasher64 {
+    state: u64,
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+}
+
+/// HashMap with the deterministic hasher.
+pub type FxMap<V> = HashMap<u64, V, BuildHasherDefault<FxHasher64>>;
+
+/// Reads lane `k` (level `k+1`) of a packed signature.
+#[inline]
+pub fn sig_lane(sig: u64, k: usize) -> u32 {
+    ((sig >> (16 * k)) & 0xFFFF) as u32
+}
+
+/// Writes lane `k` of a packed signature.
+#[inline]
+pub fn sig_with_lane(sig: u64, k: usize, value: u32) -> u64 {
+    debug_assert!(value <= u16::MAX as u32);
+    (sig & !(0xFFFFu64 << (16 * k))) | ((value as u64) << (16 * k))
+}
+
+/// Unpacks a signature into per-level demands `[D⁽¹⁾, …, D⁽ʰ⁾]`.
+pub fn sig_unpack(sig: u64, h: usize) -> Vec<u32> {
+    (0..h).map(|k| sig_lane(sig, k)).collect()
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Step {
+    cost: f64,
+    prev: u64,
+    child_sig: u64,
+    j: u8,
+}
+
+/// Output of [`solve_relaxed`].
+#[derive(Clone, Debug)]
+pub struct RelaxedSolution {
+    /// `cut_level[v]` for non-root `v` = the cut level `j_e` of the edge
+    /// between `v` and its parent (`h` = never cut). `cut_level[root] = h`.
+    pub cut_level: Vec<u8>,
+    /// Optimal certificate cost (with normalised multipliers; add
+    /// `cm(h) · Σ_e w(e)` to translate to un-normalised cost — Lemma 1).
+    pub cost: f64,
+    /// The root signature realising the optimum.
+    pub root_signature: Vec<u32>,
+    /// Total number of DP table entries created (size diagnostic for the
+    /// `O(n · D^{3h+2})` running-time experiment T4).
+    pub table_entries: usize,
+}
+
+/// Solves RHGPT exactly on rounded demands.
+///
+/// * `tree` — rooted tree whose leaves carry tasks; infinite edge weights
+///   mark uncuttable edges (dummy attachments).
+/// * `leaf_units[v]` — rounded demand (≥ 1) of leaf `v`; ignored for
+///   internal nodes.
+/// * `caps[k]` — rounded capacity of Level-`k+1` sets (`CP(k+1)·Δ`).
+/// * `deltas[k] = cm(k) - cm(k+1)` — the per-level cut charges.
+///
+/// Returns `None` when no labelling satisfies the capacities (e.g. the
+/// rounded total exceeds `CP(1)·Δ · DEG(0)` worth of room).
+///
+/// # Panics
+/// Panics if `caps` is empty or longer than [`MAX_HEIGHT`], if any capacity
+/// exceeds the 16-bit lane, or if a delta is negative.
+pub fn solve_relaxed(
+    tree: &RootedTree,
+    leaf_units: &[u32],
+    caps: &[u32],
+    deltas: &[f64],
+) -> Option<RelaxedSolution> {
+    let h = caps.len();
+    assert!((1..=MAX_HEIGHT).contains(&h), "height must be in 1..=4");
+    assert_eq!(deltas.len(), h);
+    assert!(caps.iter().all(|&c| c <= u16::MAX as u32));
+    assert!(deltas.iter().all(|&d| d >= 0.0 && d.is_finite()));
+    let n = tree.num_nodes();
+    assert_eq!(leaf_units.len(), n);
+
+    // steps[v][i]: fold table after absorbing child i of v.
+    let mut steps: Vec<Vec<FxMap<Step>>> = vec![Vec::new(); n];
+    // finals[v]: signature -> best cost for the subtree of v.
+    let mut finals: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
+    let mut table_entries = 0usize;
+
+    for v in tree.postorder() {
+        if tree.is_leaf(v) {
+            let d = leaf_units[v];
+            assert!(d >= 1, "leaf {v} has zero rounded demand");
+            if (0..h).any(|k| d > caps[k]) {
+                return None; // a single task exceeds some level capacity
+            }
+            let mut sig = 0u64;
+            for k in 0..h {
+                sig = sig_with_lane(sig, k, d);
+            }
+            finals[v] = vec![(sig, 0.0)];
+            table_entries += 1;
+            continue;
+        }
+
+        let mut cur: Vec<(u64, f64)> = vec![(0, 0.0)];
+        let kids = tree.children(v).to_vec();
+        let mut node_steps = Vec::with_capacity(kids.len());
+        for &c in &kids {
+            let c = c as usize;
+            let w = tree.edge_weight(c);
+            let mut next: FxMap<Step> = FxMap::default();
+            for &(csig, ccost) in &finals[c] {
+                // suffix charge: suf[j] = Σ_{k ≥ j, lane(csig,k) > 0} w·δ(k)
+                let mut suf = [0.0f64; MAX_HEIGHT + 1];
+                if !w.is_infinite() {
+                    for k in (0..h).rev() {
+                        suf[k] = suf[k + 1]
+                            + if sig_lane(csig, k) > 0 { w * deltas[k] } else { 0.0 };
+                    }
+                }
+                let j_lo = if w.is_infinite() { h } else { 0 };
+                for j in j_lo..=h {
+                    for &(cursig, curcost) in &cur {
+                        // merge lanes 0..j (levels 1..=j stay connected)
+                        let mut merged = cursig;
+                        let mut ok = true;
+                        for k in 0..j {
+                            let m = sig_lane(cursig, k) + sig_lane(csig, k);
+                            if m > caps[k] {
+                                ok = false;
+                                break;
+                            }
+                            merged = sig_with_lane(merged, k, m);
+                        }
+                        if !ok {
+                            continue;
+                        }
+                        let cost = curcost + ccost + suf[j];
+                        match next.entry(merged) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                if cost < e.get().cost {
+                                    e.insert(Step {
+                                        cost,
+                                        prev: cursig,
+                                        child_sig: csig,
+                                        j: j as u8,
+                                    });
+                                }
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(Step {
+                                    cost,
+                                    prev: cursig,
+                                    child_sig: csig,
+                                    j: j as u8,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                return None; // capacity-infeasible below v
+            }
+            pareto_prune(&mut next, h);
+            table_entries += next.len();
+            cur = next.iter().map(|(&s, st)| (s, st.cost)).collect();
+            // deterministic order for reproducible tie-breaking downstream
+            cur.sort_unstable_by_key(|a| a.0);
+            node_steps.push(next);
+        }
+        finals[v] = cur;
+        steps[v] = node_steps;
+    }
+
+    // pick the best root signature
+    let root = tree.root();
+    let (best_sig, best_cost) = match finals[root]
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+    {
+        Some(&(s, c)) => (s, c),
+        None => return None,
+    };
+
+    // walk backpointers to label every edge
+    let mut cut_level = vec![h as u8; n];
+    let mut stack = vec![(root, best_sig)];
+    let root_signature = sig_unpack(best_sig, h);
+    while let Some((v, sig)) = stack.pop() {
+        if tree.is_leaf(v) {
+            continue;
+        }
+        let kids = tree.children(v);
+        let mut s = sig;
+        for i in (0..kids.len()).rev() {
+            let step = steps[v][i]
+                .get(&s)
+                .expect("backpointer chain must be complete");
+            let c = kids[i] as usize;
+            cut_level[c] = step.j;
+            stack.push((c, step.child_sig));
+            s = step.prev;
+        }
+        debug_assert_eq!(s, 0, "fold chain must start from the empty signature");
+    }
+
+    Some(RelaxedSolution {
+        cut_level,
+        cost: best_cost,
+        root_signature,
+        table_entries,
+    })
+}
+
+/// Fenwick tree over lane values supporting prefix minimum queries.
+struct PrefixMin {
+    data: Vec<f64>,
+}
+
+impl PrefixMin {
+    fn new(n: usize) -> Self {
+        Self {
+            data: vec![f64::INFINITY; n + 1],
+        }
+    }
+    /// min over indices `0..=i`.
+    fn query(&self, i: usize) -> f64 {
+        let mut i = i + 1;
+        let mut m = f64::INFINITY;
+        while i > 0 {
+            m = m.min(self.data[i]);
+            i -= i & i.wrapping_neg();
+        }
+        m
+    }
+    fn update(&mut self, i: usize, v: f64) {
+        let mut i = i + 1;
+        while i < self.data.len() {
+            if v < self.data[i] {
+                self.data[i] = v;
+            }
+            i += i & i.wrapping_neg();
+        }
+    }
+}
+
+/// Removes Pareto-dominated entries: signature `A` dominates `B` when every
+/// lane of `A` is ≤ the corresponding lane of `B` and `cost(A) ≤ cost(B)`.
+/// Dominated states can never appear in an optimal completion (future folds
+/// only *add* sibling demands and charge levels whose lanes are non-zero,
+/// both monotone in the lane values), so pruning them is lossless. This is
+/// what keeps fine rounding grids tractable — the paper's `D^h` signature
+/// domain collapses to its Pareto frontier.
+fn pareto_prune(table: &mut FxMap<Step>, h: usize) {
+    let n = table.len();
+    if n <= 1 {
+        return;
+    }
+    let mut entries: Vec<(u64, f64)> = table.iter().map(|(&s, st)| (s, st.cost)).collect();
+    match h {
+        1 => {
+            // sort by lane0 asc, cost asc; keep strict prefix-min in cost
+            entries.sort_unstable_by(|a, b| {
+                a.0.cmp(&b.0)
+                    .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            });
+            let mut best = f64::INFINITY;
+            for (sig, cost) in entries {
+                if cost >= best {
+                    table.remove(&sig);
+                } else {
+                    best = cost;
+                }
+            }
+        }
+        2 => {
+            // sort by (lane0, lane1, cost); Fenwick prefix-min over lane1
+            entries.sort_unstable_by(|a, b| {
+                let (a0, a1) = (sig_lane(a.0, 0), sig_lane(a.0, 1));
+                let (b0, b1) = (sig_lane(b.0, 0), sig_lane(b.0, 1));
+                (a0, a1)
+                    .cmp(&(b0, b1))
+                    .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            });
+            let max_lane1 = entries
+                .iter()
+                .map(|e| sig_lane(e.0, 1))
+                .max()
+                .unwrap_or(0) as usize;
+            let mut fen = PrefixMin::new(max_lane1 + 1);
+            for (sig, cost) in entries {
+                let l1 = sig_lane(sig, 1) as usize;
+                if fen.query(l1) <= cost {
+                    table.remove(&sig);
+                } else {
+                    fen.update(l1, cost);
+                }
+            }
+        }
+        _ => {
+            // h in {3, 4}: quadratic sweep, bounded to modest tables
+            if n > 6000 {
+                return;
+            }
+            entries.sort_unstable_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            let mut kept: Vec<u64> = Vec::new();
+            'outer: for (sig, _) in entries {
+                // earlier entries have lower cost: dominated iff some kept
+                // entry is lane-wise <= sig
+                for &k in &kept {
+                    let mut dom = true;
+                    for lane in 0..h {
+                        if sig_lane(k, lane) > sig_lane(sig, lane) {
+                            dom = false;
+                            break;
+                        }
+                    }
+                    if dom {
+                        table.remove(&sig);
+                        continue 'outer;
+                    }
+                }
+                kept.push(sig);
+            }
+        }
+    }
+}
+
+/// Recomputes the certificate cost of an edge labelling from scratch
+/// (test oracle for the DP's incremental accounting): for every edge `e`
+/// and level `k > j_e` at which the component below `e` contains at least
+/// one leaf, charge `w(e) · δ(k)`.
+pub fn labelling_cost(
+    tree: &RootedTree,
+    leaf_units: &[u32],
+    cut_level: &[u8],
+    deltas: &[f64],
+) -> f64 {
+    let h = deltas.len();
+    let n = tree.num_nodes();
+    // component-below demand per level: D[v][k] = demand of the component
+    // containing v inside subtree(v) at level k+1.
+    let mut demand = vec![vec![0u64; h]; n];
+    let mut cost = 0.0;
+    for v in tree.postorder() {
+        if tree.is_leaf(v) {
+            for k in 0..h {
+                demand[v][k] = leaf_units[v] as u64;
+            }
+            continue;
+        }
+        for &c in tree.children(v) {
+            let c = c as usize;
+            let w = tree.edge_weight(c);
+            let j = cut_level[c] as usize;
+            for k in 0..h {
+                // lane k = level k+1; kept iff k+1 <= j
+                if k < j {
+                    demand[v][k] += demand[c][k];
+                } else if demand[c][k] > 0 {
+                    cost += w * deltas[k];
+                }
+            }
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::tree::TreeBuilder;
+
+    /// h=1, caps=[2Δ? ] simple star of two leaves under root.
+    #[test]
+    fn two_leaf_star_separates_on_cheap_edge() {
+        // root with leaves a (edge 1.0) and b (edge 3.0)
+        let mut b = TreeBuilder::new_root();
+        let a = b.add_child(0, 1.0);
+        let bb = b.add_child(0, 3.0);
+        let t = b.build();
+        let mut units = vec![0u32; t.num_nodes()];
+        units[a] = 1;
+        units[bb] = 1;
+        // h=1, two parts of capacity 1 unit each -> must separate
+        let sol = solve_relaxed(&t, &units, &[1], &[1.0]).unwrap();
+        assert!((sol.cost - 1.0).abs() < 1e-9, "should cut the cheap edge, cost {}", sol.cost);
+        assert_eq!(sol.cut_level[a], 0);
+        assert_eq!(sol.cut_level[bb], 1); // b's edge stays
+        // oracle agrees
+        let oracle = labelling_cost(&t, &units, &sol.cut_level, &[1.0]);
+        assert!((oracle - sol.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_separation_needed_when_capacity_allows() {
+        let mut b = TreeBuilder::new_root();
+        let a = b.add_child(0, 1.0);
+        let bb = b.add_child(0, 3.0);
+        let t = b.build();
+        let mut units = vec![0u32; t.num_nodes()];
+        units[a] = 1;
+        units[bb] = 1;
+        // capacity 2: both fit together
+        let sol = solve_relaxed(&t, &units, &[2], &[1.0]).unwrap();
+        assert!(sol.cost.abs() < 1e-12);
+        assert_eq!(sol.cut_level[a], 1);
+        assert_eq!(sol.cut_level[bb], 1);
+    }
+
+    #[test]
+    fn infeasible_when_task_exceeds_leaf() {
+        let mut b = TreeBuilder::new_root();
+        let a = b.add_child(0, 1.0);
+        let t = b.build();
+        let mut units = vec![0u32; t.num_nodes()];
+        units[a] = 5;
+        assert!(solve_relaxed(&t, &units, &[4], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn infinite_edges_are_never_cut() {
+        // root - d(inf) - {a (1.0), b (1.0)}: separating a and b must cut
+        // their own edges, not the dummy edge.
+        let mut b = TreeBuilder::new_root();
+        let d = b.add_child(0, f64::INFINITY);
+        let a = b.add_child(d, 1.0);
+        let bb = b.add_child(d, 2.0);
+        let t = b.build();
+        let mut units = vec![0u32; t.num_nodes()];
+        units[a] = 1;
+        units[bb] = 1;
+        let sol = solve_relaxed(&t, &units, &[1], &[1.0]).unwrap();
+        // cheapest separation: cut a's edge (1.0)
+        assert!((sol.cost - 1.0).abs() < 1e-9);
+        assert_eq!(sol.cut_level[d], 1, "infinite edge must stay uncut");
+    }
+
+    #[test]
+    fn two_level_prefers_deep_cuts() {
+        // path-ish tree: root with two subtrees of two leaves each;
+        // h = 2: 2 groups x 2 leaves, cm = [10, 1, 0] -> deltas [9, 1]
+        let mut b = TreeBuilder::new_root();
+        let l = b.add_child(0, 1.0);
+        let r = b.add_child(0, 1.0);
+        let l1 = b.add_child(l, 5.0);
+        let l2 = b.add_child(l, 5.0);
+        let r1 = b.add_child(r, 5.0);
+        let r2 = b.add_child(r, 5.0);
+        let t = b.build();
+        let mut units = vec![0u32; t.num_nodes()];
+        for v in [l1, l2, r1, r2] {
+            units[v] = 1;
+        }
+        // caps: level-1 sets hold 2 units, level-2 sets (leaves) hold 1
+        let sol = solve_relaxed(&t, &units, &[2, 1], &[9.0, 1.0]).unwrap();
+        // optimal: keep {l1,l2} and {r1,r2} as level-1 sets (cut the two
+        // cheap root edges at level 0? no—cut them *between* the groups),
+        // and split each pair at level 2 (cut one heavy edge per pair at
+        // level 1).
+        // charges: separating the two groups at level 1 costs the root
+        // edges: cut l-edge at level 0: w=1, pays δ(1)+δ(2)? level-2
+        // separation of the pairs costs one 5.0 edge each at δ(2)=1.
+        // expected: cut level of l or r = 0 pays 1*(9+1)=10; plus leaf
+        // splits: 5*1 per pair = 10 -> total 20. Alternative: everything
+        // split at top = much worse.
+        let oracle = labelling_cost(&t, &units, &sol.cut_level, &[9.0, 1.0]);
+        assert!((oracle - sol.cost).abs() < 1e-9);
+        assert!((sol.cost - 20.0).abs() < 1e-9, "expected 20, got {}", sol.cost);
+    }
+
+    #[test]
+    fn root_signature_is_monotone() {
+        let mut b = TreeBuilder::new_root();
+        let a = b.add_child(0, 1.0);
+        let c = b.add_child(0, 1.0);
+        let t = b.build();
+        let mut units = vec![0u32; t.num_nodes()];
+        units[a] = 1;
+        units[c] = 1;
+        let sol = solve_relaxed(&t, &units, &[2, 1], &[1.0, 1.0]).unwrap();
+        let sig = &sol.root_signature;
+        assert!(sig.windows(2).all(|w| w[0] >= w[1]), "signature {sig:?}");
+    }
+
+    #[test]
+    fn lane_packing_roundtrips() {
+        let mut sig = 0u64;
+        sig = sig_with_lane(sig, 0, 17);
+        sig = sig_with_lane(sig, 2, 65_535);
+        sig = sig_with_lane(sig, 3, 1);
+        assert_eq!(sig_lane(sig, 0), 17);
+        assert_eq!(sig_lane(sig, 1), 0);
+        assert_eq!(sig_lane(sig, 2), 65_535);
+        assert_eq!(sig_unpack(sig, 4), vec![17, 0, 65_535, 1]);
+        sig = sig_with_lane(sig, 2, 3);
+        assert_eq!(sig_lane(sig, 2), 3);
+    }
+}

@@ -1,0 +1,240 @@
+//! Theorem 5: converting a relaxed solution (unbounded fan-out) into a
+//! feasible HGPT assignment.
+//!
+//! A relaxed Level-`j` set may split into arbitrarily many Level-`j+1`
+//! sets, but a Level-`j` hierarchy node only has `DEG(j)` children. Walking
+//! the hierarchy top-down, the child sets of each Level-`j` set are packed
+//! onto the `DEG(j)` children by longest-processing-time (LPT) placement:
+//! sort by demand, place each into the least-loaded child. Child sets that
+//! share a child node are *merged*, which can only lower the Equation-1
+//! cost (their tasks' LCAs move deeper). LPT's `total/m + max item` load
+//! bound yields the `(1+j)·CP(j)` demand guarantee of Theorem 5 by
+//! induction over levels.
+
+use crate::laminar::LevelSets;
+use hgp_hierarchy::Hierarchy;
+
+/// Per-level packing diagnostics from [`repair_assignment`].
+#[derive(Clone, Debug)]
+pub struct RepairStats {
+    /// `max_group_demand[j-1]` = heaviest demand placed on any Level-`j`
+    /// hierarchy node.
+    pub max_group_demand: Vec<f64>,
+    /// `merges[j-1]` = number of relaxed Level-`j` sets merged away by the
+    /// packing (0 means the relaxed solution already respected fan-out).
+    pub merges: Vec<usize>,
+}
+
+/// Bin-selection strategy for the Theorem-5 packing (ablation A3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PackStrategy {
+    /// Longest-processing-time: sort sets by demand descending, place each
+    /// into the least-loaded child. Carries the `(1+j)` proof.
+    #[default]
+    Lpt,
+    /// Index-order first-fit: sets in discovery order, each into the first
+    /// child whose load stays lowest... i.e. least-loaded without sorting.
+    /// Strictly weaker balance guarantee; kept for the ablation.
+    IndexOrder,
+}
+
+/// Packs the laminar family onto hierarchy nodes and returns the leaf
+/// assignment: `leaf_of[v]` = hierarchy leaf of tree leaf `v` (`u32::MAX`
+/// for internal tree nodes), plus packing statistics. Uses LPT packing.
+///
+/// `demand[v]` is the *true* (un-rounded) demand of tree leaf `v`.
+///
+/// # Panics
+/// Panics if the family height disagrees with the hierarchy.
+pub fn repair_assignment(
+    level_sets: &LevelSets,
+    demand: &[f64],
+    h: &Hierarchy,
+) -> (Vec<u32>, RepairStats) {
+    repair_assignment_with(level_sets, demand, h, PackStrategy::Lpt)
+}
+
+/// [`repair_assignment`] with an explicit packing strategy.
+pub fn repair_assignment_with(
+    level_sets: &LevelSets,
+    demand: &[f64],
+    h: &Hierarchy,
+    strategy: PackStrategy,
+) -> (Vec<u32>, RepairStats) {
+    let height = h.height();
+    assert_eq!(level_sets.height(), height, "family height mismatch");
+    let n = demand.len();
+
+    // demand of each set at each level
+    let set_demand: Vec<Vec<f64>> = level_sets
+        .sets
+        .iter()
+        .map(|sets| {
+            sets.iter()
+                .map(|s| s.iter().map(|&v| demand[v as usize]).sum())
+                .collect()
+        })
+        .collect();
+
+    // hnode_of[j-1][set] = index of the Level-j hierarchy node hosting it
+    let mut hnode_of: Vec<Vec<u32>> = Vec::with_capacity(height);
+    let mut max_group_demand = vec![0.0f64; height];
+    let mut merges = vec![0usize; height];
+
+    for j in 1..=height {
+        let sets = &level_sets.sets[j - 1];
+        let deg = h.degree(j - 1);
+        // group child sets by parent hierarchy node
+        let num_parents = h.nodes_at_level(j - 1);
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); num_parents];
+        for (s, set) in sets.iter().enumerate() {
+            let parent_hnode = if j == 1 {
+                0
+            } else {
+                let parent_set = level_sets.set_of[j - 2][set[0] as usize];
+                hnode_of[j - 2][parent_set as usize] as usize
+            };
+            groups[parent_hnode].push(s as u32);
+        }
+        let mut assigned = vec![u32::MAX; sets.len()];
+        for (parent, members) in groups.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let mut order = members.clone();
+            if strategy == PackStrategy::Lpt {
+                // heaviest first into the least-loaded child
+                order.sort_by(|&a, &b| {
+                    set_demand[j - 1][b as usize]
+                        .partial_cmp(&set_demand[j - 1][a as usize])
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
+            }
+            let mut bin_load = vec![0.0f64; deg];
+            if members.len() > deg {
+                merges[j - 1] += members.len() - deg;
+            }
+            for &s in &order {
+                let (bin, _) = bin_load
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+                    .unwrap();
+                bin_load[bin] += set_demand[j - 1][s as usize];
+                assigned[s as usize] = (parent * deg + bin) as u32;
+            }
+            let worst = bin_load.iter().copied().fold(0.0, f64::max);
+            max_group_demand[j - 1] = max_group_demand[j - 1].max(worst);
+        }
+        hnode_of.push(assigned);
+    }
+
+    // leaf assignment from the deepest level
+    let mut leaf_of = vec![u32::MAX; n];
+    for (v, &set) in level_sets.set_of[height - 1].iter().enumerate() {
+        if set != u32::MAX {
+            leaf_of[v] = hnode_of[height - 1][set as usize];
+        }
+    }
+    (
+        leaf_of,
+        RepairStats {
+            max_group_demand,
+            merges,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laminar::build_level_sets;
+    use hgp_graph::tree::TreeBuilder;
+    use hgp_hierarchy::presets;
+
+    #[test]
+    fn relaxed_fanout_is_packed_onto_sockets() {
+        // 4 singleton relaxed level-1 sets must be packed onto 2 sockets
+        // (2 merges), then spread over the cores without further merging.
+        let mut b = TreeBuilder::new_root();
+        let leaves: Vec<usize> = (0..4).map(|_| b.add_child(0, 1.0)).collect();
+        let t = b.build();
+        let mut labels = vec![0u8; t.num_nodes()];
+        labels[t.root()] = 2;
+        let ls = build_level_sets(&t, &labels, 2);
+        let mut demand = vec![0.0; t.num_nodes()];
+        for &l in &leaves {
+            demand[l] = 1.0;
+        }
+        let h = presets::multicore(2, 2, 4.0, 1.0);
+        let (leaf_of, stats) = repair_assignment(&ls, &demand, &h);
+        // every task still lands on its own hierarchy leaf
+        let mut used: Vec<u32> = leaves.iter().map(|&l| leaf_of[l]).collect();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), 4);
+        assert_eq!(stats.merges, vec![2, 0]);
+        assert!((stats.max_group_demand[0] - 2.0).abs() < 1e-12);
+        assert!((stats.max_group_demand[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excess_fanout_merges_by_lpt() {
+        // 3 relaxed level-1 sets on a hierarchy with only 2 level-1 nodes:
+        // sets of demand 1.2, 1.0, 0.5 packed onto 2 sockets
+        let mut b = TreeBuilder::new_root();
+        let l1 = b.add_child(0, 1.0);
+        let l2 = b.add_child(0, 1.0);
+        let l3 = b.add_child(0, 1.0);
+        let t = b.build();
+        // every leaf its own level-1 set (and level... h=1 hierarchy here)
+        let mut labels = vec![0u8; t.num_nodes()];
+        labels[t.root()] = 1;
+        let ls = build_level_sets(&t, &labels, 1);
+        let mut demand = vec![0.0; t.num_nodes()];
+        demand[l1] = 1.2;
+        demand[l2] = 1.0;
+        demand[l3] = 0.5;
+        let h = presets::flat(2);
+        let (leaf_of, stats) = repair_assignment(&ls, &demand, &h);
+        assert_eq!(stats.merges, vec![1]);
+        // LPT: 1.2 -> bin0, 1.0 -> bin1, 0.5 -> bin1 (load 1.5 vs 1.2)
+        assert!((stats.max_group_demand[0] - 1.5).abs() < 1e-12);
+        assert_ne!(leaf_of[l1], leaf_of[l2]);
+        assert_eq!(leaf_of[l2], leaf_of[l3]);
+    }
+
+    #[test]
+    fn nested_sets_stay_under_their_parent() {
+        // two level-1 groups each split into two level-2 singletons;
+        // hierarchy 2 sockets x 2 cores: children must land under the
+        // socket hosting their parent set
+        let mut b = TreeBuilder::new_root();
+        let l = b.add_child(0, 1.0);
+        let r = b.add_child(0, 1.0);
+        let l1 = b.add_child(l, 1.0);
+        let l2 = b.add_child(l, 1.0);
+        let r1 = b.add_child(r, 1.0);
+        let r2 = b.add_child(r, 1.0);
+        let t = b.build();
+        let mut labels = vec![2u8; t.num_nodes()];
+        labels[l] = 0;
+        labels[l1] = 1;
+        labels[r2] = 1;
+        let ls = build_level_sets(&t, &labels, 2);
+        let mut demand = vec![0.0; t.num_nodes()];
+        for v in [l1, l2, r1, r2] {
+            demand[v] = 1.0;
+        }
+        let h = presets::multicore(2, 2, 4.0, 1.0);
+        let (leaf_of, _) = repair_assignment(&ls, &demand, &h);
+        // l1 and l2 share a socket; r1 and r2 share the other
+        assert_eq!(leaf_of[l1] / 2, leaf_of[l2] / 2);
+        assert_eq!(leaf_of[r1] / 2, leaf_of[r2] / 2);
+        assert_ne!(leaf_of[l1] / 2, leaf_of[r1] / 2);
+        // and within a socket they occupy distinct cores
+        assert_ne!(leaf_of[l1], leaf_of[l2]);
+        assert_ne!(leaf_of[r1], leaf_of[r2]);
+    }
+}

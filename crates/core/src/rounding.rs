@@ -1,0 +1,135 @@
+//! Demand rounding (the `(1+ε)` of Theorem 2).
+//!
+//! The paper scales demands by `ε/n` and floors them onto an integer grid so
+//! the DP signatures range over a polynomial domain. We parameterise by the
+//! *number of units per leaf capacity* `Δ`: a demand `d ∈ (0, 1]` becomes
+//! `max(1, ⌊d·Δ⌋)` units and the Level-`j` capacity becomes `CP(j)·Δ` units.
+//!
+//! * Rounding *down* means a set that is feasible in units may overshoot its
+//!   true capacity by at most `(#tasks in the set)/Δ` — choosing
+//!   `Δ ≥ n/ε` yields the paper's `(1+ε)` violation bound.
+//! * Rounding tiny demands *up* to one unit keeps "set is empty" equivalent
+//!   to "set has zero rounded demand", which the DP's cost accounting
+//!   relies on; it can only make the rounded instance more conservative.
+
+use hgp_hierarchy::Hierarchy;
+
+/// A demand-rounding scheme: `Δ` units of capacity per hierarchy leaf.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rounding {
+    units_per_leaf: u32,
+}
+
+impl Rounding {
+    /// Grid with an explicit number of units per leaf.
+    ///
+    /// # Panics
+    /// Panics if `units_per_leaf == 0`.
+    pub fn with_units(units_per_leaf: u32) -> Self {
+        assert!(units_per_leaf >= 1);
+        Self { units_per_leaf }
+    }
+
+    /// The paper's choice: `Δ = ⌈n/ε⌉`, guaranteeing per-set true demand at
+    /// most `(1+ε)` times the rounded-feasible capacity.
+    ///
+    /// # Panics
+    /// Panics if `epsilon ≤ 0`.
+    pub fn for_epsilon(n: usize, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        let units = ((n.max(1) as f64) / epsilon).ceil();
+        Self::with_units(units.min(u32::MAX as f64) as u32)
+    }
+
+    /// Units per leaf (`Δ`).
+    #[inline]
+    pub fn units_per_leaf(&self) -> u32 {
+        self.units_per_leaf
+    }
+
+    /// Rounds one demand to units: `max(1, ⌊d·Δ⌋)`.
+    pub fn round(&self, demand: f64) -> u32 {
+        assert!(demand > 0.0 && demand <= 1.0, "demand must lie in (0,1]");
+        ((demand * self.units_per_leaf as f64).floor() as u32).max(1)
+    }
+
+    /// Rounds a slice of demands.
+    pub fn round_all(&self, demands: &[f64]) -> Vec<u32> {
+        demands.iter().map(|&d| self.round(d)).collect()
+    }
+
+    /// Converts units back to (approximate) demand.
+    pub fn to_demand(&self, units: u32) -> f64 {
+        units as f64 / self.units_per_leaf as f64
+    }
+
+    /// Per-level capacities in units: `caps[j-1] = CP(j) · Δ` for
+    /// `j ∈ 1..=h`.
+    ///
+    /// # Panics
+    /// Panics if any capacity exceeds `u16::MAX` (the DP packs level demands
+    /// into 16-bit signature lanes; pick a smaller `Δ` for larger machines).
+    pub fn level_caps(&self, h: &Hierarchy) -> Vec<u32> {
+        (1..=h.height())
+            .map(|j| {
+                let cap = h.capacity(j) as u64 * self.units_per_leaf as u64;
+                assert!(
+                    cap <= u16::MAX as u64,
+                    "level-{j} capacity {cap} units exceeds the 16-bit signature \
+                     lane; reduce units_per_leaf"
+                );
+                cap as u32
+            })
+            .collect()
+    }
+
+    /// The guaranteed violation bound `1 + n/Δ` for a set of at most `n`
+    /// tasks (equals `1 + ε` when constructed via [`Rounding::for_epsilon`]).
+    pub fn violation_bound(&self, n: usize) -> f64 {
+        1.0 + n as f64 / self.units_per_leaf as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_hierarchy::presets;
+
+    #[test]
+    fn epsilon_grid() {
+        let r = Rounding::for_epsilon(10, 0.5);
+        assert_eq!(r.units_per_leaf(), 20);
+        assert!((r.violation_bound(10) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_down_but_never_to_zero() {
+        let r = Rounding::with_units(8);
+        assert_eq!(r.round(1.0), 8);
+        assert_eq!(r.round(0.5), 4);
+        assert_eq!(r.round(0.56), 4); // floor
+        assert_eq!(r.round(0.01), 1); // clamped up to one unit
+    }
+
+    #[test]
+    fn caps_scale_with_units() {
+        let h = presets::multicore(2, 3, 4.0, 1.0);
+        let r = Rounding::with_units(10);
+        assert_eq!(r.level_caps(&h), vec![30, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit signature lane")]
+    fn caps_overflow_guard() {
+        // CP(1) = 100 cores per socket x 1000 units = 100_000 > u16::MAX
+        let h = presets::multicore(2, 100, 4.0, 1.0);
+        let r = Rounding::with_units(1000);
+        let _ = r.level_caps(&h);
+    }
+
+    #[test]
+    fn round_trip_units() {
+        let r = Rounding::with_units(16);
+        assert!((r.to_demand(r.round(0.75)) - 0.75).abs() < 1.0 / 16.0 + 1e-12);
+    }
+}

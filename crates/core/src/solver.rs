@@ -1,0 +1,246 @@
+//! HGP on arbitrary graphs — Theorem 1.
+//!
+//! The pipeline of §4: embed `G` into a distribution of decomposition trees
+//! (Theorem 6, via `hgp-decomp`), solve HGPT on every tree with the
+//! Theorem-2 machinery, map each tree solution back to `G` through the leaf
+//! bijection, and keep the one with the smallest *actual* Equation-1 cost
+//! (Theorem 7 picks by tree cost; evaluating the mapped cost — which
+//! Proposition 1 upper-bounds by the tree cost — can only do better).
+//!
+//! The per-tree DPs are embarrassingly parallel and run on a crossbeam
+//! scope with work stealing; results are reduced deterministically (ties
+//! broken by tree index), so the output is independent of thread count.
+
+use crate::tree_solver::{solve_rooted, SolveError, TreeSolveReport};
+use crate::{Assignment, Instance, Rounding, ViolationReport};
+use hgp_decomp::{racke_distribution, DecompOpts, Distribution};
+use hgp_hierarchy::Hierarchy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Options for [`solve`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolverOptions {
+    /// Number of decomposition trees in the distribution (`p`).
+    pub num_trees: usize,
+    /// Demand-rounding grid for the per-tree DP.
+    pub rounding: Rounding,
+    /// Decomposition-tree construction options.
+    pub decomp: DecompOpts,
+    /// Worker threads for the per-tree DPs (0 = one per available core).
+    pub threads: usize,
+    /// RNG seed (the whole pipeline is deterministic given this seed).
+    pub seed: u64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            num_trees: 8,
+            rounding: Rounding::with_units(8),
+            decomp: DecompOpts::default(),
+            threads: 0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Outcome of [`solve`].
+#[derive(Clone, Debug)]
+pub struct HgpReport {
+    /// Best assignment found.
+    pub assignment: Assignment,
+    /// Its Equation-1 cost in `G`.
+    pub cost: f64,
+    /// Its per-level capacity diagnostics.
+    pub violation: ViolationReport,
+    /// Index of the winning decomposition tree.
+    pub best_tree: usize,
+    /// Mapped Equation-1 cost per tree (`None` where the DP was
+    /// capacity-infeasible).
+    pub per_tree_costs: Vec<Option<f64>>,
+    /// Certificate (tree) cost of the winning tree — `cost` never exceeds
+    /// it on normalised multipliers (Proposition 1).
+    pub certificate: f64,
+    /// Total DP table entries across all trees.
+    pub dp_entries_total: usize,
+}
+
+/// Solves HGP on an arbitrary (connected) communication graph.
+pub fn solve(inst: &Instance, h: &Hierarchy, opts: &SolverOptions) -> Result<HgpReport, SolveError> {
+    inst.check_feasible(h).map_err(SolveError::Infeasible)?;
+    if !hgp_graph::traversal::is_connected(inst.graph()) {
+        return Err(SolveError::Disconnected);
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let dist = racke_distribution(
+        inst.graph(),
+        inst.demands(),
+        opts.num_trees,
+        &opts.decomp,
+        &mut rng,
+    );
+    solve_on_distribution(inst, h, &dist, opts)
+}
+
+/// Solves HGP given a pre-built distribution (lets experiments reuse
+/// distributions across hierarchies and ablations).
+pub fn solve_on_distribution(
+    inst: &Instance,
+    h: &Hierarchy,
+    dist: &Distribution,
+    opts: &SolverOptions,
+) -> Result<HgpReport, SolveError> {
+    inst.check_feasible(h).map_err(SolveError::Infeasible)?;
+    let p = dist.trees.len();
+    let results: Mutex<Vec<Option<TreeSolveReport>>> = Mutex::new((0..p).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = if opts.threads == 0 {
+        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
+    } else {
+        opts.threads
+    }
+    .min(p)
+    .max(1);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= p {
+                    break;
+                }
+                let dt = &dist.trees[i];
+                let res = solve_rooted(&dt.tree, &dt.task_of_leaf, inst, h, opts.rounding).ok();
+                results.lock().unwrap()[i] = res;
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let results = results.into_inner().unwrap();
+    let per_tree_costs: Vec<Option<f64>> = results
+        .iter()
+        .map(|r| r.as_ref().map(|r| r.cost))
+        .collect();
+    let (best_tree, best) = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().map(|r| (i, r)))
+        .min_by(|a, b| {
+            a.1.cost
+                .partial_cmp(&b.1.cost)
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+        })
+        .ok_or(SolveError::CapacityInfeasible)?;
+    let dp_entries_total = results
+        .iter()
+        .flatten()
+        .map(|r| r.dp_entries)
+        .sum();
+    Ok(HgpReport {
+        assignment: best.assignment.clone(),
+        cost: best.cost,
+        violation: best.violation.clone(),
+        best_tree,
+        per_tree_costs,
+        certificate: best.certificate,
+        dp_entries_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::generators;
+    use hgp_graph::Graph;
+    use hgp_hierarchy::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solves_a_small_clustered_graph() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::planted_clusters(&mut rng, 2, 4, 0.9, 4.0, 0.05, 0.5);
+        let inst = Instance::uniform(g, 0.5);
+        let h = presets::multicore(2, 2, 4.0, 1.0);
+        let rep = solve(&inst, &h, &SolverOptions::default()).unwrap();
+        // planted blocks should stay socket-local: every intra-block edge
+        // at multiplier <= 1
+        let worst = rep.violation.worst_factor();
+        assert!(worst <= (1.0 + 2.0) * 1.2, "violation {worst}");
+        assert!(rep.per_tree_costs.iter().flatten().count() >= 1);
+        assert!(rep.cost <= rep.per_tree_costs.iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b)) + 1e-9);
+    }
+
+    #[test]
+    fn cost_never_exceeds_certificate_on_normalized_cm() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = generators::gnp_connected(&mut rng, 18, 0.25, 0.5, 2.0);
+        let inst = Instance::uniform(g, 0.3);
+        let h = presets::multicore(2, 3, 5.0, 1.0);
+        let rep = solve(&inst, &h, &SolverOptions::default()).unwrap();
+        assert!(
+            rep.cost <= rep.certificate + 1e-9,
+            "Proposition 1 violated: mapped cost {} > certificate {}",
+            rep.cost,
+            rep.certificate
+        );
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::gnp_connected(&mut rng, 16, 0.3, 0.5, 2.0);
+        let inst = Instance::uniform(g, 0.2);
+        let h = presets::multicore(2, 2, 4.0, 1.0);
+        let o1 = SolverOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let o4 = SolverOptions {
+            threads: 4,
+            ..Default::default()
+        };
+        let r1 = solve(&inst, &h, &o1).unwrap();
+        let r4 = solve(&inst, &h, &o4).unwrap();
+        assert_eq!(r1.best_tree, r4.best_tree);
+        assert!((r1.cost - r4.cost).abs() < 1e-12);
+        assert_eq!(r1.assignment, r4.assignment);
+    }
+
+    #[test]
+    fn rejects_disconnected_graphs() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let inst = Instance::uniform(g, 0.5);
+        let h = presets::flat(4);
+        assert_eq!(
+            solve(&inst, &h, &SolverOptions::default()).unwrap_err(),
+            SolveError::Disconnected
+        );
+    }
+
+    #[test]
+    fn flat_hierarchy_behaves_like_kbgp() {
+        // dumbbell: flat 2-way partitioning should find the bridge
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 5.0),
+                (1, 2, 5.0),
+                (0, 2, 5.0),
+                (3, 4, 5.0),
+                (4, 5, 5.0),
+                (3, 5, 5.0),
+                (2, 3, 1.0),
+            ],
+        );
+        let inst = Instance::kbgp(g, 2);
+        let h = presets::bisection();
+        let rep = solve(&inst, &h, &SolverOptions::default()).unwrap();
+        assert!((rep.cost - 1.0).abs() < 1e-9, "expected the bridge cut, got {}", rep.cost);
+    }
+}

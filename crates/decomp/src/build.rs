@@ -1,0 +1,339 @@
+//! Building a single decomposition tree by recursive balanced bisection.
+
+use hgp_graph::partition::{fm_refine, multilevel_bisection, BisectOpts, Bisection};
+use hgp_graph::spectral::{spectral_bisection, SpectralOpts};
+use hgp_graph::tree::RootedTree;
+use hgp_graph::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Which bisection oracle drives the recursive decomposition
+/// (ablation A4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CutOracle {
+    /// Multilevel heavy-edge-matching coarsening + FM (default).
+    #[default]
+    Multilevel,
+    /// Fiedler-vector split, FM-polished.
+    Spectral,
+}
+
+/// A decomposition tree over a graph `G`: a rooted tree whose leaves are in
+/// bijection with `V(G)` and whose edge weights are `G`-boundary weights of
+/// the corresponding clusters.
+#[derive(Clone, Debug)]
+pub struct DecompTree {
+    /// The tree (root = the whole vertex set).
+    pub tree: RootedTree,
+    /// `task_of_leaf[t]` = the `G` node represented by tree leaf `t`
+    /// (`u32::MAX` on internal nodes). This is the paper's `m_V` bijection
+    /// restricted to leaves.
+    pub task_of_leaf: Vec<u32>,
+}
+
+impl DecompTree {
+    /// `leaf_of_task[v]` = the tree leaf representing `G` node `v`
+    /// (inverse of [`DecompTree::task_of_leaf`], the paper's `m'_V`).
+    pub fn leaf_of_task(&self, num_tasks: usize) -> Vec<u32> {
+        let mut out = vec![u32::MAX; num_tasks];
+        for (leaf, &t) in self.task_of_leaf.iter().enumerate() {
+            if t != u32::MAX {
+                out[t as usize] = leaf as u32;
+            }
+        }
+        debug_assert!(out.iter().all(|&l| l != u32::MAX));
+        out
+    }
+}
+
+/// Options for [`build_decomp_tree`].
+#[derive(Clone, Copy, Debug)]
+pub struct DecompOpts {
+    /// Bisection options (balance tolerance, FM passes, …).
+    pub bisect: BisectOpts,
+    /// Which cut oracle performs the recursive splits.
+    pub oracle: CutOracle,
+}
+
+impl Default for DecompOpts {
+    fn default() -> Self {
+        Self {
+            bisect: BisectOpts::default(),
+            oracle: CutOracle::Multilevel,
+        }
+    }
+}
+
+/// Runs the configured oracle on one cluster's induced subgraph.
+fn bisect_cluster<R: Rng + ?Sized>(
+    sub: &Graph,
+    sub_w: &[f64],
+    opts: &DecompOpts,
+    rng: &mut R,
+) -> Bisection {
+    match opts.oracle {
+        CutOracle::Multilevel => multilevel_bisection(sub, sub_w, &opts.bisect, rng),
+        CutOracle::Spectral => {
+            let mut side = spectral_bisection(
+                sub,
+                sub_w,
+                &SpectralOpts {
+                    target0_frac: opts.bisect.target0_frac,
+                    ..Default::default()
+                },
+            );
+            if !opts.bisect.no_refine {
+                let total: f64 = sub_w.iter().sum();
+                let cap = 0.5 * total * (1.0 + opts.bisect.eps);
+                fm_refine(sub, sub_w, &mut side, cap, cap, opts.bisect.fm_passes);
+            }
+            let cut = sub.cut_weight(&side);
+            let mut w0 = 0.0;
+            let mut w1 = 0.0;
+            for (v, &s) in side.iter().enumerate() {
+                if s {
+                    w1 += sub_w[v];
+                } else {
+                    w0 += sub_w[v];
+                }
+            }
+            Bisection {
+                side,
+                cut,
+                weight0: w0,
+                weight1: w1,
+            }
+        }
+    }
+}
+
+/// Builds one decomposition tree of `g`.
+///
+/// * `node_w[v]` — balance weights for the bisections (use task demands so
+///   clusters track capacity).
+/// * `edge_scale` — optional per-edge multipliers applied to the weights
+///   the *bisection* minimises (the MWU lengths); tree-edge weights are
+///   always computed from the **original** `g` weights, as the paper's
+///   definition requires.
+///
+/// # Panics
+/// Panics if `g` is empty or slice lengths disagree.
+pub fn build_decomp_tree<R: Rng + ?Sized>(
+    g: &Graph,
+    node_w: &[f64],
+    edge_scale: Option<&[f64]>,
+    opts: &DecompOpts,
+    rng: &mut R,
+) -> DecompTree {
+    let n = g.num_nodes();
+    assert!(n >= 1, "cannot decompose the empty graph");
+    assert_eq!(node_w.len(), n);
+    if let Some(s) = edge_scale {
+        assert_eq!(s.len(), g.num_edges());
+    }
+
+    // graph the bisections run on (possibly length-scaled)
+    let scaled = match edge_scale {
+        None => g.clone(),
+        Some(s) => {
+            let mut b = GraphBuilder::new(n);
+            for (e, u, v, w) in g.edges() {
+                b.add_edge(u, v, w * s[e.index()]);
+            }
+            b.build()
+        }
+    };
+
+    // precompute, per node, its boundary contribution lazily during splits.
+    let mut parent: Vec<u32> = vec![0];
+    let mut weight: Vec<f64> = vec![0.0];
+    let mut task_of_leaf: Vec<u32> = vec![u32::MAX];
+
+    // stack of (tree node id, cluster members)
+    let all: Vec<u32> = (0..n as u32).collect();
+    let mut stack: Vec<(usize, Vec<u32>)> = vec![(0, all)];
+    let mut in_cluster = vec![false; n];
+
+    while let Some((id, cluster)) = stack.pop() {
+        if cluster.len() == 1 {
+            task_of_leaf[id] = cluster[0];
+            continue;
+        }
+        // bisect the cluster on the scaled graph
+        for &v in &cluster {
+            in_cluster[v as usize] = true;
+        }
+        let (sub, map) = scaled.induced_subgraph(&in_cluster);
+        let sub_w: Vec<f64> = map.iter().map(|v| node_w[v.index()]).collect();
+        let bis = bisect_cluster(&sub, &sub_w, opts, rng);
+        let mut side0 = Vec::new();
+        let mut side1 = Vec::new();
+        for (i, &s) in bis.side.iter().enumerate() {
+            if s {
+                side1.push(map[i].0);
+            } else {
+                side0.push(map[i].0);
+            }
+        }
+        for &v in &cluster {
+            in_cluster[v as usize] = false;
+        }
+        // degenerate bisection (can happen on tiny/odd clusters): force split
+        if side0.is_empty() || side1.is_empty() {
+            let mut sorted = cluster.clone();
+            sorted.sort_unstable();
+            let mid = sorted.len() / 2;
+            side1 = sorted.split_off(mid);
+            side0 = sorted;
+        }
+        for side in [side0, side1] {
+            let bw = boundary_weight(g, &side, &mut in_cluster);
+            let child = parent.len();
+            parent.push(id as u32);
+            weight.push(bw);
+            task_of_leaf.push(u32::MAX);
+            stack.push((child, side));
+        }
+    }
+
+    let tree = RootedTree::from_parents(0, parent, weight);
+    DecompTree { tree, task_of_leaf }
+}
+
+/// Total original-weight of edges leaving `cluster` in the full graph.
+/// `scratch` must be all-false of length `n` and is restored before return.
+fn boundary_weight(g: &Graph, cluster: &[u32], scratch: &mut [bool]) -> f64 {
+    for &v in cluster {
+        scratch[v as usize] = true;
+    }
+    let mut w = 0.0;
+    for &v in cluster {
+        for (u, wt, _) in g.neighbors(NodeId(v)) {
+            if !scratch[u.index()] {
+                w += wt;
+            }
+        }
+    }
+    for &v in cluster {
+        scratch[v as usize] = false;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_structure(dt: &DecompTree, n: usize) {
+        // leaves biject with G nodes
+        let leaves = dt.tree.leaves();
+        assert_eq!(leaves.len(), n);
+        let mut tasks: Vec<u32> = leaves.iter().map(|&l| dt.task_of_leaf[l]).collect();
+        tasks.sort_unstable();
+        assert_eq!(tasks, (0..n as u32).collect::<Vec<_>>());
+        // internal nodes have exactly two children (or are the singleton root)
+        for v in 0..dt.tree.num_nodes() {
+            let c = dt.tree.children(v).len();
+            assert!(c == 0 || c == 2, "node {v} has {c} children");
+        }
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = Graph::from_edges(1, &[]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dt = build_decomp_tree(&g, &[1.0], None, &DecompOpts::default(), &mut rng);
+        assert_eq!(dt.tree.num_nodes(), 1);
+        assert_eq!(dt.task_of_leaf[0], 0);
+    }
+
+    #[test]
+    fn tree_edge_weights_are_boundaries() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::gnp_connected(&mut rng, 24, 0.2, 0.5, 2.0);
+        let w = vec![1.0; 24];
+        let dt = build_decomp_tree(&g, &w, None, &DecompOpts::default(), &mut rng);
+        check_structure(&dt, 24);
+        // verify each tree edge weight equals the boundary of its leaf set
+        for v in 1..dt.tree.num_nodes() {
+            let leaves = dt.tree.leaves_under(v);
+            let mut side = vec![false; g.num_nodes()];
+            for l in leaves {
+                side[dt.task_of_leaf[l] as usize] = true;
+            }
+            let expect = g.cut_weight(&side);
+            assert!(
+                (dt.tree.edge_weight(v) - expect).abs() < 1e-9,
+                "node {v}: weight {} vs boundary {expect}",
+                dt.tree.edge_weight(v)
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_depth_is_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::grid2d(&mut rng, 8, 8, 1.0, 1.0);
+        let w = vec![1.0; 64];
+        let dt = build_decomp_tree(&g, &w, None, &DecompOpts::default(), &mut rng);
+        check_structure(&dt, 64);
+        let max_depth = (0..dt.tree.num_nodes())
+            .filter(|&v| dt.tree.is_leaf(v))
+            .map(|v| dt.tree.depth(v))
+            .max()
+            .unwrap();
+        assert!(max_depth <= 14, "depth {max_depth} too deep for 64 nodes");
+    }
+
+    #[test]
+    fn planted_structure_found_near_top() {
+        // two dense blobs: the root split should separate them
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::planted_clusters(&mut rng, 2, 16, 0.5, 4.0, 0.02, 0.25);
+        let w = vec![1.0; 32];
+        let dt = build_decomp_tree(&g, &w, None, &DecompOpts::default(), &mut rng);
+        let root_kids = dt.tree.children(dt.tree.root());
+        let left: Vec<usize> = dt.tree.leaves_under(root_kids[0] as usize);
+        let blocks: Vec<usize> = left
+            .iter()
+            .map(|&l| (dt.task_of_leaf[l] / 16) as usize)
+            .collect();
+        // all leaves on one side should come from the same planted block
+        assert!(
+            blocks.iter().all(|&b| b == blocks[0]),
+            "root split mixes planted blocks"
+        );
+    }
+
+    #[test]
+    fn edge_scale_changes_bisection_not_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::gnp_connected(&mut rng, 16, 0.3, 1.0, 2.0);
+        let w = vec![1.0; 16];
+        let scale = vec![3.0; g.num_edges()];
+        let dt = build_decomp_tree(&g, &w, Some(&scale), &DecompOpts::default(), &mut rng);
+        // uniform scaling must not change boundary weights (original graph)
+        for v in 1..dt.tree.num_nodes() {
+            let leaves = dt.tree.leaves_under(v);
+            let mut side = vec![false; g.num_nodes()];
+            for l in leaves {
+                side[dt.task_of_leaf[l] as usize] = true;
+            }
+            assert!((dt.tree.edge_weight(v) - g.cut_weight(&side)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn leaf_of_task_inverts() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::random_tree(&mut rng, 12, 1.0, 2.0);
+        let w = vec![1.0; 12];
+        let dt = build_decomp_tree(&g, &w, None, &DecompOpts::default(), &mut rng);
+        let inv = dt.leaf_of_task(12);
+        for v in 0..12u32 {
+            assert_eq!(dt.task_of_leaf[inv[v as usize] as usize], v);
+        }
+    }
+}

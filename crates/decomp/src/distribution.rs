@@ -1,0 +1,189 @@
+//! Distributions of decomposition trees via multiplicative weights over
+//! measured congestion — the practical stand-in for Theorem 6.
+
+use crate::build::{build_decomp_tree, DecompOpts, DecompTree};
+use hgp_graph::tree::LcaIndex;
+use hgp_graph::Graph;
+use rand::Rng;
+
+/// A convex combination of decomposition trees (`Σ λᵢ = 1`).
+#[derive(Clone, Debug)]
+pub struct Distribution {
+    /// The trees.
+    pub trees: Vec<DecompTree>,
+    /// Their convex multipliers.
+    pub lambdas: Vec<f64>,
+}
+
+/// Congestion diagnostics of one decomposition tree, from the boundary
+/// routing of tree-edge flows: each `G` edge `f` carries load
+/// `w(f) × (number of tree edges on the leaf path of f's endpoints)`, so
+/// its congestion is exactly that hop count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CongestionStats {
+    /// Maximum hop congestion over edges.
+    pub max: f64,
+    /// Weight-averaged hop congestion.
+    pub weighted_avg: f64,
+}
+
+/// Hop congestion of every `G` edge under `dt` (path length between the
+/// leaves of its endpoints), plus summary stats.
+pub fn hop_congestion(dt: &DecompTree, g: &Graph) -> (Vec<f64>, CongestionStats) {
+    let leaf_of = dt.leaf_of_task(g.num_nodes());
+    let lca = LcaIndex::new(&dt.tree);
+    let mut per_edge = Vec::with_capacity(g.num_edges());
+    let mut max = 0.0f64;
+    let mut acc = 0.0;
+    let mut wsum = 0.0;
+    for (_, u, v, w) in g.edges() {
+        let (lu, lv) = (leaf_of[u.index()] as usize, leaf_of[v.index()] as usize);
+        let anc = lca.lca(lu, lv);
+        let hops = (dt.tree.depth(lu) + dt.tree.depth(lv) - 2 * dt.tree.depth(anc)) as f64;
+        per_edge.push(hops);
+        max = max.max(hops);
+        acc += hops * w;
+        wsum += w;
+    }
+    let weighted_avg = if wsum > 0.0 { acc / wsum } else { 0.0 };
+    (per_edge, CongestionStats { max, weighted_avg })
+}
+
+/// Builds a distribution of `num_trees` decomposition trees.
+///
+/// Multiplicative-weights loop: after each tree is built, every `G` edge's
+/// *length* is multiplied by `(1 + η · congestion/max_congestion)`; the next
+/// tree's bisections minimise length-scaled weights, steering them away
+/// from edges that previous trees stretched. `η = 0.5`. Multipliers are
+/// uniform (`λᵢ = 1/p`).
+///
+/// With `num_trees = 1` this degenerates to a single unscaled tree
+/// (ablation A1's control arm).
+pub fn racke_distribution<R: Rng + ?Sized>(
+    g: &Graph,
+    node_w: &[f64],
+    num_trees: usize,
+    opts: &DecompOpts,
+    rng: &mut R,
+) -> Distribution {
+    assert!(num_trees >= 1);
+    const ETA: f64 = 0.5;
+    let mut lengths = vec![1.0f64; g.num_edges()];
+    let mut trees = Vec::with_capacity(num_trees);
+    for i in 0..num_trees {
+        let scale = if i == 0 { None } else { Some(&lengths[..]) };
+        let dt = build_decomp_tree(g, node_w, scale, opts, rng);
+        let (per_edge, stats) = hop_congestion(&dt, g);
+        if stats.max > 0.0 {
+            for (len, c) in lengths.iter_mut().zip(&per_edge) {
+                *len *= 1.0 + ETA * c / stats.max;
+            }
+            // renormalise to dodge overflow on long runs
+            let mean: f64 = lengths.iter().sum::<f64>() / lengths.len() as f64;
+            if mean > 0.0 {
+                for len in lengths.iter_mut() {
+                    *len /= mean;
+                }
+            }
+        }
+        trees.push(dt);
+    }
+    let p = trees.len();
+    Distribution {
+        trees,
+        lambdas: vec![1.0 / p as f64; p],
+    }
+}
+
+impl Distribution {
+    /// Expected (λ-weighted) average congestion across the distribution.
+    pub fn expected_congestion(&self, g: &Graph) -> f64 {
+        self.trees
+            .iter()
+            .zip(&self.lambdas)
+            .map(|(t, &l)| l * hop_congestion(t, g).1.weighted_avg)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn congestion_of_path_graph_tree() {
+        // P3: 0-1-2; any binary decomposition tree has depth 2, so hop
+        // congestion of each edge is at most 4
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dt = build_decomp_tree(&g, &[1.0; 3], None, &DecompOpts::default(), &mut rng);
+        let (per_edge, stats) = hop_congestion(&dt, &g);
+        assert_eq!(per_edge.len(), 2);
+        assert!(stats.max <= 4.0);
+        assert!(stats.weighted_avg >= 2.0, "adjacent leaves are >= 2 hops apart");
+    }
+
+    #[test]
+    fn distribution_has_uniform_lambdas() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::gnp_connected(&mut rng, 20, 0.2, 1.0, 2.0);
+        let d = racke_distribution(&g, &[1.0; 20], 4, &DecompOpts::default(), &mut rng);
+        assert_eq!(d.trees.len(), 4);
+        assert!((d.lambdas.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(d.lambdas.iter().all(|&l| (l - 0.25).abs() < 1e-12));
+        assert!(d.expected_congestion(&g) >= 2.0);
+    }
+
+    #[test]
+    fn congestion_is_bounded_by_twice_depth() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::grid2d(&mut rng, 6, 6, 1.0, 1.0);
+        let d = racke_distribution(&g, &[1.0; 36], 3, &DecompOpts::default(), &mut rng);
+        for t in &d.trees {
+            let depth = t
+                .tree
+                .leaves()
+                .iter()
+                .map(|&l| t.tree.depth(l))
+                .max()
+                .unwrap();
+            let (_, stats) = hop_congestion(t, &g);
+            assert!(stats.max <= 2.0 * depth as f64);
+        }
+    }
+
+    #[test]
+    fn mwu_lengths_spread_cuts() {
+        // On an expander-ish graph, later trees should not be identical to
+        // the first (the length updates must change at least one split).
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::gnp_connected(&mut rng, 24, 0.4, 1.0, 1.0);
+        let d = racke_distribution(&g, &[1.0; 24], 3, &DecompOpts::default(), &mut rng);
+        let sig = |t: &DecompTree| -> Vec<Vec<u32>> {
+            let kids = t.tree.children(t.tree.root());
+            let mut sides: Vec<Vec<u32>> = kids
+                .iter()
+                .map(|&c| {
+                    let mut s: Vec<u32> = t
+                        .tree
+                        .leaves_under(c as usize)
+                        .iter()
+                        .map(|&l| t.task_of_leaf[l])
+                        .collect();
+                    s.sort_unstable();
+                    s
+                })
+                .collect();
+            sides.sort();
+            sides
+        };
+        let s0 = sig(&d.trees[0]);
+        let distinct = d.trees.iter().skip(1).any(|t| sig(t) != s0);
+        // (random restarts alone could make them differ; this asserts the
+        // pipeline produces a genuine ensemble, not p copies of one tree)
+        assert!(distinct, "all trees in the distribution are identical");
+    }
+}

@@ -1,0 +1,225 @@
+//! Directed acyclic graphs: the native shape of stream-processing task
+//! graphs (§1 of the paper) before they are symmetrised for partitioning.
+//!
+//! Communication cost in HGP is direction-free, so the solver consumes the
+//! undirected projection ([`Dag::to_undirected`]); the DAG layer preserves
+//! the orientation for workload generation, pipeline-depth analysis and
+//! placement-aware scheduling diagnostics.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// A weighted directed acyclic graph.
+#[derive(Clone, Debug)]
+pub struct Dag {
+    num_nodes: usize,
+    /// `(src, dst, weight)` triples.
+    edges: Vec<(u32, u32, f64)>,
+    /// Out-adjacency: `out[v]` = indices into `edges`.
+    out: Vec<Vec<u32>>,
+    /// In-degree per node.
+    indeg: Vec<u32>,
+}
+
+/// Error returned when edges form a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError;
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "edge set contains a directed cycle")
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+impl Dag {
+    /// Builds a DAG, verifying acyclicity.
+    pub fn new(num_nodes: usize, edges: Vec<(u32, u32, f64)>) -> Result<Self, CycleError> {
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
+        let mut indeg = vec![0u32; num_nodes];
+        for (i, &(u, v, w)) in edges.iter().enumerate() {
+            assert!((u as usize) < num_nodes && (v as usize) < num_nodes);
+            assert!(w >= 0.0, "edge weights must be non-negative");
+            out[u as usize].push(i as u32);
+            indeg[v as usize] += 1;
+        }
+        let dag = Self {
+            num_nodes,
+            edges,
+            out,
+            indeg,
+        };
+        if dag.topo_order().is_some() {
+            Ok(dag)
+        } else {
+            Err(CycleError)
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The directed edges.
+    pub fn edges(&self) -> &[(u32, u32, f64)] {
+        &self.edges
+    }
+
+    /// Kahn topological order, or `None` on a cycle.
+    pub fn topo_order(&self) -> Option<Vec<u32>> {
+        let mut indeg = self.indeg.clone();
+        let mut queue: std::collections::VecDeque<u32> = (0..self.num_nodes as u32)
+            .filter(|&v| indeg[v as usize] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.num_nodes);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &ei in &self.out[v as usize] {
+                let (_, dst, _) = self.edges[ei as usize];
+                indeg[dst as usize] -= 1;
+                if indeg[dst as usize] == 0 {
+                    queue.push_back(dst);
+                }
+            }
+        }
+        (order.len() == self.num_nodes).then_some(order)
+    }
+
+    /// Pipeline layer of every node: sources at layer 0, each node one past
+    /// its deepest predecessor.
+    pub fn layers(&self) -> Vec<u32> {
+        let order = self.topo_order().expect("validated at construction");
+        let mut layer = vec![0u32; self.num_nodes];
+        for &v in &order {
+            for &ei in &self.out[v as usize] {
+                let (_, dst, _) = self.edges[ei as usize];
+                layer[dst as usize] = layer[dst as usize].max(layer[v as usize] + 1);
+            }
+        }
+        layer
+    }
+
+    /// Length (in edges) of the longest path — the pipeline depth.
+    pub fn depth(&self) -> usize {
+        self.layers().iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Source nodes (no incoming edges).
+    pub fn sources(&self) -> Vec<u32> {
+        (0..self.num_nodes as u32)
+            .filter(|&v| self.indeg[v as usize] == 0)
+            .collect()
+    }
+
+    /// Sink nodes (no outgoing edges).
+    pub fn sinks(&self) -> Vec<u32> {
+        (0..self.num_nodes as u32)
+            .filter(|&v| self.out[v as usize].is_empty())
+            .collect()
+    }
+
+    /// The undirected projection: anti-parallel pairs merge (weights sum),
+    /// matching HGP's direction-free communication cost.
+    pub fn to_undirected(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.num_nodes);
+        for &(u, v, w) in &self.edges {
+            if u != v {
+                b.add_edge(NodeId(u), NodeId(v), w);
+            }
+        }
+        b.build()
+    }
+
+    /// Total traffic crossing each cut between consecutive pipeline layers
+    /// — the stage-to-stage bandwidth profile schedulers care about.
+    pub fn layer_traffic(&self) -> Vec<f64> {
+        let layer = self.layers();
+        let depth = self.depth();
+        let mut traffic = vec![0.0f64; depth];
+        for &(u, v, w) in &self.edges {
+            let (lu, lv) = (layer[u as usize] as usize, layer[v as usize] as usize);
+            // an edge spanning layers [lu, lv) crosses every boundary in it
+            for t in traffic.iter_mut().take(lv).skip(lu) {
+                *t += w;
+            }
+        }
+        traffic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> {1, 2} -> 3
+        Dag::new(
+            4,
+            vec![(0, 1, 2.0), (0, 2, 3.0), (1, 3, 1.0), (2, 3, 1.5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let d = diamond();
+        let order = d.topo_order().unwrap();
+        let pos = |v: u32| order.iter().position(|&x| x == v).unwrap();
+        for &(u, v, _) in d.edges() {
+            assert!(pos(u) < pos(v), "edge ({u},{v}) violated");
+        }
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        assert_eq!(
+            Dag::new(3, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]).unwrap_err(),
+            CycleError
+        );
+        // self loop is a cycle too
+        assert!(Dag::new(1, vec![(0, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn layers_and_depth() {
+        let d = diamond();
+        assert_eq!(d.layers(), vec![0, 1, 1, 2]);
+        assert_eq!(d.depth(), 2);
+        assert_eq!(d.sources(), vec![0]);
+        assert_eq!(d.sinks(), vec![3]);
+    }
+
+    #[test]
+    fn undirected_projection_merges_antiparallel() {
+        let d = Dag::new(3, vec![(0, 1, 2.0), (2, 1, 3.0)]).unwrap();
+        let g = d.to_undirected();
+        assert_eq!(g.num_edges(), 2);
+        assert!((g.total_weight() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_traffic_profile() {
+        let d = diamond();
+        let t = d.layer_traffic();
+        // boundary 0|1: edges 0->1 (2) and 0->2 (3) => 5
+        // boundary 1|2: edges 1->3 (1) and 2->3 (1.5) => 2.5
+        assert_eq!(t.len(), 2);
+        assert!((t[0] - 5.0).abs() < 1e-12);
+        assert!((t[1] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skip_layer_edges_count_in_every_crossed_boundary() {
+        // 0 -> 1 -> 2 plus a skip edge 0 -> 2
+        let d = Dag::new(3, vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 4.0)]).unwrap();
+        let t = d.layer_traffic();
+        assert!((t[0] - 5.0).abs() < 1e-12);
+        assert!((t[1] - 5.0).abs() < 1e-12);
+    }
+}

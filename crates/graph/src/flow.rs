@@ -1,0 +1,240 @@
+//! Dinic's maximum-flow algorithm and s-t minimum cuts.
+//!
+//! The flow network is built separately from [`crate::Graph`] so callers can
+//! add super-sources/sinks and directed capacities freely (needed when
+//! computing `CUT_T(S)` style separations with terminal groups).
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+const EPS: f64 = 1e-12;
+
+/// A directed flow network with residual bookkeeping.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    // Arc arrays: to[i], cap[i]; arc i^1 is the reverse of arc i.
+    to: Vec<u32>,
+    cap: Vec<f64>,
+    head: Vec<Vec<u32>>, // per-node arc lists
+}
+
+impl FlowNetwork {
+    /// An empty network over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Adds a directed arc `u -> v` with capacity `cap` (plus a zero-capacity
+    /// reverse arc).
+    pub fn add_arc(&mut self, u: usize, v: usize, cap: f64) {
+        assert!(cap >= 0.0 && cap.is_finite() || cap == f64::INFINITY);
+        let i = self.to.len() as u32;
+        self.to.push(v as u32);
+        self.cap.push(cap);
+        self.to.push(u as u32);
+        self.cap.push(0.0);
+        self.head[u].push(i);
+        self.head[v].push(i + 1);
+    }
+
+    /// Adds an undirected edge (capacity `cap` in both directions).
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) {
+        let i = self.to.len() as u32;
+        self.to.push(v as u32);
+        self.cap.push(cap);
+        self.to.push(u as u32);
+        self.cap.push(cap);
+        self.head[u].push(i);
+        self.head[v].push(i + 1);
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1; self.num_nodes()];
+        let mut q = VecDeque::new();
+        level[s] = 0;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &a in &self.head[v] {
+                let u = self.to[a as usize] as usize;
+                if level[u] < 0 && self.cap[a as usize] > EPS {
+                    level[u] = level[v] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        if level[t] < 0 {
+            None
+        } else {
+            Some(level)
+        }
+    }
+
+    fn dfs_push(
+        &mut self,
+        v: usize,
+        t: usize,
+        pushed: f64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> f64 {
+        if v == t {
+            return pushed;
+        }
+        while iter[v] < self.head[v].len() {
+            let a = self.head[v][iter[v]] as usize;
+            let u = self.to[a] as usize;
+            if level[u] == level[v] + 1 && self.cap[a] > EPS {
+                let d = self.dfs_push(u, t, pushed.min(self.cap[a]), level, iter);
+                if d > EPS {
+                    self.cap[a] -= d;
+                    self.cap[a ^ 1] += d;
+                    return d;
+                }
+            }
+            iter[v] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum `s -> t` flow, mutating residual capacities.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let mut flow = 0.0;
+        while let Some(level) = self.bfs_levels(s, t) {
+            let mut iter = vec![0usize; self.num_nodes()];
+            loop {
+                let f = self.dfs_push(s, t, f64::INFINITY, &level, &mut iter);
+                if f <= EPS {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// After [`FlowNetwork::max_flow`], the source side of a minimum cut:
+    /// nodes reachable from `s` in the residual network.
+    pub fn min_cut_side(&self, s: usize) -> Vec<bool> {
+        let mut side = vec![false; self.num_nodes()];
+        let mut q = VecDeque::new();
+        side[s] = true;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &a in &self.head[v] {
+                let u = self.to[a as usize] as usize;
+                if !side[u] && self.cap[a as usize] > EPS {
+                    side[u] = true;
+                    q.push_back(u);
+                }
+            }
+        }
+        side
+    }
+}
+
+/// Maximum flow / minimum cut between two *groups* of terminals in an
+/// undirected weighted graph: returns `(cut weight, side)` where `side[v]`
+/// is true for nodes on the `sources` side of a minimum cut separating all
+/// of `sources` from all of `sinks`.
+///
+/// # Panics
+/// Panics if the groups are empty or overlap.
+pub fn min_cut_groups(g: &Graph, sources: &[NodeId], sinks: &[NodeId]) -> (f64, Vec<bool>) {
+    assert!(!sources.is_empty() && !sinks.is_empty());
+    let n = g.num_nodes();
+    let s = n;
+    let t = n + 1;
+    let mut net = FlowNetwork::new(n + 2);
+    for (_, u, v, w) in g.edges() {
+        net.add_edge(u.index(), v.index(), w);
+    }
+    for &v in sources {
+        net.add_arc(s, v.index(), f64::INFINITY);
+    }
+    for &v in sinks {
+        assert!(
+            !sources.contains(&v),
+            "terminal groups overlap at {v:?}"
+        );
+        net.add_arc(v.index(), t, f64::INFINITY);
+    }
+    let f = net.max_flow(s, t);
+    let mut side = net.min_cut_side(s);
+    side.truncate(n);
+    (f, side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn unit_path_flow_is_one() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let (f, side) = min_cut_groups(&g, &[NodeId(0)], &[NodeId(2)]);
+        assert!((f - 1.0).abs() < 1e-9);
+        assert!(side[0] && !side[2]);
+    }
+
+    #[test]
+    fn bottleneck_determines_flow() {
+        // 0 -3- 1 -1- 2 -3- 3 : bottleneck 1.
+        let g = Graph::from_edges(4, &[(0, 1, 3.0), (1, 2, 1.0), (2, 3, 3.0)]);
+        let (f, side) = min_cut_groups(&g, &[NodeId(0)], &[NodeId(3)]);
+        assert!((f - 1.0).abs() < 1e-9);
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn parallel_routes_add() {
+        // two disjoint unit paths from 0 to 3
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0)]);
+        let (f, _) = min_cut_groups(&g, &[NodeId(0)], &[NodeId(3)]);
+        assert!((f - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_terminals_are_respected() {
+        // separating {0,1} from {3}: must cut both 1-2 and 0-2? No: star at 2.
+        let g = Graph::from_edges(4, &[(0, 2, 1.0), (1, 2, 1.0), (2, 3, 5.0)]);
+        let (f, side) = min_cut_groups(&g, &[NodeId(0), NodeId(1)], &[NodeId(3)]);
+        assert!((f - 2.0).abs() < 1e-9);
+        assert!(side[0] && side[1] && !side[3]);
+    }
+
+    #[test]
+    fn cut_side_weight_matches_flow() {
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 2.0),
+                (0, 2, 1.5),
+                (1, 3, 1.0),
+                (2, 3, 2.0),
+                (3, 4, 0.5),
+                (1, 4, 1.0),
+                (4, 5, 4.0),
+            ],
+        );
+        let (f, side) = min_cut_groups(&g, &[NodeId(0)], &[NodeId(5)]);
+        assert!((g.cut_weight(&side) - f).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_groups_panic() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        let _ = min_cut_groups(&g, &[NodeId(0)], &[NodeId(0)]);
+    }
+}

@@ -1,0 +1,420 @@
+//! Deterministic, seedable graph generators.
+//!
+//! Every generator takes an explicit `&mut impl Rng` so experiment suites
+//! can pin seeds and reproduce instances exactly. Weights are drawn from
+//! caller-specified ranges; pass a degenerate range (`lo == hi`) for
+//! unweighted graphs.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+fn draw_weight<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi && lo >= 0.0, "invalid weight range [{lo}, {hi}]");
+    if lo == hi {
+        lo
+    } else {
+        rng.gen_range(lo..hi)
+    }
+}
+
+/// Erdős–Rényi `G(n, p)` with weights uniform in `[w_lo, w_hi)`.
+/// A random spanning path is added first so the result is always connected.
+pub fn gnp_connected<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64, w_lo: f64, w_hi: f64) -> Graph {
+    assert!(n >= 1);
+    assert!((0.0..=1.0).contains(&p));
+    let mut b = GraphBuilder::new(n);
+    // random permutation spanning path
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    for w in perm.windows(2) {
+        b.add_edge(NodeId(w[0]), NodeId(w[1]), draw_weight(rng, w_lo, w_hi));
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(NodeId(u as u32), NodeId(v as u32), draw_weight(rng, w_lo, w_hi));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to `m`
+/// existing nodes chosen proportionally to degree. Produces the heavy-tailed
+/// degree distributions typical of service/communication graphs.
+pub fn barabasi_albert<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize, w_lo: f64, w_hi: f64) -> Graph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut b = GraphBuilder::new(n);
+    // degree-proportional sampling via a repeated-endpoint urn
+    let mut urn: Vec<u32> = Vec::with_capacity(2 * n * m);
+    // seed clique on m+1 nodes
+    for u in 0..=m as u32 {
+        for v in (u + 1)..=m as u32 {
+            b.add_edge(NodeId(u), NodeId(v), draw_weight(rng, w_lo, w_hi));
+            urn.push(u);
+            urn.push(v);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = urn[rng.gen_range(0..urn.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(NodeId(v as u32), NodeId(t), draw_weight(rng, w_lo, w_hi));
+            urn.push(v as u32);
+            urn.push(t);
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` 2-D grid mesh (4-neighbour), the classic scientific
+/// computing workload shape.
+pub fn grid2d<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, w_lo: f64, w_hi: f64) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), draw_weight(rng, w_lo, w_hi));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), draw_weight(rng, w_lo, w_hi));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random geometric graph on the unit square: nodes at uniform positions,
+/// edge between pairs within `radius`, weight inversely proportional to
+/// distance (scaled into `[w_lo, w_hi)`), plus a spanning path for
+/// connectivity.
+pub fn random_geometric<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    radius: f64,
+    w_lo: f64,
+    w_hi: f64,
+) -> Graph {
+    assert!(n >= 1 && radius > 0.0);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = ((pts[u].0 - pts[v].0).powi(2) + (pts[u].1 - pts[v].1).powi(2)).sqrt();
+            if d <= radius {
+                // closer nodes communicate more
+                let frac = 1.0 - d / radius;
+                let w = w_lo + frac * (w_hi - w_lo);
+                b.add_edge(NodeId(u as u32), NodeId(v as u32), w.max(w_lo.min(w_hi)));
+            }
+        }
+    }
+    // connectivity insurance: nearest-neighbour chain in x-order
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &c| pts[a].0.partial_cmp(&pts[c].0).unwrap());
+    for w in order.windows(2) {
+        b.add_edge(NodeId(w[0] as u32), NodeId(w[1] as u32), w_lo.max(1e-3));
+    }
+    b.build()
+}
+
+/// A random tree on `n` nodes (random attachment), weights uniform.
+pub fn random_tree<R: Rng + ?Sized>(rng: &mut R, n: usize, w_lo: f64, w_hi: f64) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let p = rng.gen_range(0..v);
+        b.add_edge(NodeId(p as u32), NodeId(v as u32), draw_weight(rng, w_lo, w_hi));
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each with `legs` pendant
+/// leaves. Stresses partitioners with locally-dense, globally-thin shapes.
+pub fn caterpillar<R: Rng + ?Sized>(
+    rng: &mut R,
+    spine: usize,
+    legs: usize,
+    w_lo: f64,
+    w_hi: f64,
+) -> Graph {
+    assert!(spine >= 1);
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::new(n);
+    for s in 1..spine {
+        b.add_edge(
+            NodeId((s - 1) as u32),
+            NodeId(s as u32),
+            draw_weight(rng, w_lo, w_hi),
+        );
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            b.add_edge(NodeId(s as u32), NodeId(next as u32), draw_weight(rng, w_lo, w_hi));
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// Complete graph `K_n` with uniform weights in range.
+pub fn complete<R: Rng + ?Sized>(rng: &mut R, n: usize, w_lo: f64, w_hi: f64) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(NodeId(u as u32), NodeId(v as u32), draw_weight(rng, w_lo, w_hi));
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: a ring lattice where each node connects to
+/// its `k_half` neighbours on each side, with every edge rewired to a
+/// random endpoint with probability `p_rewire`. Models communication
+/// graphs with strong locality plus a few long-range shortcuts.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k_half: usize,
+    p_rewire: f64,
+    w_lo: f64,
+    w_hi: f64,
+) -> Graph {
+    assert!(n >= 3 && k_half >= 1 && 2 * k_half < n);
+    assert!((0.0..=1.0).contains(&p_rewire));
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for d in 1..=k_half {
+            let mut v = (u + d) % n;
+            if rng.gen_bool(p_rewire) {
+                // rewire to a random non-self endpoint
+                let mut t = rng.gen_range(0..n);
+                while t == u {
+                    t = rng.gen_range(0..n);
+                }
+                v = t;
+            }
+            b.add_edge(
+                NodeId(u as u32),
+                NodeId(v as u32),
+                draw_weight(rng, w_lo, w_hi),
+            );
+        }
+    }
+    // the base ring guarantees connectivity only without rewiring; insure
+    for u in 0..n {
+        b.add_edge(
+            NodeId(u as u32),
+            NodeId(((u + 1) % n) as u32),
+            w_lo.max(1e-3),
+        );
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube (`2^d` nodes): the classic interconnect /
+/// parallel-algorithm communication pattern.
+pub fn hypercube<R: Rng + ?Sized>(rng: &mut R, d: u32, w_lo: f64, w_hi: f64) -> Graph {
+    assert!((1..=20).contains(&d));
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                b.add_edge(
+                    NodeId(u as u32),
+                    NodeId(v as u32),
+                    draw_weight(rng, w_lo, w_hi),
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+/// `k` dense clusters of `size` nodes (internal edge prob `p_in`, weight
+/// `w_in`) connected by a sparse random backbone (prob `p_out`, weight
+/// `w_out`). The canonical "planted partition" instance where the correct
+/// partition is known by construction.
+pub fn planted_clusters<R: Rng + ?Sized>(
+    rng: &mut R,
+    k: usize,
+    size: usize,
+    p_in: f64,
+    w_in: f64,
+    p_out: f64,
+    w_out: f64,
+) -> Graph {
+    assert!(k >= 1 && size >= 1);
+    let n = k * size;
+    let mut b = GraphBuilder::new(n);
+    let cluster = |v: usize| v / size;
+    // intra-cluster spanning path to guarantee cohesion
+    for v in 0..n {
+        if v % size != 0 {
+            b.add_edge(NodeId((v - 1) as u32), NodeId(v as u32), w_in);
+        }
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if cluster(u) == cluster(v) {
+                if rng.gen_bool(p_in) {
+                    b.add_edge(NodeId(u as u32), NodeId(v as u32), w_in);
+                }
+            } else if rng.gen_bool(p_out) {
+                b.add_edge(NodeId(u as u32), NodeId(v as u32), w_out);
+            }
+        }
+    }
+    // inter-cluster connectivity insurance
+    for c in 1..k {
+        b.add_edge(NodeId(((c - 1) * size) as u32), NodeId((c * size) as u32), w_out);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_is_connected_and_sized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnp_connected(&mut rng, 30, 0.1, 1.0, 2.0);
+        assert_eq!(g.num_nodes(), 30);
+        assert!(is_connected(&g));
+        assert!(g.num_edges() >= 29);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let g1 = gnp_connected(&mut StdRng::seed_from_u64(42), 20, 0.2, 1.0, 3.0);
+        let g2 = gnp_connected(&mut StdRng::seed_from_u64(42), 20, 0.2, 1.0, 3.0);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for (e1, e2) in g1.edges().zip(g2.edges()) {
+            assert_eq!((e1.1, e1.2), (e2.1, e2.2));
+            assert!((e1.3 - e2.3).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn ba_has_heavy_hubs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(&mut rng, 100, 2, 1.0, 1.0);
+        assert_eq!(g.num_nodes(), 100);
+        assert!(is_connected(&g));
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg >= 8, "expected a hub, max degree {max_deg}");
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = grid2d(&mut rng, 4, 5, 1.0, 1.0);
+        assert_eq!(g.num_nodes(), 20);
+        assert_eq!(g.num_edges(), 4 * 4 + 3 * 5); // horizontal + vertical
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn geometric_connected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_geometric(&mut rng, 40, 0.2, 0.5, 2.0);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn random_tree_has_n_minus_1_edges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_tree(&mut rng, 25, 1.0, 2.0);
+        assert_eq!(g.num_edges(), 24);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = caterpillar(&mut rng, 5, 3, 1.0, 1.0);
+        assert_eq!(g.num_nodes(), 20);
+        assert_eq!(g.num_edges(), 4 + 15);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn complete_graph_edges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = complete(&mut rng, 6, 1.0, 1.0);
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    fn watts_strogatz_is_connected_with_locality() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = watts_strogatz(&mut rng, 30, 2, 0.1, 1.0, 1.0);
+        assert_eq!(g.num_nodes(), 30);
+        assert!(is_connected(&g));
+        // ring scaffolding guarantees a Hamiltonian cycle's worth of edges
+        assert!(g.num_edges() >= 30);
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_adds_shortcuts() {
+        // with no rewiring the graph is a pure lattice: diameter ~ n/(2k);
+        // heavy rewiring should shorten BFS eccentricity from node 0
+        let ecc = |g: &Graph| {
+            let order = crate::traversal::bfs_order(g, NodeId(0));
+            // bfs_order gives no depths; compute via dijkstra unit lengths
+            let lens = vec![1.0; g.num_edges()];
+            let d = crate::traversal::dijkstra(g, NodeId(0), &lens);
+            let _ = order;
+            d.into_iter().fold(0.0f64, f64::max)
+        };
+        let g_lattice = watts_strogatz(&mut StdRng::seed_from_u64(10), 64, 2, 0.0, 1.0, 1.0);
+        let g_rewired = watts_strogatz(&mut StdRng::seed_from_u64(10), 64, 2, 0.5, 1.0, 1.0);
+        assert!(
+            ecc(&g_rewired) < ecc(&g_lattice),
+            "shortcuts should shrink distances: {} vs {}",
+            ecc(&g_rewired),
+            ecc(&g_lattice)
+        );
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = hypercube(&mut rng, 4, 1.0, 1.0);
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_edges(), 4 * 16 / 2);
+        assert!(is_connected(&g));
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn planted_clusters_have_dense_interiors() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = planted_clusters(&mut rng, 4, 8, 0.8, 5.0, 0.02, 0.5);
+        assert_eq!(g.num_nodes(), 32);
+        assert!(is_connected(&g));
+        // planted cut should be far lighter than total
+        let part: Vec<u32> = (0..32).map(|v| (v / 8) as u32).collect();
+        let planted_cut = g.cut_weight_parts(&part);
+        assert!(planted_cut < 0.25 * g.total_weight());
+    }
+}

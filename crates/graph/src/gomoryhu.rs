@@ -1,0 +1,186 @@
+//! Gomory–Hu cut trees (Gusfield's algorithm).
+//!
+//! A Gomory–Hu tree encodes the `n(n-1)/2` pairwise minimum cuts of an
+//! undirected weighted graph in `n - 1` max-flow computations: the min cut
+//! between `u` and `v` equals the minimum edge weight on the tree path
+//! between them. The partitioning layers use it as ground truth when
+//! *measuring* how much a decomposition tree over-estimates cuts — the
+//! empirical face of the `O(log n)` embedding loss (experiment F2).
+
+use crate::flow::min_cut_groups;
+use crate::{Graph, NodeId};
+
+/// A Gomory–Hu tree: `parent[v]`/`flow[v]` define the tree edge
+/// `(v, parent[v])` of weight `flow[v]` for every `v != 0` (node 0 is the
+/// root).
+#[derive(Clone, Debug)]
+pub struct GomoryHuTree {
+    /// Parent per node (node 0 is its own parent).
+    pub parent: Vec<u32>,
+    /// Weight of the edge to the parent (`flow[0]` is unused).
+    pub flow: Vec<f64>,
+}
+
+/// Builds the Gomory–Hu tree of a connected graph with Gusfield's
+/// simplification (no contractions; `n - 1` Dinic runs).
+///
+/// # Panics
+/// Panics if the graph has fewer than 2 nodes.
+pub fn gomory_hu(g: &Graph) -> GomoryHuTree {
+    let n = g.num_nodes();
+    assert!(n >= 2, "Gomory-Hu tree needs at least two nodes");
+    let mut parent = vec![0u32; n];
+    let mut flow = vec![0.0f64; n];
+    for i in 1..n {
+        let t = parent[i] as usize;
+        let (f, side) = min_cut_groups(g, &[NodeId(i as u32)], &[NodeId(t as u32)]);
+        flow[i] = f;
+        for (j, p) in parent.iter_mut().enumerate().skip(i + 1) {
+            if side[j] && *p as usize == t {
+                *p = i as u32;
+            }
+        }
+        // Gusfield's re-hang: keep the tree consistent when the cut also
+        // separates t from its own parent.
+        let pt = parent[t] as usize;
+        if t != 0 && side[pt] {
+            parent[i] = pt as u32;
+            parent[t] = i as u32;
+            flow[i] = flow[t];
+            flow[t] = f;
+        }
+    }
+    GomoryHuTree { parent, flow }
+}
+
+impl GomoryHuTree {
+    /// Minimum cut value between `u` and `v`: the lightest edge on the
+    /// tree path. `O(n)` per query via root-paths.
+    pub fn min_cut(&self, u: usize, v: usize) -> f64 {
+        assert_ne!(u, v, "min cut between a node and itself is undefined");
+        // walk both nodes to the root, recording depths first
+        let depth = |mut x: usize| {
+            let mut d = 0;
+            while x != 0 {
+                x = self.parent[x] as usize;
+                d += 1;
+            }
+            d
+        };
+        let (mut a, mut b) = (u, v);
+        let (mut da, mut db) = (depth(a), depth(b));
+        let mut best = f64::INFINITY;
+        while da > db {
+            best = best.min(self.flow[a]);
+            a = self.parent[a] as usize;
+            da -= 1;
+        }
+        while db > da {
+            best = best.min(self.flow[b]);
+            b = self.parent[b] as usize;
+            db -= 1;
+        }
+        while a != b {
+            best = best.min(self.flow[a]).min(self.flow[b]);
+            a = self.parent[a] as usize;
+            b = self.parent[b] as usize;
+        }
+        best
+    }
+
+    /// Global minimum cut: the lightest tree edge.
+    pub fn global_min_cut(&self) -> f64 {
+        self.flow[1..].iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mincut::stoer_wagner;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// brute-force min cut between two terminals by enumerating sides
+    fn brute_min_cut(g: &Graph, u: usize, v: usize) -> f64 {
+        let n = g.num_nodes();
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << n) {
+            if mask >> u & 1 == 1 && mask >> v & 1 == 0 {
+                let side: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+                best = best.min(g.cut_weight(&side));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn path_graph_cuts() {
+        let g = Graph::from_edges(4, &[(0, 1, 3.0), (1, 2, 1.0), (2, 3, 2.0)]);
+        let t = gomory_hu(&g);
+        assert!((t.min_cut(0, 3) - 1.0).abs() < 1e-9);
+        assert!((t.min_cut(0, 1) - 3.0).abs() < 1e-9);
+        assert!((t.min_cut(2, 3) - 2.0).abs() < 1e-9);
+        assert!((t.global_min_cut() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..15 {
+            let n = rng.gen_range(4..8usize);
+            let mut edges = Vec::new();
+            for v in 1..n {
+                edges.push(((v - 1) as u32, v as u32, rng.gen_range(0.5..4.0)));
+            }
+            for _ in 0..n {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                if u != v {
+                    edges.push((u.min(v), u.max(v), rng.gen_range(0.5..4.0)));
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            let t = gomory_hu(&g);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let bf = brute_min_cut(&g, u, v);
+                    let gh = t.min_cut(u, v);
+                    assert!(
+                        (bf - gh).abs() < 1e-6,
+                        "n={n} cut({u},{v}): GH {gh} vs brute {bf}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_min_cut_agrees_with_stoer_wagner() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..10 {
+            let n = rng.gen_range(4..10usize);
+            let mut edges = Vec::new();
+            for v in 1..n {
+                edges.push(((v - 1) as u32, v as u32, rng.gen_range(0.5..4.0)));
+            }
+            for _ in 0..2 * n {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                if u != v {
+                    edges.push((u.min(v), u.max(v), rng.gen_range(0.5..4.0)));
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            let (sw, _) = stoer_wagner(&g);
+            let gh = gomory_hu(&g).global_min_cut();
+            assert!((sw - gh).abs() < 1e-6, "SW {sw} vs GH {gh}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn self_cut_panics() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        gomory_hu(&g).min_cut(1, 1);
+    }
+}

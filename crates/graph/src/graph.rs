@@ -1,0 +1,365 @@
+//! Core weighted undirected graph in CSR form.
+
+use std::fmt;
+
+/// Dense node identifier. Valid ids are `0..graph.num_nodes()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Dense undirected-edge identifier. Valid ids are `0..graph.num_edges()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node id exceeds u32"))
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Parallel edges are merged (weights summed) and self-loops are dropped at
+/// [`GraphBuilder::build`] time, so generators may add edges freely.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes and no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Grows the node count to at least `n`.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        self.num_nodes = self.num_nodes.max(n);
+    }
+
+    /// Adds an undirected edge `{u, v}` with weight `w`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range, or `w` is not finite or is
+    /// negative.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
+        assert!(u.index() < self.num_nodes, "edge endpoint {u:?} out of range");
+        assert!(v.index() < self.num_nodes, "edge endpoint {v:?} out of range");
+        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and non-negative");
+        self.edges.push((u.0, v.0, w));
+    }
+
+    /// Finalises the builder into an immutable CSR graph.
+    pub fn build(mut self) -> Graph {
+        // Normalise endpoints (min, max), drop self loops, merge parallels.
+        self.edges.retain(|&(u, v, _)| u != v);
+        for e in &mut self.edges {
+            if e.0 > e.1 {
+                std::mem::swap(&mut e.0, &mut e.1);
+            }
+        }
+        self.edges
+            .sort_unstable_by_key(|a| (a.0, a.1));
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
+        for (u, v, w) in self.edges {
+            match merged.last_mut() {
+                Some(last) if last.0 == u && last.1 == v => last.2 += w,
+                _ => merged.push((u, v, w)),
+            }
+        }
+
+        let n = self.num_nodes;
+        let m = merged.len();
+        let mut degree = vec![0u32; n];
+        for &(u, v, _) in &merged {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0u32);
+        for d in &degree {
+            let last = *xadj.last().unwrap();
+            xadj.push(last + d);
+        }
+        let mut cursor: Vec<u32> = xadj[..n].to_vec();
+        let mut adjncy = vec![0u32; 2 * m];
+        let mut adjwgt = vec![0f64; 2 * m];
+        let mut adj_eid = vec![0u32; 2 * m];
+        for (eid, &(u, v, w)) in merged.iter().enumerate() {
+            let cu = cursor[u as usize] as usize;
+            adjncy[cu] = v;
+            adjwgt[cu] = w;
+            adj_eid[cu] = eid as u32;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            adjncy[cv] = u;
+            adjwgt[cv] = w;
+            adj_eid[cv] = eid as u32;
+            cursor[v as usize] += 1;
+        }
+        let total_weight = merged.iter().map(|e| e.2).sum();
+        Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            adj_eid,
+            edges: merged,
+            total_weight,
+        }
+    }
+}
+
+/// Immutable weighted undirected graph in compressed sparse row form.
+///
+/// The graph is simple: parallel edges have been merged and self-loops
+/// removed by the builder. Each undirected edge `{u, v}` is stored once in
+/// [`Graph::edges`] (with `u < v`) and appears in the adjacency of both
+/// endpoints.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    xadj: Vec<u32>,
+    adjncy: Vec<u32>,
+    adjwgt: Vec<f64>,
+    adj_eid: Vec<u32>,
+    edges: Vec<(u32, u32, f64)>,
+    total_weight: f64,
+}
+
+impl Graph {
+    /// Builds a graph directly from an edge list over `num_nodes` nodes.
+    pub fn from_edges(num_nodes: usize, edges: &[(u32, u32, f64)]) -> Self {
+        let mut b = GraphBuilder::new(num_nodes);
+        for &(u, v, w) in edges {
+            b.add_edge(NodeId(u), NodeId(v), w);
+        }
+        b.build()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of (merged, undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Endpoints and weight of edge `e`, with `u < v`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> (NodeId, NodeId, f64) {
+        let (u, v, w) = self.edges[e.index()];
+        (NodeId(u), NodeId(v), w)
+    }
+
+    /// Iterator over `(EdgeId, u, v, w)` for every undirected edge.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, f64)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v, w))| (EdgeId(i as u32), NodeId(u), NodeId(v), w))
+    }
+
+    /// Degree (number of distinct neighbours) of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.xadj[v.index() + 1] - self.xadj[v.index()]) as usize
+    }
+
+    /// Iterator over `(neighbour, weight, edge id)` for node `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64, EdgeId)> + '_ {
+        let lo = self.xadj[v.index()] as usize;
+        let hi = self.xadj[v.index() + 1] as usize;
+        (lo..hi).map(move |i| (NodeId(self.adjncy[i]), self.adjwgt[i], EdgeId(self.adj_eid[i])))
+    }
+
+    /// Sum of the weighted degree of `v` (total weight of incident edges).
+    pub fn weighted_degree(&self, v: NodeId) -> f64 {
+        let lo = self.xadj[v.index()] as usize;
+        let hi = self.xadj[v.index() + 1] as usize;
+        self.adjwgt[lo..hi].iter().sum()
+    }
+
+    /// Total weight of all edges.
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Total weight of edges with exactly one endpoint in `side`
+    /// (`side[v] == true` meaning `v` is inside the set).
+    ///
+    /// # Panics
+    /// Panics if `side.len() != self.num_nodes()`.
+    pub fn cut_weight(&self, side: &[bool]) -> f64 {
+        assert_eq!(side.len(), self.num_nodes());
+        self.edges
+            .iter()
+            .filter(|&&(u, v, _)| side[u as usize] != side[v as usize])
+            .map(|e| e.2)
+            .sum()
+    }
+
+    /// Total weight of edges whose endpoints are in different blocks of the
+    /// labelling `part` (an arbitrary block id per node).
+    pub fn cut_weight_parts(&self, part: &[u32]) -> f64 {
+        assert_eq!(part.len(), self.num_nodes());
+        self.edges
+            .iter()
+            .filter(|&&(u, v, _)| part[u as usize] != part[v as usize])
+            .map(|e| e.2)
+            .sum()
+    }
+
+    /// Extracts the subgraph induced by `keep` (nodes with `keep[v]`),
+    /// returning the subgraph plus the mapping from new ids to original ids.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (Graph, Vec<NodeId>) {
+        assert_eq!(keep.len(), self.num_nodes());
+        let mut old_to_new = vec![u32::MAX; self.num_nodes()];
+        let mut new_to_old = Vec::new();
+        for v in 0..self.num_nodes() {
+            if keep[v] {
+                old_to_new[v] = new_to_old.len() as u32;
+                new_to_old.push(NodeId(v as u32));
+            }
+        }
+        let mut b = GraphBuilder::new(new_to_old.len());
+        for &(u, v, w) in &self.edges {
+            let (nu, nv) = (old_to_new[u as usize], old_to_new[v as usize]);
+            if nu != u32::MAX && nv != u32::MAX {
+                b.add_edge(NodeId(nu), NodeId(nv), w);
+            }
+        }
+        (b.build(), new_to_old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+    }
+
+    #[test]
+    fn builds_csr_triangle() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert!((g.total_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merges_parallel_edges_and_drops_loops() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 0, 2.5), (2, 2, 9.0)]);
+        assert_eq!(g.num_edges(), 1);
+        let (u, v, w) = g.edge(EdgeId(0));
+        assert_eq!((u, v), (NodeId(0), NodeId(1)));
+        assert!((w - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_are_consistent_with_edges() {
+        let g = triangle();
+        let mut seen: Vec<(u32, u32)> = Vec::new();
+        for v in g.nodes() {
+            for (u, w, e) in g.neighbors(v) {
+                let (a, b, we) = g.edge(e);
+                assert!((w - we).abs() < 1e-12);
+                assert!((a == v && b == u) || (a == u && b == v));
+                seen.push((v.0, u.0));
+            }
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn cut_weight_of_singleton() {
+        let g = triangle();
+        let side = vec![true, false, false];
+        assert!((g.cut_weight(&side) - 4.0).abs() < 1e-12);
+        assert!((g.cut_weight_parts(&[0, 1, 1]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)]);
+        let (sub, map) = g.induced_subgraph(&[true, true, true, false]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(map, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn weighted_degree_sums_incident() {
+        let g = triangle();
+        assert!((g.weighted_degree(NodeId(0)) - 4.0).abs() < 1e-12);
+        assert!((g.weighted_degree(NodeId(2)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(5), 1.0);
+    }
+}

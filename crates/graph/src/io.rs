@@ -1,0 +1,262 @@
+//! Plain-text graph interchange: METIS `.graph` format and edge lists.
+//!
+//! The METIS dialect supported here is the common one produced by Chaco /
+//! METIS / KaHIP: a header `n m [fmt]` followed by one line per node listing
+//! `neighbour [weight]` pairs (1-indexed). `fmt` may be `0` (no weights) or
+//! `1` (edge weights).
+
+use crate::{Graph, GraphBuilder, NodeId};
+use std::fmt::Write as _;
+
+/// Errors produced by the parsers in this module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header line was missing or malformed.
+    BadHeader(String),
+    /// A body line failed to parse.
+    BadLine {
+        /// 1-based line number within the input.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// Edge count in the header disagreed with the body.
+    EdgeCountMismatch {
+        /// Edges promised by the header.
+        expected: usize,
+        /// Edges actually found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader(h) => write!(f, "bad header: {h}"),
+            ParseError::BadLine { line, msg } => write!(f, "line {line}: {msg}"),
+            ParseError::EdgeCountMismatch { expected, found } => {
+                write!(f, "header promised {expected} edges, body has {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a METIS `.graph` document.
+pub fn read_metis(text: &str) -> Result<Graph, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim_start().starts_with('%'));
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::BadHeader("empty input".into()))?;
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() < 2 {
+        return Err(ParseError::BadHeader(header.into()));
+    }
+    let n: usize = head[0]
+        .parse()
+        .map_err(|_| ParseError::BadHeader(header.into()))?;
+    let m: usize = head[1]
+        .parse()
+        .map_err(|_| ParseError::BadHeader(header.into()))?;
+    let fmt = head.get(2).copied().unwrap_or("0");
+    let weighted = match fmt {
+        "0" | "00" | "000" => false,
+        "1" | "01" | "001" => true,
+        other => return Err(ParseError::BadHeader(format!("unsupported fmt {other}"))),
+    };
+
+    let mut b = GraphBuilder::new(n);
+    let mut node = 0usize;
+    for (lineno, line) in lines {
+        if node >= n {
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Err(ParseError::BadLine {
+                line: lineno + 1,
+                msg: "more node lines than header declared".into(),
+            });
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let step = if weighted { 2 } else { 1 };
+        if weighted && !toks.len().is_multiple_of(2) {
+            return Err(ParseError::BadLine {
+                line: lineno + 1,
+                msg: "odd token count in weighted adjacency".into(),
+            });
+        }
+        let mut i = 0;
+        while i < toks.len() {
+            let nbr: usize = toks[i].parse().map_err(|_| ParseError::BadLine {
+                line: lineno + 1,
+                msg: format!("bad neighbour id {:?}", toks[i]),
+            })?;
+            if nbr == 0 || nbr > n {
+                return Err(ParseError::BadLine {
+                    line: lineno + 1,
+                    msg: format!("neighbour id {nbr} out of 1..={n}"),
+                });
+            }
+            let w = if weighted {
+                toks[i + 1].parse().map_err(|_| ParseError::BadLine {
+                    line: lineno + 1,
+                    msg: format!("bad weight {:?}", toks[i + 1]),
+                })?
+            } else {
+                1.0
+            };
+            // Each undirected edge appears twice; keep the canonical copy.
+            if node < nbr - 1 {
+                b.add_edge(NodeId(node as u32), NodeId((nbr - 1) as u32), w);
+            }
+            i += step;
+        }
+        node += 1;
+    }
+    let g = b.build();
+    if g.num_edges() != m {
+        return Err(ParseError::EdgeCountMismatch {
+            expected: m,
+            found: g.num_edges(),
+        });
+    }
+    Ok(g)
+}
+
+/// Serialises a graph into METIS `.graph` text (always with edge weights).
+pub fn write_metis(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {} 1", g.num_nodes(), g.num_edges());
+    for v in g.nodes() {
+        let mut first = true;
+        for (u, w, _) in g.neighbors(v) {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{} {}", u.0 + 1, w);
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a `u v w` edge list (0-indexed, one edge per line, `#` comments).
+/// The node count is `max id + 1` unless a larger `min_nodes` is given.
+pub fn read_edge_list(text: &str, min_nodes: usize) -> Result<Graph, ParseError> {
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    let mut max_id = 0u32;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 2 && toks.len() != 3 {
+            return Err(ParseError::BadLine {
+                line: lineno + 1,
+                msg: "expected `u v [w]`".into(),
+            });
+        }
+        let u: u32 = toks[0].parse().map_err(|_| ParseError::BadLine {
+            line: lineno + 1,
+            msg: format!("bad node id {:?}", toks[0]),
+        })?;
+        let v: u32 = toks[1].parse().map_err(|_| ParseError::BadLine {
+            line: lineno + 1,
+            msg: format!("bad node id {:?}", toks[1]),
+        })?;
+        let w: f64 = if toks.len() == 3 {
+            toks[2].parse().map_err(|_| ParseError::BadLine {
+                line: lineno + 1,
+                msg: format!("bad weight {:?}", toks[2]),
+            })?
+        } else {
+            1.0
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    let n = min_nodes.max(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    Ok(Graph::from_edges(n, &edges))
+}
+
+/// Serialises a graph as a `u v w` edge list.
+pub fn write_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    for (_, u, v, w) in g.edges() {
+        let _ = writeln!(out, "{} {} {}", u.0, v.0, w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metis_roundtrip() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.5), (1, 2, 2.0), (2, 3, 0.5), (0, 3, 3.0)]);
+        let text = write_metis(&g);
+        let g2 = read_metis(&text).unwrap();
+        assert_eq!(g2.num_nodes(), 4);
+        assert_eq!(g2.num_edges(), 4);
+        for (e1, e2) in g.edges().zip(g2.edges()) {
+            assert_eq!((e1.1, e1.2), (e2.1, e2.2));
+            assert!((e1.3 - e2.3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn metis_unweighted_and_comments() {
+        let text = "% a comment\n3 2\n2 3\n1\n1\n";
+        let g = read_metis(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!((g.total_weight() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metis_bad_header_rejected() {
+        assert!(matches!(read_metis("x y\n"), Err(ParseError::BadHeader(_))));
+        assert!(matches!(read_metis(""), Err(ParseError::BadHeader(_))));
+    }
+
+    #[test]
+    fn metis_out_of_range_neighbor() {
+        let err = read_metis("2 1\n3\n1\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { .. }));
+    }
+
+    #[test]
+    fn metis_edge_count_mismatch() {
+        let err = read_metis("3 5\n2\n1 3\n2\n").unwrap_err();
+        assert!(matches!(err, ParseError::EdgeCountMismatch { expected: 5, found: 2 }));
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = Graph::from_edges(5, &[(0, 4, 2.0), (1, 2, 1.0)]);
+        let text = write_edge_list(&g);
+        let g2 = read_edge_list(&text, 5).unwrap();
+        assert_eq!(g2.num_nodes(), 5);
+        assert_eq!(g2.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_comments_and_defaults() {
+        let g = read_edge_list("# header\n0 1\n1 2 4.5\n", 0).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert!((g.total_weight() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_list_bad_tokens() {
+        assert!(read_edge_list("0 x\n", 0).is_err());
+        assert!(read_edge_list("0 1 2 3 4\n", 0).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Stoer–Wagner global minimum cut.
+
+use crate::Graph;
+
+/// Computes a global minimum cut of a connected weighted graph.
+///
+/// Returns `(cut weight, side)` where `side[v]` marks one shore of the cut.
+/// Runs the classic Stoer–Wagner maximum-adjacency contraction in
+/// `O(n^3)`-ish time on a dense working matrix — intended for validation and
+/// for the modest cluster sizes that appear inside the decomposition
+/// routines, not for massive graphs.
+///
+/// # Panics
+/// Panics if the graph has fewer than 2 nodes.
+pub fn stoer_wagner(g: &Graph) -> (f64, Vec<bool>) {
+    let n = g.num_nodes();
+    assert!(n >= 2, "global min cut needs at least two nodes");
+
+    // Dense adjacency working copy.
+    let mut w = vec![vec![0f64; n]; n];
+    for (_, u, v, wt) in g.edges() {
+        w[u.index()][v.index()] += wt;
+        w[v.index()][u.index()] += wt;
+    }
+
+    // merged[v] = the set of original nodes contracted into v.
+    let mut merged: Vec<Vec<u32>> = (0..n as u32).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best = f64::INFINITY;
+    let mut best_side: Vec<bool> = vec![false; n];
+
+    while active.len() > 1 {
+        // Maximum adjacency (minimum cut phase).
+        let mut in_a = vec![false; n];
+        let mut weight_to_a = vec![0f64; n];
+        let first = active[0];
+        in_a[first] = true;
+        for &v in &active {
+            weight_to_a[v] = w[first][v];
+        }
+        let mut prev = first;
+        let mut last = first;
+        for _ in 1..active.len() {
+            // pick the most tightly connected inactive node
+            let mut sel = usize::MAX;
+            let mut selw = f64::NEG_INFINITY;
+            for &v in &active {
+                if !in_a[v] && weight_to_a[v] > selw {
+                    selw = weight_to_a[v];
+                    sel = v;
+                }
+            }
+            prev = last;
+            last = sel;
+            in_a[sel] = true;
+            for &v in &active {
+                if !in_a[v] {
+                    weight_to_a[v] += w[sel][v];
+                }
+            }
+        }
+
+        // Cut-of-the-phase: `last` alone vs the rest (in the contracted graph).
+        let phase_cut = weight_to_a[last];
+        if phase_cut < best {
+            best = phase_cut;
+            best_side = vec![false; n];
+            for &orig in &merged[last] {
+                best_side[orig as usize] = true;
+            }
+        }
+
+        // Contract `last` into `prev`.
+        let last_members = std::mem::take(&mut merged[last]);
+        merged[prev].extend(last_members);
+        for &v in &active {
+            if v != prev && v != last {
+                w[prev][v] += w[last][v];
+                w[v][prev] = w[prev][v];
+            }
+        }
+        active.retain(|&v| v != last);
+    }
+
+    (best, best_side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn two_node_cut_is_edge_weight() {
+        let g = Graph::from_edges(2, &[(0, 1, 3.5)]);
+        let (c, side) = stoer_wagner(&g);
+        assert!((c - 3.5).abs() < 1e-9);
+        assert_ne!(side[0], side[1]);
+    }
+
+    #[test]
+    fn dumbbell_cut_is_bridge() {
+        // Two triangles joined by one light edge.
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 5.0),
+                (1, 2, 5.0),
+                (0, 2, 5.0),
+                (3, 4, 5.0),
+                (4, 5, 5.0),
+                (3, 5, 5.0),
+                (2, 3, 1.0),
+            ],
+        );
+        let (c, side) = stoer_wagner(&g);
+        assert!((c - 1.0).abs() < 1e-9);
+        assert_eq!(side[0], side[1]);
+        assert_eq!(side[1], side[2]);
+        assert_ne!(side[2], side[3]);
+        assert!((g.cut_weight(&side) - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cut_weight_matches_reported_value_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..9);
+            let mut edges = Vec::new();
+            // random connected graph: spanning path + extras
+            for v in 1..n {
+                edges.push((v - 1, v, rng.gen_range(0.1..4.0)));
+            }
+            for _ in 0..n {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    edges.push((u.min(v), u.max(v), rng.gen_range(0.1..4.0)));
+                }
+            }
+            let g = Graph::from_edges(n as usize, &edges);
+            let (c, side) = stoer_wagner(&g);
+            assert!((g.cut_weight(&side) - c).abs() < 1e-9);
+            // brute force check
+            let mut bf = f64::INFINITY;
+            for mask in 1..(1u32 << n) - 1 {
+                let s: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+                bf = bf.min(g.cut_weight(&s));
+            }
+            assert!((c - bf).abs() < 1e-9, "stoer-wagner {c} vs brute force {bf}");
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Breadth-first / depth-first traversal and connected components.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Nodes reachable from `start`, in BFS order.
+pub fn bfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (u, _, _) in g.neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from `start`, in iterative DFS (preorder) order.
+pub fn dfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        if seen[v.index()] {
+            continue;
+        }
+        seen[v.index()] = true;
+        order.push(v);
+        // Push in reverse so lower-id neighbours are visited first.
+        let nbrs: Vec<NodeId> = g.neighbors(v).map(|(u, _, _)| u).collect();
+        for u in nbrs.into_iter().rev() {
+            if !seen[u.index()] {
+                stack.push(u);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components: returns `(component id per node, component count)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = count;
+        queue.push_back(NodeId(s as u32));
+        while let Some(v) = queue.pop_front() {
+            for (u, _, _) in g.neighbors(v) {
+                if comp[u.index()] == u32::MAX {
+                    comp[u.index()] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// True if the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_nodes() == 0 || connected_components(g).1 == 1
+}
+
+/// Single-source shortest path distances with positive edge *lengths*
+/// (Dijkstra with a binary heap). `lengths[e]` is the length of edge `e`;
+/// unreachable nodes get `f64::INFINITY`.
+pub fn dijkstra(g: &Graph, start: NodeId, lengths: &[f64]) -> Vec<f64> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Item(f64, u32);
+    impl Eq for Item {}
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for Item {
+        fn cmp(&self, o: &Self) -> Ordering {
+            // Min-heap on distance.
+            o.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+        }
+    }
+
+    assert_eq!(lengths.len(), g.num_edges());
+    let mut dist = vec![f64::INFINITY; g.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[start.index()] = 0.0;
+    heap.push(Item(0.0, start.0));
+    while let Some(Item(d, v)) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (u, _, e) in g.neighbors(NodeId(v)) {
+            let nd = d + lengths[e.index()];
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                heap.push(Item(nd, u.0));
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest path (as a node sequence, `start..=goal`) under edge `lengths`,
+/// or `None` if unreachable.
+pub fn shortest_path(g: &Graph, start: NodeId, goal: NodeId, lengths: &[f64]) -> Option<Vec<NodeId>> {
+    let dist = dijkstra(g, start, lengths);
+    if dist[goal.index()].is_infinite() {
+        return None;
+    }
+    // Walk backwards greedily along tight edges.
+    let mut path = vec![goal];
+    let mut cur = goal;
+    while cur != start {
+        let dc = dist[cur.index()];
+        let mut stepped = false;
+        for (u, _, e) in g.neighbors(cur) {
+            if (dist[u.index()] + lengths[e.index()] - dc).abs() <= 1e-9 * (1.0 + dc) {
+                path.push(u);
+                cur = u;
+                stepped = true;
+                break;
+            }
+        }
+        if !stepped {
+            return None; // numerically stuck; should not happen with finite dist
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    }
+
+    #[test]
+    fn bfs_visits_all_in_order() {
+        let g = path4();
+        let order = bfs_order(&g, NodeId(0));
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn dfs_visits_all() {
+        let g = path4();
+        let order = dfs_order(&g, NodeId(0));
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], NodeId(0));
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&path4()));
+    }
+
+    #[test]
+    fn dijkstra_distances_on_path() {
+        let g = path4();
+        let lens = vec![1.0; g.num_edges()];
+        let d = dijkstra(&g, NodeId(0), &lens);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn shortest_path_prefers_light_route() {
+        // 0-1-3 of total length 2 vs direct 0-3 of length 5.
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 3, 1.0)]);
+        // edge order after sorting: (0,1) (0,3) (1,3)
+        let lens = vec![1.0, 5.0, 1.0];
+        let p = shortest_path(&g, NodeId(0), NodeId(3), &lens).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn shortest_path_unreachable_is_none() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0)]);
+        let lens = vec![1.0];
+        assert!(shortest_path(&g, NodeId(0), NodeId(2), &lens).is_none());
+    }
+}

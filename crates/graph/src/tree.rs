@@ -1,0 +1,440 @@
+//! Rooted trees: construction, traversal orders, LCA, and binarisation.
+//!
+//! Used in two roles throughout the workspace:
+//! * decomposition trees over the task graph `G` (leaves ↔ nodes of `G`),
+//! * the hierarchy tree `H` (leaves ↔ compute resources).
+//!
+//! Edge weights are attached to the edge between a node and its parent.
+//! A weight of `f64::INFINITY` marks an *uncuttable* edge (the paper's
+//! dummy-node construction for binarising high-degree nodes).
+
+#![allow(clippy::needless_range_loop)] // parallel-array indexing is clearer here
+/// A rooted tree with per-edge weights (edge = node→parent link).
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    parent: Vec<u32>, // parent[root] == root (sentinel)
+    children: Vec<Vec<u32>>,
+    edge_weight: Vec<f64>, // weight of edge (v, parent(v)); 0.0 for the root
+    depth: Vec<u32>,
+    root: u32,
+}
+
+/// Incremental builder for [`RootedTree`].
+#[derive(Clone, Debug)]
+pub struct TreeBuilder {
+    parent: Vec<u32>,
+    edge_weight: Vec<f64>,
+}
+
+impl TreeBuilder {
+    /// Starts a tree consisting of just the root (node id 0).
+    pub fn new_root() -> Self {
+        Self {
+            parent: vec![0],
+            edge_weight: vec![0.0],
+        }
+    }
+
+    /// Adds a child of `parent` with the given edge weight; returns its id.
+    pub fn add_child(&mut self, parent: usize, weight: f64) -> usize {
+        assert!(parent < self.parent.len(), "parent {parent} out of range");
+        assert!(weight >= 0.0, "edge weight must be non-negative");
+        let id = self.parent.len();
+        self.parent.push(parent as u32);
+        self.edge_weight.push(weight);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.parent.len() <= 1
+    }
+
+    /// Finalises the tree.
+    pub fn build(self) -> RootedTree {
+        RootedTree::from_parents(0, self.parent, self.edge_weight)
+    }
+}
+
+impl RootedTree {
+    /// Builds a tree from a parent array. `parent[root]` must equal `root`;
+    /// every other node's parent must have a smaller... no ordering is
+    /// required, but the parent pointers must form a tree rooted at `root`.
+    ///
+    /// # Panics
+    /// Panics if the parent array contains a cycle or is disconnected.
+    pub fn from_parents(root: usize, parent: Vec<u32>, edge_weight: Vec<f64>) -> Self {
+        let n = parent.len();
+        assert_eq!(edge_weight.len(), n);
+        assert!(root < n);
+        assert_eq!(parent[root] as usize, root, "parent[root] must be root");
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if v != root {
+                assert!((parent[v] as usize) < n, "parent out of range");
+                children[parent[v] as usize].push(v as u32);
+            }
+        }
+        // Depth computation + cycle/connectivity check via BFS from root.
+        let mut depth = vec![u32::MAX; n];
+        depth[root] = 0;
+        let mut queue = std::collections::VecDeque::from([root as u32]);
+        let mut visited = 1usize;
+        while let Some(v) = queue.pop_front() {
+            for &c in &children[v as usize] {
+                assert_eq!(depth[c as usize], u32::MAX, "cycle in parent array");
+                depth[c as usize] = depth[v as usize] + 1;
+                visited += 1;
+                queue.push_back(c);
+            }
+        }
+        assert_eq!(visited, n, "parent array does not form a single tree");
+        Self {
+            parent,
+            children,
+            edge_weight,
+            depth,
+            root: root as u32,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> usize {
+        self.root as usize
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        if v == self.root as usize {
+            None
+        } else {
+            Some(self.parent[v] as usize)
+        }
+    }
+
+    /// Children of `v`.
+    pub fn children(&self, v: usize) -> &[u32] {
+        &self.children[v]
+    }
+
+    /// Weight of the edge between `v` and its parent (0.0 for the root).
+    pub fn edge_weight(&self, v: usize) -> f64 {
+        self.edge_weight[v]
+    }
+
+    /// Depth of `v` (root has depth 0).
+    pub fn depth(&self, v: usize) -> usize {
+        self.depth[v] as usize
+    }
+
+    /// True if `v` has no children.
+    pub fn is_leaf(&self, v: usize) -> bool {
+        self.children[v].is_empty()
+    }
+
+    /// All leaf ids in increasing order.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.num_nodes()).filter(|&v| self.is_leaf(v)).collect()
+    }
+
+    /// Postorder traversal (children before parents), iterative.
+    pub fn postorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.num_nodes());
+        let mut stack = vec![(self.root as usize, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                order.push(v);
+            } else {
+                stack.push((v, true));
+                for &c in self.children[v].iter().rev() {
+                    stack.push((c as usize, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Preorder traversal (parents before children).
+    pub fn preorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.num_nodes());
+        let mut stack = vec![self.root as usize];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &c in self.children[v].iter().rev() {
+                stack.push(c as usize);
+            }
+        }
+        order
+    }
+
+    /// For every node, the number of leaves in its subtree.
+    pub fn subtree_leaf_counts(&self) -> Vec<usize> {
+        let mut cnt = vec![0usize; self.num_nodes()];
+        for v in self.postorder() {
+            if self.is_leaf(v) {
+                cnt[v] = 1;
+            } else {
+                cnt[v] = self.children[v].iter().map(|&c| cnt[c as usize]).sum();
+            }
+        }
+        cnt
+    }
+
+    /// The ids of the leaves in `v`'s subtree, in DFS order.
+    pub fn leaves_under(&self, v: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            if self.is_leaf(u) {
+                out.push(u);
+            } else {
+                for &c in self.children[u].iter().rev() {
+                    stack.push(c as usize);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns an equivalent tree in which every node has at most two
+    /// children, together with `orig_of[new_id] -> Option<old_id>` (`None`
+    /// for inserted dummy nodes). The leaves (and their relative order) are
+    /// preserved; inserted dummy-to-dummy edges carry `f64::INFINITY` weight
+    /// so they are never cut, and each original child keeps its original
+    /// edge weight on the edge to its (possibly dummy) attachment point —
+    /// exactly the construction in §3 of the paper.
+    pub fn binarize(&self) -> (RootedTree, Vec<Option<usize>>) {
+        let mut parent: Vec<u32> = vec![0];
+        let mut weight: Vec<f64> = vec![0.0];
+        let mut orig_of: Vec<Option<usize>> = vec![Some(self.root as usize)];
+        let mut new_id_of = vec![u32::MAX; self.num_nodes()];
+        new_id_of[self.root as usize] = 0;
+
+        // Process originals in preorder; for each, attach its children under
+        // a binary comb of dummies when fan-out exceeds 2.
+        for v in self.preorder() {
+            let kids = &self.children[v];
+            if kids.is_empty() {
+                continue;
+            }
+            let v_new = new_id_of[v];
+            // attachment points: start with v itself (capacity 2)
+            let mut attach = v_new;
+            for (i, &c) in kids.iter().enumerate() {
+                let remaining = kids.len() - i;
+                // If more than 2 children remain to hang below `attach`,
+                // allocate a dummy to hold (this child, rest...).
+                let point = if remaining > 2 {
+                    // child hangs directly; new dummy becomes other slot
+                    let id = parent.len() as u32;
+                    parent.push(attach);
+                    weight.push(f64::INFINITY);
+                    orig_of.push(None);
+                    // attach child to current attach point, dummy takes the rest
+                    let child_new = parent.len() as u32;
+                    parent.push(attach);
+                    weight.push(self.edge_weight[c as usize]);
+                    orig_of.push(Some(c as usize));
+                    new_id_of[c as usize] = child_new;
+                    attach = id;
+                    continue;
+                } else {
+                    attach
+                };
+                let child_new = parent.len() as u32;
+                parent.push(point);
+                weight.push(self.edge_weight[c as usize]);
+                orig_of.push(Some(c as usize));
+                new_id_of[c as usize] = child_new;
+            }
+        }
+        let t = RootedTree::from_parents(0, parent, weight);
+        (t, orig_of)
+    }
+}
+
+/// Binary-lifting index for lowest-common-ancestor queries.
+#[derive(Clone, Debug)]
+pub struct LcaIndex {
+    up: Vec<Vec<u32>>, // up[k][v] = 2^k-th ancestor
+    depth: Vec<u32>,
+}
+
+impl LcaIndex {
+    /// Builds the index in `O(n log n)`.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.num_nodes();
+        let levels = usize::BITS as usize - (n.max(2) - 1).leading_zeros() as usize;
+        let mut up = vec![vec![0u32; n]; levels.max(1)];
+        for v in 0..n {
+            up[0][v] = tree.parent(v).unwrap_or(tree.root()) as u32;
+        }
+        for k in 1..up.len() {
+            for v in 0..n {
+                up[k][v] = up[k - 1][up[k - 1][v] as usize];
+            }
+        }
+        let depth = (0..n).map(|v| tree.depth(v) as u32).collect();
+        Self { up, depth }
+    }
+
+    /// Lowest common ancestor of `a` and `b`.
+    pub fn lca(&self, mut a: usize, mut b: usize) -> usize {
+        if self.depth[a] < self.depth[b] {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let mut diff = self.depth[a] - self.depth[b];
+        let mut k = 0;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                a = self.up[k][a] as usize;
+            }
+            diff >>= 1;
+            k += 1;
+        }
+        if a == b {
+            return a;
+        }
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][a] != self.up[k][b] {
+                a = self.up[k][a] as usize;
+                b = self.up[k][b] as usize;
+            }
+        }
+        self.up[0][a] as usize
+    }
+
+    /// Depth of the LCA of `a` and `b`.
+    pub fn lca_depth(&self, a: usize, b: usize) -> usize {
+        self.depth[self.lca(a, b)] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root 0 with children 1,2; 1 has children 3,4,5.
+    fn sample() -> RootedTree {
+        let mut b = TreeBuilder::new_root();
+        let a = b.add_child(0, 1.0);
+        let _c = b.add_child(0, 2.0);
+        b.add_child(a, 3.0);
+        b.add_child(a, 4.0);
+        b.add_child(a, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn builder_structure() {
+        let t = sample();
+        assert_eq!(t.num_nodes(), 6);
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.children(1), &[3, 4, 5]);
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.depth(5), 2);
+        assert!(t.is_leaf(2) && t.is_leaf(4));
+        assert_eq!(t.leaves(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn postorder_children_first() {
+        let t = sample();
+        let order = t.postorder();
+        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(3) < pos(1));
+        assert!(pos(4) < pos(1));
+        assert!(pos(1) < pos(0));
+        assert_eq!(order.len(), 6);
+        assert_eq!(*order.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn subtree_leaf_counts_sum() {
+        let t = sample();
+        let cnt = t.subtree_leaf_counts();
+        assert_eq!(cnt[0], 4);
+        assert_eq!(cnt[1], 3);
+        assert_eq!(cnt[2], 1);
+    }
+
+    #[test]
+    fn leaves_under_subtree() {
+        let t = sample();
+        assert_eq!(t.leaves_under(1), vec![3, 4, 5]);
+        assert_eq!(t.leaves_under(0).len(), 4);
+    }
+
+    #[test]
+    fn binarize_bounds_fanout_and_keeps_leaves() {
+        let t = sample();
+        let (bt, orig) = t.binarize();
+        for v in 0..bt.num_nodes() {
+            assert!(bt.children(v).len() <= 2, "node {v} has too many children");
+        }
+        // same multiset of original leaf ids
+        let mut leaves: Vec<usize> = bt
+            .leaves()
+            .into_iter()
+            .map(|v| orig[v].expect("leaf must be original"))
+            .collect();
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![2, 3, 4, 5]);
+        // original child edge weights preserved
+        for v in 0..bt.num_nodes() {
+            if let Some(o) = orig[v] {
+                if o != 0 {
+                    assert_eq!(bt.edge_weight(v), t.edge_weight(o));
+                }
+            } else {
+                assert!(bt.edge_weight(v).is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn binarize_wide_star() {
+        let mut b = TreeBuilder::new_root();
+        for i in 0..10 {
+            b.add_child(0, i as f64 + 1.0);
+        }
+        let t = b.build();
+        let (bt, orig) = t.binarize();
+        for v in 0..bt.num_nodes() {
+            assert!(bt.children(v).len() <= 2);
+        }
+        assert_eq!(bt.leaves().len(), 10);
+        let dummies = orig.iter().filter(|o| o.is_none()).count();
+        assert_eq!(dummies, 10 - 2); // f - 2 dummies for a comb over f children
+    }
+
+    #[test]
+    fn lca_queries() {
+        let t = sample();
+        let lca = LcaIndex::new(&t);
+        assert_eq!(lca.lca(3, 4), 1);
+        assert_eq!(lca.lca(3, 2), 0);
+        assert_eq!(lca.lca(5, 5), 5);
+        assert_eq!(lca.lca(1, 4), 1);
+        assert_eq!(lca.lca_depth(3, 4), 1);
+        assert_eq!(lca.lca_depth(3, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single tree")]
+    fn rejects_cycles() {
+        // 1 and 2 point at each other
+        let _ = RootedTree::from_parents(0, vec![0, 2, 1], vec![0.0, 1.0, 1.0]);
+    }
+}

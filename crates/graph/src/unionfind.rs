@@ -1,0 +1,84 @@
+//! Disjoint-set union with path halving and union by size.
+
+/// A union-find structure over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `v`'s set (path halving).
+    pub fn find(&mut self, mut v: usize) -> usize {
+        while self.parent[v] as usize != v {
+            let gp = self.parent[self.parent[v] as usize];
+            self.parent[v] = gp;
+            v = gp as usize;
+        }
+        v
+    }
+
+    /// Merges the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// True if `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements in `v`'s set.
+    pub fn set_size(&mut self, v: usize) -> usize {
+        let r = self.find(v);
+        self.size[r] as usize
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_and_finds() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.num_components(), 3);
+        assert_eq!(uf.set_size(4), 2);
+        uf.union(1, 3);
+        assert!(uf.connected(0, 4));
+        assert_eq!(uf.set_size(0), 4);
+    }
+}

@@ -1,0 +1,277 @@
+//! The hierarchy tree `H`: machine/cluster topologies with per-level
+//! communication cost multipliers.
+//!
+//! `H` has height `h` and is regular at every level: each Level-`j` node has
+//! exactly `DEG(j)` children (`j ∈ 0..h`), so there are `k = Π DEG(j)`
+//! leaves, each of capacity 1. Level `j` carries a cost multiplier `cm(j)`
+//! with `cm(0) ≥ cm(1) ≥ … ≥ cm(h)`: an edge of the task graph whose
+//! endpoints are assigned to leaves whose lowest common ancestor sits at
+//! level `j` costs `cm(j) · w(e)` (Equation 1 of the paper).
+//!
+//! Because `H` is regular, leaves are identified by dense indices
+//! `0..k` and ancestors/LCAs are pure arithmetic — no tree structure is
+//! materialised.
+
+#![warn(missing_docs)]
+
+pub mod parse;
+pub mod presets;
+
+pub use parse::{parse_hierarchy, ParseHierarchyError};
+
+/// A regular hierarchy tree with cost multipliers.
+///
+/// Invariants (checked at construction):
+/// * `degrees.len() == h ≥ 1`, every degree ≥ 1 (level `j` nodes have
+///   `degrees[j]` children);
+/// * `cost_multipliers.len() == h + 1`, entries finite, non-negative and
+///   non-increasing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hierarchy {
+    degrees: Vec<usize>,
+    cm: Vec<f64>,
+    /// cp[j] = number of leaves under a Level-j node; cp[h] = 1.
+    cp: Vec<usize>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy of height `degrees.len()` with the given per-level
+    /// cost multipliers (`cost_multipliers[j] = cm(j)`, one per level
+    /// `0..=h`).
+    ///
+    /// # Panics
+    /// Panics if the invariants described on [`Hierarchy`] are violated.
+    pub fn new(degrees: Vec<usize>, cost_multipliers: Vec<f64>) -> Self {
+        let h = degrees.len();
+        assert!(h >= 1, "hierarchy height must be at least 1");
+        assert!(
+            degrees.iter().all(|&d| d >= 1),
+            "every level degree must be at least 1"
+        );
+        assert_eq!(
+            cost_multipliers.len(),
+            h + 1,
+            "need one cost multiplier per level 0..=h"
+        );
+        assert!(
+            cost_multipliers.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "cost multipliers must be finite and non-negative"
+        );
+        assert!(
+            cost_multipliers.windows(2).all(|w| w[0] >= w[1]),
+            "cost multipliers must be non-increasing with level"
+        );
+        let mut cp = vec![1usize; h + 1];
+        for j in (0..h).rev() {
+            cp[j] = cp[j + 1]
+                .checked_mul(degrees[j])
+                .expect("leaf count overflows usize");
+        }
+        Self {
+            degrees,
+            cm: cost_multipliers,
+            cp,
+        }
+    }
+
+    /// Height `h` of the tree (leaves are at level `h`).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Number of leaves `k = CP(0)`.
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.cp[0]
+    }
+
+    /// `DEG(j)`: the number of children of a Level-`j` node, `j ∈ 0..h`.
+    #[inline]
+    pub fn degree(&self, level: usize) -> usize {
+        self.degrees[level]
+    }
+
+    /// `CP(j)`: the number of leaves (capacity) under a Level-`j` node.
+    /// `CP(h) = 1`.
+    #[inline]
+    pub fn capacity(&self, level: usize) -> usize {
+        self.cp[level]
+    }
+
+    /// `cm(j)`: cost multiplier for edges whose endpoints' LCA is at level
+    /// `j`.
+    #[inline]
+    pub fn cost_multiplier(&self, level: usize) -> f64 {
+        self.cm[level]
+    }
+
+    /// Number of Level-`j` nodes (`k / CP(j)`).
+    #[inline]
+    pub fn nodes_at_level(&self, level: usize) -> usize {
+        self.cp[0] / self.cp[level]
+    }
+
+    /// The index (among Level-`j` nodes, left to right) of the Level-`j`
+    /// ancestor of `leaf`.
+    #[inline]
+    pub fn ancestor_at_level(&self, leaf: usize, level: usize) -> usize {
+        debug_assert!(leaf < self.num_leaves());
+        leaf / self.cp[level]
+    }
+
+    /// Level of the lowest common ancestor of two leaves (two equal leaves
+    /// have LCA level `h`).
+    pub fn lca_level(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < self.num_leaves() && b < self.num_leaves());
+        // Highest (deepest) level at which the ancestors still coincide.
+        // Walk from the leaves upward; O(h) with h tiny in practice.
+        let mut level = self.height();
+        while level > 0 && a / self.cp[level] != b / self.cp[level] {
+            level -= 1;
+        }
+        level
+    }
+
+    /// The communication cost multiplier applied to an edge whose endpoints
+    /// live on leaves `a` and `b` — `cm(LCA level)`. This is the per-edge
+    /// factor in Equation 1 of the paper.
+    #[inline]
+    pub fn edge_multiplier(&self, a: usize, b: usize) -> f64 {
+        self.cm[self.lca_level(a, b)]
+    }
+
+    /// True if `cm(h) == 0` (the normalised form assumed throughout §2+ of
+    /// the paper).
+    pub fn is_normalized(&self) -> bool {
+        self.cm[self.height()] == 0.0
+    }
+
+    /// Lemma 1: converts to normalised cost multipliers. Returns the
+    /// normalised hierarchy and the constant `cm(h)` that was subtracted
+    /// from every level. For any assignment `p`,
+    /// `cost_original(p) = cost_normalized(p) + cm(h) · Σ_e w(e)`,
+    /// so optimising the normalised instance optimises the original.
+    pub fn normalized(&self) -> (Hierarchy, f64) {
+        let shift = self.cm[self.height()];
+        let cm = self.cm.iter().map(|c| c - shift).collect();
+        (
+            Hierarchy {
+                degrees: self.degrees.clone(),
+                cm,
+                cp: self.cp.clone(),
+            },
+            shift,
+        )
+    }
+
+    /// The per-level cost *deltas* `(cm(j-1) - cm(j)) / 2` for `j ∈ 1..=h`,
+    /// as used by the mirror-function cost (Equation 3). Index 0 of the
+    /// returned vector corresponds to `j = 1`.
+    pub fn half_deltas(&self) -> Vec<f64> {
+        (1..=self.height())
+            .map(|j| (self.cm[j - 1] - self.cm[j]) / 2.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> Hierarchy {
+        // 2 sockets × 3 cores, remote:shared:local = 4:1:0
+        Hierarchy::new(vec![2, 3], vec![4.0, 1.0, 0.0])
+    }
+
+    #[test]
+    fn capacities_and_counts() {
+        let h = two_level();
+        assert_eq!(h.height(), 2);
+        assert_eq!(h.num_leaves(), 6);
+        assert_eq!(h.capacity(0), 6);
+        assert_eq!(h.capacity(1), 3);
+        assert_eq!(h.capacity(2), 1);
+        assert_eq!(h.nodes_at_level(1), 2);
+        assert_eq!(h.nodes_at_level(2), 6);
+    }
+
+    #[test]
+    fn lca_levels() {
+        let h = two_level();
+        assert_eq!(h.lca_level(0, 0), 2); // same leaf
+        assert_eq!(h.lca_level(0, 2), 1); // same socket
+        assert_eq!(h.lca_level(0, 3), 0); // across sockets
+        assert_eq!(h.lca_level(5, 3), 1);
+        assert!((h.edge_multiplier(0, 2) - 1.0).abs() < 1e-12);
+        assert!((h.edge_multiplier(0, 3) - 4.0).abs() < 1e-12);
+        assert!((h.edge_multiplier(1, 1) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ancestors() {
+        let h = two_level();
+        assert_eq!(h.ancestor_at_level(4, 1), 1);
+        assert_eq!(h.ancestor_at_level(2, 1), 0);
+        assert_eq!(h.ancestor_at_level(5, 0), 0);
+        assert_eq!(h.ancestor_at_level(5, 2), 5);
+    }
+
+    #[test]
+    fn normalization_lemma1() {
+        let h = Hierarchy::new(vec![2, 2], vec![5.0, 3.0, 2.0]);
+        assert!(!h.is_normalized());
+        let (hn, shift) = h.normalized();
+        assert!((shift - 2.0).abs() < 1e-12);
+        assert!(hn.is_normalized());
+        // edge multipliers drop uniformly by the shift
+        for (a, b) in [(0usize, 1usize), (0, 2), (1, 3), (2, 2)] {
+            assert!(
+                (h.edge_multiplier(a, b) - hn.edge_multiplier(a, b) - shift).abs() < 1e-12,
+                "multiplier shift mismatch for ({a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn half_deltas_match_cm() {
+        let h = Hierarchy::new(vec![2, 2], vec![5.0, 3.0, 0.0]);
+        let d = h.half_deltas();
+        assert_eq!(d.len(), 2);
+        assert!((d[0] - 1.0).abs() < 1e-12);
+        assert!((d[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_level_lca() {
+        // 2 racks × 2 servers × 2 cores
+        let h = Hierarchy::new(vec![2, 2, 2], vec![10.0, 4.0, 1.0, 0.0]);
+        assert_eq!(h.num_leaves(), 8);
+        assert_eq!(h.lca_level(0, 1), 2);
+        assert_eq!(h.lca_level(0, 2), 1);
+        assert_eq!(h.lca_level(0, 4), 0);
+        assert_eq!(h.lca_level(6, 7), 2);
+        assert_eq!(h.lca_level(5, 6), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn rejects_increasing_multipliers() {
+        Hierarchy::new(vec![2], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost multiplier per level")]
+    fn rejects_wrong_multiplier_count() {
+        Hierarchy::new(vec![2, 2], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn flat_hierarchy_is_kbgp() {
+        let h = Hierarchy::new(vec![4], vec![1.0, 0.0]);
+        assert_eq!(h.height(), 1);
+        assert_eq!(h.num_leaves(), 4);
+        assert_eq!(h.lca_level(0, 1), 0);
+        assert_eq!(h.lca_level(2, 2), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Machine-topology presets matching the scenarios in §1 of the paper.
+//!
+//! The paper's motivating platform is a commodity streaming server: four CPU
+//! sockets, eight cores per socket, two hyperthreads per core. Tasks pinned
+//! to the same core share L1–L2, same socket shares L3, across sockets only
+//! the memory backplane. The presets here encode such platforms as
+//! [`Hierarchy`] values with decreasing cost multipliers; the absolute
+//! numbers are relative communication costs (cache-line transfer cost
+//! ratios), and callers can scale them freely.
+
+use crate::Hierarchy;
+
+/// Flat `k`-way partitioning (`h = 1`): the classic k-balanced graph
+/// partitioning objective. `cm = [1, 0]`: an edge costs its weight iff it is
+/// cut.
+pub fn flat(k: usize) -> Hierarchy {
+    Hierarchy::new(vec![k], vec![1.0, 0.0])
+}
+
+/// Minimum-bisection (`k = 2`, `h = 1`).
+pub fn bisection() -> Hierarchy {
+    flat(2)
+}
+
+/// Two-level multicore box: `sockets × cores_per_socket` cores.
+/// Cross-socket traffic costs `remote`, same-socket cross-core traffic
+/// costs `shared`, same-core traffic is free.
+pub fn multicore(sockets: usize, cores_per_socket: usize, remote: f64, shared: f64) -> Hierarchy {
+    Hierarchy::new(vec![sockets, cores_per_socket], vec![remote, shared, 0.0])
+}
+
+/// The paper's motivating TidalRace server: 4 sockets × 8 cores × 2
+/// hyperthreads (64 schedulable cores), with cost ratio
+/// backplane : L3 : L1/L2 = 8 : 2 : 1 and free intra-thread-pair traffic.
+pub fn tidalrace_server() -> Hierarchy {
+    Hierarchy::new(vec![4, 8, 2], vec![8.0, 2.0, 1.0, 0.0])
+}
+
+/// Three-level hyperthreaded box with explicit degrees and costs.
+pub fn hyperthreaded(
+    sockets: usize,
+    cores_per_socket: usize,
+    threads_per_core: usize,
+    remote: f64,
+    shared_l3: f64,
+    shared_core: f64,
+) -> Hierarchy {
+    Hierarchy::new(
+        vec![sockets, cores_per_socket, threads_per_core],
+        vec![remote, shared_l3, shared_core, 0.0],
+    )
+}
+
+/// Distributed cluster: `racks × servers_per_rack × cores_per_server`,
+/// with cross-rack : cross-server : cross-core cost `inter_rack :
+/// intra_rack : intra_server` (and free same-core traffic).
+pub fn datacenter(
+    racks: usize,
+    servers_per_rack: usize,
+    cores_per_server: usize,
+    inter_rack: f64,
+    intra_rack: f64,
+    intra_server: f64,
+) -> Hierarchy {
+    Hierarchy::new(
+        vec![racks, servers_per_rack, cores_per_server],
+        vec![inter_rack, intra_rack, intra_server, 0.0],
+    )
+}
+
+/// A uniform-cost hierarchy of the same shape as `base`: every cut costs the
+/// same regardless of level (`cm = [1, …, 1, 0]`). Under this hierarchy HGP
+/// degenerates exactly to k-BGP — the control arm of the crossover
+/// experiment (F3).
+pub fn uniform_like(base: &Hierarchy) -> Hierarchy {
+    let degrees: Vec<usize> = (0..base.height()).map(|j| base.degree(j)).collect();
+    let mut cm = vec![1.0; base.height()];
+    cm.push(0.0);
+    Hierarchy::new(degrees, cm)
+}
+
+/// Geometric cost profile of a given steepness over the shape of `base`:
+/// `cm(j) = ratio^(h - j) - 1` scaled so `cm(h) = 0` and `cm(h-1) = 1`.
+/// `ratio = 1` collapses to [`uniform_like`]; larger ratios reward keeping
+/// heavy edges deep in the hierarchy more strongly.
+pub fn geometric_like(base: &Hierarchy, ratio: f64) -> Hierarchy {
+    assert!(ratio >= 1.0, "ratio must be ≥ 1");
+    let h = base.height();
+    let degrees: Vec<usize> = (0..h).map(|j| base.degree(j)).collect();
+    let cm: Vec<f64> = (0..=h)
+        .map(|j| {
+            if j == h {
+                0.0
+            } else if ratio == 1.0 {
+                1.0
+            } else {
+                (ratio.powi((h - j) as i32) - 1.0) / (ratio - 1.0)
+            }
+        })
+        .collect();
+    Hierarchy::new(degrees, cm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_kbgp() {
+        let h = flat(5);
+        assert_eq!(h.height(), 1);
+        assert_eq!(h.num_leaves(), 5);
+        assert_eq!(h.cost_multiplier(0), 1.0);
+        assert_eq!(h.cost_multiplier(1), 0.0);
+    }
+
+    #[test]
+    fn tidalrace_has_64_cores() {
+        let h = tidalrace_server();
+        assert_eq!(h.num_leaves(), 64);
+        assert_eq!(h.height(), 3);
+        // hyperthread pair on the same core: level-3 LCA would be the same
+        // leaf; two threads of one core share level 2
+        assert_eq!(h.lca_level(0, 1), 2);
+        assert!((h.edge_multiplier(0, 1) - 1.0).abs() < 1e-12);
+        // across sockets
+        assert_eq!(h.lca_level(0, 16), 0);
+    }
+
+    #[test]
+    fn datacenter_shape() {
+        let h = datacenter(3, 4, 8, 20.0, 5.0, 1.0, );
+        assert_eq!(h.num_leaves(), 96);
+        assert_eq!(h.capacity(1), 32);
+        assert_eq!(h.capacity(2), 8);
+    }
+
+    #[test]
+    fn uniform_like_flattens_costs() {
+        let base = tidalrace_server();
+        let u = uniform_like(&base);
+        assert_eq!(u.height(), base.height());
+        assert_eq!(u.num_leaves(), base.num_leaves());
+        for j in 0..u.height() {
+            assert_eq!(u.cost_multiplier(j), 1.0);
+        }
+        assert_eq!(u.cost_multiplier(u.height()), 0.0);
+    }
+
+    #[test]
+    fn geometric_ratio_one_is_uniform() {
+        let base = multicore(2, 4, 4.0, 1.0);
+        let g = geometric_like(&base, 1.0);
+        assert_eq!(g.cost_multiplier(0), 1.0);
+        assert_eq!(g.cost_multiplier(1), 1.0);
+        assert_eq!(g.cost_multiplier(2), 0.0);
+    }
+
+    #[test]
+    fn geometric_steepness_grows() {
+        let base = multicore(2, 4, 4.0, 1.0);
+        let g2 = geometric_like(&base, 2.0);
+        // cm = [(4-1)/1, (2-1)/1, 0] = [3, 1, 0]
+        assert!((g2.cost_multiplier(0) - 3.0).abs() < 1e-12);
+        assert!((g2.cost_multiplier(1) - 1.0).abs() < 1e-12);
+        let g4 = geometric_like(&base, 4.0);
+        assert!(g4.cost_multiplier(0) > g2.cost_multiplier(0));
+        // normalised so cm(h-1) = 1 in both
+        assert!((g4.cost_multiplier(1) - 1.0).abs() < 1e-12);
+    }
+}

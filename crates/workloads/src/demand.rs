@@ -1,0 +1,167 @@
+//! Demand models: how much CPU each task consumes.
+//!
+//! Placement difficulty depends as much on the demand distribution as on
+//! the graph: uniform light tasks pack anywhere, bimodal mixes stress the
+//! Theorem-5 packing, and degree-proportional demands couple load to
+//! communication structure (hub operators are also the hot ones).
+
+use hgp_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// A demand distribution over tasks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DemandModel {
+    /// Every task demands exactly `d`.
+    Constant(f64),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// With probability `p_heavy` a task is heavy (`[heavy_lo, heavy_hi]`),
+    /// otherwise light (`[light_lo, light_hi]`). Stresses bin packing.
+    Bimodal {
+        /// Probability of a heavy task.
+        p_heavy: f64,
+        /// Heavy range low.
+        heavy_lo: f64,
+        /// Heavy range high.
+        heavy_hi: f64,
+        /// Light range low.
+        light_lo: f64,
+        /// Light range high.
+        light_hi: f64,
+    },
+    /// Proportional to weighted degree, scaled into `(0, max]` — hubs work
+    /// hardest.
+    DegreeProportional {
+        /// Maximum demand (assigned to the heaviest hub).
+        max: f64,
+    },
+}
+
+impl DemandModel {
+    /// Samples a demand vector for the nodes of `g`.
+    ///
+    /// # Panics
+    /// Panics if the model parameters leave the `(0, 1]` demand range.
+    pub fn sample<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Vec<f64> {
+        let n = g.num_nodes();
+        let out: Vec<f64> = match *self {
+            DemandModel::Constant(d) => vec![d; n],
+            DemandModel::Uniform { lo, hi } => {
+                assert!(0.0 < lo && lo <= hi && hi <= 1.0);
+                (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+            }
+            DemandModel::Bimodal {
+                p_heavy,
+                heavy_lo,
+                heavy_hi,
+                light_lo,
+                light_hi,
+            } => {
+                assert!((0.0..=1.0).contains(&p_heavy));
+                assert!(0.0 < light_lo && light_lo <= light_hi);
+                assert!(light_hi <= heavy_lo && heavy_lo <= heavy_hi && heavy_hi <= 1.0);
+                (0..n)
+                    .map(|_| {
+                        if rng.gen_bool(p_heavy) {
+                            rng.gen_range(heavy_lo..=heavy_hi)
+                        } else {
+                            rng.gen_range(light_lo..=light_hi)
+                        }
+                    })
+                    .collect()
+            }
+            DemandModel::DegreeProportional { max } => {
+                assert!(0.0 < max && max <= 1.0);
+                let wd: Vec<f64> = (0..n)
+                    .map(|v| g.weighted_degree(NodeId(v as u32)))
+                    .collect();
+                let top = wd.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
+                wd.iter().map(|&d| (d / top * max).max(1e-3)).collect()
+            }
+        };
+        debug_assert!(out.iter().all(|&d| d > 0.0 && d <= 1.0));
+        out
+    }
+
+    /// Expected total demand (approximate, for suite sizing).
+    pub fn expected_total(&self, n: usize) -> f64 {
+        let per = match *self {
+            DemandModel::Constant(d) => d,
+            DemandModel::Uniform { lo, hi } => (lo + hi) / 2.0,
+            DemandModel::Bimodal {
+                p_heavy,
+                heavy_lo,
+                heavy_hi,
+                light_lo,
+                light_hi,
+            } => p_heavy * (heavy_lo + heavy_hi) / 2.0 + (1.0 - p_heavy) * (light_lo + light_hi) / 2.0,
+            DemandModel::DegreeProportional { max } => max / 2.0,
+        };
+        per * n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mesh() -> Graph {
+        let mut r = StdRng::seed_from_u64(1);
+        generators::grid2d(&mut r, 5, 5, 0.5, 2.0)
+    }
+
+    #[test]
+    fn constant_model() {
+        let mut r = StdRng::seed_from_u64(2);
+        let d = DemandModel::Constant(0.25).sample(&mesh(), &mut r);
+        assert!(d.iter().all(|&x| x == 0.25));
+        assert!((DemandModel::Constant(0.25).expected_total(25) - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        let d = DemandModel::Uniform { lo: 0.1, hi: 0.3 }.sample(&mesh(), &mut r);
+        assert!(d.iter().all(|&x| (0.1..=0.3).contains(&x)));
+    }
+
+    #[test]
+    fn bimodal_produces_both_modes() {
+        let mut r = StdRng::seed_from_u64(4);
+        let m = DemandModel::Bimodal {
+            p_heavy: 0.3,
+            heavy_lo: 0.6,
+            heavy_hi: 0.9,
+            light_lo: 0.05,
+            light_hi: 0.15,
+        };
+        let d = m.sample(&mesh(), &mut r);
+        assert!(d.iter().any(|&x| x >= 0.6), "no heavy task sampled");
+        assert!(d.iter().any(|&x| x <= 0.15), "no light task sampled");
+        assert!(d.iter().all(|&x| x <= 0.9 && x > 0.0));
+    }
+
+    #[test]
+    fn degree_proportional_peaks_at_hubs() {
+        let mut r = StdRng::seed_from_u64(5);
+        let g = generators::barabasi_albert(&mut r, 40, 2, 1.0, 1.0);
+        let d = DemandModel::DegreeProportional { max: 0.5 }.sample(&g, &mut r);
+        let hub = (0..40)
+            .max_by(|&a, &b| {
+                g.weighted_degree(NodeId(a as u32))
+                    .partial_cmp(&g.weighted_degree(NodeId(b as u32)))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!((d[hub] - 0.5).abs() < 1e-12, "hub must get max demand");
+        assert!(d.iter().all(|&x| x > 0.0 && x <= 0.5));
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment workloads.
+//!
+//! The paper's motivating application is a parallelised data-stream
+//! processing system (TidalRace): DAGs of streaming operators with
+//! heavy-tailed communication volumes pinned onto multicore servers.
+//! [`stream`] generates synthetic operator graphs of that shape;
+//! [`suite`] packages them — together with the scientific-mesh and
+//! power-law service-graph families — into the named instances the
+//! experiment harness sweeps over.
+
+#![warn(missing_docs)]
+
+pub mod demand;
+pub mod stream;
+pub mod suite;
+
+pub use demand::DemandModel;
+pub use stream::{stream_dag, StreamOpts};
+pub use suite::{machines, standard_suite, NamedInstance};

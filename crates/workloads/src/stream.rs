@@ -1,0 +1,238 @@
+//! Streaming-query operator graphs (the TidalRace-shaped workload).
+//!
+//! Each query is a pipeline `source → parse → stage₁ → … → sink`. Stages
+//! widen and narrow (partitioned operators), joins pull in edges across
+//! queries, and stream volume decays through filters — producing the
+//! skewed, locally-heavy communication structure that motivates
+//! hierarchy-aware placement. Operator CPU demand is proportional to the
+//! volume it processes.
+
+use hgp_core::Instance;
+use hgp_graph::{GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Parameters for [`stream_dag`].
+#[derive(Clone, Copy, Debug)]
+pub struct StreamOpts {
+    /// Number of independent queries (pipelines).
+    pub queries: usize,
+    /// Stages per pipeline (excluding source and sink).
+    pub depth: usize,
+    /// Maximum parallel operators per stage.
+    pub max_width: usize,
+    /// Probability that a stage operator also reads a cross-query stream
+    /// (a join edge).
+    pub join_prob: f64,
+    /// Source stream volume (edge-weight scale).
+    pub source_volume: f64,
+    /// Per-stage volume retention (filters drop the rest): `0 < r ≤ 1`.
+    pub retention: f64,
+    /// Maximum single-task demand after normalisation (demands land in
+    /// `(0, max_demand]`).
+    pub max_demand: f64,
+}
+
+impl Default for StreamOpts {
+    fn default() -> Self {
+        Self {
+            queries: 4,
+            depth: 4,
+            max_width: 3,
+            join_prob: 0.15,
+            source_volume: 8.0,
+            retention: 0.7,
+            max_demand: 0.5,
+        }
+    }
+}
+
+/// Generates a streaming-operator instance (graph + demands).
+///
+/// The DAG is returned as an undirected weighted graph (communication cost
+/// is direction-free); demands are the per-operator processed volumes
+/// normalised into `(0, max_demand]`.
+pub fn stream_dag<R: Rng + ?Sized>(rng: &mut R, opts: &StreamOpts) -> Instance {
+    assert!(opts.queries >= 1 && opts.depth >= 1 && opts.max_width >= 1);
+    assert!(opts.retention > 0.0 && opts.retention <= 1.0);
+    assert!(opts.max_demand > 0.0 && opts.max_demand <= 1.0);
+
+    let mut b = GraphBuilder::new(0);
+    let mut volume: Vec<f64> = Vec::new(); // processed volume per operator
+    let mut next_id = 0usize;
+    let mut alloc = |b: &mut GraphBuilder, volume: &mut Vec<f64>, vol: f64| -> usize {
+        let id = next_id;
+        next_id += 1;
+        b.ensure_nodes(next_id);
+        volume.push(vol);
+        id
+    };
+
+    // stage_ops[q][s] = operator ids of query q, stage s
+    let mut stage_ops: Vec<Vec<Vec<usize>>> = Vec::with_capacity(opts.queries);
+    for _ in 0..opts.queries {
+        let mut stages: Vec<Vec<usize>> = Vec::with_capacity(opts.depth + 2);
+        let src = alloc(&mut b, &mut volume, opts.source_volume);
+        stages.push(vec![src]);
+        let mut vol = opts.source_volume;
+        for _ in 0..opts.depth {
+            vol *= opts.retention;
+            let width = rng.gen_range(1..=opts.max_width);
+            let mut ops = Vec::with_capacity(width);
+            for _ in 0..width {
+                ops.push(alloc(&mut b, &mut volume, vol / width as f64));
+            }
+            // connect each operator to 1-2 upstream operators
+            let prev = stages.last().unwrap().clone();
+            for &op in &ops {
+                let fan_in = 1 + usize::from(prev.len() > 1 && rng.gen_bool(0.3));
+                let mut picked: Vec<usize> = Vec::new();
+                while picked.len() < fan_in {
+                    let p = prev[rng.gen_range(0..prev.len())];
+                    if !picked.contains(&p) {
+                        picked.push(p);
+                    }
+                }
+                for &p in &picked {
+                    let w = vol / (ops.len() as f64 * picked.len() as f64);
+                    b.add_edge(NodeId(p as u32), NodeId(op as u32), w.max(1e-3));
+                }
+            }
+            stages.push(ops);
+        }
+        // sink
+        vol *= opts.retention;
+        let sink = alloc(&mut b, &mut volume, vol);
+        for &p in stages.last().unwrap().clone().iter() {
+            b.add_edge(
+                NodeId(p as u32),
+                NodeId(sink as u32),
+                (vol / stages.last().unwrap().len() as f64).max(1e-3),
+            );
+        }
+        stages.push(vec![sink]);
+        stage_ops.push(stages);
+    }
+
+    // cross-query joins: an operator occasionally reads a peer query's
+    // same-depth stage output
+    if opts.queries > 1 {
+        for q in 0..opts.queries {
+            for s in 1..=opts.depth {
+                for &op in &stage_ops[q][s].clone() {
+                    if rng.gen_bool(opts.join_prob) {
+                        let q2 = (q + 1 + rng.gen_range(0..opts.queries - 1)) % opts.queries;
+                        let peer_stage = &stage_ops[q2][s - 1];
+                        let p = peer_stage[rng.gen_range(0..peer_stage.len())];
+                        let w = opts.source_volume * opts.retention.powi(s as i32) * 0.5;
+                        b.add_edge(NodeId(p as u32), NodeId(op as u32), w.max(1e-3));
+                    }
+                }
+            }
+        }
+    }
+
+    // shared egress bus: query sinks feed one output path (also guarantees
+    // the instance is connected even when no joins were sampled)
+    if opts.queries > 1 {
+        let sinks: Vec<usize> = stage_ops.iter().map(|s| s.last().unwrap()[0]).collect();
+        for w in sinks.windows(2) {
+            b.add_edge(NodeId(w[0] as u32), NodeId(w[1] as u32), 1e-3);
+        }
+    }
+
+    let g = b.build();
+    // normalise demands into (0, max_demand]
+    let vmax = volume.iter().copied().fold(f64::MIN, f64::max);
+    let demands: Vec<f64> = volume
+        .iter()
+        .map(|&v| (v / vmax * opts.max_demand).max(1e-3))
+        .collect();
+    Instance::new(g, demands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::traversal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_expected_size_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let opts = StreamOpts::default();
+        let inst = stream_dag(&mut rng, &opts);
+        let n = inst.num_tasks();
+        // per query: 1 source + depth stages (1..=3 ops) + 1 sink
+        let min = opts.queries * (2 + opts.depth);
+        let max = opts.queries * (2 + opts.depth * opts.max_width);
+        assert!((min..=max).contains(&n), "n = {n} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn demands_are_valid_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = stream_dag(&mut rng, &StreamOpts::default());
+        assert!(inst.demands().iter().all(|&d| d > 0.0 && d <= 0.5));
+        // sources carry the max demand; sinks are much lighter
+        let dmax = inst.demands().iter().copied().fold(f64::MIN, f64::max);
+        let dmin = inst.demands().iter().copied().fold(f64::MAX, f64::min);
+        assert!(dmax / dmin > 2.0, "expected demand skew, {dmax}/{dmin}");
+    }
+
+    #[test]
+    fn pipelines_are_internally_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let opts = StreamOpts {
+            queries: 1,
+            ..Default::default()
+        };
+        let inst = stream_dag(&mut rng, &opts);
+        assert!(traversal::is_connected(inst.graph()));
+    }
+
+    #[test]
+    fn multi_query_instances_are_always_connected() {
+        // even with joins disabled, the shared egress bus connects queries
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let opts = StreamOpts {
+                queries: 5,
+                join_prob: 0.0,
+                ..Default::default()
+            };
+            let inst = stream_dag(&mut rng, &opts);
+            assert!(
+                traversal::is_connected(inst.graph()),
+                "seed {seed} produced a disconnected instance"
+            );
+        }
+    }
+
+    #[test]
+    fn volume_decays_downstream() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let opts = StreamOpts {
+            queries: 1,
+            depth: 5,
+            max_width: 1,
+            join_prob: 0.0,
+            ..Default::default()
+        };
+        let inst = stream_dag(&mut rng, &opts);
+        // single chain: demands strictly... non-increasing along node ids
+        let d = inst.demands();
+        for w in d.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = stream_dag(&mut StdRng::seed_from_u64(9), &StreamOpts::default());
+        let b = stream_dag(&mut StdRng::seed_from_u64(9), &StreamOpts::default());
+        assert_eq!(a.num_tasks(), b.num_tasks());
+        assert_eq!(a.graph().num_edges(), b.graph().num_edges());
+        assert_eq!(a.demands(), b.demands());
+    }
+}

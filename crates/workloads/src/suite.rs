@@ -1,0 +1,142 @@
+//! Named instances and machine topologies for the experiment suite.
+
+use crate::stream::{stream_dag, StreamOpts};
+use hgp_core::Instance;
+use hgp_graph::generators;
+use hgp_hierarchy::{presets, Hierarchy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A workload with a stable name for experiment tables.
+pub struct NamedInstance {
+    /// Table label.
+    pub name: String,
+    /// The instance.
+    pub inst: Instance,
+}
+
+/// Draws per-task demands in `[lo, hi]`.
+fn demands<R: Rng + ?Sized>(rng: &mut R, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+/// The standard workload suite used by experiments T2/T3/A1–A3:
+///
+/// | name          | shape                              | demands      |
+/// |---------------|------------------------------------|--------------|
+/// | `stream-N`    | streaming-operator DAG             | volume-based |
+/// | `mesh-RxC`    | 2-D grid (scientific kernel)       | uniform draw |
+/// | `powerlaw-N`  | Barabási–Albert service graph      | uniform draw |
+/// | `clustered-N` | planted modules + sparse backbone  | uniform draw |
+///
+/// All instances are sized so they fit the 8–16-leaf machines of
+/// [`machines`] with headroom factor ~0.6.
+pub fn standard_suite(seed: u64) -> Vec<NamedInstance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+
+    let stream = stream_dag(
+        &mut rng,
+        &StreamOpts {
+            queries: 6,
+            depth: 4,
+            max_width: 3,
+            join_prob: 0.2,
+            max_demand: 0.35,
+            ..Default::default()
+        },
+    );
+    out.push(NamedInstance {
+        name: format!("stream-{}", stream.num_tasks()),
+        inst: stream,
+    });
+
+    let mesh = generators::grid2d(&mut rng, 8, 8, 0.5, 2.0);
+    let d = demands(&mut rng, 64, 0.05, 0.18);
+    out.push(NamedInstance {
+        name: "mesh-8x8".into(),
+        inst: Instance::new(mesh, d),
+    });
+
+    let pl = generators::barabasi_albert(&mut rng, 64, 2, 0.5, 3.0);
+    let d = demands(&mut rng, 64, 0.05, 0.18);
+    out.push(NamedInstance {
+        name: "powerlaw-64".into(),
+        inst: Instance::new(pl, d),
+    });
+
+    let cl = generators::planted_clusters(&mut rng, 8, 8, 0.5, 3.0, 0.02, 0.3);
+    let d = demands(&mut rng, 64, 0.05, 0.18);
+    out.push(NamedInstance {
+        name: "clustered-64".into(),
+        inst: Instance::new(cl, d),
+    });
+
+    out
+}
+
+/// The machine topologies experiments sweep over, with stable labels.
+pub fn machines() -> Vec<(String, Hierarchy)> {
+    vec![
+        ("flat-8".into(), presets::flat(8)),
+        ("2x4-socket".into(), presets::multicore(2, 4, 4.0, 1.0)),
+        ("4x4-socket".into(), presets::multicore(4, 4, 6.0, 1.0)),
+        (
+            "2x2x4-cluster".into(),
+            presets::datacenter(2, 2, 4, 12.0, 4.0, 1.0),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_instances_fit_suite_machines() {
+        let suite = standard_suite(42);
+        assert_eq!(suite.len(), 4);
+        for (mname, h) in machines() {
+            for w in &suite {
+                assert!(
+                    w.inst.check_feasible(&h).is_ok(),
+                    "{} does not fit {}: total demand {}",
+                    w.name,
+                    mname,
+                    w.inst.total_demand()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = standard_suite(7);
+        let b = standard_suite(7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.inst.demands(), y.inst.demands());
+        }
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let suite = standard_suite(1);
+        let mut names: Vec<&str> = suite.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn machines_have_nondecreasing_multipliers_inward() {
+        for (name, h) in machines() {
+            for j in 0..h.height() {
+                assert!(
+                    h.cost_multiplier(j) >= h.cost_multiplier(j + 1),
+                    "{name}: multipliers must decrease with depth"
+                );
+            }
+        }
+    }
+}

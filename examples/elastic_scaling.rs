@@ -1,0 +1,88 @@
+//! Online operation: a streaming job scales out at runtime and the
+//! incremental placer keeps the pinning good without re-placing the world.
+//!
+//! ```text
+//! cargo run --release --example elastic_scaling
+//! ```
+
+use hgp::core::incremental::DynamicPlacer;
+use hgp::core::solver::{solve, SolverOptions};
+use hgp::core::Rounding;
+use hgp::hierarchy::presets;
+use hgp::workloads::{stream_dag, StreamOpts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let machine = presets::multicore(2, 4, 4.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(99);
+    let inst = stream_dag(
+        &mut rng,
+        &StreamOpts {
+            queries: 3,
+            depth: 3,
+            max_width: 2,
+            max_demand: 0.3,
+            ..Default::default()
+        },
+    );
+
+    // offline: the paper's pipeline produces the initial pinning
+    let opts = SolverOptions {
+        num_trees: 4,
+        rounding: Rounding::with_units(8),
+        ..Default::default()
+    };
+    let initial = solve(&inst, &machine, &opts).expect("solvable");
+    println!(
+        "initial deployment: {} operators, cost {:.2}, max load {:.2}",
+        inst.num_tasks(),
+        initial.cost,
+        initial.violation.worst_factor()
+    );
+
+    // online: wrap it in a dynamic placer and scale out
+    let mut placer = DynamicPlacer::with_initial(machine.clone(), &inst, &initial.assignment);
+    let base_churn = placer.churn();
+
+    // a query gets 4 new parallel aggregation operators reading from
+    // operators 0 and 1 with heavy streams
+    let mut new_ops = Vec::new();
+    for i in 0..4 {
+        let id = placer.add_task(0.25, &[(0, 4.0), (1, 2.0 + i as f64)]);
+        new_ops.push(id);
+    }
+    println!(
+        "\nafter scale-out (+4 operators): cost {:.2}, max load {:.2}, churn {}",
+        placer.cost(),
+        placer.max_load(),
+        placer.churn() - base_churn
+    );
+
+    // load spike: the hub operator's demand doubles
+    placer.update_demand(0, (inst.demand(0) * 2.0).min(1.0));
+    println!(
+        "after hub demand spike: cost {:.2}, max load {:.2}",
+        placer.cost(),
+        placer.max_load()
+    );
+
+    // periodic rebalance pass (bounded churn)
+    let (moves, gained) = placer.rebalance(8);
+    println!(
+        "rebalance: {moves} moves recovered {gained:.2} cost -> cost {:.2}, max load {:.2}",
+        placer.cost(),
+        placer.max_load()
+    );
+
+    // scale back in
+    for id in new_ops {
+        placer.remove_task(id);
+    }
+    println!(
+        "after scale-in: cost {:.2}, {} operators live, total churn {}",
+        placer.cost(),
+        placer.num_active(),
+        placer.churn()
+    );
+}

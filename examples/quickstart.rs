@@ -1,0 +1,55 @@
+//! Quickstart: place a small task graph onto a two-socket machine.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hgp::core::solver::{solve, SolverOptions};
+use hgp::core::{Instance, Rounding};
+use hgp::graph::{Graph, GraphBuilder, NodeId};
+use hgp::hierarchy::presets;
+
+fn main() {
+    // A tiny stream-processing pipeline: two sources feeding a join that
+    // fans out to two aggregators and a sink. Edge weights are message
+    // rates; vertex demands are CPU fractions.
+    let mut b = GraphBuilder::new(6);
+    let w = |b: &mut GraphBuilder, u: u32, v: u32, w: f64| b.add_edge(NodeId(u), NodeId(v), w);
+    w(&mut b, 0, 2, 8.0); // source A -> join
+    w(&mut b, 1, 2, 8.0); // source B -> join
+    w(&mut b, 2, 3, 5.0); // join -> agg 1
+    w(&mut b, 2, 4, 5.0); // join -> agg 2
+    w(&mut b, 3, 5, 1.0); // agg 1 -> sink
+    w(&mut b, 4, 5, 1.0); // agg 2 -> sink
+    let graph: Graph = b.build();
+    let demands = vec![0.5, 0.5, 0.8, 0.4, 0.4, 0.2];
+    let inst = Instance::new(graph, demands);
+
+    // 2 sockets x 2 cores; cross-socket traffic is 4x the cost of
+    // cross-core traffic on the same socket; same-core traffic is free.
+    let machine = presets::multicore(2, 2, 4.0, 1.0);
+
+    let opts = SolverOptions {
+        num_trees: 4,
+        rounding: Rounding::with_units(16),
+        ..Default::default()
+    };
+    let report = solve(&inst, &machine, &opts).expect("solvable instance");
+
+    println!("communication cost (Eq. 1): {:.2}", report.cost);
+    println!(
+        "worst capacity factor: {:.2} (bound {:.2})",
+        report.violation.worst_factor(),
+        2.0 * (1.0 + machine.height() as f64)
+    );
+    println!("winning decomposition tree: #{}", report.best_tree);
+    let names = ["srcA", "srcB", "join", "agg1", "agg2", "sink"];
+    for (task, name) in names.iter().enumerate() {
+        let leaf = report.assignment.leaf(task);
+        println!(
+            "  {name:<5} -> socket {} core {}",
+            machine.ancestor_at_level(leaf, 1),
+            leaf
+        );
+    }
+}

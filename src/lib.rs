@@ -1,0 +1,48 @@
+//! Hierarchical graph partitioning (SPAA 2014) — umbrella crate.
+//!
+//! Assigns communicating tasks to the leaves of a machine hierarchy
+//! (cores within sockets within racks) so that no resource is
+//! oversubscribed and the hierarchy-weighted communication cost is
+//! minimised, using the paper's `(O(log n), (1+ε)(1+h))`-bicriteria
+//! approximation.
+//!
+//! # Example
+//!
+//! ```
+//! use hgp::core::solver::{solve, SolverOptions};
+//! use hgp::core::{Instance, Rounding};
+//! use hgp::graph::Graph;
+//! use hgp::hierarchy::presets;
+//!
+//! // two producer/consumer pairs with a light cross edge
+//! let g = Graph::from_edges(4, &[(0, 1, 9.0), (2, 3, 9.0), (1, 2, 0.5)]);
+//! let inst = Instance::new(g, vec![0.6, 0.6, 0.6, 0.6]);
+//! // 2 sockets x 2 cores, cross-socket traffic 4x as expensive
+//! let machine = presets::multicore(2, 2, 4.0, 1.0);
+//!
+//! let opts = SolverOptions {
+//!     num_trees: 2,
+//!     rounding: Rounding::with_units(8),
+//!     ..Default::default()
+//! };
+//! let report = solve(&inst, &machine, &opts).unwrap();
+//!
+//! // each heavy pair lands on a shared socket — here even a shared core,
+//! // using the bicriteria capacity slack (1.2 load on a 1.0 core is well
+//! // inside the (1+eps)(1+h) bound), which silences both 9.0 edges
+//! assert_eq!(report.assignment.leaf(0) / 2, report.assignment.leaf(1) / 2);
+//! assert_eq!(report.assignment.leaf(2) / 2, report.assignment.leaf(3) / 2);
+//! assert!(report.cost <= 2.0, "only the light cross edge may pay");
+//! // and nothing is oversubscribed beyond the paper's bound
+//! assert!(report.violation.worst_factor() <= 2.0 * 3.0);
+//! ```
+//!
+//! See the crate-level docs of [`core`], [`decomp`], [`baselines`] and the
+//! `examples/` directory for the full tour.
+
+pub use hgp_baselines as baselines;
+pub use hgp_core as core;
+pub use hgp_decomp as decomp;
+pub use hgp_graph as graph;
+pub use hgp_hierarchy as hierarchy;
+pub use hgp_workloads as workloads;

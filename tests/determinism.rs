@@ -1,0 +1,72 @@
+//! Determinism: every pipeline stage is bit-reproducible from its seed.
+
+use hgp::core::solver::{solve, SolverOptions};
+use hgp::core::{solve_tree_instance, Instance, Rounding};
+use hgp::decomp::{build_decomp_tree, racke_distribution, DecompOpts};
+use hgp::graph::generators;
+use hgp::hierarchy::presets;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn decomposition_trees_are_seed_stable() {
+    let mut r1 = StdRng::seed_from_u64(31);
+    let g = generators::gnp_connected(&mut r1, 30, 0.2, 0.5, 2.0);
+    let w = vec![1.0; 30];
+    let t1 = build_decomp_tree(&g, &w, None, &DecompOpts::default(), &mut StdRng::seed_from_u64(1));
+    let t2 = build_decomp_tree(&g, &w, None, &DecompOpts::default(), &mut StdRng::seed_from_u64(1));
+    assert_eq!(t1.tree.num_nodes(), t2.tree.num_nodes());
+    assert_eq!(t1.task_of_leaf, t2.task_of_leaf);
+    for v in 0..t1.tree.num_nodes() {
+        assert_eq!(t1.tree.parent(v), t2.tree.parent(v));
+        assert!((t1.tree.edge_weight(v) - t2.tree.edge_weight(v)).abs() < 1e-15);
+    }
+}
+
+#[test]
+fn distributions_are_seed_stable() {
+    let mut r = StdRng::seed_from_u64(32);
+    let g = generators::grid2d(&mut r, 5, 5, 1.0, 2.0);
+    let w = vec![1.0; 25];
+    let d1 = racke_distribution(&g, &w, 3, &DecompOpts::default(), &mut StdRng::seed_from_u64(2));
+    let d2 = racke_distribution(&g, &w, 3, &DecompOpts::default(), &mut StdRng::seed_from_u64(2));
+    for (a, b) in d1.trees.iter().zip(&d2.trees) {
+        assert_eq!(a.task_of_leaf, b.task_of_leaf);
+    }
+}
+
+#[test]
+fn tree_solver_is_deterministic() {
+    let mut r = StdRng::seed_from_u64(33);
+    let g = generators::random_tree(&mut r, 18, 0.5, 3.0);
+    let inst = Instance::uniform(g, 0.4);
+    let h = presets::multicore(2, 4, 4.0, 1.0);
+    let a = solve_tree_instance(&inst, &h, Rounding::with_units(16)).unwrap();
+    let b = solve_tree_instance(&inst, &h, Rounding::with_units(16)).unwrap();
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    assert_eq!(a.dp_entries, b.dp_entries);
+}
+
+#[test]
+fn full_solver_is_seed_stable_and_thread_independent() {
+    let mut r = StdRng::seed_from_u64(34);
+    let g = generators::gnp_connected(&mut r, 20, 0.25, 0.5, 2.0);
+    let inst = Instance::uniform(g, 0.3);
+    let h = presets::multicore(2, 4, 4.0, 1.0);
+    let base = SolverOptions {
+        num_trees: 4,
+        seed: 99,
+        ..Default::default()
+    };
+    let r1 = solve(&inst, &h, &SolverOptions { threads: 1, ..base }).unwrap();
+    let r2 = solve(&inst, &h, &SolverOptions { threads: 8, ..base }).unwrap();
+    let r3 = solve(&inst, &h, &SolverOptions { threads: 0, ..base }).unwrap();
+    assert_eq!(r1.assignment, r2.assignment);
+    assert_eq!(r1.assignment, r3.assignment);
+    assert_eq!(r1.cost.to_bits(), r2.cost.to_bits());
+    assert_eq!(r1.best_tree, r2.best_tree);
+    // a different seed is allowed to (and here does) pick another tree
+    let r4 = solve(&inst, &h, &SolverOptions { seed: 100, ..base }).unwrap();
+    assert!(r4.cost.is_finite());
+}

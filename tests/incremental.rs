@@ -1,0 +1,114 @@
+//! The online placer against offline re-solves: churn stays bounded while
+//! quality stays within a constant of recomputing from scratch.
+
+use hgp::core::incremental::DynamicPlacer;
+use hgp::core::solver::{solve, SolverOptions};
+use hgp::core::{Instance, Rounding};
+use hgp::graph::GraphBuilder;
+use hgp::graph::NodeId;
+use hgp::hierarchy::presets;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replays a random arrival sequence through the placer and through
+/// periodic full re-solves, comparing final quality and churn.
+#[test]
+fn online_quality_tracks_offline_within_constant() {
+    let machine = presets::multicore(2, 4, 4.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    let mut placer = DynamicPlacer::new(machine.clone());
+    // growing task graph mirror, for offline comparison
+    let mut demands: Vec<f64> = Vec::new();
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+
+    let first = placer.add_task(0.3, &[]);
+    demands.push(0.3);
+    assert_eq!(first, 0);
+    for i in 1..24usize {
+        let d = rng.gen_range(0.1..0.35);
+        // attach to 1-2 random earlier tasks
+        let mut nbrs = Vec::new();
+        let fan = 1 + usize::from(rng.gen_bool(0.4));
+        for _ in 0..fan {
+            let t = rng.gen_range(0..i);
+            let w = rng.gen_range(0.5..4.0);
+            if !nbrs.iter().any(|&(x, _)| x == t) {
+                nbrs.push((t, w));
+            }
+        }
+        let id = placer.add_task(d, &nbrs);
+        assert_eq!(id, i);
+        demands.push(d);
+        for &(t, w) in &nbrs {
+            edges.push((t as u32, i as u32, w));
+        }
+    }
+    // a rebalance pass after the burst
+    placer.rebalance(24);
+
+    // offline re-solve on the final graph
+    let mut b = GraphBuilder::new(24);
+    for &(u, v, w) in &edges {
+        b.add_edge(NodeId(u), NodeId(v), w);
+    }
+    let inst = Instance::new(b.build(), demands);
+    let opts = SolverOptions {
+        num_trees: 4,
+        rounding: Rounding::with_units(8),
+        ..Default::default()
+    };
+    let offline = solve(&inst, &machine, &opts).unwrap();
+
+    let online_cost = placer.cost();
+    assert!(
+        online_cost <= 4.0 * offline.cost.max(1.0) + 1e-9,
+        "online {} vs offline {}",
+        online_cost,
+        offline.cost
+    );
+    // churn: one placement per arrival plus the bounded rebalance
+    assert!(placer.churn() <= 24 + 24, "churn {}", placer.churn());
+    // load discipline maintained throughout
+    assert!(placer.max_load() <= 1.0 + 1e-9);
+}
+
+/// Removing everything returns the placer to a clean state.
+#[test]
+fn full_drain_leaves_no_residue() {
+    let machine = presets::multicore(2, 2, 4.0, 1.0);
+    let mut placer = DynamicPlacer::new(machine);
+    let mut ids = Vec::new();
+    let prev_edges: Vec<(usize, f64)> = Vec::new();
+    for i in 0..6 {
+        let nbrs: Vec<(usize, f64)> = if i > 0 { vec![(ids[i - 1], 1.0)] } else { prev_edges.clone() };
+        ids.push(placer.add_task(0.3, &nbrs));
+    }
+    assert!(placer.cost() >= 0.0);
+    for &id in &ids {
+        placer.remove_task(id);
+    }
+    assert_eq!(placer.num_active(), 0);
+    assert!(placer.loads().iter().all(|&l| l.abs() < 1e-12));
+    assert_eq!(placer.cost(), 0.0);
+}
+
+/// Demand oscillation: repeated grow/shrink cycles never corrupt loads.
+#[test]
+fn demand_oscillation_preserves_load_accounting() {
+    let machine = presets::flat(4);
+    let mut placer = DynamicPlacer::new(machine);
+    let a = placer.add_task(0.5, &[]);
+    let b = placer.add_task(0.5, &[(a, 2.0)]);
+    for round in 0..10 {
+        let d = if round % 2 == 0 { 0.9 } else { 0.2 };
+        placer.update_demand(a, d);
+        placer.update_demand(b, 1.0 - d + 0.05);
+        let total: f64 = placer.loads().iter().sum();
+        let expect = d + (1.0 - d + 0.05);
+        assert!(
+            (total - expect).abs() < 1e-9,
+            "round {round}: loads drifted ({total} vs {expect})"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests over the core invariants (proptest).
+
+use hgp::core::cost::{mirror_cost_boundary, tree_min_cut};
+use hgp::core::laminar::build_level_sets;
+use hgp::core::relaxed::{labelling_cost, solve_relaxed};
+use hgp::core::{Assignment, Instance, Rounding};
+use hgp::graph::tree::TreeBuilder;
+use hgp::graph::Graph;
+use hgp::hierarchy::Hierarchy;
+use proptest::prelude::*;
+
+/// A random connected weighted graph on 3..=10 nodes.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..=10)
+        .prop_flat_map(|n| {
+            let spanning = proptest::collection::vec(0.1f64..4.0, n - 1);
+            let extra = proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 0.1f64..4.0), 0..8);
+            (Just(n), spanning, extra)
+        })
+        .prop_map(|(n, spanning, extra)| {
+            let mut edges: Vec<(u32, u32, f64)> = spanning
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| (i as u32, i as u32 + 1, w))
+                .collect();
+            for (u, v, w) in extra {
+                if u != v {
+                    edges.push((u.min(v), u.max(v), w));
+                }
+            }
+            Graph::from_edges(n, &edges)
+        })
+}
+
+/// A random 2-level hierarchy with ≥ `min_leaves` leaves.
+fn arb_hierarchy(min_leaves: usize) -> impl Strategy<Value = Hierarchy> {
+    (2usize..=4, 2usize..=4, 0.0f64..3.0, 0.0f64..2.0)
+        .prop_filter_map("too few leaves", move |(d0, d1, extra0, extra1)| {
+            if d0 * d1 < min_leaves {
+                return None;
+            }
+            // cm must be non-increasing; build downward
+            let c2 = 0.5;
+            let c1 = c2 + extra1;
+            let c0 = c1 + extra0;
+            Some(Hierarchy::new(vec![d0, d1], vec![c0, c1, c2]))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 2: the Equation-1 cost equals the mirror (Equation-3,
+    /// boundary-cut) cost for every assignment on every graph.
+    #[test]
+    fn lemma2_holds((g, h, seed) in (arb_graph(), arb_hierarchy(4), any::<u64>())) {
+        let n = g.num_nodes();
+        let a_total_weight = g.total_weight();
+        let inst = Instance::uniform(g, 0.3);
+        // pseudo-random assignment from the seed
+        let k = h.num_leaves();
+        let leaves: Vec<u32> = (0..n)
+            .map(|v| ((seed.rotate_left(v as u32 * 7) as usize) % k) as u32)
+            .collect();
+        let a = Assignment::new(leaves, &h);
+        let c1 = a.cost(&inst, &h);
+        // Lemma 2 is stated for normalised multipliers; in general the
+        // boundary form misses cm(h) on every edge (Lemma 1's shift)
+        let shift = h.cost_multiplier(h.height()) * a_total_weight;
+        let c3 = mirror_cost_boundary(&inst, &h, &a) + shift;
+        prop_assert!((c1 - c3).abs() < 1e-9 * (1.0 + c1.abs()), "{c1} vs {c3}");
+    }
+
+    /// Lemma 1: normalising multipliers shifts every assignment's cost by
+    /// exactly `cm(h) · Σw`.
+    #[test]
+    fn lemma1_normalisation((g, h, seed) in (arb_graph(), arb_hierarchy(4), any::<u64>())) {
+        let n = g.num_nodes();
+        let total_w = g.total_weight();
+        let inst = Instance::uniform(g, 0.3);
+        let k = h.num_leaves();
+        let leaves: Vec<u32> = (0..n)
+            .map(|v| ((seed.rotate_left(v as u32 * 11) as usize) % k) as u32)
+            .collect();
+        let a = Assignment::new(leaves, &h);
+        let (hn, shift) = h.normalized();
+        let lhs = a.cost(&inst, &h);
+        let rhs = a.cost(&inst, &hn) + shift * total_w;
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    /// Rounding: units are monotone in demand, never zero, and never
+    /// overshoot `d · Δ` by more than one unit's worth.
+    #[test]
+    fn rounding_sound(units in 1u32..512, d1 in 0.001f64..1.0, d2 in 0.001f64..1.0) {
+        let r = Rounding::with_units(units);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(r.round(lo) <= r.round(hi));
+        prop_assert!(r.round(lo) >= 1);
+        prop_assert!(f64::from(r.round(hi)) <= (hi * f64::from(units)).max(1.0) + 1e-9);
+    }
+
+    /// The DP's incremental cost accounting always agrees with the
+    /// from-scratch labelling oracle, and the reconstructed family is
+    /// laminar.
+    #[test]
+    fn dp_certificate_is_consistent(
+        (weights, demands) in (
+            proptest::collection::vec(0.1f64..5.0, 7),
+            proptest::collection::vec(1u32..4, 4),
+        )
+    ) {
+        // fixed shape: root -> {a, b}; a -> {l1, l2}; b -> {l3, l4}
+        let mut b = TreeBuilder::new_root();
+        let a_ = b.add_child(0, weights[0]);
+        let b_ = b.add_child(0, weights[1]);
+        let l1 = b.add_child(a_, weights[2]);
+        let l2 = b.add_child(a_, weights[3]);
+        let l3 = b.add_child(b_, weights[4]);
+        let l4 = b.add_child(b_, weights[5]);
+        let t = b.build();
+        let mut units = vec![0u32; t.num_nodes()];
+        for (i, &leaf) in [l1, l2, l3, l4].iter().enumerate() {
+            units[leaf] = demands[i];
+        }
+        let caps = [8u32, 4];
+        let deltas = [weights[6], 1.0];
+        if let Some(sol) = solve_relaxed(&t, &units, &caps, &deltas) {
+            let oracle = labelling_cost(&t, &units, &sol.cut_level, &deltas);
+            prop_assert!((oracle - sol.cost).abs() < 1e-9 * (1.0 + sol.cost));
+            let ls = build_level_sets(&t, &sol.cut_level, 2);
+            prop_assert!(ls.check_laminar(4).is_ok());
+            // signature monotone (Corollary 1)
+            prop_assert!(sol.root_signature.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+
+    /// `tree_min_cut` returns a weight matching its own side labelling and
+    /// never exceeds the trivial boundary (cutting every set leaf's edge).
+    #[test]
+    fn tree_min_cut_bounds(
+        weights in proptest::collection::vec(0.1f64..5.0, 6),
+        mask in 1u8..15,
+    ) {
+        let mut b = TreeBuilder::new_root();
+        let a_ = b.add_child(0, weights[0]);
+        let b_ = b.add_child(0, weights[1]);
+        let leaves = [
+            b.add_child(a_, weights[2]),
+            b.add_child(a_, weights[3]),
+            b.add_child(b_, weights[4]),
+            b.add_child(b_, weights[5]),
+        ];
+        let t = b.build();
+        let mut in_set = vec![false; t.num_nodes()];
+        let mut trivial = 0.0;
+        for (i, &leaf) in leaves.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                in_set[leaf] = true;
+                trivial += t.edge_weight(leaf);
+            }
+        }
+        let (w, side) = tree_min_cut(&t, &in_set);
+        // reported weight equals the boundary of the reported side
+        let mut boundary = 0.0;
+        for v in 1..t.num_nodes() {
+            if side[v] != side[t.parent(v).unwrap()] {
+                boundary += t.edge_weight(v);
+            }
+        }
+        prop_assert!((w - boundary).abs() < 1e-9);
+        prop_assert!(w <= trivial + 1e-9, "min cut {w} beats trivial {trivial}");
+        // all set leaves on the S side, all others off it
+        for (i, &leaf) in leaves.iter().enumerate() {
+            prop_assert_eq!(side[leaf], mask >> i & 1 == 1);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The paper's special cases and reductions, end to end.
+
+use hgp::core::exact::{solve_exact, ExactOptions};
+use hgp::core::kbgp::{k_balanced_partition, min_bisection};
+use hgp::core::{Instance, Rounding};
+use hgp::graph::gomoryhu::gomory_hu;
+use hgp::graph::mincut::stoer_wagner;
+use hgp::graph::{generators, Graph};
+use hgp::hierarchy::presets;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Minimum bisection through the HGP pipeline vs the exact optimum on a
+/// small instance (k-BGP is the h = 1 special case, §1).
+#[test]
+fn bisection_matches_exact_on_small_graphs() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for _ in 0..4 {
+        let g = generators::gnp_connected(&mut rng, 8, 0.4, 0.5, 2.0);
+        let r = min_bisection(&g, 0.25, 7).unwrap();
+        // exact bisection via the exact HGP solver on flat(2)
+        let inst = Instance::kbgp(g.clone(), 2);
+        let h = presets::bisection();
+        let (_, opt) = solve_exact(&inst, &h, ExactOptions::default()).unwrap();
+        // bicriteria: our cut can use the slack, so it may even beat OPT,
+        // but should never be far above it on n = 8
+        assert!(
+            r.cut <= 2.5 * opt + 1e-9,
+            "pipeline bisection {} vs exact {}",
+            r.cut,
+            opt
+        );
+    }
+}
+
+/// The bisection cut can never beat the global minimum cut (which ignores
+/// balance): min-cut is a lower bound for any 2-way separation.
+#[test]
+fn global_min_cut_lower_bounds_bisection() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for seed in 0..4 {
+        let g = generators::gnp_connected(&mut rng, 14 + seed, 0.25, 0.5, 2.0);
+        let (global, _) = stoer_wagner(&g);
+        let r = min_bisection(&g, 0.25, seed as u64).unwrap();
+        assert!(
+            r.cut >= global - 1e-9,
+            "bisection {} below the global min cut {}",
+            r.cut,
+            global
+        );
+    }
+}
+
+/// Gomory–Hu pairwise cuts lower-bound the decomposition tree's pairwise
+/// separations (Proposition 1 in pairwise form).
+#[test]
+fn decomposition_tree_cuts_dominate_gomory_hu() {
+    use hgp::decomp::{build_decomp_tree, DecompOpts};
+    use hgp::graph::tree::LcaIndex;
+    let mut rng = StdRng::seed_from_u64(43);
+    let g = generators::gnp_connected(&mut rng, 16, 0.3, 0.5, 2.0);
+    let gh = gomory_hu(&g);
+    let dt = build_decomp_tree(&g, &[1.0; 16], None, &DecompOpts::default(), &mut rng);
+    let lca = LcaIndex::new(&dt.tree);
+    let leaf_of = dt.leaf_of_task(16);
+    for u in 0..16 {
+        for v in (u + 1)..16 {
+            // cheapest tree edge separating u from v
+            let (mut a, mut b) = (leaf_of[u] as usize, leaf_of[v] as usize);
+            let anc = lca.lca(a, b);
+            let mut tcut = f64::INFINITY;
+            while a != anc {
+                tcut = tcut.min(dt.tree.edge_weight(a));
+                a = dt.tree.parent(a).unwrap();
+            }
+            while b != anc {
+                tcut = tcut.min(dt.tree.edge_weight(b));
+                b = dt.tree.parent(b).unwrap();
+            }
+            let real = gh.min_cut(u, v);
+            assert!(
+                tcut >= real - 1e-6,
+                "pair ({u},{v}): tree separation {tcut} below true min cut {real}"
+            );
+        }
+    }
+}
+
+/// The dummy-leaf reduction (§3): partitioning only the leaves of the
+/// augmented tree is equivalent to partitioning all nodes of the original.
+#[test]
+fn dummy_leaf_reduction_preserves_costs() {
+    use hgp::core::tree_solver::rooted_with_dummies;
+    let mut rng = StdRng::seed_from_u64(44);
+    let g = generators::random_tree(&mut rng, 12, 0.5, 3.0);
+    let inst = Instance::uniform(g, 0.5);
+    let (tree, task_of_leaf) = rooted_with_dummies(&inst).unwrap();
+    // structure: 12 original nodes + 12 dummies; dummies are the leaves
+    assert_eq!(tree.num_nodes(), 24);
+    let leaves = tree.leaves();
+    assert_eq!(leaves.len(), 12);
+    for &l in &leaves {
+        assert!(l >= 12, "leaves must be dummy nodes");
+        assert_eq!(task_of_leaf[l], (l - 12) as u32);
+        assert!(tree.edge_weight(l).is_infinite());
+    }
+    // every original edge weight appears on exactly one tree edge
+    let mut tree_weights: Vec<f64> = (1..12).map(|v| tree.edge_weight(v)).collect();
+    let mut graph_weights: Vec<f64> = inst.graph().edges().map(|e| e.3).collect();
+    tree_weights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    graph_weights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(tree_weights.len(), graph_weights.len());
+    for (a, b) in tree_weights.iter().zip(&graph_weights) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+/// k = 1 and n = 1 degenerate cases across the stack.
+#[test]
+fn degenerate_sizes() {
+    // single node, single leaf
+    let g = Graph::from_edges(1, &[]);
+    let inst = Instance::uniform(g.clone(), 1.0);
+    let h = presets::flat(1);
+    let rep = hgp::core::solve_tree_instance(&inst, &h, Rounding::with_units(4)).unwrap();
+    assert_eq!(rep.cost, 0.0);
+    assert_eq!(rep.assignment.leaf(0), 0);
+    // k = 1 with several light tasks
+    let g3 = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+    let r = k_balanced_partition(&g3, 1, 0.5, 1).unwrap();
+    assert_eq!(r.cut, 0.0);
+}
