@@ -74,8 +74,7 @@ pub fn anneal<R: Rng + ?Sized>(
         if loads[to] + d > opts.capacity_factor + 1e-9 {
             continue;
         }
-        let delta = marginal(inst, h, &leaf_of, task, to)
-            - marginal(inst, h, &leaf_of, task, from);
+        let delta = marginal(inst, h, &leaf_of, task, to) - marginal(inst, h, &leaf_of, task, from);
         let accept = delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0));
         if accept {
             leaf_of[task] = to as u32;

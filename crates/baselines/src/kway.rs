@@ -5,13 +5,11 @@ use hgp_graph::Graph;
 use rand::Rng;
 
 /// Options for [`kway_partition`].
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct KwayOpts {
     /// Per-bisection options (FM passes, balance slack, …).
     pub bisect: BisectOpts,
 }
-
 
 /// Splits `g` into `k` parts of (near-)equal total node weight by recursive
 /// bisection, returning a part id in `0..k` per node.
@@ -142,7 +140,10 @@ mod tests {
             assert!(sizes.iter().all(|&s| s > 0), "k={k}: empty part");
             let max = *sizes.iter().max().unwrap() as f64;
             let ideal = 36.0 / k as f64;
-            assert!(max <= ideal * 1.4 + 1.0, "k={k}: max part {max} vs ideal {ideal}");
+            assert!(
+                max <= ideal * 1.4 + 1.0,
+                "k={k}: max part {max} vs ideal {ideal}"
+            );
         }
     }
 

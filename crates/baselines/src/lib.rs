@@ -70,12 +70,7 @@ impl Baseline {
     }
 
     /// Runs the baseline (without refinement).
-    pub fn run<R: Rng + ?Sized>(
-        &self,
-        inst: &Instance,
-        h: &Hierarchy,
-        rng: &mut R,
-    ) -> Assignment {
+    pub fn run<R: Rng + ?Sized>(&self, inst: &Instance, h: &Hierarchy, rng: &mut R) -> Assignment {
         match self {
             Baseline::FlatKbgp => mapping::flat_kbgp(inst, h, rng),
             Baseline::DualRecursive => mapping::dual_recursive(inst, h, rng),

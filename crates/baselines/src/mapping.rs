@@ -114,7 +114,11 @@ pub fn greedy_placement(inst: &Instance, h: &Hierarchy) -> Assignment {
 
 /// Random feasible placement: random task order, each task on a uniformly
 /// random leaf with room (least-loaded fallback).
-pub fn random_placement<R: Rng + ?Sized>(inst: &Instance, h: &Hierarchy, rng: &mut R) -> Assignment {
+pub fn random_placement<R: Rng + ?Sized>(
+    inst: &Instance,
+    h: &Hierarchy,
+    rng: &mut R,
+) -> Assignment {
     let n = inst.num_tasks();
     let k = h.num_leaves();
     let mut order: Vec<u32> = (0..n as u32).collect();

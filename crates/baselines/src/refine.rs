@@ -160,7 +160,10 @@ mod tests {
         let gain = refine(&mut a, &inst, &h, &RefineOpts::default());
         let after = a.cost(&inst, &h);
         assert!((before - after - gain).abs() < 1e-9, "gain accounting");
-        assert!((after - 6.0).abs() < 1e-9, "should reach the optimum 6, got {after}");
+        assert!(
+            (after - 6.0).abs() < 1e-9,
+            "should reach the optimum 6, got {after}"
+        );
     }
 
     #[test]

@@ -41,12 +41,7 @@ pub(crate) fn collect() -> Vec<(String, f64, f64, f64)> {
                 ..Default::default()
             },
         );
-        out.push((
-            w.name.clone(),
-            r0.cost,
-            r1.cost,
-            polished.cost(&w.inst, &h),
-        ));
+        out.push((w.name.clone(), r0.cost, r1.cost, polished.cost(&w.inst, &h)));
     }
     out
 }
@@ -73,7 +68,10 @@ mod tests {
     #[test]
     fn local_refinement_is_monotone() {
         for (name, _, c1, c2) in collect() {
-            assert!(c2 <= c1 + 1e-9, "{name}: refine increased cost {c1} -> {c2}");
+            assert!(
+                c2 <= c1 + 1e-9,
+                "{name}: refine increased cost {c1} -> {c2}"
+            );
         }
     }
 }

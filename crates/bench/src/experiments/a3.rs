@@ -20,8 +20,10 @@ pub(crate) fn collect() -> Vec<(&'static str, f64, f64, f64)> {
         .map(|k| h.cost_multiplier(k) - h.cost_multiplier(k + 1))
         .collect();
 
-    let mut stats: Vec<(&'static str, Vec<f64>, Vec<f64>)> =
-        vec![("lpt", Vec::new(), Vec::new()), ("index-order", Vec::new(), Vec::new())];
+    let mut stats: Vec<(&'static str, Vec<f64>, Vec<f64>)> = vec![
+        ("lpt", Vec::new(), Vec::new()),
+        ("index-order", Vec::new(), Vec::new()),
+    ];
     for seed in 0..TRIALS {
         // skewed demands stress the packing
         let inst = {
@@ -29,7 +31,13 @@ pub(crate) fn collect() -> Vec<(&'static str, f64, f64, f64)> {
             use rand::Rng;
             let g = hgp_graph::generators::random_tree(&mut r, 24, 0.5, 3.0);
             let demands: Vec<f64> = (0..24)
-                .map(|_| if r.gen_bool(0.3) { r.gen_range(0.4..0.8) } else { r.gen_range(0.05..0.2) })
+                .map(|_| {
+                    if r.gen_bool(0.3) {
+                        r.gen_range(0.4..0.8)
+                    } else {
+                        r.gen_range(0.05..0.2)
+                    }
+                })
                 .collect();
             hgp_core::Instance::new(g, demands)
         };

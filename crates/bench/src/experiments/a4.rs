@@ -6,9 +6,9 @@ use super::common;
 use crate::table::{f2, Table};
 use hgp_core::solver::{solve, SolverOptions};
 use hgp_decomp::{build_decomp_tree, hop_congestion, CutOracle, DecompOpts};
+use hgp_graph::generators;
 use hgp_graph::gomoryhu::gomory_hu;
 use hgp_graph::tree::LcaIndex;
-use hgp_graph::generators;
 use hgp_hierarchy::presets;
 
 /// One oracle's measurements on one graph.
@@ -24,7 +24,13 @@ pub(crate) struct Row {
 }
 
 /// Cheapest tree-edge weight on the leaf path between `u` and `v`.
-fn tree_pair_cut(dt: &hgp_decomp::DecompTree, lca: &LcaIndex, leaf_of: &[u32], u: usize, v: usize) -> f64 {
+fn tree_pair_cut(
+    dt: &hgp_decomp::DecompTree,
+    lca: &LcaIndex,
+    leaf_of: &[u32],
+    u: usize,
+    v: usize,
+) -> f64 {
     let (mut a, mut b) = (leaf_of[u] as usize, leaf_of[v] as usize);
     let anc = lca.lca(a, b);
     let mut best = f64::INFINITY;
@@ -57,7 +63,10 @@ pub(crate) fn collect() -> Vec<Row> {
         let demands = vec![(0.8 * 8.0 / n as f64).min(1.0); n];
         let inst = hgp_core::Instance::new(g.clone(), demands.clone());
         let gh = gomory_hu(&g);
-        for (label, oracle) in [("multilevel", CutOracle::Multilevel), ("spectral", CutOracle::Spectral)] {
+        for (label, oracle) in [
+            ("multilevel", CutOracle::Multilevel),
+            ("spectral", CutOracle::Spectral),
+        ] {
             let opts = DecompOpts {
                 oracle,
                 ..Default::default()
@@ -83,7 +92,9 @@ pub(crate) fn collect() -> Vec<Row> {
                 seed: common::SEED,
                 ..Default::default()
             };
-            let cost = solve(&inst, &h, &solver).map(|r| r.cost).unwrap_or(f64::NAN);
+            let cost = solve(&inst, &h, &solver)
+                .map(|r| r.cost)
+                .unwrap_or(f64::NAN);
             out.push(Row {
                 graph: name,
                 oracle: label,

@@ -33,7 +33,9 @@ pub(crate) fn collect() -> Vec<Point> {
         for family in ["gnp", "mesh"] {
             let mut rng = common::rng(0xF5 ^ n as u64);
             let g = match family {
-                "gnp" => generators::gnp_connected(&mut rng, n, (8.0 / n as f64).min(0.9), 0.5, 2.0),
+                "gnp" => {
+                    generators::gnp_connected(&mut rng, n, (8.0 / n as f64).min(0.9), 0.5, 2.0)
+                }
                 _ => {
                     let side = (n as f64).sqrt().round() as usize;
                     generators::grid2d(&mut rng, side, n / side, 0.5, 2.0)

@@ -74,7 +74,13 @@ pub(crate) fn graph_arm(h: &hgp_hierarchy::Hierarchy, demand: f64) -> Outcome {
 /// Runs T1 and renders the table.
 pub fn run() -> String {
     let mut t = Table::new(vec![
-        "family", "hierarchy", "n", "trials", "cost/OPT (mean)", "cost/OPT (max)", "violation (mean)",
+        "family",
+        "hierarchy",
+        "n",
+        "trials",
+        "cost/OPT (mean)",
+        "cost/OPT (max)",
+        "violation (mean)",
     ]);
     let m24 = presets::multicore(2, 4, 4.0, 1.0);
     let f4 = presets::flat(4);

@@ -99,7 +99,14 @@ pub(crate) fn collect() -> Vec<Row> {
 /// Runs T2 and renders the table.
 pub fn run() -> String {
     let rows = collect();
-    let mut t = Table::new(vec!["machine", "workload", "eps", "violation", "bound", "within"]);
+    let mut t = Table::new(vec![
+        "machine",
+        "workload",
+        "eps",
+        "violation",
+        "bound",
+        "within",
+    ]);
     for r in &rows {
         t.row(vec![
             r.machine.clone(),
@@ -107,7 +114,12 @@ pub fn run() -> String {
             f2(r.eps),
             f2(r.measured),
             f2(r.bound),
-            if r.measured <= r.bound + 1e-9 { "yes" } else { "NO" }.to_string(),
+            if r.measured <= r.bound + 1e-9 {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     format!(

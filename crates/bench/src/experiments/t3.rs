@@ -148,14 +148,25 @@ mod tests {
     #[test]
     fn refinement_never_hurts_greedy() {
         for r in collect() {
-            let greedy = r.baseline_costs.iter().find(|(l, _)| *l == "greedy").unwrap().1;
+            let greedy = r
+                .baseline_costs
+                .iter()
+                .find(|(l, _)| *l == "greedy")
+                .unwrap()
+                .1;
             let refined = r
                 .baseline_costs
                 .iter()
                 .find(|(l, _)| *l == "greedy+refine")
                 .unwrap()
                 .1;
-            assert!(refined <= greedy + 1e-9, "{}: {} -> {}", r.workload, greedy, refined);
+            assert!(
+                refined <= greedy + 1e-9,
+                "{}: {} -> {}",
+                r.workload,
+                greedy,
+                refined
+            );
         }
     }
 }

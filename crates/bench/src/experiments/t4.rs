@@ -77,6 +77,9 @@ mod tests {
     fn entries_grow_with_grid() {
         let (_, coarse) = measure(64, 2, true);
         let (_, fine) = measure(64, 32, true);
-        assert!(fine >= coarse, "finer grids cannot shrink the DP: {coarse} vs {fine}");
+        assert!(
+            fine >= coarse,
+            "finer grids cannot shrink the DP: {coarse} vs {fine}"
+        );
     }
 }

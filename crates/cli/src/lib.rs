@@ -9,13 +9,20 @@ use hgp_core::{Instance, Rounding};
 use hgp_graph::io::read_metis;
 use hgp_graph::{traversal, Graph};
 use hgp_hierarchy::{parse_hierarchy, Hierarchy};
-use std::io::Write;
+use hgp_server::{Server, ServerConfig};
+use hgp_workloads::requests::{reply_field, request_script, substitute_session, RequestScriptOpts};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 
 /// Usage text.
 pub const USAGE: &str = "\
 usage:
   hgp partition --graph FILE.metis --machine SHAPE[:CMS] [options]
   hgp info --graph FILE.metis
+  hgp serve [--addr HOST:PORT] [--workers N] [--queue N]
+            [--cache-capacity N] [--max-sessions N]
+  hgp client --addr HOST:PORT [--seed S] [--solves N] [--topologies N]
+             [--incr-ops N] [--deadline-frac F] [--machine SHAPE[:CMS]]
 
 options for `partition`:
   --demands FILE   one demand per line, (0,1]; default 0.8*k/n each
@@ -23,6 +30,11 @@ options for `partition`:
   --trees P        decomposition trees in the distribution (default 8)
   --seed S         RNG seed (default 1)
   --refine         polish the result with hierarchy-aware local search
+
+`serve` runs the placement daemon (newline-delimited text protocol; see
+DESIGN.md) until a client sends `shutdown`. `client` plays a deterministic
+closed-loop request script against a running server and summarises the
+replies.
 
 machine SHAPE examples: 16 | 2x8 | 4x8x2:8,2,1,0";
 
@@ -51,6 +63,36 @@ pub enum Cli {
         /// METIS graph path.
         graph: String,
     },
+    /// `hgp serve …`
+    Serve {
+        /// Bind address.
+        addr: String,
+        /// Solver worker threads.
+        workers: usize,
+        /// Bounded solve-queue depth.
+        queue: usize,
+        /// Decomposition-cache capacity.
+        cache_capacity: usize,
+        /// Maximum open incremental sessions.
+        max_sessions: usize,
+    },
+    /// `hgp client …`
+    Client {
+        /// Server address.
+        addr: String,
+        /// Script seed.
+        seed: u64,
+        /// Solve requests in the script.
+        solves: usize,
+        /// Distinct topologies cycled through.
+        topologies: usize,
+        /// Incremental operations woven in.
+        incr_ops: usize,
+        /// Fraction of solves with a 1 ms deadline.
+        deadline_frac: f64,
+        /// Machine descriptor sent with every request.
+        machine: String,
+    },
 }
 
 impl Cli {
@@ -65,39 +107,51 @@ impl Cli {
         let mut trees = 8usize;
         let mut seed = 1u64;
         let mut do_refine = false;
+        let mut addr = None;
+        let mut workers = 4usize;
+        let mut queue = 64usize;
+        let mut cache_capacity = 32usize;
+        let mut max_sessions = 256usize;
+        let mut solves = 12usize;
+        let mut topologies = 3usize;
+        let mut incr_ops = 8usize;
+        let mut deadline_frac = 0.25f64;
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
                 it.next()
                     .cloned()
                     .ok_or_else(|| format!("{name} needs a value"))
             };
+            fn num<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String> {
+                v.parse().map_err(|_| format!("bad {name}"))
+            }
             match flag.as_str() {
                 "--graph" => graph = Some(value("--graph")?),
                 "--machine" => machine = Some(value("--machine")?),
                 "--demands" => demands = Some(value("--demands")?),
-                "--units" => {
-                    units = value("--units")?
-                        .parse()
-                        .map_err(|_| "bad --units".to_string())?
-                }
-                "--trees" => {
-                    trees = value("--trees")?
-                        .parse()
-                        .map_err(|_| "bad --trees".to_string())?
-                }
-                "--seed" => {
-                    seed = value("--seed")?
-                        .parse()
-                        .map_err(|_| "bad --seed".to_string())?
-                }
+                "--units" => units = num("--units", value("--units")?)?,
+                "--trees" => trees = num("--trees", value("--trees")?)?,
+                "--seed" => seed = num("--seed", value("--seed")?)?,
                 "--refine" => do_refine = true,
+                "--addr" => addr = Some(value("--addr")?),
+                "--workers" => workers = num("--workers", value("--workers")?)?,
+                "--queue" => queue = num("--queue", value("--queue")?)?,
+                "--cache-capacity" => {
+                    cache_capacity = num("--cache-capacity", value("--cache-capacity")?)?
+                }
+                "--max-sessions" => max_sessions = num("--max-sessions", value("--max-sessions")?)?,
+                "--solves" => solves = num("--solves", value("--solves")?)?,
+                "--topologies" => topologies = num("--topologies", value("--topologies")?)?,
+                "--incr-ops" => incr_ops = num("--incr-ops", value("--incr-ops")?)?,
+                "--deadline-frac" => {
+                    deadline_frac = num("--deadline-frac", value("--deadline-frac")?)?
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
-        let graph = graph.ok_or("--graph is required")?;
         match cmd.as_str() {
             "partition" => Ok(Cli::Partition {
-                graph,
+                graph: graph.ok_or("--graph is required")?,
                 machine: machine.ok_or("--machine is required")?,
                 demands,
                 units: units.max(1),
@@ -105,7 +159,25 @@ impl Cli {
                 seed,
                 refine: do_refine,
             }),
-            "info" => Ok(Cli::Info { graph }),
+            "info" => Ok(Cli::Info {
+                graph: graph.ok_or("--graph is required")?,
+            }),
+            "serve" => Ok(Cli::Serve {
+                addr: addr.unwrap_or_else(|| "127.0.0.1:7311".to_string()),
+                workers: workers.max(1),
+                queue: queue.max(1),
+                cache_capacity,
+                max_sessions: max_sessions.max(1),
+            }),
+            "client" => Ok(Cli::Client {
+                addr: addr.ok_or("--addr is required for client")?,
+                seed,
+                solves: solves.max(1),
+                topologies: topologies.max(1),
+                incr_ops,
+                deadline_frac: deadline_frac.clamp(0.0, 1.0),
+                machine: machine.unwrap_or_else(|| "2x4:4,1,0".to_string()),
+            }),
             other => Err(format!("unknown command {other}")),
         }
     }
@@ -208,7 +280,103 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
             }
             Ok(())
         }
+        Cli::Serve {
+            addr,
+            workers,
+            queue,
+            cache_capacity,
+            max_sessions,
+        } => {
+            let mut server = Server::start(ServerConfig {
+                addr: addr.clone(),
+                workers: *workers,
+                queue_capacity: *queue,
+                cache_capacity: *cache_capacity,
+                max_sessions: *max_sessions,
+            })
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            writeln!(out, "listening {}", server.addr()).unwrap();
+            out.flush().ok();
+            server.join(); // returns once a client sends `shutdown`
+            writeln!(out, "drained").unwrap();
+            Ok(())
+        }
+        Cli::Client {
+            addr,
+            seed,
+            solves,
+            topologies,
+            incr_ops,
+            deadline_frac,
+            machine,
+        } => {
+            let opts = RequestScriptOpts {
+                solves: *solves,
+                topologies: *topologies,
+                tight_deadline_frac: *deadline_frac,
+                machine: machine.clone(),
+                incr_ops: *incr_ops,
+            };
+            let script = request_script(*seed, &opts);
+            run_client(addr, &script, out)
+        }
     }
+}
+
+/// Plays a request script over one connection, closed-loop (each request
+/// waits for its reply), and writes a tally plus the server's final
+/// `stats` line.
+fn run_client(addr: &str, script: &[String], out: &mut impl Write) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut session: Option<u64> = None;
+    let (mut ok, mut err, mut degraded) = (0u64, 0u64, 0u64);
+    let mut last_stats = String::new();
+    for line in script {
+        let line = match session {
+            Some(s) => substitute_session(line, s),
+            None => line.clone(),
+        };
+        if line.contains("session=SID") {
+            return Err("script uses a session before `new` succeeded".to_string());
+        }
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        let reply = reply.trim();
+        if reply.starts_with("ok") {
+            ok += 1;
+        } else {
+            err += 1;
+        }
+        if reply_field(reply, "degraded") == Some("1") {
+            degraded += 1;
+        }
+        if line.starts_with("place-incremental new") {
+            session = reply_field(reply, "session").and_then(|s| s.parse().ok());
+        }
+        if line == "stats" {
+            last_stats = reply.to_string();
+        }
+    }
+    writeln!(
+        out,
+        "sent={} ok={ok} err={err} degraded={degraded}",
+        script.len()
+    )
+    .unwrap();
+    if !last_stats.is_empty() {
+        writeln!(out, "{last_stats}").unwrap();
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -242,7 +410,12 @@ mod tests {
     #[test]
     fn parses_info() {
         let cli = Cli::parse(&argv("info --graph g.metis")).unwrap();
-        assert_eq!(cli, Cli::Info { graph: "g.metis".into() });
+        assert_eq!(
+            cli,
+            Cli::Info {
+                graph: "g.metis".into()
+            }
+        );
     }
 
     #[test]
@@ -253,6 +426,66 @@ mod tests {
         assert!(Cli::parse(&argv("frobnicate --graph g")).is_err());
         assert!(Cli::parse(&argv("partition --graph g --machine 2x2 --units x")).is_err());
         assert!(Cli::parse(&argv("partition --graph g --machine 2x2 --wat")).is_err());
+        assert!(
+            Cli::parse(&argv("client --solves 3")).is_err(),
+            "client needs --addr"
+        );
+        assert!(Cli::parse(&argv("serve --workers x")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_client() {
+        let cli = Cli::parse(&argv("serve --addr 127.0.0.1:0 --workers 2 --queue 8")).unwrap();
+        assert_eq!(
+            cli,
+            Cli::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue: 8,
+                cache_capacity: 32,
+                max_sessions: 256,
+            }
+        );
+        let cli = Cli::parse(&argv(
+            "client --addr 127.0.0.1:7311 --seed 5 --solves 6 --topologies 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            cli,
+            Cli::Client {
+                addr: "127.0.0.1:7311".into(),
+                seed: 5,
+                solves: 6,
+                topologies: 2,
+                incr_ops: 8,
+                deadline_frac: 0.25,
+                machine: "2x4:4,1,0".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn client_drives_a_live_server() {
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let cli = Cli::Client {
+            addr: server.addr().to_string(),
+            seed: 4,
+            solves: 4,
+            topologies: 2,
+            incr_ops: 4,
+            deadline_frac: 0.0,
+            machine: "2x2:4,1,0".into(),
+        };
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("err=0"), "replies had errors: {text}");
+        assert!(text.contains("ok requests="), "no stats line: {text}");
+        server.shutdown();
     }
 
     #[test]

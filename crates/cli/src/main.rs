@@ -4,12 +4,16 @@
 //! hgp partition --graph app.metis --machine 2x8:4,1,0 [--demands d.txt]
 //!               [--units 8] [--trees 8] [--seed 1] [--refine]
 //! hgp info --graph app.metis
+//! hgp serve [--addr 127.0.0.1:7311] [--workers 4] [--queue 64]
+//! hgp client --addr 127.0.0.1:7311 [--seed 1] [--solves 12]
 //! ```
 //!
 //! `partition` reads a METIS `.graph` file, solves HGP for the given
 //! machine descriptor (see `hgp-hierarchy::parse`), and prints one
 //! `task level1 level2 … leaf` line per task plus a cost/violation
-//! summary on stderr. `info` prints instance statistics.
+//! summary on stderr. `info` prints instance statistics. `serve` runs the
+//! `hgp-server` placement daemon until a client sends `shutdown`; `client`
+//! plays a deterministic load-generation script against a running server.
 
 use hgp_cli::{run, Cli};
 

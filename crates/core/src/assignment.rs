@@ -113,7 +113,10 @@ mod tests {
     fn setup() -> (Instance, Hierarchy) {
         // path of 4 tasks, 2 sockets x 2 cores, remote=4 shared=1
         let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
-        (Instance::uniform(g, 1.0), presets::multicore(2, 2, 4.0, 1.0))
+        (
+            Instance::uniform(g, 1.0),
+            presets::multicore(2, 2, 4.0, 1.0),
+        )
     }
 
     #[test]

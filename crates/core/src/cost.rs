@@ -171,7 +171,13 @@ mod tests {
         let h = presets::multicore(2, 2, 4.0, 1.0);
         let g = Graph::from_edges(
             4,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 0.5), (0, 3, 1.5), (0, 2, 3.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 0.5),
+                (0, 3, 1.5),
+                (0, 2, 3.0),
+            ],
         );
         let inst = Instance::uniform(g, 1.0);
         for leaves in [

@@ -120,7 +120,11 @@ impl Search<'_> {
 /// Finds the minimum-cost assignment with **no** capacity violation, or
 /// `None` when the node limit is exhausted or no feasible assignment
 /// exists. Exponential time — intended for `n ≲ 14` reference solutions.
-pub fn solve_exact(inst: &Instance, h: &Hierarchy, opts: ExactOptions) -> Option<(Assignment, f64)> {
+pub fn solve_exact(
+    inst: &Instance,
+    h: &Hierarchy,
+    opts: ExactOptions,
+) -> Option<(Assignment, f64)> {
     let n = inst.num_tasks();
     // high-connectivity tasks first: their placement prunes hardest
     let mut order: Vec<u32> = (0..n as u32).collect();

@@ -1,0 +1,201 @@
+//! Stable structural fingerprints for caching and request deduplication.
+//!
+//! A long-running placement service (see `hgp-server`) amortises the
+//! expensive Räcke-style tree-distribution construction across requests:
+//! Andersen–Feige's analysis (arXiv:0907.3631) observes the distribution
+//! depends only on the *topology*, not on which demand matrix is routed
+//! over it, so repeat solves on the same communication graph can reuse it.
+//! That requires a key. This module provides 64-bit FNV-1a fingerprints of
+//! instances, hierarchies and solver options that are
+//!
+//! * **stable across processes** (no `DefaultHasher` randomisation), so
+//!   cache keys survive restarts and can be logged/compared;
+//! * **structural**: two `Instance`s built from identical edge lists and
+//!   demand vectors collide on purpose — that is the cache hit.
+//!
+//! Floating-point values are hashed by bit pattern (`f64::to_bits`), so
+//! `-0.0` and `0.0` differ; demands and weights in this codebase are
+//! positive, making that distinction irrelevant in practice.
+
+use crate::solver::SolverOptions;
+use crate::Instance;
+use hgp_decomp::{CutOracle, DecompOpts};
+use hgp_hierarchy::Hierarchy;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher over structural words.
+#[derive(Clone, Copy, Debug)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorbs one 64-bit word, byte by byte.
+    pub fn write_u64(&mut self, x: u64) -> &mut Self {
+        for b in x.to_le_bytes() {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `usize` (widened, so 32/64-bit hosts agree).
+    pub fn write_usize(&mut self, x: usize) -> &mut Self {
+        self.write_u64(x as u64)
+    }
+
+    /// Absorbs an `f64` by bit pattern.
+    pub fn write_f64(&mut self, x: f64) -> &mut Self {
+        self.write_u64(x.to_bits())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Fingerprint of the communication topology and demands: node count, the
+/// canonical edge list `(u, v, w)` in graph order, and the demand vector.
+pub fn instance_fingerprint(inst: &Instance) -> u64 {
+    let g = inst.graph();
+    let mut fp = Fingerprinter::new();
+    fp.write_usize(g.num_nodes()).write_usize(g.num_edges());
+    for (_, u, v, w) in g.edges() {
+        fp.write_usize(u.index())
+            .write_usize(v.index())
+            .write_f64(w);
+    }
+    for &d in inst.demands() {
+        fp.write_f64(d);
+    }
+    fp.finish()
+}
+
+/// Fingerprint of a machine hierarchy: height, per-level degrees and cost
+/// multipliers.
+pub fn hierarchy_fingerprint(h: &Hierarchy) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.write_usize(h.height());
+    for j in 0..h.height() {
+        fp.write_usize(h.degree(j));
+    }
+    for j in 0..=h.height() {
+        fp.write_f64(h.cost_multiplier(j));
+    }
+    fp.finish()
+}
+
+fn write_decomp_opts(fp: &mut Fingerprinter, opts: &DecompOpts) {
+    let b = &opts.bisect;
+    fp.write_f64(b.target0_frac)
+        .write_f64(b.eps)
+        .write_usize(b.fm_passes)
+        .write_usize(b.tries)
+        .write_usize(b.coarsen_until)
+        .write_u64(b.no_refine as u64)
+        .write_u64(match opts.oracle {
+            CutOracle::Multilevel => 0,
+            CutOracle::Spectral => 1,
+        });
+}
+
+/// Cache key for a Räcke tree distribution: everything
+/// [`crate::solver::build_distribution`] reads — the instance topology plus
+/// the distribution's construction knobs (`num_trees`, decomposition
+/// options, seed). Deliberately excludes the hierarchy and rounding: the
+/// same distribution serves solves against any machine shape.
+pub fn distribution_fingerprint(inst: &Instance, opts: &SolverOptions) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.write_u64(instance_fingerprint(inst))
+        .write_usize(opts.num_trees)
+        .write_u64(opts.seed);
+    write_decomp_opts(&mut fp, &opts.decomp);
+    fp.finish()
+}
+
+/// Full request key: instance, hierarchy and every solver option that can
+/// change the answer (thread count deliberately excluded — the solve is
+/// deterministic across thread counts).
+pub fn solve_fingerprint(inst: &Instance, h: &Hierarchy, opts: &SolverOptions) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.write_u64(distribution_fingerprint(inst, opts))
+        .write_u64(hierarchy_fingerprint(h))
+        .write_u64(opts.rounding.units_per_leaf() as u64);
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_graph::Graph;
+    use hgp_hierarchy::presets;
+
+    fn inst() -> Instance {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+        Instance::uniform(g, 0.5)
+    }
+
+    #[test]
+    fn identical_structures_collide() {
+        assert_eq!(instance_fingerprint(&inst()), instance_fingerprint(&inst()));
+        let h = presets::multicore(2, 2, 4.0, 1.0);
+        assert_eq!(hierarchy_fingerprint(&h), hierarchy_fingerprint(&h));
+    }
+
+    #[test]
+    fn structural_changes_separate() {
+        let base = instance_fingerprint(&inst());
+        let heavier = Instance::uniform(Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 3.0)]), 0.5);
+        assert_ne!(base, instance_fingerprint(&heavier));
+        let denser = Instance::uniform(
+            Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 1.0)]),
+            0.5,
+        );
+        assert_ne!(base, instance_fingerprint(&denser));
+        let hungrier = Instance::uniform(Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]), 0.6);
+        assert_ne!(base, instance_fingerprint(&hungrier));
+    }
+
+    #[test]
+    fn machine_and_rounding_feed_solve_key_but_not_distribution_key() {
+        let i = inst();
+        let opts = SolverOptions::default();
+        let h1 = presets::multicore(2, 2, 4.0, 1.0);
+        let h2 = presets::flat(4);
+        assert_eq!(
+            distribution_fingerprint(&i, &opts),
+            distribution_fingerprint(&i, &opts)
+        );
+        assert_ne!(
+            solve_fingerprint(&i, &h1, &opts),
+            solve_fingerprint(&i, &h2, &opts)
+        );
+        let mut reseeded = opts;
+        reseeded.seed ^= 1;
+        assert_ne!(
+            distribution_fingerprint(&i, &opts),
+            distribution_fingerprint(&i, &reseeded)
+        );
+        let mut threads = opts;
+        threads.threads = 7;
+        assert_eq!(
+            solve_fingerprint(&i, &h1, &opts),
+            solve_fingerprint(&i, &h1, &threads),
+            "thread count must not change the request identity"
+        );
+    }
+}

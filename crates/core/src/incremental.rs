@@ -99,10 +99,9 @@ impl DynamicPlacer {
             for &(v, w) in nbrs {
                 let v = v as usize;
                 if self.active[v] && u < v {
-                    c += w
-                        * self
-                            .h
-                            .edge_multiplier(self.leaf_of[u] as usize, self.leaf_of[v] as usize);
+                    c += w * self
+                        .h
+                        .edge_multiplier(self.leaf_of[u] as usize, self.leaf_of[v] as usize);
                 }
             }
         }
@@ -113,7 +112,11 @@ impl DynamicPlacer {
         self.adj[task]
             .iter()
             .filter(|&&(v, _)| self.active[v as usize])
-            .map(|&(v, w)| w * self.h.edge_multiplier(leaf, self.leaf_of[v as usize] as usize))
+            .map(|&(v, w)| {
+                w * self
+                    .h
+                    .edge_multiplier(leaf, self.leaf_of[v as usize] as usize)
+            })
             .sum()
     }
 
@@ -154,7 +157,8 @@ impl DynamicPlacer {
         }
         self.demands.push(demand);
         self.active.push(true);
-        self.adj.push(neighbors.iter().map(|&(v, w)| (v as u32, w)).collect());
+        self.adj
+            .push(neighbors.iter().map(|&(v, w)| (v as u32, w)).collect());
         for &(v, w) in neighbors {
             self.adj[v].push((id as u32, w));
         }

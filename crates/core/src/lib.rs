@@ -26,8 +26,9 @@ mod assignment;
 pub mod bounds;
 pub mod cost;
 pub mod exact;
-mod instance;
+pub mod fingerprint;
 pub mod incremental;
+mod instance;
 pub mod kbgp;
 pub mod laminar;
 pub mod relaxed;

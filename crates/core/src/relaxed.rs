@@ -174,7 +174,11 @@ pub fn solve_relaxed(
                 if !w.is_infinite() {
                     for k in (0..h).rev() {
                         suf[k] = suf[k + 1]
-                            + if sig_lane(csig, k) > 0 { w * deltas[k] } else { 0.0 };
+                            + if sig_lane(csig, k) > 0 {
+                                w * deltas[k]
+                            } else {
+                                0.0
+                            };
                     }
                 }
                 let j_lo = if w.is_infinite() { h } else { 0 };
@@ -342,11 +346,7 @@ fn pareto_prune(table: &mut FxMap<Step>, h: usize) {
                     .cmp(&(b0, b1))
                     .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             });
-            let max_lane1 = entries
-                .iter()
-                .map(|e| sig_lane(e.0, 1))
-                .max()
-                .unwrap_or(0) as usize;
+            let max_lane1 = entries.iter().map(|e| sig_lane(e.0, 1)).max().unwrap_or(0) as usize;
             let mut fen = PrefixMin::new(max_lane1 + 1);
             for (sig, cost) in entries {
                 let l1 = sig_lane(sig, 1) as usize;
@@ -448,10 +448,14 @@ mod tests {
         units[bb] = 1;
         // h=1, two parts of capacity 1 unit each -> must separate
         let sol = solve_relaxed(&t, &units, &[1], &[1.0]).unwrap();
-        assert!((sol.cost - 1.0).abs() < 1e-9, "should cut the cheap edge, cost {}", sol.cost);
+        assert!(
+            (sol.cost - 1.0).abs() < 1e-9,
+            "should cut the cheap edge, cost {}",
+            sol.cost
+        );
         assert_eq!(sol.cut_level[a], 0);
         assert_eq!(sol.cut_level[bb], 1); // b's edge stays
-        // oracle agrees
+                                          // oracle agrees
         let oracle = labelling_cost(&t, &units, &sol.cut_level, &[1.0]);
         assert!((oracle - sol.cost).abs() < 1e-9);
     }
@@ -530,7 +534,11 @@ mod tests {
         // split at top = much worse.
         let oracle = labelling_cost(&t, &units, &sol.cut_level, &[9.0, 1.0]);
         assert!((oracle - sol.cost).abs() < 1e-9);
-        assert!((sol.cost - 20.0).abs() < 1e-9, "expected 20, got {}", sol.cost);
+        assert!(
+            (sol.cost - 20.0).abs() < 1e-9,
+            "expected 20, got {}",
+            sol.cost
+        );
     }
 
     #[test]

@@ -69,20 +69,41 @@ pub struct HgpReport {
 }
 
 /// Solves HGP on an arbitrary (connected) communication graph.
-pub fn solve(inst: &Instance, h: &Hierarchy, opts: &SolverOptions) -> Result<HgpReport, SolveError> {
+pub fn solve(
+    inst: &Instance,
+    h: &Hierarchy,
+    opts: &SolverOptions,
+) -> Result<HgpReport, SolveError> {
     inst.check_feasible(h).map_err(SolveError::Infeasible)?;
+    let dist = build_distribution(inst, opts)?;
+    solve_on_distribution(inst, h, &dist, opts)
+}
+
+/// Builds the Räcke tree distribution for an instance — the expensive,
+/// *hierarchy-independent* half of [`solve`].
+///
+/// The distribution depends only on the communication topology and the
+/// construction knobs in `opts` (`num_trees`, `decomp`, `seed`) — not on
+/// the machine it will later be solved against — so callers serving many
+/// requests (e.g. `hgp-server`) cache the result keyed by
+/// [`crate::fingerprint::distribution_fingerprint`] and feed it back
+/// through [`solve_on_distribution`], skipping the embedding entirely on
+/// repeat topologies.
+pub fn build_distribution(
+    inst: &Instance,
+    opts: &SolverOptions,
+) -> Result<Distribution, SolveError> {
     if !hgp_graph::traversal::is_connected(inst.graph()) {
         return Err(SolveError::Disconnected);
     }
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let dist = racke_distribution(
+    Ok(racke_distribution(
         inst.graph(),
         inst.demands(),
         opts.num_trees,
         &opts.decomp,
         &mut rng,
-    );
-    solve_on_distribution(inst, h, &dist, opts)
+    ))
 }
 
 /// Solves HGP given a pre-built distribution (lets experiments reuse
@@ -98,7 +119,9 @@ pub fn solve_on_distribution(
     let results: Mutex<Vec<Option<TreeSolveReport>>> = Mutex::new((0..p).map(|_| None).collect());
     let next = AtomicUsize::new(0);
     let workers = if opts.threads == 0 {
-        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
     } else {
         opts.threads
     }
@@ -121,26 +144,15 @@ pub fn solve_on_distribution(
     .expect("worker panicked");
 
     let results = results.into_inner().unwrap();
-    let per_tree_costs: Vec<Option<f64>> = results
-        .iter()
-        .map(|r| r.as_ref().map(|r| r.cost))
-        .collect();
+    let per_tree_costs: Vec<Option<f64>> =
+        results.iter().map(|r| r.as_ref().map(|r| r.cost)).collect();
     let (best_tree, best) = results
         .iter()
         .enumerate()
         .filter_map(|(i, r)| r.as_ref().map(|r| (i, r)))
-        .min_by(|a, b| {
-            a.1.cost
-                .partial_cmp(&b.1.cost)
-                .unwrap()
-                .then(a.0.cmp(&b.0))
-        })
+        .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).unwrap().then(a.0.cmp(&b.0)))
         .ok_or(SolveError::CapacityInfeasible)?;
-    let dp_entries_total = results
-        .iter()
-        .flatten()
-        .map(|r| r.dp_entries)
-        .sum();
+    let dp_entries_total = results.iter().flatten().map(|r| r.dp_entries).sum();
     Ok(HgpReport {
         assignment: best.assignment.clone(),
         cost: best.cost,
@@ -173,7 +185,15 @@ mod tests {
         let worst = rep.violation.worst_factor();
         assert!(worst <= (1.0 + 2.0) * 1.2, "violation {worst}");
         assert!(rep.per_tree_costs.iter().flatten().count() >= 1);
-        assert!(rep.cost <= rep.per_tree_costs.iter().flatten().fold(f64::INFINITY, |a, &b| a.min(b)) + 1e-9);
+        assert!(
+            rep.cost
+                <= rep
+                    .per_tree_costs
+                    .iter()
+                    .flatten()
+                    .fold(f64::INFINITY, |a, &b| a.min(b))
+                    + 1e-9
+        );
     }
 
     #[test]
@@ -241,6 +261,10 @@ mod tests {
         let inst = Instance::kbgp(g, 2);
         let h = presets::bisection();
         let rep = solve(&inst, &h, &SolverOptions::default()).unwrap();
-        assert!((rep.cost - 1.0).abs() < 1e-9, "expected the bridge cut, got {}", rep.cost);
+        assert!(
+            (rep.cost - 1.0).abs() < 1e-9,
+            "expected the bridge cut, got {}",
+            rep.cost
+        );
     }
 }

@@ -102,12 +102,10 @@ pub fn solve_rooted(
         .map(|k| h.cost_multiplier(k) - h.cost_multiplier(k + 1))
         .collect();
 
-    let relaxed = solve_relaxed(tree, &leaf_units, &caps, &deltas)
-        .ok_or(SolveError::CapacityInfeasible)?;
+    let relaxed =
+        solve_relaxed(tree, &leaf_units, &caps, &deltas).ok_or(SolveError::CapacityInfeasible)?;
     let level_sets = build_level_sets(tree, &relaxed.cut_level, h.height());
-    debug_assert!(level_sets
-        .check_laminar(tree.leaves().len())
-        .is_ok());
+    debug_assert!(level_sets.check_laminar(tree.leaves().len()).is_ok());
     let (leaf_of_tree, repair) = repair_assignment(&level_sets, &leaf_demand, h);
 
     let mut task_leaf = vec![u32::MAX; inst.num_tasks()];
@@ -224,10 +222,7 @@ mod tests {
         // star: hub 0 with spokes of weights 5, 1, 1, 1; all demand 1;
         // flat 2-way (cap 3+... k=5 leaves? use flat(5): every task its own
         // leaf: all edges cut at level 0: cost = sum)
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1, 5.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)],
-        );
+        let g = Graph::from_edges(5, &[(0, 1, 5.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]);
         let inst = Instance::uniform(g, 1.0);
         let h = presets::flat(5);
         let rep = solve_tree_instance(&inst, &h, Rounding::with_units(2)).unwrap();
@@ -266,10 +261,7 @@ mod tests {
             (0..15).map(|i| (i, i + 1, 1.0 + (i % 3) as f64)).collect();
         let g = Graph::from_edges(16, &edges);
         let inst = Instance::uniform(g, 0.9);
-        let h = hgp_hierarchy::Hierarchy::new(
-            vec![2, 2, 2, 2],
-            vec![16.0, 8.0, 4.0, 1.0, 0.0],
-        );
+        let h = hgp_hierarchy::Hierarchy::new(vec![2, 2, 2, 2], vec![16.0, 8.0, 4.0, 1.0, 0.0]);
         let rep = solve_tree_instance(&inst, &h, Rounding::with_units(2)).unwrap();
         assert!(rep.cost > 0.0);
         assert_eq!(rep.level_set_counts.len(), 4);

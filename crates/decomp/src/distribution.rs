@@ -123,7 +123,10 @@ mod tests {
         let (per_edge, stats) = hop_congestion(&dt, &g);
         assert_eq!(per_edge.len(), 2);
         assert!(stats.max <= 4.0);
-        assert!(stats.weighted_avg >= 2.0, "adjacent leaves are >= 2 hops apart");
+        assert!(
+            stats.weighted_avg >= 2.0,
+            "adjacent leaves are >= 2 hops apart"
+        );
     }
 
     #[test]

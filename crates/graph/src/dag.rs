@@ -159,11 +159,7 @@ mod tests {
 
     fn diamond() -> Dag {
         // 0 -> {1, 2} -> 3
-        Dag::new(
-            4,
-            vec![(0, 1, 2.0), (0, 2, 3.0), (1, 3, 1.0), (2, 3, 1.5)],
-        )
-        .unwrap()
+        Dag::new(4, vec![(0, 1, 2.0), (0, 2, 3.0), (1, 3, 1.0), (2, 3, 1.5)]).unwrap()
     }
 
     #[test]

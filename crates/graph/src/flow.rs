@@ -162,10 +162,7 @@ pub fn min_cut_groups(g: &Graph, sources: &[NodeId], sinks: &[NodeId]) -> (f64, 
         net.add_arc(s, v.index(), f64::INFINITY);
     }
     for &v in sinks {
-        assert!(
-            !sources.contains(&v),
-            "terminal groups overlap at {v:?}"
-        );
+        assert!(!sources.contains(&v), "terminal groups overlap at {v:?}");
         net.add_arc(v.index(), t, f64::INFINITY);
     }
     let f = net.max_flow(s, t);

@@ -19,7 +19,13 @@ fn draw_weight<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
 
 /// Erdős–Rényi `G(n, p)` with weights uniform in `[w_lo, w_hi)`.
 /// A random spanning path is added first so the result is always connected.
-pub fn gnp_connected<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64, w_lo: f64, w_hi: f64) -> Graph {
+pub fn gnp_connected<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    p: f64,
+    w_lo: f64,
+    w_hi: f64,
+) -> Graph {
     assert!(n >= 1);
     assert!((0.0..=1.0).contains(&p));
     let mut b = GraphBuilder::new(n);
@@ -35,7 +41,11 @@ pub fn gnp_connected<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64, w_lo: f64, 
     for u in 0..n {
         for v in (u + 1)..n {
             if rng.gen_bool(p) {
-                b.add_edge(NodeId(u as u32), NodeId(v as u32), draw_weight(rng, w_lo, w_hi));
+                b.add_edge(
+                    NodeId(u as u32),
+                    NodeId(v as u32),
+                    draw_weight(rng, w_lo, w_hi),
+                );
             }
         }
     }
@@ -45,7 +55,13 @@ pub fn gnp_connected<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64, w_lo: f64, 
 /// Barabási–Albert preferential attachment: each new node attaches to `m`
 /// existing nodes chosen proportionally to degree. Produces the heavy-tailed
 /// degree distributions typical of service/communication graphs.
-pub fn barabasi_albert<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize, w_lo: f64, w_hi: f64) -> Graph {
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    m: usize,
+    w_lo: f64,
+    w_hi: f64,
+) -> Graph {
     assert!(m >= 1 && n > m, "need n > m >= 1");
     let mut b = GraphBuilder::new(n);
     // degree-proportional sampling via a repeated-endpoint urn
@@ -77,7 +93,13 @@ pub fn barabasi_albert<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize, w_lo: f
 
 /// `rows × cols` 2-D grid mesh (4-neighbour), the classic scientific
 /// computing workload shape.
-pub fn grid2d<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, w_lo: f64, w_hi: f64) -> Graph {
+pub fn grid2d<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    w_lo: f64,
+    w_hi: f64,
+) -> Graph {
     assert!(rows >= 1 && cols >= 1);
     let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
     let mut b = GraphBuilder::new(rows * cols);
@@ -106,7 +128,9 @@ pub fn random_geometric<R: Rng + ?Sized>(
     w_hi: f64,
 ) -> Graph {
     assert!(n >= 1 && radius > 0.0);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
@@ -134,7 +158,11 @@ pub fn random_tree<R: Rng + ?Sized>(rng: &mut R, n: usize, w_lo: f64, w_hi: f64)
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
         let p = rng.gen_range(0..v);
-        b.add_edge(NodeId(p as u32), NodeId(v as u32), draw_weight(rng, w_lo, w_hi));
+        b.add_edge(
+            NodeId(p as u32),
+            NodeId(v as u32),
+            draw_weight(rng, w_lo, w_hi),
+        );
     }
     b.build()
 }
@@ -161,7 +189,11 @@ pub fn caterpillar<R: Rng + ?Sized>(
     let mut next = spine;
     for s in 0..spine {
         for _ in 0..legs {
-            b.add_edge(NodeId(s as u32), NodeId(next as u32), draw_weight(rng, w_lo, w_hi));
+            b.add_edge(
+                NodeId(s as u32),
+                NodeId(next as u32),
+                draw_weight(rng, w_lo, w_hi),
+            );
             next += 1;
         }
     }
@@ -173,7 +205,11 @@ pub fn complete<R: Rng + ?Sized>(rng: &mut R, n: usize, w_lo: f64, w_hi: f64) ->
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            b.add_edge(NodeId(u as u32), NodeId(v as u32), draw_weight(rng, w_lo, w_hi));
+            b.add_edge(
+                NodeId(u as u32),
+                NodeId(v as u32),
+                draw_weight(rng, w_lo, w_hi),
+            );
         }
     }
     b.build()
@@ -280,7 +316,11 @@ pub fn planted_clusters<R: Rng + ?Sized>(
     }
     // inter-cluster connectivity insurance
     for c in 1..k {
-        b.add_edge(NodeId(((c - 1) * size) as u32), NodeId((c * size) as u32), w_out);
+        b.add_edge(
+            NodeId(((c - 1) * size) as u32),
+            NodeId((c * size) as u32),
+            w_out,
+        );
     }
     b.build()
 }

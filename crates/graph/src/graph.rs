@@ -91,9 +91,18 @@ impl GraphBuilder {
     /// Panics if `u` or `v` is out of range, or `w` is not finite or is
     /// negative.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
-        assert!(u.index() < self.num_nodes, "edge endpoint {u:?} out of range");
-        assert!(v.index() < self.num_nodes, "edge endpoint {v:?} out of range");
-        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and non-negative");
+        assert!(
+            u.index() < self.num_nodes,
+            "edge endpoint {u:?} out of range"
+        );
+        assert!(
+            v.index() < self.num_nodes,
+            "edge endpoint {v:?} out of range"
+        );
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "edge weight must be finite and non-negative"
+        );
         self.edges.push((u.0, v.0, w));
     }
 
@@ -106,8 +115,7 @@ impl GraphBuilder {
                 std::mem::swap(&mut e.0, &mut e.1);
             }
         }
-        self.edges
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.edges.sort_unstable_by_key(|a| (a.0, a.1));
         let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
         for (u, v, w) in self.edges {
             match merged.last_mut() {
@@ -226,7 +234,13 @@ impl Graph {
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64, EdgeId)> + '_ {
         let lo = self.xadj[v.index()] as usize;
         let hi = self.xadj[v.index() + 1] as usize;
-        (lo..hi).map(move |i| (NodeId(self.adjncy[i]), self.adjwgt[i], EdgeId(self.adj_eid[i])))
+        (lo..hi).map(move |i| {
+            (
+                NodeId(self.adjncy[i]),
+                self.adjwgt[i],
+                EdgeId(self.adj_eid[i]),
+            )
+        })
     }
 
     /// Sum of the weighted degree of `v` (total weight of incident edges).

@@ -181,7 +181,11 @@ pub fn read_edge_list(text: &str, min_nodes: usize) -> Result<Graph, ParseError>
         max_id = max_id.max(u).max(v);
         edges.push((u, v, w));
     }
-    let n = min_nodes.max(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = min_nodes.max(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
     Ok(Graph::from_edges(n, &edges))
 }
 
@@ -235,7 +239,13 @@ mod tests {
     #[test]
     fn metis_edge_count_mismatch() {
         let err = read_metis("3 5\n2\n1 3\n2\n").unwrap_err();
-        assert!(matches!(err, ParseError::EdgeCountMismatch { expected: 5, found: 2 }));
+        assert!(matches!(
+            err,
+            ParseError::EdgeCountMismatch {
+                expected: 5,
+                found: 2
+            }
+        ));
     }
 
     #[test]

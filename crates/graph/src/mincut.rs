@@ -149,7 +149,10 @@ mod tests {
                 let s: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
                 bf = bf.min(g.cut_weight(&s));
             }
-            assert!((c - bf).abs() < 1e-9, "stoer-wagner {c} vs brute force {bf}");
+            assert!(
+                (c - bf).abs() < 1e-9,
+                "stoer-wagner {c} vs brute force {bf}"
+            );
         }
     }
 }

@@ -79,11 +79,11 @@ pub fn grow_bisection(g: &Graph, node_w: &[f64], target0: f64, seed: NodeId) -> 
     let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
     let mut w0 = 0.0;
     let absorb = |v: usize,
-                      heap: &mut BinaryHeap<Cand>,
-                      in0: &mut Vec<bool>,
-                      side: &mut Vec<bool>,
-                      attraction: &mut Vec<f64>,
-                      w0: &mut f64| {
+                  heap: &mut BinaryHeap<Cand>,
+                  in0: &mut Vec<bool>,
+                  side: &mut Vec<bool>,
+                  attraction: &mut Vec<f64>,
+                  w0: &mut f64| {
         in0[v] = true;
         side[v] = false;
         *w0 += node_w[v];
@@ -95,7 +95,14 @@ pub fn grow_bisection(g: &Graph, node_w: &[f64], target0: f64, seed: NodeId) -> 
         }
     };
 
-    absorb(seed.index(), &mut heap, &mut in0, &mut side, &mut attraction, &mut w0);
+    absorb(
+        seed.index(),
+        &mut heap,
+        &mut in0,
+        &mut side,
+        &mut attraction,
+        &mut w0,
+    );
     while w0 < target0 {
         // pull the best still-valid candidate; fall back to any unabsorbed node
         let next = loop {
@@ -124,13 +131,7 @@ pub fn grow_bisection(g: &Graph, node_w: &[f64], target0: f64, seed: NodeId) -> 
 /// gain, subject to side capacities `cap0`/`cap1` (maximum allowed node
 /// weight per side), then rewinds to the prefix with the smallest cut seen.
 /// Returns the cut improvement (≥ 0). `side` is updated in place.
-pub fn fm_pass(
-    g: &Graph,
-    node_w: &[f64],
-    side: &mut [bool],
-    cap0: f64,
-    cap1: f64,
-) -> f64 {
+pub fn fm_pass(g: &Graph, node_w: &[f64], side: &mut [bool], cap0: f64, cap1: f64) -> f64 {
     let n = g.num_nodes();
     assert_eq!(node_w.len(), n);
     assert_eq!(side.len(), n);
@@ -361,6 +362,9 @@ impl Default for BisectOpts {
 /// Multilevel balanced bisection: coarsen by heavy-edge matching, grow an
 /// initial partition on the coarsest graph, then project back up refining
 /// with FM at every level. Deterministic given the RNG state.
+///
+/// Total on degenerate inputs: an empty graph yields the empty bisection
+/// (zero cut, zero weights) and a single node lands on side 0.
 pub fn multilevel_bisection<R: Rng + ?Sized>(
     g: &Graph,
     node_w: &[f64],
@@ -369,7 +373,9 @@ pub fn multilevel_bisection<R: Rng + ?Sized>(
 ) -> Bisection {
     let n = g.num_nodes();
     assert_eq!(node_w.len(), n);
-    assert!(n >= 1);
+    if n == 0 {
+        return Bisection::from_side(g, node_w, Vec::new());
+    }
     let total: f64 = node_w.iter().sum();
     let target0 = opts.target0_frac * total;
     let cap0 = target0 * (1.0 + opts.eps);
@@ -406,26 +412,29 @@ fn initial_bisection<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Bisection {
     let n = g.num_nodes();
-    if n == 1 {
-        return Bisection::from_side(g, node_w, vec![false]);
+    if n <= 1 {
+        // degenerate: nothing to split — everything (if anything) on side 0
+        return Bisection::from_side(g, node_w, vec![false; n]);
     }
-    let mut best: Option<Bisection> = None;
-    for _ in 0..opts.tries.max(1) {
+    let one_try = |rng: &mut R| {
         let seed = NodeId(rng.gen_range(0..n as u32));
         let mut b = grow_bisection(g, node_w, target0, seed);
         if !opts.no_refine {
             fm_refine(g, node_w, &mut b.side, cap0, cap1, opts.fm_passes);
             b = Bisection::from_side(g, node_w, b.side);
         }
-        let better = match &best {
-            None => true,
-            Some(cur) => b.cut < cur.cut,
-        };
-        if better {
-            best = Some(b);
+        b
+    };
+    // seeding with the first try keeps this total: NaN cuts (from
+    // pathological weights) can never talk us out of every candidate
+    let mut best = one_try(rng);
+    for _ in 1..opts.tries.max(1) {
+        let b = one_try(rng);
+        if b.cut < best.cut {
+            best = b;
         }
     }
-    best.unwrap()
+    best
 }
 
 #[cfg(test)]
@@ -434,6 +443,29 @@ mod tests {
     use crate::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn degenerate_graphs_bisect_without_panicking() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty = Graph::from_edges(0, &[]);
+        let b = multilevel_bisection(&empty, &[], &BisectOpts::default(), &mut rng);
+        assert!(b.side.is_empty());
+        assert_eq!(b.cut, 0.0);
+
+        let single = Graph::from_edges(1, &[]);
+        let b = multilevel_bisection(&single, &[1.0], &BisectOpts::default(), &mut rng);
+        assert_eq!(b.side, vec![false]);
+        assert_eq!(b.weight0, 1.0);
+
+        // zero tries must still produce a bisection (documented fallback)
+        let pair = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        let opts = BisectOpts {
+            tries: 0,
+            ..Default::default()
+        };
+        let b = multilevel_bisection(&pair, &[1.0, 1.0], &opts, &mut rng);
+        assert_eq!(b.side.len(), 2);
+    }
 
     #[test]
     fn grow_reaches_target() {
@@ -465,7 +497,10 @@ mod tests {
         fm_refine(&g, &w, &mut side, 5.0, 5.0, 8);
         let after = g.cut_weight(&side);
         assert!(after < before);
-        assert!((after - 1.0).abs() < 1e-9, "should find the bridge cut, got {after}");
+        assert!(
+            (after - 1.0).abs() < 1e-9,
+            "should find the bridge cut, got {after}"
+        );
     }
 
     #[test]
@@ -536,6 +571,10 @@ mod tests {
         };
         let b = multilevel_bisection(&g, &w, &opts, &mut rng);
         assert!(b.weight0 <= 0.25 * 64.0 * 1.1 + 1.0);
-        assert!(b.weight0 >= 8.0, "side 0 should be non-trivial, got {}", b.weight0);
+        assert!(
+            b.weight0 >= 8.0,
+            "side 0 should be non-trivial, got {}",
+            b.weight0
+        );
     }
 }

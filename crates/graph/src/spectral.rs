@@ -32,7 +32,9 @@ pub fn fiedler_vector(g: &Graph, iterations: usize) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
-    let degree: Vec<f64> = (0..n).map(|v| g.weighted_degree(NodeId(v as u32))).collect();
+    let degree: Vec<f64> = (0..n)
+        .map(|v| g.weighted_degree(NodeId(v as u32)))
+        .collect();
     let c = 2.0 * degree.iter().copied().fold(0.0, f64::max) + 1.0;
     // deterministic pseudo-random start, orthogonal to the constant vector
     let mut x: Vec<f64> = (0..n)

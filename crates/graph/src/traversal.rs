@@ -118,7 +118,12 @@ pub fn dijkstra(g: &Graph, start: NodeId, lengths: &[f64]) -> Vec<f64> {
 
 /// Shortest path (as a node sequence, `start..=goal`) under edge `lengths`,
 /// or `None` if unreachable.
-pub fn shortest_path(g: &Graph, start: NodeId, goal: NodeId, lengths: &[f64]) -> Option<Vec<NodeId>> {
+pub fn shortest_path(
+    g: &Graph,
+    start: NodeId,
+    goal: NodeId,
+    lengths: &[f64],
+) -> Option<Vec<NodeId>> {
     let dist = dijkstra(g, start, lengths);
     if dist[goal.index()].is_infinite() {
         return None;

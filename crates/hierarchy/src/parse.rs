@@ -81,9 +81,7 @@ pub fn parse_hierarchy(desc: &str) -> Result<Hierarchy, ParseHierarchyError> {
             }
             cm
         }
-        None => (0..=h)
-            .map(|j| (2f64.powi((h - j) as i32)) - 1.0)
-            .collect(),
+        None => (0..=h).map(|j| (2f64.powi((h - j) as i32)) - 1.0).collect(),
     };
     Ok(Hierarchy::new(degrees, cm))
 }
@@ -137,10 +135,22 @@ mod tests {
     #[test]
     fn errors_are_descriptive() {
         assert!(parse_hierarchy("").unwrap_err().msg.contains("bad degree"));
-        assert!(parse_hierarchy("2xfoo").unwrap_err().msg.contains("bad degree"));
+        assert!(parse_hierarchy("2xfoo")
+            .unwrap_err()
+            .msg
+            .contains("bad degree"));
         assert!(parse_hierarchy("0x2").unwrap_err().msg.contains(">= 1"));
-        assert!(parse_hierarchy("2x2:1,2,3").unwrap_err().msg.contains("non-increasing"));
-        assert!(parse_hierarchy("2x2:1,0").unwrap_err().msg.contains("need 3 multipliers"));
-        assert!(parse_hierarchy("2x2:3,x,0").unwrap_err().msg.contains("bad multiplier"));
+        assert!(parse_hierarchy("2x2:1,2,3")
+            .unwrap_err()
+            .msg
+            .contains("non-increasing"));
+        assert!(parse_hierarchy("2x2:1,0")
+            .unwrap_err()
+            .msg
+            .contains("need 3 multipliers"));
+        assert!(parse_hierarchy("2x2:3,x,0")
+            .unwrap_err()
+            .msg
+            .contains("bad multiplier"));
     }
 }

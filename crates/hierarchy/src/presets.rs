@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn datacenter_shape() {
-        let h = datacenter(3, 4, 8, 20.0, 5.0, 1.0, );
+        let h = datacenter(3, 4, 8, 20.0, 5.0, 1.0);
         assert_eq!(h.num_leaves(), 96);
         assert_eq!(h.capacity(1), 32);
         assert_eq!(h.capacity(2), 8);

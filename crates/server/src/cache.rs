@@ -1,0 +1,148 @@
+//! LRU cache for Räcke tree distributions.
+//!
+//! The decomposition-tree distribution is the expensive half of a solve and
+//! depends only on the communication topology and construction knobs
+//! (Andersen–Feige; see `hgp_core::fingerprint`), not on the machine or the
+//! rounding — so a long-running server reuses it across requests. Entries
+//! are `Arc`-shared: a hit costs a hash lookup and a refcount bump, and an
+//! entry being evicted while a worker still solves on it is harmless.
+
+use hgp_decomp::Distribution;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Entry {
+    dist: Arc<Distribution>,
+    /// Logical timestamp of last access (monotone per cache).
+    stamp: u64,
+}
+
+/// A bounded LRU map from distribution fingerprints to shared
+/// distributions.
+pub struct DecompCache {
+    entries: Mutex<HashMap<u64, Entry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DecompCache {
+    /// Cache holding at most `capacity` distributions (`0` disables
+    /// caching: every lookup misses and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<Distribution>> {
+        let mut map = self.entries.lock();
+        match map.get_mut(&key) {
+            Some(e) => {
+                e.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.dist))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `dist` under `key`, evicting the least-recently-used entry
+    /// if the cache is full. Racing inserts of the same key are idempotent
+    /// (last writer wins; both values are equivalent by construction since
+    /// the key fingerprints every input of the build).
+    pub fn insert(&self, key: u64, dist: Arc<Distribution>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut map = self.entries.lock();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            if let Some(&oldest) = map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k) {
+                map.remove(&oldest);
+            }
+        }
+        map.insert(key, Entry { dist, stamp });
+    }
+
+    /// Hit count since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Miss count since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_core::solver::{build_distribution, SolverOptions};
+    use hgp_core::Instance;
+    use hgp_graph::Graph;
+
+    fn dist() -> Arc<Distribution> {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let inst = Instance::uniform(g, 0.5);
+        let opts = SolverOptions {
+            num_trees: 2,
+            ..Default::default()
+        };
+        Arc::new(build_distribution(&inst, &opts).unwrap())
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let c = DecompCache::new(4);
+        assert!(c.get(1).is_none());
+        c.insert(1, dist());
+        assert!(c.get(1).is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = DecompCache::new(2);
+        let d = dist();
+        c.insert(1, Arc::clone(&d));
+        c.insert(2, Arc::clone(&d));
+        assert!(c.get(1).is_some()); // refresh 1 → 2 is now LRU
+        c.insert(3, d);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_none(), "LRU entry should have been evicted");
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = DecompCache::new(0);
+        c.insert(1, dist());
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+}

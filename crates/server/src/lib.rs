@@ -1,0 +1,39 @@
+//! `hgp-server`: a long-running concurrent placement service.
+//!
+//! The paper's pipeline is an offline algorithm; the deployments that
+//! motivate it (stream-processing operators on NUMA boxes and clusters,
+//! §1 of the paper) need placement *as a service*: many callers, repeat
+//! topologies, latency budgets, and task churn between full solves. This
+//! crate wraps the `hgp-core` solver in exactly that shape:
+//!
+//! * [`protocol`] — a newline-delimited text protocol over TCP
+//!   (`solve`, `place-incremental`, `stats`, `shutdown`);
+//! * [`pool`] — a bounded solver pool: admission control via
+//!   `overloaded`, per-request deadlines with graceful degradation to the
+//!   `hgp-baselines` k-way + refine path (replies tagged `degraded=1`);
+//! * [`cache`] — an LRU over Räcke tree distributions keyed by the
+//!   structural fingerprints in `hgp_core::fingerprint`, so repeat
+//!   topologies skip the expensive embedding;
+//! * [`session`] — server-held [`hgp_core::incremental::DynamicPlacer`]
+//!   sessions for task churn, with wire-safe validation;
+//! * [`metrics`] — atomic counters and latency histograms behind `stats`;
+//! * [`server`] — the std-only TCP front end tying it together.
+//!
+//! Everything is deterministic given request seeds: two identical `solve`
+//! lines return identical costs, whether or not the cache was hit.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use cache::DecompCache;
+pub use metrics::Metrics;
+pub use pool::{SolveJob, SolverPool};
+pub use protocol::{ErrCode, GraphSpec, IncrOp, Request, SolveSpec, WireError};
+pub use server::{Server, ServerConfig};
+pub use session::SessionTable;

@@ -1,0 +1,182 @@
+//! Lock-free service metrics: monotonic counters plus a latency histogram.
+//!
+//! Everything is plain atomics so the hot paths (worker threads, connection
+//! threads) never serialise on a lock to record an event. The histogram
+//! buckets latencies by `ceil(log2(µs))`, which is coarse but monotone —
+//! good enough for p50/p99 at the granularity a `stats` caller needs, with
+//! a fixed 64-slot footprint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A power-of-two latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(us: u64) -> usize {
+        // bucket b holds us in [2^(b-1)+1, 2^b]; bucket 0 holds 0..=1 µs
+        (64 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile, or 0 on
+    /// an empty histogram. `q` in `[0, 1]`.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in snapshot.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << b;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// Largest observation (µs).
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+}
+
+/// The server-wide metrics registry, shared by all threads.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Request lines received (parse failures included).
+    pub requests: AtomicU64,
+    /// Requests rejected as unparseable or semantically invalid.
+    pub bad_requests: AtomicU64,
+    /// Solves answered from the full pipeline within deadline.
+    pub solve_ok: AtomicU64,
+    /// Solves answered degraded (baseline fallback or partial distribution).
+    pub solve_degraded: AtomicU64,
+    /// Solves that failed outright (infeasible, disconnected, …).
+    pub solve_err: AtomicU64,
+    /// Solves rejected because the queue was full.
+    pub overloaded: AtomicU64,
+    /// `place-incremental` operations applied successfully.
+    pub incr_ops: AtomicU64,
+    /// Sessions currently open.
+    pub sessions_open: AtomicU64,
+    /// End-to-end solve latency (enqueue to reply), successful solves only.
+    pub solve_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Fresh registry with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bumps a counter by one.
+    pub fn inc(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Renders the `stats` reply body (the part after `ok `).
+    pub fn stats_line(&self, cache_hits: u64, cache_misses: u64) -> String {
+        format!(
+            "requests={} bad-requests={} solve-ok={} solve-degraded={} solve-err={} \
+             overloaded={} incr-ops={} sessions-open={} cache-hits={} cache-misses={} \
+             solve-p50-us={} solve-p99-us={} solve-max-us={}",
+            self.get(&self.requests),
+            self.get(&self.bad_requests),
+            self.get(&self.solve_ok),
+            self.get(&self.solve_degraded),
+            self.get(&self.solve_err),
+            self.get(&self.overloaded),
+            self.get(&self.incr_ops),
+            self.get(&self.sessions_open),
+            cache_hits,
+            cache_misses,
+            self.solve_latency.quantile_us(0.50),
+            self.solve_latency.quantile_us(0.99),
+            self.solve_latency.max_us(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_monotone() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 2, 3, 700, 1_000_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert!(h.quantile_us(0.0) <= h.quantile_us(0.5));
+        assert!(h.quantile_us(0.5) <= h.quantile_us(1.0));
+        assert_eq!(h.max_us(), 1_000_000);
+        // p50 of {1,2,3,700,1e6} lands in the bucket holding 3 µs
+        assert_eq!(h.quantile_us(0.5), 4);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn stats_line_reflects_counters() {
+        let m = Metrics::new();
+        m.inc(&m.requests);
+        m.inc(&m.requests);
+        m.inc(&m.solve_ok);
+        m.solve_latency.record(Duration::from_micros(100));
+        let line = m.stats_line(3, 1);
+        assert!(line.contains("requests=2"), "{line}");
+        assert!(line.contains("solve-ok=1"), "{line}");
+        assert!(line.contains("cache-hits=3"), "{line}");
+        assert!(line.contains("cache-misses=1"), "{line}");
+    }
+}

@@ -1,0 +1,380 @@
+//! The solver pool: bounded queueing, deadlines, graceful degradation.
+//!
+//! `solve` requests are pushed onto a bounded queue drained by N worker
+//! threads. A full queue rejects immediately with `overloaded` — admission
+//! control beats unbounded latency. Each request may carry a soft deadline;
+//! the worker checks it at dequeue, after the (possibly cached) Räcke
+//! distribution is ready, and between per-tree DP solves:
+//!
+//! * deadline already blown with no tree solved → fall back to the fast
+//!   `hgp-baselines` path (multilevel k-way + hierarchy-aware refinement),
+//!   reply tagged `degraded=1 mode=baseline`;
+//! * blown mid-distribution with ≥1 tree solved → best assignment so far,
+//!   `degraded=1 mode=partial`;
+//! * otherwise the full Theorem-1 sweep, `degraded=0 mode=full`.
+//!
+//! Degraded replies are still *valid placements* — only the approximation
+//! guarantee is surrendered, never correctness.
+
+use crate::cache::DecompCache;
+use crate::metrics::Metrics;
+use crate::protocol::{ErrCode, SolveSpec, WireError};
+use hgp_baselines::kway::{kway_partition, KwayOpts};
+use hgp_baselines::refine::{refine, RefineOpts};
+use hgp_core::fingerprint::distribution_fingerprint;
+use hgp_core::solver::{build_distribution, SolverOptions};
+use hgp_core::tree_solver::solve_rooted;
+use hgp_core::{Assignment, Rounding};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One queued solve.
+pub struct SolveJob {
+    /// The parsed request.
+    pub spec: SolveSpec,
+    /// When the request was accepted (latency is measured from here).
+    pub enqueued: Instant,
+    /// Absolute deadline derived from `deadline-ms`, if any.
+    pub deadline: Option<Instant>,
+    /// Where the reply line goes.
+    pub reply: mpsc::Sender<String>,
+}
+
+/// A fixed pool of solver workers behind a bounded queue.
+pub struct SolverPool {
+    tx: mpsc::SyncSender<SolveJob>,
+    workers: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl SolverPool {
+    /// Spawns `workers` threads draining a queue of at most
+    /// `queue_capacity` pending solves.
+    pub fn new(
+        workers: usize,
+        queue_capacity: usize,
+        cache: Arc<DecompCache>,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<SolveJob>(queue_capacity.max(1));
+        let rx = Arc::new(parking_lot::Mutex::new(rx));
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("hgp-solver-{i}"))
+                    .spawn(move || loop {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let job = rx.lock().recv_timeout(Duration::from_millis(50));
+                        match job {
+                            Ok(job) => {
+                                let line = run_solve(&job, &cache, &metrics);
+                                // receiver gone = client hung up; nothing to do
+                                let _ = job.reply.send(line);
+                            }
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    })
+                    .expect("spawn solver worker")
+            })
+            .collect();
+        Self { tx, workers, stop }
+    }
+
+    /// Enqueues a job; rejects with `overloaded` when the queue is full.
+    pub fn submit(&self, job: SolveJob) -> Result<(), WireError> {
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(WireError::new(
+                ErrCode::Overloaded,
+                "solver queue full, retry later",
+            )),
+            Err(TrySendError::Disconnected(_)) => {
+                Err(WireError::new(ErrCode::ShuttingDown, "server is draining"))
+            }
+        }
+    }
+
+    /// Signals workers to stop and joins them. Queued jobs not yet picked
+    /// up are dropped (their reply channels disconnect, which the
+    /// connection threads surface as `shutting-down`).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for SolverPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How a solve reply was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Full,
+    Partial,
+    Baseline,
+}
+
+impl Mode {
+    fn as_str(self) -> &'static str {
+        match self {
+            Mode::Full => "full",
+            Mode::Partial => "partial",
+            Mode::Baseline => "baseline",
+        }
+    }
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Executes one solve end to end and formats the reply line.
+fn run_solve(job: &SolveJob, cache: &DecompCache, metrics: &Metrics) -> String {
+    match solve_inner(job, cache, metrics) {
+        Ok(line) => line,
+        Err(e) => {
+            match e.code {
+                ErrCode::BadRequest => metrics.inc(&metrics.bad_requests),
+                _ => metrics.inc(&metrics.solve_err),
+            }
+            e.to_line()
+        }
+    }
+}
+
+fn solve_inner(
+    job: &SolveJob,
+    cache: &DecompCache,
+    metrics: &Metrics,
+) -> Result<String, WireError> {
+    let spec = &job.spec;
+    let inst = spec.instance()?;
+    let h = &spec.machine;
+    inst.check_feasible(h)
+        .map_err(|e| WireError::new(ErrCode::SolveFailed, format!("infeasible instance: {e:?}")))?;
+    let opts = SolverOptions {
+        num_trees: spec.trees,
+        rounding: Rounding::with_units(spec.units),
+        threads: 1,
+        seed: spec.seed,
+        ..Default::default()
+    };
+
+    let mut cache_status = "skip";
+    let mut solved = 0usize;
+    let mut best: Option<(usize, Assignment, f64)> = None;
+    let mut mode = Mode::Baseline;
+
+    if !expired(job.deadline) {
+        let key = distribution_fingerprint(&inst, &opts);
+        let dist = match cache.get(key) {
+            Some(d) => {
+                cache_status = "hit";
+                d
+            }
+            None => {
+                cache_status = "miss";
+                let d = Arc::new(build_distribution(&inst, &opts).map_err(|e| {
+                    WireError::new(ErrCode::SolveFailed, format!("decomposition failed: {e}"))
+                })?);
+                cache.insert(key, Arc::clone(&d));
+                d
+            }
+        };
+        let total = dist.trees.len();
+        for (i, dt) in dist.trees.iter().enumerate() {
+            if expired(job.deadline) {
+                break;
+            }
+            if let Ok(rep) = solve_rooted(&dt.tree, &dt.task_of_leaf, &inst, h, opts.rounding) {
+                // map back to G and compare by true Equation-1 cost,
+                // deterministic tie-break on tree index
+                let cost = rep.assignment.cost(&inst, h);
+                if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
+                    best = Some((i, rep.assignment, cost));
+                }
+            }
+            solved = i + 1;
+        }
+        mode = if solved == total {
+            Mode::Full
+        } else {
+            Mode::Partial
+        };
+    }
+
+    let (mut assignment, mut detail) = match best {
+        Some((tree, a, _)) => (a, format!("tree={tree} trees-solved={solved}")),
+        None => {
+            // Deadline blown before any tree finished (or every DP was
+            // capacity-infeasible on a degraded request): fast baseline.
+            mode = Mode::Baseline;
+            let mut rng = StdRng::seed_from_u64(spec.seed);
+            let part = kway_partition(
+                inst.graph(),
+                inst.demands(),
+                h.num_leaves(),
+                &KwayOpts::default(),
+                &mut rng,
+            );
+            let mut a = Assignment::new(part, h);
+            refine(&mut a, &inst, h, &RefineOpts::default());
+            (a, "trees-solved=0".to_string())
+        }
+    };
+    if spec.refine && mode != Mode::Baseline {
+        refine(&mut assignment, &inst, h, &RefineOpts::default());
+    }
+
+    let cost = assignment.cost(&inst, h);
+    let worst = assignment.violation_report(&inst, h).worst_factor();
+    let degraded = mode != Mode::Full;
+    if degraded {
+        metrics.inc(&metrics.solve_degraded);
+    } else {
+        metrics.inc(&metrics.solve_ok);
+    }
+    let elapsed = job.enqueued.elapsed();
+    metrics.solve_latency.record(elapsed);
+
+    detail = format!(
+        "cost={} degraded={} mode={} {} cache={} worst-factor={} elapsed-us={}",
+        cost,
+        u8::from(degraded),
+        mode.as_str(),
+        detail,
+        cache_status,
+        worst,
+        elapsed.as_micros()
+    );
+    if spec.want_assignment {
+        let leaves: Vec<String> = assignment.leaves().iter().map(|l| l.to_string()).collect();
+        detail.push_str(&format!(" assignment={}", leaves.join(",")));
+    }
+    Ok(format!("ok {detail}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{GraphSpec, Request};
+
+    fn pool() -> (SolverPool, Arc<DecompCache>, Arc<Metrics>) {
+        let cache = Arc::new(DecompCache::new(8));
+        let metrics = Arc::new(Metrics::new());
+        (
+            SolverPool::new(2, 4, Arc::clone(&cache), Arc::clone(&metrics)),
+            cache,
+            metrics,
+        )
+    }
+
+    fn solve_spec(line: &str) -> SolveSpec {
+        match Request::parse(line).unwrap() {
+            Request::Solve(s) => *s,
+            _ => panic!("not a solve"),
+        }
+    }
+
+    fn run(pool: &SolverPool, spec: SolveSpec, deadline: Option<Duration>) -> String {
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        pool.submit(SolveJob {
+            spec,
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
+            reply: tx,
+        })
+        .unwrap();
+        rx.recv_timeout(Duration::from_secs(60)).unwrap()
+    }
+
+    const LINE: &str =
+        "solve graph=gen:clustered:2x4:5 machine=2x2:4,1,0 demand=0.4 trees=4 seed=7";
+
+    #[test]
+    fn full_solve_and_cache_reuse() {
+        let (pool, cache, metrics) = pool();
+        let a = run(&pool, solve_spec(LINE), None);
+        assert!(a.starts_with("ok "), "{a}");
+        assert!(a.contains("degraded=0"), "{a}");
+        assert!(a.contains("mode=full"), "{a}");
+        assert!(a.contains("cache=miss"), "{a}");
+        let b = run(&pool, solve_spec(LINE), None);
+        assert!(b.contains("cache=hit"), "{b}");
+        assert!(cache.hits() >= 1);
+        // identical request → identical cost
+        let cost = |s: &str| {
+            s.split_whitespace()
+                .find_map(|kv| kv.strip_prefix("cost="))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(cost(&a), cost(&b));
+        assert_eq!(metrics.get(&metrics.solve_ok), 2);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_baseline() {
+        let (pool, _cache, metrics) = pool();
+        let reply = run(&pool, solve_spec(LINE), Some(Duration::ZERO));
+        assert!(reply.starts_with("ok "), "{reply}");
+        assert!(reply.contains("degraded=1"), "{reply}");
+        assert!(reply.contains("mode=baseline"), "{reply}");
+        assert_eq!(metrics.get(&metrics.solve_degraded), 1);
+    }
+
+    #[test]
+    fn infeasible_instances_fail_cleanly() {
+        let (pool, _cache, metrics) = pool();
+        // 9 tasks × demand 1.0 > 4 leaves
+        let mut spec = solve_spec(LINE);
+        spec.graph = GraphSpec::parse("gen:mesh:3x3:1").unwrap();
+        spec.demand = Some(1.0);
+        let reply = run(&pool, spec, None);
+        assert!(reply.starts_with("err solve-failed"), "{reply}");
+        assert_eq!(metrics.get(&metrics.solve_err), 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_overloaded() {
+        let cache = Arc::new(DecompCache::new(2));
+        let metrics = Arc::new(Metrics::new());
+        // one slow worker, queue of 1: the third submit must bounce
+        let pool = SolverPool::new(1, 1, cache, metrics);
+        let (tx, _rx) = mpsc::channel();
+        let now = Instant::now();
+        let mut rejected = 0;
+        for _ in 0..16 {
+            let job = SolveJob {
+                spec: solve_spec(LINE),
+                enqueued: now,
+                deadline: None,
+                reply: tx.clone(),
+            };
+            if let Err(e) = pool.submit(job) {
+                assert_eq!(e.code, ErrCode::Overloaded);
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "bounded queue never pushed back");
+    }
+}

@@ -1,0 +1,752 @@
+//! Wire protocol: newline-delimited text requests and replies.
+//!
+//! One request per line, fields are space-separated `key=value` tokens
+//! after the command word(s); one reply line per request. Grammar (see
+//! DESIGN.md §server for the full treatment):
+//!
+//! ```text
+//! solve graph=<spec> machine=<desc> [demand=<f>] [demands=<f,..>]
+//!       [units=<u>] [trees=<p>] [seed=<s>] [deadline-ms=<d>]
+//!       [refine=0|1] [assignment=0|1]
+//! place-incremental new machine=<desc>
+//! place-incremental add session=<id> demand=<f> [nbrs=<t>:<w>,..]
+//! place-incremental remove session=<id> task=<t>
+//! place-incremental resize session=<id> task=<t> demand=<f>
+//! place-incremental rebalance session=<id> [max-moves=<n>]
+//! place-incremental info session=<id>
+//! place-incremental end session=<id>
+//! stats
+//! shutdown
+//! ```
+//!
+//! Graph specs: `edges:<n>:<u>-<v>:<w>,...` inlines a weighted edge list;
+//! `gen:stream:<seed>`, `gen:mesh:<r>x<c>:<seed>`, `gen:powerlaw:<n>:<seed>`
+//! and `gen:clustered:<b>x<s>:<seed>` draw from the `hgp-workloads`
+//! families. Replies are `ok key=value ...` or `err <code> <message>`.
+
+use hgp_core::Instance;
+use hgp_graph::generators;
+use hgp_graph::Graph;
+use hgp_hierarchy::{parse_hierarchy, Hierarchy};
+use hgp_workloads::{stream_dag, StreamOpts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Machine-readable error classes on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Malformed or semantically invalid request.
+    BadRequest,
+    /// Solver queue is full — retry later (backpressure).
+    Overloaded,
+    /// Unknown session or task id.
+    NotFound,
+    /// The solve itself failed (infeasible, disconnected, …).
+    SolveFailed,
+    /// Server is draining after `shutdown`.
+    ShuttingDown,
+}
+
+impl ErrCode {
+    /// Wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::BadRequest => "bad-request",
+            ErrCode::Overloaded => "overloaded",
+            ErrCode::NotFound => "not-found",
+            ErrCode::SolveFailed => "solve-failed",
+            ErrCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+/// A structured error reply.
+#[derive(Clone, Debug)]
+pub struct WireError {
+    /// Error class.
+    pub code: ErrCode,
+    /// Human-readable detail (single line).
+    pub msg: String,
+}
+
+impl WireError {
+    /// Convenience constructor.
+    pub fn new(code: ErrCode, msg: impl Into<String>) -> Self {
+        Self {
+            code,
+            msg: msg.into(),
+        }
+    }
+
+    /// `bad-request` shorthand.
+    pub fn bad(msg: impl Into<String>) -> Self {
+        Self::new(ErrCode::BadRequest, msg)
+    }
+
+    /// Formats the reply line (newline excluded).
+    pub fn to_line(&self) -> String {
+        format!("err {} {}", self.code.as_str(), self.msg.replace('\n', " "))
+    }
+}
+
+/// Hard caps on inline request sizes, keeping a single request line from
+/// monopolising server memory.
+pub const MAX_INLINE_NODES: usize = 65_536;
+/// Companion cap on inline edge count.
+pub const MAX_INLINE_EDGES: usize = 1_048_576;
+
+/// How a request describes its communication graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphSpec {
+    /// Inline weighted edge list on `n` nodes.
+    Edges {
+        /// Node count.
+        n: usize,
+        /// `(u, v, w)` triples.
+        edges: Vec<(u32, u32, f64)>,
+    },
+    /// A named workload family drawn with its own seed.
+    Gen(GenFamily),
+}
+
+/// Generated workload families (mirrors `hgp-workloads`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum GenFamily {
+    /// Streaming-operator DAG (volume demands built in).
+    Stream {
+        /// Generator seed.
+        seed: u64,
+    },
+    /// 2-D mesh.
+    Mesh {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Barabási–Albert power-law service graph.
+    Powerlaw {
+        /// Node count.
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Planted modules + sparse backbone.
+    Clustered {
+        /// Number of blocks.
+        blocks: usize,
+        /// Nodes per block.
+        size: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl GraphSpec {
+    /// Parses a `graph=` value.
+    pub fn parse(spec: &str) -> Result<Self, WireError> {
+        let mut parts = spec.splitn(2, ':');
+        let kind = parts.next().unwrap_or_default();
+        let rest = parts.next().unwrap_or_default();
+        match kind {
+            "edges" => Self::parse_edges(rest),
+            "gen" => Self::parse_gen(rest).map(GraphSpec::Gen),
+            other => Err(WireError::bad(format!(
+                "unknown graph spec kind {other:?} (want edges:… or gen:…)"
+            ))),
+        }
+    }
+
+    fn parse_edges(rest: &str) -> Result<Self, WireError> {
+        let (n_str, list) = rest
+            .split_once(':')
+            .ok_or_else(|| WireError::bad("edges spec needs edges:<n>:<u>-<v>:<w>,…"))?;
+        let n: usize = n_str
+            .parse()
+            .map_err(|_| WireError::bad(format!("bad node count {n_str:?}")))?;
+        if n == 0 || n > MAX_INLINE_NODES {
+            return Err(WireError::bad(format!(
+                "node count {n} outside 1..={MAX_INLINE_NODES}"
+            )));
+        }
+        let mut edges = Vec::new();
+        for item in list.split(',').filter(|s| !s.is_empty()) {
+            let (uv, w_str) = item
+                .rsplit_once(':')
+                .ok_or_else(|| WireError::bad(format!("bad edge {item:?} (want u-v:w)")))?;
+            let (u_str, v_str) = uv
+                .split_once('-')
+                .ok_or_else(|| WireError::bad(format!("bad edge {item:?} (want u-v:w)")))?;
+            let u: u32 = u_str
+                .parse()
+                .map_err(|_| WireError::bad(format!("bad endpoint {u_str:?}")))?;
+            let v: u32 = v_str
+                .parse()
+                .map_err(|_| WireError::bad(format!("bad endpoint {v_str:?}")))?;
+            let w: f64 = w_str
+                .parse()
+                .map_err(|_| WireError::bad(format!("bad weight {w_str:?}")))?;
+            if u as usize >= n || v as usize >= n || u == v {
+                return Err(WireError::bad(format!("edge {item:?} out of range")));
+            }
+            if !(w.is_finite() && w > 0.0) {
+                return Err(WireError::bad(format!("edge weight {w} must be positive")));
+            }
+            edges.push((u, v, w));
+            if edges.len() > MAX_INLINE_EDGES {
+                return Err(WireError::bad(format!(
+                    "more than {MAX_INLINE_EDGES} inline edges"
+                )));
+            }
+        }
+        if edges.is_empty() {
+            return Err(WireError::bad("edges spec lists no edges"));
+        }
+        Ok(GraphSpec::Edges { n, edges })
+    }
+
+    fn parse_gen(rest: &str) -> Result<GenFamily, WireError> {
+        let fields: Vec<&str> = rest.split(':').collect();
+        let seed_of = |s: &str| -> Result<u64, WireError> {
+            s.parse()
+                .map_err(|_| WireError::bad(format!("bad generator seed {s:?}")))
+        };
+        let dims_of = |s: &str| -> Result<(usize, usize), WireError> {
+            let (a, b) = s
+                .split_once('x')
+                .ok_or_else(|| WireError::bad(format!("bad dimensions {s:?} (want AxB)")))?;
+            let a = a
+                .parse::<usize>()
+                .map_err(|_| WireError::bad(format!("bad dimension {s:?}")))?;
+            let b = b
+                .parse::<usize>()
+                .map_err(|_| WireError::bad(format!("bad dimension {s:?}")))?;
+            if a == 0 || b == 0 || a * b > MAX_INLINE_NODES {
+                return Err(WireError::bad(format!("dimensions {s:?} out of range")));
+            }
+            Ok((a, b))
+        };
+        match fields.as_slice() {
+            ["stream", s] => Ok(GenFamily::Stream { seed: seed_of(s)? }),
+            ["mesh", dims, s] => {
+                let (rows, cols) = dims_of(dims)?;
+                Ok(GenFamily::Mesh {
+                    rows,
+                    cols,
+                    seed: seed_of(s)?,
+                })
+            }
+            ["powerlaw", n, s] => {
+                let n = n
+                    .parse::<usize>()
+                    .map_err(|_| WireError::bad(format!("bad node count {n:?}")))?;
+                if !(3..=MAX_INLINE_NODES).contains(&n) {
+                    return Err(WireError::bad(format!("powerlaw size {n} out of range")));
+                }
+                Ok(GenFamily::Powerlaw { n, seed: seed_of(s)? })
+            }
+            ["clustered", dims, s] => {
+                let (blocks, size) = dims_of(dims)?;
+                Ok(GenFamily::Clustered {
+                    blocks,
+                    size,
+                    seed: seed_of(s)?,
+                })
+            }
+            _ => Err(WireError::bad(format!(
+                "unknown generator spec gen:{rest} (want stream:<seed>, mesh:<r>x<c>:<seed>, powerlaw:<n>:<seed>, clustered:<b>x<s>:<seed>)"
+            ))),
+        }
+    }
+
+    /// Materialises the spec into a graph, plus generator-supplied demands
+    /// where the family defines them (the stream DAG's volume demands).
+    pub fn build(&self) -> Result<(Graph, Option<Vec<f64>>), WireError> {
+        match self {
+            GraphSpec::Edges { n, edges } => Ok((Graph::from_edges(*n, edges), None)),
+            GraphSpec::Gen(family) => match *family {
+                GenFamily::Stream { seed } => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let inst = stream_dag(
+                        &mut rng,
+                        &StreamOpts {
+                            queries: 6,
+                            depth: 4,
+                            max_width: 3,
+                            join_prob: 0.2,
+                            max_demand: 0.35,
+                            ..Default::default()
+                        },
+                    );
+                    let demands = inst.demands().to_vec();
+                    Ok((inst.graph().clone(), Some(demands)))
+                }
+                GenFamily::Mesh { rows, cols, seed } => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    Ok((generators::grid2d(&mut rng, rows, cols, 0.5, 2.0), None))
+                }
+                GenFamily::Powerlaw { n, seed } => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    Ok((generators::barabasi_albert(&mut rng, n, 2, 0.5, 3.0), None))
+                }
+                GenFamily::Clustered { blocks, size, seed } => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    Ok((
+                        generators::planted_clusters(&mut rng, blocks, size, 0.5, 3.0, 0.05, 0.3),
+                        None,
+                    ))
+                }
+            },
+        }
+    }
+}
+
+/// A fully-parsed `solve` request.
+#[derive(Clone, Debug)]
+pub struct SolveSpec {
+    /// Communication graph description.
+    pub graph: GraphSpec,
+    /// Target machine.
+    pub machine: Hierarchy,
+    /// Uniform demand override.
+    pub demand: Option<f64>,
+    /// Per-task demand override.
+    pub demands: Option<Vec<f64>>,
+    /// Rounding grid units.
+    pub units: u32,
+    /// Decomposition trees in the distribution.
+    pub trees: usize,
+    /// Pipeline seed.
+    pub seed: u64,
+    /// Soft deadline after which the reply degrades to the baseline path.
+    pub deadline_ms: Option<u64>,
+    /// Post-solve hierarchy-aware refinement.
+    pub refine: bool,
+    /// Include the full assignment vector in the reply.
+    pub want_assignment: bool,
+}
+
+impl SolveSpec {
+    /// Builds the `Instance` this spec describes.
+    pub fn instance(&self) -> Result<Instance, WireError> {
+        let (graph, gen_demands) = self.graph.build()?;
+        let n = graph.num_nodes();
+        let k = self.machine.num_leaves();
+        let demands = if let Some(ds) = &self.demands {
+            if ds.len() != n {
+                return Err(WireError::bad(format!(
+                    "expected {n} demands, got {}",
+                    ds.len()
+                )));
+            }
+            ds.clone()
+        } else if let Some(d) = self.demand {
+            vec![d; n]
+        } else if let Some(ds) = gen_demands {
+            ds
+        } else {
+            vec![(0.8 * k as f64 / n as f64).min(1.0); n]
+        };
+        if !demands.iter().all(|&d| d > 0.0 && d <= 1.0) {
+            return Err(WireError::bad("demands must lie in (0, 1]"));
+        }
+        Ok(Instance::new(graph, demands))
+    }
+}
+
+/// One `place-incremental` operation.
+#[derive(Clone, Debug)]
+pub enum IncrOp {
+    /// Open a session on a machine.
+    New {
+        /// Target machine.
+        machine: Hierarchy,
+    },
+    /// Add a task with edges to existing tasks.
+    Add {
+        /// Session id.
+        session: u64,
+        /// Task demand in `(0, 1]`.
+        demand: f64,
+        /// `(existing task, edge weight)` pairs.
+        nbrs: Vec<(usize, f64)>,
+    },
+    /// Remove a task.
+    Remove {
+        /// Session id.
+        session: u64,
+        /// Task id.
+        task: usize,
+    },
+    /// Change a task's demand.
+    Resize {
+        /// Session id.
+        session: u64,
+        /// Task id.
+        task: usize,
+        /// New demand in `(0, 1]`.
+        demand: f64,
+    },
+    /// Run bounded local-search improvement.
+    Rebalance {
+        /// Session id.
+        session: u64,
+        /// Move budget.
+        max_moves: usize,
+    },
+    /// Report session state.
+    Info {
+        /// Session id.
+        session: u64,
+    },
+    /// Close a session.
+    End {
+        /// Session id.
+        session: u64,
+    },
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Full offline solve through the pool.
+    Solve(Box<SolveSpec>),
+    /// Session-scoped incremental mutation.
+    Incr(IncrOp),
+    /// Metrics snapshot.
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+fn parse_kv(tok: &str) -> Result<(&str, &str), WireError> {
+    tok.split_once('=')
+        .ok_or_else(|| WireError::bad(format!("expected key=value, got {tok:?}")))
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, val: &str) -> Result<T, WireError> {
+    val.parse()
+        .map_err(|_| WireError::bad(format!("bad value {val:?} for {key}")))
+}
+
+fn parse_flag(key: &str, val: &str) -> Result<bool, WireError> {
+    match val {
+        "0" | "false" => Ok(false),
+        "1" | "true" => Ok(true),
+        _ => Err(WireError::bad(format!("bad flag {val:?} for {key}"))),
+    }
+}
+
+fn parse_machine(desc: &str) -> Result<Hierarchy, WireError> {
+    parse_hierarchy(desc).map_err(|e| WireError::bad(format!("bad machine {desc:?}: {e}")))
+}
+
+fn parse_nbrs(val: &str) -> Result<Vec<(usize, f64)>, WireError> {
+    let mut out = Vec::new();
+    for item in val.split(',').filter(|s| !s.is_empty()) {
+        let (t, w) = item
+            .split_once(':')
+            .ok_or_else(|| WireError::bad(format!("bad neighbour {item:?} (want task:w)")))?;
+        let t: usize = parse_num("nbrs", t)?;
+        let w: f64 = parse_num("nbrs", w)?;
+        if !(w.is_finite() && w >= 0.0) {
+            return Err(WireError::bad(format!("neighbour weight {w} must be ≥ 0")));
+        }
+        out.push((t, w));
+    }
+    Ok(out)
+}
+
+fn check_demand(d: f64) -> Result<f64, WireError> {
+    if d > 0.0 && d <= 1.0 {
+        Ok(d)
+    } else {
+        Err(WireError::bad(format!("demand {d} outside (0, 1]")))
+    }
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, WireError> {
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            None => Err(WireError::bad("empty request")),
+            Some("solve") => Self::parse_solve(toks),
+            Some("place-incremental") => Self::parse_incr(toks),
+            Some("stats") => Ok(Request::Stats),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some(cmd) => Err(WireError::bad(format!(
+                "unknown command {cmd:?} (want solve | place-incremental | stats | shutdown)"
+            ))),
+        }
+    }
+
+    fn parse_solve<'a>(toks: impl Iterator<Item = &'a str>) -> Result<Request, WireError> {
+        let mut graph = None;
+        let mut machine = None;
+        let mut demand = None;
+        let mut demands = None;
+        let mut units = 8u32;
+        let mut trees = 8usize;
+        let mut seed = 1u64;
+        let mut deadline_ms = None;
+        let mut refine = false;
+        let mut want_assignment = false;
+        for tok in toks {
+            let (key, val) = parse_kv(tok)?;
+            match key {
+                "graph" => graph = Some(GraphSpec::parse(val)?),
+                "machine" => machine = Some(parse_machine(val)?),
+                "demand" => demand = Some(check_demand(parse_num(key, val)?)?),
+                "demands" => {
+                    let ds = val
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| parse_num::<f64>("demands", s).and_then(check_demand))
+                        .collect::<Result<Vec<f64>, _>>()?;
+                    demands = Some(ds);
+                }
+                "units" => units = parse_num::<u32>(key, val)?.max(1),
+                "trees" => trees = parse_num::<usize>(key, val)?.clamp(1, 64),
+                "seed" => seed = parse_num(key, val)?,
+                "deadline-ms" => deadline_ms = Some(parse_num(key, val)?),
+                "refine" => refine = parse_flag(key, val)?,
+                "assignment" => want_assignment = parse_flag(key, val)?,
+                _ => return Err(WireError::bad(format!("unknown solve field {key:?}"))),
+            }
+        }
+        Ok(Request::Solve(Box::new(SolveSpec {
+            graph: graph.ok_or_else(|| WireError::bad("solve needs graph=…"))?,
+            machine: machine.ok_or_else(|| WireError::bad("solve needs machine=…"))?,
+            demand,
+            demands,
+            units,
+            trees,
+            seed,
+            deadline_ms,
+            refine,
+            want_assignment,
+        })))
+    }
+
+    fn parse_incr<'a>(mut toks: impl Iterator<Item = &'a str>) -> Result<Request, WireError> {
+        let op = toks
+            .next()
+            .ok_or_else(|| WireError::bad("place-incremental needs an operation"))?;
+        let mut machine = None;
+        let mut session = None;
+        let mut task = None;
+        let mut demand = None;
+        let mut nbrs = Vec::new();
+        let mut max_moves = 32usize;
+        for tok in toks {
+            let (key, val) = parse_kv(tok)?;
+            match key {
+                "machine" => machine = Some(parse_machine(val)?),
+                "session" => session = Some(parse_num::<u64>(key, val)?),
+                "task" => task = Some(parse_num::<usize>(key, val)?),
+                "demand" => demand = Some(check_demand(parse_num(key, val)?)?),
+                "nbrs" => nbrs = parse_nbrs(val)?,
+                "max-moves" => max_moves = parse_num::<usize>(key, val)?.clamp(1, 10_000),
+                _ => {
+                    return Err(WireError::bad(format!(
+                        "unknown place-incremental field {key:?}"
+                    )))
+                }
+            }
+        }
+        let need_session =
+            || session.ok_or_else(|| WireError::bad(format!("{op} needs session=…")));
+        let need_task = || task.ok_or_else(|| WireError::bad(format!("{op} needs task=…")));
+        let need_demand = || demand.ok_or_else(|| WireError::bad(format!("{op} needs demand=…")));
+        let op = match op {
+            "new" => IncrOp::New {
+                machine: machine.ok_or_else(|| WireError::bad("new needs machine=…"))?,
+            },
+            "add" => IncrOp::Add {
+                session: need_session()?,
+                demand: need_demand()?,
+                nbrs,
+            },
+            "remove" => IncrOp::Remove {
+                session: need_session()?,
+                task: need_task()?,
+            },
+            "resize" => IncrOp::Resize {
+                session: need_session()?,
+                task: need_task()?,
+                demand: need_demand()?,
+            },
+            "rebalance" => IncrOp::Rebalance {
+                session: need_session()?,
+                max_moves,
+            },
+            "info" => IncrOp::Info {
+                session: need_session()?,
+            },
+            "end" => IncrOp::End {
+                session: need_session()?,
+            },
+            other => {
+                return Err(WireError::bad(format!(
+                    "unknown place-incremental op {other:?}"
+                )))
+            }
+        };
+        Ok(Request::Incr(op))
+    }
+}
+
+/// Formats an inline edge-list spec for a graph — the inverse of
+/// `GraphSpec::parse` for the `edges:` kind, used by load generators.
+pub fn format_edges_spec(g: &Graph) -> String {
+    use std::fmt::Write;
+    let mut s = format!("edges:{}:", g.num_nodes());
+    let mut first = true;
+    for (_, u, v, w) in g.edges() {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "{}-{}:{}", u.index(), v.index(), w);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_solve_with_inline_edges() {
+        let req = Request::parse(
+            "solve graph=edges:3:0-1:1.0,1-2:2.5 machine=2x2:4,1,0 units=16 trees=4 seed=9 deadline-ms=250 refine=1 assignment=1",
+        )
+        .unwrap();
+        let Request::Solve(spec) = req else {
+            panic!("not a solve")
+        };
+        assert_eq!(
+            spec.graph,
+            GraphSpec::Edges {
+                n: 3,
+                edges: vec![(0, 1, 1.0), (1, 2, 2.5)]
+            }
+        );
+        assert_eq!(spec.machine.num_leaves(), 4);
+        assert_eq!(spec.units, 16);
+        assert_eq!(spec.trees, 4);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.deadline_ms, Some(250));
+        assert!(spec.refine && spec.want_assignment);
+        let inst = spec.instance().unwrap();
+        assert_eq!(inst.num_tasks(), 3);
+    }
+
+    #[test]
+    fn parses_generator_specs() {
+        for spec in [
+            "gen:stream:7",
+            "gen:mesh:4x4:1",
+            "gen:powerlaw:24:3",
+            "gen:clustered:3x5:2",
+        ] {
+            let g = GraphSpec::parse(spec).unwrap();
+            let (graph, _) = g.build().unwrap();
+            assert!(graph.num_nodes() >= 3, "{spec} built {}", graph.num_nodes());
+        }
+    }
+
+    #[test]
+    fn generator_specs_are_deterministic() {
+        let a = GraphSpec::parse("gen:powerlaw:24:3")
+            .unwrap()
+            .build()
+            .unwrap()
+            .0;
+        let b = GraphSpec::parse("gen:powerlaw:24:3")
+            .unwrap()
+            .build()
+            .unwrap()
+            .0;
+        let ea: Vec<_> = a
+            .edges()
+            .map(|(_, u, v, w)| (u.0, v.0, w.to_bits()))
+            .collect();
+        let eb: Vec<_> = b
+            .edges()
+            .map(|(_, u, v, w)| (u.0, v.0, w.to_bits()))
+            .collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn parses_place_incremental_ops() {
+        let ops = [
+            "place-incremental new machine=2x4:4,1,0",
+            "place-incremental add session=3 demand=0.5 nbrs=0:1.0,2:3.5",
+            "place-incremental remove session=3 task=1",
+            "place-incremental resize session=3 task=0 demand=0.9",
+            "place-incremental rebalance session=3 max-moves=8",
+            "place-incremental info session=3",
+            "place-incremental end session=3",
+        ];
+        for line in ops {
+            assert!(
+                matches!(Request::parse(line), Ok(Request::Incr(_))),
+                "{line}"
+            );
+        }
+        let Ok(Request::Incr(IncrOp::Add {
+            session,
+            demand,
+            nbrs,
+        })) = Request::parse("place-incremental add session=3 demand=0.5 nbrs=0:1.0,2:3.5")
+        else {
+            panic!()
+        };
+        assert_eq!(session, 3);
+        assert_eq!(demand, 0.5);
+        assert_eq!(nbrs, vec![(0, 1.0), (2, 3.5)]);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for line in [
+            "",
+            "frobnicate",
+            "solve machine=2x2:4,1,0",
+            "solve graph=edges:3:0-1:1.0",
+            "solve graph=edges:0: machine=4",
+            "solve graph=edges:3:0-5:1.0 machine=4",
+            "solve graph=edges:3:0-1:-2.0 machine=4",
+            "solve graph=gen:unknown:3 machine=4",
+            "solve graph=edges:3:0-1:1.0 machine=4 demand=1.5",
+            "place-incremental add demand=0.5",
+            "place-incremental wat session=1",
+        ] {
+            let err = Request::parse(line).err().map(|e| e.code);
+            assert_eq!(err, Some(ErrCode::BadRequest), "{line:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn edges_spec_roundtrips() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.5), (1, 2, 2.0), (2, 3, 0.25)]);
+        let spec = format_edges_spec(&g);
+        let parsed = GraphSpec::parse(&spec).unwrap();
+        let (g2, _) = parsed.build().unwrap();
+        assert_eq!(g2.num_nodes(), 4);
+        assert_eq!(g2.num_edges(), 3);
+        let e: Vec<_> = g2.edges().map(|(_, u, v, w)| (u.0, v.0, w)).collect();
+        assert_eq!(e, vec![(0, 1, 1.5), (1, 2, 2.0), (2, 3, 0.25)]);
+    }
+
+    #[test]
+    fn stats_and_shutdown_parse() {
+        assert!(matches!(Request::parse("stats"), Ok(Request::Stats)));
+        assert!(matches!(Request::parse("shutdown"), Ok(Request::Shutdown)));
+    }
+}

@@ -1,0 +1,324 @@
+//! The TCP front end: accept loop, per-connection threads, shutdown.
+//!
+//! Deliberately `std`-only (no async runtime is vendored): one thread per
+//! connection reading newline-delimited requests, with CPU-bound solving
+//! delegated to the bounded [`SolverPool`] so a slow solve never blocks
+//! other connections' `stats` or incremental traffic. Read timeouts keep
+//! connection threads responsive to the shutdown flag; the accept loop is
+//! woken from `shutdown` by a self-connect.
+
+use crate::cache::DecompCache;
+use crate::metrics::Metrics;
+use crate::pool::{SolveJob, SolverPool};
+use crate::protocol::{ErrCode, Request, WireError};
+use crate::session::SessionTable;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Bounded solve-queue depth; a full queue answers `overloaded`.
+    pub queue_capacity: usize,
+    /// Decomposition-cache capacity (distributions, not bytes).
+    pub cache_capacity: usize,
+    /// Maximum concurrently open incremental sessions.
+    pub max_sessions: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            max_sessions: 256,
+        }
+    }
+}
+
+struct Shared {
+    addr: SocketAddr,
+    pool: parking_lot::Mutex<SolverPool>,
+    sessions: SessionTable,
+    cache: Arc<DecompCache>,
+    metrics: Arc<Metrics>,
+    stop: AtomicBool,
+    conns: AtomicU64,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Idempotent shutdown trigger: raises the flag, wakes the accept loop
+    /// with a self-connect, and drains the solver pool.
+    fn trigger_shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        self.pool.lock().shutdown();
+    }
+}
+
+/// A running placement service.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting. Returns once the listener is live.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let cache = Arc::new(DecompCache::new(config.cache_capacity));
+        let metrics = Arc::new(Metrics::new());
+        let pool = SolverPool::new(
+            config.workers,
+            config.queue_capacity,
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+        );
+        let shared = Arc::new(Shared {
+            addr,
+            pool: parking_lot::Mutex::new(pool),
+            sessions: SessionTable::new(config.max_sessions),
+            cache,
+            metrics,
+            stop: AtomicBool::new(false),
+            conns: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("hgp-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown: stops accepting, drains workers, and lets
+    /// connection threads notice on their next read timeout.
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Blocks until the accept loop has exited and live connections have
+    /// drained (call [`Server::shutdown`] first, or from another thread).
+    ///
+    /// The connection drain is bounded: threads notice the stop flag within
+    /// one read timeout, so waiting a few seconds is enough to let in-flight
+    /// replies — the `ok draining=1` answer to a wire `shutdown` in
+    /// particular — reach their clients before the process exits.
+    pub fn join(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.shared.conns.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopping() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(&shared);
+        shared.conns.fetch_add(1, Ordering::Relaxed);
+        let _ = std::thread::Builder::new()
+            .name("hgp-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, &conn_shared);
+                conn_shared.conns.fetch_sub(1, Ordering::Release);
+            });
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    // Timeouts keep this thread responsive to shutdown even on idle
+    // connections.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.stopping() {
+            return Ok(());
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(line.trim(), shared);
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+fn handle_line(line: &str, shared: &Shared) -> String {
+    let metrics = &shared.metrics;
+    metrics.inc(&metrics.requests);
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => {
+            metrics.inc(&metrics.bad_requests);
+            return e.to_line();
+        }
+    };
+    match request {
+        Request::Solve(spec) => {
+            if shared.stopping() {
+                return WireError::new(ErrCode::ShuttingDown, "server is draining").to_line();
+            }
+            let (tx, rx) = mpsc::channel();
+            let now = Instant::now();
+            let deadline = spec.deadline_ms.map(|ms| now + Duration::from_millis(ms));
+            let job = SolveJob {
+                spec: *spec,
+                enqueued: now,
+                deadline,
+                reply: tx,
+            };
+            let submitted = shared.pool.lock().submit(job);
+            match submitted {
+                Ok(()) => match rx.recv() {
+                    Ok(reply) => reply,
+                    // worker dropped the job on the floor mid-drain
+                    Err(_) => WireError::new(ErrCode::ShuttingDown, "server is draining").to_line(),
+                },
+                Err(e) => {
+                    if e.code == ErrCode::Overloaded {
+                        metrics.inc(&metrics.overloaded);
+                    }
+                    e.to_line()
+                }
+            }
+        }
+        Request::Incr(op) => match shared.sessions.apply(op) {
+            Ok(body) => {
+                metrics.inc(&metrics.incr_ops);
+                metrics
+                    .sessions_open
+                    .store(shared.sessions.open_count() as u64, Ordering::Relaxed);
+                format!("ok {body}")
+            }
+            Err(e) => {
+                if e.code == ErrCode::BadRequest {
+                    metrics.inc(&metrics.bad_requests);
+                }
+                e.to_line()
+            }
+        },
+        Request::Stats => {
+            metrics
+                .sessions_open
+                .store(shared.sessions.open_count() as u64, Ordering::Relaxed);
+            format!(
+                "ok {}",
+                metrics.stats_line(shared.cache.hits(), shared.cache.misses())
+            )
+        }
+        Request::Shutdown => {
+            shared.trigger_shutdown();
+            "ok draining=1".to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn roundtrip(stream: &mut TcpStream, line: &str) -> String {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim().to_string()
+    }
+
+    #[test]
+    fn serves_a_basic_conversation() {
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+
+        let r = roundtrip(&mut c, "solve graph=edges:4:0-1:3.0,1-2:1.0,2-3:3.0 machine=2x2:4,1,0 demand=0.4 trees=2 seed=1");
+        assert!(r.starts_with("ok cost="), "{r}");
+
+        let r = roundtrip(&mut c, "place-incremental new machine=2x2:4,1,0");
+        assert!(r.starts_with("ok session="), "{r}");
+
+        let r = roundtrip(&mut c, "bogus");
+        assert!(r.starts_with("err bad-request"), "{r}");
+
+        let r = roundtrip(&mut c, "stats");
+        assert!(r.contains("requests=4"), "{r}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let mut server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let r = roundtrip(&mut c, "shutdown");
+        assert_eq!(r, "ok draining=1");
+        server.shutdown();
+        server.shutdown();
+        server.join();
+        // new connections are refused or go unanswered once draining
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,280 @@
+//! Session table for `place-incremental`: server-held [`DynamicPlacer`]s.
+//!
+//! Each session owns one placer plus the bookkeeping needed to answer a
+//! hostile wire safely: `DynamicPlacer`'s mutators *panic* on invalid
+//! arguments (removed tasks, dead neighbours), which is the right contract
+//! for an in-process library but not for a network service — so every
+//! operation is validated against the session's live-task set first and
+//! invalid requests turn into `err` replies, never a worker panic.
+
+use crate::protocol::{ErrCode, IncrOp, WireError};
+use hgp_core::incremental::DynamicPlacer;
+use hgp_hierarchy::Hierarchy;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct SessionEntry {
+    placer: DynamicPlacer,
+    /// Task ids that are currently live (added and not removed).
+    live: HashSet<usize>,
+}
+
+/// All open sessions, keyed by server-assigned id.
+pub struct SessionTable {
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    next_id: AtomicU64,
+    max_sessions: usize,
+}
+
+impl SessionTable {
+    /// An empty table admitting at most `max_sessions` concurrent sessions.
+    pub fn new(max_sessions: usize) -> Self {
+        Self {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    /// Sessions currently open.
+    pub fn open_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Applies one operation and formats the `ok …` reply body.
+    pub fn apply(&self, op: IncrOp) -> Result<String, WireError> {
+        match op {
+            IncrOp::New { machine } => self.open(machine),
+            IncrOp::Add {
+                session,
+                demand,
+                nbrs,
+            } => self.with_session(session, |e| {
+                for &(t, _) in &nbrs {
+                    if !e.live.contains(&t) {
+                        return Err(WireError::new(
+                            ErrCode::NotFound,
+                            format!("neighbour task {t} is not live in this session"),
+                        ));
+                    }
+                }
+                let id = e.placer.add_task(demand, &nbrs);
+                e.live.insert(id);
+                Ok(format!(
+                    "task={} leaf={} cost={} max-load={}",
+                    id,
+                    e.placer.leaf_of(id),
+                    e.placer.cost(),
+                    e.placer.max_load()
+                ))
+            }),
+            IncrOp::Remove { session, task } => self.with_session(session, |e| {
+                if !e.live.remove(&task) {
+                    return Err(WireError::new(
+                        ErrCode::NotFound,
+                        format!("task {task} is not live in this session"),
+                    ));
+                }
+                e.placer.remove_task(task);
+                Ok(format!(
+                    "task={} active={} cost={}",
+                    task,
+                    e.placer.num_active(),
+                    e.placer.cost()
+                ))
+            }),
+            IncrOp::Resize {
+                session,
+                task,
+                demand,
+            } => self.with_session(session, |e| {
+                if !e.live.contains(&task) {
+                    return Err(WireError::new(
+                        ErrCode::NotFound,
+                        format!("task {task} is not live in this session"),
+                    ));
+                }
+                e.placer.update_demand(task, demand);
+                Ok(format!(
+                    "task={} leaf={} max-load={} churn={}",
+                    task,
+                    e.placer.leaf_of(task),
+                    e.placer.max_load(),
+                    e.placer.churn()
+                ))
+            }),
+            IncrOp::Rebalance { session, max_moves } => self.with_session(session, |e| {
+                let before = e.placer.cost();
+                let (moves, gained) = e.placer.rebalance(max_moves);
+                Ok(format!(
+                    "moves={} gained={} cost={} was={}",
+                    moves,
+                    gained,
+                    e.placer.cost(),
+                    before
+                ))
+            }),
+            IncrOp::Info { session } => self.with_session(session, |e| {
+                Ok(format!(
+                    "active={} cost={} max-load={} churn={}",
+                    e.placer.num_active(),
+                    e.placer.cost(),
+                    e.placer.max_load(),
+                    e.placer.churn()
+                ))
+            }),
+            IncrOp::End { session } => match self.sessions.lock().remove(&session) {
+                Some(e) => Ok(format!(
+                    "session={} active={} churn={}",
+                    session,
+                    e.placer.num_active(),
+                    e.placer.churn()
+                )),
+                None => Err(WireError::new(
+                    ErrCode::NotFound,
+                    format!("no session {session}"),
+                )),
+            },
+        }
+    }
+
+    fn open(&self, machine: Hierarchy) -> Result<String, WireError> {
+        let mut map = self.sessions.lock();
+        if map.len() >= self.max_sessions {
+            return Err(WireError::new(
+                ErrCode::Overloaded,
+                format!("session limit {} reached", self.max_sessions),
+            ));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let leaves = machine.num_leaves();
+        map.insert(
+            id,
+            SessionEntry {
+                placer: DynamicPlacer::new(machine),
+                live: HashSet::new(),
+            },
+        );
+        Ok(format!("session={id} leaves={leaves}"))
+    }
+
+    fn with_session<F>(&self, id: u64, f: F) -> Result<String, WireError>
+    where
+        F: FnOnce(&mut SessionEntry) -> Result<String, WireError>,
+    {
+        let mut map = self.sessions.lock();
+        let entry = map
+            .get_mut(&id)
+            .ok_or_else(|| WireError::new(ErrCode::NotFound, format!("no session {id}")))?;
+        f(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgp_hierarchy::presets;
+
+    fn open(t: &SessionTable) -> u64 {
+        let reply = t
+            .apply(IncrOp::New {
+                machine: presets::multicore(2, 2, 4.0, 1.0),
+            })
+            .unwrap();
+        reply
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("session="))
+            .unwrap()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn session_lifecycle() {
+        let t = SessionTable::new(8);
+        let s = open(&t);
+        assert_eq!(t.open_count(), 1);
+        let r = t
+            .apply(IncrOp::Add {
+                session: s,
+                demand: 0.5,
+                nbrs: vec![],
+            })
+            .unwrap();
+        assert!(r.contains("task=0"), "{r}");
+        let r = t
+            .apply(IncrOp::Add {
+                session: s,
+                demand: 0.5,
+                nbrs: vec![(0, 3.0)],
+            })
+            .unwrap();
+        assert!(r.contains("task=1"), "{r}");
+        t.apply(IncrOp::Remove {
+            session: s,
+            task: 0,
+        })
+        .unwrap();
+        t.apply(IncrOp::End { session: s }).unwrap();
+        assert_eq!(t.open_count(), 0);
+    }
+
+    #[test]
+    fn invalid_operations_become_errors_not_panics() {
+        let t = SessionTable::new(8);
+        let s = open(&t);
+        t.apply(IncrOp::Add {
+            session: s,
+            demand: 0.5,
+            nbrs: vec![],
+        })
+        .unwrap();
+        t.apply(IncrOp::Remove {
+            session: s,
+            task: 0,
+        })
+        .unwrap();
+        // edges to a removed task
+        let e = t
+            .apply(IncrOp::Add {
+                session: s,
+                demand: 0.5,
+                nbrs: vec![(0, 1.0)],
+            })
+            .unwrap_err();
+        assert_eq!(e.code, ErrCode::NotFound);
+        // double remove
+        let e = t
+            .apply(IncrOp::Remove {
+                session: s,
+                task: 0,
+            })
+            .unwrap_err();
+        assert_eq!(e.code, ErrCode::NotFound);
+        // resize of a task that never existed
+        let e = t
+            .apply(IncrOp::Resize {
+                session: s,
+                task: 99,
+                demand: 0.5,
+            })
+            .unwrap_err();
+        assert_eq!(e.code, ErrCode::NotFound);
+        // unknown session
+        let e = t.apply(IncrOp::Info { session: 999 }).unwrap_err();
+        assert_eq!(e.code, ErrCode::NotFound);
+    }
+
+    #[test]
+    fn session_limit_is_enforced() {
+        let t = SessionTable::new(1);
+        let _s = open(&t);
+        let e = t
+            .apply(IncrOp::New {
+                machine: presets::multicore(2, 2, 4.0, 1.0),
+            })
+            .unwrap_err();
+        assert_eq!(e.code, ErrCode::Overloaded);
+    }
+}

@@ -99,7 +99,10 @@ impl DemandModel {
                 heavy_hi,
                 light_lo,
                 light_hi,
-            } => p_heavy * (heavy_lo + heavy_hi) / 2.0 + (1.0 - p_heavy) * (light_lo + light_hi) / 2.0,
+            } => {
+                p_heavy * (heavy_lo + heavy_hi) / 2.0
+                    + (1.0 - p_heavy) * (light_lo + light_hi) / 2.0
+            }
             DemandModel::DegreeProportional { max } => max / 2.0,
         };
         per * n as f64

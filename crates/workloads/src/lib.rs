@@ -11,9 +11,11 @@
 #![warn(missing_docs)]
 
 pub mod demand;
+pub mod requests;
 pub mod stream;
 pub mod suite;
 
 pub use demand::DemandModel;
+pub use requests::{request_script, substitute_session, RequestScriptOpts};
 pub use stream::{stream_dag, StreamOpts};
 pub use suite::{machines, standard_suite, NamedInstance};

@@ -28,7 +28,10 @@ fn main() {
         inst.total_demand(),
         shape.num_leaves()
     );
-    println!("{:>9} | {:>9} | {:>9} | {:>9} | flat/hgp", "cm ratio", "hgp", "flat", "dual-rec");
+    println!(
+        "{:>9} | {:>9} | {:>9} | {:>9} | flat/hgp",
+        "cm ratio", "hgp", "flat", "dual-rec"
+    );
     println!("{}", "-".repeat(60));
 
     for ratio in [1.0, 2.0, 4.0, 8.0] {

@@ -50,14 +50,21 @@ fn main() {
     let gain = refine(&mut dual, &inst, &machine, &RefineOpts::default());
 
     println!("placement cost (lower is better):");
-    println!("  hgp (this paper)        {:>10.1}   violation {:.2}",
-        hgp.cost, hgp.violation.worst_factor());
-    println!("  greedy best-fit         {:>10.1}   violation {:.2}",
+    println!(
+        "  hgp (this paper)        {:>10.1}   violation {:.2}",
+        hgp.cost,
+        hgp.violation.worst_factor()
+    );
+    println!(
+        "  greedy best-fit         {:>10.1}   violation {:.2}",
         greedy.cost(&inst, &machine),
-        greedy.violation_report(&inst, &machine).worst_factor());
+        greedy.violation_report(&inst, &machine).worst_factor()
+    );
     println!("  dual recursive          {:>10.1}", dual_cost);
-    println!("  dual recursive + refine {:>10.1}   (refine gained {gain:.1})",
-        dual.cost(&inst, &machine));
+    println!(
+        "  dual recursive + refine {:>10.1}   (refine gained {gain:.1})",
+        dual.cost(&inst, &machine)
+    );
 
     // per-socket utilisation under the hgp placement
     let mut socket_load = [0.0f64; 4];

@@ -45,4 +45,5 @@ pub use hgp_core as core;
 pub use hgp_decomp as decomp;
 pub use hgp_graph as graph;
 pub use hgp_hierarchy as hierarchy;
+pub use hgp_server as server;
 pub use hgp_workloads as workloads;

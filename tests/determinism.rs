@@ -13,8 +13,20 @@ fn decomposition_trees_are_seed_stable() {
     let mut r1 = StdRng::seed_from_u64(31);
     let g = generators::gnp_connected(&mut r1, 30, 0.2, 0.5, 2.0);
     let w = vec![1.0; 30];
-    let t1 = build_decomp_tree(&g, &w, None, &DecompOpts::default(), &mut StdRng::seed_from_u64(1));
-    let t2 = build_decomp_tree(&g, &w, None, &DecompOpts::default(), &mut StdRng::seed_from_u64(1));
+    let t1 = build_decomp_tree(
+        &g,
+        &w,
+        None,
+        &DecompOpts::default(),
+        &mut StdRng::seed_from_u64(1),
+    );
+    let t2 = build_decomp_tree(
+        &g,
+        &w,
+        None,
+        &DecompOpts::default(),
+        &mut StdRng::seed_from_u64(1),
+    );
     assert_eq!(t1.tree.num_nodes(), t2.tree.num_nodes());
     assert_eq!(t1.task_of_leaf, t2.task_of_leaf);
     for v in 0..t1.tree.num_nodes() {
@@ -28,8 +40,20 @@ fn distributions_are_seed_stable() {
     let mut r = StdRng::seed_from_u64(32);
     let g = generators::grid2d(&mut r, 5, 5, 1.0, 2.0);
     let w = vec![1.0; 25];
-    let d1 = racke_distribution(&g, &w, 3, &DecompOpts::default(), &mut StdRng::seed_from_u64(2));
-    let d2 = racke_distribution(&g, &w, 3, &DecompOpts::default(), &mut StdRng::seed_from_u64(2));
+    let d1 = racke_distribution(
+        &g,
+        &w,
+        3,
+        &DecompOpts::default(),
+        &mut StdRng::seed_from_u64(2),
+    );
+    let d2 = racke_distribution(
+        &g,
+        &w,
+        3,
+        &DecompOpts::default(),
+        &mut StdRng::seed_from_u64(2),
+    );
     for (a, b) in d1.trees.iter().zip(&d2.trees) {
         assert_eq!(a.task_of_leaf, b.task_of_leaf);
     }

@@ -81,7 +81,11 @@ fn full_drain_leaves_no_residue() {
     let mut ids = Vec::new();
     let prev_edges: Vec<(usize, f64)> = Vec::new();
     for i in 0..6 {
-        let nbrs: Vec<(usize, f64)> = if i > 0 { vec![(ids[i - 1], 1.0)] } else { prev_edges.clone() };
+        let nbrs: Vec<(usize, f64)> = if i > 0 {
+            vec![(ids[i - 1], 1.0)]
+        } else {
+            prev_edges.clone()
+        };
         ids.push(placer.add_task(0.3, &nbrs));
     }
     assert!(placer.cost() >= 0.0);
@@ -91,6 +95,116 @@ fn full_drain_leaves_no_residue() {
     assert_eq!(placer.num_active(), 0);
     assert!(placer.loads().iter().all(|&l| l.abs() < 1e-12));
     assert_eq!(placer.cost(), 0.0);
+}
+
+/// Drives a placer through a seeded churn sequence (adds, removes,
+/// resizes, rebalances) while mirroring the surviving tasks in plain
+/// vectors, returning the placer plus the mirror for cross-checks.
+fn churn_sequence(seed: u64, steps: usize) -> (DynamicPlacer, Vec<(usize, f64)>) {
+    let machine = presets::multicore(2, 4, 4.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut placer = DynamicPlacer::new(machine);
+    let mut live: Vec<(usize, f64)> = Vec::new(); // (task id, demand)
+    for _ in 0..steps {
+        let roll = rng.gen_range(0..10u32);
+        if live.is_empty() || roll < 5 {
+            let d = rng.gen_range(0.05..0.4);
+            let nbrs: Vec<(usize, f64)> = if live.is_empty() || rng.gen_bool(0.3) {
+                Vec::new()
+            } else {
+                let &(t, _) = &live[rng.gen_range(0..live.len())];
+                vec![(t, rng.gen_range(0.5..4.0))]
+            };
+            let id = placer.add_task(d, &nbrs);
+            live.push((id, d));
+        } else if roll < 7 {
+            let idx = rng.gen_range(0..live.len());
+            let (t, _) = live.swap_remove(idx);
+            placer.remove_task(t);
+        } else if roll < 9 {
+            let idx = rng.gen_range(0..live.len());
+            let d = rng.gen_range(0.05..0.5);
+            placer.update_demand(live[idx].0, d);
+            live[idx].1 = d;
+        } else {
+            placer.rebalance(4);
+        }
+    }
+    (placer, live)
+}
+
+/// After an arbitrary churn sequence, the placer's per-leaf loads must
+/// equal a from-scratch recompute over the surviving tasks — the
+/// incremental bookkeeping (adds, removals, resizes, relocations,
+/// rebalance moves) may not drift.
+#[test]
+fn churn_load_bookkeeping_matches_recompute() {
+    for seed in [1u64, 7, 42, 2024] {
+        let (placer, live) = churn_sequence(seed, 60);
+        let mut expect = vec![0.0f64; placer.loads().len()];
+        for &(t, d) in &live {
+            expect[placer.leaf_of(t)] += d;
+        }
+        for (leaf, (&got, &want)) in placer.loads().iter().zip(expect.iter()).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-9,
+                "seed {seed}: leaf {leaf} load drifted ({got} vs recomputed {want})"
+            );
+        }
+        assert_eq!(placer.num_active(), live.len(), "seed {seed}");
+    }
+}
+
+/// `churn()` is monotone non-decreasing over any operation sequence, and
+/// only placement-changing operations advance it.
+#[test]
+fn churn_counter_is_monotone() {
+    let machine = presets::multicore(2, 4, 4.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut placer = DynamicPlacer::new(machine);
+    let mut live: Vec<usize> = Vec::new();
+    let mut last = placer.churn();
+    for step in 0..80 {
+        let roll = rng.gen_range(0..10u32);
+        if live.is_empty() || roll < 6 {
+            live.push(placer.add_task(rng.gen_range(0.05..0.3), &[]));
+        } else if roll < 8 {
+            let t = live.swap_remove(rng.gen_range(0..live.len()));
+            placer.remove_task(t);
+        } else {
+            placer.rebalance(2);
+        }
+        let now = placer.churn();
+        assert!(
+            now >= last,
+            "step {step}: churn went backwards ({last} -> {now})"
+        );
+        last = now;
+    }
+    // adds alone account for at least one move each
+    assert!(placer.churn() >= live.len() as u64);
+}
+
+/// The placer is a deterministic function of the operation sequence: the
+/// same seeded churn yields identical placements, loads, cost and churn.
+#[test]
+fn churn_sequences_are_deterministic_for_fixed_seed() {
+    let (a, live_a) = churn_sequence(31, 50);
+    let (b, live_b) = churn_sequence(31, 50);
+    assert_eq!(live_a, live_b);
+    for &(t, _) in &live_a {
+        assert_eq!(a.leaf_of(t), b.leaf_of(t), "task {t} placed differently");
+    }
+    assert_eq!(a.churn(), b.churn());
+    assert_eq!(a.loads(), b.loads());
+    assert!((a.cost() - b.cost()).abs() < 1e-12);
+
+    let (c, live_c) = churn_sequence(32, 50);
+    // different seed → (almost surely) a different trajectory
+    assert!(
+        live_a != live_c || a.churn() != c.churn() || a.loads() != c.loads(),
+        "distinct seeds produced identical trajectories"
+    );
 }
 
 /// Demand oscillation: repeated grow/shrink cycles never corrupt loads.

@@ -20,8 +20,8 @@ fn full_suite_solves_on_all_machines_within_bounds() {
                 rounding: Rounding::with_units(4),
                 ..Default::default()
             };
-            let rep = solve(&w.inst, &h, &opts)
-                .unwrap_or_else(|e| panic!("{} on {mname}: {e}", w.name));
+            let rep =
+                solve(&w.inst, &h, &opts).unwrap_or_else(|e| panic!("{} on {mname}: {e}", w.name));
             let bound = 2.0 * (1.0 + h.height() as f64);
             assert!(
                 rep.violation.worst_factor() <= bound,
@@ -84,8 +84,7 @@ fn tree_pipeline_agrees_with_general_pipeline_on_trees() {
     let gen_rep = solve(&inst, &h, &gen_opts).unwrap();
     assert!(tree_rep.cost.is_finite() && gen_rep.cost.is_finite());
     assert!(
-        gen_rep.cost <= 3.0 * tree_rep.cost + 1e-9
-            && tree_rep.cost <= 3.0 * gen_rep.cost + 1e-9,
+        gen_rep.cost <= 3.0 * tree_rep.cost + 1e-9 && tree_rep.cost <= 3.0 * gen_rep.cost + 1e-9,
         "pipelines diverged: tree {} vs general {}",
         tree_rep.cost,
         gen_rep.cost

@@ -14,7 +14,8 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
     (3usize..=10)
         .prop_flat_map(|n| {
             let spanning = proptest::collection::vec(0.1f64..4.0, n - 1);
-            let extra = proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 0.1f64..4.0), 0..8);
+            let extra =
+                proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 0.1f64..4.0), 0..8);
             (Just(n), spanning, extra)
         })
         .prop_map(|(n, spanning, extra)| {
@@ -34,8 +35,9 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
 
 /// A random 2-level hierarchy with ≥ `min_leaves` leaves.
 fn arb_hierarchy(min_leaves: usize) -> impl Strategy<Value = Hierarchy> {
-    (2usize..=4, 2usize..=4, 0.0f64..3.0, 0.0f64..2.0)
-        .prop_filter_map("too few leaves", move |(d0, d1, extra0, extra1)| {
+    (2usize..=4, 2usize..=4, 0.0f64..3.0, 0.0f64..2.0).prop_filter_map(
+        "too few leaves",
+        move |(d0, d1, extra0, extra1)| {
             if d0 * d1 < min_leaves {
                 return None;
             }
@@ -44,7 +46,8 @@ fn arb_hierarchy(min_leaves: usize) -> impl Strategy<Value = Hierarchy> {
             let c1 = c2 + extra1;
             let c0 = c1 + extra0;
             Some(Hierarchy::new(vec![d0, d1], vec![c0, c1, c2]))
-        })
+        },
+    )
 }
 
 proptest! {

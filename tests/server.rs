@@ -1,0 +1,245 @@
+//! Loopback integration test for `hgp-server`: many concurrent clients
+//! mixing `solve` and `place-incremental` traffic over real TCP, then a
+//! reconciliation pass over the `stats` counters.
+
+use hgp::server::{Server, ServerConfig};
+use hgp::workloads::requests::reply_field;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One blocking request/reply client.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn req(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        assert!(!reply.is_empty(), "server closed mid-conversation");
+        reply.trim().to_string()
+    }
+}
+
+fn field_u64(reply: &str, key: &str) -> u64 {
+    reply_field(reply, key)
+        .unwrap_or_else(|| panic!("no {key} in {reply:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {key} in {reply:?}"))
+}
+
+#[test]
+fn concurrent_clients_mixed_load() {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        queue_capacity: 64,
+        cache_capacity: 16,
+        ..Default::default()
+    })
+    .expect("start server");
+    let addr = server.addr();
+
+    const CLIENTS: usize = 8;
+    const SOLVES_PER_CLIENT: usize = 3;
+    // Two shared topologies: every client re-requests them, so the
+    // decomposition cache must hit once the first solve has populated it.
+    let solve_line = |topo: usize| {
+        format!(
+            "solve graph=gen:clustered:2x4:{} machine=2x2:4,1,0 demand=0.3 trees=4 seed=42",
+            1000 + topo % 2
+        )
+    };
+
+    let requests_sent = Arc::new(AtomicU64::new(0));
+    let solves_sent = Arc::new(AtomicU64::new(0));
+    let incr_ok = Arc::new(AtomicU64::new(0));
+    // request line → every cost observed for it (for determinism checks)
+    let costs: Arc<Mutex<HashMap<String, Vec<String>>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let requests_sent = Arc::clone(&requests_sent);
+            let solves_sent = Arc::clone(&solves_sent);
+            let incr_ok = Arc::clone(&incr_ok);
+            let costs = Arc::clone(&costs);
+            let solve_line = &solve_line;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut send = |line: &str| -> String {
+                    requests_sent.fetch_add(1, Ordering::Relaxed);
+                    client.req(line)
+                };
+
+                // interleaved: open a session, alternate solves and churn
+                let reply = send("place-incremental new machine=2x4:4,1,0");
+                assert!(reply.starts_with("ok session="), "{reply}");
+                incr_ok.fetch_add(1, Ordering::Relaxed);
+                let sid: u64 = field_u64(&reply, "session");
+
+                let mut live: Vec<u64> = Vec::new();
+                for i in 0..SOLVES_PER_CLIENT {
+                    let line = solve_line(c + i);
+                    solves_sent.fetch_add(1, Ordering::Relaxed);
+                    let reply = send(&line);
+                    assert!(reply.starts_with("ok cost="), "{reply}");
+                    assert_eq!(reply_field(&reply, "degraded"), Some("0"), "{reply}");
+                    costs
+                        .lock()
+                        .unwrap()
+                        .entry(line)
+                        .or_default()
+                        .push(reply_field(&reply, "cost").unwrap().to_string());
+
+                    let reply = send(&format!(
+                        "place-incremental add session={sid} demand=0.2{}",
+                        live.last()
+                            .map(|t| format!(" nbrs={t}:2.0"))
+                            .unwrap_or_default()
+                    ));
+                    assert!(reply.starts_with("ok task="), "{reply}");
+                    incr_ok.fetch_add(1, Ordering::Relaxed);
+                    live.push(field_u64(&reply, "task"));
+                }
+
+                // churn: resize one task, drop one, rebalance, close
+                let reply = send(&format!(
+                    "place-incremental resize session={sid} task={} demand=0.35",
+                    live[0]
+                ));
+                assert!(reply.starts_with("ok "), "{reply}");
+                incr_ok.fetch_add(1, Ordering::Relaxed);
+                let reply = send(&format!(
+                    "place-incremental remove session={sid} task={}",
+                    live[1]
+                ));
+                assert!(reply.starts_with("ok "), "{reply}");
+                incr_ok.fetch_add(1, Ordering::Relaxed);
+                let reply = send(&format!(
+                    "place-incremental rebalance session={sid} max-moves=8"
+                ));
+                assert!(reply.starts_with("ok moves="), "{reply}");
+                incr_ok.fetch_add(1, Ordering::Relaxed);
+                let reply = send(&format!("place-incremental end session={sid}"));
+                assert!(reply.starts_with("ok session="), "{reply}");
+                incr_ok.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+
+    // identical request lines must have produced identical costs,
+    // cache hit or miss
+    let costs = costs.lock().unwrap();
+    assert_eq!(costs.len(), 2, "expected exactly the two shared topologies");
+    for (line, observed) in costs.iter() {
+        assert!(observed.len() >= CLIENTS, "{line} undersolved");
+        assert!(
+            observed.iter().all(|c| c == &observed[0]),
+            "non-deterministic costs for {line}: {observed:?}"
+        );
+    }
+
+    // follow-up on a fresh connection: degradation + error paths + stats
+    let mut control = Client::connect(addr);
+    let bump = |n: u64| requests_sent.fetch_add(n, Ordering::Relaxed);
+
+    bump(1);
+    let degraded = control.req(
+        "solve graph=gen:clustered:2x4:1000 machine=2x2:4,1,0 demand=0.3 trees=4 seed=42 deadline-ms=0",
+    );
+    assert!(degraded.starts_with("ok cost="), "{degraded}");
+    assert_eq!(reply_field(&degraded, "degraded"), Some("1"), "{degraded}");
+    assert_eq!(
+        reply_field(&degraded, "mode"),
+        Some("baseline"),
+        "{degraded}"
+    );
+
+    bump(1);
+    let bad = control.req("solve graph=edges:2:0-1:nope machine=4");
+    assert!(bad.starts_with("err bad-request"), "{bad}");
+
+    bump(1);
+    let missing = control.req("place-incremental info session=999999");
+    assert!(missing.starts_with("err not-found"), "{missing}");
+
+    bump(1); // the stats request itself is counted by the server
+    let stats = control.req("stats");
+    assert!(stats.starts_with("ok requests="), "{stats}");
+
+    let sent = requests_sent.load(Ordering::Relaxed);
+    let solves = solves_sent.load(Ordering::Relaxed);
+    assert_eq!(field_u64(&stats, "requests"), sent, "{stats}");
+    assert_eq!(
+        field_u64(&stats, "solve-ok")
+            + field_u64(&stats, "solve-degraded")
+            + field_u64(&stats, "solve-err")
+            + field_u64(&stats, "overloaded"),
+        solves + 1, // + the deadline-0 request above
+        "{stats}"
+    );
+    assert_eq!(field_u64(&stats, "solve-ok"), solves, "{stats}");
+    assert_eq!(field_u64(&stats, "solve-degraded"), 1, "{stats}");
+    assert_eq!(
+        field_u64(&stats, "incr-ops"),
+        incr_ok.load(Ordering::Relaxed),
+        "{stats}"
+    );
+    assert_eq!(field_u64(&stats, "bad-requests"), 1, "{stats}");
+    assert_eq!(field_u64(&stats, "sessions-open"), 0, "{stats}");
+    assert!(
+        field_u64(&stats, "cache-hits") > 0,
+        "no cache hits: {stats}"
+    );
+    assert!(field_u64(&stats, "cache-misses") >= 2, "{stats}");
+    assert!(field_u64(&stats, "solve-p50-us") > 0, "{stats}");
+    assert!(
+        field_u64(&stats, "solve-max-us") >= field_u64(&stats, "solve-p50-us"),
+        "{stats}"
+    );
+
+    // graceful shutdown over the wire
+    let reply = control.req("shutdown");
+    assert_eq!(reply, "ok draining=1");
+    drop(server);
+}
+
+#[test]
+fn sessions_are_isolated_between_connections() {
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let mut a = Client::connect(server.addr());
+    let mut b = Client::connect(server.addr());
+
+    let ra = a.req("place-incremental new machine=2x2:4,1,0");
+    let rb = b.req("place-incremental new machine=2x2:4,1,0");
+    let sa = field_u64(&ra, "session");
+    let sb = field_u64(&rb, "session");
+    assert_ne!(sa, sb, "sessions must be distinct");
+
+    // sessions are addressable from any connection (ids, not sockets, are
+    // the scope) but operate on disjoint placers
+    let r = a.req(&format!("place-incremental add session={sa} demand=0.5"));
+    assert!(r.starts_with("ok task=0"), "{r}");
+    let r = b.req(&format!("place-incremental info session={sb}"));
+    assert_eq!(reply_field(&r, "active"), Some("0"), "{r}");
+
+    server.shutdown();
+}

@@ -1,0 +1,86 @@
+//! Offline drop-in subset of the `crossbeam` 0.8 API.
+//!
+//! The build environment has no access to crates.io; the workspace only
+//! uses `crossbeam::scope` + `Scope::spawn`, which std has provided natively
+//! since Rust 1.63 (`std::thread::scope`). This shim adapts the crossbeam
+//! call shape (closures receive `&Scope`, `scope` returns a `Result`) onto
+//! the std implementation.
+//!
+//! Divergence from upstream: if a spawned thread panics, `scope` itself
+//! panics (std semantics) instead of returning `Err`. Call sites here all
+//! `.expect(...)` the result, so the observable behaviour — abort the test
+//! or process with the panic payload — is unchanged.
+
+use std::any::Any;
+
+/// Scoped-thread handle passed to [`scope`] closures (subset of
+/// `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope so it can
+    /// spawn further threads, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// all spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias, for `crossbeam::thread::scope` callers.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawns_and_joins_borrowing_threads() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}
