@@ -15,7 +15,7 @@ const TRIALS: u64 = 12;
 pub(crate) fn collect() -> Vec<(&'static str, f64, f64, f64)> {
     let h = presets::multicore(2, 4, 4.0, 1.0);
     let rounding = Rounding::with_units(8);
-    let caps = rounding.level_caps(&h);
+    let caps = rounding.level_caps(&h).unwrap();
     let deltas: Vec<f64> = (0..h.height())
         .map(|k| h.cost_multiplier(k) - h.cost_multiplier(k + 1))
         .collect();
@@ -51,7 +51,7 @@ pub(crate) fn collect() -> Vec<(&'static str, f64, f64, f64)> {
                 }
             })
             .collect();
-        let Some(relaxed) = solve_relaxed(&tree, &units, &caps, &deltas) else {
+        let Ok(relaxed) = solve_relaxed(&tree, &units, &caps, &deltas) else {
             continue;
         };
         let ls = build_level_sets(&tree, &relaxed.cut_level, h.height());

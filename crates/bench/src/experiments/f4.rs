@@ -53,7 +53,7 @@ pub(crate) fn collect() -> Counts {
                 }
             })
             .collect();
-        let caps = rounding.level_caps(&h);
+        let caps = rounding.level_caps(&h).unwrap();
         let deltas: Vec<f64> = (0..h.height())
             .map(|k| h.cost_multiplier(k) - h.cost_multiplier(k + 1))
             .collect();

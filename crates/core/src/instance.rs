@@ -42,7 +42,8 @@ impl Instance {
     ///
     /// # Panics
     /// Panics if `demands.len() != graph.num_nodes()` or any demand lies
-    /// outside `(0, 1]`.
+    /// outside `(0, 1]`. Untrusted callers should prefer
+    /// [`Instance::try_new`].
     pub fn new(graph: Graph, demands: Vec<f64>) -> Self {
         assert_eq!(
             demands.len(),
@@ -54,6 +55,27 @@ impl Instance {
             "demands must lie in (0, 1]"
         );
         Self { graph, demands }
+    }
+
+    /// Creates an instance, reporting invalid demands as a typed error
+    /// instead of panicking (the entry point for untrusted input).
+    pub fn try_new(graph: Graph, demands: Vec<f64>) -> Result<Self, crate::HgpError> {
+        if demands.len() != graph.num_nodes() {
+            return Err(crate::HgpError::Internal(format!(
+                "{} demands for {} graph nodes",
+                demands.len(),
+                graph.num_nodes()
+            )));
+        }
+        // `!(0 < d <= 1)` rather than `d <= 0 || d > 1` so NaN is rejected
+        if let Some((index, &value)) = demands
+            .iter()
+            .enumerate()
+            .find(|(_, &d)| !(d > 0.0 && d <= 1.0))
+        {
+            return Err(crate::HgpError::InvalidDemand { index, value });
+        }
+        Ok(Self { graph, demands })
     }
 
     /// Instance with every task demanding the same `demand`.
@@ -157,5 +179,26 @@ mod tests {
     #[should_panic(expected = "one demand per graph node")]
     fn rejects_wrong_demand_count() {
         Instance::new(g3(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        use crate::HgpError;
+        assert!(Instance::try_new(g3(), vec![0.5, 0.5, 0.5]).is_ok());
+        assert_eq!(
+            Instance::try_new(g3(), vec![0.5, 2.0, 0.5]).unwrap_err(),
+            HgpError::InvalidDemand {
+                index: 1,
+                value: 2.0
+            }
+        );
+        assert!(matches!(
+            Instance::try_new(g3(), vec![0.5, f64::NAN, 0.5]).unwrap_err(),
+            HgpError::InvalidDemand { index: 1, .. }
+        ));
+        assert!(matches!(
+            Instance::try_new(g3(), vec![0.5]).unwrap_err(),
+            HgpError::Internal(_)
+        ));
     }
 }

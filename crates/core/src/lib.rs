@@ -25,6 +25,7 @@
 mod assignment;
 pub mod bounds;
 pub mod cost;
+pub mod error;
 pub mod exact;
 pub mod fingerprint;
 pub mod incremental;
@@ -38,6 +39,7 @@ pub mod solver;
 pub mod tree_solver;
 
 pub use assignment::{Assignment, ViolationReport};
+pub use error::HgpError;
 pub use instance::{Infeasibility, Instance};
 pub use rounding::Rounding;
 pub use tree_solver::{solve_tree_instance, SolveError, TreeSolveReport};

@@ -33,6 +33,7 @@
 //! tables use a deterministic FxHash-style hasher so runs are reproducible.
 
 #![allow(clippy::needless_range_loop)] // parallel-array indexing is clearer here
+use crate::error::{check_height, HgpError};
 use hgp_graph::tree::RootedTree;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -119,23 +120,35 @@ pub struct RelaxedSolution {
 /// * `caps[k]` — rounded capacity of Level-`k+1` sets (`CP(k+1)·Δ`).
 /// * `deltas[k] = cm(k) - cm(k+1)` — the per-level cut charges.
 ///
-/// Returns `None` when no labelling satisfies the capacities (e.g. the
-/// rounded total exceeds `CP(1)·Δ · DEG(0)` worth of room).
-///
-/// # Panics
-/// Panics if `caps` is empty or longer than [`MAX_HEIGHT`], if any capacity
-/// exceeds the 16-bit lane, or if a delta is negative.
+/// # Errors
+/// [`HgpError::CapacityInfeasible`] when no labelling satisfies the
+/// capacities (e.g. the rounded total exceeds `CP(1)·Δ · DEG(0)` worth of
+/// room); [`HgpError::HeightUnsupported`] when `caps` is empty or longer
+/// than [`MAX_HEIGHT`]; [`HgpError::LaneOverflow`] when any capacity
+/// exceeds the 16-bit lane; [`HgpError::InvalidDelta`] when a delta is
+/// negative or non-finite. All four are reachable from untrusted input.
 pub fn solve_relaxed(
     tree: &RootedTree,
     leaf_units: &[u32],
     caps: &[u32],
     deltas: &[f64],
-) -> Option<RelaxedSolution> {
+) -> Result<RelaxedSolution, HgpError> {
     let h = caps.len();
-    assert!((1..=MAX_HEIGHT).contains(&h), "height must be in 1..=4");
+    check_height(h)?;
     assert_eq!(deltas.len(), h);
-    assert!(caps.iter().all(|&c| c <= u16::MAX as u32));
-    assert!(deltas.iter().all(|&d| d >= 0.0 && d.is_finite()));
+    for (k, &c) in caps.iter().enumerate() {
+        if c > u16::MAX as u32 {
+            return Err(HgpError::LaneOverflow {
+                level: k + 1,
+                cap_units: c as u64,
+            });
+        }
+    }
+    for (k, &d) in deltas.iter().enumerate() {
+        if !(d >= 0.0 && d.is_finite()) {
+            return Err(HgpError::InvalidDelta { level: k, value: d });
+        }
+    }
     let n = tree.num_nodes();
     assert_eq!(leaf_units.len(), n);
 
@@ -150,7 +163,8 @@ pub fn solve_relaxed(
             let d = leaf_units[v];
             assert!(d >= 1, "leaf {v} has zero rounded demand");
             if (0..h).any(|k| d > caps[k]) {
-                return None; // a single task exceeds some level capacity
+                // a single task exceeds some level capacity
+                return Err(HgpError::CapacityInfeasible);
             }
             let mut sig = 0u64;
             for k in 0..h {
@@ -223,7 +237,7 @@ pub fn solve_relaxed(
                 }
             }
             if next.is_empty() {
-                return None; // capacity-infeasible below v
+                return Err(HgpError::CapacityInfeasible); // infeasible below v
             }
             pareto_prune(&mut next, h);
             table_entries += next.len();
@@ -236,14 +250,16 @@ pub fn solve_relaxed(
         steps[v] = node_steps;
     }
 
-    // pick the best root signature
+    // pick the best root signature (total_cmp: no NaN-unwrap on the hot
+    // reduction — costs are finite by construction, but a comparator that
+    // cannot panic keeps this boundary total)
     let root = tree.root();
     let (best_sig, best_cost) = match finals[root]
         .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
     {
         Some(&(s, c)) => (s, c),
-        None => return None,
+        None => return Err(HgpError::CapacityInfeasible),
     };
 
     // walk backpointers to label every edge
@@ -268,7 +284,7 @@ pub fn solve_relaxed(
         debug_assert_eq!(s, 0, "fold chain must start from the empty signature");
     }
 
-    Some(RelaxedSolution {
+    Ok(RelaxedSolution {
         cut_level,
         cost: best_cost,
         root_signature,
@@ -483,7 +499,42 @@ mod tests {
         let t = b.build();
         let mut units = vec![0u32; t.num_nodes()];
         units[a] = 5;
-        assert!(solve_relaxed(&t, &units, &[4], &[1.0]).is_none());
+        assert_eq!(
+            solve_relaxed(&t, &units, &[4], &[1.0]).unwrap_err(),
+            HgpError::CapacityInfeasible
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_heights_and_bad_inputs() {
+        let mut b = TreeBuilder::new_root();
+        let a = b.add_child(0, 1.0);
+        let t = b.build();
+        let mut units = vec![0u32; t.num_nodes()];
+        units[a] = 1;
+        // height 5 > MAX_HEIGHT
+        assert_eq!(
+            solve_relaxed(&t, &units, &[5, 4, 3, 2, 1], &[1.0; 5]).unwrap_err(),
+            HgpError::HeightUnsupported { height: 5, max: 4 }
+        );
+        // height 0
+        assert!(matches!(
+            solve_relaxed(&t, &units, &[], &[]).unwrap_err(),
+            HgpError::HeightUnsupported { height: 0, .. }
+        ));
+        // lane overflow
+        assert_eq!(
+            solve_relaxed(&t, &units, &[70_000], &[1.0]).unwrap_err(),
+            HgpError::LaneOverflow {
+                level: 1,
+                cap_units: 70_000
+            }
+        );
+        // NaN delta
+        assert!(matches!(
+            solve_relaxed(&t, &units, &[4], &[f64::NAN]).unwrap_err(),
+            HgpError::InvalidDelta { level: 0, .. }
+        ));
     }
 
     #[test]

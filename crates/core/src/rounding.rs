@@ -12,6 +12,7 @@
 //!   to "set has zero rounded demand", which the DP's cost accounting
 //!   relies on; it can only make the rounded instance more conservative.
 
+use crate::error::{check_height, HgpError};
 use hgp_hierarchy::Hierarchy;
 
 /// A demand-rounding scheme: `Δ` units of capacity per hierarchy leaf.
@@ -66,19 +67,24 @@ impl Rounding {
     /// Per-level capacities in units: `caps[j-1] = CP(j) · Δ` for
     /// `j ∈ 1..=h`.
     ///
-    /// # Panics
-    /// Panics if any capacity exceeds `u16::MAX` (the DP packs level demands
-    /// into 16-bit signature lanes; pick a smaller `Δ` for larger machines).
-    pub fn level_caps(&self, h: &Hierarchy) -> Vec<u32> {
+    /// # Errors
+    /// [`HgpError::HeightUnsupported`] when the hierarchy is taller than the
+    /// DP's signature, and [`HgpError::LaneOverflow`] when any capacity
+    /// exceeds `u16::MAX` (the DP packs level demands into 16-bit signature
+    /// lanes; pick a smaller `Δ` for larger machines). Both are reachable
+    /// from untrusted input, so they are errors rather than panics.
+    pub fn level_caps(&self, h: &Hierarchy) -> Result<Vec<u32>, HgpError> {
+        check_height(h.height())?;
         (1..=h.height())
             .map(|j| {
                 let cap = h.capacity(j) as u64 * self.units_per_leaf as u64;
-                assert!(
-                    cap <= u16::MAX as u64,
-                    "level-{j} capacity {cap} units exceeds the 16-bit signature \
-                     lane; reduce units_per_leaf"
-                );
-                cap as u32
+                if cap > u16::MAX as u64 {
+                    return Err(HgpError::LaneOverflow {
+                        level: j,
+                        cap_units: cap,
+                    });
+                }
+                Ok(cap as u32)
             })
             .collect()
     }
@@ -115,16 +121,21 @@ mod tests {
     fn caps_scale_with_units() {
         let h = presets::multicore(2, 3, 4.0, 1.0);
         let r = Rounding::with_units(10);
-        assert_eq!(r.level_caps(&h), vec![30, 10]);
+        assert_eq!(r.level_caps(&h).unwrap(), vec![30, 10]);
     }
 
     #[test]
-    #[should_panic(expected = "16-bit signature lane")]
-    fn caps_overflow_guard() {
+    fn caps_overflow_is_an_error() {
         // CP(1) = 100 cores per socket x 1000 units = 100_000 > u16::MAX
         let h = presets::multicore(2, 100, 4.0, 1.0);
         let r = Rounding::with_units(1000);
-        let _ = r.level_caps(&h);
+        assert_eq!(
+            r.level_caps(&h).unwrap_err(),
+            HgpError::LaneOverflow {
+                level: 1,
+                cap_units: 100_000
+            }
+        );
     }
 
     #[test]

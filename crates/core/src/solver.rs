@@ -58,8 +58,8 @@ pub struct HgpReport {
     pub violation: ViolationReport,
     /// Index of the winning decomposition tree.
     pub best_tree: usize,
-    /// Mapped Equation-1 cost per tree (`None` where the DP was
-    /// capacity-infeasible).
+    /// Mapped Equation-1 cost per tree (`None` where the DP failed —
+    /// capacity-infeasible, or a caught per-tree fault).
     pub per_tree_costs: Vec<Option<f64>>,
     /// Certificate (tree) cost of the winning tree — `cost` never exceeds
     /// it on normalised multipliers (Proposition 1).
@@ -116,7 +116,8 @@ pub fn solve_on_distribution(
 ) -> Result<HgpReport, SolveError> {
     inst.check_feasible(h).map_err(SolveError::Infeasible)?;
     let p = dist.trees.len();
-    let results: Mutex<Vec<Option<TreeSolveReport>>> = Mutex::new((0..p).map(|_| None).collect());
+    type TreeOutcome = Result<TreeSolveReport, SolveError>;
+    let results: Mutex<Vec<Option<TreeOutcome>>> = Mutex::new((0..p).map(|_| None).collect());
     let next = AtomicUsize::new(0);
     let workers = if opts.threads == 0 {
         std::thread::available_parallelism()
@@ -128,6 +129,9 @@ pub fn solve_on_distribution(
     .min(p)
     .max(1);
 
+    // A per-tree panic is caught at the worker boundary and recorded as
+    // `HgpError::Internal`, so one poisoned tree cannot take down the
+    // whole distribution (or, transitively, a service worker thread).
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
@@ -136,23 +140,52 @@ pub fn solve_on_distribution(
                     break;
                 }
                 let dt = &dist.trees[i];
-                let res = solve_rooted(&dt.tree, &dt.task_of_leaf, inst, h, opts.rounding).ok();
-                results.lock().unwrap()[i] = res;
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    solve_rooted(&dt.tree, &dt.task_of_leaf, inst, h, opts.rounding)
+                }))
+                .unwrap_or_else(|payload| Err(SolveError::from_panic(payload)));
+                results.lock().unwrap()[i] = Some(res);
             });
         }
     })
-    .expect("worker panicked");
+    .map_err(SolveError::from_panic)?;
 
     let results = results.into_inner().unwrap();
-    let per_tree_costs: Vec<Option<f64>> =
-        results.iter().map(|r| r.as_ref().map(|r| r.cost)).collect();
-    let (best_tree, best) = results
+    let per_tree_costs: Vec<Option<f64>> = results
+        .iter()
+        .map(|r| r.as_ref().and_then(|r| r.as_ref().ok()).map(|r| r.cost))
+        .collect();
+    let best = results
         .iter()
         .enumerate()
-        .filter_map(|(i, r)| r.as_ref().map(|r| (i, r)))
-        .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).unwrap().then(a.0.cmp(&b.0)))
-        .ok_or(SolveError::CapacityInfeasible)?;
-    let dp_entries_total = results.iter().flatten().map(|r| r.dp_entries).sum();
+        .filter_map(|(i, r)| match r {
+            Some(Ok(rep)) => Some((i, rep)),
+            _ => None,
+        })
+        // total_cmp instead of partial_cmp().unwrap(): a NaN cost (which
+        // would previously panic the reduction) now just sorts last
+        .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost).then(a.0.cmp(&b.0)));
+    let (best_tree, best) = match best {
+        Some(found) => found,
+        None => {
+            // every tree failed: surface an input-class error when one
+            // exists (it explains *why*, e.g. lane overflow on every
+            // tree), otherwise the first non-trivial failure
+            let errs = || results.iter().flatten().filter_map(|r| r.as_ref().err());
+            let chosen = errs()
+                .find(|e| e.is_input_error())
+                .or_else(|| errs().find(|e| !matches!(e, SolveError::CapacityInfeasible)))
+                .cloned()
+                .unwrap_or(SolveError::CapacityInfeasible);
+            return Err(chosen);
+        }
+    };
+    let dp_entries_total = results
+        .iter()
+        .flatten()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.dp_entries)
+        .sum();
     Ok(HgpReport {
         assignment: best.assignment.clone(),
         cost: best.cost,

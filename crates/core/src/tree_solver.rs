@@ -11,39 +11,16 @@
 use crate::laminar::build_level_sets;
 use crate::relaxed::solve_relaxed;
 use crate::repair::{repair_assignment, RepairStats};
-use crate::{Assignment, Infeasibility, Instance, Rounding, ViolationReport};
+use crate::{Assignment, Instance, Rounding, ViolationReport};
 use hgp_graph::traversal;
 use hgp_graph::tree::RootedTree;
 use hgp_graph::NodeId;
 use hgp_hierarchy::Hierarchy;
 
-/// Failure modes of the tree pipeline.
-#[derive(Clone, Debug, PartialEq)]
-pub enum SolveError {
-    /// Total demand exceeds the hierarchy's leaves.
-    Infeasible(Infeasibility),
-    /// The rounded DP admits no capacity-feasible labelling.
-    CapacityInfeasible,
-    /// `solve_tree_instance` was handed a graph that is not a tree.
-    NotATree,
-    /// The communication graph is disconnected.
-    Disconnected,
-}
-
-impl std::fmt::Display for SolveError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SolveError::Infeasible(i) => write!(f, "infeasible: {i}"),
-            SolveError::CapacityInfeasible => {
-                write!(f, "no capacity-feasible labelling at this rounding")
-            }
-            SolveError::NotATree => write!(f, "communication graph is not a tree"),
-            SolveError::Disconnected => write!(f, "communication graph is disconnected"),
-        }
-    }
-}
-
-impl std::error::Error for SolveError {}
+/// Failure modes of the tree pipeline — an alias of the crate-wide
+/// [`HgpError`] taxonomy, kept for source compatibility (the variants the
+/// tree pipeline produces are unchanged).
+pub type SolveError = crate::HgpError;
 
 /// Full output of the tree pipeline.
 #[derive(Clone, Debug)]
@@ -97,13 +74,12 @@ pub fn solve_rooted(
     }
     assert!(seen.iter().all(|&s| s), "every task must sit on a leaf");
 
-    let caps = rounding.level_caps(h);
+    let caps = rounding.level_caps(h)?;
     let deltas: Vec<f64> = (0..h.height())
         .map(|k| h.cost_multiplier(k) - h.cost_multiplier(k + 1))
         .collect();
 
-    let relaxed =
-        solve_relaxed(tree, &leaf_units, &caps, &deltas).ok_or(SolveError::CapacityInfeasible)?;
+    let relaxed = solve_relaxed(tree, &leaf_units, &caps, &deltas)?;
     let level_sets = build_level_sets(tree, &relaxed.cut_level, h.height());
     debug_assert!(level_sets.check_laminar(tree.leaves().len()).is_ok());
     let (leaf_of_tree, repair) = repair_assignment(&level_sets, &leaf_demand, h);

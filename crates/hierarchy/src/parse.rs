@@ -11,6 +11,16 @@
 
 use crate::Hierarchy;
 
+/// Tallest machine a descriptor may describe. Matches the signature DP's
+/// `MAX_HEIGHT` (one 16-bit lane per level in a `u64`): descriptors that
+/// could never be solved are rejected here, at the text boundary, with a
+/// message instead of a downstream panic.
+pub const MAX_PARSE_HEIGHT: usize = 4;
+
+/// Most leaves a descriptor may describe. Keeps adversarial shapes like
+/// `"1000x1000"` (10⁶ leaves) from allocating per-leaf state downstream.
+pub const MAX_PARSE_LEAVES: usize = 65_536;
+
 /// Parse failure for a machine descriptor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseHierarchyError {
@@ -54,6 +64,23 @@ pub fn parse_hierarchy(desc: &str) -> Result<Hierarchy, ParseHierarchyError> {
         .collect::<Result<_, _>>()?;
     if degrees.is_empty() {
         return Err(err("empty shape"));
+    }
+    if degrees.len() > MAX_PARSE_HEIGHT {
+        return Err(err(format!(
+            "height {} exceeds the supported maximum of {MAX_PARSE_HEIGHT} levels",
+            degrees.len()
+        )));
+    }
+    // overflow-safe product check: degrees are >= 1 so a running product
+    // that exceeds the cap can only grow
+    let mut leaves: usize = 1;
+    for &d in &degrees {
+        leaves = leaves.saturating_mul(d);
+        if leaves > MAX_PARSE_LEAVES {
+            return Err(err(format!(
+                "shape describes more than {MAX_PARSE_LEAVES} leaves"
+            )));
+        }
     }
     let h = degrees.len();
     let cm: Vec<f64> = match costs {
@@ -152,5 +179,29 @@ mod tests {
             .unwrap_err()
             .msg
             .contains("bad multiplier"));
+    }
+
+    #[test]
+    fn rejects_unsupported_heights() {
+        // height 4 is the ceiling; 5 levels must fail at parse, not panic
+        // later inside the signature DP
+        assert!(parse_hierarchy("2x2x2x2").is_ok());
+        let e = parse_hierarchy("2x2x2x2x2").unwrap_err();
+        assert!(e.msg.contains("height 5"), "{e}");
+        let e = parse_hierarchy("2x2x2x2x2:16,8,4,2,1,0").unwrap_err();
+        assert!(e.msg.contains("height 5"), "{e}");
+    }
+
+    #[test]
+    fn rejects_oversized_shapes() {
+        // 10^6 leaves
+        let e = parse_hierarchy("1000x1000").unwrap_err();
+        assert!(e.msg.contains("leaves"), "{e}");
+        // usize-overflow attempt must not wrap around the cap
+        let e = parse_hierarchy(&format!("{0}x{0}x{0}", u64::MAX)).unwrap_err();
+        assert!(e.msg.contains("leaves"), "{e}");
+        // the boundary itself is fine
+        assert_eq!(parse_hierarchy("65536").unwrap().num_leaves(), 65_536);
+        assert!(parse_hierarchy("65537").is_err());
     }
 }

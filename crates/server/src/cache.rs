@@ -6,12 +6,25 @@
 //! rounding — so a long-running server reuses it across requests. Entries
 //! are `Arc`-shared: a hit costs a hash lookup and a refcount bump, and an
 //! entry being evicted while a worker still solves on it is harmless.
+//!
+//! Recency is tracked with monotone stamps and a lazy-deletion min-heap:
+//! every access pushes a fresh `(stamp, key)` pair and eviction pops until
+//! the top pair matches the key's live stamp. Stale pairs are discarded in
+//! passing, and the heap is rebuilt from the live map whenever it grows
+//! past a constant factor of the entry count — so both `get` and `insert`
+//! stay `O(log n)` amortised under the lock, where the old implementation
+//! scanned all `capacity` entries on every eviction.
 
 use hgp_decomp::Distribution;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Rebuild the recency heap when it holds more than this many stale pairs
+/// per live entry.
+const COMPACT_FACTOR: usize = 8;
 
 struct Entry {
     dist: Arc<Distribution>,
@@ -19,12 +32,54 @@ struct Entry {
     stamp: u64,
 }
 
+/// Map plus recency index, guarded by one lock.
+struct Inner {
+    map: HashMap<u64, Entry>,
+    /// Min-heap of `(stamp, key)`; a pair is live iff `map[key].stamp`
+    /// equals its stamp (lazy deletion).
+    order: BinaryHeap<Reverse<(u64, u64)>>,
+    clock: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, key: u64) -> u64 {
+        let stamp = self.clock;
+        self.clock += 1;
+        self.order.push(Reverse((stamp, key)));
+        stamp
+    }
+
+    /// Drops stale heap pairs once they dominate, keeping heap growth
+    /// bounded by the live entry count.
+    fn maybe_compact(&mut self) {
+        if self.order.len() > COMPACT_FACTOR * self.map.len().max(1) {
+            self.order = self
+                .map
+                .iter()
+                .map(|(&k, e)| Reverse((e.stamp, k)))
+                .collect();
+        }
+    }
+
+    /// Removes the least-recently-used live entry.
+    fn evict_one(&mut self) {
+        while let Some(Reverse((stamp, key))) = self.order.pop() {
+            match self.map.get(&key) {
+                Some(e) if e.stamp == stamp => {
+                    self.map.remove(&key);
+                    return;
+                }
+                _ => continue, // stale pair: the key was touched again
+            }
+        }
+    }
+}
+
 /// A bounded LRU map from distribution fingerprints to shared
 /// distributions.
 pub struct DecompCache {
-    entries: Mutex<HashMap<u64, Entry>>,
+    inner: Mutex<Inner>,
     capacity: usize,
-    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -34,9 +89,12 @@ impl DecompCache {
     /// caching: every lookup misses and nothing is stored).
     pub fn new(capacity: usize) -> Self {
         Self {
-            entries: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: BinaryHeap::new(),
+                clock: 0,
+            }),
             capacity,
-            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -44,17 +102,18 @@ impl DecompCache {
 
     /// Looks up `key`, refreshing its recency on a hit.
     pub fn get(&self, key: u64) -> Option<Arc<Distribution>> {
-        let mut map = self.entries.lock();
-        match map.get_mut(&key) {
-            Some(e) => {
-                e.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&e.dist))
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&key) {
+            let stamp = inner.touch(key);
+            let e = inner.map.get_mut(&key).expect("checked contains_key");
+            e.stamp = stamp;
+            let dist = Arc::clone(&e.dist);
+            inner.maybe_compact();
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(dist)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
         }
     }
 
@@ -66,14 +125,13 @@ impl DecompCache {
         if self.capacity == 0 {
             return;
         }
-        let mut map = self.entries.lock();
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        if !map.contains_key(&key) && map.len() >= self.capacity {
-            if let Some(&oldest) = map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k) {
-                map.remove(&oldest);
-            }
+        let mut inner = self.inner.lock();
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            inner.evict_one();
         }
-        map.insert(key, Entry { dist, stamp });
+        let stamp = inner.touch(key);
+        inner.map.insert(key, Entry { dist, stamp });
+        inner.maybe_compact();
     }
 
     /// Hit count since construction.
@@ -88,7 +146,7 @@ impl DecompCache {
 
     /// Entries currently cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.inner.lock().map.len()
     }
 
     /// True when nothing is cached.
@@ -144,5 +202,46 @@ mod tests {
         c.insert(1, dist());
         assert!(c.get(1).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_order_survives_interleaved_get_insert() {
+        // Exercise the lazy-deletion heap hard: repeated touches create
+        // many stale pairs; eviction must still pick the true LRU entry.
+        let c = DecompCache::new(3);
+        let d = dist();
+        c.insert(1, Arc::clone(&d));
+        c.insert(2, Arc::clone(&d));
+        c.insert(3, Arc::clone(&d));
+        // recency now 1 < 2 < 3; touch 1 and 2 many times, interleaved
+        for _ in 0..50 {
+            assert!(c.get(1).is_some());
+            assert!(c.get(2).is_some());
+        }
+        // 3 is the LRU despite being inserted last
+        c.insert(4, Arc::clone(&d));
+        assert_eq!(c.len(), 3);
+        assert!(c.get(3).is_none(), "3 was LRU and must be evicted");
+        assert!(c.get(1).is_some() && c.get(2).is_some() && c.get(4).is_some());
+
+        // re-inserting an existing key refreshes it rather than evicting
+        c.insert(1, Arc::clone(&d));
+        assert_eq!(c.len(), 3);
+        // now 2 is LRU (last touched before 4 and the re-insert of 1)...
+        assert!(c.get(4).is_some());
+        assert!(c.get(1).is_some());
+        c.insert(5, Arc::clone(&d));
+        assert!(c.get(2).is_none(), "2 was LRU and must be evicted");
+
+        // a long churn keeps the cache exactly at capacity with the
+        // expected survivors
+        for k in 10..200 {
+            c.insert(k, Arc::clone(&d));
+            assert!(c.len() <= 3);
+        }
+        assert!(c.get(199).is_some());
+        assert!(c.get(198).is_some());
+        assert!(c.get(197).is_some());
+        assert!(c.get(10).is_none());
     }
 }

@@ -98,6 +98,15 @@ pub struct Metrics {
     pub incr_ops: AtomicU64,
     /// Sessions currently open.
     pub sessions_open: AtomicU64,
+    /// Solver-pool workers currently alive (gauge, maintained by the pool
+    /// supervisor).
+    pub workers_alive: AtomicU64,
+    /// Worker threads that died (escaped the panic-isolation boundary) and
+    /// were respawned by the supervisor.
+    pub worker_deaths: AtomicU64,
+    /// Solves that panicked and were caught at the isolation boundary
+    /// (answered `err internal`; the worker survived).
+    pub solve_panics: AtomicU64,
     /// End-to-end solve latency (enqueue to reply), successful solves only.
     pub solve_latency: LatencyHistogram,
 }
@@ -122,7 +131,8 @@ impl Metrics {
     pub fn stats_line(&self, cache_hits: u64, cache_misses: u64) -> String {
         format!(
             "requests={} bad-requests={} solve-ok={} solve-degraded={} solve-err={} \
-             overloaded={} incr-ops={} sessions-open={} cache-hits={} cache-misses={} \
+             overloaded={} incr-ops={} sessions-open={} workers-alive={} \
+             worker-deaths={} solve-panics={} cache-hits={} cache-misses={} \
              solve-p50-us={} solve-p99-us={} solve-max-us={}",
             self.get(&self.requests),
             self.get(&self.bad_requests),
@@ -132,6 +142,9 @@ impl Metrics {
             self.get(&self.overloaded),
             self.get(&self.incr_ops),
             self.get(&self.sessions_open),
+            self.get(&self.workers_alive),
+            self.get(&self.worker_deaths),
+            self.get(&self.solve_panics),
             cache_hits,
             cache_misses,
             self.solve_latency.quantile_us(0.50),
@@ -178,5 +191,8 @@ mod tests {
         assert!(line.contains("solve-ok=1"), "{line}");
         assert!(line.contains("cache-hits=3"), "{line}");
         assert!(line.contains("cache-misses=1"), "{line}");
+        assert!(line.contains("workers-alive=0"), "{line}");
+        assert!(line.contains("worker-deaths=0"), "{line}");
+        assert!(line.contains("solve-panics=0"), "{line}");
     }
 }

@@ -15,6 +15,15 @@
 //!
 //! Degraded replies are still *valid placements* — only the approximation
 //! guarantee is surrendered, never correctness.
+//!
+//! # Panic isolation and supervision
+//!
+//! Every job runs inside `catch_unwind`: a panicking solve answers
+//! `err internal` and the worker thread survives (`solve-panics` counts
+//! these). As a second line of defence a supervisor thread polls the
+//! worker handles and respawns any thread that died anyway — a bug that
+//! slips past the isolation boundary costs one request, never a pool slot.
+//! `workers-alive` / `worker-deaths` in `stats` expose both layers.
 
 use crate::cache::DecompCache;
 use crate::metrics::Metrics;
@@ -24,14 +33,18 @@ use hgp_baselines::refine::{refine, RefineOpts};
 use hgp_core::fingerprint::distribution_fingerprint;
 use hgp_core::solver::{build_distribution, SolverOptions};
 use hgp_core::tree_solver::solve_rooted;
-use hgp_core::{Assignment, Rounding};
+use hgp_core::{Assignment, HgpError, Rounding};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How often the supervisor checks for dead workers.
+const SUPERVISE_EVERY: Duration = Duration::from_millis(20);
 
 /// One queued solve.
 pub struct SolveJob {
@@ -43,18 +56,76 @@ pub struct SolveJob {
     pub deadline: Option<Instant>,
     /// Where the reply line goes.
     pub reply: mpsc::Sender<String>,
+    /// Test hook: panic *outside* the isolation boundary, killing the
+    /// worker thread outright. Not reachable from the wire — exists so
+    /// tests can exercise the supervisor's respawn path.
+    pub crash_worker: bool,
+    /// Test hook: panic *inside* the isolation boundary, as a solver bug
+    /// would. Not reachable from the wire — exercises the `err internal`
+    /// catch_unwind path.
+    pub panic_solve: bool,
 }
 
-/// A fixed pool of solver workers behind a bounded queue.
+/// Everything a worker thread needs; cloneable so the supervisor can
+/// respawn replacements.
+#[derive(Clone)]
+struct WorkerCtx {
+    rx: Arc<parking_lot::Mutex<mpsc::Receiver<SolveJob>>>,
+    cache: Arc<DecompCache>,
+    metrics: Arc<Metrics>,
+    stop: Arc<AtomicBool>,
+}
+
+fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("hgp-solver-{id}"))
+        .spawn(move || loop {
+            if ctx.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let job = ctx.rx.lock().recv_timeout(Duration::from_millis(50));
+            match job {
+                Ok(job) => {
+                    if job.crash_worker {
+                        // deliberately outside catch_unwind (see SolveJob)
+                        panic!("crash-worker test hook");
+                    }
+                    // isolation boundary: a panicking solve costs this
+                    // request, not the worker thread
+                    let line = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        if job.panic_solve {
+                            panic!("panic-solve test hook");
+                        }
+                        run_solve(&job, &ctx.cache, &ctx.metrics)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        ctx.metrics.inc(&ctx.metrics.solve_panics);
+                        ctx.metrics.inc(&ctx.metrics.solve_err);
+                        let e = HgpError::from_panic(payload);
+                        WireError::new(ErrCode::Internal, e.to_string()).to_line()
+                    });
+                    // receiver gone = client hung up; nothing to do
+                    let _ = job.reply.send(line);
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        })
+        .expect("spawn solver worker")
+}
+
+/// A supervised pool of solver workers behind a bounded queue.
 pub struct SolverPool {
     tx: mpsc::SyncSender<SolveJob>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    supervisor: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
 }
 
 impl SolverPool {
     /// Spawns `workers` threads draining a queue of at most
-    /// `queue_capacity` pending solves.
+    /// `queue_capacity` pending solves, plus a supervisor that respawns
+    /// workers that die.
     pub fn new(
         workers: usize,
         queue_capacity: usize,
@@ -62,35 +133,50 @@ impl SolverPool {
         metrics: Arc<Metrics>,
     ) -> Self {
         let (tx, rx) = mpsc::sync_channel::<SolveJob>(queue_capacity.max(1));
-        let rx = Arc::new(parking_lot::Mutex::new(rx));
-        let stop = Arc::new(AtomicBool::new(false));
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let cache = Arc::clone(&cache);
-                let metrics = Arc::clone(&metrics);
-                let stop = Arc::clone(&stop);
-                std::thread::Builder::new()
-                    .name(format!("hgp-solver-{i}"))
-                    .spawn(move || loop {
-                        if stop.load(Ordering::Acquire) {
+        let ctx = WorkerCtx {
+            rx: Arc::new(parking_lot::Mutex::new(rx)),
+            cache,
+            metrics: Arc::clone(&metrics),
+            stop: Arc::new(AtomicBool::new(false)),
+        };
+        let count = workers.max(1);
+        let workers: Vec<JoinHandle<()>> =
+            (0..count).map(|i| spawn_worker(i, ctx.clone())).collect();
+        metrics.workers_alive.store(count as u64, Ordering::Relaxed);
+        let workers = Arc::new(parking_lot::Mutex::new(workers));
+        let stop = Arc::clone(&ctx.stop);
+        let supervisor = {
+            let workers = Arc::clone(&workers);
+            let next_id = AtomicUsize::new(count);
+            std::thread::Builder::new()
+                .name("hgp-pool-supervisor".to_string())
+                .spawn(move || {
+                    while !ctx.stop.load(Ordering::Acquire) {
+                        std::thread::sleep(SUPERVISE_EVERY);
+                        if ctx.stop.load(Ordering::Acquire) {
                             break;
                         }
-                        let job = rx.lock().recv_timeout(Duration::from_millis(50));
-                        match job {
-                            Ok(job) => {
-                                let line = run_solve(&job, &cache, &metrics);
-                                // receiver gone = client hung up; nothing to do
-                                let _ = job.reply.send(line);
+                        let mut ws = workers.lock();
+                        for slot in ws.iter_mut() {
+                            if slot.is_finished() && !ctx.stop.load(Ordering::Acquire) {
+                                let id = next_id.fetch_add(1, Ordering::Relaxed);
+                                let dead = std::mem::replace(slot, spawn_worker(id, ctx.clone()));
+                                let _ = dead.join(); // reap; panic payload discarded
+                                metrics.inc(&metrics.worker_deaths);
                             }
-                            Err(RecvTimeoutError::Timeout) => continue,
-                            Err(RecvTimeoutError::Disconnected) => break,
                         }
-                    })
-                    .expect("spawn solver worker")
-            })
-            .collect();
-        Self { tx, workers, stop }
+                        let alive = ws.iter().filter(|w| !w.is_finished()).count();
+                        metrics.workers_alive.store(alive as u64, Ordering::Relaxed);
+                    }
+                })
+                .expect("spawn pool supervisor")
+        };
+        Self {
+            tx,
+            workers,
+            supervisor: Some(supervisor),
+            stop,
+        }
     }
 
     /// Enqueues a job; rejects with `overloaded` when the queue is full.
@@ -107,12 +193,16 @@ impl SolverPool {
         }
     }
 
-    /// Signals workers to stop and joins them. Queued jobs not yet picked
-    /// up are dropped (their reply channels disconnect, which the
-    /// connection threads surface as `shutting-down`).
+    /// Signals workers to stop and joins them (supervisor first, so nothing
+    /// respawns during teardown). Queued jobs not yet picked up are dropped
+    /// (their reply channels disconnect, which the connection threads
+    /// surface as `shutting-down`).
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
-        for w in self.workers.drain(..) {
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        for w in self.workers.lock().drain(..) {
             let _ = w.join();
         }
     }
@@ -302,6 +392,8 @@ mod tests {
             enqueued: now,
             deadline: deadline.map(|d| now + d),
             reply: tx,
+            crash_worker: false,
+            panic_solve: false,
         })
         .unwrap();
         rx.recv_timeout(Duration::from_secs(60)).unwrap()
@@ -369,6 +461,8 @@ mod tests {
                 enqueued: now,
                 deadline: None,
                 reply: tx.clone(),
+                crash_worker: false,
+                panic_solve: false,
             };
             if let Err(e) = pool.submit(job) {
                 assert_eq!(e.code, ErrCode::Overloaded);
@@ -376,5 +470,75 @@ mod tests {
             }
         }
         assert!(rejected > 0, "bounded queue never pushed back");
+    }
+
+    #[test]
+    fn supervisor_respawns_crashed_workers() {
+        let cache = Arc::new(DecompCache::new(2));
+        let metrics = Arc::new(Metrics::new());
+        let pool = SolverPool::new(2, 4, cache, Arc::clone(&metrics));
+        assert_eq!(metrics.get(&metrics.workers_alive), 2);
+
+        // kill one worker outright (bypasses the isolation boundary)
+        let (tx, rx) = mpsc::channel();
+        pool.submit(SolveJob {
+            spec: solve_spec(LINE),
+            enqueued: Instant::now(),
+            deadline: None,
+            reply: tx,
+            crash_worker: true,
+            panic_solve: false,
+        })
+        .unwrap();
+        // the dying worker never replies; its channel just disconnects
+        assert!(rx.recv_timeout(Duration::from_secs(10)).is_err());
+
+        // the supervisor must notice, count the death, and restore the pool
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while metrics.get(&metrics.worker_deaths) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(metrics.get(&metrics.worker_deaths), 1, "death not counted");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while metrics.get(&metrics.workers_alive) < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            metrics.get(&metrics.workers_alive),
+            2,
+            "worker not respawned"
+        );
+
+        // and the pool still solves
+        let reply = run(&pool, solve_spec(LINE), None);
+        assert!(reply.starts_with("ok "), "{reply}");
+    }
+
+    #[test]
+    fn panicking_solve_is_isolated_to_err_internal() {
+        let cache = Arc::new(DecompCache::new(2));
+        let metrics = Arc::new(Metrics::new());
+        let pool = SolverPool::new(1, 4, cache, Arc::clone(&metrics));
+
+        // a panic inside the boundary answers `err internal` ...
+        let (tx, rx) = mpsc::channel();
+        pool.submit(SolveJob {
+            spec: solve_spec(LINE),
+            enqueued: Instant::now(),
+            deadline: None,
+            reply: tx,
+            crash_worker: false,
+            panic_solve: true,
+        })
+        .unwrap();
+        let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(reply.starts_with("err internal "), "{reply}");
+        assert!(reply.contains("panic-solve test hook"), "{reply}");
+        assert_eq!(metrics.get(&metrics.solve_panics), 1);
+
+        // ... and the very same worker thread keeps serving
+        let reply = run(&pool, solve_spec(LINE), None);
+        assert!(reply.starts_with("ok "), "{reply}");
+        assert_eq!(metrics.get(&metrics.worker_deaths), 0);
     }
 }

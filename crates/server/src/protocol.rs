@@ -43,6 +43,8 @@ pub enum ErrCode {
     NotFound,
     /// The solve itself failed (infeasible, disconnected, …).
     SolveFailed,
+    /// An internal fault (caught panic) — the request may be fine.
+    Internal,
     /// Server is draining after `shutdown`.
     ShuttingDown,
 }
@@ -55,6 +57,7 @@ impl ErrCode {
             ErrCode::Overloaded => "overloaded",
             ErrCode::NotFound => "not-found",
             ErrCode::SolveFailed => "solve-failed",
+            ErrCode::Internal => "internal",
             ErrCode::ShuttingDown => "shutting-down",
         }
     }
@@ -94,6 +97,10 @@ impl WireError {
 pub const MAX_INLINE_NODES: usize = 65_536;
 /// Companion cap on inline edge count.
 pub const MAX_INLINE_EDGES: usize = 1_048_576;
+/// Largest accepted `deadline-ms`. An unbounded value would overflow the
+/// `Instant + Duration` deadline arithmetic (itself a wire-reachable
+/// panic); anything above ten minutes is effectively "no deadline".
+pub const MAX_DEADLINE_MS: u64 = 600_000;
 
 /// How a request describes its communication graph.
 #[derive(Clone, Debug, PartialEq)]
@@ -349,10 +356,8 @@ impl SolveSpec {
         } else {
             vec![(0.8 * k as f64 / n as f64).min(1.0); n]
         };
-        if !demands.iter().all(|&d| d > 0.0 && d <= 1.0) {
-            return Err(WireError::bad("demands must lie in (0, 1]"));
-        }
-        Ok(Instance::new(graph, demands))
+        // typed validation (rejects NaN and out-of-range without panicking)
+        Instance::try_new(graph, demands).map_err(|e| WireError::bad(e.to_string()))
     }
 }
 
@@ -451,8 +456,13 @@ fn parse_nbrs(val: &str) -> Result<Vec<(usize, f64)>, WireError> {
             .ok_or_else(|| WireError::bad(format!("bad neighbour {item:?} (want task:w)")))?;
         let t: usize = parse_num("nbrs", t)?;
         let w: f64 = parse_num("nbrs", w)?;
-        if !(w.is_finite() && w >= 0.0) {
-            return Err(WireError::bad(format!("neighbour weight {w} must be ≥ 0")));
+        // same rule as inline graph edges: strictly positive and finite
+        // (a zero-weight edge carries no communication and is just the
+        // absence of an edge)
+        if !(w.is_finite() && w > 0.0) {
+            return Err(WireError::bad(format!(
+                "neighbour weight {w} must be positive"
+            )));
         }
         out.push((t, w));
     }
@@ -511,15 +521,31 @@ impl Request {
                 "units" => units = parse_num::<u32>(key, val)?.max(1),
                 "trees" => trees = parse_num::<usize>(key, val)?.clamp(1, 64),
                 "seed" => seed = parse_num(key, val)?,
-                "deadline-ms" => deadline_ms = Some(parse_num(key, val)?),
+                "deadline-ms" => {
+                    deadline_ms = Some(parse_num::<u64>(key, val)?.min(MAX_DEADLINE_MS))
+                }
                 "refine" => refine = parse_flag(key, val)?,
                 "assignment" => want_assignment = parse_flag(key, val)?,
                 _ => return Err(WireError::bad(format!("unknown solve field {key:?}"))),
             }
         }
+        let machine: Hierarchy = machine.ok_or_else(|| WireError::bad("solve needs machine=…"))?;
+        // The DP packs per-level demands into 16-bit signature lanes:
+        // CP(j)·units must fit in u16 for every level. Capacities decrease
+        // with depth, so checking the widest level (1) covers them all —
+        // rejected here so an oversized `units=` is a `bad-request`, not a
+        // panic inside a pool worker.
+        let cap1 = machine.capacity(1) as u64;
+        if cap1 * units as u64 > u16::MAX as u64 {
+            return Err(WireError::bad(format!(
+                "units={units} overflows the 16-bit signature lane on this \
+                 machine (level-1 capacity {cap1}); max units is {}",
+                u16::MAX as u64 / cap1
+            )));
+        }
         Ok(Request::Solve(Box::new(SolveSpec {
             graph: graph.ok_or_else(|| WireError::bad("solve needs graph=…"))?,
-            machine: machine.ok_or_else(|| WireError::bad("solve needs machine=…"))?,
+            machine,
             demand,
             demands,
             units,
@@ -724,12 +750,48 @@ mod tests {
             "solve graph=edges:3:0-1:-2.0 machine=4",
             "solve graph=gen:unknown:3 machine=4",
             "solve graph=edges:3:0-1:1.0 machine=4 demand=1.5",
+            "solve graph=edges:3:0-1:1.0 machine=4 demand=NaN",
+            "solve graph=edges:3:0-1:1.0 machine=4 demands=0.5,NaN,0.5",
+            // oversized units would overflow the 16-bit signature lane
+            "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 units=70000",
+            // machine bounds: height 5 and a 10^6-leaf shape
+            "solve graph=edges:2:0-1:1.0 machine=2x2x2x2x2:16,8,4,2,1,0",
+            "solve graph=edges:2:0-1:1.0 machine=1000x1000",
+            // neighbour edges follow the same strictly-positive weight rule
+            // as inline graph edges
+            "place-incremental add session=1 demand=0.5 nbrs=0:0.0",
+            "place-incremental add session=1 demand=0.5 nbrs=0:-1.0",
+            "place-incremental add session=1 demand=0.5 nbrs=0:inf",
             "place-incremental add demand=0.5",
             "place-incremental wat session=1",
         ] {
             let err = Request::parse(line).err().map(|e| e.code);
             assert_eq!(err, Some(ErrCode::BadRequest), "{line:?} -> {err:?}");
         }
+    }
+
+    #[test]
+    fn units_lane_bound_is_tight() {
+        // 2x2 machine: capacity(1) = 2, so 32767 units fit and 32768 don't
+        let ok = "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 units=32767";
+        assert!(Request::parse(ok).is_ok());
+        let over = "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 units=32768";
+        let e = Request::parse(over).unwrap_err();
+        assert_eq!(e.code, ErrCode::BadRequest);
+        assert!(e.msg.contains("max units is 32767"), "{}", e.msg);
+    }
+
+    #[test]
+    fn deadline_is_clamped_to_sane_range() {
+        // u64::MAX would overflow `Instant + Duration` in the server
+        let line = format!(
+            "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 deadline-ms={}",
+            u64::MAX
+        );
+        let Ok(Request::Solve(spec)) = Request::parse(&line) else {
+            panic!("huge deadline must still parse (clamped)");
+        };
+        assert_eq!(spec.deadline_ms, Some(MAX_DEADLINE_MS));
     }
 
     #[test]

@@ -159,7 +159,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         let _ = std::thread::Builder::new()
             .name("hgp-conn".to_string())
             .spawn(move || {
-                let _ = handle_connection(stream, &conn_shared);
+                // catch_unwind so the connection gauge is decremented even
+                // if the handler has a bug — a leaked count would make
+                // `join` wait out its full drain deadline forever after
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _ = handle_connection(stream, &conn_shared);
+                }));
                 conn_shared.conns.fetch_sub(1, Ordering::Release);
             });
     }
@@ -191,7 +196,14 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
         if line.trim().is_empty() {
             continue;
         }
-        let reply = handle_line(line.trim(), shared);
+        // the one-reply-per-line invariant holds even if a handler panics:
+        // the panic is converted into an `err internal` reply
+        let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_line(line.trim(), shared)
+        }))
+        .unwrap_or_else(|_| {
+            WireError::new(ErrCode::Internal, "request handler panicked").to_line()
+        });
         writer.write_all(reply.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -221,6 +233,8 @@ fn handle_line(line: &str, shared: &Shared) -> String {
                 enqueued: now,
                 deadline,
                 reply: tx,
+                crash_worker: false,
+                panic_solve: false,
             };
             let submitted = shared.pool.lock().submit(job);
             match submitted {

@@ -1,0 +1,262 @@
+//! Adversarial wire fuzzing against a live loopback server.
+//!
+//! Three layers, all sharing one long-lived server (started once per test
+//! process and deliberately leaked so concurrent tests exercise it
+//! together):
+//!
+//! 1. raw garbage — arbitrary printable bytes on the wire;
+//! 2. structured near-misses — syntactically plausible `solve` requests
+//!    with exactly one field pushed out of range;
+//! 3. a scripted poison-then-serve regression mirroring the acceptance
+//!    batch: every hostile line gets exactly one `err …` reply, after
+//!    which a valid solve still answers `ok … degraded=0` with the full
+//!    worker pool alive.
+//!
+//! The invariants under test are the request-path hardening ones: every
+//! non-blank line gets exactly one reply, hostile input is rejected as
+//! `err bad-request` (never a panic, never a dropped connection), and no
+//! amount of pure-validation poison costs a worker its life.
+
+use hgp::server::{Server, ServerConfig};
+use hgp::workloads::requests::reply_field;
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Worker count of the shared fuzz server; stats assertions key off it.
+const WORKERS: usize = 2;
+
+/// Starts the shared server on first use and leaks it: tests in this
+/// binary run concurrently and all hammer the same instance, which is the
+/// point — isolation failures surface as cross-test flakiness.
+fn server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let server = Server::start(ServerConfig {
+            workers: WORKERS,
+            queue_capacity: 16,
+            cache_capacity: 8,
+            ..Default::default()
+        })
+        .expect("start fuzz server");
+        let addr = server.addr();
+        std::mem::forget(server); // keep serving for the whole process
+        addr
+    })
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect() -> Client {
+        let stream = TcpStream::connect(server_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Sends one line and reads exactly one reply line.
+    fn req(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader
+            .read_line(&mut reply)
+            .expect("read reply (server must not drop the connection)");
+        assert!(
+            reply.ends_with('\n'),
+            "server closed mid-reply for {line:?}: {reply:?}"
+        );
+        reply.trim().to_string()
+    }
+
+    /// Asserts the pool is fully alive and nothing has escaped the panic
+    /// boundary.
+    fn assert_pool_healthy(&mut self) {
+        let stats = self.req("stats");
+        let field = |k: &str| {
+            reply_field(&stats, k)
+                .unwrap_or_else(|| panic!("no {k} in {stats:?}"))
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert_eq!(field("workers-alive"), WORKERS as u64, "{stats}");
+        assert_eq!(field("worker-deaths"), 0, "{stats}");
+        assert_eq!(field("solve-panics"), 0, "{stats}");
+    }
+}
+
+/// A known-good request; mutations below each break exactly one field.
+const VALID_SOLVE: &str =
+    "solve graph=edges:4:0-1:3.0,1-2:1.0,2-3:3.0 machine=2x2:4,1,0 demand=0.4 trees=2 seed=1";
+
+/// Arbitrary printable bytes (space..~), trimming to non-blank. Newlines
+/// and blank lines are excluded by construction: blank lines are skipped
+/// without a reply by design, so they have no reply to assert on.
+fn arb_garbage_line() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127u8, 1..80).prop_filter_map(
+        "blank or control line",
+        |bytes| {
+            let s: String = bytes.into_iter().map(|b| b as char).collect();
+            let t = s.trim();
+            // a uniform draw will never spell these, but the cost of a stray
+            // shutdown taking the shared server down is every other test
+            if t.is_empty() || t == "shutdown" || t.starts_with("shutdown ") {
+                None
+            } else {
+                Some(s)
+            }
+        },
+    )
+}
+
+/// Near-miss `solve` lines: `(line, must_reject)`. When `must_reject` the
+/// server must answer `err bad-request`; otherwise any single reply is
+/// acceptable (the truncation arm can land on a still-valid prefix).
+fn arb_near_miss() -> impl Strategy<Value = (String, bool)> {
+    (0usize..8, 0u64..u64::MAX, 1.001f64..1.0e6).prop_map(|(kind, a, f)| match kind {
+        // units past the 16-bit signature lane for this machine
+        0 => (
+            format!("{VALID_SOLVE} units={}", 32_768 + a % 1_000_000),
+            true,
+        ),
+        // machine one level taller than the DP supports
+        1 => (
+            "solve graph=edges:2:0-1:1.0 machine=2x2x2x2x2:16,8,4,2,1,0 demand=0.5".to_string(),
+            true,
+        ),
+        // machine with an absurd leaf count
+        2 => {
+            let d = 300 + a % 100_000;
+            (
+                format!("solve graph=edges:2:0-1:1.0 machine={d}x{d} demand=0.5"),
+                true,
+            )
+        }
+        // demand outside (0, 1]: too large or negative
+        3 => {
+            let d = if a % 2 == 0 { -f } else { f };
+            (
+                format!("solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 demand={d}"),
+                true,
+            )
+        }
+        // non-finite demand (parses as f64, must still be rejected)
+        4 => {
+            let d = if a % 2 == 0 { "NaN" } else { "inf" };
+            (
+                format!("solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 demand={d}"),
+                true,
+            )
+        }
+        // edge weight violating the strictly-positive rule
+        5 => {
+            let w = ["0.0", "-1.5", "NaN", "inf"][a as usize % 4];
+            (
+                format!("solve graph=edges:2:0-1:{w} machine=2x2:4,1,0 demand=0.5"),
+                true,
+            )
+        }
+        // unknown field
+        6 => (format!("{VALID_SOLVE} zzz{a}=1"), true),
+        // truncation at an arbitrary byte: must get exactly one reply,
+        // but a lucky cut can leave a valid request
+        _ => {
+            let cut = 1 + (a as usize) % (VALID_SOLVE.len() - 1);
+            (VALID_SOLVE[..cut].trim().to_string(), false)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Raw garbage: every line draws exactly one reply, the connection
+    /// survives, and the pool stays fully alive.
+    #[test]
+    fn raw_garbage_gets_one_reply(line in arb_garbage_line()) {
+        let mut c = Client::connect();
+        let reply = c.req(&line);
+        prop_assert!(
+            reply.starts_with("ok ") || reply.starts_with("err "),
+            "unexpected reply to {line:?}: {reply:?}"
+        );
+        // the same connection must still be usable afterwards
+        c.assert_pool_healthy();
+    }
+
+    /// Structured near-misses: out-of-range fields are rejected as
+    /// `err bad-request` without costing a worker.
+    #[test]
+    fn near_miss_requests_are_rejected(case in arb_near_miss()) {
+        let (line, must_reject) = case;
+        let mut c = Client::connect();
+        let reply = c.req(&line);
+        if must_reject {
+            prop_assert!(
+                reply.starts_with("err bad-request"),
+                "expected err bad-request for {line:?}, got {reply:?}"
+            );
+        } else {
+            prop_assert!(
+                reply.starts_with("ok ") || reply.starts_with("err "),
+                "unexpected reply to {line:?}: {reply:?}"
+            );
+        }
+        c.assert_pool_healthy();
+    }
+}
+
+/// The acceptance batch: a fixed poison list (each line exactly one
+/// `err …` reply), then a valid solve answers `ok … degraded=0`, then
+/// `stats` shows the full pool alive with zero deaths.
+#[test]
+fn poison_then_serve() {
+    let mut c = Client::connect();
+
+    let poison: &[&str] = &[
+        // satellite (a): units overflowing the u16 signature lane
+        "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 demand=0.5 units=70000",
+        // satellite (b): height-5 machine and a 10^6-leaf shape
+        "solve graph=edges:2:0-1:1.0 machine=2x2x2x2x2:16,8,4,2,1,0 demand=0.5",
+        "solve graph=edges:2:0-1:1.0 machine=1000x1000 demand=0.5",
+        // demand-domain violations
+        "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 demand=0.0",
+        "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 demand=-1.0",
+        "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 demands=0.5,NaN",
+        // satellite (c): non-positive / non-finite edge weights
+        "solve graph=edges:2:0-1:0.0 machine=2x2:4,1,0 demand=0.5",
+        "solve graph=edges:2:0-1:NaN machine=2x2:4,1,0 demand=0.5",
+        // truncated lines
+        "solve graph=edges:2:0-1",
+        "solve graph=",
+        "solve",
+        "place-incremental",
+        "sol",
+    ];
+    for line in poison {
+        let reply = c.req(line);
+        assert!(
+            reply.starts_with("err "),
+            "expected an error for {line:?}, got {reply:?}"
+        );
+    }
+
+    // the same connection, the same pool: a real solve still works
+    let reply = c.req(VALID_SOLVE);
+    assert!(reply.starts_with("ok cost="), "{reply}");
+    assert_eq!(reply_field(&reply, "degraded"), Some("0"), "{reply}");
+
+    // pure-validation rejects cost zero workers
+    c.assert_pool_healthy();
+}

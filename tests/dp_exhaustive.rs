@@ -95,7 +95,7 @@ fn dp_matches_exhaustive_enumeration_h1() {
         let (t, units) = random_tree_with_units(&mut rng, n);
         let caps = [rng.gen_range(3..9) as u32];
         let deltas = [rng.gen_range(0.5..3.0)];
-        let dp = solve_relaxed(&t, &units, &caps, &deltas);
+        let dp = solve_relaxed(&t, &units, &caps, &deltas).ok();
         let bf = brute_force(&t, &units, &caps, &deltas);
         match (dp, bf) {
             (Some(sol), Some(opt)) => assert!(
@@ -123,7 +123,7 @@ fn dp_matches_exhaustive_enumeration_h2() {
         let c2 = rng.gen_range(2..5) as u32;
         let caps = [c2 * rng.gen_range(2..4) as u32, c2];
         let deltas = [rng.gen_range(0.5..3.0), rng.gen_range(0.1..1.0)];
-        let dp = solve_relaxed(&t, &units, &caps, &deltas);
+        let dp = solve_relaxed(&t, &units, &caps, &deltas).ok();
         let bf = brute_force(&t, &units, &caps, &deltas);
         match (dp, bf) {
             (Some(sol), Some(opt)) => assert!(
@@ -156,7 +156,7 @@ fn dp_matches_exhaustive_enumeration_h3() {
             rng.gen_range(0.2..1.5),
             rng.gen_range(0.1..0.8),
         ];
-        let dp = solve_relaxed(&t, &units, &caps, &deltas);
+        let dp = solve_relaxed(&t, &units, &caps, &deltas).ok();
         let bf = brute_force(&t, &units, &caps, &deltas);
         match (dp, bf) {
             (Some(sol), Some(opt)) => assert!(
@@ -186,7 +186,7 @@ fn dp_reconstruction_is_feasible_and_cost_consistent() {
         let (t, units) = random_tree_with_units(&mut rng, n);
         let caps = [12u32, 4];
         let deltas = [1.5, 0.5];
-        if let Some(sol) = solve_relaxed(&t, &units, &caps, &deltas) {
+        if let Ok(sol) = solve_relaxed(&t, &units, &caps, &deltas) {
             assert!(feasible(&t, &units, &sol.cut_level, &caps));
             let oracle = labelling_cost(&t, &units, &sol.cut_level, &deltas);
             assert!((oracle - sol.cost).abs() < 1e-9);

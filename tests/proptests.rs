@@ -128,7 +128,7 @@ proptest! {
         }
         let caps = [8u32, 4];
         let deltas = [weights[6], 1.0];
-        if let Some(sol) = solve_relaxed(&t, &units, &caps, &deltas) {
+        if let Ok(sol) = solve_relaxed(&t, &units, &caps, &deltas) {
             let oracle = labelling_cost(&t, &units, &sol.cut_level, &deltas);
             prop_assert!((oracle - sol.cost).abs() < 1e-9 * (1.0 + sol.cost));
             let ls = build_level_sets(&t, &sol.cut_level, 2);
