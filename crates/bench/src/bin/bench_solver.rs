@@ -1,0 +1,86 @@
+//! `bench_solver` — emits or validates the machine-readable
+//! `BENCH_solver.json` perf trajectory.
+//!
+//! ```text
+//! bench_solver [--out BENCH_solver.json] [--tiny] [--threads N]
+//!              [--rows R] [--cols C] [--trees T] [--repeats K]
+//! bench_solver --validate PATH
+//! ```
+//!
+//! Without `--validate`, runs the serial and parallel solve arms on the
+//! seeded mesh workload (see `hgp_bench::solver_bench`), writes the JSON
+//! report to `--out`, and exits non-zero if the document fails its own
+//! validation (including cost parity between the arms). With `--validate`,
+//! only checks an existing file — this is what CI runs on the artifact.
+
+use hgp_bench::solver_bench::{run_solver_bench, validate, SolverBenchOpts};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = SolverBenchOpts::standard();
+    let mut out = "BENCH_solver.json".to_string();
+    let mut check: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+                .clone()
+        };
+        let mut num = |name: &str| -> usize {
+            val(name)
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("{name} needs an integer")))
+        };
+        match arg.as_str() {
+            "--tiny" => {
+                let keep = (opts.threads, opts.repeats);
+                opts = SolverBenchOpts::tiny();
+                (opts.threads, opts.repeats) = keep;
+            }
+            "--out" => out = val("--out"),
+            "--validate" => check = Some(val("--validate")),
+            "--threads" => opts.threads = num("--threads"),
+            "--rows" => opts.rows = num("--rows"),
+            "--cols" => opts.cols = num("--cols"),
+            "--trees" => opts.trees = num("--trees"),
+            "--repeats" => opts.repeats = num("--repeats"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_solver [--out FILE] [--tiny] [--threads N] \
+                     [--rows R] [--cols C] [--trees T] [--repeats K] | --validate FILE"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        match validate(&text) {
+            Ok(()) => println!("{path}: valid {}", hgp_bench::solver_bench::SCHEMA),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+        return;
+    }
+
+    let report = run_solver_bench(&opts).unwrap_or_else(|e| fail(&e));
+    let text = report.to_json().to_pretty();
+    validate(&text).unwrap_or_else(|e| fail(&format!("emitted report is invalid: {e}")));
+    std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    eprintln!(
+        "wrote {out}: dist {:.1} ms -> {:.1} ms, dp {:.1} ms -> {:.1} ms, parity ok",
+        report.distribution.serial_ms,
+        report.distribution.parallel_ms,
+        report.dp.serial_ms,
+        report.dp.parallel_ms,
+    );
+}

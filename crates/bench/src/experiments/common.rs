@@ -14,7 +14,6 @@ pub fn default_solver() -> SolverOptions {
     SolverOptions {
         num_trees: 8,
         rounding: Rounding::with_units(8),
-        threads: 0,
         seed: SEED,
         ..Default::default()
     }

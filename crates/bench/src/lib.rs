@@ -4,11 +4,15 @@
 //! Each experiment in [`experiments`] is a pure function returning its
 //! rendered table(s); the `harness` binary dispatches on experiment ids
 //! (`t1`…`t5`, `f1`…`f4`, `a1`…`a3`, `all`). Timing-oriented measurements
-//! live in the Criterion benches under `benches/`.
+//! live in the Criterion benches under `benches/`, and the machine-readable
+//! serial-vs-parallel trajectory (`BENCH_solver.json`) is produced by the
+//! `bench_solver` binary on top of [`solver_bench`].
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
+pub mod solver_bench;
 pub mod table;
 
 /// Runs `f` and returns its result plus wall-clock milliseconds.

@@ -1,0 +1,357 @@
+//! The machine-readable perf trajectory: `BENCH_solver.json`.
+//!
+//! Times the two expensive solve stages — Räcke distribution build and the
+//! per-tree DP sweep (with its Theorem-5 repair share broken out) — once
+//! serially ([`Parallelism::serial`]) and once at the requested width, on a
+//! fixed seeded mesh workload, and checks *cost parity*: both arms must
+//! return bit-identical costs and assignments, or the report says so and
+//! validation fails. Every future perf PR is judged against the JSON this
+//! module emits (see EXPERIMENTS.md, "The solver bench").
+//!
+//! Measured speedups are hardware-dependent: on a single-core machine
+//! serial and parallel arms are expected to tie. The emitted
+//! `available_parallelism` field records what the numbers were measured on.
+
+use crate::json::Json;
+use crate::timed;
+use hgp_core::solver::{build_distribution, solve_on_distribution, HgpReport, SolverOptions};
+use hgp_core::{Instance, Parallelism, Rounding};
+use hgp_graph::generators;
+use hgp_hierarchy::presets;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Schema tag emitted into (and required from) `BENCH_solver.json`.
+pub const SCHEMA: &str = "hgp-bench-solver/1";
+
+/// Workload and measurement knobs for [`run_solver_bench`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolverBenchOpts {
+    /// Mesh rows.
+    pub rows: usize,
+    /// Mesh columns.
+    pub cols: usize,
+    /// Trees in the distribution.
+    pub trees: usize,
+    /// Rounding grid units per leaf.
+    pub units: u32,
+    /// Parallel-arm worker width (`0` = one per core).
+    pub threads: usize,
+    /// Timing repeats per arm; the minimum is reported.
+    pub repeats: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SolverBenchOpts {
+    /// The standard bench workload (16×16 mesh, 8 trees).
+    pub fn standard() -> Self {
+        Self {
+            rows: 16,
+            cols: 16,
+            trees: 8,
+            units: 8,
+            threads: 0,
+            repeats: 3,
+            seed: 0x5AA5_2014,
+        }
+    }
+
+    /// A seconds-scale variant for CI smoke (6×6 mesh, 4 trees).
+    pub fn tiny() -> Self {
+        Self {
+            rows: 6,
+            cols: 6,
+            trees: 4,
+            units: 4,
+            repeats: 1,
+            ..Self::standard()
+        }
+    }
+}
+
+/// Wall-clock milliseconds of one stage, serial vs parallel arm.
+#[derive(Clone, Copy, Debug)]
+pub struct StageTimes {
+    /// Minimum over repeats, serial arm.
+    pub serial_ms: f64,
+    /// Minimum over repeats, parallel arm.
+    pub parallel_ms: f64,
+}
+
+impl StageTimes {
+    fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Everything [`run_solver_bench`] measured.
+#[derive(Clone, Debug)]
+pub struct SolverBenchReport {
+    /// The options the run used.
+    pub opts: SolverBenchOpts,
+    /// Nodes in the workload graph.
+    pub nodes: usize,
+    /// Edges in the workload graph.
+    pub edges: usize,
+    /// Distribution-build stage wall times.
+    pub distribution: StageTimes,
+    /// DP-sweep stage wall times (per-tree DP + repair + scoring).
+    pub dp: StageTimes,
+    /// Summed per-tree DP CPU milliseconds (serial arm, parallel arm).
+    pub dp_cpu_ms: (f64, f64),
+    /// Summed Theorem-5 repair CPU milliseconds (serial arm, parallel arm).
+    pub repair_cpu_ms: (f64, f64),
+    /// End-to-end wall times (distribution + sweep).
+    pub total: StageTimes,
+    /// Costs returned by the two arms (must match bit-for-bit).
+    pub costs: (f64, f64),
+    /// `true` iff both arms returned bit-identical costs.
+    pub identical_cost: bool,
+    /// `true` iff both arms returned identical assignments and tree picks.
+    pub identical_assignment: bool,
+    /// What `available_parallelism` reported on the measuring machine.
+    pub available_parallelism: usize,
+}
+
+fn arm(
+    inst: &Instance,
+    h: &hgp_hierarchy::Hierarchy,
+    opts: &SolverOptions,
+    repeats: usize,
+) -> Result<(f64, f64, HgpReport), String> {
+    let mut dist_ms = f64::INFINITY;
+    let mut sweep_ms = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..repeats.max(1) {
+        let (dist, ms) = timed(|| build_distribution(inst, opts));
+        let dist = dist.map_err(|e| format!("distribution failed: {e}"))?;
+        dist_ms = dist_ms.min(ms);
+        let (rep, ms) = timed(|| solve_on_distribution(inst, h, &dist, opts));
+        let rep = rep.map_err(|e| format!("solve failed: {e}"))?;
+        sweep_ms = sweep_ms.min(ms);
+        report = Some(rep);
+    }
+    Ok((dist_ms, sweep_ms, report.expect("repeats >= 1")))
+}
+
+/// Runs the serial and parallel arms and assembles the report.
+pub fn run_solver_bench(opts: &SolverBenchOpts) -> Result<SolverBenchReport, String> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let g = generators::grid2d(&mut rng, opts.rows, opts.cols, 0.5, 2.0);
+    let (nodes, edges) = (g.num_nodes(), g.num_edges());
+    let h = presets::multicore(4, 4, 4.0, 1.0);
+    let demand = (0.8 * h.num_leaves() as f64 / nodes as f64).min(1.0);
+    let inst = Instance::uniform(g, demand);
+
+    let base = SolverOptions {
+        num_trees: opts.trees,
+        rounding: Rounding::with_units(opts.units),
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let serial_opts = SolverOptions {
+        parallelism: Parallelism::serial(),
+        ..base
+    };
+    let parallel_opts = SolverOptions {
+        parallelism: Parallelism::from_threads(opts.threads),
+        ..base
+    };
+
+    let (s_dist, s_sweep, s_rep) = arm(&inst, &h, &serial_opts, opts.repeats)?;
+    let (p_dist, p_sweep, p_rep) = arm(&inst, &h, &parallel_opts, opts.repeats)?;
+
+    Ok(SolverBenchReport {
+        opts: *opts,
+        nodes,
+        edges,
+        distribution: StageTimes {
+            serial_ms: s_dist,
+            parallel_ms: p_dist,
+        },
+        dp: StageTimes {
+            serial_ms: s_sweep,
+            parallel_ms: p_sweep,
+        },
+        dp_cpu_ms: (
+            s_rep.dp_nanos_total as f64 / 1e6,
+            p_rep.dp_nanos_total as f64 / 1e6,
+        ),
+        repair_cpu_ms: (
+            s_rep.repair_nanos_total as f64 / 1e6,
+            p_rep.repair_nanos_total as f64 / 1e6,
+        ),
+        total: StageTimes {
+            serial_ms: s_dist + s_sweep,
+            parallel_ms: p_dist + p_sweep,
+        },
+        costs: (s_rep.cost, p_rep.cost),
+        identical_cost: s_rep.cost.to_bits() == p_rep.cost.to_bits(),
+        identical_assignment: s_rep.assignment == p_rep.assignment
+            && s_rep.best_tree == p_rep.best_tree,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1),
+    })
+}
+
+impl SolverBenchReport {
+    /// Renders the report as the `BENCH_solver.json` document.
+    pub fn to_json(&self) -> Json {
+        let o = &self.opts;
+        let stage = |t: &StageTimes| {
+            Json::obj(vec![
+                ("serial_ms", Json::Num(t.serial_ms)),
+                ("parallel_ms", Json::Num(t.parallel_ms)),
+                ("speedup", Json::Num(t.speedup())),
+            ])
+        };
+        Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.into())),
+            (
+                "workload",
+                Json::obj(vec![
+                    ("graph", Json::Str(format!("mesh-{}x{}", o.rows, o.cols))),
+                    ("nodes", Json::Num(self.nodes as f64)),
+                    ("edges", Json::Num(self.edges as f64)),
+                    ("machine", Json::Str("4x4:4,1,0".into())),
+                    ("trees", Json::Num(o.trees as f64)),
+                    ("units", Json::Num(o.units as f64)),
+                    ("seed", Json::Num(o.seed as f64)),
+                    ("repeats", Json::Num(o.repeats as f64)),
+                ]),
+            ),
+            (
+                "environment",
+                Json::obj(vec![
+                    (
+                        "available_parallelism",
+                        Json::Num(self.available_parallelism as f64),
+                    ),
+                    ("threads_requested", Json::Num(o.threads as f64)),
+                    (
+                        "workers",
+                        Json::Num(Parallelism::from_threads(o.threads).workers(o.trees) as f64),
+                    ),
+                ]),
+            ),
+            (
+                "stages",
+                Json::obj(vec![
+                    ("distribution", stage(&self.distribution)),
+                    ("dp", stage(&self.dp)),
+                    (
+                        "repair",
+                        Json::obj(vec![
+                            ("serial_cpu_ms", Json::Num(self.repair_cpu_ms.0)),
+                            ("parallel_cpu_ms", Json::Num(self.repair_cpu_ms.1)),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
+                "dp_cpu",
+                Json::obj(vec![
+                    ("serial_cpu_ms", Json::Num(self.dp_cpu_ms.0)),
+                    ("parallel_cpu_ms", Json::Num(self.dp_cpu_ms.1)),
+                ]),
+            ),
+            ("total", stage(&self.total)),
+            (
+                "parity",
+                Json::obj(vec![
+                    ("serial_cost", Json::Num(self.costs.0)),
+                    ("parallel_cost", Json::Num(self.costs.1)),
+                    ("identical_cost", Json::Bool(self.identical_cost)),
+                    (
+                        "identical_assignment",
+                        Json::Bool(self.identical_assignment),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Validates an emitted `BENCH_solver.json`: parses, checks the schema tag,
+/// requires every stage with finite non-negative times, and requires cost
+/// parity between the arms. CI and the smoke test both call this.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("bad schema tag {other:?}, want {SCHEMA:?}")),
+    }
+    let time = |path: &[&str]| -> Result<f64, String> {
+        let x = doc
+            .path(path)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field {}", path.join(".")))?;
+        if x.is_finite() && x >= 0.0 {
+            Ok(x)
+        } else {
+            Err(format!("field {} is {x}, not a time", path.join(".")))
+        }
+    };
+    for stage in ["distribution", "dp"] {
+        time(&["stages", stage, "serial_ms"])?;
+        time(&["stages", stage, "parallel_ms"])?;
+    }
+    time(&["stages", "repair", "serial_cpu_ms"])?;
+    time(&["stages", "repair", "parallel_cpu_ms"])?;
+    time(&["total", "serial_ms"])?;
+    time(&["total", "parallel_ms"])?;
+    for flag in ["identical_cost", "identical_assignment"] {
+        match doc.path(&["parity", flag]).and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => return Err(format!("cost parity violated: parity.{flag} = false")),
+            None => return Err(format!("missing parity.{flag}")),
+        }
+    }
+    for field in [
+        ["workload", "nodes"],
+        ["workload", "trees"],
+        ["environment", "available_parallelism"],
+    ] {
+        time(&field)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bench_emits_valid_json_with_all_stages() {
+        let report = run_solver_bench(&SolverBenchOpts::tiny()).unwrap();
+        assert!(report.identical_cost, "parallel arm changed the cost");
+        assert!(
+            report.identical_assignment,
+            "parallel arm changed the assignment"
+        );
+        let text = report.to_json().to_pretty();
+        validate(&text).unwrap();
+        // every stage the ISSUE names must be present in the document
+        let doc = Json::parse(&text).unwrap();
+        for stage in ["distribution", "dp", "repair"] {
+            assert!(doc.path(&["stages", stage]).is_some(), "missing {stage}");
+        }
+        assert!(doc.path(&["parity", "identical_cost"]).is_some());
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate("{}").is_err());
+        assert!(validate("not json").is_err());
+        let report = run_solver_bench(&SolverBenchOpts::tiny()).unwrap();
+        let good = report.to_json().to_pretty();
+        let no_parity = good.replace("\"identical_cost\": true", "\"identical_cost\": false");
+        assert!(validate(&no_parity).is_err(), "parity=false must fail");
+    }
+}

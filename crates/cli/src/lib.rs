@@ -5,7 +5,7 @@
 
 use hgp_baselines::refine::{refine, RefineOpts};
 use hgp_core::solver::{solve, SolverOptions};
-use hgp_core::{Instance, Rounding};
+use hgp_core::{Instance, Parallelism, Rounding};
 use hgp_graph::io::read_metis;
 use hgp_graph::{traversal, Graph};
 use hgp_hierarchy::{parse_hierarchy, Hierarchy};
@@ -19,7 +19,7 @@ pub const USAGE: &str = "\
 usage:
   hgp partition --graph FILE.metis --machine SHAPE[:CMS] [options]
   hgp info --graph FILE.metis
-  hgp serve [--addr HOST:PORT] [--workers N] [--queue N]
+  hgp serve [--addr HOST:PORT] [--workers N] [--queue N] [--threads N]
             [--cache-capacity N] [--max-sessions N]
   hgp client --addr HOST:PORT [--seed S] [--solves N] [--topologies N]
              [--incr-ops N] [--deadline-frac F] [--machine SHAPE[:CMS]]
@@ -29,7 +29,13 @@ options for `partition`:
   --units N        rounding grid units per leaf (default 8)
   --trees P        decomposition trees in the distribution (default 8)
   --seed S         RNG seed (default 1)
+  --threads N      worker threads for sampling + per-tree DPs
+                   (0 = one per core, the default; 1 = serial;
+                   the result never depends on it)
   --refine         polish the result with hierarchy-aware local search
+
+`--threads` on `serve` sets the same knob for every daemon solve (peak
+thread demand is workers x threads).
 
 `serve` runs the placement daemon (newline-delimited text protocol; see
 DESIGN.md) until a client sends `shutdown`. `client` plays a deterministic
@@ -55,6 +61,8 @@ pub enum Cli {
         trees: usize,
         /// Seed.
         seed: u64,
+        /// Worker width (0 = auto, 1 = serial).
+        threads: usize,
         /// Post-refinement toggle.
         refine: bool,
     },
@@ -71,6 +79,8 @@ pub enum Cli {
         workers: usize,
         /// Bounded solve-queue depth.
         queue: usize,
+        /// Per-solve worker width (0 = auto, 1 = serial).
+        threads: usize,
         /// Decomposition-cache capacity.
         cache_capacity: usize,
         /// Maximum open incremental sessions.
@@ -106,6 +116,7 @@ impl Cli {
         let mut units = 8u32;
         let mut trees = 8usize;
         let mut seed = 1u64;
+        let mut threads = 0usize;
         let mut do_refine = false;
         let mut addr = None;
         let mut workers = 4usize;
@@ -132,6 +143,7 @@ impl Cli {
                 "--units" => units = num("--units", value("--units")?)?,
                 "--trees" => trees = num("--trees", value("--trees")?)?,
                 "--seed" => seed = num("--seed", value("--seed")?)?,
+                "--threads" => threads = num("--threads", value("--threads")?)?,
                 "--refine" => do_refine = true,
                 "--addr" => addr = Some(value("--addr")?),
                 "--workers" => workers = num("--workers", value("--workers")?)?,
@@ -157,6 +169,7 @@ impl Cli {
                 units: units.max(1),
                 trees: trees.max(1),
                 seed,
+                threads,
                 refine: do_refine,
             }),
             "info" => Ok(Cli::Info {
@@ -166,6 +179,7 @@ impl Cli {
                 addr: addr.unwrap_or_else(|| "127.0.0.1:7311".to_string()),
                 workers: workers.max(1),
                 queue: queue.max(1),
+                threads,
                 cache_capacity,
                 max_sessions: max_sessions.max(1),
             }),
@@ -233,6 +247,7 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
             units,
             trees,
             seed,
+            threads,
             refine: do_refine,
         } => {
             let g = load_graph(graph)?;
@@ -247,6 +262,7 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
                 num_trees: *trees,
                 rounding: Rounding::with_units(*units),
                 seed: *seed,
+                parallelism: Parallelism::from_threads(*threads),
                 ..Default::default()
             };
             let rep = solve(&inst, &h, &opts).map_err(|e| e.to_string())?;
@@ -284,6 +300,7 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
             addr,
             workers,
             queue,
+            threads,
             cache_capacity,
             max_sessions,
         } => {
@@ -291,6 +308,7 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
                 addr: addr.clone(),
                 workers: *workers,
                 queue_capacity: *queue,
+                parallelism: Parallelism::from_threads(*threads),
                 cache_capacity: *cache_capacity,
                 max_sessions: *max_sessions,
             })
@@ -390,7 +408,8 @@ mod tests {
     #[test]
     fn parses_partition_flags() {
         let cli = Cli::parse(&argv(
-            "partition --graph g.metis --machine 2x4:4,1,0 --units 16 --trees 3 --seed 9 --refine",
+            "partition --graph g.metis --machine 2x4:4,1,0 --units 16 --trees 3 --seed 9 \
+             --threads 2 --refine",
         ))
         .unwrap();
         assert_eq!(
@@ -402,6 +421,7 @@ mod tests {
                 units: 16,
                 trees: 3,
                 seed: 9,
+                threads: 2,
                 refine: true,
             }
         );
@@ -435,13 +455,17 @@ mod tests {
 
     #[test]
     fn parses_serve_and_client() {
-        let cli = Cli::parse(&argv("serve --addr 127.0.0.1:0 --workers 2 --queue 8")).unwrap();
+        let cli = Cli::parse(&argv(
+            "serve --addr 127.0.0.1:0 --workers 2 --queue 8 --threads 1",
+        ))
+        .unwrap();
         assert_eq!(
             cli,
             Cli::Serve {
                 addr: "127.0.0.1:0".into(),
                 workers: 2,
                 queue: 8,
+                threads: 1,
                 cache_capacity: 32,
                 max_sessions: 256,
             }

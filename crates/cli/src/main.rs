@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! hgp partition --graph app.metis --machine 2x8:4,1,0 [--demands d.txt]
-//!               [--units 8] [--trees 8] [--seed 1] [--refine]
+//!               [--units 8] [--trees 8] [--seed 1] [--threads 0] [--refine]
 //! hgp info --graph app.metis
-//! hgp serve [--addr 127.0.0.1:7311] [--workers 4] [--queue 64]
+//! hgp serve [--addr 127.0.0.1:7311] [--workers 4] [--queue 64] [--threads 0]
 //! hgp client --addr 127.0.0.1:7311 [--seed 1] [--solves 12]
 //! ```
 //!

@@ -110,7 +110,10 @@ fn write_decomp_opts(fp: &mut Fingerprinter, opts: &DecompOpts) {
         .write_u64(match opts.oracle {
             CutOracle::Multilevel => 0,
             CutOracle::Spectral => 1,
-        });
+        })
+        // the MWU wave width changes which distribution is sampled (it is
+        // an algorithm knob, unlike Parallelism), so it feeds the key
+        .write_usize(opts.mwu_wave);
 }
 
 /// Cache key for a Räcke tree distribution: everything
@@ -128,8 +131,8 @@ pub fn distribution_fingerprint(inst: &Instance, opts: &SolverOptions) -> u64 {
 }
 
 /// Full request key: instance, hierarchy and every solver option that can
-/// change the answer (thread count deliberately excluded — the solve is
-/// deterministic across thread counts).
+/// change the answer ([`Parallelism`](crate::Parallelism) deliberately
+/// excluded — the solve is bit-identical across worker widths).
 pub fn solve_fingerprint(inst: &Instance, h: &Hierarchy, opts: &SolverOptions) -> u64 {
     let mut fp = Fingerprinter::new();
     fp.write_u64(distribution_fingerprint(inst, opts))
@@ -190,12 +193,19 @@ mod tests {
             distribution_fingerprint(&i, &opts),
             distribution_fingerprint(&i, &reseeded)
         );
-        let mut threads = opts;
-        threads.threads = 7;
+        let mut wider = opts;
+        wider.parallelism = crate::Parallelism::Fixed(7);
         assert_eq!(
             solve_fingerprint(&i, &h1, &opts),
-            solve_fingerprint(&i, &h1, &threads),
-            "thread count must not change the request identity"
+            solve_fingerprint(&i, &h1, &wider),
+            "parallelism must not change the request identity"
+        );
+        let mut waved = opts;
+        waved.decomp.mwu_wave = 1;
+        assert_ne!(
+            distribution_fingerprint(&i, &opts),
+            distribution_fingerprint(&i, &waved),
+            "the MWU wave width samples a different distribution"
         );
     }
 }

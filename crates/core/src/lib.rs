@@ -19,8 +19,17 @@
 //! * [`exact`] — a branch-and-bound reference optimum for small instances;
 //! * [`cost`] — Equation-3 mirror costs and minimum leaf-separating tree
 //!   cuts, used to validate Lemmas 1–2 and Corollaries 2–3.
+//!
+//! Failures a caller can trigger are typed ([`HgpError`]), never panics —
+//! the taxonomy distinguishes input errors from solve-time outcomes so
+//! service boundaries (`hgp-server`) can map them to wire codes.
+//!
+//! The expensive layers are parallel but deterministic: distribution
+//! sampling and the per-tree DP sweep fan out across [`Parallelism`]
+//! scoped workers, and a fixed seed returns bit-identical results at any
+//! width (DESIGN.md §8).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod assignment;
 pub mod bounds;
@@ -40,6 +49,7 @@ pub mod tree_solver;
 
 pub use assignment::{Assignment, ViolationReport};
 pub use error::HgpError;
+pub use hgp_decomp::Parallelism;
 pub use instance::{Infeasibility, Instance};
 pub use rounding::Rounding;
 pub use tree_solver::{solve_tree_instance, SolveError, TreeSolveReport};

@@ -7,18 +7,19 @@
 //! (Theorem 7 picks by tree cost; evaluating the mapped cost — which
 //! Proposition 1 upper-bounds by the tree cost — can only do better).
 //!
-//! The per-tree DPs are embarrassingly parallel and run on a crossbeam
-//! scope with work stealing; results are reduced deterministically (ties
-//! broken by tree index), so the output is independent of thread count.
+//! Both expensive stages are embarrassingly parallel and share the
+//! deterministic fan-out of [`hgp_decomp::par_map_indexed`]: tree sampling
+//! proceeds in MWU waves ([`racke_distribution_par`]) and the per-tree DPs
+//! run on a crossbeam scope with work stealing. Results are reduced in tree
+//! order (cost ties broken by tree index), so the output is bit-identical
+//! for every [`Parallelism`] setting — see DESIGN.md §8.
 
 use crate::tree_solver::{solve_rooted, SolveError, TreeSolveReport};
 use crate::{Assignment, Instance, Rounding, ViolationReport};
-use hgp_decomp::{racke_distribution, DecompOpts, Distribution};
+use hgp_decomp::{par_map_indexed, racke_distribution_par, DecompOpts, Distribution, Parallelism};
 use hgp_hierarchy::Hierarchy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Options for [`solve`].
 #[derive(Clone, Copy, Debug)]
@@ -29,8 +30,10 @@ pub struct SolverOptions {
     pub rounding: Rounding,
     /// Decomposition-tree construction options.
     pub decomp: DecompOpts,
-    /// Worker threads for the per-tree DPs (0 = one per available core).
-    pub threads: usize,
+    /// Worker width for tree sampling and the per-tree DPs. Defaults to
+    /// [`Parallelism::Auto`] (one worker per core); [`Parallelism::serial`]
+    /// pins everything to the calling thread. Never affects the result.
+    pub parallelism: Parallelism,
     /// RNG seed (the whole pipeline is deterministic given this seed).
     pub seed: u64,
 }
@@ -41,7 +44,7 @@ impl Default for SolverOptions {
             num_trees: 8,
             rounding: Rounding::with_units(8),
             decomp: DecompOpts::default(),
-            threads: 0,
+            parallelism: Parallelism::Auto,
             seed: 0xC0FFEE,
         }
     }
@@ -66,6 +69,13 @@ pub struct HgpReport {
     pub certificate: f64,
     /// Total DP table entries across all trees.
     pub dp_entries_total: usize,
+    /// Summed wall-clock nanoseconds the signature DPs consumed across all
+    /// trees (CPU time, not elapsed time — trees overlap under
+    /// parallelism). Diagnostic for the bench harness.
+    pub dp_nanos_total: u64,
+    /// Summed wall-clock nanoseconds Theorem-5 repair consumed across all
+    /// trees. Diagnostic, like [`HgpReport::dp_nanos_total`].
+    pub repair_nanos_total: u64,
 }
 
 /// Solves HGP on an arbitrary (connected) communication graph.
@@ -97,11 +107,12 @@ pub fn build_distribution(
         return Err(SolveError::Disconnected);
     }
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    Ok(racke_distribution(
+    Ok(racke_distribution_par(
         inst.graph(),
         inst.demands(),
         opts.num_trees,
         &opts.decomp,
+        opts.parallelism,
         &mut rng,
     ))
 }
@@ -117,51 +128,26 @@ pub fn solve_on_distribution(
     inst.check_feasible(h).map_err(SolveError::Infeasible)?;
     let p = dist.trees.len();
     type TreeOutcome = Result<TreeSolveReport, SolveError>;
-    let results: Mutex<Vec<Option<TreeOutcome>>> = Mutex::new((0..p).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    let workers = if opts.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|c| c.get())
-            .unwrap_or(1)
-    } else {
-        opts.threads
-    }
-    .min(p)
-    .max(1);
 
     // A per-tree panic is caught at the worker boundary and recorded as
     // `HgpError::Internal`, so one poisoned tree cannot take down the
     // whole distribution (or, transitively, a service worker thread).
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= p {
-                    break;
-                }
-                let dt = &dist.trees[i];
-                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    solve_rooted(&dt.tree, &dt.task_of_leaf, inst, h, opts.rounding)
-                }))
-                .unwrap_or_else(|payload| Err(SolveError::from_panic(payload)));
-                results.lock().unwrap()[i] = Some(res);
-            });
-        }
-    })
-    .map_err(SolveError::from_panic)?;
+    let results: Vec<TreeOutcome> = par_map_indexed(opts.parallelism, p, |i| {
+        let dt = &dist.trees[i];
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            solve_rooted(&dt.tree, &dt.task_of_leaf, inst, h, opts.rounding)
+        }))
+        .unwrap_or_else(|payload| Err(SolveError::from_panic(payload)))
+    });
 
-    let results = results.into_inner().unwrap();
     let per_tree_costs: Vec<Option<f64>> = results
         .iter()
-        .map(|r| r.as_ref().and_then(|r| r.as_ref().ok()).map(|r| r.cost))
+        .map(|r| r.as_ref().ok().map(|r| r.cost))
         .collect();
     let best = results
         .iter()
         .enumerate()
-        .filter_map(|(i, r)| match r {
-            Some(Ok(rep)) => Some((i, rep)),
-            _ => None,
-        })
+        .filter_map(|(i, r)| r.as_ref().ok().map(|rep| (i, rep)))
         // total_cmp instead of partial_cmp().unwrap(): a NaN cost (which
         // would previously panic the reduction) now just sorts last
         .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost).then(a.0.cmp(&b.0)));
@@ -171,7 +157,7 @@ pub fn solve_on_distribution(
             // every tree failed: surface an input-class error when one
             // exists (it explains *why*, e.g. lane overflow on every
             // tree), otherwise the first non-trivial failure
-            let errs = || results.iter().flatten().filter_map(|r| r.as_ref().err());
+            let errs = || results.iter().filter_map(|r| r.as_ref().err());
             let chosen = errs()
                 .find(|e| e.is_input_error())
                 .or_else(|| errs().find(|e| !matches!(e, SolveError::CapacityInfeasible)))
@@ -180,12 +166,10 @@ pub fn solve_on_distribution(
             return Err(chosen);
         }
     };
-    let dp_entries_total = results
-        .iter()
-        .flatten()
-        .filter_map(|r| r.as_ref().ok())
-        .map(|r| r.dp_entries)
-        .sum();
+    let ok_reports = || results.iter().filter_map(|r| r.as_ref().ok());
+    let dp_entries_total = ok_reports().map(|r| r.dp_entries).sum();
+    let dp_nanos_total = ok_reports().map(|r| r.dp_nanos).sum();
+    let repair_nanos_total = ok_reports().map(|r| r.repair_nanos).sum();
     Ok(HgpReport {
         assignment: best.assignment.clone(),
         cost: best.cost,
@@ -194,6 +178,8 @@ pub fn solve_on_distribution(
         per_tree_costs,
         certificate: best.certificate,
         dp_entries_total,
+        dp_nanos_total,
+        repair_nanos_total,
     })
 }
 
@@ -251,11 +237,11 @@ mod tests {
         let inst = Instance::uniform(g, 0.2);
         let h = presets::multicore(2, 2, 4.0, 1.0);
         let o1 = SolverOptions {
-            threads: 1,
+            parallelism: Parallelism::serial(),
             ..Default::default()
         };
         let o4 = SolverOptions {
-            threads: 4,
+            parallelism: Parallelism::Fixed(4),
             ..Default::default()
         };
         let r1 = solve(&inst, &h, &o1).unwrap();

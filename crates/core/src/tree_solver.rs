@@ -18,8 +18,8 @@ use hgp_graph::NodeId;
 use hgp_hierarchy::Hierarchy;
 
 /// Failure modes of the tree pipeline — an alias of the crate-wide
-/// [`HgpError`] taxonomy, kept for source compatibility (the variants the
-/// tree pipeline produces are unchanged).
+/// [`HgpError`](crate::HgpError) taxonomy, kept for source compatibility
+/// (the variants the tree pipeline produces are unchanged).
 pub type SolveError = crate::HgpError;
 
 /// Full output of the tree pipeline.
@@ -42,6 +42,14 @@ pub struct TreeSolveReport {
     pub repair: RepairStats,
     /// Number of sets per level in the relaxed laminar family.
     pub level_set_counts: Vec<usize>,
+    /// Wall-clock nanoseconds spent in the signature DP (rounding setup,
+    /// [`solve_relaxed`], laminar reconstruction). Diagnostic only — feeds
+    /// the `BENCH_solver.json` stage breakdown; never part of the solution.
+    pub dp_nanos: u64,
+    /// Wall-clock nanoseconds spent in Theorem-5 repair
+    /// ([`repair_assignment`]). Diagnostic only, like
+    /// [`TreeSolveReport::dp_nanos`].
+    pub repair_nanos: u64,
 }
 
 /// Solves HGPT on a rooted tree. `task_of_leaf[v]` gives the task hosted by
@@ -74,6 +82,7 @@ pub fn solve_rooted(
     }
     assert!(seen.iter().all(|&s| s), "every task must sit on a leaf");
 
+    let t_dp = std::time::Instant::now();
     let caps = rounding.level_caps(h)?;
     let deltas: Vec<f64> = (0..h.height())
         .map(|k| h.cost_multiplier(k) - h.cost_multiplier(k + 1))
@@ -82,7 +91,10 @@ pub fn solve_rooted(
     let relaxed = solve_relaxed(tree, &leaf_units, &caps, &deltas)?;
     let level_sets = build_level_sets(tree, &relaxed.cut_level, h.height());
     debug_assert!(level_sets.check_laminar(tree.leaves().len()).is_ok());
+    let dp_nanos = t_dp.elapsed().as_nanos() as u64;
+    let t_repair = std::time::Instant::now();
     let (leaf_of_tree, repair) = repair_assignment(&level_sets, &leaf_demand, h);
+    let repair_nanos = t_repair.elapsed().as_nanos() as u64;
 
     let mut task_leaf = vec![u32::MAX; inst.num_tasks()];
     for v in 0..n {
@@ -104,6 +116,8 @@ pub fn solve_rooted(
         dp_entries: relaxed.table_entries,
         repair,
         level_set_counts,
+        dp_nanos,
+        repair_nanos,
     })
 }
 

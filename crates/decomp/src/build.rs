@@ -45,13 +45,22 @@ impl DecompTree {
     }
 }
 
-/// Options for [`build_decomp_tree`].
+/// Options for [`build_decomp_tree`] and the distribution builder.
 #[derive(Clone, Copy, Debug)]
 pub struct DecompOpts {
     /// Bisection options (balance tolerance, FM passes, …).
     pub bisect: BisectOpts,
     /// Which cut oracle performs the recursive splits.
     pub oracle: CutOracle,
+    /// Wave width of the multiplicative-weights schedule in
+    /// `racke_distribution`: trees within a wave see the same edge-length
+    /// snapshot and are mutually independent (so a wave can be sampled
+    /// concurrently); length updates are applied between waves, in tree
+    /// order. `1` reproduces a fully sequential MWU. This is part of the
+    /// *algorithm* configuration — deliberately not derived from the
+    /// thread count — so the sampled distribution is identical for every
+    /// `Parallelism` setting.
+    pub mwu_wave: usize,
 }
 
 impl Default for DecompOpts {
@@ -59,6 +68,7 @@ impl Default for DecompOpts {
         Self {
             bisect: BisectOpts::default(),
             oracle: CutOracle::Multilevel,
+            mwu_wave: 4,
         }
     }
 }

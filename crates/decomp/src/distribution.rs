@@ -2,9 +2,11 @@
 //! measured congestion — the practical stand-in for Theorem 6.
 
 use crate::build::{build_decomp_tree, DecompOpts, DecompTree};
+use crate::parallel::{par_map_indexed, Parallelism};
 use hgp_graph::tree::LcaIndex;
 use hgp_graph::Graph;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A convex combination of decomposition trees (`Σ λᵢ = 1`).
 #[derive(Clone, Debug)]
@@ -49,16 +51,11 @@ pub fn hop_congestion(dt: &DecompTree, g: &Graph) -> (Vec<f64>, CongestionStats)
     (per_edge, CongestionStats { max, weighted_avg })
 }
 
-/// Builds a distribution of `num_trees` decomposition trees.
+/// Builds a distribution of `num_trees` decomposition trees (serially).
 ///
-/// Multiplicative-weights loop: after each tree is built, every `G` edge's
-/// *length* is multiplied by `(1 + η · congestion/max_congestion)`; the next
-/// tree's bisections minimise length-scaled weights, steering them away
-/// from edges that previous trees stretched. `η = 0.5`. Multipliers are
-/// uniform (`λᵢ = 1/p`).
-///
-/// With `num_trees = 1` this degenerates to a single unscaled tree
-/// (ablation A1's control arm).
+/// Equivalent to [`racke_distribution_par`] with [`Parallelism::serial`] —
+/// and, by the determinism contract documented there, *bit-identical* to it
+/// at any other width.
 pub fn racke_distribution<R: Rng + ?Sized>(
     g: &Graph,
     node_w: &[f64],
@@ -66,27 +63,72 @@ pub fn racke_distribution<R: Rng + ?Sized>(
     opts: &DecompOpts,
     rng: &mut R,
 ) -> Distribution {
+    racke_distribution_par(g, node_w, num_trees, opts, Parallelism::serial(), rng)
+}
+
+/// Builds a distribution of `num_trees` decomposition trees, sampling up to
+/// [`DecompOpts::mwu_wave`] of them concurrently.
+///
+/// Wave-structured multiplicative weights: trees are sampled in waves of
+/// `opts.mwu_wave`. Every tree in a wave bisects against the same
+/// edge-*length* snapshot, so the trees of a wave are mutually independent
+/// and are fanned across `par` workers. After a wave lands, each of its
+/// trees multiplies every `G` edge's length by
+/// `(1 + η · congestion/max_congestion)` (η = 0.5), in tree order; the next
+/// wave's bisections minimise length-scaled weights, steering them away
+/// from edges that previous waves stretched. Multipliers are uniform
+/// (`λᵢ = 1/p`).
+///
+/// Determinism: `rng` is consumed only to derive one seed per tree, up
+/// front; tree `i` is then built from its own `StdRng` stream. Together
+/// with the fixed wave schedule (which never depends on `par`) and the
+/// index-ordered reduction of [`par_map_indexed`], the returned
+/// distribution is **bit-identical for every `par`** — thread count is a
+/// throughput knob, never a semantic one.
+///
+/// With `num_trees = 1` this degenerates to a single unscaled tree
+/// (ablation A1's control arm).
+pub fn racke_distribution_par<R: Rng + ?Sized>(
+    g: &Graph,
+    node_w: &[f64],
+    num_trees: usize,
+    opts: &DecompOpts,
+    par: Parallelism,
+    rng: &mut R,
+) -> Distribution {
     assert!(num_trees >= 1);
     const ETA: f64 = 0.5;
+    let seeds: Vec<u64> = (0..num_trees).map(|_| rng.gen()).collect();
+    let wave = opts.mwu_wave.max(1);
     let mut lengths = vec![1.0f64; g.num_edges()];
     let mut trees = Vec::with_capacity(num_trees);
-    for i in 0..num_trees {
-        let scale = if i == 0 { None } else { Some(&lengths[..]) };
-        let dt = build_decomp_tree(g, node_w, scale, opts, rng);
-        let (per_edge, stats) = hop_congestion(&dt, g);
-        if stats.max > 0.0 {
-            for (len, c) in lengths.iter_mut().zip(&per_edge) {
-                *len *= 1.0 + ETA * c / stats.max;
-            }
-            // renormalise to dodge overflow on long runs
-            let mean: f64 = lengths.iter().sum::<f64>() / lengths.len() as f64;
-            if mean > 0.0 {
-                for len in lengths.iter_mut() {
-                    *len /= mean;
+    let mut start = 0;
+    while start < num_trees {
+        let end = (start + wave).min(num_trees);
+        // the first wave sees all-ones lengths: pass the graph unscaled
+        let snapshot = if start == 0 { None } else { Some(&lengths[..]) };
+        let built = par_map_indexed(par, end - start, |k| {
+            let mut tree_rng = StdRng::seed_from_u64(seeds[start + k]);
+            let dt = build_decomp_tree(g, node_w, snapshot, opts, &mut tree_rng);
+            let congestion = hop_congestion(&dt, g);
+            (dt, congestion)
+        });
+        for (dt, (per_edge, stats)) in built {
+            if stats.max > 0.0 {
+                for (len, c) in lengths.iter_mut().zip(&per_edge) {
+                    *len *= 1.0 + ETA * c / stats.max;
+                }
+                // renormalise to dodge overflow on long runs
+                let mean: f64 = lengths.iter().sum::<f64>() / lengths.len() as f64;
+                if mean > 0.0 {
+                    for len in lengths.iter_mut() {
+                        *len /= mean;
+                    }
                 }
             }
+            trees.push(dt);
         }
-        trees.push(dt);
+        start = end;
     }
     let p = trees.len();
     Distribution {
@@ -188,5 +230,56 @@ mod tests {
         // (random restarts alone could make them differ; this asserts the
         // pipeline produces a genuine ensemble, not p copies of one tree)
         assert!(distinct, "all trees in the distribution are identical");
+    }
+
+    #[test]
+    fn parallel_sampling_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::gnp_connected(&mut rng, 30, 0.2, 0.5, 2.0);
+        let opts = DecompOpts::default();
+        let build = |par: Parallelism| {
+            let mut r = StdRng::seed_from_u64(99);
+            racke_distribution_par(&g, &[1.0; 30], 6, &opts, par, &mut r)
+        };
+        let serial = build(Parallelism::serial());
+        for par in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let d = build(par);
+            assert_eq!(d.lambdas, serial.lambdas);
+            assert_eq!(d.trees.len(), serial.trees.len());
+            for (a, b) in d.trees.iter().zip(&serial.trees) {
+                assert_eq!(a.task_of_leaf, b.task_of_leaf);
+                assert_eq!(a.tree.num_nodes(), b.tree.num_nodes());
+                for v in 0..a.tree.num_nodes() {
+                    assert_eq!(a.tree.children(v), b.tree.children(v));
+                    // bit-for-bit, not approximate: same floats in, same
+                    // floats out, regardless of which worker built the tree
+                    assert_eq!(
+                        a.tree.edge_weight(v).to_bits(),
+                        b.tree.edge_weight(v).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wave_width_changes_the_mwu_schedule_not_validity() {
+        // mwu_wave is an algorithm knob: different widths may sample
+        // different (but equally valid) distributions
+        let g = generators::grid2d(&mut StdRng::seed_from_u64(8), 5, 5, 1.0, 1.0);
+        for wave in [1, 2, 8] {
+            let opts = DecompOpts {
+                mwu_wave: wave,
+                ..Default::default()
+            };
+            let mut r = StdRng::seed_from_u64(5);
+            let d = racke_distribution(&g, &[1.0; 25], 5, &opts, &mut r);
+            assert_eq!(d.trees.len(), 5);
+            assert!((d.lambdas.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
     }
 }

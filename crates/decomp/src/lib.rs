@@ -18,11 +18,21 @@
 //! reports, per `G` edge, how many tree edges its endpoints' leaf-to-leaf
 //! path uses, which is exactly the congestion its own weight imposes under
 //! the boundary routing of tree-edge flows.
+//!
+//! Sampling is parallel but deterministic: [`racke_distribution_par`]
+//! draws per-tree seed streams up front and runs the MWU loop in waves
+//! ([`DecompOpts::mwu_wave`]), so any [`Parallelism`] width returns trees
+//! bit-identical to the serial path. [`par_map_indexed`] is the shared
+//! deterministic fan-out primitive the solver layers reuse.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod build;
 mod distribution;
+mod parallel;
 
 pub use build::{build_decomp_tree, CutOracle, DecompOpts, DecompTree};
-pub use distribution::{hop_congestion, racke_distribution, CongestionStats, Distribution};
+pub use distribution::{
+    hop_congestion, racke_distribution, racke_distribution_par, CongestionStats, Distribution,
+};
+pub use parallel::{par_map_indexed, Parallelism};

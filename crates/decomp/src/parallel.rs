@@ -1,0 +1,174 @@
+//! Deterministic data parallelism for the embarrassingly-parallel pipeline
+//! stages.
+//!
+//! Both tree sampling ([`crate::racke_distribution_par`]) and the per-tree
+//! DP fan-out in `hgp-core` need the same shape of concurrency: `n`
+//! independent jobs, any number of workers, and an output that is
+//! *bit-identical* regardless of how many workers ran. [`par_map_indexed`]
+//! provides it: jobs are claimed from an atomic counter (work stealing),
+//! each result lands in its own pre-reserved slot, and the caller receives
+//! a `Vec` in job-index order — so thread scheduling can change *when* a
+//! job runs but never *what* the caller observes.
+//!
+//! The [`Parallelism`] knob travels with this module because `hgp-decomp`
+//! is the lowest crate on the solve path that spawns threads; `hgp-core`,
+//! `hgp-server`, and the CLI all re-use (and re-export) it rather than
+//! growing their own thread-count conventions.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads a parallel pipeline stage may use.
+///
+/// The default is [`Parallelism::Auto`] — one worker per available core.
+/// [`Parallelism::serial`] (or `Fixed(1)`) runs everything on the calling
+/// thread with no scope spawned at all, which is the reference path the
+/// determinism tests compare against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker per available core (`std::thread::available_parallelism`).
+    #[default]
+    Auto,
+    /// Exactly this many workers; `Fixed(1)` is fully serial. `Fixed(0)`
+    /// is normalised to one worker rather than rejected, so a zero coming
+    /// off a wire or CLI flag cannot wedge a solve.
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// The conventional CLI/wire encoding: `0` = auto, `n >= 1` = fixed.
+    pub fn from_threads(threads: usize) -> Self {
+        if threads == 0 {
+            Parallelism::Auto
+        } else {
+            Parallelism::Fixed(threads)
+        }
+    }
+
+    /// The fully serial configuration (`Fixed(1)`).
+    pub fn serial() -> Self {
+        Parallelism::Fixed(1)
+    }
+
+    /// `true` when no worker scope will be spawned (one worker).
+    pub fn is_serial(&self) -> bool {
+        matches!(self, Parallelism::Fixed(0) | Parallelism::Fixed(1))
+    }
+
+    /// Number of workers to actually spawn for `jobs` independent jobs:
+    /// the configured width, clamped to `[1, jobs]` (never more threads
+    /// than jobs, never zero).
+    pub fn workers(&self, jobs: usize) -> usize {
+        let width = match self {
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1),
+            Parallelism::Fixed(n) => *n,
+        };
+        width.clamp(1, jobs.max(1))
+    }
+}
+
+/// Maps `f` over `0..n` with the given parallelism, returning results in
+/// index order.
+///
+/// Determinism contract: `f(i)` must depend only on `i` (plus captured
+/// immutable state) — under that contract the returned `Vec` is identical
+/// for every [`Parallelism`] setting, because each slot `i` holds exactly
+/// `f(i)` regardless of which worker computed it or when.
+///
+/// With one worker this runs inline on the caller's thread (no scope, no
+/// locks). With more, workers claim indices from a shared atomic counter,
+/// so an expensive job at index 3 does not stall jobs 4..n.
+///
+/// # Panics
+/// A panic in `f` propagates to the caller once all workers have joined
+/// (std scoped-thread semantics). Callers that need per-job fault isolation
+/// catch inside `f` — see `solve_on_distribution` in `hgp-core`.
+pub fn par_map_indexed<T, F>(par: Parallelism, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = par.workers(n);
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                slots.lock().unwrap()[i] = Some(value);
+            });
+        }
+    })
+    .expect("scoped worker panicked");
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|v| v.expect("worker left a job slot empty"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_encoding_round_trips() {
+        assert_eq!(Parallelism::from_threads(0), Parallelism::Auto);
+        assert_eq!(Parallelism::from_threads(1), Parallelism::serial());
+        assert_eq!(Parallelism::from_threads(4), Parallelism::Fixed(4));
+        assert!(Parallelism::Fixed(1).is_serial());
+        assert!(Parallelism::Fixed(0).is_serial());
+        assert!(!Parallelism::Fixed(2).is_serial());
+    }
+
+    #[test]
+    fn workers_clamp_to_jobs_and_one() {
+        assert_eq!(Parallelism::Fixed(8).workers(3), 3);
+        assert_eq!(Parallelism::Fixed(0).workers(3), 1);
+        assert_eq!(Parallelism::Fixed(2).workers(0), 1);
+        assert!(Parallelism::Auto.workers(64) >= 1);
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        for par in [
+            Parallelism::serial(),
+            Parallelism::Fixed(3),
+            Parallelism::Auto,
+        ] {
+            let out = par_map_indexed(par, 37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        let empty: Vec<usize> = par_map_indexed(Parallelism::Fixed(4), 0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_indexed(Parallelism::Fixed(4), 1, |i| i + 10), [10]);
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_nontrivial_work() {
+        let f = |i: usize| {
+            let mut h = 0xcbf29ce484222325u64;
+            for b in 0..(i % 7 + 1) as u64 {
+                h = (h ^ (i as u64 + b)).wrapping_mul(0x100000001b3);
+            }
+            h
+        };
+        let serial = par_map_indexed(Parallelism::serial(), 100, f);
+        let par = par_map_indexed(Parallelism::Fixed(5), 100, f);
+        assert_eq!(serial, par);
+    }
+}

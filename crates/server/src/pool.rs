@@ -4,7 +4,10 @@
 //! threads. A full queue rejects immediately with `overloaded` — admission
 //! control beats unbounded latency. Each request may carry a soft deadline;
 //! the worker checks it at dequeue, after the (possibly cached) Räcke
-//! distribution is ready, and between per-tree DP solves:
+//! distribution is ready, and between per-tree DP batches (a batch is one
+//! [`Parallelism`] worker-width of trees fanned out via
+//! `par_map_indexed`, so the deadline bounds work *started*, as §7.2
+//! specifies, at batch granularity):
 //!
 //! * deadline already blown with no tree solved → fall back to the fast
 //!   `hgp-baselines` path (multilevel k-way + hierarchy-aware refinement),
@@ -33,7 +36,8 @@ use hgp_baselines::refine::{refine, RefineOpts};
 use hgp_core::fingerprint::distribution_fingerprint;
 use hgp_core::solver::{build_distribution, SolverOptions};
 use hgp_core::tree_solver::solve_rooted;
-use hgp_core::{Assignment, HgpError, Rounding};
+use hgp_core::{Assignment, HgpError, Parallelism, Rounding};
+use hgp_decomp::par_map_indexed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::panic::AssertUnwindSafe;
@@ -74,6 +78,9 @@ struct WorkerCtx {
     cache: Arc<DecompCache>,
     metrics: Arc<Metrics>,
     stop: Arc<AtomicBool>,
+    /// Worker width each solve may fan its tree sampling / per-tree DPs
+    /// across (never affects the answer — see DESIGN.md §8).
+    parallelism: Parallelism,
 }
 
 fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
@@ -96,7 +103,7 @@ fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
                         if job.panic_solve {
                             panic!("panic-solve test hook");
                         }
-                        run_solve(&job, &ctx.cache, &ctx.metrics)
+                        run_solve(&job, &ctx.cache, &ctx.metrics, ctx.parallelism)
                     }))
                     .unwrap_or_else(|payload| {
                         ctx.metrics.inc(&ctx.metrics.solve_panics);
@@ -125,10 +132,13 @@ pub struct SolverPool {
 impl SolverPool {
     /// Spawns `workers` threads draining a queue of at most
     /// `queue_capacity` pending solves, plus a supervisor that respawns
-    /// workers that die.
+    /// workers that die. Each solve may additionally fan out across
+    /// `parallelism` threads (so peak thread demand is
+    /// `workers × parallelism` — see DESIGN.md §8 for sizing guidance).
     pub fn new(
         workers: usize,
         queue_capacity: usize,
+        parallelism: Parallelism,
         cache: Arc<DecompCache>,
         metrics: Arc<Metrics>,
     ) -> Self {
@@ -138,6 +148,7 @@ impl SolverPool {
             cache,
             metrics: Arc::clone(&metrics),
             stop: Arc::new(AtomicBool::new(false)),
+            parallelism,
         };
         let count = workers.max(1);
         let workers: Vec<JoinHandle<()>> =
@@ -237,8 +248,8 @@ fn expired(deadline: Option<Instant>) -> bool {
 }
 
 /// Executes one solve end to end and formats the reply line.
-fn run_solve(job: &SolveJob, cache: &DecompCache, metrics: &Metrics) -> String {
-    match solve_inner(job, cache, metrics) {
+fn run_solve(job: &SolveJob, cache: &DecompCache, metrics: &Metrics, par: Parallelism) -> String {
+    match solve_inner(job, cache, metrics, par) {
         Ok(line) => line,
         Err(e) => {
             match e.code {
@@ -254,6 +265,7 @@ fn solve_inner(
     job: &SolveJob,
     cache: &DecompCache,
     metrics: &Metrics,
+    par: Parallelism,
 ) -> Result<String, WireError> {
     let spec = &job.spec;
     let inst = spec.instance()?;
@@ -263,7 +275,7 @@ fn solve_inner(
     let opts = SolverOptions {
         num_trees: spec.trees,
         rounding: Rounding::with_units(spec.units),
-        threads: 1,
+        parallelism: par,
         seed: spec.seed,
         ..Default::default()
     };
@@ -290,19 +302,30 @@ fn solve_inner(
             }
         };
         let total = dist.trees.len();
-        for (i, dt) in dist.trees.iter().enumerate() {
-            if expired(job.deadline) {
-                break;
-            }
-            if let Ok(rep) = solve_rooted(&dt.tree, &dt.task_of_leaf, &inst, h, opts.rounding) {
-                // map back to G and compare by true Equation-1 cost,
-                // deterministic tie-break on tree index
-                let cost = rep.assignment.cost(&inst, h);
-                if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
-                    best = Some((i, rep.assignment, cost));
+        // batch-wise fan-out: one worker-width of trees per batch, the
+        // soft deadline re-checked between batches. Serial parallelism
+        // degenerates to batches of one — the pre-parallel behaviour.
+        while solved < total && !expired(job.deadline) {
+            let end = (solved + opts.parallelism.workers(total - solved)).min(total);
+            let outcomes = par_map_indexed(opts.parallelism, end - solved, |k| {
+                let dt = &dist.trees[solved + k];
+                solve_rooted(&dt.tree, &dt.task_of_leaf, &inst, h, opts.rounding)
+                    .ok()
+                    .map(|rep| {
+                        // map back to G and score by true Equation-1 cost
+                        let cost = rep.assignment.cost(&inst, h);
+                        (rep.assignment, cost)
+                    })
+            });
+            // deterministic reduction: tree order, strict improvement only
+            for (k, outcome) in outcomes.into_iter().enumerate() {
+                if let Some((assignment, cost)) = outcome {
+                    if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
+                        best = Some((solved + k, assignment, cost));
+                    }
                 }
             }
-            solved = i + 1;
+            solved = end;
         }
         mode = if solved == total {
             Mode::Full
@@ -371,7 +394,13 @@ mod tests {
         let cache = Arc::new(DecompCache::new(8));
         let metrics = Arc::new(Metrics::new());
         (
-            SolverPool::new(2, 4, Arc::clone(&cache), Arc::clone(&metrics)),
+            SolverPool::new(
+                2,
+                4,
+                Parallelism::serial(),
+                Arc::clone(&cache),
+                Arc::clone(&metrics),
+            ),
             cache,
             metrics,
         )
@@ -451,7 +480,7 @@ mod tests {
         let cache = Arc::new(DecompCache::new(2));
         let metrics = Arc::new(Metrics::new());
         // one slow worker, queue of 1: the third submit must bounce
-        let pool = SolverPool::new(1, 1, cache, metrics);
+        let pool = SolverPool::new(1, 1, Parallelism::serial(), cache, metrics);
         let (tx, _rx) = mpsc::channel();
         let now = Instant::now();
         let mut rejected = 0;
@@ -473,10 +502,37 @@ mod tests {
     }
 
     #[test]
+    fn parallel_solve_matches_serial_reply() {
+        // same request through a serial pool and a 4-wide pool: identical
+        // cost, tree pick, and assignment (determinism across Parallelism)
+        let line = format!("{LINE} assignment=1");
+        let reply_with = |par: Parallelism| {
+            let cache = Arc::new(DecompCache::new(2));
+            let metrics = Arc::new(Metrics::new());
+            let pool = SolverPool::new(1, 4, par, cache, metrics);
+            run(&pool, solve_spec(&line), None)
+        };
+        let serial = reply_with(Parallelism::serial());
+        let parallel = reply_with(Parallelism::Fixed(4));
+        let field = |s: &str, key: &str| {
+            s.split_whitespace()
+                .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+                .map(str::to_string)
+        };
+        for key in ["cost", "tree", "trees-solved", "assignment", "mode"] {
+            assert_eq!(
+                field(&serial, key),
+                field(&parallel, key),
+                "{key} differs: serial={serial} parallel={parallel}"
+            );
+        }
+    }
+
+    #[test]
     fn supervisor_respawns_crashed_workers() {
         let cache = Arc::new(DecompCache::new(2));
         let metrics = Arc::new(Metrics::new());
-        let pool = SolverPool::new(2, 4, cache, Arc::clone(&metrics));
+        let pool = SolverPool::new(2, 4, Parallelism::serial(), cache, Arc::clone(&metrics));
         assert_eq!(metrics.get(&metrics.workers_alive), 2);
 
         // kill one worker outright (bypasses the isolation boundary)
@@ -518,7 +574,7 @@ mod tests {
     fn panicking_solve_is_isolated_to_err_internal() {
         let cache = Arc::new(DecompCache::new(2));
         let metrics = Arc::new(Metrics::new());
-        let pool = SolverPool::new(1, 4, cache, Arc::clone(&metrics));
+        let pool = SolverPool::new(1, 4, Parallelism::serial(), cache, Arc::clone(&metrics));
 
         // a panic inside the boundary answers `err internal` ...
         let (tx, rx) = mpsc::channel();

@@ -28,6 +28,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded solve-queue depth; a full queue answers `overloaded`.
     pub queue_capacity: usize,
+    /// Worker width each individual solve fans its tree sampling and
+    /// per-tree DPs across (`hgp serve --threads`). Peak thread demand is
+    /// `workers × parallelism`; results never depend on it.
+    pub parallelism: hgp_core::Parallelism,
     /// Decomposition-cache capacity (distributions, not bytes).
     pub cache_capacity: usize,
     /// Maximum concurrently open incremental sessions.
@@ -40,6 +44,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             queue_capacity: 64,
+            parallelism: hgp_core::Parallelism::Auto,
             cache_capacity: 32,
             max_sessions: 256,
         }
@@ -89,6 +94,7 @@ impl Server {
         let pool = SolverPool::new(
             config.workers,
             config.queue_capacity,
+            config.parallelism,
             Arc::clone(&cache),
             Arc::clone(&metrics),
         );

@@ -1,7 +1,7 @@
 //! Determinism: every pipeline stage is bit-reproducible from its seed.
 
 use hgp::core::solver::{solve, SolverOptions};
-use hgp::core::{solve_tree_instance, Instance, Rounding};
+use hgp::core::{solve_tree_instance, Instance, Parallelism, Rounding};
 use hgp::decomp::{build_decomp_tree, racke_distribution, DecompOpts};
 use hgp::graph::generators;
 use hgp::hierarchy::presets;
@@ -83,9 +83,13 @@ fn full_solver_is_seed_stable_and_thread_independent() {
         seed: 99,
         ..Default::default()
     };
-    let r1 = solve(&inst, &h, &SolverOptions { threads: 1, ..base }).unwrap();
-    let r2 = solve(&inst, &h, &SolverOptions { threads: 8, ..base }).unwrap();
-    let r3 = solve(&inst, &h, &SolverOptions { threads: 0, ..base }).unwrap();
+    let with = |parallelism| SolverOptions {
+        parallelism,
+        ..base
+    };
+    let r1 = solve(&inst, &h, &with(Parallelism::serial())).unwrap();
+    let r2 = solve(&inst, &h, &with(Parallelism::Fixed(8))).unwrap();
+    let r3 = solve(&inst, &h, &with(Parallelism::Auto)).unwrap();
     assert_eq!(r1.assignment, r2.assignment);
     assert_eq!(r1.assignment, r3.assignment);
     assert_eq!(r1.cost.to_bits(), r2.cost.to_bits());
