@@ -1,0 +1,64 @@
+//! Counting global allocator for per-stage allocation telemetry.
+//!
+//! `BENCH_solver.json` reports how many heap allocations each solve stage
+//! performs, so allocation regressions are as visible as time regressions.
+//! The counter is a thin wrapper around [`System`] with two relaxed atomic
+//! counters — cheap enough to leave on for the whole bench run.
+//!
+//! Only the `bench_solver` binary registers [`CountingAlloc`] as the global
+//! allocator. Library consumers (unit tests, the experiment harness) run on
+//! the default allocator, where [`allocation_snapshot`] stays at zero — the
+//! JSON schema treats zero counts as "not measured", never as an error.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts calls and requested bytes.
+///
+/// Register in a binary with:
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: hgp_bench::alloc::CountingAlloc = hgp_bench::alloc::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation verbatim to `System`; the counters are
+// side effects that never touch the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Cumulative `(calls, bytes)` since process start. Both stay `0` unless
+/// [`CountingAlloc`] is the registered global allocator.
+pub fn allocation_snapshot() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Runs `f` and returns its result plus the `(calls, bytes)` allocated
+/// while it ran (zeros when the counting allocator is not registered).
+pub fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, u64, u64) {
+    let (c0, b0) = allocation_snapshot();
+    let out = f();
+    let (c1, b1) = allocation_snapshot();
+    (out, c1 - c0, b1 - b0)
+}

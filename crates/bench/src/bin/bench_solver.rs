@@ -5,15 +5,25 @@
 //! bench_solver [--out BENCH_solver.json] [--tiny] [--threads N]
 //!              [--rows R] [--cols C] [--trees T] [--repeats K]
 //! bench_solver --validate PATH
+//! bench_solver --smoke PATH [--repeats K] ...
 //! ```
 //!
 //! Without `--validate`, runs the serial and parallel solve arms on the
 //! seeded mesh workload (see `hgp_bench::solver_bench`), writes the JSON
 //! report to `--out`, and exits non-zero if the document fails its own
-//! validation (including cost parity between the arms). With `--validate`,
-//! only checks an existing file — this is what CI runs on the artifact.
+//! validation (including cost parity between the arms and between the
+//! legacy and arena DP engines). With `--validate`, only checks an
+//! existing file. With `--smoke`, re-measures the workload and exits
+//! non-zero if `total.serial_ms` regressed more than 25% against the
+//! committed baseline at PATH — the CI bench-regression gate.
+//!
+//! This binary registers the counting global allocator, so the emitted
+//! per-stage allocation counts are real; library consumers see zeros.
 
-use hgp_bench::solver_bench::{run_solver_bench, validate, SolverBenchOpts};
+use hgp_bench::solver_bench::{run_solver_bench, smoke_check, validate, SolverBenchOpts};
+
+#[global_allocator]
+static ALLOC: hgp_bench::alloc::CountingAlloc = hgp_bench::alloc::CountingAlloc;
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -25,6 +35,7 @@ fn main() {
     let mut opts = SolverBenchOpts::standard();
     let mut out = "BENCH_solver.json".to_string();
     let mut check: Option<String> = None;
+    let mut smoke: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -46,6 +57,7 @@ fn main() {
             }
             "--out" => out = val("--out"),
             "--validate" => check = Some(val("--validate")),
+            "--smoke" => smoke = Some(val("--smoke")),
             "--threads" => opts.threads = num("--threads"),
             "--rows" => opts.rows = num("--rows"),
             "--cols" => opts.cols = num("--cols"),
@@ -54,7 +66,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: bench_solver [--out FILE] [--tiny] [--threads N] \
-                     [--rows R] [--cols C] [--trees T] [--repeats K] | --validate FILE"
+                     [--rows R] [--cols C] [--trees T] [--repeats K] \
+                     | --validate FILE | --smoke FILE"
                 );
                 return;
             }
@@ -72,15 +85,32 @@ fn main() {
         return;
     }
 
+    if let Some(path) = smoke {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        let report = run_solver_bench(&opts).unwrap_or_else(|e| fail(&e));
+        match smoke_check(&committed, &report) {
+            Ok(()) => println!(
+                "{path}: smoke ok, total.serial_ms {:.2} (arena speedup {:.2}x)",
+                report.total.serial_ms,
+                report.engine.arena_speedup()
+            ),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+        return;
+    }
+
     let report = run_solver_bench(&opts).unwrap_or_else(|e| fail(&e));
     let text = report.to_json().to_pretty();
     validate(&text).unwrap_or_else(|e| fail(&format!("emitted report is invalid: {e}")));
     std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
     eprintln!(
-        "wrote {out}: dist {:.1} ms -> {:.1} ms, dp {:.1} ms -> {:.1} ms, parity ok",
+        "wrote {out}: dist {:.1} ms -> {:.1} ms, dp {:.1} ms -> {:.1} ms, \
+         arena speedup {:.2}x, parity ok",
         report.distribution.serial_ms,
         report.distribution.parallel_ms,
         report.dp.serial_ms,
         report.dp.parallel_ms,
+        report.engine.arena_speedup(),
     );
 }

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod experiments;
 pub mod json;
 pub mod solver_bench;

@@ -12,17 +12,21 @@
 //! serial and parallel arms are expected to tie. The emitted
 //! `available_parallelism` field records what the numbers were measured on.
 
+use crate::alloc::count_allocations;
 use crate::json::Json;
 use crate::timed;
 use hgp_core::solver::{build_distribution, solve_on_distribution, HgpReport, SolverOptions};
-use hgp_core::{Instance, Parallelism, Rounding};
+use hgp_core::{DpOptions, Instance, Parallelism, Rounding};
 use hgp_graph::generators;
-use hgp_hierarchy::presets;
+use hgp_hierarchy::{presets, Hierarchy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Schema tag emitted into (and required from) `BENCH_solver.json`.
-pub const SCHEMA: &str = "hgp-bench-solver/1";
+/// `/2` added the DP-engine comparison (`engine`), the
+/// mesh/expander/power-law × height workload matrix (`matrix`), and
+/// per-stage allocation counts (`allocs`).
+pub const SCHEMA: &str = "hgp-bench-solver/2";
 
 /// Workload and measurement knobs for [`run_solver_bench`].
 #[derive(Clone, Copy, Debug)]
@@ -89,6 +93,66 @@ impl StageTimes {
     }
 }
 
+/// Heap traffic of one stage: `(calls, bytes)` for each arm. All-zero when
+/// the counting allocator is not registered (library tests, harness runs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageAllocs {
+    /// Allocator calls (serial arm, parallel arm), last repeat.
+    pub calls: (u64, u64),
+    /// Requested bytes (serial arm, parallel arm), last repeat.
+    pub bytes: (u64, u64),
+}
+
+/// Old-vs-new DP engine comparison on the reference workload, serial arm:
+/// the legacy per-node hash-table DP against the flat-arena sorted-merge DP
+/// (both under the same default dominance-pruning setting).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineTimes {
+    /// DP sweep wall time with `DpOptions::legacy_engine` (min over repeats).
+    pub legacy_dp_ms: f64,
+    /// DP sweep wall time with the arena engine (min over repeats).
+    pub arena_dp_ms: f64,
+    /// `true` iff both engines returned bit-identical costs.
+    pub identical_cost: bool,
+    /// `true` iff both engines returned identical assignments + tree picks.
+    pub identical_assignment: bool,
+}
+
+impl EngineTimes {
+    /// `legacy / arena` — the single-thread DP speedup of this PR.
+    pub fn arena_speedup(&self) -> f64 {
+        if self.arena_dp_ms > 0.0 {
+            self.legacy_dp_ms / self.arena_dp_ms
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// One workload of the mesh/expander/power-law × height matrix: legacy and
+/// arena DP engines solve the same distribution and must agree bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct MatrixEntry {
+    /// Workload id, e.g. `"mesh-8x8/h3"`.
+    pub name: String,
+    /// Hierarchy height.
+    pub height: usize,
+    /// Nodes in the workload graph.
+    pub nodes: usize,
+    /// Edges in the workload graph.
+    pub edges: usize,
+    /// Legacy-engine DP sweep wall time (min over repeats).
+    pub legacy_dp_ms: f64,
+    /// Arena-engine DP sweep wall time (min over repeats).
+    pub arena_dp_ms: f64,
+    /// Cost both engines returned.
+    pub cost: f64,
+    /// `true` iff both engines returned bit-identical costs.
+    pub identical_cost: bool,
+    /// `true` iff both engines returned identical assignments + tree picks.
+    pub identical_assignment: bool,
+}
+
 /// Everything [`run_solver_bench`] measured.
 #[derive(Clone, Debug)]
 pub struct SolverBenchReport {
@@ -108,6 +172,14 @@ pub struct SolverBenchReport {
     pub repair_cpu_ms: (f64, f64),
     /// End-to-end wall times (distribution + sweep).
     pub total: StageTimes,
+    /// Distribution-stage heap traffic.
+    pub distribution_allocs: StageAllocs,
+    /// DP-sweep heap traffic.
+    pub dp_allocs: StageAllocs,
+    /// Legacy-vs-arena engine comparison on the reference workload.
+    pub engine: EngineTimes,
+    /// The cross-topology × height parity/perf matrix.
+    pub matrix: Vec<MatrixEntry>,
     /// Costs returned by the two arms (must match bit-for-bit).
     pub costs: (f64, f64),
     /// `true` iff both arms returned bit-identical costs.
@@ -118,25 +190,144 @@ pub struct SolverBenchReport {
     pub available_parallelism: usize,
 }
 
+struct ArmResult {
+    dist_ms: f64,
+    sweep_ms: f64,
+    dist_allocs: (u64, u64),
+    sweep_allocs: (u64, u64),
+    report: HgpReport,
+}
+
 fn arm(
     inst: &Instance,
-    h: &hgp_hierarchy::Hierarchy,
+    h: &Hierarchy,
     opts: &SolverOptions,
     repeats: usize,
-) -> Result<(f64, f64, HgpReport), String> {
+) -> Result<ArmResult, String> {
     let mut dist_ms = f64::INFINITY;
     let mut sweep_ms = f64::INFINITY;
+    let mut dist_allocs = (0, 0);
+    let mut sweep_allocs = (0, 0);
     let mut report = None;
     for _ in 0..repeats.max(1) {
-        let (dist, ms) = timed(|| build_distribution(inst, opts));
+        let ((dist, ms), calls, bytes) =
+            count_allocations(|| timed(|| build_distribution(inst, opts)));
         let dist = dist.map_err(|e| format!("distribution failed: {e}"))?;
         dist_ms = dist_ms.min(ms);
-        let (rep, ms) = timed(|| solve_on_distribution(inst, h, &dist, opts));
+        dist_allocs = (calls, bytes);
+        let ((rep, ms), calls, bytes) =
+            count_allocations(|| timed(|| solve_on_distribution(inst, h, &dist, opts)));
         let rep = rep.map_err(|e| format!("solve failed: {e}"))?;
         sweep_ms = sweep_ms.min(ms);
+        sweep_allocs = (calls, bytes);
         report = Some(rep);
     }
-    Ok((dist_ms, sweep_ms, report.expect("repeats >= 1")))
+    Ok(ArmResult {
+        dist_ms,
+        sweep_ms,
+        dist_allocs,
+        sweep_allocs,
+        report: report.expect("repeats >= 1"),
+    })
+}
+
+/// Times the DP sweep under `dp` options on a prebuilt distribution,
+/// returning `(min wall ms, report)`.
+fn timed_sweep(
+    inst: &Instance,
+    h: &Hierarchy,
+    dist: &hgp_decomp::Distribution,
+    opts: &SolverOptions,
+    dp: DpOptions,
+    repeats: usize,
+) -> Result<(f64, HgpReport), String> {
+    let opts = SolverOptions { dp, ..*opts };
+    let mut best_ms = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..repeats.max(1) {
+        let (rep, ms) = timed(|| solve_on_distribution(inst, h, dist, &opts));
+        let rep = rep.map_err(|e| format!("solve failed: {e}"))?;
+        best_ms = best_ms.min(ms);
+        report = Some(rep);
+    }
+    Ok((best_ms, report.expect("repeats >= 1")))
+}
+
+/// Runs the mesh/expander/power-law × height ∈ {2, 3, 4} matrix: for each
+/// workload, both DP engines solve the **same** tree distribution serially
+/// and their `(cost, assignment)` must agree bit-for-bit.
+pub fn run_workload_matrix(repeats: usize, seed: u64) -> Result<Vec<MatrixEntry>, String> {
+    type GraphGen = Box<dyn Fn(&mut StdRng) -> hgp_graph::Graph>;
+    let graphs: [(&str, GraphGen); 3] = [
+        (
+            "mesh-8x8",
+            Box::new(|r| generators::grid2d(r, 8, 8, 0.5, 2.0)),
+        ),
+        (
+            "expander-64",
+            Box::new(|r| generators::gnp_connected(r, 64, 0.12, 0.5, 2.0)),
+        ),
+        (
+            "powerlaw-64",
+            Box::new(|r| generators::barabasi_albert(r, 64, 3, 0.5, 2.0)),
+        ),
+    ];
+    // Units shrink as the hierarchy deepens: signature tables grow roughly
+    // with (units × leaves)^height, so a fixed unit count that is pleasant
+    // at height 2 takes minutes at height 4. The per-height choice keeps
+    // every cell in the low hundreds of milliseconds while still exercising
+    // multi-unit packing where it is affordable.
+    // (height, rounding units, hierarchy constructor)
+    type HierarchyCell = (usize, u32, fn() -> Hierarchy);
+    let hierarchies: [HierarchyCell; 3] = [
+        (2, 4, || presets::multicore(4, 4, 4.0, 1.0)),
+        (3, 2, || presets::hyperthreaded(2, 4, 2, 8.0, 2.0, 1.0)),
+        (4, 1, || {
+            Hierarchy::new(vec![2, 2, 2, 2], vec![8.0, 4.0, 2.0, 1.0, 0.0])
+        }),
+    ];
+    let mut out = Vec::with_capacity(graphs.len() * hierarchies.len());
+    for (gname, make_graph) in &graphs {
+        for (height, units, make_h) in &hierarchies {
+            let mut rng = StdRng::seed_from_u64(seed ^ (*height as u64) << 8);
+            let g = make_graph(&mut rng);
+            let (nodes, edges) = (g.num_nodes(), g.num_edges());
+            let h = make_h();
+            let demand = (0.8 * h.num_leaves() as f64 / nodes as f64).min(1.0);
+            let inst = Instance::uniform(g, demand);
+            let opts = SolverOptions {
+                num_trees: 4,
+                rounding: Rounding::with_units(*units),
+                seed,
+                parallelism: Parallelism::serial(),
+                ..Default::default()
+            };
+            let dist = build_distribution(&inst, &opts)
+                .map_err(|e| format!("{gname}/h{height}: distribution failed: {e}"))?;
+            let (arena_ms, arena) =
+                timed_sweep(&inst, &h, &dist, &opts, DpOptions::default(), repeats)
+                    .map_err(|e| format!("{gname}/h{height}: {e}"))?;
+            let legacy_dp = DpOptions {
+                legacy_engine: true,
+                ..Default::default()
+            };
+            let (legacy_ms, legacy) = timed_sweep(&inst, &h, &dist, &opts, legacy_dp, repeats)
+                .map_err(|e| format!("{gname}/h{height}: {e}"))?;
+            out.push(MatrixEntry {
+                name: format!("{gname}/h{height}"),
+                height: *height,
+                nodes,
+                edges,
+                legacy_dp_ms: legacy_ms,
+                arena_dp_ms: arena_ms,
+                cost: arena.cost,
+                identical_cost: arena.cost.to_bits() == legacy.cost.to_bits(),
+                identical_assignment: arena.assignment == legacy.assignment
+                    && arena.best_tree == legacy.best_tree,
+            });
+        }
+    }
+    Ok(out)
 }
 
 /// Runs the serial and parallel arms and assembles the report.
@@ -163,20 +354,48 @@ pub fn run_solver_bench(opts: &SolverBenchOpts) -> Result<SolverBenchReport, Str
         ..base
     };
 
-    let (s_dist, s_sweep, s_rep) = arm(&inst, &h, &serial_opts, opts.repeats)?;
-    let (p_dist, p_sweep, p_rep) = arm(&inst, &h, &parallel_opts, opts.repeats)?;
+    let s = arm(&inst, &h, &serial_opts, opts.repeats)?;
+    let p = arm(&inst, &h, &parallel_opts, opts.repeats)?;
+    let (s_rep, p_rep) = (&s.report, &p.report);
+
+    // old-vs-new DP engine, serial arm, on one shared distribution
+    let dist =
+        build_distribution(&inst, &serial_opts).map_err(|e| format!("distribution failed: {e}"))?;
+    let (arena_ms, arena_rep) = timed_sweep(
+        &inst,
+        &h,
+        &dist,
+        &serial_opts,
+        DpOptions::default(),
+        opts.repeats,
+    )?;
+    let legacy_dp = DpOptions {
+        legacy_engine: true,
+        ..Default::default()
+    };
+    let (legacy_ms, legacy_rep) =
+        timed_sweep(&inst, &h, &dist, &serial_opts, legacy_dp, opts.repeats)?;
+    let engine = EngineTimes {
+        legacy_dp_ms: legacy_ms,
+        arena_dp_ms: arena_ms,
+        identical_cost: arena_rep.cost.to_bits() == legacy_rep.cost.to_bits(),
+        identical_assignment: arena_rep.assignment == legacy_rep.assignment
+            && arena_rep.best_tree == legacy_rep.best_tree,
+    };
+
+    let matrix = run_workload_matrix(opts.repeats, opts.seed)?;
 
     Ok(SolverBenchReport {
         opts: *opts,
         nodes,
         edges,
         distribution: StageTimes {
-            serial_ms: s_dist,
-            parallel_ms: p_dist,
+            serial_ms: s.dist_ms,
+            parallel_ms: p.dist_ms,
         },
         dp: StageTimes {
-            serial_ms: s_sweep,
-            parallel_ms: p_sweep,
+            serial_ms: s.sweep_ms,
+            parallel_ms: p.sweep_ms,
         },
         dp_cpu_ms: (
             s_rep.dp_nanos_total as f64 / 1e6,
@@ -187,9 +406,19 @@ pub fn run_solver_bench(opts: &SolverBenchOpts) -> Result<SolverBenchReport, Str
             p_rep.repair_nanos_total as f64 / 1e6,
         ),
         total: StageTimes {
-            serial_ms: s_dist + s_sweep,
-            parallel_ms: p_dist + p_sweep,
+            serial_ms: s.dist_ms + s.sweep_ms,
+            parallel_ms: p.dist_ms + p.sweep_ms,
         },
+        distribution_allocs: StageAllocs {
+            calls: (s.dist_allocs.0, p.dist_allocs.0),
+            bytes: (s.dist_allocs.1, p.dist_allocs.1),
+        },
+        dp_allocs: StageAllocs {
+            calls: (s.sweep_allocs.0, p.sweep_allocs.0),
+            bytes: (s.sweep_allocs.1, p.sweep_allocs.1),
+        },
+        engine,
+        matrix,
         costs: (s_rep.cost, p_rep.cost),
         identical_cost: s_rep.cost.to_bits() == p_rep.cost.to_bits(),
         identical_assignment: s_rep.assignment == p_rep.assignment
@@ -209,6 +438,14 @@ impl SolverBenchReport {
                 ("serial_ms", Json::Num(t.serial_ms)),
                 ("parallel_ms", Json::Num(t.parallel_ms)),
                 ("speedup", Json::Num(t.speedup())),
+            ])
+        };
+        let allocs = |a: &StageAllocs| {
+            Json::obj(vec![
+                ("serial_calls", Json::Num(a.calls.0 as f64)),
+                ("parallel_calls", Json::Num(a.calls.1 as f64)),
+                ("serial_bytes", Json::Num(a.bytes.0 as f64)),
+                ("parallel_bytes", Json::Num(a.bytes.1 as f64)),
             ])
         };
         Json::obj(vec![
@@ -255,6 +492,47 @@ impl SolverBenchReport {
                 ]),
             ),
             (
+                "allocs",
+                Json::obj(vec![
+                    ("distribution", allocs(&self.distribution_allocs)),
+                    ("dp", allocs(&self.dp_allocs)),
+                ]),
+            ),
+            (
+                "engine",
+                Json::obj(vec![
+                    ("legacy_dp_serial_ms", Json::Num(self.engine.legacy_dp_ms)),
+                    ("arena_dp_serial_ms", Json::Num(self.engine.arena_dp_ms)),
+                    ("arena_speedup", Json::Num(self.engine.arena_speedup())),
+                    ("identical_cost", Json::Bool(self.engine.identical_cost)),
+                    (
+                        "identical_assignment",
+                        Json::Bool(self.engine.identical_assignment),
+                    ),
+                ]),
+            ),
+            (
+                "matrix",
+                Json::Arr(
+                    self.matrix
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("name", Json::Str(e.name.clone())),
+                                ("height", Json::Num(e.height as f64)),
+                                ("nodes", Json::Num(e.nodes as f64)),
+                                ("edges", Json::Num(e.edges as f64)),
+                                ("legacy_dp_ms", Json::Num(e.legacy_dp_ms)),
+                                ("arena_dp_ms", Json::Num(e.arena_dp_ms)),
+                                ("cost", Json::Num(e.cost)),
+                                ("identical_cost", Json::Bool(e.identical_cost)),
+                                ("identical_assignment", Json::Bool(e.identical_assignment)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "dp_cpu",
                 Json::obj(vec![
                     ("serial_cpu_ms", Json::Num(self.dp_cpu_ms.0)),
@@ -279,8 +557,10 @@ impl SolverBenchReport {
 }
 
 /// Validates an emitted `BENCH_solver.json`: parses, checks the schema tag,
-/// requires every stage with finite non-negative times, and requires cost
-/// parity between the arms. CI and the smoke test both call this.
+/// requires every stage with finite non-negative times and allocation
+/// counts (zero = "not measured" is fine), and requires cost parity between
+/// the serial/parallel arms, between the legacy and arena DP engines, and
+/// on every workload-matrix entry. CI and the smoke test both call this.
 pub fn validate(text: &str) -> Result<(), String> {
     let doc = Json::parse(text)?;
     match doc.get("schema").and_then(Json::as_str) {
@@ -306,12 +586,51 @@ pub fn validate(text: &str) -> Result<(), String> {
     time(&["stages", "repair", "parallel_cpu_ms"])?;
     time(&["total", "serial_ms"])?;
     time(&["total", "parallel_ms"])?;
+    for stage in ["distribution", "dp"] {
+        for field in [
+            "serial_calls",
+            "parallel_calls",
+            "serial_bytes",
+            "parallel_bytes",
+        ] {
+            time(&["allocs", stage, field])?;
+        }
+    }
+    time(&["engine", "legacy_dp_serial_ms"])?;
+    time(&["engine", "arena_dp_serial_ms"])?;
     for flag in ["identical_cost", "identical_assignment"] {
         match doc.path(&["parity", flag]).and_then(Json::as_bool) {
             Some(true) => {}
             Some(false) => return Err(format!("cost parity violated: parity.{flag} = false")),
             None => return Err(format!("missing parity.{flag}")),
         }
+        match doc.path(&["engine", flag]).and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => return Err(format!("engine parity violated: engine.{flag} = false")),
+            None => return Err(format!("missing engine.{flag}")),
+        }
+    }
+    match doc.get("matrix") {
+        Some(Json::Arr(entries)) if !entries.is_empty() => {
+            for e in entries {
+                let name = e
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("matrix entry missing name")?;
+                for flag in ["identical_cost", "identical_assignment"] {
+                    match e.get(flag).and_then(Json::as_bool) {
+                        Some(true) => {}
+                        Some(false) => {
+                            return Err(format!(
+                                "engine parity violated on matrix workload {name}: {flag} = false"
+                            ))
+                        }
+                        None => return Err(format!("matrix entry {name} missing {flag}")),
+                    }
+                }
+            }
+        }
+        _ => return Err("missing or empty matrix".into()),
     }
     for field in [
         ["workload", "nodes"],
@@ -319,6 +638,38 @@ pub fn validate(text: &str) -> Result<(), String> {
         ["environment", "available_parallelism"],
     ] {
         time(&field)?;
+    }
+    Ok(())
+}
+
+/// Maximum tolerated slowdown of `total.serial_ms` against the committed
+/// baseline before [`smoke_check`] fails: 25 %.
+pub const SMOKE_TOLERANCE: f64 = 1.25;
+
+/// The CI bench-regression gate: compares a freshly measured report against
+/// the committed `BENCH_solver.json`. Fails when the fresh
+/// `total.serial_ms` exceeds the committed one by more than
+/// [`SMOKE_TOLERANCE`] (timing), or when the committed document itself
+/// fails [`validate`] (structure/parity).
+///
+/// The comparison deliberately uses only the end-to-end *serial* wall time:
+/// parallel times shift with machine load and core count, while the serial
+/// arm is the single-thread trajectory this PR series optimises.
+pub fn smoke_check(committed: &str, fresh: &SolverBenchReport) -> Result<(), String> {
+    validate(committed).map_err(|e| format!("committed baseline invalid: {e}"))?;
+    let doc = Json::parse(committed)?;
+    let baseline = doc
+        .path(&["total", "serial_ms"])
+        .and_then(Json::as_f64)
+        .ok_or("committed baseline missing total.serial_ms")?;
+    let measured = fresh.total.serial_ms;
+    if baseline.is_nan() || baseline <= 0.0 {
+        return Err(format!("committed total.serial_ms = {baseline} unusable"));
+    }
+    if measured > baseline * SMOKE_TOLERANCE {
+        return Err(format!(
+            "perf regression: total.serial_ms {measured:.2} > {SMOKE_TOLERANCE} x committed {baseline:.2}"
+        ));
     }
     Ok(())
 }
@@ -335,6 +686,20 @@ mod tests {
             report.identical_assignment,
             "parallel arm changed the assignment"
         );
+        assert!(report.engine.identical_cost, "engines disagree on cost");
+        assert!(
+            report.engine.identical_assignment,
+            "engines disagree on assignment"
+        );
+        assert_eq!(report.matrix.len(), 9, "3 topologies x 3 heights");
+        for e in &report.matrix {
+            assert!(e.identical_cost, "{}: engines disagree on cost", e.name);
+            assert!(
+                e.identical_assignment,
+                "{}: engines disagree on assignment",
+                e.name
+            );
+        }
         let text = report.to_json().to_pretty();
         validate(&text).unwrap();
         // every stage the ISSUE names must be present in the document
@@ -342,6 +707,13 @@ mod tests {
         for stage in ["distribution", "dp", "repair"] {
             assert!(doc.path(&["stages", stage]).is_some(), "missing {stage}");
         }
+        for stage in ["distribution", "dp"] {
+            assert!(
+                doc.path(&["allocs", stage, "serial_calls"]).is_some(),
+                "missing allocs.{stage}"
+            );
+        }
+        assert!(doc.path(&["engine", "arena_speedup"]).is_some());
         assert!(doc.path(&["parity", "identical_cost"]).is_some());
     }
 
@@ -353,5 +725,24 @@ mod tests {
         let good = report.to_json().to_pretty();
         let no_parity = good.replace("\"identical_cost\": true", "\"identical_cost\": false");
         assert!(validate(&no_parity).is_err(), "parity=false must fail");
+        let wrong_schema = good.replace(SCHEMA, "hgp-bench-solver/1");
+        assert!(validate(&wrong_schema).is_err(), "old schema must fail");
+    }
+
+    #[test]
+    fn smoke_check_flags_serial_regressions_only() {
+        let mut report = run_solver_bench(&SolverBenchOpts::tiny()).unwrap();
+        let committed = report.to_json().to_pretty();
+        // same run against itself: no regression
+        smoke_check(&committed, &report).unwrap();
+        // parallel-arm noise is ignored
+        report.total.parallel_ms *= 100.0;
+        smoke_check(&committed, &report).unwrap();
+        // a >25% serial slowdown fails
+        report.total.serial_ms *= 1.5;
+        let err = smoke_check(&committed, &report).unwrap_err();
+        assert!(err.contains("perf regression"), "{err}");
+        // an invalid baseline fails regardless of timing
+        assert!(smoke_check("{}", &report).is_err());
     }
 }

@@ -5,7 +5,7 @@
 
 use hgp_baselines::refine::{refine, RefineOpts};
 use hgp_core::solver::{solve, SolverOptions};
-use hgp_core::{Instance, Parallelism, Rounding};
+use hgp_core::{DpOptions, Instance, Parallelism, Rounding};
 use hgp_graph::io::read_metis;
 use hgp_graph::{traversal, Graph};
 use hgp_hierarchy::{parse_hierarchy, Hierarchy};
@@ -20,7 +20,7 @@ usage:
   hgp partition --graph FILE.metis --machine SHAPE[:CMS] [options]
   hgp info --graph FILE.metis
   hgp serve [--addr HOST:PORT] [--workers N] [--queue N] [--threads N]
-            [--cache-capacity N] [--max-sessions N]
+            [--cache-capacity N] [--max-sessions N] [--no-prune]
   hgp client --addr HOST:PORT [--seed S] [--solves N] [--topologies N]
              [--incr-ops N] [--deadline-frac F] [--machine SHAPE[:CMS]]
 
@@ -33,6 +33,8 @@ options for `partition`:
                    (0 = one per core, the default; 1 = serial;
                    the result never depends on it)
   --refine         polish the result with hierarchy-aware local search
+  --no-prune       disable dominance pruning in the signature DP
+                   (slower exhaustive tables; also accepted by `serve`)
 
 `--threads` on `serve` sets the same knob for every daemon solve (peak
 thread demand is workers x threads).
@@ -65,6 +67,8 @@ pub enum Cli {
         threads: usize,
         /// Post-refinement toggle.
         refine: bool,
+        /// Dominance pruning in the signature DP (on unless `--no-prune`).
+        prune: bool,
     },
     /// `hgp info …`
     Info {
@@ -85,6 +89,8 @@ pub enum Cli {
         cache_capacity: usize,
         /// Maximum open incremental sessions.
         max_sessions: usize,
+        /// Dominance pruning for every daemon solve (on unless `--no-prune`).
+        prune: bool,
     },
     /// `hgp client …`
     Client {
@@ -118,6 +124,7 @@ impl Cli {
         let mut seed = 1u64;
         let mut threads = 0usize;
         let mut do_refine = false;
+        let mut prune = true;
         let mut addr = None;
         let mut workers = 4usize;
         let mut queue = 64usize;
@@ -145,6 +152,7 @@ impl Cli {
                 "--seed" => seed = num("--seed", value("--seed")?)?,
                 "--threads" => threads = num("--threads", value("--threads")?)?,
                 "--refine" => do_refine = true,
+                "--no-prune" => prune = false,
                 "--addr" => addr = Some(value("--addr")?),
                 "--workers" => workers = num("--workers", value("--workers")?)?,
                 "--queue" => queue = num("--queue", value("--queue")?)?,
@@ -171,6 +179,7 @@ impl Cli {
                 seed,
                 threads,
                 refine: do_refine,
+                prune,
             }),
             "info" => Ok(Cli::Info {
                 graph: graph.ok_or("--graph is required")?,
@@ -182,6 +191,7 @@ impl Cli {
                 threads,
                 cache_capacity,
                 max_sessions: max_sessions.max(1),
+                prune,
             }),
             "client" => Ok(Cli::Client {
                 addr: addr.ok_or("--addr is required for client")?,
@@ -249,6 +259,7 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
             seed,
             threads,
             refine: do_refine,
+            prune,
         } => {
             let g = load_graph(graph)?;
             let h: Hierarchy = parse_hierarchy(machine).map_err(|e| e.to_string())?;
@@ -263,6 +274,10 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
                 rounding: Rounding::with_units(*units),
                 seed: *seed,
                 parallelism: Parallelism::from_threads(*threads),
+                dp: DpOptions {
+                    dominance_prune: *prune,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let rep = solve(&inst, &h, &opts).map_err(|e| e.to_string())?;
@@ -303,6 +318,7 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
             threads,
             cache_capacity,
             max_sessions,
+            prune,
         } => {
             let mut server = Server::start(ServerConfig {
                 addr: addr.clone(),
@@ -311,6 +327,10 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
                 parallelism: Parallelism::from_threads(*threads),
                 cache_capacity: *cache_capacity,
                 max_sessions: *max_sessions,
+                dp: DpOptions {
+                    dominance_prune: *prune,
+                    ..Default::default()
+                },
             })
             .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             writeln!(out, "listening {}", server.addr()).unwrap();
@@ -409,7 +429,7 @@ mod tests {
     fn parses_partition_flags() {
         let cli = Cli::parse(&argv(
             "partition --graph g.metis --machine 2x4:4,1,0 --units 16 --trees 3 --seed 9 \
-             --threads 2 --refine",
+             --threads 2 --refine --no-prune",
         ))
         .unwrap();
         assert_eq!(
@@ -423,6 +443,7 @@ mod tests {
                 seed: 9,
                 threads: 2,
                 refine: true,
+                prune: false,
             }
         );
     }
@@ -468,6 +489,7 @@ mod tests {
                 threads: 1,
                 cache_capacity: 32,
                 max_sessions: 256,
+                prune: true,
             }
         );
         let cli = Cli::parse(&argv(

@@ -132,12 +132,16 @@ pub fn distribution_fingerprint(inst: &Instance, opts: &SolverOptions) -> u64 {
 
 /// Full request key: instance, hierarchy and every solver option that can
 /// change the answer ([`Parallelism`](crate::Parallelism) deliberately
-/// excluded — the solve is bit-identical across worker widths).
+/// excluded — the solve is bit-identical across worker widths; likewise
+/// the DP *engine* choice, which is bit-identical by construction, while
+/// dominance pruning feeds the key because it may steer tie-breaks
+/// between equal-cost optima).
 pub fn solve_fingerprint(inst: &Instance, h: &Hierarchy, opts: &SolverOptions) -> u64 {
     let mut fp = Fingerprinter::new();
     fp.write_u64(distribution_fingerprint(inst, opts))
         .write_u64(hierarchy_fingerprint(h))
-        .write_u64(opts.rounding.units_per_leaf() as u64);
+        .write_u64(opts.rounding.units_per_leaf() as u64)
+        .write_u64(opts.dp.dominance_prune as u64);
     fp.finish()
 }
 
@@ -206,6 +210,20 @@ mod tests {
             distribution_fingerprint(&i, &opts),
             distribution_fingerprint(&i, &waved),
             "the MWU wave width samples a different distribution"
+        );
+        let mut unpruned = opts;
+        unpruned.dp.dominance_prune = false;
+        assert_ne!(
+            solve_fingerprint(&i, &h1, &opts),
+            solve_fingerprint(&i, &h1, &unpruned),
+            "dominance pruning can steer tie-breaks, so it feeds the key"
+        );
+        let mut legacy = opts;
+        legacy.dp.legacy_engine = true;
+        assert_eq!(
+            solve_fingerprint(&i, &h1, &opts),
+            solve_fingerprint(&i, &h1, &legacy),
+            "the engine choice is bit-identical and must not change the key"
         );
     }
 }

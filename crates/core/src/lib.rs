@@ -51,5 +51,6 @@ pub use assignment::{Assignment, ViolationReport};
 pub use error::HgpError;
 pub use hgp_decomp::Parallelism;
 pub use instance::{Infeasibility, Instance};
+pub use relaxed::DpOptions;
 pub use rounding::Rounding;
 pub use tree_solver::{solve_tree_instance, SolveError, TreeSolveReport};

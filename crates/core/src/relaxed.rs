@@ -29,8 +29,19 @@
 //! sequentially is exactly the paper's binarised merge with dummy nodes,
 //! without materialising the dummies.
 //!
-//! Signatures are packed into `u64` (16-bit lane per level, `h ≤ 4`);
-//! tables use a deterministic FxHash-style hasher so runs are reproducible.
+//! # Engines
+//!
+//! Signatures are packed into `u64` (16-bit lane per level, `h ≤ 4`).
+//! The production engine stores every table entry in one flat *arena*
+//! (structure-of-arrays: interned `u64` signatures plus parallel vectors
+//! of costs and `u32` backpointer indices) and resolves the
+//! `(j₁, j₂)`-consistent merge by a sorted merge over candidate
+//! signatures instead of hash probing; backpointer walking is then plain
+//! index chasing. A legacy per-node hash-table engine (deterministic
+//! FxHash-style hasher) is retained behind [`DpOptions::legacy_engine`]
+//! as a parity oracle — both engines produce bit-identical
+//! `(cost, cut_level)` results, which the property tests and
+//! `bench_solver` enforce.
 
 #![allow(clippy::needless_range_loop)] // parallel-array indexing is clearer here
 use crate::error::{check_height, HgpError};
@@ -82,9 +93,50 @@ pub fn sig_with_lane(sig: u64, k: usize, value: u32) -> u64 {
     (sig & !(0xFFFFu64 << (16 * k))) | ((value as u64) << (16 * k))
 }
 
+/// Iterates the per-level demands `D⁽¹⁾, …, D⁽ʰ⁾` of a packed signature
+/// without allocating.
+#[inline]
+pub fn sig_lanes(sig: u64, h: usize) -> impl Iterator<Item = u32> {
+    (0..h).map(move |k| sig_lane(sig, k))
+}
+
+/// Unpacks a signature into a caller-provided buffer (cleared first) —
+/// the allocation-free counterpart of [`sig_unpack`] for hot paths.
+#[inline]
+pub fn sig_unpack_into(sig: u64, h: usize, out: &mut Vec<u32>) {
+    out.clear();
+    out.extend(sig_lanes(sig, h));
+}
+
 /// Unpacks a signature into per-level demands `[D⁽¹⁾, …, D⁽ʰ⁾]`.
 pub fn sig_unpack(sig: u64, h: usize) -> Vec<u32> {
-    (0..h).map(|k| sig_lane(sig, k)).collect()
+    sig_lanes(sig, h).collect()
+}
+
+/// Options for the signature-DP engine, plumbed down from
+/// `SolverOptions::dp`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DpOptions {
+    /// Drop Pareto-dominated signatures after every child fold (see
+    /// `prune_keep`'s soundness note). Defaults on; turning it off
+    /// trades speed for an exhaustive table and can steer tie-breaks
+    /// between equal-cost optima, so this flag feeds the solve
+    /// fingerprint.
+    pub dominance_prune: bool,
+    /// Run the legacy per-node hash-table engine instead of the flat
+    /// arena. Bit-identical to the arena engine by construction (enforced
+    /// by property tests and `bench_solver`'s parity check); retained as
+    /// an oracle and A/B timing baseline, not for production use.
+    pub legacy_engine: bool,
+}
+
+impl Default for DpOptions {
+    fn default() -> Self {
+        Self {
+            dominance_prune: true,
+            legacy_engine: false,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -111,7 +163,7 @@ pub struct RelaxedSolution {
     pub table_entries: usize,
 }
 
-/// Solves RHGPT exactly on rounded demands.
+/// Solves RHGPT exactly on rounded demands with default engine options.
 ///
 /// * `tree` — rooted tree whose leaves carry tasks; infinite edge weights
 ///   mark uncuttable edges (dummy attachments).
@@ -133,6 +185,17 @@ pub fn solve_relaxed(
     caps: &[u32],
     deltas: &[f64],
 ) -> Result<RelaxedSolution, HgpError> {
+    solve_relaxed_with(tree, leaf_units, caps, deltas, DpOptions::default())
+}
+
+/// [`solve_relaxed`] with explicit engine options.
+pub fn solve_relaxed_with(
+    tree: &RootedTree,
+    leaf_units: &[u32],
+    caps: &[u32],
+    deltas: &[f64],
+    opts: DpOptions,
+) -> Result<RelaxedSolution, HgpError> {
     let h = caps.len();
     check_height(h)?;
     assert_eq!(deltas.len(), h);
@@ -151,12 +214,586 @@ pub fn solve_relaxed(
     }
     let n = tree.num_nodes();
     assert_eq!(leaf_units.len(), n);
+    if opts.legacy_engine {
+        solve_legacy(tree, leaf_units, caps, deltas, h, opts.dominance_prune)
+    } else {
+        solve_arena(tree, leaf_units, caps, deltas, h, opts.dominance_prune)
+    }
+}
+
+/// Sentinel arena index: "no predecessor" (first fold of a node) and
+/// "no child" (leaf entries).
+const NO_ENTRY: u32 = u32::MAX;
+
+/// `LOW_LANES[j]` masks lanes `0..j` of a packed signature.
+const LOW_LANES: [u64; MAX_HEIGHT + 1] = [0, 0xFFFF, 0xFFFF_FFFF, 0xFFFF_FFFF_FFFF, u64::MAX];
+
+/// The flat DP table arena: one structure-of-arrays store for every entry
+/// of every `(node, fold)` table. An entry is addressed by its `u32`
+/// index; `prev`/`child` backpointers are indices too, so reconstructing
+/// the optimal labelling is pure index chasing — no hash lookups and no
+/// per-node table objects.
+#[derive(Default)]
+struct Arena {
+    sig: Vec<u64>,
+    cost: Vec<f64>,
+    /// Index of the pre-fold state this entry extends (`NO_ENTRY` on a
+    /// node's first fold).
+    prev: Vec<u32>,
+    /// Index of the child final-table entry folded in (`NO_ENTRY` for
+    /// leaf entries).
+    child: Vec<u32>,
+    /// Cut level assigned to that child's edge.
+    jlab: Vec<u8>,
+}
+
+impl Arena {
+    #[inline]
+    fn len(&self) -> u32 {
+        debug_assert!(self.sig.len() < NO_ENTRY as usize);
+        self.sig.len() as u32
+    }
+    #[inline]
+    fn push(&mut self, sig: u64, cost: f64, prev: u32, child: u32, jlab: u8) {
+        self.sig.push(sig);
+        self.cost.push(cost);
+        self.prev.push(prev);
+        self.child.push(child);
+        self.jlab.push(jlab);
+    }
+}
+
+/// A merge candidate produced while folding one child into a node's
+/// running table. Candidates are radix-sorted **stably** by `sig`, so
+/// equal signatures stay in generation order; keeping the first strict
+/// cost minimum per signature group then reproduces exactly the legacy
+/// hash path's insertion tie-breaking (`cost < best` in probe order).
+#[derive(Clone, Copy)]
+struct Cand {
+    sig: u64,
+    cost: f64,
+    prev: u32,
+    child: u32,
+    j: u8,
+}
+
+/// Stable LSD radix sort of `cands` by `sig`, one byte per pass.
+///
+/// `max_sig` is the OR of every candidate signature: bytes above its
+/// width are constant zero and are never visited, and a counting pass
+/// that finds a byte constant across the slice skips its scatter. In
+/// practice only the low byte of each occupied 16-bit lane varies, so a
+/// height-`h` fold pays ~`h` linear passes — no comparator, no log
+/// factor, which is what lets the sorted merge beat hash probing.
+fn radix_by_sig(cands: &mut Vec<Cand>, scratch: &mut Vec<Cand>, max_sig: u64) {
+    let k = cands.len();
+    if k <= 1 {
+        return;
+    }
+    let bytes = (64 - max_sig.leading_zeros() as usize).div_ceil(8);
+    scratch.clear();
+    scratch.resize(k, cands[0]);
+    let mut in_main = true;
+    for b in 0..bytes {
+        let shift = 8 * b;
+        let (src, dst): (&[Cand], &mut [Cand]) = if in_main {
+            (cands, scratch)
+        } else {
+            (scratch, cands)
+        };
+        let mut counts = [0u32; 256];
+        for c in src {
+            counts[((c.sig >> shift) & 0xFF) as usize] += 1;
+        }
+        if counts.iter().any(|&c| c as usize == k) {
+            continue; // byte is constant: the pass would be the identity
+        }
+        let mut sum = 0u32;
+        for c in counts.iter_mut() {
+            let run = *c;
+            *c = sum;
+            sum += run;
+        }
+        for c in src {
+            let d = ((c.sig >> shift) & 0xFF) as usize;
+            dst[counts[d] as usize] = *c;
+            counts[d] += 1;
+        }
+        in_main = !in_main;
+    }
+    if !in_main {
+        std::mem::swap(cands, scratch);
+    }
+}
+
+/// Widest compact key the dense merge strategy will direct-address
+/// (2²⁰ slots ≈ 24 MB of table); wider cap layouts fall back to the
+/// radix-sorted merge.
+const DENSE_MAX_BITS: u32 = 20;
+
+/// Caps-derived compact signature layout for the dense fold strategy.
+///
+/// Lane `k` of a table signature is bounded by `caps[k]`, so it needs
+/// only `bits(caps[k])` bits rather than a full 16-bit lane. The compact
+/// key packs the lanes contiguously (lane 0 least significant, matching
+/// the `u64` packing, so compact-key order ≡ packed-signature order)
+/// with one spare *guard* bit per field. Two properties make the merge
+/// loop nearly free:
+///
+/// * **Additivity** — each field holds `2·cap` without overflowing into
+///   its neighbour, so for in-cap signatures `pack(a ⊕ b) = pack(a) +
+///   pack(b)`: the `(j₁,j₂)`-consistent merge is one integer add.
+/// * **SWAR capacity check** — `(pack(caps) | guards) - key` keeps every
+///   guard bit set iff every lane of `key` is within its cap, and the
+///   per-field differences cannot borrow across fields (each field's
+///   minuend `cap + 2^w` exceeds any field sum `≤ 2·cap < 2^(w+1)`).
+struct CkLayout {
+    /// Bit offset of field `k`; `shift[h]` is the total width.
+    shift: [u32; MAX_HEIGHT + 1],
+    /// OR of the per-field guard bits.
+    guards: u32,
+    /// `pack(caps)`.
+    capck: u32,
+    /// `low[j]` masks fields `0..j` — the lanes merged at cut level `j`.
+    low: [u32; MAX_HEIGHT + 1],
+    h: usize,
+}
+
+impl CkLayout {
+    /// Builds the layout, or `None` when it exceeds [`DENSE_MAX_BITS`].
+    fn build(caps: &[u32], h: usize) -> Option<CkLayout> {
+        let mut l = CkLayout {
+            shift: [0; MAX_HEIGHT + 1],
+            guards: 0,
+            capck: 0,
+            low: [0; MAX_HEIGHT + 1],
+            h,
+        };
+        let mut at = 0u32;
+        for k in 0..h {
+            l.shift[k] = at;
+            l.low[k] = (1u32 << at) - 1;
+            at += (32 - caps[k].leading_zeros()) + 1; // value bits + guard
+            if at > DENSE_MAX_BITS {
+                return None;
+            }
+            l.guards |= 1 << (at - 1);
+            l.capck |= caps[k] << l.shift[k];
+        }
+        l.shift[h] = at;
+        l.low[h] = (1u32 << at) - 1;
+        Some(l)
+    }
+
+    /// Packs an in-cap `u64` signature into its compact key.
+    #[inline]
+    fn pack(&self, sig: u64) -> u32 {
+        let mut ck = 0u32;
+        for k in 0..self.h {
+            ck |= sig_lane(sig, k) << self.shift[k];
+        }
+        ck
+    }
+
+    /// Expands a compact key (guard bits clear) back to the `u64` packing.
+    #[inline]
+    fn unpack(&self, ck: u32) -> u64 {
+        let mut sig = 0u64;
+        for k in 0..self.h {
+            let width = self.shift[k + 1] - self.shift[k];
+            let lane = (ck >> self.shift[k]) & ((1u32 << width) - 1);
+            sig |= (lane as u64) << (16 * k);
+        }
+        sig
+    }
+}
+
+/// One slot of the dense fold table, addressed by compact key.
+#[derive(Clone, Copy, Default)]
+struct DenseSlot {
+    cost: f64,
+    prev: u32,
+    child: u32,
+    /// Fold stamp: the slot is live only when this matches the current
+    /// fold's epoch, which makes per-fold clearing O(1). Folds stamp
+    /// from 1, so zeroed slots start vacant.
+    epoch: u32,
+    j: u8,
+}
+
+/// Inserts a merge candidate into the dense fold table with exactly the
+/// legacy hash path's semantics: first write wins the slot, later ones
+/// replace it only on strictly lower cost — candidates arrive in the
+/// legacy probe order, so ties resolve identically.
+#[inline]
+#[allow(clippy::too_many_arguments)] // hot path; a params struct would obscure the slot write
+fn dense_probe(
+    slots: &mut [DenseSlot],
+    touched: &mut Vec<u32>,
+    epoch: u32,
+    ck: u32,
+    cost: f64,
+    prev: u32,
+    child: u32,
+    j: u8,
+) {
+    let s = &mut slots[ck as usize];
+    if s.epoch != epoch {
+        *s = DenseSlot {
+            cost,
+            prev,
+            child,
+            epoch,
+            j,
+        };
+        touched.push(ck);
+    } else if cost < s.cost {
+        s.cost = cost;
+        s.prev = prev;
+        s.child = child;
+        s.j = j;
+    }
+}
+
+fn solve_arena(
+    tree: &RootedTree,
+    leaf_units: &[u32],
+    caps: &[u32],
+    deltas: &[f64],
+    h: usize,
+    prune: bool,
+) -> Result<RelaxedSolution, HgpError> {
+    let n = tree.num_nodes();
+    let mut arena = Arena::default();
+    // final_seg[v]: arena range of v's final (post-last-fold) table,
+    // stored in ascending signature order.
+    let mut final_seg: Vec<(u32, u32)> = vec![(0, 0); n];
+    let mut table_entries = 0usize;
+    // Scratch reused across every fold of every node.
+    let mut cands: Vec<Cand> = Vec::new();
+    let mut radix_buf: Vec<Cand> = Vec::new();
+    let mut winners: Vec<(u64, f64)> = Vec::new();
+    let mut wentry: Vec<(u32, u32, u8)> = Vec::new();
+    let mut prune_scratch = PruneScratch::default();
+    // Dense strategy state: a direct-addressed slot per compact key when
+    // the caps pack narrowly enough, otherwise the radix-merge fallback.
+    let layout = CkLayout::build(caps, h);
+    let mut slots: Vec<DenseSlot> = Vec::new();
+    let mut touched: Vec<u32> = Vec::new();
+    let mut ckcur: Vec<u32> = Vec::new();
+    let mut epoch = 0u32;
+    if let Some(l) = &layout {
+        slots.resize(1usize << l.shift[h], DenseSlot::default());
+    }
+
+    for v in tree.postorder() {
+        if tree.is_leaf(v) {
+            let d = leaf_units[v];
+            assert!(d >= 1, "leaf {v} has zero rounded demand");
+            if (0..h).any(|k| d > caps[k]) {
+                // a single task exceeds some level capacity
+                return Err(HgpError::CapacityInfeasible);
+            }
+            let mut sig = 0u64;
+            for k in 0..h {
+                sig = sig_with_lane(sig, k, d);
+            }
+            let start = arena.len();
+            arena.push(sig, 0.0, NO_ENTRY, NO_ENTRY, 0);
+            final_seg[v] = (start, arena.len());
+            table_entries += 1;
+            continue;
+        }
+
+        // cur: arena range of the running fold table (None = the initial
+        // empty-signature pseudo-state, sig 0 / cost 0).
+        let mut cur: Option<(u32, u32)> = None;
+        for &c in tree.children(v) {
+            let c = c as usize;
+            let w = tree.edge_weight(c);
+            let (cs, ce) = final_seg[c];
+            winners.clear();
+            wentry.clear();
+            if let Some(l) = &layout {
+                // Dense strategy: every candidate lands in a
+                // direct-addressed slot keyed by compact signature — the
+                // merge is one add, the cap check one SWAR subtract, the
+                // dedup one stamped store. Probe order is the legacy
+                // (child entry, j, cur entry) order, so slot updates
+                // reproduce hash-insertion tie-breaking exactly.
+                epoch += 1;
+                touched.clear();
+                if let Some((ps, pe)) = cur {
+                    ckcur.clear();
+                    ckcur.extend((ps..pe).map(|pi| l.pack(arena.sig[pi as usize])));
+                }
+                let capg = l.capck | l.guards;
+                for ci in cs..ce {
+                    let csig = arena.sig[ci as usize];
+                    let ccost = arena.cost[ci as usize];
+                    // suffix charge: suf[j] = Σ_{k ≥ j, lane>0} w·δ(k)
+                    let mut suf = [0.0f64; MAX_HEIGHT + 1];
+                    if !w.is_infinite() {
+                        for k in (0..h).rev() {
+                            suf[k] = suf[k + 1]
+                                + if sig_lane(csig, k) > 0 {
+                                    w * deltas[k]
+                                } else {
+                                    0.0
+                                };
+                        }
+                    }
+                    let j_lo = if w.is_infinite() { h } else { 0 };
+                    let ckchild = l.pack(csig);
+                    for j in j_lo..=h {
+                        // lanes 0..j of the child merge in (levels 1..=j
+                        // stay connected)
+                        let ckpre = ckchild & l.low[j];
+                        let add = suf[j];
+                        match cur {
+                            None => {
+                                // merging into the empty signature: the
+                                // child table invariant (lanes ≤ caps)
+                                // makes the cap check vacuous
+                                dense_probe(
+                                    &mut slots,
+                                    &mut touched,
+                                    epoch,
+                                    ckpre,
+                                    ccost + add,
+                                    NO_ENTRY,
+                                    ci,
+                                    j as u8,
+                                );
+                            }
+                            Some((ps, _)) => {
+                                for (pii, &ckc) in ckcur.iter().enumerate() {
+                                    let ck = ckc + ckpre;
+                                    if capg.wrapping_sub(ck) & l.guards != l.guards {
+                                        continue; // a lane sum exceeds its cap
+                                    }
+                                    let pi = ps + pii as u32;
+                                    let cost = (arena.cost[pi as usize] + ccost) + add;
+                                    dense_probe(
+                                        &mut slots,
+                                        &mut touched,
+                                        epoch,
+                                        ck,
+                                        cost,
+                                        pi,
+                                        ci,
+                                        j as u8,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                if touched.is_empty() {
+                    return Err(HgpError::CapacityInfeasible); // infeasible below v
+                }
+                // ascending compact key ≡ ascending packed signature
+                touched.sort_unstable();
+                for &ck in &touched {
+                    let s = slots[ck as usize];
+                    winners.push((l.unpack(ck), s.cost));
+                    wentry.push((s.prev, s.child, s.j));
+                }
+            } else {
+                // Radix fallback for cap layouts too wide to
+                // direct-address: materialise every candidate, then a
+                // stable LSD radix sort groups equal signatures in
+                // generation order.
+                cands.clear();
+                let mut max_sig = 0u64;
+                for ci in cs..ce {
+                    let csig = arena.sig[ci as usize];
+                    let ccost = arena.cost[ci as usize];
+                    // suffix charge: suf[j] = Σ_{k ≥ j, lane>0} w·δ(k)
+                    let mut suf = [0.0f64; MAX_HEIGHT + 1];
+                    if !w.is_infinite() {
+                        for k in (0..h).rev() {
+                            suf[k] = suf[k + 1]
+                                + if sig_lane(csig, k) > 0 {
+                                    w * deltas[k]
+                                } else {
+                                    0.0
+                                };
+                        }
+                    }
+                    let j_lo = if w.is_infinite() { h } else { 0 };
+                    for j in j_lo..=h {
+                        // lanes 0..j of the child merge in (levels 1..=j
+                        // stay connected); per-lane headroom hoisted out
+                        // of the inner loop
+                        let pre = csig & LOW_LANES[j];
+                        let add = suf[j];
+                        let mut limit = [0u32; MAX_HEIGHT];
+                        for k in 0..j {
+                            // child table invariant: lane ≤ cap
+                            limit[k] = caps[k] - sig_lane(csig, k);
+                        }
+                        match cur {
+                            None => {
+                                max_sig |= pre;
+                                cands.push(Cand {
+                                    sig: pre,
+                                    cost: ccost + add,
+                                    prev: NO_ENTRY,
+                                    child: ci,
+                                    j: j as u8,
+                                });
+                            }
+                            Some((ps, pe)) => {
+                                for pi in ps..pe {
+                                    let cursig = arena.sig[pi as usize];
+                                    let mut ok = true;
+                                    for k in 0..j {
+                                        if sig_lane(cursig, k) > limit[k] {
+                                            ok = false;
+                                            break;
+                                        }
+                                    }
+                                    if !ok {
+                                        continue;
+                                    }
+                                    // per-lane sums stay ≤ caps ≤ 0xFFFF,
+                                    // so the add cannot carry across lanes
+                                    let sig = cursig + pre;
+                                    max_sig |= sig;
+                                    cands.push(Cand {
+                                        sig,
+                                        cost: (arena.cost[pi as usize] + ccost) + add,
+                                        prev: pi,
+                                        child: ci,
+                                        j: j as u8,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                if cands.is_empty() {
+                    return Err(HgpError::CapacityInfeasible); // infeasible below v
+                }
+                // Sorted merge: radix-group the candidates by signature
+                // (stable, so groups stay in generation order), then keep
+                // the first strict cost minimum of each group —
+                // byte-for-byte the hash path's `cost < best` insertion
+                // semantics.
+                radix_by_sig(&mut cands, &mut radix_buf, max_sig);
+                let mut i = 0;
+                while i < cands.len() {
+                    let sig = cands[i].sig;
+                    let mut best = i;
+                    let mut next = i + 1;
+                    while next < cands.len() && cands[next].sig == sig {
+                        if cands[next].cost < cands[best].cost {
+                            best = next;
+                        }
+                        next += 1;
+                    }
+                    winners.push((sig, cands[best].cost));
+                    let cd = cands[best];
+                    wentry.push((cd.prev, cd.child, cd.j));
+                    i = next;
+                }
+            }
+            let keep = if prune {
+                prune_keep(&winners, h, &mut prune_scratch)
+            } else {
+                None
+            };
+            let start = arena.len();
+            for (wi, &(sig, cost)) in winners.iter().enumerate() {
+                if let Some(mask) = keep {
+                    if !mask[wi] {
+                        continue;
+                    }
+                }
+                let (prev, child, j) = wentry[wi];
+                arena.push(sig, cost, prev, child, j);
+            }
+            let end = arena.len();
+            table_entries += (end - start) as usize;
+            // entries were appended in ascending signature order, so the
+            // next fold scans them exactly as the legacy sorted `cur`
+            cur = Some((start, end));
+        }
+        final_seg[v] = cur.expect("internal node has at least one child");
+    }
+
+    // pick the best root entry: minimum cost, smallest signature on ties —
+    // the segment is sig-sorted, so the first strict minimum wins
+    let root = tree.root();
+    let (rs, re) = final_seg[root];
+    let mut best: Option<u32> = None;
+    for i in rs..re {
+        match best {
+            None => best = Some(i),
+            Some(b) => {
+                if arena.cost[i as usize] < arena.cost[b as usize] {
+                    best = Some(i);
+                }
+            }
+        }
+    }
+    let Some(best) = best else {
+        return Err(HgpError::CapacityInfeasible);
+    };
+    let best_cost = arena.cost[best as usize];
+    let root_signature = sig_unpack(arena.sig[best as usize], h);
+
+    // walk backpointers to label every edge — pure index chasing
+    let mut cut_level = vec![h as u8; n];
+    let mut stack = vec![(root, best)];
+    while let Some((v, entry)) = stack.pop() {
+        if tree.is_leaf(v) {
+            continue;
+        }
+        let kids = tree.children(v);
+        let mut e = entry as usize;
+        for i in (0..kids.len()).rev() {
+            let c = kids[i] as usize;
+            cut_level[c] = arena.jlab[e];
+            stack.push((c, arena.child[e]));
+            let p = arena.prev[e];
+            if i == 0 {
+                debug_assert_eq!(p, NO_ENTRY, "fold chain must start empty");
+                break;
+            }
+            e = p as usize;
+        }
+    }
+
+    Ok(RelaxedSolution {
+        cut_level,
+        cost: best_cost,
+        root_signature,
+        table_entries,
+    })
+}
+
+/// Legacy hash-table engine — the pre-arena implementation, kept
+/// bit-identical in observable output so it can serve as the parity
+/// oracle for the arena path.
+fn solve_legacy(
+    tree: &RootedTree,
+    leaf_units: &[u32],
+    caps: &[u32],
+    deltas: &[f64],
+    h: usize,
+    prune: bool,
+) -> Result<RelaxedSolution, HgpError> {
+    let n = tree.num_nodes();
 
     // steps[v][i]: fold table after absorbing child i of v.
     let mut steps: Vec<Vec<FxMap<Step>>> = vec![Vec::new(); n];
     // finals[v]: signature -> best cost for the subtree of v.
     let mut finals: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
     let mut table_entries = 0usize;
+    let mut prune_scratch = PruneScratch::default();
+    let mut prune_entries: Vec<(u64, f64)> = Vec::new();
 
     for v in tree.postorder() {
         if tree.is_leaf(v) {
@@ -239,7 +876,9 @@ pub fn solve_relaxed(
             if next.is_empty() {
                 return Err(HgpError::CapacityInfeasible); // infeasible below v
             }
-            pareto_prune(&mut next, h);
+            if prune {
+                pareto_prune(&mut next, h, &mut prune_entries, &mut prune_scratch);
+            }
             table_entries += next.len();
             cur = next.iter().map(|(&s, st)| (s, st.cost)).collect();
             // deterministic order for reproducible tie-breaking downstream
@@ -292,102 +931,94 @@ pub fn solve_relaxed(
     })
 }
 
-/// Fenwick tree over lane values supporting prefix minimum queries.
-struct PrefixMin {
-    data: Vec<f64>,
+/// Tables at or below this size skip dominance pruning: scanning a
+/// handful of entries next fold is cheaper than sorting and pruning
+/// them. Shared by both engines so the kept tables stay identical.
+const PRUNE_MIN_TABLE: usize = 9;
+
+/// Scratch buffers for [`prune_keep`], reused across folds so the hot
+/// path performs no per-call allocation once warmed up.
+#[derive(Default)]
+struct PruneScratch {
+    keep: Vec<bool>,
+    /// Fenwick array for the `h = 2` prefix-minimum sweep.
+    fen: Vec<f64>,
+    /// Hoisted `(cost, sig, index)` sort keys for `h ∈ {3, 4}`.
+    keyed: Vec<(f64, u64, u32)>,
+    kept_sigs: Vec<u64>,
 }
 
-impl PrefixMin {
-    fn new(n: usize) -> Self {
-        Self {
-            data: vec![f64::INFINITY; n + 1],
-        }
-    }
-    /// min over indices `0..=i`.
-    fn query(&self, i: usize) -> f64 {
-        let mut i = i + 1;
-        let mut m = f64::INFINITY;
-        while i > 0 {
-            m = m.min(self.data[i]);
-            i -= i & i.wrapping_neg();
-        }
-        m
-    }
-    fn update(&mut self, i: usize, v: f64) {
-        let mut i = i + 1;
-        while i < self.data.len() {
-            if v < self.data[i] {
-                self.data[i] = v;
-            }
-            i += i & i.wrapping_neg();
-        }
-    }
-}
-
-/// Removes Pareto-dominated entries: signature `A` dominates `B` when every
-/// lane of `A` is ≤ the corresponding lane of `B` and `cost(A) ≤ cost(B)`.
-/// Dominated states can never appear in an optimal completion (future folds
-/// only *add* sibling demands and charge levels whose lanes are non-zero,
-/// both monotone in the lane values), so pruning them is lossless. This is
+/// Marks the Pareto frontier of a table sorted by ascending packed
+/// signature: signature `A` dominates `B` when every lane of `A` is ≤ the
+/// corresponding lane of `B` and `cost(A) ≤ cost(B)`. Dominated states
+/// can never appear in an optimal completion (future folds only *add*
+/// sibling demands and charge levels whose lanes are non-zero, both
+/// monotone in the lane values), so pruning them is lossless. This is
 /// what keeps fine rounding grids tractable — the paper's `D^h` signature
 /// domain collapses to its Pareto frontier.
-fn pareto_prune(table: &mut FxMap<Step>, h: usize) {
-    let n = table.len();
-    if n <= 1 {
-        return;
+///
+/// Returns `None` when nothing is pruned (table under the keep threshold,
+/// or over the `h ≥ 3` quadratic-sweep bound), else the per-entry keep
+/// mask. The kept set is the full non-dominated set — independent of the
+/// scan order, because every scan below visits dominators before the
+/// entries they dominate (packed signatures compare lane-monotonically)
+/// and domination is transitive.
+fn prune_keep<'a>(entries: &[(u64, f64)], h: usize, s: &'a mut PruneScratch) -> Option<&'a [bool]> {
+    let n = entries.len();
+    if n <= PRUNE_MIN_TABLE {
+        return None;
     }
-    let mut entries: Vec<(u64, f64)> = table.iter().map(|(&s, st)| (s, st.cost)).collect();
+    s.keep.clear();
+    s.keep.resize(n, true);
     match h {
         1 => {
-            // sort by lane0 asc, cost asc; keep strict prefix-min in cost
-            entries.sort_unstable_by(|a, b| {
-                a.0.cmp(&b.0)
-                    .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            });
+            // sig order = lane0 ascending; keep the strict running cost
+            // minimum
             let mut best = f64::INFINITY;
-            for (sig, cost) in entries {
+            for (i, &(_, cost)) in entries.iter().enumerate() {
                 if cost >= best {
-                    table.remove(&sig);
+                    s.keep[i] = false;
                 } else {
                     best = cost;
                 }
             }
         }
         2 => {
-            // sort by (lane0, lane1, cost); Fenwick prefix-min over lane1
-            entries.sort_unstable_by(|a, b| {
-                let (a0, a1) = (sig_lane(a.0, 0), sig_lane(a.0, 1));
-                let (b0, b1) = (sig_lane(b.0, 0), sig_lane(b.0, 1));
-                (a0, a1)
-                    .cmp(&(b0, b1))
-                    .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            });
-            let max_lane1 = entries.iter().map(|e| sig_lane(e.0, 1)).max().unwrap_or(0) as usize;
-            let mut fen = PrefixMin::new(max_lane1 + 1);
-            for (sig, cost) in entries {
-                let l1 = sig_lane(sig, 1) as usize;
-                if fen.query(l1) <= cost {
-                    table.remove(&sig);
+            // sig order = (lane1, lane0) lexicographic; a dominator has
+            // lane1 ≤ and lane0 ≤, so it always precedes — Fenwick
+            // prefix-minimum over lane0 answers "cheapest kept entry with
+            // lane0 ≤ mine"
+            let max_l0 = entries.iter().map(|e| sig_lane(e.0, 0)).max().unwrap_or(0) as usize;
+            s.fen.clear();
+            s.fen.resize(max_l0 + 2, f64::INFINITY);
+            for (i, &(sig, cost)) in entries.iter().enumerate() {
+                let l0 = sig_lane(sig, 0) as usize;
+                if fen_query(&s.fen, l0) <= cost {
+                    s.keep[i] = false;
                 } else {
-                    fen.update(l1, cost);
+                    fen_update(&mut s.fen, l0, cost);
                 }
             }
         }
         _ => {
             // h in {3, 4}: quadratic sweep, bounded to modest tables
             if n > 6000 {
-                return;
+                return None;
             }
-            entries.sort_unstable_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
-            });
-            let mut kept: Vec<u64> = Vec::new();
-            'outer: for (sig, _) in entries {
+            s.keyed.clear();
+            s.keyed.extend(
+                entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(sig, cost))| (cost, sig, i as u32)),
+            );
+            s.keyed
+                .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            s.kept_sigs.clear();
+            'outer: for &(_, sig, i) in &s.keyed {
                 // earlier entries have lower cost: dominated iff some kept
                 // entry is lane-wise <= sig
-                for &k in &kept {
+                for &k in &s.kept_sigs {
                     let mut dom = true;
                     for lane in 0..h {
                         if sig_lane(k, lane) > sig_lane(sig, lane) {
@@ -396,11 +1027,58 @@ fn pareto_prune(table: &mut FxMap<Step>, h: usize) {
                         }
                     }
                     if dom {
-                        table.remove(&sig);
+                        s.keep[i as usize] = false;
                         continue 'outer;
                     }
                 }
-                kept.push(sig);
+                s.kept_sigs.push(sig);
+            }
+        }
+    }
+    Some(&s.keep)
+}
+
+/// Prefix-minimum query over a Fenwick array (`data[0]` unused).
+fn fen_query(data: &[f64], i: usize) -> f64 {
+    let mut i = i + 1;
+    let mut m = f64::INFINITY;
+    while i > 0 {
+        m = m.min(data[i]);
+        i -= i & i.wrapping_neg();
+    }
+    m
+}
+
+/// Point update of a Fenwick prefix-minimum array.
+fn fen_update(data: &mut [f64], i: usize, v: f64) {
+    let mut i = i + 1;
+    while i < data.len() {
+        if v < data[i] {
+            data[i] = v;
+        }
+        i += i & i.wrapping_neg();
+    }
+}
+
+/// Removes Pareto-dominated entries from a legacy hash table by routing
+/// through the shared [`prune_keep`] mask, so both engines keep byte-for-
+/// byte identical tables (including the small-table short-circuit).
+fn pareto_prune(
+    table: &mut FxMap<Step>,
+    h: usize,
+    entries: &mut Vec<(u64, f64)>,
+    scratch: &mut PruneScratch,
+) {
+    if table.len() <= PRUNE_MIN_TABLE {
+        return;
+    }
+    entries.clear();
+    entries.extend(table.iter().map(|(&s, st)| (s, st.cost)));
+    entries.sort_unstable_by_key(|e| e.0);
+    if let Some(keep) = prune_keep(entries, h, scratch) {
+        for (i, &(sig, _)) in entries.iter().enumerate() {
+            if !keep[i] {
+                table.remove(&sig);
             }
         }
     }
@@ -618,5 +1296,106 @@ mod tests {
         assert_eq!(sig_unpack(sig, 4), vec![17, 0, 65_535, 1]);
         sig = sig_with_lane(sig, 2, 3);
         assert_eq!(sig_lane(sig, 2), 3);
+        let mut buf = vec![99; 7];
+        sig_unpack_into(sig, 4, &mut buf);
+        assert_eq!(buf, vec![17, 0, 3, 1]);
+        assert_eq!(sig_lanes(sig, 2).collect::<Vec<_>>(), vec![17, 0]);
+    }
+
+    /// Builds a pseudo-random caterpillar/bushy tree and checks that the
+    /// arena and legacy engines return bit-identical results.
+    ///
+    /// `widen_caps` adds slack far beyond [`DENSE_MAX_BITS`] so the
+    /// arena engine takes the radix-merge fallback instead of the dense
+    /// direct-addressed strategy — both must match the legacy oracle.
+    fn parity_case_with(seed: u64, h: usize, widen_caps: u32) {
+        // tiny deterministic LCG so the case is reproducible
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut b = TreeBuilder::new_root();
+        let mut nodes = vec![0usize];
+        for _ in 0..24 {
+            let p = nodes[next(nodes.len() as u64) as usize];
+            let w = 0.5 + next(8) as f64;
+            nodes.push(b.add_child(p, w));
+        }
+        let t = b.build();
+        let mut units = vec![0u32; t.num_nodes()];
+        for v in 0..t.num_nodes() {
+            if t.is_leaf(v) {
+                units[v] = 1 + next(3) as u32;
+            }
+        }
+        let total: u32 = units.iter().sum();
+        let caps: Vec<u32> = (0..h)
+            .map(|k| (total / (1 + k as u32)).max(4) + widen_caps)
+            .collect();
+        if widen_caps > 0 {
+            assert!(
+                CkLayout::build(&caps, h).is_none(),
+                "widened caps must force the radix fallback"
+            );
+        }
+        let deltas: Vec<f64> = (0..h).map(|k| 1.0 + (h - k) as f64).collect();
+        for dominance_prune in [true, false] {
+            let arena = solve_relaxed_with(
+                &t,
+                &units,
+                &caps,
+                &deltas,
+                DpOptions {
+                    dominance_prune,
+                    legacy_engine: false,
+                },
+            );
+            let legacy = solve_relaxed_with(
+                &t,
+                &units,
+                &caps,
+                &deltas,
+                DpOptions {
+                    dominance_prune,
+                    legacy_engine: true,
+                },
+            );
+            match (arena, legacy) {
+                (Ok(a), Ok(l)) => {
+                    assert_eq!(a.cost.to_bits(), l.cost.to_bits(), "seed {seed} h {h}");
+                    assert_eq!(a.cut_level, l.cut_level, "seed {seed} h {h}");
+                    assert_eq!(a.root_signature, l.root_signature, "seed {seed} h {h}");
+                    assert_eq!(a.table_entries, l.table_entries, "seed {seed} h {h}");
+                }
+                (Err(a), Err(l)) => assert_eq!(a, l, "seed {seed} h {h}"),
+                (a, l) => panic!("engines disagree on feasibility: {a:?} vs {l:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn arena_matches_legacy_engine_bitwise() {
+        for seed in 0..12 {
+            for h in 1..=4 {
+                parity_case_with(seed, h, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn radix_fallback_matches_legacy_engine_bitwise() {
+        // caps wide enough that the compact-key layout overflows
+        // DENSE_MAX_BITS, exercising the radix merge. A single 16-bit
+        // lane always packs within the dense budget, so the fallback is
+        // only reachable at h ≥ 2. Wide caps disable most infeasibility
+        // pruning, so tables are large — keep the seed count small.
+        for seed in 0..3 {
+            for h in 2..=4 {
+                parity_case_with(seed, h, 40_000);
+            }
+        }
     }
 }

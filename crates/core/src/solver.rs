@@ -14,7 +14,8 @@
 //! order (cost ties broken by tree index), so the output is bit-identical
 //! for every [`Parallelism`] setting — see DESIGN.md §8.
 
-use crate::tree_solver::{solve_rooted, SolveError, TreeSolveReport};
+use crate::relaxed::DpOptions;
+use crate::tree_solver::{solve_rooted_with, SolveError, TreeSolveReport};
 use crate::{Assignment, Instance, Rounding, ViolationReport};
 use hgp_decomp::{par_map_indexed, racke_distribution_par, DecompOpts, Distribution, Parallelism};
 use hgp_hierarchy::Hierarchy;
@@ -36,6 +37,8 @@ pub struct SolverOptions {
     pub parallelism: Parallelism,
     /// RNG seed (the whole pipeline is deterministic given this seed).
     pub seed: u64,
+    /// Signature-DP engine options (dominance pruning, engine choice).
+    pub dp: DpOptions,
 }
 
 impl Default for SolverOptions {
@@ -46,6 +49,7 @@ impl Default for SolverOptions {
             decomp: DecompOpts::default(),
             parallelism: Parallelism::Auto,
             seed: 0xC0FFEE,
+            dp: DpOptions::default(),
         }
     }
 }
@@ -135,7 +139,7 @@ pub fn solve_on_distribution(
     let results: Vec<TreeOutcome> = par_map_indexed(opts.parallelism, p, |i| {
         let dt = &dist.trees[i];
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            solve_rooted(&dt.tree, &dt.task_of_leaf, inst, h, opts.rounding)
+            solve_rooted_with(&dt.tree, &dt.task_of_leaf, inst, h, opts.rounding, opts.dp)
         }))
         .unwrap_or_else(|payload| Err(SolveError::from_panic(payload)))
     });

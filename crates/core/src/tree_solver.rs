@@ -9,7 +9,7 @@
 //! equivalent to "partition all nodes".
 
 use crate::laminar::build_level_sets;
-use crate::relaxed::solve_relaxed;
+use crate::relaxed::{solve_relaxed_with, DpOptions};
 use crate::repair::{repair_assignment, RepairStats};
 use crate::{Assignment, Instance, Rounding, ViolationReport};
 use hgp_graph::traversal;
@@ -43,7 +43,8 @@ pub struct TreeSolveReport {
     /// Number of sets per level in the relaxed laminar family.
     pub level_set_counts: Vec<usize>,
     /// Wall-clock nanoseconds spent in the signature DP (rounding setup,
-    /// [`solve_relaxed`], laminar reconstruction). Diagnostic only — feeds
+    /// [`solve_relaxed_with`], laminar reconstruction). Diagnostic only —
+    /// feeds
     /// the `BENCH_solver.json` stage breakdown; never part of the solution.
     pub dp_nanos: u64,
     /// Wall-clock nanoseconds spent in Theorem-5 repair
@@ -61,6 +62,18 @@ pub fn solve_rooted(
     inst: &Instance,
     h: &Hierarchy,
     rounding: Rounding,
+) -> Result<TreeSolveReport, SolveError> {
+    solve_rooted_with(tree, task_of_leaf, inst, h, rounding, DpOptions::default())
+}
+
+/// [`solve_rooted`] with explicit signature-DP engine options.
+pub fn solve_rooted_with(
+    tree: &RootedTree,
+    task_of_leaf: &[u32],
+    inst: &Instance,
+    h: &Hierarchy,
+    rounding: Rounding,
+    dp: DpOptions,
 ) -> Result<TreeSolveReport, SolveError> {
     inst.check_feasible(h).map_err(SolveError::Infeasible)?;
     let n = tree.num_nodes();
@@ -88,7 +101,7 @@ pub fn solve_rooted(
         .map(|k| h.cost_multiplier(k) - h.cost_multiplier(k + 1))
         .collect();
 
-    let relaxed = solve_relaxed(tree, &leaf_units, &caps, &deltas)?;
+    let relaxed = solve_relaxed_with(tree, &leaf_units, &caps, &deltas, dp)?;
     let level_sets = build_level_sets(tree, &relaxed.cut_level, h.height());
     debug_assert!(level_sets.check_laminar(tree.leaves().len()).is_ok());
     let dp_nanos = t_dp.elapsed().as_nanos() as u64;

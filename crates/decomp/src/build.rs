@@ -3,7 +3,7 @@
 use hgp_graph::partition::{fm_refine, multilevel_bisection, BisectOpts, Bisection};
 use hgp_graph::spectral::{spectral_bisection, SpectralOpts};
 use hgp_graph::tree::RootedTree;
-use hgp_graph::{Graph, GraphBuilder, NodeId};
+use hgp_graph::{Graph, GraphBuilder, NodeId, SubgraphScratch};
 use rand::Rng;
 
 /// Which bisection oracle drives the recursive decomposition
@@ -116,6 +116,19 @@ fn bisect_cluster<R: Rng + ?Sized>(
     }
 }
 
+/// Builds the MWU length-scaled bisection graph `w(e) · scale(e)` as one
+/// fresh [`Graph`]. The distribution builder calls this **once per wave**
+/// and shares the result across every tree of the wave (they all bisect
+/// against the same length snapshot), instead of each tree rebuilding it.
+pub fn scale_graph(g: &Graph, edge_scale: &[f64]) -> Graph {
+    assert_eq!(edge_scale.len(), g.num_edges());
+    let mut b = GraphBuilder::new(g.num_nodes());
+    for (e, u, v, w) in g.edges() {
+        b.add_edge(u, v, w * edge_scale[e.index()]);
+    }
+    b.build()
+}
+
 /// Builds one decomposition tree of `g`.
 ///
 /// * `node_w[v]` — balance weights for the bisections (use task demands so
@@ -134,99 +147,127 @@ pub fn build_decomp_tree<R: Rng + ?Sized>(
     opts: &DecompOpts,
     rng: &mut R,
 ) -> DecompTree {
+    match edge_scale {
+        None => build_decomp_tree_prescaled(g, g, node_w, opts, rng),
+        Some(s) => {
+            let scaled = scale_graph(g, s);
+            build_decomp_tree_prescaled(g, &scaled, node_w, opts, rng)
+        }
+    }
+}
+
+/// Core tree builder over an already-scaled bisection graph: `scaled` must
+/// have the same node count and edge set as `g` (only the weights may
+/// differ — pass `g` itself when no MWU scaling applies). Bisections run
+/// on `scaled`; tree-edge weights always come from `g`.
+///
+/// The recursion is allocation-free in steady state: cluster membership
+/// lives in one arena partitioned in place (each side keeps ascending node
+/// order, so the induced-subgraph extraction never sorts), the subgraph CSR
+/// and balance-weight buffers are reused across `bisect_cluster` calls, and
+/// both children's boundary weights come from a single marking pass.
+///
+/// # Panics
+/// Panics if `g` is empty or slice lengths disagree.
+pub fn build_decomp_tree_prescaled<R: Rng + ?Sized>(
+    g: &Graph,
+    scaled: &Graph,
+    node_w: &[f64],
+    opts: &DecompOpts,
+    rng: &mut R,
+) -> DecompTree {
     let n = g.num_nodes();
     assert!(n >= 1, "cannot decompose the empty graph");
     assert_eq!(node_w.len(), n);
-    if let Some(s) = edge_scale {
-        assert_eq!(s.len(), g.num_edges());
-    }
+    assert_eq!(scaled.num_nodes(), n);
+    assert_eq!(scaled.num_edges(), g.num_edges());
 
-    // graph the bisections run on (possibly length-scaled)
-    let scaled = match edge_scale {
-        None => g.clone(),
-        Some(s) => {
-            let mut b = GraphBuilder::new(n);
-            for (e, u, v, w) in g.edges() {
-                b.add_edge(u, v, w * s[e.index()]);
-            }
-            b.build()
-        }
-    };
-
-    // precompute, per node, its boundary contribution lazily during splits.
     let mut parent: Vec<u32> = vec![0];
     let mut weight: Vec<f64> = vec![0.0];
     let mut task_of_leaf: Vec<u32> = vec![u32::MAX];
 
-    // stack of (tree node id, cluster members)
-    let all: Vec<u32> = (0..n as u32).collect();
-    let mut stack: Vec<(usize, Vec<u32>)> = vec![(0, all)];
-    let mut in_cluster = vec![false; n];
+    // members arena: every cluster is a contiguous ascending range of this
+    // vector, identified on the stack by (tree node id, lo, hi)
+    let mut members: Vec<u32> = (0..n as u32).collect();
+    let mut stack: Vec<(usize, usize, usize)> = vec![(0, 0, n)];
 
-    while let Some((id, cluster)) = stack.pop() {
-        if cluster.len() == 1 {
-            task_of_leaf[id] = cluster[0];
+    // scratch reused across every cluster of the recursion
+    let mut sub_scratch = SubgraphScratch::new();
+    let mut sub_w: Vec<f64> = Vec::new();
+    let mut side_buf: Vec<u32> = Vec::new();
+    let mut mark: Vec<u8> = vec![0; n]; // 0 = outside cluster, 1 = side 0, 2 = side 1
+
+    while let Some((id, lo, hi)) = stack.pop() {
+        if hi - lo == 1 {
+            task_of_leaf[id] = members[lo];
             continue;
         }
         // bisect the cluster on the scaled graph
-        for &v in &cluster {
-            in_cluster[v as usize] = true;
-        }
-        let (sub, map) = scaled.induced_subgraph(&in_cluster);
-        let sub_w: Vec<f64> = map.iter().map(|v| node_w[v.index()]).collect();
-        let bis = bisect_cluster(&sub, &sub_w, opts, rng);
-        let mut side0 = Vec::new();
-        let mut side1 = Vec::new();
+        scaled.induced_subgraph_into(&members[lo..hi], &mut sub_scratch);
+        sub_w.clear();
+        sub_w.extend(sub_scratch.map().iter().map(|v| node_w[v.index()]));
+        let bis = bisect_cluster(sub_scratch.graph(), &sub_w, opts, rng);
+
+        // stable in-place partition: side-0 members compact to the front,
+        // side-1 members go to the back, both keeping ascending order (the
+        // write cursor never overtakes the read index)
+        side_buf.clear();
+        let mut w = lo;
         for (i, &s) in bis.side.iter().enumerate() {
+            let v = members[lo + i];
             if s {
-                side1.push(map[i].0);
+                side_buf.push(v);
             } else {
-                side0.push(map[i].0);
+                members[w] = v;
+                w += 1;
             }
         }
-        for &v in &cluster {
-            in_cluster[v as usize] = false;
+        members[w..hi].copy_from_slice(&side_buf);
+        let mut mid = w;
+        // degenerate bisection (can happen on tiny/odd clusters): the range
+        // is untouched — still ascending — so force an even split at the
+        // midpoint, exactly the legacy sort-then-halve behaviour
+        if mid == lo || mid == hi {
+            mid = lo + (hi - lo) / 2;
         }
-        // degenerate bisection (can happen on tiny/odd clusters): force split
-        if side0.is_empty() || side1.is_empty() {
-            let mut sorted = cluster.clone();
-            sorted.sort_unstable();
-            let mid = sorted.len() / 2;
-            side1 = sorted.split_off(mid);
-            side0 = sorted;
+
+        // boundary weights of both sides from one marking pass over `g`;
+        // per side, additions run in ascending-member adjacency order, the
+        // same float order as a per-side recomputation
+        for &v in &members[lo..mid] {
+            mark[v as usize] = 1;
         }
-        for side in [side0, side1] {
-            let bw = boundary_weight(g, &side, &mut in_cluster);
+        for &v in &members[mid..hi] {
+            mark[v as usize] = 2;
+        }
+        let mut bw = [0.0f64; 2];
+        for (side_ix, range) in [(0usize, lo..mid), (1usize, mid..hi)] {
+            let own = side_ix as u8 + 1;
+            let mut acc = 0.0;
+            for &v in &members[range] {
+                for (u, wt, _) in g.neighbors(NodeId(v)) {
+                    if mark[u.index()] != own {
+                        acc += wt;
+                    }
+                }
+            }
+            bw[side_ix] = acc;
+        }
+        for &v in &members[lo..hi] {
+            mark[v as usize] = 0;
+        }
+
+        for (side_ix, (slo, shi)) in [(0usize, (lo, mid)), (1, (mid, hi))] {
             let child = parent.len();
             parent.push(id as u32);
-            weight.push(bw);
+            weight.push(bw[side_ix]);
             task_of_leaf.push(u32::MAX);
-            stack.push((child, side));
+            stack.push((child, slo, shi));
         }
     }
 
     let tree = RootedTree::from_parents(0, parent, weight);
     DecompTree { tree, task_of_leaf }
-}
-
-/// Total original-weight of edges leaving `cluster` in the full graph.
-/// `scratch` must be all-false of length `n` and is restored before return.
-fn boundary_weight(g: &Graph, cluster: &[u32], scratch: &mut [bool]) -> f64 {
-    for &v in cluster {
-        scratch[v as usize] = true;
-    }
-    let mut w = 0.0;
-    for &v in cluster {
-        for (u, wt, _) in g.neighbors(NodeId(v)) {
-            if !scratch[u.index()] {
-                w += wt;
-            }
-        }
-    }
-    for &v in cluster {
-        scratch[v as usize] = false;
-    }
-    w
 }
 
 #[cfg(test)]
@@ -332,6 +373,30 @@ mod tests {
                 side[dt.task_of_leaf[l] as usize] = true;
             }
             assert!((dt.tree.edge_weight(v) - g.cut_weight(&side)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unit_edge_scale_is_bitwise_equivalent_to_none() {
+        // scale 1.0 goes through scale_graph + the prescaled path with a
+        // rebuilt graph; None passes `g` itself. `w * 1.0 == w` bitwise, so
+        // every bisection, RNG draw and boundary sum must coincide exactly.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::gnp_connected(&mut rng, 28, 0.25, 0.5, 2.0);
+        let w = vec![1.0; 28];
+        let ones = vec![1.0; g.num_edges()];
+        let mut r1 = StdRng::seed_from_u64(77);
+        let mut r2 = StdRng::seed_from_u64(77);
+        let a = build_decomp_tree(&g, &w, None, &DecompOpts::default(), &mut r1);
+        let b = build_decomp_tree(&g, &w, Some(&ones), &DecompOpts::default(), &mut r2);
+        assert_eq!(a.task_of_leaf, b.task_of_leaf);
+        assert_eq!(a.tree.num_nodes(), b.tree.num_nodes());
+        for v in 0..a.tree.num_nodes() {
+            assert_eq!(a.tree.children(v), b.tree.children(v));
+            assert_eq!(
+                a.tree.edge_weight(v).to_bits(),
+                b.tree.edge_weight(v).to_bits()
+            );
         }
     }
 

@@ -1,7 +1,7 @@
 //! Distributions of decomposition trees via multiplicative weights over
 //! measured congestion — the practical stand-in for Theorem 6.
 
-use crate::build::{build_decomp_tree, DecompOpts, DecompTree};
+use crate::build::{build_decomp_tree_prescaled, scale_graph, DecompOpts, DecompTree};
 use crate::parallel::{par_map_indexed, Parallelism};
 use hgp_graph::tree::LcaIndex;
 use hgp_graph::Graph;
@@ -103,13 +103,22 @@ pub fn racke_distribution_par<R: Rng + ?Sized>(
     let mut lengths = vec![1.0f64; g.num_edges()];
     let mut trees = Vec::with_capacity(num_trees);
     let mut start = 0;
+    let mut scaled_store: Option<Graph>;
     while start < num_trees {
         let end = (start + wave).min(num_trees);
-        // the first wave sees all-ones lengths: pass the graph unscaled
-        let snapshot = if start == 0 { None } else { Some(&lengths[..]) };
+        // every tree of a wave bisects against the same length snapshot, so
+        // the length-scaled graph is built once here and shared by the whole
+        // wave instead of being rebuilt inside each build_decomp_tree call
+        // (the first wave sees all-ones lengths: the graph itself, unscaled)
+        let scaled: &Graph = if start == 0 {
+            g
+        } else {
+            scaled_store = Some(scale_graph(g, &lengths));
+            scaled_store.as_ref().unwrap()
+        };
         let built = par_map_indexed(par, end - start, |k| {
             let mut tree_rng = StdRng::seed_from_u64(seeds[start + k]);
-            let dt = build_decomp_tree(g, node_w, snapshot, opts, &mut tree_rng);
+            let dt = build_decomp_tree_prescaled(g, scaled, node_w, opts, &mut tree_rng);
             let congestion = hop_congestion(&dt, g);
             (dt, congestion)
         });
@@ -151,6 +160,7 @@ impl Distribution {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::build::build_decomp_tree;
     use hgp_graph::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -31,7 +31,9 @@ mod build;
 mod distribution;
 mod parallel;
 
-pub use build::{build_decomp_tree, CutOracle, DecompOpts, DecompTree};
+pub use build::{
+    build_decomp_tree, build_decomp_tree_prescaled, scale_graph, CutOracle, DecompOpts, DecompTree,
+};
 pub use distribution::{
     hop_congestion, racke_distribution, racke_distribution_par, CongestionStats, Distribution,
 };

@@ -7,8 +7,8 @@
 //! *measuring* how much a decomposition tree over-estimates cuts — the
 //! empirical face of the `O(log n)` embedding loss (experiment F2).
 
-use crate::flow::min_cut_groups;
-use crate::{Graph, NodeId};
+use crate::flow::FlowNetwork;
+use crate::Graph;
 
 /// A Gomory–Hu tree: `parent[v]`/`flow[v]` define the tree edge
 /// `(v, parent[v])` of weight `flow[v]` for every `v != 0` (node 0 is the
@@ -24,16 +24,29 @@ pub struct GomoryHuTree {
 /// Builds the Gomory–Hu tree of a connected graph with Gusfield's
 /// simplification (no contractions; `n - 1` Dinic runs).
 ///
+/// The flow network is built **once** and rewound with
+/// [`FlowNetwork::reset`] between runs: every iteration flows between two
+/// single terminals, so no super-source/sink surgery is needed and the arc
+/// lists never change — only the residual capacities do. This turns the
+/// dominant per-iteration cost from `O(n + m)` allocation and list
+/// construction into one `memcpy` over the capacity array.
+///
 /// # Panics
 /// Panics if the graph has fewer than 2 nodes.
 pub fn gomory_hu(g: &Graph) -> GomoryHuTree {
     let n = g.num_nodes();
     assert!(n >= 2, "Gomory-Hu tree needs at least two nodes");
+    let mut net = FlowNetwork::new(n);
+    for (_, u, v, w) in g.edges() {
+        net.add_edge(u.index(), v.index(), w);
+    }
     let mut parent = vec![0u32; n];
     let mut flow = vec![0.0f64; n];
     for i in 1..n {
         let t = parent[i] as usize;
-        let (f, side) = min_cut_groups(g, &[NodeId(i as u32)], &[NodeId(t as u32)]);
+        net.reset();
+        let f = net.max_flow(i, t);
+        let side = net.min_cut_side(i);
         flow[i] = f;
         for (j, p) in parent.iter_mut().enumerate().skip(i + 1) {
             if side[j] && *p as usize == t {

@@ -302,6 +302,134 @@ impl Graph {
         }
         (b.build(), new_to_old)
     }
+
+    /// Scratch-buffer variant of [`Graph::induced_subgraph`] for hot loops:
+    /// extracts the subgraph induced by `members` (strictly ascending
+    /// original node ids) into `scratch`, reusing its allocations across
+    /// calls. The produced graph and mapping are **bit-identical** to
+    /// [`Graph::induced_subgraph`] on the corresponding membership mask.
+    ///
+    /// No sort is needed: the old→new id mapping is monotone, and each
+    /// node's CSR adjacency lists its larger neighbours in ascending order,
+    /// so scanning members in ascending order and keeping only neighbours
+    /// `v > u` emits the kept edges already in the builder's `(u, v)` sort
+    /// order. This graph is simple, so no merge pass is needed either.
+    ///
+    /// # Panics
+    /// Panics if `members` is not strictly ascending or contains an id
+    /// `>= self.num_nodes()`.
+    pub fn induced_subgraph_into(&self, members: &[u32], scratch: &mut SubgraphScratch) {
+        let n = self.num_nodes();
+        if scratch.old_to_new.len() < n {
+            scratch.old_to_new.resize(n, u32::MAX);
+        }
+        let mut prev: i64 = -1;
+        for (k, &v) in members.iter().enumerate() {
+            assert!(
+                (v as i64) > prev && (v as usize) < n,
+                "members must be strictly ascending node ids"
+            );
+            prev = v as i64;
+            scratch.old_to_new[v as usize] = k as u32;
+        }
+        scratch.map.clear();
+        scratch.map.extend(members.iter().map(|&v| NodeId(v)));
+
+        let ns = members.len();
+        let sub = &mut scratch.sub;
+        sub.edges.clear();
+        for (k, &u) in members.iter().enumerate() {
+            for (v, w, _) in self.neighbors(NodeId(u)) {
+                if v.0 > u {
+                    let nv = scratch.old_to_new[v.index()];
+                    if nv != u32::MAX {
+                        sub.edges.push((k as u32, nv, w));
+                    }
+                }
+            }
+        }
+        sub.total_weight = sub.edges.iter().map(|e| e.2).sum();
+
+        let m = sub.edges.len();
+        sub.xadj.clear();
+        sub.xadj.resize(ns + 1, 0);
+        for &(u, v, _) in &sub.edges {
+            sub.xadj[u as usize + 1] += 1;
+            sub.xadj[v as usize + 1] += 1;
+        }
+        for i in 0..ns {
+            sub.xadj[i + 1] += sub.xadj[i];
+        }
+        scratch.cursor.clear();
+        scratch.cursor.extend_from_slice(&sub.xadj[..ns]);
+        sub.adjncy.clear();
+        sub.adjncy.resize(2 * m, 0);
+        sub.adjwgt.clear();
+        sub.adjwgt.resize(2 * m, 0.0);
+        sub.adj_eid.clear();
+        sub.adj_eid.resize(2 * m, 0);
+        for (eid, &(u, v, w)) in sub.edges.iter().enumerate() {
+            let cu = scratch.cursor[u as usize] as usize;
+            sub.adjncy[cu] = v;
+            sub.adjwgt[cu] = w;
+            sub.adj_eid[cu] = eid as u32;
+            scratch.cursor[u as usize] += 1;
+            let cv = scratch.cursor[v as usize] as usize;
+            sub.adjncy[cv] = u;
+            sub.adjwgt[cv] = w;
+            sub.adj_eid[cv] = eid as u32;
+            scratch.cursor[v as usize] += 1;
+        }
+
+        // restore the all-MAX invariant so the next call starts clean
+        for &v in members {
+            scratch.old_to_new[v as usize] = u32::MAX;
+        }
+    }
+}
+
+impl Default for Graph {
+    /// The empty graph (no nodes, no edges).
+    fn default() -> Self {
+        Graph {
+            xadj: vec![0],
+            adjncy: Vec::new(),
+            adjwgt: Vec::new(),
+            adj_eid: Vec::new(),
+            edges: Vec::new(),
+            total_weight: 0.0,
+        }
+    }
+}
+
+/// Reusable buffers for [`Graph::induced_subgraph_into`]: repeated
+/// extractions (the decomposition recursion performs one per cluster)
+/// reuse one set of allocations instead of building fresh `Vec`s each
+/// time. The same scratch may serve graphs of different sizes.
+#[derive(Debug, Default)]
+pub struct SubgraphScratch {
+    // all-u32::MAX between calls; entries are set and restored per call
+    old_to_new: Vec<u32>,
+    cursor: Vec<u32>,
+    sub: Graph,
+    map: Vec<NodeId>,
+}
+
+impl SubgraphScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The subgraph produced by the most recent extraction.
+    pub fn graph(&self) -> &Graph {
+        &self.sub
+    }
+
+    /// New-id → old-id mapping of the most recent extraction.
+    pub fn map(&self) -> &[NodeId] {
+        &self.map
+    }
 }
 
 #[cfg(test)]
@@ -375,5 +503,62 @@ mod tests {
     fn rejects_out_of_range_edge() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(NodeId(0), NodeId(5), 1.0);
+    }
+
+    #[test]
+    fn scratch_subgraph_is_bit_identical_to_allocating_path() {
+        // deterministic pseudo-random graph, no RNG crate needed here
+        let n = 40usize;
+        let mut edges = Vec::new();
+        let mut h = 0x9e3779b97f4a7c15u64;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                h = h
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if h >> 61 == 0 || v == u + 1 {
+                    let w = 0.5 + (h >> 40) as f64 / 65536.0;
+                    edges.push((u, v, w));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges);
+        let mut scratch = SubgraphScratch::new();
+        // several different subsets through the SAME scratch, including a
+        // singleton and the full vertex set
+        let subsets: Vec<Vec<u32>> = vec![
+            (0..n as u32).collect(),
+            (0..n as u32).step_by(2).collect(),
+            (0..n as u32).filter(|v| v % 3 != 1).collect(),
+            vec![7],
+            (10..30).collect(),
+        ];
+        for members in subsets {
+            let keep: Vec<bool> = (0..n).map(|v| members.contains(&(v as u32))).collect();
+            let (want, want_map) = g.induced_subgraph(&keep);
+            g.induced_subgraph_into(&members, &mut scratch);
+            let got = scratch.graph();
+            assert_eq!(scratch.map(), &want_map[..]);
+            assert_eq!(got.xadj, want.xadj);
+            assert_eq!(got.adjncy, want.adjncy);
+            assert_eq!(got.adj_eid, want.adj_eid);
+            assert_eq!(got.edges.len(), want.edges.len());
+            for (a, b) in got.edges.iter().zip(&want.edges) {
+                assert_eq!((a.0, a.1), (b.0, b.1));
+                assert_eq!(a.2.to_bits(), b.2.to_bits());
+            }
+            for (a, b) in got.adjwgt.iter().zip(&want.adjwgt) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(got.total_weight.to_bits(), want.total_weight.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn scratch_subgraph_rejects_unsorted_members() {
+        let g = triangle();
+        let mut scratch = SubgraphScratch::new();
+        g.induced_subgraph_into(&[2, 0], &mut scratch);
     }
 }

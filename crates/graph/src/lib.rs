@@ -35,4 +35,4 @@ pub mod traversal;
 pub mod tree;
 pub mod unionfind;
 
-pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
+pub use graph::{EdgeId, Graph, GraphBuilder, NodeId, SubgraphScratch};

@@ -35,8 +35,8 @@ use hgp_baselines::kway::{kway_partition, KwayOpts};
 use hgp_baselines::refine::{refine, RefineOpts};
 use hgp_core::fingerprint::distribution_fingerprint;
 use hgp_core::solver::{build_distribution, SolverOptions};
-use hgp_core::tree_solver::solve_rooted;
-use hgp_core::{Assignment, HgpError, Parallelism, Rounding};
+use hgp_core::tree_solver::solve_rooted_with;
+use hgp_core::{Assignment, DpOptions, HgpError, Parallelism, Rounding};
 use hgp_decomp::par_map_indexed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,6 +81,8 @@ struct WorkerCtx {
     /// Worker width each solve may fan its tree sampling / per-tree DPs
     /// across (never affects the answer — see DESIGN.md §8).
     parallelism: Parallelism,
+    /// Signature-DP engine options applied to every solve.
+    dp: DpOptions,
 }
 
 fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
@@ -103,7 +105,7 @@ fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
                         if job.panic_solve {
                             panic!("panic-solve test hook");
                         }
-                        run_solve(&job, &ctx.cache, &ctx.metrics, ctx.parallelism)
+                        run_solve(&job, &ctx.cache, &ctx.metrics, ctx.parallelism, ctx.dp)
                     }))
                     .unwrap_or_else(|payload| {
                         ctx.metrics.inc(&ctx.metrics.solve_panics);
@@ -139,6 +141,7 @@ impl SolverPool {
         workers: usize,
         queue_capacity: usize,
         parallelism: Parallelism,
+        dp: DpOptions,
         cache: Arc<DecompCache>,
         metrics: Arc<Metrics>,
     ) -> Self {
@@ -149,6 +152,7 @@ impl SolverPool {
             metrics: Arc::clone(&metrics),
             stop: Arc::new(AtomicBool::new(false)),
             parallelism,
+            dp,
         };
         let count = workers.max(1);
         let workers: Vec<JoinHandle<()>> =
@@ -248,8 +252,14 @@ fn expired(deadline: Option<Instant>) -> bool {
 }
 
 /// Executes one solve end to end and formats the reply line.
-fn run_solve(job: &SolveJob, cache: &DecompCache, metrics: &Metrics, par: Parallelism) -> String {
-    match solve_inner(job, cache, metrics, par) {
+fn run_solve(
+    job: &SolveJob,
+    cache: &DecompCache,
+    metrics: &Metrics,
+    par: Parallelism,
+    dp: DpOptions,
+) -> String {
+    match solve_inner(job, cache, metrics, par, dp) {
         Ok(line) => line,
         Err(e) => {
             match e.code {
@@ -266,6 +276,7 @@ fn solve_inner(
     cache: &DecompCache,
     metrics: &Metrics,
     par: Parallelism,
+    dp: DpOptions,
 ) -> Result<String, WireError> {
     let spec = &job.spec;
     let inst = spec.instance()?;
@@ -277,6 +288,7 @@ fn solve_inner(
         rounding: Rounding::with_units(spec.units),
         parallelism: par,
         seed: spec.seed,
+        dp,
         ..Default::default()
     };
 
@@ -309,7 +321,7 @@ fn solve_inner(
             let end = (solved + opts.parallelism.workers(total - solved)).min(total);
             let outcomes = par_map_indexed(opts.parallelism, end - solved, |k| {
                 let dt = &dist.trees[solved + k];
-                solve_rooted(&dt.tree, &dt.task_of_leaf, &inst, h, opts.rounding)
+                solve_rooted_with(&dt.tree, &dt.task_of_leaf, &inst, h, opts.rounding, opts.dp)
                     .ok()
                     .map(|rep| {
                         // map back to G and score by true Equation-1 cost
@@ -398,6 +410,7 @@ mod tests {
                 2,
                 4,
                 Parallelism::serial(),
+                DpOptions::default(),
                 Arc::clone(&cache),
                 Arc::clone(&metrics),
             ),
@@ -480,7 +493,14 @@ mod tests {
         let cache = Arc::new(DecompCache::new(2));
         let metrics = Arc::new(Metrics::new());
         // one slow worker, queue of 1: the third submit must bounce
-        let pool = SolverPool::new(1, 1, Parallelism::serial(), cache, metrics);
+        let pool = SolverPool::new(
+            1,
+            1,
+            Parallelism::serial(),
+            DpOptions::default(),
+            cache,
+            metrics,
+        );
         let (tx, _rx) = mpsc::channel();
         let now = Instant::now();
         let mut rejected = 0;
@@ -509,7 +529,7 @@ mod tests {
         let reply_with = |par: Parallelism| {
             let cache = Arc::new(DecompCache::new(2));
             let metrics = Arc::new(Metrics::new());
-            let pool = SolverPool::new(1, 4, par, cache, metrics);
+            let pool = SolverPool::new(1, 4, par, DpOptions::default(), cache, metrics);
             run(&pool, solve_spec(&line), None)
         };
         let serial = reply_with(Parallelism::serial());
@@ -532,7 +552,14 @@ mod tests {
     fn supervisor_respawns_crashed_workers() {
         let cache = Arc::new(DecompCache::new(2));
         let metrics = Arc::new(Metrics::new());
-        let pool = SolverPool::new(2, 4, Parallelism::serial(), cache, Arc::clone(&metrics));
+        let pool = SolverPool::new(
+            2,
+            4,
+            Parallelism::serial(),
+            DpOptions::default(),
+            cache,
+            Arc::clone(&metrics),
+        );
         assert_eq!(metrics.get(&metrics.workers_alive), 2);
 
         // kill one worker outright (bypasses the isolation boundary)
@@ -574,7 +601,14 @@ mod tests {
     fn panicking_solve_is_isolated_to_err_internal() {
         let cache = Arc::new(DecompCache::new(2));
         let metrics = Arc::new(Metrics::new());
-        let pool = SolverPool::new(1, 4, Parallelism::serial(), cache, Arc::clone(&metrics));
+        let pool = SolverPool::new(
+            1,
+            4,
+            Parallelism::serial(),
+            DpOptions::default(),
+            cache,
+            Arc::clone(&metrics),
+        );
 
         // a panic inside the boundary answers `err internal` ...
         let (tx, rx) = mpsc::channel();

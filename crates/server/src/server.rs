@@ -36,6 +36,9 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Maximum concurrently open incremental sessions.
     pub max_sessions: usize,
+    /// Signature-DP engine options applied to every solve
+    /// (`hgp serve --no-prune` disables dominance pruning).
+    pub dp: hgp_core::DpOptions,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +50,7 @@ impl Default for ServerConfig {
             parallelism: hgp_core::Parallelism::Auto,
             cache_capacity: 32,
             max_sessions: 256,
+            dp: hgp_core::DpOptions::default(),
         }
     }
 }
@@ -95,6 +99,7 @@ impl Server {
             config.workers,
             config.queue_capacity,
             config.parallelism,
+            config.dp,
             Arc::clone(&cache),
             Arc::clone(&metrics),
         );

@@ -2,7 +2,7 @@
 
 use hgp::core::cost::{mirror_cost_boundary, tree_min_cut};
 use hgp::core::laminar::build_level_sets;
-use hgp::core::relaxed::{labelling_cost, solve_relaxed};
+use hgp::core::relaxed::{labelling_cost, solve_relaxed, solve_relaxed_with, DpOptions};
 use hgp::core::{Assignment, Instance, Rounding};
 use hgp::graph::tree::TreeBuilder;
 use hgp::graph::Graph;
@@ -176,6 +176,74 @@ proptest! {
         // all set leaves on the S side, all others off it
         for (i, &leaf) in leaves.iter().enumerate() {
             prop_assert_eq!(side[leaf], mask >> i & 1 == 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The arena-backed DP engine and the legacy hash-table engine are
+    /// interchangeable oracles: on any random tree, leaf demands, caps,
+    /// and deltas — with or without dominance pruning — they return the
+    /// same cost to the bit, the same cut-level assignment, the same
+    /// root signature and table size, or the same error.
+    #[test]
+    fn arena_dp_equals_legacy_dp(
+        links in proptest::collection::vec(
+            (any::<u64>(), 0.2f64..6.0, 0u8..8),
+            4..=20,
+        ),
+        unit_seed in any::<u64>(),
+        h in 1usize..=4,
+        slack in 0u32..=8,
+        deltas in proptest::collection::vec(0.05f64..3.0, 4),
+    ) {
+        let mut b = TreeBuilder::new_root();
+        let mut nodes = vec![0usize];
+        for (raw, w, inf) in &links {
+            let p = nodes[(*raw as usize) % nodes.len()];
+            // 1-in-8 edges are uncuttable (infinite weight)
+            let w = if *inf == 0 { f64::INFINITY } else { *w };
+            nodes.push(b.add_child(p, w));
+        }
+        let t = b.build();
+        let mut units = vec![0u32; t.num_nodes()];
+        let mut s = unit_seed | 1;
+        for (v, u) in units.iter_mut().enumerate() {
+            if t.is_leaf(v) {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *u = 1 + ((s >> 33) % 3) as u32;
+            }
+        }
+        let total: u32 = units.iter().sum();
+        // small slack keeps some cases feasibility-tight, so the engines
+        // must also agree on CapacityInfeasible
+        let caps: Vec<u32> = (0..h)
+            .map(|k| (total / (1 + k as u32)).max(2) + slack)
+            .collect();
+        let deltas = &deltas[..h];
+        for dominance_prune in [false, true] {
+            let arena = solve_relaxed_with(&t, &units, &caps, deltas, DpOptions {
+                dominance_prune,
+                legacy_engine: false,
+            });
+            let legacy = solve_relaxed_with(&t, &units, &caps, deltas, DpOptions {
+                dominance_prune,
+                legacy_engine: true,
+            });
+            match (arena, legacy) {
+                (Ok(a), Ok(l)) => {
+                    prop_assert_eq!(a.cost.to_bits(), l.cost.to_bits());
+                    prop_assert_eq!(a.cut_level, l.cut_level);
+                    prop_assert_eq!(a.root_signature, l.root_signature);
+                    prop_assert_eq!(a.table_entries, l.table_entries);
+                }
+                (Err(a), Err(l)) => prop_assert_eq!(a, l),
+                (a, l) => prop_assert!(false, "feasibility disagreement: {:?} vs {:?}", a, l),
+            }
         }
     }
 }
