@@ -3,8 +3,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hgp_bench::experiments::common;
-use hgp_core::{solve_tree_instance, Rounding};
+use hgp_core::solver::SolverOptions;
+use hgp_core::Solve;
 use hgp_hierarchy::presets;
+
+/// Tree-reduction solve at the given rounding resolution, via the façade.
+fn tree_solve(inst: &hgp_core::Instance, h: &hgp_hierarchy::Hierarchy, units: u32) {
+    Solve::new(inst, h)
+        .options(SolverOptions::builder().units(units).build())
+        .run_tree()
+        .unwrap();
+}
 
 fn bench_dp(c: &mut Criterion) {
     let mut group = c.benchmark_group("dp_tree");
@@ -14,11 +23,11 @@ fn bench_dp(c: &mut Criterion) {
         let inst = common::random_tree_instance(9000 + n as u64, n, demand);
         let h2 = presets::multicore(2, 4, 4.0, 1.0);
         group.bench_with_input(BenchmarkId::new("h2_units8", n), &n, |b, _| {
-            b.iter(|| solve_tree_instance(&inst, &h2, Rounding::with_units(8)).unwrap())
+            b.iter(|| tree_solve(&inst, &h2, 8))
         });
         let h1 = presets::flat(8);
         group.bench_with_input(BenchmarkId::new("h1_units8", n), &n, |b, _| {
-            b.iter(|| solve_tree_instance(&inst, &h1, Rounding::with_units(8)).unwrap())
+            b.iter(|| tree_solve(&inst, &h1, 8))
         });
     }
     // grid-resolution axis at fixed n
@@ -26,7 +35,7 @@ fn bench_dp(c: &mut Criterion) {
     let h2 = presets::multicore(2, 4, 4.0, 1.0);
     for &units in &[4u32, 16, 64] {
         group.bench_with_input(BenchmarkId::new("h2_n64_units", units), &units, |b, &u| {
-            b.iter(|| solve_tree_instance(&inst, &h2, Rounding::with_units(u)).unwrap())
+            b.iter(|| tree_solve(&inst, &h2, u))
         });
     }
     group.finish();

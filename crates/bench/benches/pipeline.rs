@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hgp_bench::experiments::common;
-use hgp_core::solver::{solve, solve_on_distribution, SolverOptions};
+use hgp_core::Solve;
 use hgp_decomp::{racke_distribution, DecompOpts};
 use hgp_hierarchy::presets;
 use hgp_workloads::standard_suite;
@@ -12,16 +12,12 @@ fn bench_pipeline(c: &mut Criterion) {
     let suite = standard_suite(common::SEED);
     let mesh = suite.iter().find(|w| w.name == "mesh-8x8").unwrap();
     let h = presets::multicore(2, 4, 4.0, 1.0);
-    let opts = SolverOptions {
-        num_trees: 4,
-        ..common::default_solver()
-    };
+    let opts = common::default_solver().to_builder().trees(4).build();
+    let req = Solve::new(&mesh.inst, &h).options(opts);
 
     let mut group = c.benchmark_group("pipeline_mesh8x8");
     group.sample_size(10);
-    group.bench_function("end_to_end_p4", |b| {
-        b.iter(|| solve(&mesh.inst, &h, &opts).unwrap())
-    });
+    group.bench_function("end_to_end_p4", |b| b.iter(|| req.run().unwrap()));
     group.bench_function("distribution_only_p4", |b| {
         b.iter(|| {
             let mut rng = common::rng(1);
@@ -43,7 +39,7 @@ fn bench_pipeline(c: &mut Criterion) {
         &mut rng,
     );
     group.bench_function("tree_dps_only_p4", |b| {
-        b.iter(|| solve_on_distribution(&mesh.inst, &h, &dist, &opts).unwrap())
+        b.iter(|| req.run_on(&dist).unwrap())
     });
     group.finish();
 }

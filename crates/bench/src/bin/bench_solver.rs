@@ -91,9 +91,11 @@ fn main() {
         let report = run_solver_bench(&opts).unwrap_or_else(|e| fail(&e));
         match smoke_check(&committed, &report) {
             Ok(()) => println!(
-                "{path}: smoke ok, total.serial_ms {:.2} (arena speedup {:.2}x)",
+                "{path}: smoke ok, total.serial_ms {:.2} (arena speedup {:.2}x, \
+                 trace overhead {:+.1}%)",
                 report.total.serial_ms,
-                report.engine.arena_speedup()
+                report.engine.arena_speedup(),
+                100.0 * report.trace.overhead_frac()
             ),
             Err(e) => fail(&format!("{path}: {e}")),
         }
@@ -106,11 +108,12 @@ fn main() {
     std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
     eprintln!(
         "wrote {out}: dist {:.1} ms -> {:.1} ms, dp {:.1} ms -> {:.1} ms, \
-         arena speedup {:.2}x, parity ok",
+         arena speedup {:.2}x, trace overhead {:+.1}%, parity ok",
         report.distribution.serial_ms,
         report.distribution.parallel_ms,
         report.dp.serial_ms,
         report.dp.parallel_ms,
         report.engine.arena_speedup(),
+        100.0 * report.trace.overhead_frac(),
     );
 }

@@ -2,7 +2,7 @@
 
 use super::common;
 use crate::table::{f2, Table};
-use hgp_core::solver::{solve, SolverOptions};
+use hgp_core::Solve;
 use hgp_hierarchy::presets;
 use hgp_workloads::standard_suite;
 
@@ -12,15 +12,10 @@ pub(crate) fn collect() -> Vec<(String, f64, f64)> {
     let h = presets::multicore(2, 4, 4.0, 1.0);
     let mut out = Vec::new();
     for w in &suite {
-        let single = SolverOptions {
-            num_trees: 1,
-            ..common::default_solver()
-        };
-        let multi = SolverOptions {
-            num_trees: 8,
-            ..common::default_solver()
-        };
-        let (Ok(c1), Ok(c8)) = (solve(&w.inst, &h, &single), solve(&w.inst, &h, &multi)) else {
+        let single = common::default_solver().to_builder().trees(1).build();
+        let multi = common::default_solver().to_builder().trees(8).build();
+        let req = Solve::new(&w.inst, &h);
+        let (Ok(c1), Ok(c8)) = (req.options(single).run(), req.options(multi).run()) else {
             continue;
         };
         out.push((w.name.clone(), c1.cost, c8.cost));

@@ -4,7 +4,7 @@
 use super::common;
 use crate::table::{f2, Table};
 use hgp_baselines::refine::{refine, RefineOpts};
-use hgp_core::solver::{solve, SolverOptions};
+use hgp_core::Solve;
 use hgp_decomp::DecompOpts;
 use hgp_graph::partition::BisectOpts;
 use hgp_hierarchy::presets;
@@ -16,18 +16,19 @@ pub(crate) fn collect() -> Vec<(String, f64, f64, f64)> {
     let h = presets::multicore(2, 4, 4.0, 1.0);
     let mut out = Vec::new();
     for w in &suite {
-        let no_fm = SolverOptions {
-            decomp: DecompOpts {
+        let no_fm = common::default_solver()
+            .to_builder()
+            .decomp(DecompOpts {
                 bisect: BisectOpts {
                     no_refine: true,
                     ..Default::default()
                 },
                 ..Default::default()
-            },
-            ..common::default_solver()
-        };
+            })
+            .build();
         let with_fm = common::default_solver();
-        let (Ok(r0), Ok(r1)) = (solve(&w.inst, &h, &no_fm), solve(&w.inst, &h, &with_fm)) else {
+        let req = Solve::new(&w.inst, &h);
+        let (Ok(r0), Ok(r1)) = (req.options(no_fm).run(), req.options(with_fm).run()) else {
             continue;
         };
         let mut polished = r1.assignment.clone();

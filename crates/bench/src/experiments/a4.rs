@@ -4,7 +4,8 @@
 
 use super::common;
 use crate::table::{f2, Table};
-use hgp_core::solver::{solve, SolverOptions};
+use hgp_core::solver::SolverOptions;
+use hgp_core::Solve;
 use hgp_decomp::{build_decomp_tree, hop_congestion, CutOracle, DecompOpts};
 use hgp_graph::generators;
 use hgp_graph::gomoryhu::gomory_hu;
@@ -86,13 +87,14 @@ pub(crate) fn collect() -> Vec<Row> {
                     count += 1;
                 }
             }
-            let solver = SolverOptions {
-                num_trees: 4,
-                decomp: opts,
-                seed: common::SEED,
-                ..Default::default()
-            };
-            let cost = solve(&inst, &h, &solver)
+            let solver = SolverOptions::builder()
+                .trees(4)
+                .decomp(opts)
+                .seed(common::SEED)
+                .build();
+            let cost = Solve::new(&inst, &h)
+                .options(solver)
+                .run()
                 .map(|r| r.cost)
                 .unwrap_or(f64::NAN);
             out.push(Row {

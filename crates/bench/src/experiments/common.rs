@@ -1,7 +1,7 @@
 //! Shared experiment configuration.
 
 use hgp_core::solver::SolverOptions;
-use hgp_core::{Instance, Rounding};
+use hgp_core::Instance;
 use hgp_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,12 +11,11 @@ pub const SEED: u64 = 0x5AA5_2014;
 
 /// Default solver configuration for quality experiments.
 pub fn default_solver() -> SolverOptions {
-    SolverOptions {
-        num_trees: 8,
-        rounding: Rounding::with_units(8),
-        seed: SEED,
-        ..Default::default()
-    }
+    SolverOptions::builder()
+        .trees(8)
+        .units(8)
+        .seed(SEED)
+        .build()
 }
 
 /// Deterministic RNG for an experiment sub-run.

@@ -4,8 +4,8 @@
 use super::common;
 use crate::table::{f2, Table};
 use crate::timed;
-use hgp_core::solver::{solve_on_distribution, SolverOptions};
-use hgp_core::Rounding;
+use hgp_core::solver::SolverOptions;
+use hgp_core::Solve;
 use hgp_decomp::{racke_distribution, DecompOpts};
 use hgp_hierarchy::presets;
 use hgp_workloads::standard_suite;
@@ -34,13 +34,13 @@ pub(crate) fn collect() -> Vec<Point> {
     );
     let mut out = Vec::new();
     for &units in &[1u32, 2, 4, 8, 16, 32, 64] {
-        let opts = SolverOptions {
-            num_trees: 4,
-            rounding: Rounding::with_units(units),
-            seed: common::SEED,
-            ..Default::default()
-        };
-        let (res, ms) = timed(|| solve_on_distribution(&mesh.inst, &h, &dist, &opts));
+        let opts = SolverOptions::builder()
+            .trees(4)
+            .units(units)
+            .seed(common::SEED)
+            .build();
+        let req = Solve::new(&mesh.inst, &h).options(opts);
+        let (res, ms) = timed(|| req.run_on(&dist));
         if let Ok(rep) = res {
             out.push(Point {
                 units,

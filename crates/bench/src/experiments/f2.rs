@@ -3,7 +3,8 @@
 
 use super::common;
 use crate::table::{f2, Table};
-use hgp_core::solver::{solve_on_distribution, SolverOptions};
+use hgp_core::solver::SolverOptions;
+use hgp_core::Solve;
 use hgp_decomp::{hop_congestion, racke_distribution, DecompOpts};
 use hgp_graph::generators;
 use hgp_hierarchy::presets;
@@ -46,12 +47,10 @@ pub(crate) fn collect() -> Vec<Point> {
                 .iter()
                 .map(|t| hop_congestion(t, &g).1.max)
                 .fold(0.0, f64::max);
-            let opts = SolverOptions {
-                num_trees: p,
-                seed: common::SEED,
-                ..Default::default()
-            };
-            let cost = solve_on_distribution(&inst, &h, &dist, &opts)
+            let opts = SolverOptions::builder().trees(p).seed(common::SEED).build();
+            let cost = Solve::new(&inst, &h)
+                .options(opts)
+                .run_on(&dist)
                 .map(|r| r.cost)
                 .unwrap_or(f64::NAN);
             out.push(Point {

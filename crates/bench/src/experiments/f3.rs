@@ -7,7 +7,7 @@
 use super::common;
 use crate::table::{f2, Table};
 use hgp_baselines::mapping::{dual_recursive, flat_kbgp};
-use hgp_core::solver::solve;
+use hgp_core::Solve;
 use hgp_hierarchy::presets;
 use hgp_workloads::standard_suite;
 
@@ -31,7 +31,10 @@ pub(crate) fn collect() -> Vec<Point> {
             .expect("workload in suite");
         for &ratio in &[1.0f64, 2.0, 4.0, 8.0, 16.0] {
             let h = presets::geometric_like(&shape, ratio);
-            let hgp = match solve(&w.inst, &h, &common::default_solver()) {
+            let hgp = match Solve::new(&w.inst, &h)
+                .options(common::default_solver())
+                .run()
+            {
                 Ok(r) => r.cost,
                 Err(_) => continue,
             };

@@ -7,8 +7,9 @@ use crate::table::Table;
 use hgp_core::cost::laminar_mirror_cost;
 use hgp_core::laminar::build_level_sets;
 use hgp_core::relaxed::{labelling_cost, solve_relaxed};
+use hgp_core::solver::SolverOptions;
 use hgp_core::tree_solver::rooted_with_dummies;
-use hgp_core::{solve_tree_instance, Rounding};
+use hgp_core::{Rounding, Solve};
 use hgp_hierarchy::presets;
 
 const TRIALS: u64 = 20;
@@ -36,7 +37,10 @@ pub(crate) fn collect() -> Counts {
     let mut c = Counts::default();
     for seed in 0..TRIALS {
         let inst = common::random_tree_instance(0xF4_00 + seed, 10, 0.35);
-        let Ok(rep) = solve_tree_instance(&inst, &h, rounding) else {
+        let Ok(rep) = Solve::new(&inst, &h)
+            .options(SolverOptions::builder().rounding(rounding).build())
+            .run_tree()
+        else {
             continue;
         };
         c.trials += 1;

@@ -11,8 +11,8 @@ use crate::table::{f2, Table};
 use hgp_baselines::refine::{refine, RefineOpts};
 use hgp_baselines::Baseline;
 use hgp_core::bounds::component_count_bound;
-use hgp_core::solver::{solve, SolverOptions};
-use hgp_core::{Instance, Rounding};
+use hgp_core::solver::SolverOptions;
+use hgp_core::{Instance, Solve};
 use hgp_graph::generators;
 use hgp_hierarchy::presets;
 
@@ -44,13 +44,12 @@ pub(crate) fn collect() -> Vec<Point> {
             let nn = g.num_nodes();
             let demand = (0.85 * 8.0 / nn as f64).min(1.0);
             let inst = Instance::uniform(g, demand);
-            let opts = SolverOptions {
-                num_trees: 4,
-                rounding: Rounding::with_units(8),
-                seed: common::SEED,
-                ..Default::default()
-            };
-            let Ok(rep) = solve(&inst, &h, &opts) else {
+            let opts = SolverOptions::builder()
+                .trees(4)
+                .units(8)
+                .seed(common::SEED)
+                .build();
+            let Ok(rep) = Solve::new(&inst, &h).options(opts).run() else {
                 continue;
             };
             let slack = rep.violation.worst_factor().max(1.0);

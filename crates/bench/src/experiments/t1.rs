@@ -10,8 +10,8 @@
 use super::common;
 use crate::table::{f2, f3, Table};
 use hgp_core::exact::{solve_exact, ExactOptions};
-use hgp_core::solver::{solve, SolverOptions};
-use hgp_core::{solve_tree_instance, Rounding};
+use hgp_core::solver::SolverOptions;
+use hgp_core::Solve;
 use hgp_hierarchy::presets;
 
 const TRIALS: u64 = 8;
@@ -39,7 +39,10 @@ pub(crate) fn tree_arm(h: &hgp_hierarchy::Hierarchy, demand: f64) -> Outcome {
     let mut violations = Vec::new();
     for seed in 0..TRIALS {
         let inst = common::random_tree_instance(100 + seed, 8, demand);
-        let rep = solve_tree_instance(&inst, h, Rounding::with_units(64)).expect("solvable");
+        let rep = Solve::new(&inst, h)
+            .options(SolverOptions::builder().units(64).build())
+            .run_tree()
+            .expect("solvable");
         let (_, opt) = solve_exact(&inst, h, ExactOptions::default()).expect("exact solvable");
         if opt > 1e-9 {
             ratios.push(rep.cost / opt);
@@ -55,13 +58,12 @@ pub(crate) fn graph_arm(h: &hgp_hierarchy::Hierarchy, demand: f64) -> Outcome {
     let mut violations = Vec::new();
     for seed in 0..TRIALS {
         let inst = common::random_graph_instance(200 + seed, 8, demand);
-        let opts = SolverOptions {
-            num_trees: 8,
-            rounding: Rounding::with_units(32),
-            seed: common::SEED ^ seed,
-            ..Default::default()
-        };
-        let rep = solve(&inst, h, &opts).expect("solvable");
+        let opts = SolverOptions::builder()
+            .trees(8)
+            .units(32)
+            .seed(common::SEED ^ seed)
+            .build();
+        let rep = Solve::new(&inst, h).options(opts).run().expect("solvable");
         let (_, opt) = solve_exact(&inst, h, ExactOptions::default()).expect("exact solvable");
         if opt > 1e-9 {
             ratios.push(rep.cost / opt);

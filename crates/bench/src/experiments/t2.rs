@@ -7,8 +7,8 @@
 
 use super::common;
 use crate::table::{f2, Table};
-use hgp_core::solver::{solve, SolverOptions};
-use hgp_core::{Instance, Rounding};
+use hgp_core::solver::SolverOptions;
+use hgp_core::{Instance, Rounding, Solve};
 use hgp_hierarchy::{presets, Hierarchy};
 use hgp_workloads::{stream_dag, StreamOpts};
 use rand::Rng;
@@ -75,13 +75,12 @@ pub(crate) fn collect() -> Vec<Row> {
         for (wname, inst) in &insts {
             for &eps in &eps_list {
                 let rounding = Rounding::for_epsilon(inst.num_tasks(), eps);
-                let opts = SolverOptions {
-                    num_trees: 2,
-                    rounding,
-                    seed: common::SEED,
-                    ..Default::default()
-                };
-                if let Ok(rep) = solve(inst, &h, &opts) {
+                let opts = SolverOptions::builder()
+                    .trees(2)
+                    .rounding(rounding)
+                    .seed(common::SEED)
+                    .build();
+                if let Ok(rep) = Solve::new(inst, &h).options(opts).run() {
                     rows.push(Row {
                         machine: mname.clone(),
                         workload: wname.clone(),

@@ -8,7 +8,7 @@ use crate::table::{f2, Table};
 use hgp_baselines::anneal::{anneal, AnnealOpts};
 use hgp_baselines::refine::{refine, RefineOpts};
 use hgp_baselines::Baseline;
-use hgp_core::solver::solve;
+use hgp_core::Solve;
 use hgp_workloads::{machines, standard_suite};
 
 /// Cost of every method on `(workload, machine)`, HGP first.
@@ -24,7 +24,10 @@ pub(crate) fn collect() -> Vec<Row> {
     let mut rows = Vec::new();
     for (mname, h) in machines() {
         for w in &suite {
-            let rep = match solve(&w.inst, &h, &common::default_solver()) {
+            let rep = match Solve::new(&w.inst, &h)
+                .options(common::default_solver())
+                .run()
+            {
                 Ok(r) => r,
                 Err(_) => continue,
             };

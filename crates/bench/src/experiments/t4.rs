@@ -5,7 +5,8 @@
 use super::common;
 use crate::table::{f2, Table};
 use crate::timed;
-use hgp_core::{solve_tree_instance, Rounding};
+use hgp_core::solver::SolverOptions;
+use hgp_core::Solve;
 use hgp_hierarchy::presets;
 
 /// `(n, Δ, h)` → `(milliseconds, DP table entries)`.
@@ -18,7 +19,8 @@ pub(crate) fn measure(n: usize, units: u32, height2: bool) -> (f64, usize) {
     } else {
         presets::flat(8)
     };
-    let (rep, ms) = timed(|| solve_tree_instance(&inst, &h, Rounding::with_units(units)).unwrap());
+    let req = Solve::new(&inst, &h).options(SolverOptions::builder().units(units).build());
+    let (rep, ms) = timed(|| req.run_tree().unwrap());
     (ms, rep.dp_entries)
 }
 

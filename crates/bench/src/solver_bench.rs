@@ -8,6 +8,13 @@
 //! validation fails. Every future perf PR is judged against the JSON this
 //! module emits (see EXPERIMENTS.md, "The solver bench").
 //!
+//! Since schema `/3` the per-stage CPU totals are *span-derived*: the
+//! measured arms run with [`SolverOptions::trace`] on and the DP/repair CPU
+//! milliseconds are read from the report's [`hgp_core::SolveTrace`] rather
+//! than private timer fields, and the report carries a `trace` section
+//! comparing traced vs untraced wall time (the observability layer's
+//! overhead budget).
+//!
 //! Measured speedups are hardware-dependent: on a single-core machine
 //! serial and parallel arms are expected to tie. The emitted
 //! `available_parallelism` field records what the numbers were measured on.
@@ -15,8 +22,8 @@
 use crate::alloc::count_allocations;
 use crate::json::Json;
 use crate::timed;
-use hgp_core::solver::{build_distribution, solve_on_distribution, HgpReport, SolverOptions};
-use hgp_core::{DpOptions, Instance, Parallelism, Rounding};
+use hgp_core::solver::{HgpReport, SolverOptions};
+use hgp_core::{DpOptions, Instance, Parallelism, Solve};
 use hgp_graph::generators;
 use hgp_hierarchy::{presets, Hierarchy};
 use rand::rngs::StdRng;
@@ -25,8 +32,10 @@ use rand::SeedableRng;
 /// Schema tag emitted into (and required from) `BENCH_solver.json`.
 /// `/2` added the DP-engine comparison (`engine`), the
 /// mesh/expander/power-law × height workload matrix (`matrix`), and
-/// per-stage allocation counts (`allocs`).
-pub const SCHEMA: &str = "hgp-bench-solver/2";
+/// per-stage allocation counts (`allocs`). `/3` switched the DP/repair CPU
+/// totals to span-derived values from the solver trace and added the
+/// `trace` section (traced-vs-untraced wall time and span coverage).
+pub const SCHEMA: &str = "hgp-bench-solver/3";
 
 /// Workload and measurement knobs for [`run_solver_bench`].
 #[derive(Clone, Copy, Debug)]
@@ -129,6 +138,45 @@ impl EngineTimes {
     }
 }
 
+/// Traced-vs-untraced comparison of the full serial pipeline: the
+/// observability layer's acceptance budget is ≤ 2 % wall-time overhead,
+/// and the traced run's per-stage span sum should account for (nearly all
+/// of) its wall time.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceCost {
+    /// Full-pipeline wall time with [`SolverOptions::trace`] off
+    /// (min over repeats).
+    pub untraced_ms: f64,
+    /// Full-pipeline wall time with tracing on (min over repeats).
+    pub traced_ms: f64,
+    /// Sum of the traced run's wall-clock stages
+    /// (`distribution` + `sweep`), from [`hgp_core::SolveTrace`].
+    pub stage_sum_ms: f64,
+}
+
+impl TraceCost {
+    /// `traced / untraced − 1` — the fraction of wall time tracing added.
+    /// Negative values are timing noise (the arms are min-over-repeats of
+    /// the same work).
+    pub fn overhead_frac(&self) -> f64 {
+        if self.untraced_ms > 0.0 {
+            self.traced_ms / self.untraced_ms - 1.0
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// `stage_sum / traced` — the fraction of the traced run's wall time
+    /// its spans account for (the "within 10 % of wall" acceptance check).
+    pub fn span_coverage(&self) -> f64 {
+        if self.traced_ms > 0.0 {
+            self.stage_sum_ms / self.traced_ms
+        } else {
+            f64::NAN
+        }
+    }
+}
+
 /// One workload of the mesh/expander/power-law × height matrix: legacy and
 /// arena DP engines solve the same distribution and must agree bit-for-bit.
 #[derive(Clone, Debug)]
@@ -166,9 +214,11 @@ pub struct SolverBenchReport {
     pub distribution: StageTimes,
     /// DP-sweep stage wall times (per-tree DP + repair + scoring).
     pub dp: StageTimes,
-    /// Summed per-tree DP CPU milliseconds (serial arm, parallel arm).
+    /// Summed per-tree DP CPU milliseconds (serial arm, parallel arm),
+    /// read from the solve trace's `dp-cpu` total.
     pub dp_cpu_ms: (f64, f64),
-    /// Summed Theorem-5 repair CPU milliseconds (serial arm, parallel arm).
+    /// Summed Theorem-5 repair CPU milliseconds (serial arm, parallel
+    /// arm), read from the solve trace's `repair-cpu` total.
     pub repair_cpu_ms: (f64, f64),
     /// End-to-end wall times (distribution + sweep).
     pub total: StageTimes,
@@ -180,6 +230,8 @@ pub struct SolverBenchReport {
     pub engine: EngineTimes,
     /// The cross-topology × height parity/perf matrix.
     pub matrix: Vec<MatrixEntry>,
+    /// The observability tax: traced vs untraced serial pipeline.
+    pub trace: TraceCost,
     /// Costs returned by the two arms (must match bit-for-bit).
     pub costs: (f64, f64),
     /// `true` iff both arms returned bit-identical costs.
@@ -198,25 +250,34 @@ struct ArmResult {
     report: HgpReport,
 }
 
+/// Span-derived CPU milliseconds of the named total in the report's trace
+/// (`0` when the report was produced without tracing).
+fn trace_cpu_ms(rep: &HgpReport, name: &str) -> f64 {
+    rep.trace
+        .as_ref()
+        .and_then(|t| t.cpu_nanos(name))
+        .unwrap_or(0) as f64
+        / 1e6
+}
+
 fn arm(
     inst: &Instance,
     h: &Hierarchy,
     opts: &SolverOptions,
     repeats: usize,
 ) -> Result<ArmResult, String> {
+    let req = Solve::new(inst, h).options(*opts);
     let mut dist_ms = f64::INFINITY;
     let mut sweep_ms = f64::INFINITY;
     let mut dist_allocs = (0, 0);
     let mut sweep_allocs = (0, 0);
     let mut report = None;
     for _ in 0..repeats.max(1) {
-        let ((dist, ms), calls, bytes) =
-            count_allocations(|| timed(|| build_distribution(inst, opts)));
+        let ((dist, ms), calls, bytes) = count_allocations(|| timed(|| req.distribution()));
         let dist = dist.map_err(|e| format!("distribution failed: {e}"))?;
         dist_ms = dist_ms.min(ms);
         dist_allocs = (calls, bytes);
-        let ((rep, ms), calls, bytes) =
-            count_allocations(|| timed(|| solve_on_distribution(inst, h, &dist, opts)));
+        let ((rep, ms), calls, bytes) = count_allocations(|| timed(|| req.run_on(&dist)));
         let rep = rep.map_err(|e| format!("solve failed: {e}"))?;
         sweep_ms = sweep_ms.min(ms);
         sweep_allocs = (calls, bytes);
@@ -241,16 +302,49 @@ fn timed_sweep(
     dp: DpOptions,
     repeats: usize,
 ) -> Result<(f64, HgpReport), String> {
-    let opts = SolverOptions { dp, ..*opts };
+    let req = Solve::new(inst, h).options(opts.to_builder().dp(dp).build());
     let mut best_ms = f64::INFINITY;
     let mut report = None;
     for _ in 0..repeats.max(1) {
-        let (rep, ms) = timed(|| solve_on_distribution(inst, h, dist, &opts));
+        let (rep, ms) = timed(|| req.run_on(dist));
         let rep = rep.map_err(|e| format!("solve failed: {e}"))?;
         best_ms = best_ms.min(ms);
         report = Some(rep);
     }
     Ok((best_ms, report.expect("repeats >= 1")))
+}
+
+/// Measures the observability tax on the full serial pipeline: tracing off
+/// vs on, min wall over repeats, plus the traced run's per-stage span sum
+/// for the coverage check.
+fn measure_trace_cost(
+    inst: &Instance,
+    h: &Hierarchy,
+    serial_opts: &SolverOptions,
+    repeats: usize,
+) -> Result<TraceCost, String> {
+    let untraced = Solve::new(inst, h).options(serial_opts.to_builder().trace(false).build());
+    let traced = Solve::new(inst, h).options(serial_opts.to_builder().trace(true).build());
+    let mut untraced_ms = f64::INFINITY;
+    let mut traced_ms = f64::INFINITY;
+    let mut stage_sum_ms = 0.0;
+    for _ in 0..repeats.max(1) {
+        let (rep, ms) = timed(|| untraced.run());
+        rep.map_err(|e| format!("untraced solve failed: {e}"))?;
+        untraced_ms = untraced_ms.min(ms);
+        let (rep, ms) = timed(|| traced.run());
+        let rep = rep.map_err(|e| format!("traced solve failed: {e}"))?;
+        if ms < traced_ms {
+            traced_ms = ms;
+            stage_sum_ms =
+                rep.trace.as_ref().map(|t| t.stage_sum_nanos()).unwrap_or(0) as f64 / 1e6;
+        }
+    }
+    Ok(TraceCost {
+        untraced_ms,
+        traced_ms,
+        stage_sum_ms,
+    })
 }
 
 /// Runs the mesh/expander/power-law × height ∈ {2, 3, 4} matrix: for each
@@ -295,22 +389,20 @@ pub fn run_workload_matrix(repeats: usize, seed: u64) -> Result<Vec<MatrixEntry>
             let h = make_h();
             let demand = (0.8 * h.num_leaves() as f64 / nodes as f64).min(1.0);
             let inst = Instance::uniform(g, demand);
-            let opts = SolverOptions {
-                num_trees: 4,
-                rounding: Rounding::with_units(*units),
-                seed,
-                parallelism: Parallelism::serial(),
-                ..Default::default()
-            };
-            let dist = build_distribution(&inst, &opts)
+            let opts = SolverOptions::builder()
+                .trees(4)
+                .units(*units)
+                .seed(seed)
+                .threads(Parallelism::serial())
+                .build();
+            let dist = Solve::new(&inst, &h)
+                .options(opts)
+                .distribution()
                 .map_err(|e| format!("{gname}/h{height}: distribution failed: {e}"))?;
             let (arena_ms, arena) =
                 timed_sweep(&inst, &h, &dist, &opts, DpOptions::default(), repeats)
                     .map_err(|e| format!("{gname}/h{height}: {e}"))?;
-            let legacy_dp = DpOptions {
-                legacy_engine: true,
-                ..Default::default()
-            };
+            let legacy_dp = DpOptions::builder().legacy_engine(true).build();
             let (legacy_ms, legacy) = timed_sweep(&inst, &h, &dist, &opts, legacy_dp, repeats)
                 .map_err(|e| format!("{gname}/h{height}: {e}"))?;
             out.push(MatrixEntry {
@@ -339,28 +431,30 @@ pub fn run_solver_bench(opts: &SolverBenchOpts) -> Result<SolverBenchReport, Str
     let demand = (0.8 * h.num_leaves() as f64 / nodes as f64).min(1.0);
     let inst = Instance::uniform(g, demand);
 
-    let base = SolverOptions {
-        num_trees: opts.trees,
-        rounding: Rounding::with_units(opts.units),
-        seed: opts.seed,
-        ..Default::default()
-    };
-    let serial_opts = SolverOptions {
-        parallelism: Parallelism::serial(),
-        ..base
-    };
-    let parallel_opts = SolverOptions {
-        parallelism: Parallelism::from_threads(opts.threads),
-        ..base
-    };
+    // The measured arms run traced: the report's DP/repair CPU totals are
+    // read from the spans, and the `trace` section below prices exactly
+    // that choice against an untraced control.
+    let base = SolverOptions::builder()
+        .trees(opts.trees)
+        .units(opts.units)
+        .seed(opts.seed)
+        .trace(true)
+        .build();
+    let serial_opts = base.to_builder().threads(Parallelism::serial()).build();
+    let parallel_opts = base
+        .to_builder()
+        .threads(Parallelism::from_threads(opts.threads))
+        .build();
 
     let s = arm(&inst, &h, &serial_opts, opts.repeats)?;
     let p = arm(&inst, &h, &parallel_opts, opts.repeats)?;
     let (s_rep, p_rep) = (&s.report, &p.report);
 
     // old-vs-new DP engine, serial arm, on one shared distribution
-    let dist =
-        build_distribution(&inst, &serial_opts).map_err(|e| format!("distribution failed: {e}"))?;
+    let dist = Solve::new(&inst, &h)
+        .options(serial_opts)
+        .distribution()
+        .map_err(|e| format!("distribution failed: {e}"))?;
     let (arena_ms, arena_rep) = timed_sweep(
         &inst,
         &h,
@@ -369,10 +463,7 @@ pub fn run_solver_bench(opts: &SolverBenchOpts) -> Result<SolverBenchReport, Str
         DpOptions::default(),
         opts.repeats,
     )?;
-    let legacy_dp = DpOptions {
-        legacy_engine: true,
-        ..Default::default()
-    };
+    let legacy_dp = DpOptions::builder().legacy_engine(true).build();
     let (legacy_ms, legacy_rep) =
         timed_sweep(&inst, &h, &dist, &serial_opts, legacy_dp, opts.repeats)?;
     let engine = EngineTimes {
@@ -384,6 +475,7 @@ pub fn run_solver_bench(opts: &SolverBenchOpts) -> Result<SolverBenchReport, Str
     };
 
     let matrix = run_workload_matrix(opts.repeats, opts.seed)?;
+    let trace = measure_trace_cost(&inst, &h, &serial_opts, opts.repeats)?;
 
     Ok(SolverBenchReport {
         opts: *opts,
@@ -397,13 +489,10 @@ pub fn run_solver_bench(opts: &SolverBenchOpts) -> Result<SolverBenchReport, Str
             serial_ms: s.sweep_ms,
             parallel_ms: p.sweep_ms,
         },
-        dp_cpu_ms: (
-            s_rep.dp_nanos_total as f64 / 1e6,
-            p_rep.dp_nanos_total as f64 / 1e6,
-        ),
+        dp_cpu_ms: (trace_cpu_ms(s_rep, "dp-cpu"), trace_cpu_ms(p_rep, "dp-cpu")),
         repair_cpu_ms: (
-            s_rep.repair_nanos_total as f64 / 1e6,
-            p_rep.repair_nanos_total as f64 / 1e6,
+            trace_cpu_ms(s_rep, "repair-cpu"),
+            trace_cpu_ms(p_rep, "repair-cpu"),
         ),
         total: StageTimes {
             serial_ms: s.dist_ms + s.sweep_ms,
@@ -419,6 +508,7 @@ pub fn run_solver_bench(opts: &SolverBenchOpts) -> Result<SolverBenchReport, Str
         },
         engine,
         matrix,
+        trace,
         costs: (s_rep.cost, p_rep.cost),
         identical_cost: s_rep.cost.to_bits() == p_rep.cost.to_bits(),
         identical_assignment: s_rep.assignment == p_rep.assignment
@@ -539,6 +629,16 @@ impl SolverBenchReport {
                     ("parallel_cpu_ms", Json::Num(self.dp_cpu_ms.1)),
                 ]),
             ),
+            (
+                "trace",
+                Json::obj(vec![
+                    ("untraced_serial_ms", Json::Num(self.trace.untraced_ms)),
+                    ("traced_serial_ms", Json::Num(self.trace.traced_ms)),
+                    ("overhead_frac", Json::Num(self.trace.overhead_frac())),
+                    ("stage_sum_ms", Json::Num(self.trace.stage_sum_ms)),
+                    ("span_coverage", Json::Num(self.trace.span_coverage())),
+                ]),
+            ),
             ("total", stage(&self.total)),
             (
                 "parity",
@@ -558,9 +658,10 @@ impl SolverBenchReport {
 
 /// Validates an emitted `BENCH_solver.json`: parses, checks the schema tag,
 /// requires every stage with finite non-negative times and allocation
-/// counts (zero = "not measured" is fine), and requires cost parity between
-/// the serial/parallel arms, between the legacy and arena DP engines, and
-/// on every workload-matrix entry. CI and the smoke test both call this.
+/// counts (zero = "not measured" is fine), requires the `trace` section
+/// (finite overhead and coverage), and requires cost parity between the
+/// serial/parallel arms, between the legacy and arena DP engines, and on
+/// every workload-matrix entry. CI and the smoke test both call this.
 pub fn validate(text: &str) -> Result<(), String> {
     let doc = Json::parse(text)?;
     match doc.get("schema").and_then(Json::as_str) {
@@ -576,6 +677,19 @@ pub fn validate(text: &str) -> Result<(), String> {
             Ok(x)
         } else {
             Err(format!("field {} is {x}, not a time", path.join(".")))
+        }
+    };
+    // A value that may legitimately be negative (overhead noise) but must
+    // be present and finite.
+    let finite = |path: &[&str]| -> Result<f64, String> {
+        let x = doc
+            .path(path)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field {}", path.join(".")))?;
+        if x.is_finite() {
+            Ok(x)
+        } else {
+            Err(format!("field {} is {x}, not finite", path.join(".")))
         }
     };
     for stage in ["distribution", "dp"] {
@@ -598,6 +712,11 @@ pub fn validate(text: &str) -> Result<(), String> {
     }
     time(&["engine", "legacy_dp_serial_ms"])?;
     time(&["engine", "arena_dp_serial_ms"])?;
+    time(&["trace", "untraced_serial_ms"])?;
+    time(&["trace", "traced_serial_ms"])?;
+    time(&["trace", "stage_sum_ms"])?;
+    finite(&["trace", "overhead_frac"])?;
+    finite(&["trace", "span_coverage"])?;
     for flag in ["identical_cost", "identical_assignment"] {
         match doc.path(&["parity", flag]).and_then(Json::as_bool) {
             Some(true) => {}
@@ -700,6 +819,19 @@ mod tests {
                 e.name
             );
         }
+        // the CPU totals now come from the solve trace, so the traced arms
+        // must actually have populated them
+        assert!(report.dp_cpu_ms.0 > 0.0, "serial dp-cpu span missing");
+        assert!(report.dp_cpu_ms.1 > 0.0, "parallel dp-cpu span missing");
+        // the traced stages are timed inside the solve, so their sum can
+        // never exceed the measured wall time by more than noise
+        assert!(report.trace.stage_sum_ms > 0.0, "trace stages missing");
+        assert!(
+            report.trace.stage_sum_ms <= report.trace.traced_ms + 0.5,
+            "stage sum {} exceeds traced wall {}",
+            report.trace.stage_sum_ms,
+            report.trace.traced_ms
+        );
         let text = report.to_json().to_pretty();
         validate(&text).unwrap();
         // every stage the ISSUE names must be present in the document
@@ -715,6 +847,12 @@ mod tests {
         }
         assert!(doc.path(&["engine", "arena_speedup"]).is_some());
         assert!(doc.path(&["parity", "identical_cost"]).is_some());
+        for field in ["overhead_frac", "span_coverage", "traced_serial_ms"] {
+            assert!(
+                doc.path(&["trace", field]).is_some(),
+                "missing trace.{field}"
+            );
+        }
     }
 
     #[test]
@@ -725,7 +863,7 @@ mod tests {
         let good = report.to_json().to_pretty();
         let no_parity = good.replace("\"identical_cost\": true", "\"identical_cost\": false");
         assert!(validate(&no_parity).is_err(), "parity=false must fail");
-        let wrong_schema = good.replace(SCHEMA, "hgp-bench-solver/1");
+        let wrong_schema = good.replace(SCHEMA, "hgp-bench-solver/2");
         assert!(validate(&wrong_schema).is_err(), "old schema must fail");
     }
 

@@ -4,8 +4,8 @@
 #![warn(missing_docs)]
 
 use hgp_baselines::refine::{refine, RefineOpts};
-use hgp_core::solver::{solve, SolverOptions};
-use hgp_core::{DpOptions, Instance, Parallelism, Rounding};
+use hgp_core::solver::SolverOptions;
+use hgp_core::{DpOptions, Instance, Parallelism, Solve};
 use hgp_graph::io::read_metis;
 use hgp_graph::{traversal, Graph};
 use hgp_hierarchy::{parse_hierarchy, Hierarchy};
@@ -269,18 +269,17 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
                 None => vec![(0.8 * h.num_leaves() as f64 / n as f64).min(1.0); n],
             };
             let inst = Instance::new(g, d);
-            let opts = SolverOptions {
-                num_trees: *trees,
-                rounding: Rounding::with_units(*units),
-                seed: *seed,
-                parallelism: Parallelism::from_threads(*threads),
-                dp: DpOptions {
-                    dominance_prune: *prune,
-                    ..Default::default()
-                },
-                ..Default::default()
-            };
-            let rep = solve(&inst, &h, &opts).map_err(|e| e.to_string())?;
+            let opts = SolverOptions::builder()
+                .trees(*trees)
+                .units(*units)
+                .seed(*seed)
+                .threads(Parallelism::from_threads(*threads))
+                .dp(DpOptions::builder().dominance_prune(*prune).build())
+                .build();
+            let rep = Solve::new(&inst, &h)
+                .options(opts)
+                .run()
+                .map_err(|e| e.to_string())?;
             let mut assignment = rep.assignment.clone();
             if *do_refine {
                 let cap = rep.violation.worst_factor().max(1.0);
@@ -320,18 +319,17 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
             max_sessions,
             prune,
         } => {
-            let mut server = Server::start(ServerConfig {
-                addr: addr.clone(),
-                workers: *workers,
-                queue_capacity: *queue,
-                parallelism: Parallelism::from_threads(*threads),
-                cache_capacity: *cache_capacity,
-                max_sessions: *max_sessions,
-                dp: DpOptions {
-                    dominance_prune: *prune,
-                    ..Default::default()
-                },
-            })
+            let mut server = Server::start(
+                ServerConfig::builder()
+                    .addr(addr.clone())
+                    .workers(*workers)
+                    .queue_capacity(*queue)
+                    .parallelism(Parallelism::from_threads(*threads))
+                    .cache_capacity(*cache_capacity)
+                    .max_sessions(*max_sessions)
+                    .dp(DpOptions::builder().dominance_prune(*prune).build())
+                    .build(),
+            )
             .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             writeln!(out, "listening {}", server.addr()).unwrap();
             out.flush().ok();
@@ -512,11 +510,7 @@ mod tests {
 
     #[test]
     fn client_drives_a_live_server() {
-        let server = Server::start(ServerConfig {
-            workers: 2,
-            ..Default::default()
-        })
-        .unwrap();
+        let server = Server::start(ServerConfig::builder().workers(2).build()).unwrap();
         let cli = Cli::Client {
             addr: server.addr().to_string(),
             seed: 4,

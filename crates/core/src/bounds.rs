@@ -56,6 +56,8 @@ pub fn component_count_bound(inst: &Instance, h: &Hierarchy, slack: f64) -> f64 
 
 #[cfg(test)]
 mod tests {
+    // the deprecated free functions stay exercised here on purpose
+    #![allow(deprecated)]
     use super::*;
     use crate::exact::{solve_exact, ExactOptions};
     use crate::{solve_tree_instance, Rounding};

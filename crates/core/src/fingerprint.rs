@@ -225,5 +225,17 @@ mod tests {
             solve_fingerprint(&i, &h1, &legacy),
             "the engine choice is bit-identical and must not change the key"
         );
+        let mut traced = opts;
+        traced.trace = true;
+        assert_eq!(
+            solve_fingerprint(&i, &h1, &opts),
+            solve_fingerprint(&i, &h1, &traced),
+            "tracing is observational and must not change the key"
+        );
+        assert_eq!(
+            distribution_fingerprint(&i, &opts),
+            distribution_fingerprint(&i, &traced),
+            "tracing is observational and must not change the key"
+        );
     }
 }

@@ -5,9 +5,9 @@
 //! node demand `k/n`); these wrappers build the corresponding flat
 //! hierarchy, run the full pipeline, and report in k-BGP vocabulary.
 
-use crate::solver::{solve, SolverOptions};
+use crate::solver::SolverOptions;
 use crate::tree_solver::SolveError;
-use crate::{Instance, Rounding};
+use crate::{Instance, Rounding, Solve};
 use hgp_graph::Graph;
 use hgp_hierarchy::presets;
 
@@ -37,12 +37,11 @@ pub fn k_balanced_partition(
     let n = g.num_nodes();
     let inst = Instance::kbgp(g.clone(), k);
     let h = presets::flat(k);
-    let opts = SolverOptions {
-        rounding: Rounding::for_epsilon(n, eps),
-        seed,
-        ..Default::default()
-    };
-    let rep = solve(&inst, &h, &opts)?;
+    let opts = SolverOptions::builder()
+        .rounding(Rounding::for_epsilon(n, eps))
+        .seed(seed)
+        .build();
+    let rep = Solve::new(&inst, &h).options(opts).run()?;
     let part: Vec<u32> = (0..n).map(|v| rep.assignment.leaf(v) as u32).collect();
     let cut = g.cut_weight_parts(&part);
     // part weight in nodes over the n/k target

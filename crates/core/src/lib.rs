@@ -11,11 +11,15 @@
 //!   (Definition 4) from the DP's edge labelling;
 //! * [`repair`] — Theorem 5's fan-out repair via LPT packing, giving the
 //!   `(1+h)` capacity factor;
-//! * [`tree_solver`] — the full HGPT pipeline ([`solve_tree_instance`] for
-//!   tree-shaped communication graphs);
+//! * [`tree_solver`] — the full HGPT pipeline for tree-shaped
+//!   communication graphs;
 //! * [`solver`] — HGP on arbitrary graphs: embed into a distribution of
 //!   decomposition trees (Theorem 6/7), solve each tree, keep the best
 //!   assignment when mapped back to `G` (Theorem 1);
+//! * [`Solve`] — the unified request façade over both pipelines (the
+//!   free functions `solve`, `build_distribution`,
+//!   `solve_on_distribution`, and `solve_tree_instance` are deprecated
+//!   thin wrappers around it);
 //! * [`exact`] — a branch-and-bound reference optimum for small instances;
 //! * [`cost`] — Equation-3 mirror costs and minimum leaf-separating tree
 //!   cuts, used to validate Lemmas 1–2 and Corollaries 2–3.
@@ -36,6 +40,7 @@ pub mod bounds;
 pub mod cost;
 pub mod error;
 pub mod exact;
+pub mod facade;
 pub mod fingerprint;
 pub mod incremental;
 mod instance;
@@ -49,8 +54,13 @@ pub mod tree_solver;
 
 pub use assignment::{Assignment, ViolationReport};
 pub use error::HgpError;
+pub use facade::Solve;
 pub use hgp_decomp::Parallelism;
+pub use hgp_obs::{SolveTrace, SpanRecord, StageNanos, TraceSink};
 pub use instance::{Infeasibility, Instance};
-pub use relaxed::DpOptions;
+pub use relaxed::{DpOptions, DpOptionsBuilder};
 pub use rounding::Rounding;
-pub use tree_solver::{solve_tree_instance, SolveError, TreeSolveReport};
+pub use solver::{HgpReport, SolverOptions, SolverOptionsBuilder};
+#[allow(deprecated)]
+pub use tree_solver::solve_tree_instance;
+pub use tree_solver::{SolveError, TreeSolveReport};

@@ -115,6 +115,11 @@ pub fn sig_unpack(sig: u64, h: usize) -> Vec<u32> {
 
 /// Options for the signature-DP engine, plumbed down from
 /// `SolverOptions::dp`.
+///
+/// Construct via [`DpOptions::builder`] (the struct is `#[non_exhaustive]`
+/// so observability and engine knobs can be added without breaking
+/// downstream crates); [`Default`] remains available.
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DpOptions {
     /// Drop Pareto-dominated signatures after every child fold (see
@@ -136,6 +141,44 @@ impl Default for DpOptions {
             dominance_prune: true,
             legacy_engine: false,
         }
+    }
+}
+
+impl DpOptions {
+    /// Starts a builder at the defaults.
+    pub fn builder() -> DpOptionsBuilder {
+        DpOptionsBuilder::default()
+    }
+
+    /// Re-opens these options as a builder (for tweaking a copy).
+    pub fn to_builder(self) -> DpOptionsBuilder {
+        DpOptionsBuilder { opts: self }
+    }
+}
+
+/// Builder for [`DpOptions`] — the supported way to construct them from
+/// outside this crate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DpOptionsBuilder {
+    opts: DpOptions,
+}
+
+impl DpOptionsBuilder {
+    /// Enables or disables dominance pruning (default on).
+    pub fn dominance_prune(mut self, on: bool) -> Self {
+        self.opts.dominance_prune = on;
+        self
+    }
+
+    /// Selects the legacy hash-table engine (default off).
+    pub fn legacy_engine(mut self, on: bool) -> Self {
+        self.opts.legacy_engine = on;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> DpOptions {
+        self.opts
     }
 }
 
@@ -161,6 +204,10 @@ pub struct RelaxedSolution {
     /// Total number of DP table entries created (size diagnostic for the
     /// `O(n · D^{3h+2})` running-time experiment T4).
     pub table_entries: usize,
+    /// Entries dropped by dominance pruning (0 when
+    /// [`DpOptions::dominance_prune`] is off). Both engines count this
+    /// through the same keep mask, so the value is engine-identical.
+    pub pruned_entries: usize,
 }
 
 /// Solves RHGPT exactly on rounded demands with default engine options.
@@ -469,6 +516,7 @@ fn solve_arena(
     // stored in ascending signature order.
     let mut final_seg: Vec<(u32, u32)> = vec![(0, 0); n];
     let mut table_entries = 0usize;
+    let mut pruned_entries = 0usize;
     // Scratch reused across every fold of every node.
     let mut cands: Vec<Cand> = Vec::new();
     let mut radix_buf: Vec<Cand> = Vec::new();
@@ -716,6 +764,7 @@ fn solve_arena(
             }
             let end = arena.len();
             table_entries += (end - start) as usize;
+            pruned_entries += winners.len() - (end - start) as usize;
             // entries were appended in ascending signature order, so the
             // next fold scans them exactly as the legacy sorted `cur`
             cur = Some((start, end));
@@ -771,6 +820,7 @@ fn solve_arena(
         cost: best_cost,
         root_signature,
         table_entries,
+        pruned_entries,
     })
 }
 
@@ -792,6 +842,7 @@ fn solve_legacy(
     // finals[v]: signature -> best cost for the subtree of v.
     let mut finals: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n];
     let mut table_entries = 0usize;
+    let mut pruned_entries = 0usize;
     let mut prune_scratch = PruneScratch::default();
     let mut prune_entries: Vec<(u64, f64)> = Vec::new();
 
@@ -877,7 +928,9 @@ fn solve_legacy(
                 return Err(HgpError::CapacityInfeasible); // infeasible below v
             }
             if prune {
+                let before = next.len();
                 pareto_prune(&mut next, h, &mut prune_entries, &mut prune_scratch);
+                pruned_entries += before - next.len();
             }
             table_entries += next.len();
             cur = next.iter().map(|(&s, st)| (s, st.cost)).collect();
@@ -928,6 +981,7 @@ fn solve_legacy(
         cost: best_cost,
         root_signature,
         table_entries,
+        pruned_entries,
     })
 }
 
@@ -1369,6 +1423,7 @@ mod tests {
                     assert_eq!(a.cut_level, l.cut_level, "seed {seed} h {h}");
                     assert_eq!(a.root_signature, l.root_signature, "seed {seed} h {h}");
                     assert_eq!(a.table_entries, l.table_entries, "seed {seed} h {h}");
+                    assert_eq!(a.pruned_entries, l.pruned_entries, "seed {seed} h {h}");
                 }
                 (Err(a), Err(l)) => assert_eq!(a, l, "seed {seed} h {h}"),
                 (a, l) => panic!("engines disagree on feasibility: {a:?} vs {l:?}"),

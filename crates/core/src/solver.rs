@@ -9,20 +9,37 @@
 //!
 //! Both expensive stages are embarrassingly parallel and share the
 //! deterministic fan-out of [`hgp_decomp::par_map_indexed`]: tree sampling
-//! proceeds in MWU waves ([`racke_distribution_par`]) and the per-tree DPs
+//! proceeds in MWU waves ([`racke_distribution_traced`]) and the per-tree DPs
 //! run on a crossbeam scope with work stealing. Results are reduced in tree
 //! order (cost ties broken by tree index), so the output is bit-identical
 //! for every [`Parallelism`] setting — see DESIGN.md §8.
 
 use crate::relaxed::DpOptions;
-use crate::tree_solver::{solve_rooted_with, SolveError, TreeSolveReport};
+use crate::tree_solver::{solve_rooted_traced, SolveError, TreeSolveReport};
 use crate::{Assignment, Instance, Rounding, ViolationReport};
-use hgp_decomp::{par_map_indexed, racke_distribution_par, DecompOpts, Distribution, Parallelism};
+use hgp_decomp::{
+    par_map_indexed, racke_distribution_traced, DecompOpts, Distribution, Parallelism,
+};
 use hgp_hierarchy::Hierarchy;
+use hgp_obs::{SolveTrace, StageNanos, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Options for [`solve`].
+/// Ring capacity of the per-solve [`TraceSink`]: two spans per tree of
+/// the distribution plus per-wave decomposition spans fit comfortably;
+/// overflow just drops the oldest spans and bumps
+/// `SolveTrace::dropped_spans`.
+pub(crate) const SPAN_CAPACITY: usize = 1024;
+
+/// Options for the solve pipeline (the [`crate::Solve`] façade and the
+/// deprecated free functions).
+///
+/// Construct via [`SolverOptions::builder`] — the struct is
+/// `#[non_exhaustive]` so new knobs (like [`trace`](Self::trace)) can be
+/// added without breaking downstream crates. [`Default`] remains
+/// available, and existing values can be tweaked through
+/// [`SolverOptions::to_builder`].
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug)]
 pub struct SolverOptions {
     /// Number of decomposition trees in the distribution (`p`).
@@ -39,6 +56,10 @@ pub struct SolverOptions {
     pub seed: u64,
     /// Signature-DP engine options (dominance pruning, engine choice).
     pub dp: DpOptions,
+    /// Capture a [`SolveTrace`] (stage timings, DP table/prune counts,
+    /// spans) into the report. Observational only: it never changes the
+    /// solution and never feeds the solve fingerprint. Defaults off.
+    pub trace: bool,
 }
 
 impl Default for SolverOptions {
@@ -50,7 +71,92 @@ impl Default for SolverOptions {
             parallelism: Parallelism::Auto,
             seed: 0xC0FFEE,
             dp: DpOptions::default(),
+            trace: false,
         }
+    }
+}
+
+impl SolverOptions {
+    /// Starts a builder at the defaults.
+    ///
+    /// ```
+    /// use hgp_core::solver::SolverOptions;
+    /// use hgp_core::Parallelism;
+    /// let opts = SolverOptions::builder()
+    ///     .trees(8)
+    ///     .threads(Parallelism::Auto)
+    ///     .build();
+    /// assert_eq!(opts.num_trees, 8);
+    /// ```
+    pub fn builder() -> SolverOptionsBuilder {
+        SolverOptionsBuilder::default()
+    }
+
+    /// Re-opens these options as a builder (for tweaking a copy).
+    pub fn to_builder(self) -> SolverOptionsBuilder {
+        SolverOptionsBuilder { opts: self }
+    }
+}
+
+/// Builder for [`SolverOptions`] — the supported way to construct them
+/// from outside this crate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverOptionsBuilder {
+    opts: SolverOptions,
+}
+
+impl SolverOptionsBuilder {
+    /// Number of decomposition trees (`p`; default 8).
+    pub fn trees(mut self, p: usize) -> Self {
+        self.opts.num_trees = p;
+        self
+    }
+
+    /// Demand-rounding grid (default 8 units per leaf).
+    pub fn rounding(mut self, r: Rounding) -> Self {
+        self.opts.rounding = r;
+        self
+    }
+
+    /// Shorthand for `.rounding(Rounding::with_units(units))`.
+    pub fn units(self, units: u32) -> Self {
+        self.rounding(Rounding::with_units(units))
+    }
+
+    /// Decomposition-tree construction options.
+    pub fn decomp(mut self, d: DecompOpts) -> Self {
+        self.opts.decomp = d;
+        self
+    }
+
+    /// Worker width (default [`Parallelism::Auto`]; never affects the
+    /// result).
+    pub fn threads(mut self, p: Parallelism) -> Self {
+        self.opts.parallelism = p;
+        self
+    }
+
+    /// Pipeline RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.opts.seed = s;
+        self
+    }
+
+    /// Signature-DP engine options.
+    pub fn dp(mut self, dp: DpOptions) -> Self {
+        self.opts.dp = dp;
+        self
+    }
+
+    /// Capture a [`SolveTrace`] into the report (default off).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.opts.trace = on;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> SolverOptions {
+        self.opts
     }
 }
 
@@ -80,17 +186,51 @@ pub struct HgpReport {
     /// Summed wall-clock nanoseconds Theorem-5 repair consumed across all
     /// trees. Diagnostic, like [`HgpReport::dp_nanos_total`].
     pub repair_nanos_total: u64,
+    /// Entries dropped by dominance pruning across all trees.
+    pub dp_pruned_total: usize,
+    /// Structured profile of this solve, populated when
+    /// [`SolverOptions::trace`] was set; `None` otherwise. Observational
+    /// only — never part of the solution or its fingerprint.
+    pub trace: Option<SolveTrace>,
 }
 
 /// Solves HGP on an arbitrary (connected) communication graph.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `hgp_core::Solve` façade: `Solve::new(inst, h).options(opts).run()`"
+)]
 pub fn solve(
     inst: &Instance,
     h: &Hierarchy,
     opts: &SolverOptions,
 ) -> Result<HgpReport, SolveError> {
+    solve_impl(inst, h, opts)
+}
+
+pub(crate) fn solve_impl(
+    inst: &Instance,
+    h: &Hierarchy,
+    opts: &SolverOptions,
+) -> Result<HgpReport, SolveError> {
     inst.check_feasible(h).map_err(SolveError::Infeasible)?;
-    let dist = build_distribution(inst, opts)?;
-    solve_on_distribution(inst, h, &dist, opts)
+    // one sink spans both stages, so decomposition spans and sweep spans
+    // land in the same ring
+    let sink = opts.trace.then(|| TraceSink::new(SPAN_CAPACITY));
+    let t_dist = std::time::Instant::now();
+    let dist = build_distribution_impl(inst, opts, sink.as_ref())?;
+    let dist_nanos = t_dist.elapsed().as_nanos() as u64;
+    let mut rep = solve_on_distribution_sink(inst, h, &dist, opts, sink.as_ref())?;
+    if let Some(tr) = rep.trace.as_mut() {
+        // prepend so the disjoint wall stages read in pipeline order
+        tr.stages.insert(
+            0,
+            StageNanos {
+                name: "distribution",
+                nanos: dist_nanos,
+            },
+        );
+    }
+    Ok(rep)
 }
 
 /// Builds the Räcke tree distribution for an instance — the expensive,
@@ -103,46 +243,97 @@ pub fn solve(
 /// [`crate::fingerprint::distribution_fingerprint`] and feed it back
 /// through [`solve_on_distribution`], skipping the embedding entirely on
 /// repeat topologies.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `hgp_core::Solve` façade: `Solve::new(inst, h).options(opts).distribution()`"
+)]
 pub fn build_distribution(
     inst: &Instance,
     opts: &SolverOptions,
+) -> Result<Distribution, SolveError> {
+    build_distribution_impl(inst, opts, None)
+}
+
+pub(crate) fn build_distribution_impl(
+    inst: &Instance,
+    opts: &SolverOptions,
+    sink: Option<&TraceSink>,
 ) -> Result<Distribution, SolveError> {
     if !hgp_graph::traversal::is_connected(inst.graph()) {
         return Err(SolveError::Disconnected);
     }
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    Ok(racke_distribution_par(
+    Ok(racke_distribution_traced(
         inst.graph(),
         inst.demands(),
         opts.num_trees,
         &opts.decomp,
         opts.parallelism,
         &mut rng,
+        sink,
     ))
 }
 
 /// Solves HGP given a pre-built distribution (lets experiments reuse
 /// distributions across hierarchies and ablations).
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `hgp_core::Solve` façade: `Solve::new(inst, h).options(opts).run_on(dist)`"
+)]
 pub fn solve_on_distribution(
     inst: &Instance,
     h: &Hierarchy,
     dist: &Distribution,
     opts: &SolverOptions,
 ) -> Result<HgpReport, SolveError> {
+    solve_on_distribution_impl(inst, h, dist, opts)
+}
+
+pub(crate) fn solve_on_distribution_impl(
+    inst: &Instance,
+    h: &Hierarchy,
+    dist: &Distribution,
+    opts: &SolverOptions,
+) -> Result<HgpReport, SolveError> {
+    let sink = opts.trace.then(|| TraceSink::new(SPAN_CAPACITY));
+    solve_on_distribution_sink(inst, h, dist, opts, sink.as_ref())
+}
+
+/// The per-tree DP sweep. When `sink` is attached (caller asked for
+/// tracing) the report gains a [`SolveTrace`] with the `sweep` wall
+/// stage, DP/repair CPU totals, table/prune counts, and the sink's spans.
+fn solve_on_distribution_sink(
+    inst: &Instance,
+    h: &Hierarchy,
+    dist: &Distribution,
+    opts: &SolverOptions,
+    sink: Option<&TraceSink>,
+) -> Result<HgpReport, SolveError> {
     inst.check_feasible(h).map_err(SolveError::Infeasible)?;
     let p = dist.trees.len();
     type TreeOutcome = Result<TreeSolveReport, SolveError>;
 
+    let t_sweep = std::time::Instant::now();
     // A per-tree panic is caught at the worker boundary and recorded as
     // `HgpError::Internal`, so one poisoned tree cannot take down the
     // whole distribution (or, transitively, a service worker thread).
     let results: Vec<TreeOutcome> = par_map_indexed(opts.parallelism, p, |i| {
         let dt = &dist.trees[i];
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            solve_rooted_with(&dt.tree, &dt.task_of_leaf, inst, h, opts.rounding, opts.dp)
+            solve_rooted_traced(
+                &dt.tree,
+                &dt.task_of_leaf,
+                inst,
+                h,
+                opts.rounding,
+                opts.dp,
+                sink,
+                i as u64,
+            )
         }))
         .unwrap_or_else(|payload| Err(SolveError::from_panic(payload)))
     });
+    let sweep_nanos = t_sweep.elapsed().as_nanos() as u64;
 
     let per_tree_costs: Vec<Option<f64>> = results
         .iter()
@@ -172,8 +363,21 @@ pub fn solve_on_distribution(
     };
     let ok_reports = || results.iter().filter_map(|r| r.as_ref().ok());
     let dp_entries_total = ok_reports().map(|r| r.dp_entries).sum();
-    let dp_nanos_total = ok_reports().map(|r| r.dp_nanos).sum();
-    let repair_nanos_total = ok_reports().map(|r| r.repair_nanos).sum();
+    let dp_nanos_total: u64 = ok_reports().map(|r| r.dp_nanos).sum();
+    let repair_nanos_total: u64 = ok_reports().map(|r| r.repair_nanos).sum();
+    let dp_pruned_total: usize = ok_reports().map(|r| r.dp_pruned).sum();
+    let trace = sink.map(|s| {
+        let mut tr = SolveTrace::new();
+        tr.stage("sweep", sweep_nanos);
+        tr.cpu("dp-cpu", dp_nanos_total);
+        tr.cpu("repair-cpu", repair_nanos_total);
+        tr.count("trees-total", p as u64);
+        tr.count("trees-solved", ok_reports().count() as u64);
+        tr.count("dp-entries", dp_entries_total as u64);
+        tr.count("dp-pruned", dp_pruned_total as u64);
+        tr.absorb_sink(s);
+        tr
+    });
     Ok(HgpReport {
         assignment: best.assignment.clone(),
         cost: best.cost,
@@ -184,11 +388,15 @@ pub fn solve_on_distribution(
         dp_entries_total,
         dp_nanos_total,
         repair_nanos_total,
+        dp_pruned_total,
+        trace,
     })
 }
 
 #[cfg(test)]
 mod tests {
+    // the deprecated free functions stay exercised here on purpose
+    #![allow(deprecated)]
     use super::*;
     use hgp_graph::generators;
     use hgp_graph::Graph;

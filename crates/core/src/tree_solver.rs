@@ -16,6 +16,7 @@ use hgp_graph::traversal;
 use hgp_graph::tree::RootedTree;
 use hgp_graph::NodeId;
 use hgp_hierarchy::Hierarchy;
+use hgp_obs::{SolveTrace, TraceSink, NO_PARENT};
 
 /// Failure modes of the tree pipeline — an alias of the crate-wide
 /// [`HgpError`](crate::HgpError) taxonomy, kept for source compatibility
@@ -51,6 +52,13 @@ pub struct TreeSolveReport {
     /// ([`repair_assignment`]). Diagnostic only, like
     /// [`TreeSolveReport::dp_nanos`].
     pub repair_nanos: u64,
+    /// Entries dropped by dominance pruning (0 with pruning off).
+    pub dp_pruned: usize,
+    /// Structured profile of this solve, populated when the caller asked
+    /// for tracing (`SolverOptions::trace` via the [`crate::Solve`]
+    /// façade); `None` otherwise. Observational only — never part of the
+    /// solution or its fingerprint.
+    pub trace: Option<SolveTrace>,
 }
 
 /// Solves HGPT on a rooted tree. `task_of_leaf[v]` gives the task hosted by
@@ -75,6 +83,25 @@ pub fn solve_rooted_with(
     rounding: Rounding,
     dp: DpOptions,
 ) -> Result<TreeSolveReport, SolveError> {
+    solve_rooted_traced(tree, task_of_leaf, inst, h, rounding, dp, None, 0)
+}
+
+/// [`solve_rooted_with`] plus span capture: with a sink attached, the DP
+/// phase records a `tree.dp` span and repair a `tree.repair` span, both
+/// carrying `tree_idx` as their argument (the sweep over a distribution
+/// tags each tree's spans with its index). Tracing never changes the
+/// result.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_rooted_traced(
+    tree: &RootedTree,
+    task_of_leaf: &[u32],
+    inst: &Instance,
+    h: &Hierarchy,
+    rounding: Rounding,
+    dp: DpOptions,
+    sink: Option<&TraceSink>,
+    tree_idx: u64,
+) -> Result<TreeSolveReport, SolveError> {
     inst.check_feasible(h).map_err(SolveError::Infeasible)?;
     let n = tree.num_nodes();
     assert_eq!(task_of_leaf.len(), n);
@@ -95,6 +122,7 @@ pub fn solve_rooted_with(
     }
     assert!(seen.iter().all(|&s| s), "every task must sit on a leaf");
 
+    let dp_span = sink.map(|s| s.span_with("tree.dp", NO_PARENT, tree_idx));
     let t_dp = std::time::Instant::now();
     let caps = rounding.level_caps(h)?;
     let deltas: Vec<f64> = (0..h.height())
@@ -105,9 +133,12 @@ pub fn solve_rooted_with(
     let level_sets = build_level_sets(tree, &relaxed.cut_level, h.height());
     debug_assert!(level_sets.check_laminar(tree.leaves().len()).is_ok());
     let dp_nanos = t_dp.elapsed().as_nanos() as u64;
+    drop(dp_span);
+    let repair_span = sink.map(|s| s.span_with("tree.repair", NO_PARENT, tree_idx));
     let t_repair = std::time::Instant::now();
     let (leaf_of_tree, repair) = repair_assignment(&level_sets, &leaf_demand, h);
     let repair_nanos = t_repair.elapsed().as_nanos() as u64;
+    drop(repair_span);
 
     let mut task_leaf = vec![u32::MAX; inst.num_tasks()];
     for v in 0..n {
@@ -131,6 +162,8 @@ pub fn solve_rooted_with(
         level_set_counts,
         dp_nanos,
         repair_nanos,
+        dp_pruned: relaxed.pruned_entries,
+        trace: None,
     })
 }
 
@@ -178,17 +211,47 @@ pub fn rooted_with_dummies(inst: &Instance) -> Result<(RootedTree, Vec<u32>), So
 /// (equal to the Equation-1 cost of the produced assignment, up to the
 /// Lemma-1 normalisation shift), so the result is optimal in cost among
 /// capacity-respecting assignments (Theorem 2).
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `hgp_core::Solve` façade: `Solve::new(inst, h).options(opts).run_tree()`"
+)]
 pub fn solve_tree_instance(
     inst: &Instance,
     h: &Hierarchy,
     rounding: Rounding,
 ) -> Result<TreeSolveReport, SolveError> {
+    solve_tree_instance_impl(inst, h, rounding, DpOptions::default(), false)
+}
+
+/// Shared implementation behind the deprecated [`solve_tree_instance`]
+/// wrapper and [`crate::Solve::run_tree`].
+pub(crate) fn solve_tree_instance_impl(
+    inst: &Instance,
+    h: &Hierarchy,
+    rounding: Rounding,
+    dp: DpOptions,
+    trace: bool,
+) -> Result<TreeSolveReport, SolveError> {
     let (tree, task_of_leaf) = rooted_with_dummies(inst)?;
-    solve_rooted(&tree, &task_of_leaf, inst, h, rounding)
+    if !trace {
+        return solve_rooted_with(&tree, &task_of_leaf, inst, h, rounding, dp);
+    }
+    let sink = TraceSink::new(crate::solver::SPAN_CAPACITY);
+    let mut rep = solve_rooted_traced(&tree, &task_of_leaf, inst, h, rounding, dp, Some(&sink), 0)?;
+    let mut tr = SolveTrace::new();
+    tr.stage("dp", rep.dp_nanos);
+    tr.stage("repair", rep.repair_nanos);
+    tr.count("dp-entries", rep.dp_entries as u64);
+    tr.count("dp-pruned", rep.dp_pruned as u64);
+    tr.absorb_sink(&sink);
+    rep.trace = Some(tr);
+    Ok(rep)
 }
 
 #[cfg(test)]
 mod tests {
+    // the deprecated free functions stay exercised here on purpose
+    #![allow(deprecated)]
     use super::*;
     use hgp_graph::Graph;
     use hgp_hierarchy::presets;

@@ -5,6 +5,7 @@ use crate::build::{build_decomp_tree_prescaled, scale_graph, DecompOpts, DecompT
 use crate::parallel::{par_map_indexed, Parallelism};
 use hgp_graph::tree::LcaIndex;
 use hgp_graph::Graph;
+use hgp_obs::{span, TraceSink, NO_PARENT};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -96,6 +97,25 @@ pub fn racke_distribution_par<R: Rng + ?Sized>(
     par: Parallelism,
     rng: &mut R,
 ) -> Distribution {
+    racke_distribution_traced(g, node_w, num_trees, opts, par, rng, None)
+}
+
+/// [`racke_distribution_par`] with span capture: when `sink` is attached,
+/// each MWU wave records a `decomp.wave` span (`arg` = index of the first
+/// tree in the wave) and each tree build records a `decomp.tree` span
+/// (`arg` = tree index, parented on its wave). Tracing is observational
+/// only — the returned distribution is bit-identical with or without a
+/// sink, at any [`Parallelism`].
+#[allow(clippy::too_many_arguments)]
+pub fn racke_distribution_traced<R: Rng + ?Sized>(
+    g: &Graph,
+    node_w: &[f64],
+    num_trees: usize,
+    opts: &DecompOpts,
+    par: Parallelism,
+    rng: &mut R,
+    sink: Option<&TraceSink>,
+) -> Distribution {
     assert!(num_trees >= 1);
     const ETA: f64 = 0.5;
     let seeds: Vec<u64> = (0..num_trees).map(|_| rng.gen()).collect();
@@ -116,12 +136,16 @@ pub fn racke_distribution_par<R: Rng + ?Sized>(
             scaled_store = Some(scale_graph(g, &lengths));
             scaled_store.as_ref().unwrap()
         };
+        let wave_span = span!(sink, "decomp.wave", parent = NO_PARENT, arg = start as u64);
+        let wave_id = wave_span.as_ref().map_or(NO_PARENT, |s| s.id());
         let built = par_map_indexed(par, end - start, |k| {
+            let _tree_span = sink.map(|s| s.span_with("decomp.tree", wave_id, (start + k) as u64));
             let mut tree_rng = StdRng::seed_from_u64(seeds[start + k]);
             let dt = build_decomp_tree_prescaled(g, scaled, node_w, opts, &mut tree_rng);
             let congestion = hop_congestion(&dt, g);
             (dt, congestion)
         });
+        drop(wave_span);
         for (dt, (per_edge, stats)) in built {
             if stats.max > 0.0 {
                 for (len, c) in lengths.iter_mut().zip(&per_edge) {

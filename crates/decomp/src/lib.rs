@@ -35,6 +35,7 @@ pub use build::{
     build_decomp_tree, build_decomp_tree_prescaled, scale_graph, CutOracle, DecompOpts, DecompTree,
 };
 pub use distribution::{
-    hop_congestion, racke_distribution, racke_distribution_par, CongestionStats, Distribution,
+    hop_congestion, racke_distribution, racke_distribution_par, racke_distribution_traced,
+    CongestionStats, Distribution,
 };
 pub use parallel::{par_map_indexed, Parallelism};

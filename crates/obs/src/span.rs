@@ -1,0 +1,332 @@
+//! Hierarchical spans with monotonic timing and a ring-buffer sink.
+//!
+//! A [`TraceSink`] owns a monotonic epoch (`Instant` captured at
+//! construction) and a fixed-capacity ring of completed [`SpanRecord`]s.
+//! Opening a span hands back a [`SpanGuard`]; dropping the guard stamps
+//! the duration and pushes the record. When the ring is full the oldest
+//! record is overwritten and a `dropped` counter advances, so the sink
+//! never allocates after construction and never blocks progress.
+//!
+//! Span identity is a `u32` id unique within the sink; nesting is
+//! expressed by recording the parent's id (see [`SpanGuard::id`] and
+//! [`TraceSink::span_with`]). The `arg` field carries one caller-defined
+//! word — the pipeline uses it for tree indices.
+//!
+//! With the `capture` cargo feature disabled every type here still exists
+//! with the same API, but guards are zero-sized, nothing is timed, and
+//! [`TraceSink::records`] always returns an empty vector — the entire
+//! layer is compiled out of instrumented callers.
+
+/// Sentinel parent id for root spans.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// One completed span: name, identity, nesting, and monotonic timing
+/// relative to the owning sink's epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name, dot-separated by convention (`"solve.sweep"`,
+    /// `"tree.dp"`, …). See DESIGN.md §9 for the taxonomy.
+    pub name: &'static str,
+    /// Id unique within the sink, assigned at open time in open order.
+    pub id: u32,
+    /// Id of the enclosing span, or [`NO_PARENT`] for roots.
+    pub parent: u32,
+    /// One caller-defined word (the pipeline stores tree indices here).
+    pub arg: u64,
+    /// Start offset from the sink epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Opens a span on an `Option<&TraceSink>`, yielding an
+/// `Option<SpanGuard>` that records on drop (and is `None` — free — when
+/// no sink is attached).
+///
+/// ```
+/// use hgp_obs::{span, TraceSink};
+/// let sink = TraceSink::new(16);
+/// let g = span!(Some(&sink), "dp.node_fold");
+/// drop(g);
+/// let none = span!(None::<&TraceSink>, "dp.node_fold");
+/// assert!(none.is_none());
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($sink:expr, $name:expr) => {
+        $sink.map(|s| s.span($name))
+    };
+    ($sink:expr, $name:expr, parent = $parent:expr, arg = $arg:expr) => {
+        $sink.map(|s| s.span_with($name, $parent, $arg))
+    };
+}
+
+#[cfg(feature = "capture")]
+mod imp {
+    use super::{SpanRecord, NO_PARENT};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    /// Bounded ring of completed spans. Overwrites the oldest record when
+    /// full; see [`TraceSink::dropped`].
+    #[derive(Debug)]
+    struct Ring {
+        slots: Vec<SpanRecord>,
+        capacity: usize,
+        /// Index of the oldest record once the ring has wrapped.
+        head: usize,
+        dropped: u64,
+    }
+
+    impl Ring {
+        fn push(&mut self, rec: SpanRecord) {
+            if self.slots.len() < self.capacity {
+                self.slots.push(rec);
+            } else {
+                self.slots[self.head] = rec;
+                self.head = (self.head + 1) % self.capacity;
+                self.dropped += 1;
+            }
+        }
+
+        fn snapshot(&self) -> Vec<SpanRecord> {
+            let mut out = Vec::with_capacity(self.slots.len());
+            out.extend_from_slice(&self.slots[self.head..]);
+            out.extend_from_slice(&self.slots[..self.head]);
+            out
+        }
+    }
+
+    /// Thread-safe span sink: monotonic epoch plus a bounded ring of
+    /// completed [`SpanRecord`]s.
+    #[derive(Debug)]
+    pub struct TraceSink {
+        epoch: Instant,
+        next_id: AtomicU32,
+        ring: Mutex<Ring>,
+    }
+
+    impl TraceSink {
+        /// New sink retaining at most `capacity` completed spans
+        /// (`capacity` is clamped to at least 1). The full backing store
+        /// is allocated up front; recording never allocates.
+        pub fn new(capacity: usize) -> Self {
+            let capacity = capacity.max(1);
+            Self {
+                epoch: Instant::now(),
+                next_id: AtomicU32::new(0),
+                ring: Mutex::new(Ring {
+                    slots: Vec::with_capacity(capacity),
+                    capacity,
+                    head: 0,
+                    dropped: 0,
+                }),
+            }
+        }
+
+        /// Opens a root span. The returned guard records on drop.
+        pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+            self.span_with(name, NO_PARENT, 0)
+        }
+
+        /// Opens a span with an explicit parent id and argument word.
+        pub fn span_with(&self, name: &'static str, parent: u32, arg: u64) -> SpanGuard<'_> {
+            SpanGuard {
+                sink: self,
+                name,
+                id: self.next_id.fetch_add(1, Ordering::Relaxed),
+                parent,
+                arg,
+                start: Instant::now(),
+            }
+        }
+
+        /// Completed spans, oldest first. Allocates the returned vector;
+        /// call off the hot path.
+        pub fn records(&self) -> Vec<SpanRecord> {
+            self.ring.lock().unwrap().snapshot()
+        }
+
+        /// Number of records overwritten because the ring was full.
+        pub fn dropped(&self) -> u64 {
+            self.ring.lock().unwrap().dropped
+        }
+
+        fn record(&self, guard: &SpanGuard<'_>) {
+            let start_ns = guard
+                .start
+                .duration_since(self.epoch)
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64;
+            let dur_ns = guard.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            self.ring.lock().unwrap().push(SpanRecord {
+                name: guard.name,
+                id: guard.id,
+                parent: guard.parent,
+                arg: guard.arg,
+                start_ns,
+                dur_ns,
+            });
+        }
+    }
+
+    /// An open span; records into its sink when dropped.
+    #[derive(Debug)]
+    pub struct SpanGuard<'a> {
+        sink: &'a TraceSink,
+        name: &'static str,
+        id: u32,
+        parent: u32,
+        arg: u64,
+        start: Instant,
+    }
+
+    impl SpanGuard<'_> {
+        /// This span's id, for parenting children via
+        /// [`TraceSink::span_with`].
+        pub fn id(&self) -> u32 {
+            self.id
+        }
+    }
+
+    impl Drop for SpanGuard<'_> {
+        fn drop(&mut self) {
+            self.sink.record(self);
+        }
+    }
+}
+
+#[cfg(not(feature = "capture"))]
+mod imp {
+    use super::{SpanRecord, NO_PARENT};
+
+    /// No-op span sink (the `capture` feature is disabled): guards are
+    /// zero-sized, nothing is timed, and [`TraceSink::records`] is always
+    /// empty.
+    #[derive(Debug)]
+    pub struct TraceSink;
+
+    impl TraceSink {
+        /// No-op constructor; `capacity` is ignored.
+        pub fn new(_capacity: usize) -> Self {
+            Self
+        }
+
+        /// Opens a no-op span.
+        pub fn span(&self, _name: &'static str) -> SpanGuard<'_> {
+            SpanGuard {
+                _sink: std::marker::PhantomData,
+            }
+        }
+
+        /// Opens a no-op span; all arguments are ignored.
+        pub fn span_with(&self, _name: &'static str, _parent: u32, _arg: u64) -> SpanGuard<'_> {
+            self.span(_name)
+        }
+
+        /// Always empty in a no-capture build.
+        pub fn records(&self) -> Vec<SpanRecord> {
+            Vec::new()
+        }
+
+        /// Always zero in a no-capture build.
+        pub fn dropped(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Zero-sized span guard (the `capture` feature is disabled).
+    #[derive(Debug)]
+    pub struct SpanGuard<'a> {
+        _sink: std::marker::PhantomData<&'a TraceSink>,
+    }
+
+    impl SpanGuard<'_> {
+        /// Always [`NO_PARENT`] in a no-capture build.
+        pub fn id(&self) -> u32 {
+            NO_PARENT
+        }
+    }
+}
+
+pub use imp::{SpanGuard, TraceSink};
+
+#[cfg(all(test, feature = "capture"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_in_completion_order() {
+        let sink = TraceSink::new(8);
+        let outer = sink.span("outer");
+        let inner = sink.span_with("inner", outer.id(), 7);
+        drop(inner);
+        drop(outer);
+        let recs = sink.records();
+        assert_eq!(recs.len(), 2);
+        // inner completed first
+        assert_eq!(recs[0].name, "inner");
+        assert_eq!(recs[0].arg, 7);
+        assert_eq!(recs[1].name, "outer");
+        assert_eq!(recs[0].parent, recs[1].id);
+        assert_eq!(recs[1].parent, NO_PARENT);
+        // inner is contained in outer
+        assert!(recs[0].start_ns >= recs[1].start_ns);
+        assert!(recs[0].dur_ns <= recs[1].dur_ns);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overflow_keeps_newest_and_counts_dropped() {
+        let sink = TraceSink::new(4);
+        for _ in 0..10 {
+            sink.span("s");
+        }
+        let recs = sink.records();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(sink.dropped(), 6);
+        // the survivors are the newest four, oldest first
+        let ids: Vec<u32> = recs.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let sink = TraceSink::new(0);
+        sink.span("a");
+        sink.span("b");
+        assert_eq!(sink.records().len(), 1);
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn span_macro_handles_optional_sink() {
+        let sink = TraceSink::new(4);
+        {
+            let g = span!(Some(&sink), "m");
+            assert!(g.is_some());
+            let none = span!(None::<&TraceSink>, "m");
+            assert!(none.is_none());
+        }
+        assert_eq!(sink.records().len(), 1);
+    }
+
+    #[test]
+    fn sink_is_thread_safe() {
+        let sink = std::sync::Arc::new(TraceSink::new(1024));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = std::sync::Arc::clone(&sink);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    s.span_with("worker", NO_PARENT, t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.records().len(), 200);
+    }
+}

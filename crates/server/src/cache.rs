@@ -158,18 +158,17 @@ impl DecompCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hgp_core::solver::{build_distribution, SolverOptions};
-    use hgp_core::Instance;
+    use hgp_core::solver::SolverOptions;
+    use hgp_core::{Instance, Solve};
     use hgp_graph::Graph;
+    use hgp_hierarchy::presets;
 
     fn dist() -> Arc<Distribution> {
         let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
         let inst = Instance::uniform(g, 0.5);
-        let opts = SolverOptions {
-            num_trees: 2,
-            ..Default::default()
-        };
-        Arc::new(build_distribution(&inst, &opts).unwrap())
+        let h = presets::flat(4);
+        let opts = SolverOptions::builder().trees(2).build();
+        Arc::new(Solve::new(&inst, &h).options(opts).distribution().unwrap())
     }
 
     #[test]

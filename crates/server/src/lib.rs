@@ -7,7 +7,8 @@
 //! crate wraps the `hgp-core` solver in exactly that shape:
 //!
 //! * [`protocol`] — a newline-delimited text protocol over TCP
-//!   (`solve`, `place-incremental`, `stats`, `shutdown`);
+//!   (`solve` with an opt-in `trace=1` profile, `place-incremental`,
+//!   `stats`, the versioned `stats2`, `shutdown`);
 //! * [`pool`] — a bounded solver pool: admission control via
 //!   `overloaded`, per-request deadlines with graceful degradation to the
 //!   `hgp-baselines` k-way + refine path (replies tagged `degraded=1`);
@@ -16,7 +17,8 @@
 //!   topologies skip the expensive embedding;
 //! * [`session`] — server-held [`hgp_core::incremental::DynamicPlacer`]
 //!   sessions for task churn, with wire-safe validation;
-//! * [`metrics`] — atomic counters and latency histograms behind `stats`;
+//! * [`metrics`] — typed `hgp-obs` counters, gauges and histograms in a
+//!   registry behind `stats` (legacy names) and `stats2` (versioned);
 //! * [`server`] — the std-only TCP front end tying it together.
 //!
 //! Everything is deterministic given request seeds: two identical `solve`
@@ -35,5 +37,5 @@ pub use cache::DecompCache;
 pub use metrics::Metrics;
 pub use pool::{SolveJob, SolverPool};
 pub use protocol::{ErrCode, GraphSpec, IncrOp, Request, SolveSpec, WireError};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServerConfigBuilder};
 pub use session::SessionTable;

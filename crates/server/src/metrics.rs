@@ -1,191 +1,166 @@
-//! Lock-free service metrics: monotonic counters plus a latency histogram.
+//! Service metrics on the `hgp-obs` registry: typed counters, gauges and
+//! histograms behind stable wire names.
 //!
-//! Everything is plain atomics so the hot paths (worker threads, connection
-//! threads) never serialise on a lock to record an event. The histogram
-//! buckets latencies by `ceil(log2(µs))`, which is coarse but monotone —
-//! good enough for p50/p99 at the granularity a `stats` caller needs, with
-//! a fixed 64-slot footprint.
+//! Every metric lives in a [`Registry`] and is recorded through the typed
+//! `hgp-obs` handles (plain atomics — hot paths never serialise on a
+//! lock). The registry renders the versioned `stats2` reply directly; the
+//! legacy `stats` reply is kept byte-compatible with the pre-registry
+//! format so existing scrapers keep working. The old→new name mapping is
+//! documented in `docs/PROTOCOL.md`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use hgp_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
 
-const BUCKETS: usize = 64;
-
-/// A power-of-two latency histogram over microseconds.
+/// The server-wide metrics registry, shared by all threads.
+///
+/// Each field is an [`Arc`] handle into the embedded [`Registry`], so hot
+/// paths record through field access (`metrics.solve_ok.inc()`) while the
+/// `stats2` reply renders straight from the registry in registration
+/// order.
 #[derive(Debug)]
-pub struct LatencyHistogram {
-    counts: [AtomicU64; BUCKETS],
-    max_us: AtomicU64,
+pub struct Metrics {
+    registry: Registry,
+    /// Request lines received (parse failures included). Wire: `req.lines`.
+    pub requests: Arc<Counter>,
+    /// Requests rejected as unparseable or semantically invalid.
+    /// Wire: `req.bad`.
+    pub bad_requests: Arc<Counter>,
+    /// Solves answered from the full pipeline within deadline.
+    /// Wire: `solve.ok`.
+    pub solve_ok: Arc<Counter>,
+    /// Solves answered degraded (baseline fallback or partial
+    /// distribution). Wire: `solve.degraded`.
+    pub solve_degraded: Arc<Counter>,
+    /// Solves that failed outright (infeasible, disconnected, …).
+    /// Wire: `solve.err`.
+    pub solve_err: Arc<Counter>,
+    /// Solves rejected because the queue was full. Wire: `solve.overloaded`.
+    pub overloaded: Arc<Counter>,
+    /// `place-incremental` operations applied successfully. Wire: `incr.ops`.
+    pub incr_ops: Arc<Counter>,
+    /// Sessions currently open. Wire: `sessions.open`.
+    pub sessions_open: Arc<Gauge>,
+    /// Solver-pool workers currently alive (maintained by the pool
+    /// supervisor). Wire: `pool.workers-alive`.
+    pub workers_alive: Arc<Gauge>,
+    /// Worker threads that died (escaped the panic-isolation boundary) and
+    /// were respawned by the supervisor. Wire: `pool.worker-deaths`.
+    pub worker_deaths: Arc<Counter>,
+    /// Solves that panicked and were caught at the isolation boundary
+    /// (answered `err internal`; the worker survived).
+    /// Wire: `pool.solve-panics`.
+    pub solve_panics: Arc<Counter>,
+    /// Decomposition-cache hits, mirrored from the cache's own counters at
+    /// snapshot time. Wire: `cache.hits`.
+    cache_hits: Arc<Gauge>,
+    /// Decomposition-cache misses, mirrored like `cache_hits`.
+    /// Wire: `cache.misses`.
+    cache_misses: Arc<Gauge>,
+    /// End-to-end solve latency (enqueue to reply), successful solves
+    /// only, in microseconds. Wire: `solve.latency-us`.
+    pub solve_latency: Arc<Histogram>,
+    /// Time a solve job spent queued before a worker picked it up, in
+    /// microseconds — the backpressure signal `stats` never exposed.
+    /// Wire: `queue.wait-us`.
+    pub queue_wait: Arc<Histogram>,
 }
 
-impl Default for LatencyHistogram {
+impl Default for Metrics {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl LatencyHistogram {
-    /// Fresh, empty histogram.
-    pub fn new() -> Self {
-        Self {
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
-            max_us: AtomicU64::new(0),
-        }
-    }
-
-    fn bucket(us: u64) -> usize {
-        // bucket b holds us in [2^(b-1)+1, 2^b]; bucket 0 holds 0..=1 µs
-        (64 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
-    }
-
-    /// Records one observation.
-    pub fn record(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.counts[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Total observations.
-    pub fn count(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Upper bound (µs) of the bucket containing the `q`-quantile, or 0 on
-    /// an empty histogram. `q` in `[0, 1]`.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let snapshot: Vec<u64> = self
-            .counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = snapshot.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (b, &c) in snapshot.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << b;
-            }
-        }
-        1u64 << (BUCKETS - 1)
-    }
-
-    /// Largest observation (µs).
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-}
-
-/// The server-wide metrics registry, shared by all threads.
-#[derive(Debug, Default)]
-pub struct Metrics {
-    /// Request lines received (parse failures included).
-    pub requests: AtomicU64,
-    /// Requests rejected as unparseable or semantically invalid.
-    pub bad_requests: AtomicU64,
-    /// Solves answered from the full pipeline within deadline.
-    pub solve_ok: AtomicU64,
-    /// Solves answered degraded (baseline fallback or partial distribution).
-    pub solve_degraded: AtomicU64,
-    /// Solves that failed outright (infeasible, disconnected, …).
-    pub solve_err: AtomicU64,
-    /// Solves rejected because the queue was full.
-    pub overloaded: AtomicU64,
-    /// `place-incremental` operations applied successfully.
-    pub incr_ops: AtomicU64,
-    /// Sessions currently open.
-    pub sessions_open: AtomicU64,
-    /// Solver-pool workers currently alive (gauge, maintained by the pool
-    /// supervisor).
-    pub workers_alive: AtomicU64,
-    /// Worker threads that died (escaped the panic-isolation boundary) and
-    /// were respawned by the supervisor.
-    pub worker_deaths: AtomicU64,
-    /// Solves that panicked and were caught at the isolation boundary
-    /// (answered `err internal`; the worker survived).
-    pub solve_panics: AtomicU64,
-    /// End-to-end solve latency (enqueue to reply), successful solves only.
-    pub solve_latency: LatencyHistogram,
-}
-
 impl Metrics {
-    /// Fresh registry with all counters at zero.
+    /// Fresh registry with all metrics at zero.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        let requests = registry.counter("req.lines");
+        let bad_requests = registry.counter("req.bad");
+        let solve_ok = registry.counter("solve.ok");
+        let solve_degraded = registry.counter("solve.degraded");
+        let solve_err = registry.counter("solve.err");
+        let overloaded = registry.counter("solve.overloaded");
+        let incr_ops = registry.counter("incr.ops");
+        let sessions_open = registry.gauge("sessions.open");
+        let workers_alive = registry.gauge("pool.workers-alive");
+        let worker_deaths = registry.counter("pool.worker-deaths");
+        let solve_panics = registry.counter("pool.solve-panics");
+        let cache_hits = registry.gauge("cache.hits");
+        let cache_misses = registry.gauge("cache.misses");
+        let solve_latency = registry.histogram("solve.latency-us");
+        let queue_wait = registry.histogram("queue.wait-us");
+        Self {
+            registry,
+            requests,
+            bad_requests,
+            solve_ok,
+            solve_degraded,
+            solve_err,
+            overloaded,
+            incr_ops,
+            sessions_open,
+            workers_alive,
+            worker_deaths,
+            solve_panics,
+            cache_hits,
+            cache_misses,
+            solve_latency,
+            queue_wait,
+        }
     }
 
-    /// Bumps a counter by one.
-    pub fn inc(&self, counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Reads a counter.
-    pub fn get(&self, counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
-    }
-
-    /// Renders the `stats` reply body (the part after `ok `).
+    /// Renders the deprecated `stats` reply body (the part after `ok `),
+    /// byte-compatible with the pre-registry format. New consumers should
+    /// prefer [`Metrics::stats2_line`].
     pub fn stats_line(&self, cache_hits: u64, cache_misses: u64) -> String {
         format!(
             "requests={} bad-requests={} solve-ok={} solve-degraded={} solve-err={} \
              overloaded={} incr-ops={} sessions-open={} workers-alive={} \
              worker-deaths={} solve-panics={} cache-hits={} cache-misses={} \
              solve-p50-us={} solve-p99-us={} solve-max-us={}",
-            self.get(&self.requests),
-            self.get(&self.bad_requests),
-            self.get(&self.solve_ok),
-            self.get(&self.solve_degraded),
-            self.get(&self.solve_err),
-            self.get(&self.overloaded),
-            self.get(&self.incr_ops),
-            self.get(&self.sessions_open),
-            self.get(&self.workers_alive),
-            self.get(&self.worker_deaths),
-            self.get(&self.solve_panics),
+            self.requests.get(),
+            self.bad_requests.get(),
+            self.solve_ok.get(),
+            self.solve_degraded.get(),
+            self.solve_err.get(),
+            self.overloaded.get(),
+            self.incr_ops.get(),
+            self.sessions_open.get(),
+            self.workers_alive.get(),
+            self.worker_deaths.get(),
+            self.solve_panics.get(),
             cache_hits,
             cache_misses,
-            self.solve_latency.quantile_us(0.50),
-            self.solve_latency.quantile_us(0.99),
-            self.solve_latency.max_us(),
+            self.solve_latency.quantile(0.50),
+            self.solve_latency.quantile(0.99),
+            self.solve_latency.max(),
         )
+    }
+
+    /// Renders the versioned `stats2` reply body: `version=2` followed by
+    /// every registered metric in registration order, histograms expanded
+    /// to `-p50`/`-p99`/`-max`/`-count` tokens.
+    pub fn stats2_line(&self, cache_hits: u64, cache_misses: u64) -> String {
+        self.cache_hits.set(cache_hits);
+        self.cache_misses.set(cache_misses);
+        self.registry.render(2)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_buckets_are_monotone() {
-        let h = LatencyHistogram::new();
-        for us in [1u64, 2, 3, 700, 1_000_000] {
-            h.record(Duration::from_micros(us));
-        }
-        assert_eq!(h.count(), 5);
-        assert!(h.quantile_us(0.0) <= h.quantile_us(0.5));
-        assert!(h.quantile_us(0.5) <= h.quantile_us(1.0));
-        assert_eq!(h.max_us(), 1_000_000);
-        // p50 of {1,2,3,700,1e6} lands in the bucket holding 3 µs
-        assert_eq!(h.quantile_us(0.5), 4);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_us(0.5), 0);
-        assert_eq!(h.max_us(), 0);
-    }
+    use std::time::Duration;
 
     #[test]
     fn stats_line_reflects_counters() {
         let m = Metrics::new();
-        m.inc(&m.requests);
-        m.inc(&m.requests);
-        m.inc(&m.solve_ok);
-        m.solve_latency.record(Duration::from_micros(100));
+        m.requests.inc();
+        m.requests.inc();
+        m.solve_ok.inc();
+        m.solve_latency
+            .record_duration_us(Duration::from_micros(100));
         let line = m.stats_line(3, 1);
         assert!(line.contains("requests=2"), "{line}");
         assert!(line.contains("solve-ok=1"), "{line}");
@@ -194,5 +169,76 @@ mod tests {
         assert!(line.contains("workers-alive=0"), "{line}");
         assert!(line.contains("worker-deaths=0"), "{line}");
         assert!(line.contains("solve-panics=0"), "{line}");
+    }
+
+    #[test]
+    fn stats_line_is_byte_compatible_with_the_legacy_layout() {
+        // the deprecated reply must keep its exact token order — scrapers
+        // written against the pre-registry server parse positionally
+        let m = Metrics::new();
+        let line = m.stats_line(0, 0);
+        let keys: Vec<&str> = line
+            .split_whitespace()
+            .map(|kv| kv.split_once('=').unwrap().0)
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "requests",
+                "bad-requests",
+                "solve-ok",
+                "solve-degraded",
+                "solve-err",
+                "overloaded",
+                "incr-ops",
+                "sessions-open",
+                "workers-alive",
+                "worker-deaths",
+                "solve-panics",
+                "cache-hits",
+                "cache-misses",
+                "solve-p50-us",
+                "solve-p99-us",
+                "solve-max-us",
+            ]
+        );
+    }
+
+    #[test]
+    fn stats2_line_carries_version_and_renamed_keys() {
+        let m = Metrics::new();
+        m.requests.inc();
+        m.solve_ok.inc();
+        m.solve_latency
+            .record_duration_us(Duration::from_micros(100));
+        m.queue_wait.record_duration_us(Duration::from_micros(7));
+        let line = m.stats2_line(5, 2);
+        assert!(line.starts_with("version=2 req.lines=1"), "{line}");
+        for tok in [
+            "solve.ok=1",
+            "cache.hits=5",
+            "cache.misses=2",
+            "solve.latency-us-p50=128",
+            "solve.latency-us-count=1",
+            "queue.wait-us-p50=8",
+            "queue.wait-us-count=1",
+        ] {
+            assert!(line.contains(tok), "missing {tok}: {line}");
+        }
+    }
+
+    #[test]
+    fn stats_and_stats2_agree_on_shared_values() {
+        let m = Metrics::new();
+        for _ in 0..3 {
+            m.requests.inc();
+        }
+        m.solve_degraded.inc();
+        m.workers_alive.set(4);
+        let v1 = m.stats_line(9, 9);
+        let v2 = m.stats2_line(9, 9);
+        assert!(v1.contains("requests=3") && v2.contains("req.lines=3"));
+        assert!(v1.contains("solve-degraded=1") && v2.contains("solve.degraded=1"));
+        assert!(v1.contains("workers-alive=4") && v2.contains("pool.workers-alive=4"));
     }
 }

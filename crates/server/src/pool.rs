@@ -34,9 +34,9 @@ use crate::protocol::{ErrCode, SolveSpec, WireError};
 use hgp_baselines::kway::{kway_partition, KwayOpts};
 use hgp_baselines::refine::{refine, RefineOpts};
 use hgp_core::fingerprint::distribution_fingerprint;
-use hgp_core::solver::{build_distribution, SolverOptions};
+use hgp_core::solver::SolverOptions;
 use hgp_core::tree_solver::solve_rooted_with;
-use hgp_core::{Assignment, DpOptions, HgpError, Parallelism, Rounding};
+use hgp_core::{Assignment, DpOptions, HgpError, Parallelism, Solve, SolveTrace};
 use hgp_decomp::par_map_indexed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,8 +108,8 @@ fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
                         run_solve(&job, &ctx.cache, &ctx.metrics, ctx.parallelism, ctx.dp)
                     }))
                     .unwrap_or_else(|payload| {
-                        ctx.metrics.inc(&ctx.metrics.solve_panics);
-                        ctx.metrics.inc(&ctx.metrics.solve_err);
+                        ctx.metrics.solve_panics.inc();
+                        ctx.metrics.solve_err.inc();
                         let e = HgpError::from_panic(payload);
                         WireError::new(ErrCode::Internal, e.to_string()).to_line()
                     });
@@ -157,7 +157,7 @@ impl SolverPool {
         let count = workers.max(1);
         let workers: Vec<JoinHandle<()>> =
             (0..count).map(|i| spawn_worker(i, ctx.clone())).collect();
-        metrics.workers_alive.store(count as u64, Ordering::Relaxed);
+        metrics.workers_alive.set(count as u64);
         let workers = Arc::new(parking_lot::Mutex::new(workers));
         let stop = Arc::clone(&ctx.stop);
         let supervisor = {
@@ -177,11 +177,11 @@ impl SolverPool {
                                 let id = next_id.fetch_add(1, Ordering::Relaxed);
                                 let dead = std::mem::replace(slot, spawn_worker(id, ctx.clone()));
                                 let _ = dead.join(); // reap; panic payload discarded
-                                metrics.inc(&metrics.worker_deaths);
+                                metrics.worker_deaths.inc();
                             }
                         }
                         let alive = ws.iter().filter(|w| !w.is_finished()).count();
-                        metrics.workers_alive.store(alive as u64, Ordering::Relaxed);
+                        metrics.workers_alive.set(alive as u64);
                     }
                 })
                 .expect("spawn pool supervisor")
@@ -251,6 +251,10 @@ fn expired(deadline: Option<Instant>) -> bool {
     deadline.is_some_and(|d| Instant::now() >= d)
 }
 
+/// Per-tree profiling facts accumulated into the request's
+/// [`SolveTrace`]: `(dp_nanos, repair_nanos, dp_entries, dp_pruned)`.
+type TreeFacts = (u64, u64, u64, u64);
+
 /// Executes one solve end to end and formats the reply line.
 fn run_solve(
     job: &SolveJob,
@@ -259,12 +263,16 @@ fn run_solve(
     par: Parallelism,
     dp: DpOptions,
 ) -> String {
-    match solve_inner(job, cache, metrics, par, dp) {
+    // queue wait = accept to dequeue, recorded for every job (even ones
+    // that go on to fail) — it measures the queue, not the solve
+    let queue_wait = job.enqueued.elapsed();
+    metrics.queue_wait.record_duration_us(queue_wait);
+    match solve_inner(job, cache, metrics, par, dp, queue_wait) {
         Ok(line) => line,
         Err(e) => {
             match e.code {
-                ErrCode::BadRequest => metrics.inc(&metrics.bad_requests),
-                _ => metrics.inc(&metrics.solve_err),
+                ErrCode::BadRequest => metrics.bad_requests.inc(),
+                _ => metrics.solve_err.inc(),
             }
             e.to_line()
         }
@@ -277,28 +285,38 @@ fn solve_inner(
     metrics: &Metrics,
     par: Parallelism,
     dp: DpOptions,
+    queue_wait: Duration,
 ) -> Result<String, WireError> {
     let spec = &job.spec;
     let inst = spec.instance()?;
     let h = &spec.machine;
     inst.check_feasible(h)
         .map_err(|e| WireError::new(ErrCode::SolveFailed, format!("infeasible instance: {e:?}")))?;
-    let opts = SolverOptions {
-        num_trees: spec.trees,
-        rounding: Rounding::with_units(spec.units),
-        parallelism: par,
-        seed: spec.seed,
-        dp,
-        ..Default::default()
-    };
+    let opts = SolverOptions::builder()
+        .trees(spec.trees)
+        .units(spec.units)
+        .threads(par)
+        .seed(spec.seed)
+        .dp(dp)
+        .build();
 
     let mut cache_status = "skip";
     let mut solved = 0usize;
     let mut best: Option<(usize, Assignment, f64)> = None;
     let mut mode = Mode::Baseline;
+    // per-stage profile, rendered as `trace.*` tokens when `trace=1`
+    let mut dist_nanos = 0u64;
+    let mut sweep_nanos = 0u64;
+    let mut trees_total = 0u64;
+    let mut trees_ok = 0u64;
+    let mut dp_cpu = 0u64;
+    let mut repair_cpu = 0u64;
+    let mut dp_entries = 0u64;
+    let mut dp_pruned = 0u64;
 
     if !expired(job.deadline) {
         let key = distribution_fingerprint(&inst, &opts);
+        let dist_start = Instant::now();
         let dist = match cache.get(key) {
             Some(d) => {
                 cache_status = "hit";
@@ -306,17 +324,24 @@ fn solve_inner(
             }
             None => {
                 cache_status = "miss";
-                let d = Arc::new(build_distribution(&inst, &opts).map_err(|e| {
-                    WireError::new(ErrCode::SolveFailed, format!("decomposition failed: {e}"))
-                })?);
+                let built = Solve::new(&inst, h)
+                    .options(opts)
+                    .distribution()
+                    .map_err(|e| {
+                        WireError::new(ErrCode::SolveFailed, format!("decomposition failed: {e}"))
+                    })?;
+                let d = Arc::new(built);
                 cache.insert(key, Arc::clone(&d));
                 d
             }
         };
+        dist_nanos = dist_start.elapsed().as_nanos() as u64;
         let total = dist.trees.len();
+        trees_total = total as u64;
         // batch-wise fan-out: one worker-width of trees per batch, the
         // soft deadline re-checked between batches. Serial parallelism
         // degenerates to batches of one — the pre-parallel behaviour.
+        let sweep_start = Instant::now();
         while solved < total && !expired(job.deadline) {
             let end = (solved + opts.parallelism.workers(total - solved)).min(total);
             let outcomes = par_map_indexed(opts.parallelism, end - solved, |k| {
@@ -326,12 +351,23 @@ fn solve_inner(
                     .map(|rep| {
                         // map back to G and score by true Equation-1 cost
                         let cost = rep.assignment.cost(&inst, h);
-                        (rep.assignment, cost)
+                        let facts: TreeFacts = (
+                            rep.dp_nanos,
+                            rep.repair_nanos,
+                            rep.dp_entries as u64,
+                            rep.dp_pruned as u64,
+                        );
+                        (rep.assignment, cost, facts)
                     })
             });
             // deterministic reduction: tree order, strict improvement only
             for (k, outcome) in outcomes.into_iter().enumerate() {
-                if let Some((assignment, cost)) = outcome {
+                if let Some((assignment, cost, facts)) = outcome {
+                    trees_ok += 1;
+                    dp_cpu += facts.0;
+                    repair_cpu += facts.1;
+                    dp_entries += facts.2;
+                    dp_pruned += facts.3;
                     if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
                         best = Some((solved + k, assignment, cost));
                     }
@@ -339,6 +375,7 @@ fn solve_inner(
             }
             solved = end;
         }
+        sweep_nanos = sweep_start.elapsed().as_nanos() as u64;
         mode = if solved == total {
             Mode::Full
         } else {
@@ -373,12 +410,12 @@ fn solve_inner(
     let worst = assignment.violation_report(&inst, h).worst_factor();
     let degraded = mode != Mode::Full;
     if degraded {
-        metrics.inc(&metrics.solve_degraded);
+        metrics.solve_degraded.inc();
     } else {
-        metrics.inc(&metrics.solve_ok);
+        metrics.solve_ok.inc();
     }
     let elapsed = job.enqueued.elapsed();
-    metrics.solve_latency.record(elapsed);
+    metrics.solve_latency.record_duration_us(elapsed);
 
     detail = format!(
         "cost={} degraded={} mode={} {} cache={} worst-factor={} elapsed-us={}",
@@ -393,6 +430,20 @@ fn solve_inner(
     if spec.want_assignment {
         let leaves: Vec<String> = assignment.leaves().iter().map(|l| l.to_string()).collect();
         detail.push_str(&format!(" assignment={}", leaves.join(",")));
+    }
+    if spec.trace {
+        let mut tr = SolveTrace::new();
+        tr.stage("queue-wait", queue_wait.as_nanos() as u64);
+        tr.stage("distribution", dist_nanos);
+        tr.stage("sweep", sweep_nanos);
+        tr.cpu("dp-cpu", dp_cpu);
+        tr.cpu("repair-cpu", repair_cpu);
+        tr.count("cache-hit", u64::from(cache_status == "hit"));
+        tr.count("trees-total", trees_total);
+        tr.count("trees-solved", trees_ok);
+        tr.count("dp-entries", dp_entries);
+        tr.count("dp-pruned", dp_pruned);
+        detail.push_str(&tr.wire_tokens("trace."));
     }
     Ok(format!("ok {detail}"))
 }
@@ -463,7 +514,7 @@ mod tests {
                 .to_string()
         };
         assert_eq!(cost(&a), cost(&b));
-        assert_eq!(metrics.get(&metrics.solve_ok), 2);
+        assert_eq!(metrics.solve_ok.get(), 2);
     }
 
     #[test]
@@ -473,7 +524,7 @@ mod tests {
         assert!(reply.starts_with("ok "), "{reply}");
         assert!(reply.contains("degraded=1"), "{reply}");
         assert!(reply.contains("mode=baseline"), "{reply}");
-        assert_eq!(metrics.get(&metrics.solve_degraded), 1);
+        assert_eq!(metrics.solve_degraded.get(), 1);
     }
 
     #[test]
@@ -485,7 +536,7 @@ mod tests {
         spec.demand = Some(1.0);
         let reply = run(&pool, spec, None);
         assert!(reply.starts_with("err solve-failed"), "{reply}");
-        assert_eq!(metrics.get(&metrics.solve_err), 1);
+        assert_eq!(metrics.solve_err.get(), 1);
     }
 
     #[test]
@@ -560,7 +611,7 @@ mod tests {
             cache,
             Arc::clone(&metrics),
         );
-        assert_eq!(metrics.get(&metrics.workers_alive), 2);
+        assert_eq!(metrics.workers_alive.get(), 2);
 
         // kill one worker outright (bypasses the isolation boundary)
         let (tx, rx) = mpsc::channel();
@@ -578,19 +629,15 @@ mod tests {
 
         // the supervisor must notice, count the death, and restore the pool
         let deadline = Instant::now() + Duration::from_secs(10);
-        while metrics.get(&metrics.worker_deaths) == 0 && Instant::now() < deadline {
+        while metrics.worker_deaths.get() == 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert_eq!(metrics.get(&metrics.worker_deaths), 1, "death not counted");
+        assert_eq!(metrics.worker_deaths.get(), 1, "death not counted");
         let deadline = Instant::now() + Duration::from_secs(10);
-        while metrics.get(&metrics.workers_alive) < 2 && Instant::now() < deadline {
+        while metrics.workers_alive.get() < 2 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
         }
-        assert_eq!(
-            metrics.get(&metrics.workers_alive),
-            2,
-            "worker not respawned"
-        );
+        assert_eq!(metrics.workers_alive.get(), 2, "worker not respawned");
 
         // and the pool still solves
         let reply = run(&pool, solve_spec(LINE), None);
@@ -624,11 +671,11 @@ mod tests {
         let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
         assert!(reply.starts_with("err internal "), "{reply}");
         assert!(reply.contains("panic-solve test hook"), "{reply}");
-        assert_eq!(metrics.get(&metrics.solve_panics), 1);
+        assert_eq!(metrics.solve_panics.get(), 1);
 
         // ... and the very same worker thread keeps serving
         let reply = run(&pool, solve_spec(LINE), None);
         assert!(reply.starts_with("ok "), "{reply}");
-        assert_eq!(metrics.get(&metrics.worker_deaths), 0);
+        assert_eq!(metrics.worker_deaths.get(), 0);
     }
 }

@@ -7,7 +7,7 @@
 //! ```text
 //! solve graph=<spec> machine=<desc> [demand=<f>] [demands=<f,..>]
 //!       [units=<u>] [trees=<p>] [seed=<s>] [deadline-ms=<d>]
-//!       [refine=0|1] [assignment=0|1]
+//!       [refine=0|1] [assignment=0|1] [trace=0|1]
 //! place-incremental new machine=<desc>
 //! place-incremental add session=<id> demand=<f> [nbrs=<t>:<w>,..]
 //! place-incremental remove session=<id> task=<t>
@@ -16,8 +16,16 @@
 //! place-incremental info session=<id>
 //! place-incremental end session=<id>
 //! stats
+//! stats2
 //! shutdown
 //! ```
+//!
+//! `stats` is the deprecated v1 metrics snapshot (legacy field names,
+//! byte-compatible with older servers); `stats2` is the versioned
+//! registry snapshot (`version=2` plus `req.*`/`solve.*`/`pool.*`/
+//! `cache.*` keys — mapping table in `docs/PROTOCOL.md`). `trace=1` on a
+//! `solve` appends per-stage `trace.*` profiling tokens to the `ok`
+//! reply.
 //!
 //! Graph specs: `edges:<n>:<u>-<v>:<w>,...` inlines a weighted edge list;
 //! `gen:stream:<seed>`, `gen:mesh:<r>x<c>:<seed>`, `gen:powerlaw:<n>:<seed>`
@@ -333,6 +341,9 @@ pub struct SolveSpec {
     pub refine: bool,
     /// Include the full assignment vector in the reply.
     pub want_assignment: bool,
+    /// Append structured `trace.*` profiling tokens (stage timings, DP
+    /// sizes, cache and queue facts) to the `ok` reply.
+    pub trace: bool,
 }
 
 impl SolveSpec {
@@ -420,8 +431,11 @@ pub enum Request {
     Solve(Box<SolveSpec>),
     /// Session-scoped incremental mutation.
     Incr(IncrOp),
-    /// Metrics snapshot.
+    /// Metrics snapshot, legacy field names (deprecated alias of
+    /// [`Request::Stats2`] — kept byte-compatible for old scrapers).
     Stats,
+    /// Versioned metrics snapshot rendered from the `hgp-obs` registry.
+    Stats2,
     /// Graceful shutdown.
     Shutdown,
 }
@@ -486,9 +500,10 @@ impl Request {
             Some("solve") => Self::parse_solve(toks),
             Some("place-incremental") => Self::parse_incr(toks),
             Some("stats") => Ok(Request::Stats),
+            Some("stats2") => Ok(Request::Stats2),
             Some("shutdown") => Ok(Request::Shutdown),
             Some(cmd) => Err(WireError::bad(format!(
-                "unknown command {cmd:?} (want solve | place-incremental | stats | shutdown)"
+                "unknown command {cmd:?} (want solve | place-incremental | stats | stats2 | shutdown)"
             ))),
         }
     }
@@ -504,6 +519,7 @@ impl Request {
         let mut deadline_ms = None;
         let mut refine = false;
         let mut want_assignment = false;
+        let mut trace = false;
         for tok in toks {
             let (key, val) = parse_kv(tok)?;
             match key {
@@ -526,6 +542,7 @@ impl Request {
                 }
                 "refine" => refine = parse_flag(key, val)?,
                 "assignment" => want_assignment = parse_flag(key, val)?,
+                "trace" => trace = parse_flag(key, val)?,
                 _ => return Err(WireError::bad(format!("unknown solve field {key:?}"))),
             }
         }
@@ -554,6 +571,7 @@ impl Request {
             deadline_ms,
             refine,
             want_assignment,
+            trace,
         })))
     }
 
@@ -809,6 +827,26 @@ mod tests {
     #[test]
     fn stats_and_shutdown_parse() {
         assert!(matches!(Request::parse("stats"), Ok(Request::Stats)));
+        assert!(matches!(Request::parse("stats2"), Ok(Request::Stats2)));
         assert!(matches!(Request::parse("shutdown"), Ok(Request::Shutdown)));
+    }
+
+    #[test]
+    fn trace_flag_parses_and_defaults_off() {
+        let base = "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0";
+        let Ok(Request::Solve(spec)) = Request::parse(base) else {
+            panic!()
+        };
+        assert!(!spec.trace, "trace must default off");
+        let Ok(Request::Solve(spec)) = Request::parse(&format!("{base} trace=1")) else {
+            panic!()
+        };
+        assert!(spec.trace);
+        let Ok(Request::Solve(spec)) = Request::parse(&format!("{base} trace=0")) else {
+            panic!()
+        };
+        assert!(!spec.trace);
+        let err = Request::parse(&format!("{base} trace=2")).unwrap_err();
+        assert_eq!(err.code, ErrCode::BadRequest);
     }
 }

@@ -20,7 +20,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Server construction knobs.
+///
+/// Marked `#[non_exhaustive]`: construct via [`ServerConfig::default`]
+/// plus field mutation, or fluently through [`ServerConfig::builder`].
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks a free port).
     pub addr: String,
@@ -52,6 +56,84 @@ impl Default for ServerConfig {
             max_sessions: 256,
             dp: hgp_core::DpOptions::default(),
         }
+    }
+}
+
+impl ServerConfig {
+    /// Fluent builder seeded with [`ServerConfig::default`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder::default()
+    }
+
+    /// Builder seeded with this configuration's current values.
+    pub fn to_builder(self) -> ServerConfigBuilder {
+        ServerConfigBuilder { config: self }
+    }
+}
+
+/// Fluent builder for [`ServerConfig`].
+///
+/// ```
+/// use hgp_server::ServerConfig;
+///
+/// let config = ServerConfig::builder()
+///     .addr("127.0.0.1:0")
+///     .workers(2)
+///     .queue_capacity(16)
+///     .build();
+/// assert_eq!(config.workers, 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Sets the bind address (`127.0.0.1:0` picks a free port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Sets the solver worker-thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the bounded solve-queue depth.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-solve fan-out width.
+    pub fn parallelism(mut self, par: hgp_core::Parallelism) -> Self {
+        self.config.parallelism = par;
+        self
+    }
+
+    /// Sets the decomposition-cache capacity (distributions, not bytes).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the maximum number of concurrently open incremental sessions.
+    pub fn max_sessions(mut self, max: usize) -> Self {
+        self.config.max_sessions = max;
+        self
+    }
+
+    /// Sets the signature-DP engine options applied to every solve.
+    pub fn dp(mut self, dp: hgp_core::DpOptions) -> Self {
+        self.config.dp = dp;
+        self
+    }
+
+    /// Finalises the configuration.
+    pub fn build(self) -> ServerConfig {
+        self.config
     }
 }
 
@@ -223,11 +305,11 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
 
 fn handle_line(line: &str, shared: &Shared) -> String {
     let metrics = &shared.metrics;
-    metrics.inc(&metrics.requests);
+    metrics.requests.inc();
     let request = match Request::parse(line) {
         Ok(r) => r,
         Err(e) => {
-            metrics.inc(&metrics.bad_requests);
+            metrics.bad_requests.inc();
             return e.to_line();
         }
     };
@@ -256,7 +338,7 @@ fn handle_line(line: &str, shared: &Shared) -> String {
                 },
                 Err(e) => {
                     if e.code == ErrCode::Overloaded {
-                        metrics.inc(&metrics.overloaded);
+                        metrics.overloaded.inc();
                     }
                     e.to_line()
                 }
@@ -264,15 +346,15 @@ fn handle_line(line: &str, shared: &Shared) -> String {
         }
         Request::Incr(op) => match shared.sessions.apply(op) {
             Ok(body) => {
-                metrics.inc(&metrics.incr_ops);
+                metrics.incr_ops.inc();
                 metrics
                     .sessions_open
-                    .store(shared.sessions.open_count() as u64, Ordering::Relaxed);
+                    .set(shared.sessions.open_count() as u64);
                 format!("ok {body}")
             }
             Err(e) => {
                 if e.code == ErrCode::BadRequest {
-                    metrics.inc(&metrics.bad_requests);
+                    metrics.bad_requests.inc();
                 }
                 e.to_line()
             }
@@ -280,10 +362,19 @@ fn handle_line(line: &str, shared: &Shared) -> String {
         Request::Stats => {
             metrics
                 .sessions_open
-                .store(shared.sessions.open_count() as u64, Ordering::Relaxed);
+                .set(shared.sessions.open_count() as u64);
             format!(
                 "ok {}",
                 metrics.stats_line(shared.cache.hits(), shared.cache.misses())
+            )
+        }
+        Request::Stats2 => {
+            metrics
+                .sessions_open
+                .set(shared.sessions.open_count() as u64);
+            format!(
+                "ok {}",
+                metrics.stats2_line(shared.cache.hits(), shared.cache.misses())
             )
         }
         Request::Shutdown => {
@@ -309,16 +400,13 @@ mod tests {
 
     #[test]
     fn serves_a_basic_conversation() {
-        let server = Server::start(ServerConfig {
-            workers: 2,
-            ..Default::default()
-        })
-        .unwrap();
+        let server = Server::start(ServerConfig::builder().workers(2).build()).unwrap();
         let mut c = TcpStream::connect(server.addr()).unwrap();
         c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
 
         let r = roundtrip(&mut c, "solve graph=edges:4:0-1:3.0,1-2:1.0,2-3:3.0 machine=2x2:4,1,0 demand=0.4 trees=2 seed=1");
         assert!(r.starts_with("ok cost="), "{r}");
+        assert!(!r.contains("trace."), "untraced reply must stay clean: {r}");
 
         let r = roundtrip(&mut c, "place-incremental new machine=2x2:4,1,0");
         assert!(r.starts_with("ok session="), "{r}");
@@ -328,6 +416,51 @@ mod tests {
 
         let r = roundtrip(&mut c, "stats");
         assert!(r.contains("requests=4"), "{r}");
+
+        let r = roundtrip(&mut c, "stats2");
+        assert!(r.starts_with("ok version=2 req.lines=5"), "{r}");
+        for tok in ["solve.ok=1", "cache.misses=1", "solve.latency-us-count=1"] {
+            assert!(r.contains(tok), "missing {tok}: {r}");
+        }
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn traced_solve_appends_trace_tokens() {
+        let server = Server::start(ServerConfig::builder().workers(1).build()).unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+
+        let line =
+            "solve graph=gen:clustered:2x4:5 machine=2x2:4,1,0 demand=0.4 trees=4 seed=7 trace=1";
+        let r = roundtrip(&mut c, line);
+        assert!(r.starts_with("ok cost="), "{r}");
+        for tok in [
+            "trace.queue-wait-us=",
+            "trace.distribution-us=",
+            "trace.sweep-us=",
+            "trace.dp-cpu-us=",
+            "trace.repair-cpu-us=",
+            "trace.cache-hit=0",
+            "trace.trees-total=4",
+            "trace.trees-solved=4",
+            "trace.dp-entries=",
+            "trace.dp-pruned=",
+        ] {
+            assert!(r.contains(tok), "missing {tok}: {r}");
+        }
+        // repeat request: the distribution now comes from the cache
+        let r2 = roundtrip(&mut c, line);
+        assert!(r2.contains("trace.cache-hit=1"), "{r2}");
+        // tracing must not change the answer
+        let cost = |s: &str| {
+            s.split_whitespace()
+                .find_map(|kv| kv.strip_prefix("cost="))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(cost(&r), cost(&r2));
 
         server.shutdown();
     }

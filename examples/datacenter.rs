@@ -7,8 +7,8 @@
 //! ```
 
 use hgp::baselines::mapping::{dual_recursive, flat_kbgp};
-use hgp::core::solver::{solve, SolverOptions};
-use hgp::core::{Instance, Rounding};
+use hgp::core::solver::SolverOptions;
+use hgp::core::{Instance, Solve};
 use hgp::graph::generators;
 use hgp::hierarchy::presets;
 use rand::rngs::StdRng;
@@ -36,12 +36,12 @@ fn main() {
 
     for ratio in [1.0, 2.0, 4.0, 8.0] {
         let machine = presets::geometric_like(&shape, ratio);
-        let opts = SolverOptions {
-            num_trees: 6,
-            rounding: Rounding::with_units(4),
-            ..Default::default()
-        };
-        let hgp = solve(&inst, &machine, &opts).expect("solvable").cost;
+        let opts = SolverOptions::builder().trees(6).units(4).build();
+        let hgp = Solve::new(&inst, &machine)
+            .options(opts)
+            .run()
+            .expect("solvable")
+            .cost;
         let flat = flat_kbgp(&inst, &machine, &mut rng).cost(&inst, &machine);
         let dual = dual_recursive(&inst, &machine, &mut rng).cost(&inst, &machine);
         println!(

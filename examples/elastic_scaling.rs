@@ -6,8 +6,8 @@
 //! ```
 
 use hgp::core::incremental::DynamicPlacer;
-use hgp::core::solver::{solve, SolverOptions};
-use hgp::core::Rounding;
+use hgp::core::solver::SolverOptions;
+use hgp::core::Solve;
 use hgp::hierarchy::presets;
 use hgp::workloads::{stream_dag, StreamOpts};
 use rand::rngs::StdRng;
@@ -28,12 +28,11 @@ fn main() {
     );
 
     // offline: the paper's pipeline produces the initial pinning
-    let opts = SolverOptions {
-        num_trees: 4,
-        rounding: Rounding::with_units(8),
-        ..Default::default()
-    };
-    let initial = solve(&inst, &machine, &opts).expect("solvable");
+    let opts = SolverOptions::builder().trees(4).units(8).build();
+    let initial = Solve::new(&inst, &machine)
+        .options(opts)
+        .run()
+        .expect("solvable");
     println!(
         "initial deployment: {} operators, cost {:.2}, max load {:.2}",
         inst.num_tasks(),

@@ -9,8 +9,8 @@
 //! The machine descriptor is `SOCKETSxCORES` (height 2, remote:shared
 //! cost 4:1). Node demands default to `0.8 · k / n`.
 
-use hgp::core::solver::{solve, SolverOptions};
-use hgp::core::{Instance, Rounding};
+use hgp::core::solver::SolverOptions;
+use hgp::core::{Instance, Solve};
 use hgp::graph::io::read_metis;
 use hgp::hierarchy::presets;
 
@@ -59,12 +59,8 @@ fn main() {
     let inst = Instance::uniform(g, demand);
     let machine = presets::multicore(sockets, cores, 4.0, 1.0);
 
-    let opts = SolverOptions {
-        num_trees: 8,
-        rounding: Rounding::with_units(8),
-        ..Default::default()
-    };
-    match solve(&inst, &machine, &opts) {
+    let opts = SolverOptions::builder().trees(8).units(8).build();
+    match Solve::new(&inst, &machine).options(opts).run() {
         Ok(rep) => {
             println!(
                 "# {n} nodes onto {sockets}x{cores}: cost {:.3}, violation {:.2}",

@@ -4,8 +4,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use hgp::core::solver::{solve, SolverOptions};
-use hgp::core::{Instance, Rounding};
+use hgp::core::solver::SolverOptions;
+use hgp::core::{Instance, Solve};
 use hgp::graph::{Graph, GraphBuilder, NodeId};
 use hgp::hierarchy::presets;
 
@@ -29,12 +29,11 @@ fn main() {
     // cross-core traffic on the same socket; same-core traffic is free.
     let machine = presets::multicore(2, 2, 4.0, 1.0);
 
-    let opts = SolverOptions {
-        num_trees: 4,
-        rounding: Rounding::with_units(16),
-        ..Default::default()
-    };
-    let report = solve(&inst, &machine, &opts).expect("solvable instance");
+    let opts = SolverOptions::builder().trees(4).units(16).build();
+    let report = Solve::new(&inst, &machine)
+        .options(opts)
+        .run()
+        .expect("solvable instance");
 
     println!("communication cost (Eq. 1): {:.2}", report.cost);
     println!(

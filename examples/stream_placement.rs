@@ -8,8 +8,8 @@
 
 use hgp::baselines::mapping::{dual_recursive, greedy_placement};
 use hgp::baselines::refine::{refine, RefineOpts};
-use hgp::core::solver::{solve, SolverOptions};
-use hgp::core::Rounding;
+use hgp::core::solver::SolverOptions;
+use hgp::core::Solve;
 use hgp::hierarchy::presets;
 use hgp::workloads::{stream_dag, StreamOpts};
 use rand::rngs::StdRng;
@@ -37,12 +37,11 @@ fn main() {
         machine.num_leaves()
     );
 
-    let opts = SolverOptions {
-        num_trees: 6,
-        rounding: Rounding::with_units(2),
-        ..Default::default()
-    };
-    let hgp = solve(&inst, &machine, &opts).expect("solvable");
+    let opts = SolverOptions::builder().trees(6).units(2).build();
+    let hgp = Solve::new(&inst, &machine)
+        .options(opts)
+        .run()
+        .expect("solvable");
 
     let greedy = greedy_placement(&inst, &machine);
     let mut dual = dual_recursive(&inst, &machine, &mut rng);

@@ -9,8 +9,8 @@
 //! # Example
 //!
 //! ```
-//! use hgp::core::solver::{solve, SolverOptions};
-//! use hgp::core::{Instance, Rounding};
+//! use hgp::core::solver::SolverOptions;
+//! use hgp::core::{Instance, Solve};
 //! use hgp::graph::Graph;
 //! use hgp::hierarchy::presets;
 //!
@@ -20,12 +20,8 @@
 //! // 2 sockets x 2 cores, cross-socket traffic 4x as expensive
 //! let machine = presets::multicore(2, 2, 4.0, 1.0);
 //!
-//! let opts = SolverOptions {
-//!     num_trees: 2,
-//!     rounding: Rounding::with_units(8),
-//!     ..Default::default()
-//! };
-//! let report = solve(&inst, &machine, &opts).unwrap();
+//! let opts = SolverOptions::builder().trees(2).units(8).build();
+//! let report = Solve::new(&inst, &machine).options(opts).run().unwrap();
 //!
 //! // each heavy pair lands on a shared socket — here even a shared core,
 //! // using the bicriteria capacity slack (1.2 load on a 1.0 core is well

@@ -34,12 +34,13 @@ const WORKERS: usize = 2;
 fn server_addr() -> SocketAddr {
     static ADDR: OnceLock<SocketAddr> = OnceLock::new();
     *ADDR.get_or_init(|| {
-        let server = Server::start(ServerConfig {
-            workers: WORKERS,
-            queue_capacity: 16,
-            cache_capacity: 8,
-            ..Default::default()
-        })
+        let server = Server::start(
+            ServerConfig::builder()
+                .workers(WORKERS)
+                .queue_capacity(16)
+                .cache_capacity(8)
+                .build(),
+        )
         .expect("start fuzz server");
         let addr = server.addr();
         std::mem::forget(server); // keep serving for the whole process

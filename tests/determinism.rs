@@ -1,7 +1,7 @@
 //! Determinism: every pipeline stage is bit-reproducible from its seed.
 
-use hgp::core::solver::{solve, SolverOptions};
-use hgp::core::{solve_tree_instance, Instance, Parallelism, Rounding};
+use hgp::core::solver::SolverOptions;
+use hgp::core::{Instance, Parallelism, Solve};
 use hgp::decomp::{build_decomp_tree, racke_distribution, DecompOpts};
 use hgp::graph::generators;
 use hgp::hierarchy::presets;
@@ -65,8 +65,9 @@ fn tree_solver_is_deterministic() {
     let g = generators::random_tree(&mut r, 18, 0.5, 3.0);
     let inst = Instance::uniform(g, 0.4);
     let h = presets::multicore(2, 4, 4.0, 1.0);
-    let a = solve_tree_instance(&inst, &h, Rounding::with_units(16)).unwrap();
-    let b = solve_tree_instance(&inst, &h, Rounding::with_units(16)).unwrap();
+    let req = Solve::new(&inst, &h).options(SolverOptions::builder().units(16).build());
+    let a = req.run_tree().unwrap();
+    let b = req.run_tree().unwrap();
     assert_eq!(a.assignment, b.assignment);
     assert_eq!(a.cost.to_bits(), b.cost.to_bits());
     assert_eq!(a.dp_entries, b.dp_entries);
@@ -78,23 +79,48 @@ fn full_solver_is_seed_stable_and_thread_independent() {
     let g = generators::gnp_connected(&mut r, 20, 0.25, 0.5, 2.0);
     let inst = Instance::uniform(g, 0.3);
     let h = presets::multicore(2, 4, 4.0, 1.0);
-    let base = SolverOptions {
-        num_trees: 4,
-        seed: 99,
-        ..Default::default()
-    };
-    let with = |parallelism| SolverOptions {
-        parallelism,
-        ..base
-    };
-    let r1 = solve(&inst, &h, &with(Parallelism::serial())).unwrap();
-    let r2 = solve(&inst, &h, &with(Parallelism::Fixed(8))).unwrap();
-    let r3 = solve(&inst, &h, &with(Parallelism::Auto)).unwrap();
+    let base = SolverOptions::builder().trees(4).seed(99).build();
+    let with =
+        |parallelism| Solve::new(&inst, &h).options(base.to_builder().threads(parallelism).build());
+    let r1 = with(Parallelism::serial()).run().unwrap();
+    let r2 = with(Parallelism::Fixed(8)).run().unwrap();
+    let r3 = with(Parallelism::Auto).run().unwrap();
     assert_eq!(r1.assignment, r2.assignment);
     assert_eq!(r1.assignment, r3.assignment);
     assert_eq!(r1.cost.to_bits(), r2.cost.to_bits());
     assert_eq!(r1.best_tree, r2.best_tree);
     // a different seed is allowed to (and here does) pick another tree
-    let r4 = solve(&inst, &h, &SolverOptions { seed: 100, ..base }).unwrap();
+    let r4 = Solve::new(&inst, &h)
+        .options(base.to_builder().seed(100).build())
+        .run()
+        .unwrap();
     assert!(r4.cost.is_finite());
+}
+
+#[test]
+fn tracing_does_not_change_the_solution() {
+    // The observability layer is strictly observational: a traced solve
+    // must return bit-identical cost, assignment, and tree pick.
+    let mut r = StdRng::seed_from_u64(35);
+    let g = generators::gnp_connected(&mut r, 24, 0.2, 0.5, 2.0);
+    let inst = Instance::uniform(g, 0.3);
+    let h = presets::multicore(2, 4, 4.0, 1.0);
+    let base = SolverOptions::builder().trees(4).seed(7).build();
+    let plain = Solve::new(&inst, &h).options(base).run().unwrap();
+    let traced = Solve::new(&inst, &h)
+        .options(base.to_builder().trace(true).build())
+        .run()
+        .unwrap();
+    assert!(plain.trace.is_none());
+    let trace = traced.trace.expect("trace requested");
+    assert_eq!(plain.cost.to_bits(), traced.cost.to_bits());
+    assert_eq!(plain.assignment, traced.assignment);
+    assert_eq!(plain.best_tree, traced.best_tree);
+    // and the trace is internally consistent with the report
+    assert_eq!(
+        trace.count_of("dp-entries"),
+        Some(traced.dp_entries_total as u64)
+    );
+    assert!(trace.stage_nanos("distribution").is_some());
+    assert!(trace.stage_nanos("sweep").is_some());
 }

@@ -2,8 +2,8 @@
 //! quality stays within a constant of recomputing from scratch.
 
 use hgp::core::incremental::DynamicPlacer;
-use hgp::core::solver::{solve, SolverOptions};
-use hgp::core::{Instance, Rounding};
+use hgp::core::solver::SolverOptions;
+use hgp::core::{Instance, Solve};
 use hgp::graph::GraphBuilder;
 use hgp::graph::NodeId;
 use hgp::hierarchy::presets;
@@ -53,12 +53,8 @@ fn online_quality_tracks_offline_within_constant() {
         b.add_edge(NodeId(u), NodeId(v), w);
     }
     let inst = Instance::new(b.build(), demands);
-    let opts = SolverOptions {
-        num_trees: 4,
-        rounding: Rounding::with_units(8),
-        ..Default::default()
-    };
-    let offline = solve(&inst, &machine, &opts).unwrap();
+    let opts = SolverOptions::builder().trees(4).units(8).build();
+    let offline = Solve::new(&inst, &machine).options(opts).run().unwrap();
 
     let online_cost = placer.cost();
     assert!(

@@ -2,8 +2,8 @@
 //! assignment, checked against the baselines and the paper's guarantees.
 
 use hgp::baselines::Baseline;
-use hgp::core::solver::{solve, SolverOptions};
-use hgp::core::{solve_tree_instance, Instance, Rounding};
+use hgp::core::solver::SolverOptions;
+use hgp::core::{Instance, Rounding, Solve};
 use hgp::graph::generators;
 use hgp::hierarchy::presets;
 use hgp::workloads::{machines, standard_suite, stream_dag, StreamOpts};
@@ -15,13 +15,11 @@ fn full_suite_solves_on_all_machines_within_bounds() {
     let suite = standard_suite(99);
     for (mname, h) in machines() {
         for w in &suite {
-            let opts = SolverOptions {
-                num_trees: 4,
-                rounding: Rounding::with_units(4),
-                ..Default::default()
-            };
-            let rep =
-                solve(&w.inst, &h, &opts).unwrap_or_else(|e| panic!("{} on {mname}: {e}", w.name));
+            let opts = SolverOptions::builder().trees(4).units(4).build();
+            let rep = Solve::new(&w.inst, &h)
+                .options(opts)
+                .run()
+                .unwrap_or_else(|e| panic!("{} on {mname}: {e}", w.name));
             let bound = 2.0 * (1.0 + h.height() as f64);
             assert!(
                 rep.violation.worst_factor() <= bound,
@@ -48,7 +46,7 @@ fn hgp_beats_every_baseline_on_a_steep_hierarchy_stream() {
         },
     );
     let h = presets::multicore(2, 4, 8.0, 1.0);
-    let rep = solve(&inst, &h, &SolverOptions::default()).unwrap();
+    let rep = Solve::new(&inst, &h).run().unwrap();
     for b in Baseline::ALL {
         if b == Baseline::Random {
             let a = b.run(&inst, &h, &mut rng);
@@ -76,12 +74,10 @@ fn tree_pipeline_agrees_with_general_pipeline_on_trees() {
     let inst = Instance::uniform(g, 0.35);
     let h = presets::multicore(2, 4, 4.0, 1.0);
     let rounding = Rounding::with_units(16);
-    let tree_rep = solve_tree_instance(&inst, &h, rounding).unwrap();
-    let gen_opts = SolverOptions {
-        rounding,
-        ..Default::default()
-    };
-    let gen_rep = solve(&inst, &h, &gen_opts).unwrap();
+    let gen_opts = SolverOptions::builder().rounding(rounding).build();
+    let req = Solve::new(&inst, &h).options(gen_opts);
+    let tree_rep = req.run_tree().unwrap();
+    let gen_rep = req.run().unwrap();
     assert!(tree_rep.cost.is_finite() && gen_rep.cost.is_finite());
     assert!(
         gen_rep.cost <= 3.0 * tree_rep.cost + 1e-9 && tree_rep.cost <= 3.0 * gen_rep.cost + 1e-9,
@@ -117,7 +113,7 @@ fn kbgp_special_case_matches_flat_partitioning_quality() {
     let planted_cost = g.cut_weight_parts(&planted);
     let inst = Instance::uniform(g, 0.12);
     let h = presets::flat(4);
-    let rep = solve(&inst, &h, &SolverOptions::default()).unwrap();
+    let rep = Solve::new(&inst, &h).run().unwrap();
     assert!(
         rep.cost <= 2.0 * planted_cost,
         "hgp k-bgp cost {} vs planted {}",

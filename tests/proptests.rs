@@ -226,14 +226,23 @@ proptest! {
             .collect();
         let deltas = &deltas[..h];
         for dominance_prune in [false, true] {
-            let arena = solve_relaxed_with(&t, &units, &caps, deltas, DpOptions {
-                dominance_prune,
-                legacy_engine: false,
-            });
-            let legacy = solve_relaxed_with(&t, &units, &caps, deltas, DpOptions {
-                dominance_prune,
-                legacy_engine: true,
-            });
+            let arena = solve_relaxed_with(
+                &t,
+                &units,
+                &caps,
+                deltas,
+                DpOptions::builder().dominance_prune(dominance_prune).build(),
+            );
+            let legacy = solve_relaxed_with(
+                &t,
+                &units,
+                &caps,
+                deltas,
+                DpOptions::builder()
+                    .dominance_prune(dominance_prune)
+                    .legacy_engine(true)
+                    .build(),
+            );
             match (arena, legacy) {
                 (Ok(a), Ok(l)) => {
                     prop_assert_eq!(a.cost.to_bits(), l.cost.to_bits());

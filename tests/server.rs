@@ -49,12 +49,13 @@ fn field_u64(reply: &str, key: &str) -> u64 {
 
 #[test]
 fn concurrent_clients_mixed_load() {
-    let server = Server::start(ServerConfig {
-        workers: 4,
-        queue_capacity: 64,
-        cache_capacity: 16,
-        ..Default::default()
-    })
+    let server = Server::start(
+        ServerConfig::builder()
+            .workers(4)
+            .queue_capacity(64)
+            .cache_capacity(16)
+            .build(),
+    )
     .expect("start server");
     let addr = server.addr();
 
@@ -214,6 +215,72 @@ fn concurrent_clients_mixed_load() {
     assert!(
         field_u64(&stats, "solve-max-us") >= field_u64(&stats, "solve-p50-us"),
         "{stats}"
+    );
+
+    // per-request tracing: the same (cached) topology with trace=1 must
+    // append the structured trace.* tokens without changing the answer
+    bump(1);
+    let traced = control.req(
+        "solve graph=gen:clustered:2x4:1000 machine=2x2:4,1,0 demand=0.3 trees=4 seed=42 trace=1",
+    );
+    assert!(traced.starts_with("ok cost="), "{traced}");
+    for token in [
+        "trace.queue-wait-us=",
+        "trace.distribution-us=",
+        "trace.sweep-us=",
+        "trace.dp-cpu-us=",
+        "trace.repair-cpu-us=",
+        "trace.cache-hit=1",
+        "trace.trees-total=4",
+        "trace.trees-solved=",
+        "trace.dp-entries=",
+        "trace.dp-pruned=",
+    ] {
+        assert!(traced.contains(token), "missing {token}: {traced}");
+    }
+    let untraced_costs = costs
+        .get("solve graph=gen:clustered:2x4:1000 machine=2x2:4,1,0 demand=0.3 trees=4 seed=42")
+        .expect("shared topology was solved");
+    assert_eq!(
+        reply_field(&traced, "cost"),
+        Some(untraced_costs[0].as_str()),
+        "tracing changed the cost: {traced}"
+    );
+
+    // versioned stats: same facts under the registry's metric names
+    bump(1);
+    let stats2 = control.req("stats2");
+    assert!(stats2.starts_with("ok version=2 req.lines="), "{stats2}");
+    assert_eq!(
+        field_u64(&stats2, "req.lines"),
+        requests_sent.load(Ordering::Relaxed),
+        "{stats2}"
+    );
+    assert_eq!(field_u64(&stats2, "solve.ok"), solves + 1, "{stats2}");
+    assert_eq!(field_u64(&stats2, "solve.degraded"), 1, "{stats2}");
+    assert_eq!(field_u64(&stats2, "req.bad"), 1, "{stats2}");
+    assert_eq!(field_u64(&stats2, "sessions.open"), 0, "{stats2}");
+    assert_eq!(field_u64(&stats2, "pool.workers-alive"), 4, "{stats2}");
+    assert_eq!(field_u64(&stats2, "pool.worker-deaths"), 0, "{stats2}");
+    // the traced solve above hit the cache once more after `stats` was read
+    assert_eq!(
+        field_u64(&stats2, "cache.hits"),
+        field_u64(&stats, "cache-hits") + 1,
+        "stats and stats2 disagree"
+    );
+    assert_eq!(
+        field_u64(&stats2, "cache.misses"),
+        field_u64(&stats, "cache-misses"),
+        "stats and stats2 disagree"
+    );
+    assert!(field_u64(&stats2, "solve.latency-us-p50") > 0, "{stats2}");
+    assert!(
+        field_u64(&stats2, "solve.latency-us-count") >= solves,
+        "{stats2}"
+    );
+    assert!(
+        field_u64(&stats2, "queue.wait-us-count") >= solves,
+        "{stats2}"
     );
 
     // graceful shutdown over the wire

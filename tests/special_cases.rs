@@ -122,7 +122,14 @@ fn degenerate_sizes() {
     let g = Graph::from_edges(1, &[]);
     let inst = Instance::uniform(g.clone(), 1.0);
     let h = presets::flat(1);
-    let rep = hgp::core::solve_tree_instance(&inst, &h, Rounding::with_units(4)).unwrap();
+    let rep = hgp::core::Solve::new(&inst, &h)
+        .options(
+            hgp::core::solver::SolverOptions::builder()
+                .rounding(Rounding::with_units(4))
+                .build(),
+        )
+        .run_tree()
+        .unwrap();
     assert_eq!(rep.cost, 0.0);
     assert_eq!(rep.assignment.leaf(0), 0);
     // k = 1 with several light tasks
