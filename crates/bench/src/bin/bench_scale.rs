@@ -1,0 +1,136 @@
+//! `bench_scale` — emits or validates the machine-readable
+//! `BENCH_scale.json` large-instance trajectory.
+//!
+//! ```text
+//! bench_scale [--out BENCH_scale.json] [--sizes N,N,...] [--trees T]
+//! bench_scale --validate PATH
+//! bench_scale --smoke PATH
+//! ```
+//!
+//! Without `--validate`, sweeps the scale presets (mesh / power-law /
+//! planted clusters) across the configured sizes, solving each instance
+//! with both the multilevel V-cycle and the flat k-way + refine baseline
+//! (see `hgp_bench::scale_bench`), writes the JSON report to `--out`, and
+//! exits non-zero if the document fails its own validation — including
+//! the acceptance bar that multilevel cost never exceeds the baseline.
+//! With `--validate`, only checks an existing file. With `--smoke`, runs
+//! just the bounded `n = 20 000` anchor point and exits non-zero if any
+//! family's multilevel cost regressed more than 2 % against the committed
+//! document at PATH — the CI scale-regression gate.
+
+use hgp_bench::scale_bench::{run_scale_bench, smoke_check, validate, ScaleBenchOpts};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ScaleBenchOpts::standard();
+    let mut out = "BENCH_scale.json".to_string();
+    let mut check: Option<String> = None;
+    let mut smoke: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--out" => out = val("--out"),
+            "--validate" => check = Some(val("--validate")),
+            "--smoke" => {
+                smoke = Some(val("--smoke"));
+                opts.sizes = ScaleBenchOpts::smoke().sizes;
+            }
+            "--sizes" => {
+                opts.sizes = val("--sizes")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail("--sizes needs integers"))
+                    })
+                    .collect();
+            }
+            "--trees" => {
+                opts.trees = val("--trees")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--trees needs an integer"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_scale [--out FILE] [--sizes N,N,...] [--trees T] \
+                     | --validate FILE | --smoke FILE"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        match validate(&text) {
+            Ok(()) => println!("{path}: valid {}", hgp_bench::scale_bench::SCHEMA),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+        return;
+    }
+
+    if let Some(path) = smoke {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        let report = run_scale_bench(&opts).unwrap_or_else(|e| fail(&e));
+        // persist the fresh measurement even on regression: CI uploads it
+        // as the diagnosable artifact either way
+        let text = report.to_json().to_pretty();
+        std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+        match smoke_check(&committed, &report) {
+            Ok(()) => {
+                let p = &report.sweep[0];
+                for e in &p.entries {
+                    println!(
+                        "{}: smoke ok, ml {:.1} ms cost {:.2} vs baseline {:.1} ms cost {:.2} \
+                         (ratio {:.3}, {} levels)",
+                        e.name,
+                        e.ml_ms,
+                        e.ml_cost,
+                        e.baseline_ms,
+                        e.baseline_cost,
+                        e.cost_ratio(),
+                        e.ml_levels
+                    );
+                }
+            }
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+        return;
+    }
+
+    let report = run_scale_bench(&opts).unwrap_or_else(|e| fail(&e));
+    for p in &report.sweep {
+        for e in &p.entries {
+            eprintln!(
+                "{}: ml {:.1} ms cost {:.2} ({} levels, x{:.0} reduction) | \
+                 baseline {:.1} ms cost {:.2} | ratio {:.3}",
+                e.name,
+                e.ml_ms,
+                e.ml_cost,
+                e.ml_levels,
+                e.ml_reduction,
+                e.baseline_ms,
+                e.baseline_cost,
+                e.cost_ratio()
+            );
+        }
+    }
+    let text = report.to_json().to_pretty();
+    validate(&text).unwrap_or_else(|e| fail(&format!("emitted report is invalid: {e}")));
+    std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    eprintln!("wrote {out}");
+}

@@ -13,6 +13,7 @@
 pub mod alloc;
 pub mod experiments;
 pub mod json;
+pub mod scale_bench;
 pub mod solver_bench;
 pub mod table;
 

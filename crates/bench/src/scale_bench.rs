@@ -1,0 +1,470 @@
+//! The large-instance trajectory: `BENCH_scale.json`.
+//!
+//! Sweeps the `hgp-workloads` scale presets (2-D mesh, Barabási–Albert,
+//! sparse planted clusters) across `n ∈ {1e3, 1e4, 2e4, 1e5, 1e6}` and, at
+//! every point, solves each instance twice:
+//!
+//! * **multilevel** — the `hgp-multilevel` V-cycle (coarsen to the exact
+//!   core, uncoarsen with hierarchy-aware FM), and
+//! * **baseline** — flat METIS-style k-way partitioning followed by the
+//!   `hgp-baselines` Equation-1 refiner (swaps off: pairwise swaps are
+//!   quadratic per pass and do not scale past ~1e4 nodes).
+//!
+//! The emitted document records, per sweep point and family, wall times,
+//! final Equation-1 costs, the cost ratio, and the V-cycle's shape (level
+//! count, reduction factor). [`validate`] requires the multilevel cost to
+//! be at or below the baseline cost on every entry — the acceptance bar
+//! for the multilevel front-end. The `n = 2e4` point doubles as the CI
+//! smoke anchor: [`smoke_check`] re-measures it and fails on cost
+//! regression against the committed document (costs are deterministic for
+//! a fixed seed, so any drift is a code change, not noise).
+
+use crate::json::Json;
+use crate::timed;
+use hgp_baselines::kway::{kway_partition, KwayOpts};
+use hgp_baselines::refine::{refine, RefineOpts};
+use hgp_core::{Assignment, MultilevelOptions, SolverOptions};
+use hgp_hierarchy::{presets, Hierarchy};
+use hgp_multilevel::solve_multilevel;
+use hgp_workloads::suite::scale_suite_sized;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Schema tag emitted into (and required from) `BENCH_scale.json`.
+pub const SCHEMA: &str = "hgp-bench-scale/1";
+
+/// The sweep points of the committed full document. `20_000` is the CI
+/// smoke anchor ([`ScaleBenchOpts::smoke`] re-measures exactly that point).
+pub const FULL_SWEEP: [usize; 5] = [1_000, 10_000, 20_000, 100_000, 1_000_000];
+
+/// The smoke anchor size (bounded enough for a CI step).
+pub const SMOKE_N: usize = 20_000;
+
+/// Workload and solver knobs for [`run_scale_bench`].
+#[derive(Clone, Debug)]
+pub struct ScaleBenchOpts {
+    /// Instance sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Decomposition trees for the coarse core solve.
+    pub trees: usize,
+    /// Rounding grid units per leaf.
+    pub units: u32,
+    /// Workload + solver seed.
+    pub seed: u64,
+}
+
+impl ScaleBenchOpts {
+    /// The full committed sweep ([`FULL_SWEEP`]).
+    pub fn standard() -> Self {
+        Self {
+            sizes: FULL_SWEEP.to_vec(),
+            trees: 4,
+            units: 4,
+            seed: 0x5CA1_2014,
+        }
+    }
+
+    /// The bounded CI variant: just the [`SMOKE_N`] anchor point.
+    pub fn smoke() -> Self {
+        Self {
+            sizes: vec![SMOKE_N],
+            ..Self::standard()
+        }
+    }
+}
+
+/// One family at one sweep point: both arms on the same instance.
+#[derive(Clone, Debug)]
+pub struct ScaleEntry {
+    /// Workload label, e.g. `"powerlaw-100k"`.
+    pub name: String,
+    /// Nodes in the instance graph.
+    pub nodes: usize,
+    /// Edges in the instance graph.
+    pub edges: usize,
+    /// Multilevel arm wall time.
+    pub ml_ms: f64,
+    /// Multilevel final Equation-1 cost.
+    pub ml_cost: f64,
+    /// Coarsening-ladder depth the V-cycle used.
+    pub ml_levels: usize,
+    /// Nodes remaining at the coarsest level.
+    pub ml_coarsest: usize,
+    /// `n / coarsest` reduction factor.
+    pub ml_reduction: f64,
+    /// Baseline arm (k-way + refine) wall time.
+    pub baseline_ms: f64,
+    /// Baseline final Equation-1 cost.
+    pub baseline_cost: f64,
+}
+
+impl ScaleEntry {
+    /// `ml_cost / baseline_cost` — below 1.0 means multilevel wins.
+    pub fn cost_ratio(&self) -> f64 {
+        if self.baseline_cost > 0.0 {
+            self.ml_cost / self.baseline_cost
+        } else if self.ml_cost == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The acceptance bar: multilevel must not lose to the flat baseline.
+    pub fn ml_not_worse(&self) -> bool {
+        self.ml_cost <= self.baseline_cost * (1.0 + 1e-9)
+    }
+}
+
+/// One sweep point: every family at a common `n`.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Requested instance size.
+    pub n: usize,
+    /// Per-family measurements.
+    pub entries: Vec<ScaleEntry>,
+}
+
+/// Everything [`run_scale_bench`] measured.
+#[derive(Clone, Debug)]
+pub struct ScaleBenchReport {
+    /// The options the run used.
+    pub opts: ScaleBenchOpts,
+    /// Size-ordered sweep results.
+    pub sweep: Vec<SweepPoint>,
+    /// What `available_parallelism` reported on the measuring machine.
+    pub available_parallelism: usize,
+}
+
+/// The machine every sweep point targets (16 leaves — large instances are
+/// the *task* side of the scale story; the machine stays realistic).
+fn machine() -> Hierarchy {
+    presets::multicore(4, 4, 4.0, 1.0)
+}
+
+/// Descriptor string for the sweep machine, recorded in the document.
+const MACHINE_DESC: &str = "4x4:4,1,0";
+
+fn run_point(n: usize, opts: &ScaleBenchOpts) -> Result<SweepPoint, String> {
+    let h = machine();
+    let solver_opts = SolverOptions::builder()
+        .trees(opts.trees)
+        .units(opts.units)
+        .seed(opts.seed)
+        .multilevel(MultilevelOptions {
+            enabled: true,
+            ..Default::default()
+        })
+        .build();
+    // swaps are O(n^2) per pass — feasible at suite scale, not at 1e5+
+    let refine_opts = RefineOpts {
+        swaps: false,
+        ..Default::default()
+    };
+    let mut entries = Vec::new();
+    for w in scale_suite_sized(opts.seed, h.num_leaves(), n) {
+        let inst = &w.inst;
+        let (ml, ml_ms) = timed(|| solve_multilevel(inst, &h, &solver_opts));
+        let ml = ml.map_err(|e| format!("{}: multilevel solve failed: {e}", w.name))?;
+
+        let (baseline, baseline_ms) = timed(|| {
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            let part = kway_partition(
+                inst.graph(),
+                inst.demands(),
+                h.num_leaves(),
+                &KwayOpts::default(),
+                &mut rng,
+            );
+            let mut a = Assignment::new(part, &h);
+            refine(&mut a, inst, &h, &refine_opts);
+            a
+        });
+        let baseline_cost = baseline.cost(inst, &h);
+
+        entries.push(ScaleEntry {
+            name: w.name,
+            nodes: inst.num_tasks(),
+            edges: inst.graph().num_edges(),
+            ml_ms,
+            ml_cost: ml.cost,
+            ml_levels: ml.levels,
+            ml_coarsest: ml.coarsest_nodes,
+            ml_reduction: ml.reduction,
+            baseline_ms,
+            baseline_cost,
+        });
+    }
+    Ok(SweepPoint { n, entries })
+}
+
+/// Runs the sweep and assembles the report.
+pub fn run_scale_bench(opts: &ScaleBenchOpts) -> Result<ScaleBenchReport, String> {
+    if opts.sizes.is_empty() {
+        return Err("scale bench needs at least one sweep size".into());
+    }
+    let mut sweep = Vec::with_capacity(opts.sizes.len());
+    for &n in &opts.sizes {
+        sweep.push(run_point(n, opts)?);
+    }
+    Ok(ScaleBenchReport {
+        opts: opts.clone(),
+        sweep,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1),
+    })
+}
+
+impl ScaleBenchReport {
+    /// Renders the report as the `BENCH_scale.json` document.
+    pub fn to_json(&self) -> Json {
+        let o = &self.opts;
+        Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.into())),
+            (
+                "environment",
+                Json::obj(vec![(
+                    "available_parallelism",
+                    Json::Num(self.available_parallelism as f64),
+                )]),
+            ),
+            (
+                "workload",
+                Json::obj(vec![
+                    ("machine", Json::Str(MACHINE_DESC.into())),
+                    ("trees", Json::Num(o.trees as f64)),
+                    ("units", Json::Num(o.units as f64)),
+                    ("seed", Json::Num(o.seed as f64)),
+                ]),
+            ),
+            (
+                "sweep",
+                Json::Arr(
+                    self.sweep
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("n", Json::Num(p.n as f64)),
+                                (
+                                    "entries",
+                                    Json::Arr(
+                                        p.entries
+                                            .iter()
+                                            .map(|e| {
+                                                Json::obj(vec![
+                                                    ("name", Json::Str(e.name.clone())),
+                                                    ("nodes", Json::Num(e.nodes as f64)),
+                                                    ("edges", Json::Num(e.edges as f64)),
+                                                    ("ml_ms", Json::Num(e.ml_ms)),
+                                                    ("ml_cost", Json::Num(e.ml_cost)),
+                                                    ("ml_levels", Json::Num(e.ml_levels as f64)),
+                                                    (
+                                                        "ml_coarsest",
+                                                        Json::Num(e.ml_coarsest as f64),
+                                                    ),
+                                                    ("ml_reduction", Json::Num(e.ml_reduction)),
+                                                    ("baseline_ms", Json::Num(e.baseline_ms)),
+                                                    ("baseline_cost", Json::Num(e.baseline_cost)),
+                                                    ("cost_ratio", Json::Num(e.cost_ratio())),
+                                                    ("ml_not_worse", Json::Bool(e.ml_not_worse())),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Validates an emitted `BENCH_scale.json`: parses, checks the schema tag,
+/// requires the environment header, a non-empty sweep with non-empty
+/// entries, finite non-negative times and costs everywhere, and
+/// `ml_not_worse = true` on every entry (the acceptance bar: the V-cycle
+/// never loses to the flat k-way + refine baseline).
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("bad schema tag {other:?}, want {SCHEMA:?}")),
+    }
+    doc.path(&["environment", "available_parallelism"])
+        .and_then(Json::as_f64)
+        .ok_or("missing environment.available_parallelism")?;
+    doc.path(&["workload", "seed"])
+        .and_then(Json::as_f64)
+        .ok_or("missing workload.seed")?;
+    let Some(Json::Arr(points)) = doc.get("sweep") else {
+        return Err("missing sweep array".into());
+    };
+    if points.is_empty() {
+        return Err("empty sweep".into());
+    }
+    for p in points {
+        let n = p
+            .get("n")
+            .and_then(Json::as_f64)
+            .ok_or("sweep point missing n")?;
+        let Some(Json::Arr(entries)) = p.get("entries") else {
+            return Err(format!("sweep point n={n} missing entries"));
+        };
+        if entries.is_empty() {
+            return Err(format!("sweep point n={n} has no entries"));
+        }
+        for e in entries {
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("entry missing name")?;
+            for field in ["ml_ms", "ml_cost", "baseline_ms", "baseline_cost"] {
+                let x = e
+                    .get(field)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("{name}: missing {field}"))?;
+                if !(x.is_finite() && x >= 0.0) {
+                    return Err(format!("{name}: {field} = {x} is not a measurement"));
+                }
+            }
+            match e.get("ml_not_worse").and_then(Json::as_bool) {
+                Some(true) => {}
+                Some(false) => {
+                    return Err(format!(
+                        "{name}: multilevel cost exceeds the flat baseline (ml_not_worse = false)"
+                    ))
+                }
+                None => return Err(format!("{name}: missing ml_not_worse")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Maximum tolerated relative cost increase against the committed anchor
+/// before [`smoke_check`] fails. Costs are deterministic for a fixed seed,
+/// so this only absorbs representation-level noise; a real algorithmic
+/// regression moves cost far more than 2 %.
+pub const SMOKE_COST_TOLERANCE: f64 = 1.02;
+
+/// The CI scale-regression gate: validates the committed `BENCH_scale.json`
+/// and compares a freshly measured smoke run (the [`SMOKE_N`] point)
+/// against the committed entries at the same `n`, failing when any
+/// family's fresh multilevel cost exceeds the committed cost by more than
+/// [`SMOKE_COST_TOLERANCE`]. Wall times are deliberately not compared —
+/// CI machines vary; cost is the deterministic trajectory.
+pub fn smoke_check(committed: &str, fresh: &ScaleBenchReport) -> Result<(), String> {
+    validate(committed).map_err(|e| format!("committed baseline invalid: {e}"))?;
+    let doc = Json::parse(committed)?;
+    let Some(Json::Arr(points)) = doc.get("sweep") else {
+        return Err("committed baseline missing sweep".into());
+    };
+    let fresh_point = fresh
+        .sweep
+        .iter()
+        .find(|p| p.n == SMOKE_N)
+        .ok_or_else(|| format!("fresh run has no n={SMOKE_N} point"))?;
+    let committed_point = points
+        .iter()
+        .find(|p| p.get("n").and_then(Json::as_f64) == Some(SMOKE_N as f64))
+        .ok_or_else(|| format!("committed baseline has no n={SMOKE_N} anchor point"))?;
+    let Some(Json::Arr(entries)) = committed_point.get("entries") else {
+        return Err("committed anchor point missing entries".into());
+    };
+    for e in &fresh_point.entries {
+        let committed_cost = entries
+            .iter()
+            .find(|c| c.get("name").and_then(Json::as_str) == Some(e.name.as_str()))
+            .and_then(|c| c.get("ml_cost"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("committed anchor missing entry {}", e.name))?;
+        if committed_cost <= 0.0 {
+            if e.ml_cost > 0.0 {
+                return Err(format!(
+                    "cost regression on {}: {} vs committed {committed_cost}",
+                    e.name, e.ml_cost
+                ));
+            }
+            continue;
+        }
+        if e.ml_cost > committed_cost * SMOKE_COST_TOLERANCE {
+            return Err(format!(
+                "cost regression on {}: fresh ml_cost {:.4} > {SMOKE_COST_TOLERANCE} x committed {committed_cost:.4}",
+                e.name, e.ml_cost
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A seconds-scale configuration for library tests (the real sweep
+    /// starts at 1e3; the generators assert `n >= 1000`).
+    fn test_opts() -> ScaleBenchOpts {
+        ScaleBenchOpts {
+            sizes: vec![1_000],
+            ..ScaleBenchOpts::standard()
+        }
+    }
+
+    #[test]
+    fn small_sweep_emits_valid_json_and_ml_wins() {
+        let report = run_scale_bench(&test_opts()).unwrap();
+        assert_eq!(report.sweep.len(), 1);
+        assert_eq!(report.sweep[0].entries.len(), 3, "three families");
+        for e in &report.sweep[0].entries {
+            assert!(e.ml_levels >= 1, "{}: must actually coarsen", e.name);
+            assert!(
+                e.ml_not_worse(),
+                "{}: multilevel {} vs baseline {}",
+                e.name,
+                e.ml_cost,
+                e.baseline_cost
+            );
+        }
+        let text = report.to_json().to_pretty();
+        validate(&text).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        assert!(doc
+            .path(&["environment", "available_parallelism"])
+            .is_some());
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate("{}").is_err());
+        assert!(validate("not json").is_err());
+        let report = run_scale_bench(&test_opts()).unwrap();
+        let good = report.to_json().to_pretty();
+        let lost = good.replace("\"ml_not_worse\": true", "\"ml_not_worse\": false");
+        assert!(validate(&lost).is_err(), "ml_not_worse=false must fail");
+        let wrong_schema = good.replace(SCHEMA, "hgp-bench-scale/0");
+        assert!(validate(&wrong_schema).is_err(), "old schema must fail");
+    }
+
+    #[test]
+    fn smoke_check_flags_cost_regressions_only() {
+        // fabricate a committed document whose anchor is this run at the
+        // test size by relabelling the sweep point as the smoke anchor
+        let mut report = run_scale_bench(&test_opts()).unwrap();
+        report.sweep[0].n = SMOKE_N;
+        let committed = report.to_json().to_pretty();
+        // same run against itself: no regression
+        smoke_check(&committed, &report).unwrap();
+        // wall-clock noise is ignored
+        report.sweep[0].entries[0].ml_ms *= 100.0;
+        smoke_check(&committed, &report).unwrap();
+        // a >2 % cost increase fails
+        report.sweep[0].entries[0].ml_cost *= 1.1;
+        let err = smoke_check(&committed, &report).unwrap_err();
+        assert!(err.contains("cost regression"), "{err}");
+        // an invalid baseline fails regardless of cost
+        assert!(smoke_check("{}", &report).is_err());
+    }
+}

@@ -9,6 +9,7 @@ use hgp_core::{DpOptions, Instance, Parallelism, Solve};
 use hgp_graph::io::read_metis;
 use hgp_graph::{traversal, Graph};
 use hgp_hierarchy::{parse_hierarchy, Hierarchy};
+use hgp_multilevel::solve_multilevel;
 use hgp_server::{Server, ServerConfig};
 use hgp_workloads::requests::{reply_field, request_script, substitute_session, RequestScriptOpts};
 use std::io::{BufRead, BufReader, Write};
@@ -33,6 +34,9 @@ options for `partition`:
                    (0 = one per core, the default; 1 = serial;
                    the result never depends on it)
   --refine         polish the result with hierarchy-aware local search
+  --multilevel     coarsen large graphs through the hgp-multilevel V-cycle
+                   (exact solve on the coarsest graph, hierarchy-aware FM
+                   refinement on the way back up)
   --no-prune       disable dominance pruning in the signature DP
                    (slower exhaustive tables; also accepted by `serve`)
 
@@ -67,6 +71,8 @@ pub enum Cli {
         threads: usize,
         /// Post-refinement toggle.
         refine: bool,
+        /// Route the solve through the multilevel V-cycle.
+        multilevel: bool,
         /// Dominance pruning in the signature DP (on unless `--no-prune`).
         prune: bool,
     },
@@ -124,6 +130,7 @@ impl Cli {
         let mut seed = 1u64;
         let mut threads = 0usize;
         let mut do_refine = false;
+        let mut multilevel = false;
         let mut prune = true;
         let mut addr = None;
         let mut workers = 4usize;
@@ -152,6 +159,7 @@ impl Cli {
                 "--seed" => seed = num("--seed", value("--seed")?)?,
                 "--threads" => threads = num("--threads", value("--threads")?)?,
                 "--refine" => do_refine = true,
+                "--multilevel" => multilevel = true,
                 "--no-prune" => prune = false,
                 "--addr" => addr = Some(value("--addr")?),
                 "--workers" => workers = num("--workers", value("--workers")?)?,
@@ -179,6 +187,7 @@ impl Cli {
                 seed,
                 threads,
                 refine: do_refine,
+                multilevel,
                 prune,
             }),
             "info" => Ok(Cli::Info {
@@ -259,6 +268,7 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
             seed,
             threads,
             refine: do_refine,
+            multilevel,
             prune,
         } => {
             let g = load_graph(graph)?;
@@ -275,14 +285,28 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
                 .seed(*seed)
                 .threads(Parallelism::from_threads(*threads))
                 .dp(DpOptions::builder().dominance_prune(*prune).build())
+                .multilevel(hgp_core::MultilevelOptions {
+                    enabled: *multilevel,
+                    ..Default::default()
+                })
                 .build();
-            let rep = Solve::new(&inst, &h)
-                .options(opts)
-                .run()
-                .map_err(|e| e.to_string())?;
-            let mut assignment = rep.assignment.clone();
+            let (mut assignment, worst) = if *multilevel {
+                let rep = solve_multilevel(&inst, &h, &opts).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "multilevel: {} levels, {} -> {} nodes (x{:.1}), refine gain {:.4}",
+                    rep.levels, n, rep.coarsest_nodes, rep.reduction, rep.refine_gain
+                );
+                (rep.assignment.clone(), rep.violation)
+            } else {
+                let rep = Solve::new(&inst, &h)
+                    .options(opts)
+                    .run()
+                    .map_err(|e| e.to_string())?;
+                let worst = rep.violation.worst_factor();
+                (rep.assignment.clone(), worst)
+            };
             if *do_refine {
-                let cap = rep.violation.worst_factor().max(1.0);
+                let cap = worst.max(1.0);
                 refine(
                     &mut assignment,
                     &inst,
@@ -441,6 +465,7 @@ mod tests {
                 seed: 9,
                 threads: 2,
                 refine: true,
+                multilevel: false,
                 prune: false,
             }
         );
@@ -558,6 +583,73 @@ mod tests {
             assert!(toks[1].parse::<usize>().unwrap() < 2);
             assert!(toks[2].parse::<usize>().unwrap() < 6);
         }
+    }
+
+    #[test]
+    fn multilevel_flag_parses_and_partitions() {
+        let cli = Cli::parse(&argv(
+            "partition --graph g.metis --machine 2x4:4,1,0 --multilevel",
+        ))
+        .unwrap();
+        match &cli {
+            Cli::Partition { multilevel, .. } => assert!(multilevel),
+            other => panic!("parsed {other:?}"),
+        }
+        // end to end on a mesh big enough to coarsen (default
+        // coarsen_until is 192): an 18x18 grid in METIS format
+        let dir = std::env::temp_dir().join("hgp-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mesh18.metis");
+        let (rows, cols) = (18usize, 18usize);
+        let mut body = String::new();
+        let mut edges = 0;
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut nbrs = Vec::new();
+                if c + 1 < cols {
+                    nbrs.push(r * cols + c + 2); // METIS ids are 1-based
+                    edges += 1;
+                }
+                if c > 0 {
+                    nbrs.push(r * cols + c);
+                }
+                if r + 1 < rows {
+                    nbrs.push((r + 1) * cols + c + 1);
+                    edges += 1;
+                }
+                if r > 0 {
+                    nbrs.push((r - 1) * cols + c + 1);
+                }
+                body.push_str(
+                    &nbrs
+                        .iter()
+                        .map(|x| x.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                );
+                body.push('\n');
+            }
+        }
+        let header = format!("{} {edges}\n", rows * cols);
+        std::fs::write(&path, header + &body).unwrap();
+        let cli = Cli::parse(&[
+            "partition".into(),
+            "--graph".into(),
+            path.to_string_lossy().into_owned(),
+            "--machine".into(),
+            "2x4:4,1,0".into(),
+            "--trees".into(),
+            "4".into(),
+            "--units".into(),
+            "4".into(),
+            "--multilevel".into(),
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        run(&cli, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(lines.len(), rows * cols);
     }
 
     #[test]

@@ -141,7 +141,12 @@ pub fn solve_fingerprint(inst: &Instance, h: &Hierarchy, opts: &SolverOptions) -
     fp.write_u64(distribution_fingerprint(inst, opts))
         .write_u64(hierarchy_fingerprint(h))
         .write_u64(opts.rounding.units_per_leaf() as u64)
-        .write_u64(opts.dp.dominance_prune as u64);
+        .write_u64(opts.dp.dominance_prune as u64)
+        // the multilevel front-end changes the placement pipeline (and,
+        // when enabled, the answer), so every knob feeds the key
+        .write_u64(opts.multilevel.enabled as u64)
+        .write_usize(opts.multilevel.coarsen_until)
+        .write_usize(opts.multilevel.refine_passes);
     fp.finish()
 }
 
@@ -224,6 +229,25 @@ mod tests {
             solve_fingerprint(&i, &h1, &opts),
             solve_fingerprint(&i, &h1, &legacy),
             "the engine choice is bit-identical and must not change the key"
+        );
+        let mut ml = opts;
+        ml.multilevel.enabled = true;
+        assert_ne!(
+            solve_fingerprint(&i, &h1, &opts),
+            solve_fingerprint(&i, &h1, &ml),
+            "the multilevel front-end changes the answer, so it feeds the key"
+        );
+        assert_eq!(
+            distribution_fingerprint(&i, &opts),
+            distribution_fingerprint(&i, &ml),
+            "multilevel knobs do not change which distribution is sampled"
+        );
+        let mut ml_depth = opts;
+        ml_depth.multilevel.coarsen_until += 1;
+        assert_ne!(
+            solve_fingerprint(&i, &h1, &opts),
+            solve_fingerprint(&i, &h1, &ml_depth),
+            "coarsen_until changes the V-cycle shape, so it feeds the key"
         );
         let mut traced = opts;
         traced.trace = true;

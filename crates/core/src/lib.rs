@@ -60,7 +60,7 @@ pub use hgp_obs::{SolveTrace, SpanRecord, StageNanos, TraceSink};
 pub use instance::{Infeasibility, Instance};
 pub use relaxed::{DpOptions, DpOptionsBuilder};
 pub use rounding::Rounding;
-pub use solver::{HgpReport, SolverOptions, SolverOptionsBuilder};
+pub use solver::{HgpReport, MultilevelOptions, SolverOptions, SolverOptionsBuilder};
 #[allow(deprecated)]
 pub use tree_solver::solve_tree_instance;
 pub use tree_solver::{SolveError, TreeSolveReport};

@@ -60,6 +60,40 @@ pub struct SolverOptions {
     /// spans) into the report. Observational only: it never changes the
     /// solution and never feeds the solve fingerprint. Defaults off.
     pub trace: bool,
+    /// Multilevel V-cycle front-end knobs (see the `hgp-multilevel`
+    /// crate, which consumes them). Plain data here so every entry point
+    /// — CLI flag, wire token, bench — can carry the request through
+    /// [`SolverOptions`] without `hgp-core` depending on the driver.
+    /// Feeds the solve fingerprint; defaults to disabled, so existing
+    /// behaviour and cache keys are unchanged.
+    pub multilevel: MultilevelOptions,
+}
+
+/// Knobs for the multilevel (coarsen → solve → uncoarsen + refine)
+/// front-end. `hgp-core` itself never reads them beyond fingerprinting:
+/// the V-cycle driver lives in `hgp-multilevel` and inspects
+/// [`SolverOptions::multilevel`] on the options handed to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultilevelOptions {
+    /// Route the solve through the V-cycle (default `false`).
+    pub enabled: bool,
+    /// Stop coarsening once the graph has at most this many nodes; the
+    /// coarsest graph is what the exact pipeline solves. When this is
+    /// `>=` the instance size no coarsening happens and the multilevel
+    /// solve is bit-identical to the direct solve.
+    pub coarsen_until: usize,
+    /// Maximum hierarchy-aware FM passes per uncoarsening level.
+    pub refine_passes: usize,
+}
+
+impl Default for MultilevelOptions {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            coarsen_until: 192,
+            refine_passes: 4,
+        }
+    }
 }
 
 impl Default for SolverOptions {
@@ -72,6 +106,7 @@ impl Default for SolverOptions {
             seed: 0xC0FFEE,
             dp: DpOptions::default(),
             trace: false,
+            multilevel: MultilevelOptions::default(),
         }
     }
 }
@@ -151,6 +186,12 @@ impl SolverOptionsBuilder {
     /// Capture a [`SolveTrace`] into the report (default off).
     pub fn trace(mut self, on: bool) -> Self {
         self.opts.trace = on;
+        self
+    }
+
+    /// Multilevel V-cycle knobs (default disabled).
+    pub fn multilevel(mut self, ml: MultilevelOptions) -> Self {
+        self.opts.multilevel = ml;
         self
     }
 

@@ -63,7 +63,7 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
     w_hi: f64,
 ) -> Graph {
     assert!(m >= 1 && n > m, "need n > m >= 1");
-    let mut b = GraphBuilder::new(n);
+    let mut b = GraphBuilder::with_edge_capacity(n, m * (m + 1) / 2 + (n - m - 1) * m);
     // degree-proportional sampling via a repeated-endpoint urn
     let mut urn: Vec<u32> = Vec::with_capacity(2 * n * m);
     // seed clique on m+1 nodes
@@ -102,7 +102,7 @@ pub fn grid2d<R: Rng + ?Sized>(
 ) -> Graph {
     assert!(rows >= 1 && cols >= 1);
     let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
-    let mut b = GraphBuilder::new(rows * cols);
+    let mut b = GraphBuilder::with_edge_capacity(rows * cols, 2 * rows * cols);
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
@@ -325,6 +325,69 @@ pub fn planted_clusters<R: Rng + ?Sized>(
     b.build()
 }
 
+/// Sparse planted clusters for large `n`: the same planted-partition shape
+/// as [`planted_clusters`], but edges are drawn by *count* instead of by
+/// all-pairs Bernoulli trials, so construction is `O(n + m)` and a
+/// million-node instance builds in milliseconds. Each of the `k` clusters
+/// of `size` nodes gets an intra-cluster spanning path plus
+/// `size * avg_deg_in / 2` random internal edges of weight `w_in`; the
+/// backbone gets `k * size * avg_deg_out / 2` random inter-cluster edges
+/// of weight `w_out` plus a connectivity-insurance chain. Duplicate draws
+/// merge (weights sum) at build time, exactly as the dense generator's
+/// parallel edges do.
+pub fn planted_clusters_sparse<R: Rng + ?Sized>(
+    rng: &mut R,
+    k: usize,
+    size: usize,
+    avg_deg_in: f64,
+    avg_deg_out: f64,
+    w_in: f64,
+    w_out: f64,
+) -> Graph {
+    assert!(k >= 1 && size >= 2);
+    assert!(avg_deg_in >= 0.0 && avg_deg_out >= 0.0);
+    let n = k * size;
+    let m_in = ((avg_deg_in * size as f64) / 2.0).round() as usize;
+    let m_out = ((avg_deg_out * n as f64) / 2.0).round() as usize;
+    let mut b = GraphBuilder::with_edge_capacity(n, n + k * m_in + m_out);
+    // intra-cluster spanning path to guarantee cohesion
+    for v in 0..n {
+        if v % size != 0 {
+            b.add_edge(NodeId((v - 1) as u32), NodeId(v as u32), w_in);
+        }
+    }
+    for c in 0..k {
+        let base = c * size;
+        for _ in 0..m_in {
+            let u = base + rng.gen_range(0..size);
+            let mut v = base + rng.gen_range(0..size);
+            while v == u {
+                v = base + rng.gen_range(0..size);
+            }
+            b.add_edge(NodeId(u as u32), NodeId(v as u32), w_in);
+        }
+    }
+    if k > 1 {
+        for _ in 0..m_out {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            while v / size == u / size {
+                v = rng.gen_range(0..n);
+            }
+            b.add_edge(NodeId(u as u32), NodeId(v as u32), w_out);
+        }
+        // inter-cluster connectivity insurance
+        for c in 1..k {
+            b.add_edge(
+                NodeId(((c - 1) * size) as u32),
+                NodeId((c * size) as u32),
+                w_out,
+            );
+        }
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +507,25 @@ mod tests {
         for v in g.nodes() {
             assert_eq!(g.degree(v), 4);
         }
+    }
+
+    #[test]
+    fn sparse_planted_clusters_scale_linearly() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = planted_clusters_sparse(&mut rng, 16, 64, 6.0, 0.5, 3.0, 0.5);
+        assert_eq!(g.num_nodes(), 1024);
+        assert!(is_connected(&g));
+        // edge budget: paths + intra draws + inter draws + insurance,
+        // minus merged duplicates
+        assert!(g.num_edges() <= 1024 + 16 * 192 + 256 + 15);
+        assert!(g.num_edges() >= 1024);
+        // the planted cut stays far lighter than the interiors
+        let part: Vec<u32> = (0..1024).map(|v| (v / 64) as u32).collect();
+        assert!(g.cut_weight_parts(&part) < 0.25 * g.total_weight());
+        // determinism per seed
+        let g2 =
+            planted_clusters_sparse(&mut StdRng::seed_from_u64(12), 16, 64, 6.0, 0.5, 3.0, 0.5);
+        assert_eq!(g.num_edges(), g2.num_edges());
     }
 
     #[test]

@@ -75,6 +75,16 @@ impl GraphBuilder {
         }
     }
 
+    /// Creates a builder with the edge buffer pre-sized for `num_edges`
+    /// insertions, so bulk construction (generators, coarsening) does not
+    /// pay repeated reallocation on million-edge graphs.
+    pub fn with_edge_capacity(num_nodes: usize, num_edges: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::with_capacity(num_edges),
+        }
+    }
+
     /// Number of nodes the built graph will have.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes
@@ -83,6 +93,11 @@ impl GraphBuilder {
     /// Grows the node count to at least `n`.
     pub fn ensure_nodes(&mut self, n: usize) {
         self.num_nodes = self.num_nodes.max(n);
+    }
+
+    /// Reserves room for at least `additional` more edges.
+    pub fn reserve_edges(&mut self, additional: usize) {
+        self.edges.reserve(additional);
     }
 
     /// Adds an undirected edge `{u, v}` with weight `w`.

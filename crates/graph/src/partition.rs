@@ -328,6 +328,192 @@ pub fn coarsen<R: Rng + ?Sized>(g: &Graph, node_w: &[f64], rng: &mut R) -> Coars
     }
 }
 
+/// Weight-aware heavy-edge matching coarsening: like [`coarsen`], but a
+/// pair is only matched when the merged node weight stays within
+/// `max_node_w`, so contracted nodes never outgrow a capacity bound the
+/// caller must respect downstream (the multilevel placement front-end uses
+/// the leaf capacity `CP(1) = 1`). Nodes whose every heavy neighbour would
+/// overflow the bound stay unmatched and survive to the coarse graph
+/// unchanged, which makes the ladder stall — rather than violate the
+/// bound — on graphs of near-capacity nodes.
+pub fn coarsen_capped<R: Rng + ?Sized>(
+    g: &Graph,
+    node_w: &[f64],
+    max_node_w: f64,
+    rng: &mut R,
+) -> Coarsening {
+    let n = g.num_nodes();
+    assert_eq!(node_w.len(), n);
+    assert!(max_node_w > 0.0, "max_node_w must be positive");
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut mate = vec![u32::MAX; n];
+    for &v in &order {
+        if mate[v] != u32::MAX {
+            continue;
+        }
+        let mut best = u32::MAX;
+        let mut best_w = f64::NEG_INFINITY;
+        for (u, w, _) in g.neighbors(NodeId(v as u32)) {
+            if mate[u.index()] == u32::MAX
+                && u.index() != v
+                && node_w[v] + node_w[u.index()] <= max_node_w
+                && w > best_w
+            {
+                best_w = w;
+                best = u.0;
+            }
+        }
+        if best != u32::MAX {
+            mate[v] = best;
+            mate[best as usize] = v as u32;
+        } else {
+            mate[v] = v as u32; // matched with itself
+        }
+    }
+    // assign coarse ids
+    let mut map = vec![u32::MAX; n];
+    let mut coarse_w = Vec::new();
+    for v in 0..n {
+        if map[v] != u32::MAX {
+            continue;
+        }
+        let id = coarse_w.len() as u32;
+        let m = mate[v] as usize;
+        map[v] = id;
+        let mut w = node_w[v];
+        if m != v {
+            map[m] = id;
+            w += node_w[m];
+        }
+        coarse_w.push(w);
+    }
+    let mut b = GraphBuilder::with_edge_capacity(coarse_w.len(), g.num_edges());
+    for (_, u, v, w) in g.edges() {
+        let (cu, cv) = (map[u.index()], map[v.index()]);
+        if cu != cv {
+            b.add_edge(NodeId(cu), NodeId(cv), w);
+        }
+    }
+    Coarsening {
+        graph: b.build(),
+        map,
+        node_w: coarse_w,
+    }
+}
+
+/// Size-constrained label-propagation clustering coarsening (the KaHIP
+/// social-network recipe of Meyerhenke–Sanders–Schulz): every node starts
+/// as its own cluster, then for `rounds` rounds each node — visited in a
+/// random order — moves to the neighbouring cluster with the largest total
+/// incident edge weight whose node weight stays within `max_node_w`.
+/// Surviving clusters are contracted exactly like a matching step.
+///
+/// Pairwise heavy-edge matching shrinks a graph by at most 2× per level
+/// and tears hub-and-spoke neighbourhoods apart one pair at a time; label
+/// propagation contracts a whole hub with its spokes in one move, which is
+/// what makes multilevel schemes work on power-law graphs. Clustering
+/// stops early once the live cluster count reaches `min_clusters`, so a
+/// ladder can bound its per-level shrink factor and keep intermediate
+/// resolutions for refinement.
+pub fn coarsen_lp<R: Rng + ?Sized>(
+    g: &Graph,
+    node_w: &[f64],
+    max_node_w: f64,
+    min_clusters: usize,
+    rounds: usize,
+    rng: &mut R,
+) -> Coarsening {
+    let n = g.num_nodes();
+    assert_eq!(node_w.len(), n);
+    assert!(max_node_w > 0.0, "max_node_w must be positive");
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut cluster_w: Vec<f64> = node_w.to_vec();
+    let mut live = n;
+    let mut order: Vec<usize> = (0..n).collect();
+    // dense per-label accumulator plus a touched list keeps each visit
+    // O(deg) and — unlike a hash map — deterministic to iterate
+    let mut acc = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::new();
+    'rounds: for _ in 0..rounds {
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut moved = false;
+        for &v in &order {
+            if live <= min_clusters {
+                break 'rounds;
+            }
+            let lv = label[v];
+            touched.clear();
+            for (u, w, _) in g.neighbors(NodeId(v as u32)) {
+                let l = label[u.index()];
+                if acc[l as usize] == 0.0 {
+                    touched.push(l);
+                }
+                acc[l as usize] += w;
+            }
+            let stay = acc[lv as usize];
+            let mut best = (stay, lv);
+            for &l in &touched {
+                let w = acc[l as usize];
+                // strict improvement plus a smallest-label tie-break keeps
+                // the sweep deterministic and oscillation-free
+                if l != lv
+                    && cluster_w[l as usize] + node_w[v] <= max_node_w + 1e-12
+                    && (w > best.0 + 1e-12 || (w > best.0 - 1e-12 && l < best.1 && best.1 != lv))
+                {
+                    best = (w, l);
+                }
+            }
+            for &l in &touched {
+                acc[l as usize] = 0.0;
+            }
+            if best.1 != lv && best.0 > stay + 1e-12 {
+                cluster_w[lv as usize] -= node_w[v];
+                cluster_w[best.1 as usize] += node_w[v];
+                if cluster_w[lv as usize] <= 1e-12 {
+                    live -= 1;
+                }
+                label[v] = best.1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    // compact cluster ids in first-appearance order, then contract
+    let mut map = vec![u32::MAX; n];
+    let mut remap = vec![u32::MAX; n];
+    let mut coarse_w = Vec::new();
+    for v in 0..n {
+        let l = label[v] as usize;
+        if remap[l] == u32::MAX {
+            remap[l] = coarse_w.len() as u32;
+            coarse_w.push(0.0);
+        }
+        map[v] = remap[l];
+        coarse_w[remap[l] as usize] += node_w[v];
+    }
+    let mut b = GraphBuilder::with_edge_capacity(coarse_w.len(), g.num_edges());
+    for (_, u, v, w) in g.edges() {
+        let (cu, cv) = (map[u.index()], map[v.index()]);
+        if cu != cv {
+            b.add_edge(NodeId(cu), NodeId(cv), w);
+        }
+    }
+    Coarsening {
+        graph: b.build(),
+        map,
+        node_w: coarse_w,
+    }
+}
+
 /// Options for [`multilevel_bisection`].
 #[derive(Clone, Copy, Debug)]
 pub struct BisectOpts {
@@ -531,6 +717,55 @@ mod tests {
             counts[m as usize] += 1;
         }
         assert!(counts.iter().all(|&c| c == 1 || c == 2));
+    }
+
+    #[test]
+    fn coarsen_capped_respects_the_weight_bound() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::gnp_connected(&mut rng, 60, 0.12, 1.0, 3.0);
+        let w: Vec<f64> = (0..60).map(|_| rng.gen_range(0.2..0.9)).collect();
+        let total: f64 = w.iter().sum();
+        let c = coarsen_capped(&g, &w, 1.0, &mut rng);
+        assert!((c.node_w.iter().sum::<f64>() - total).abs() < 1e-9);
+        assert!(
+            c.node_w.iter().all(|&cw| cw <= 1.0 + 1e-12),
+            "a merged node exceeded the cap: {:?}",
+            c.node_w.iter().cloned().fold(f64::MIN, f64::max)
+        );
+        // near-capacity nodes cannot merge at all: the ladder stalls
+        // instead of overflowing
+        let heavy = vec![0.9; 60];
+        let c = coarsen_capped(&g, &heavy, 1.0, &mut rng);
+        assert_eq!(c.graph.num_nodes(), 60);
+        assert!(c.node_w.iter().all(|&cw| (cw - 0.9).abs() < 1e-12));
+    }
+
+    #[test]
+    fn coarsen_lp_clusters_within_the_weight_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // hub-and-spoke: the structure pairwise matching handles worst
+        let g = generators::barabasi_albert(&mut rng, 400, 2, 0.5, 2.0);
+        let w: Vec<f64> = (0..400).map(|_| rng.gen_range(0.005..0.02)).collect();
+        let total: f64 = w.iter().sum();
+        let c = coarsen_lp(&g, &w, 0.2, 16, 3, &mut rng);
+        assert!((c.node_w.iter().sum::<f64>() - total).abs() < 1e-9);
+        assert!(
+            c.node_w.iter().all(|&cw| cw <= 0.2 + 1e-9),
+            "a cluster outgrew the cap: {}",
+            c.node_w.iter().cloned().fold(f64::MIN, f64::max)
+        );
+        // label propagation shrinks a power-law graph far faster than the
+        // ~2x of a matching, but never past the requested floor
+        assert!(c.graph.num_nodes() >= 16);
+        assert!(c.graph.num_nodes() < 200, "lp barely coarsened");
+        // every fine node maps to a live coarse id
+        assert!(c.map.iter().all(|&m| (m as usize) < c.graph.num_nodes()));
+        // same seed, same ladder: the clustering sweep is deterministic
+        let mut rng1 = StdRng::seed_from_u64(77);
+        let mut rng2 = StdRng::seed_from_u64(77);
+        let a = coarsen_lp(&g, &w, 0.2, 16, 3, &mut rng1);
+        let b = coarsen_lp(&g, &w, 0.2, 16, 3, &mut rng2);
+        assert_eq!(a.map, b.map);
     }
 
     #[test]

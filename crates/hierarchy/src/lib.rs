@@ -17,7 +17,7 @@
 pub mod parse;
 pub mod presets;
 
-pub use parse::{parse_hierarchy, ParseHierarchyError};
+pub use parse::{parse_hierarchy, ParseErrorKind, ParseHierarchyError};
 
 /// A regular hierarchy tree with cost multipliers.
 ///

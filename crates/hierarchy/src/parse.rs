@@ -21,11 +21,25 @@ pub const MAX_PARSE_HEIGHT: usize = 4;
 /// `"1000x1000"` (10⁶ leaves) from allocating per-leaf state downstream.
 pub const MAX_PARSE_LEAVES: usize = 65_536;
 
+/// Coarse classification of a [`ParseHierarchyError`], for transports
+/// that map parse failures onto distinct wire error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The descriptor is malformed or semantically invalid.
+    Invalid,
+    /// The descriptor is well-formed but describes a machine beyond the
+    /// supported caps ([`MAX_PARSE_HEIGHT`] levels, [`MAX_PARSE_LEAVES`]
+    /// leaves).
+    TooLarge,
+}
+
 /// Parse failure for a machine descriptor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseHierarchyError {
     /// What went wrong.
     pub msg: String,
+    /// Which class of failure this is.
+    pub kind: ParseErrorKind,
 }
 
 impl std::fmt::Display for ParseHierarchyError {
@@ -37,7 +51,17 @@ impl std::fmt::Display for ParseHierarchyError {
 impl std::error::Error for ParseHierarchyError {}
 
 fn err(msg: impl Into<String>) -> ParseHierarchyError {
-    ParseHierarchyError { msg: msg.into() }
+    ParseHierarchyError {
+        msg: msg.into(),
+        kind: ParseErrorKind::Invalid,
+    }
+}
+
+fn too_large(msg: impl Into<String>) -> ParseHierarchyError {
+    ParseHierarchyError {
+        msg: msg.into(),
+        kind: ParseErrorKind::TooLarge,
+    }
 }
 
 /// Parses a machine descriptor (see the module docs for the grammar).
@@ -66,7 +90,7 @@ pub fn parse_hierarchy(desc: &str) -> Result<Hierarchy, ParseHierarchyError> {
         return Err(err("empty shape"));
     }
     if degrees.len() > MAX_PARSE_HEIGHT {
-        return Err(err(format!(
+        return Err(too_large(format!(
             "height {} exceeds the supported maximum of {MAX_PARSE_HEIGHT} levels",
             degrees.len()
         )));
@@ -77,7 +101,7 @@ pub fn parse_hierarchy(desc: &str) -> Result<Hierarchy, ParseHierarchyError> {
     for &d in &degrees {
         leaves = leaves.saturating_mul(d);
         if leaves > MAX_PARSE_LEAVES {
-            return Err(err(format!(
+            return Err(too_large(format!(
                 "shape describes more than {MAX_PARSE_LEAVES} leaves"
             )));
         }
@@ -162,6 +186,10 @@ mod tests {
     #[test]
     fn errors_are_descriptive() {
         assert!(parse_hierarchy("").unwrap_err().msg.contains("bad degree"));
+        assert_eq!(
+            parse_hierarchy("").unwrap_err().kind,
+            ParseErrorKind::Invalid
+        );
         assert!(parse_hierarchy("2xfoo")
             .unwrap_err()
             .msg
@@ -188,8 +216,10 @@ mod tests {
         assert!(parse_hierarchy("2x2x2x2").is_ok());
         let e = parse_hierarchy("2x2x2x2x2").unwrap_err();
         assert!(e.msg.contains("height 5"), "{e}");
+        assert_eq!(e.kind, ParseErrorKind::TooLarge);
         let e = parse_hierarchy("2x2x2x2x2:16,8,4,2,1,0").unwrap_err();
         assert!(e.msg.contains("height 5"), "{e}");
+        assert_eq!(e.kind, ParseErrorKind::TooLarge);
     }
 
     #[test]
@@ -197,9 +227,11 @@ mod tests {
         // 10^6 leaves
         let e = parse_hierarchy("1000x1000").unwrap_err();
         assert!(e.msg.contains("leaves"), "{e}");
+        assert_eq!(e.kind, ParseErrorKind::TooLarge);
         // usize-overflow attempt must not wrap around the cap
         let e = parse_hierarchy(&format!("{0}x{0}x{0}", u64::MAX)).unwrap_err();
         assert!(e.msg.contains("leaves"), "{e}");
+        assert_eq!(e.kind, ParseErrorKind::TooLarge);
         // the boundary itself is fine
         assert_eq!(parse_hierarchy("65536").unwrap().num_leaves(), 65_536);
         assert!(parse_hierarchy("65537").is_err());

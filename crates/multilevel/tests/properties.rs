@@ -1,0 +1,93 @@
+//! Property tests for the multilevel V-cycle (ISSUE 6 satellite):
+//!
+//! (a) the uncoarsening projection always yields a placement within the
+//!     coarse solve's capacity-feasibility budget,
+//! (b) hierarchy-aware FM refinement never increases Equation-1 cost,
+//! (c) multilevel with `coarsen_until >= n` is bit-identical to the
+//!     direct solve.
+
+use hgp_core::{Instance, MultilevelOptions, Solve, SolverOptions};
+use hgp_graph::generators;
+use hgp_hierarchy::presets;
+use hgp_multilevel::solve_multilevel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded mesh whose total demand targets ~60 % of `leaves`, so every
+/// generated instance fits every machine used below.
+fn instance(n_side: usize, leaves: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = generators::grid2d(&mut rng, n_side, n_side, 0.5, 2.0);
+    let n = n_side * n_side;
+    let mean = 0.6 * leaves as f64 / n as f64;
+    let demands: Vec<f64> = (0..n)
+        .map(|_| rng.gen_range(0.5 * mean..1.5 * mean))
+        .collect();
+    Instance::new(g, demands)
+}
+
+fn ml_opts(coarsen_until: usize, refine_passes: usize, seed: u64) -> SolverOptions {
+    SolverOptions::builder()
+        .trees(4)
+        .units(4)
+        .seed(seed)
+        .multilevel(MultilevelOptions {
+            enabled: true,
+            coarsen_until,
+            refine_passes,
+        })
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // (a) projection + refinement stay within the coarse solve's
+    // feasibility budget at every tried seed and ladder depth
+    #[test]
+    fn projection_is_capacity_feasible(seed in 0u64..64, side in 12usize..20) {
+        let h = presets::multicore(4, 4, 4.0, 1.0);
+        let inst = instance(side, h.num_leaves(), seed);
+        let rep = solve_multilevel(&inst, &h, &ml_opts(48, 4, seed)).unwrap();
+        prop_assert!(rep.levels >= 1, "instance must actually coarsen");
+        let budget = rep.coarse_violation.max(1.0);
+        prop_assert!(
+            rep.assignment.is_feasible(&inst, &h, budget + 1e-9),
+            "violation {} exceeds coarse budget {budget}",
+            rep.violation
+        );
+    }
+
+    // (b) the hierarchy-aware FM pass only ever lowers Equation-1 cost:
+    // the refined solve can never cost more than the same V-cycle with
+    // refinement disabled
+    #[test]
+    fn refinement_never_increases_cost(seed in 0u64..64, side in 12usize..20) {
+        let h = presets::multicore(2, 4, 4.0, 1.0);
+        let inst = instance(side, h.num_leaves(), seed);
+        let refined = solve_multilevel(&inst, &h, &ml_opts(48, 4, seed)).unwrap();
+        let projected = solve_multilevel(&inst, &h, &ml_opts(48, 0, seed)).unwrap();
+        prop_assert!(refined.refine_gain >= 0.0);
+        prop_assert!(
+            refined.cost <= projected.cost + 1e-9,
+            "refined {} > projected {}",
+            refined.cost,
+            projected.cost
+        );
+    }
+
+    // (c) coarsen_until >= n short-circuits to the direct solve bit for bit
+    #[test]
+    fn passthrough_parity_with_direct_solve(seed in 0u64..64) {
+        let h = presets::multicore(2, 4, 4.0, 1.0);
+        let inst = instance(8, h.num_leaves(), seed);
+        let opts = ml_opts(64, 4, seed);
+        let direct = Solve::new(&inst, &h).options(opts).run().unwrap();
+        let ml = solve_multilevel(&inst, &h, &opts).unwrap();
+        prop_assert_eq!(ml.levels, 0);
+        prop_assert_eq!(ml.cost.to_bits(), direct.cost.to_bits());
+        prop_assert_eq!(ml.assignment.leaves(), direct.assignment.leaves());
+        prop_assert_eq!(ml.core.best_tree, direct.best_tree);
+    }
+}

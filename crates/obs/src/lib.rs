@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod metrics;
+pub mod names;
 pub mod span;
 pub mod trace;
 

@@ -36,8 +36,11 @@ use hgp_baselines::refine::{refine, RefineOpts};
 use hgp_core::fingerprint::distribution_fingerprint;
 use hgp_core::solver::SolverOptions;
 use hgp_core::tree_solver::solve_rooted_with;
-use hgp_core::{Assignment, DpOptions, HgpError, Parallelism, Solve, SolveTrace};
+use hgp_core::{
+    Assignment, DpOptions, HgpError, MultilevelOptions, Parallelism, Solve, SolveTrace,
+};
 use hgp_decomp::par_map_indexed;
+use hgp_multilevel::solve_multilevel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::panic::AssertUnwindSafe;
@@ -271,7 +274,9 @@ fn run_solve(
         Ok(line) => line,
         Err(e) => {
             match e.code {
-                ErrCode::BadRequest => metrics.bad_requests.inc(),
+                ErrCode::BadRequest | ErrCode::GraphTooLarge | ErrCode::MachineTooLarge => {
+                    metrics.bad_requests.inc()
+                }
                 _ => metrics.solve_err.inc(),
             }
             e.to_line()
@@ -298,7 +303,15 @@ fn solve_inner(
         .threads(par)
         .seed(spec.seed)
         .dp(dp)
+        .trace(spec.trace)
+        .multilevel(MultilevelOptions {
+            enabled: spec.multilevel,
+            ..Default::default()
+        })
         .build();
+    if spec.multilevel {
+        return run_multilevel(job, &inst, metrics, &opts, queue_wait);
+    }
 
     let mut cache_status = "skip";
     let mut solved = 0usize;
@@ -448,6 +461,61 @@ fn solve_inner(
     Ok(format!("ok {detail}"))
 }
 
+/// The multilevel route: coarsen → exact core on the coarse graph →
+/// project back with hierarchy-aware FM. No distribution cache (the
+/// coarse graph is request-specific) and no per-tree deadline batching —
+/// the V-cycle is a single bounded pass sized to finish even at large
+/// `n`. The reply mirrors the flat path's token set plus `ml-*` facts.
+fn run_multilevel(
+    job: &SolveJob,
+    inst: &hgp_core::Instance,
+    metrics: &Metrics,
+    opts: &SolverOptions,
+    queue_wait: Duration,
+) -> Result<String, WireError> {
+    let spec = &job.spec;
+    let h = &spec.machine;
+    let rep = solve_multilevel(inst, h, opts).map_err(|e| {
+        WireError::new(
+            ErrCode::SolveFailed,
+            format!("multilevel solve failed: {e}"),
+        )
+    })?;
+    let mut assignment = rep.assignment;
+    if spec.refine {
+        // optional extra baseline-refine sweep on top of the built-in
+        // hierarchy-aware passes, within the placement's own budget
+        refine(&mut assignment, inst, h, &RefineOpts::default());
+    }
+    let cost = assignment.cost(inst, h);
+    let worst = assignment.violation_report(inst, h).worst_factor();
+    metrics.solve_ok.inc();
+    let elapsed = job.enqueued.elapsed();
+    metrics.solve_latency.record_duration_us(elapsed);
+
+    let mut detail = format!(
+        "cost={} degraded=0 mode=multilevel ml-levels={} ml-coarsest={} ml-reduction={:.2} \
+         ml-refine-gain={} cache=skip worst-factor={} elapsed-us={}",
+        cost,
+        rep.levels,
+        rep.coarsest_nodes,
+        rep.reduction,
+        rep.refine_gain,
+        worst,
+        elapsed.as_micros()
+    );
+    if spec.want_assignment {
+        let leaves: Vec<String> = assignment.leaves().iter().map(|l| l.to_string()).collect();
+        detail.push_str(&format!(" assignment={}", leaves.join(",")));
+    }
+    if spec.trace {
+        let mut tr = rep.trace.unwrap_or_default();
+        tr.stage("queue-wait", queue_wait.as_nanos() as u64);
+        detail.push_str(&tr.wire_tokens("trace."));
+    }
+    Ok(format!("ok {detail}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +583,24 @@ mod tests {
         };
         assert_eq!(cost(&a), cost(&b));
         assert_eq!(metrics.solve_ok.get(), 2);
+    }
+
+    #[test]
+    fn multilevel_route_solves_and_reports_ml_facts() {
+        let (pool, cache, metrics) = pool();
+        let line =
+            "solve graph=gen:mesh:20x20:5 machine=2x2:4,1,0 trees=4 seed=7 multilevel=1 trace=1";
+        let reply = run(&pool, solve_spec(line), None);
+        assert!(reply.starts_with("ok "), "{reply}");
+        assert!(reply.contains("mode=multilevel"), "{reply}");
+        assert!(reply.contains("degraded=0"), "{reply}");
+        assert!(reply.contains("ml-levels="), "{reply}");
+        assert!(reply.contains("trace.ml.coarsen-us="), "{reply}");
+        assert!(reply.contains("trace.queue-wait-us="), "{reply}");
+        // the multilevel route never touches the distribution cache
+        assert!(reply.contains("cache=skip"), "{reply}");
+        assert_eq!(cache.hits() + cache.misses(), 0);
+        assert_eq!(metrics.solve_ok.get(), 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```text
 //! solve graph=<spec> machine=<desc> [demand=<f>] [demands=<f,..>]
 //!       [units=<u>] [trees=<p>] [seed=<s>] [deadline-ms=<d>]
-//!       [refine=0|1] [assignment=0|1] [trace=0|1]
+//!       [refine=0|1] [assignment=0|1] [trace=0|1] [multilevel=0|1]
 //! place-incremental new machine=<desc>
 //! place-incremental add session=<id> demand=<f> [nbrs=<t>:<w>,..]
 //! place-incremental remove session=<id> task=<t>
@@ -35,7 +35,7 @@
 use hgp_core::Instance;
 use hgp_graph::generators;
 use hgp_graph::Graph;
-use hgp_hierarchy::{parse_hierarchy, Hierarchy};
+use hgp_hierarchy::{parse_hierarchy, Hierarchy, ParseErrorKind};
 use hgp_workloads::{stream_dag, StreamOpts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -45,6 +45,11 @@ use rand::SeedableRng;
 pub enum ErrCode {
     /// Malformed or semantically invalid request.
     BadRequest,
+    /// The request graph exceeds the inline size caps
+    /// ([`MAX_INLINE_NODES`] nodes / [`MAX_INLINE_EDGES`] edges).
+    GraphTooLarge,
+    /// The machine descriptor exceeds the supported height or leaf caps.
+    MachineTooLarge,
     /// Solver queue is full — retry later (backpressure).
     Overloaded,
     /// Unknown session or task id.
@@ -62,6 +67,8 @@ impl ErrCode {
     pub fn as_str(self) -> &'static str {
         match self {
             ErrCode::BadRequest => "bad-request",
+            ErrCode::GraphTooLarge => "graph-too-large",
+            ErrCode::MachineTooLarge => "machine-too-large",
             ErrCode::Overloaded => "overloaded",
             ErrCode::NotFound => "not-found",
             ErrCode::SolveFailed => "solve-failed",
@@ -181,10 +188,14 @@ impl GraphSpec {
         let n: usize = n_str
             .parse()
             .map_err(|_| WireError::bad(format!("bad node count {n_str:?}")))?;
-        if n == 0 || n > MAX_INLINE_NODES {
-            return Err(WireError::bad(format!(
-                "node count {n} outside 1..={MAX_INLINE_NODES}"
-            )));
+        if n == 0 {
+            return Err(WireError::bad("node count must be at least 1"));
+        }
+        if n > MAX_INLINE_NODES {
+            return Err(WireError::new(
+                ErrCode::GraphTooLarge,
+                format!("node count {n} exceeds the inline cap of {MAX_INLINE_NODES}"),
+            ));
         }
         let mut edges = Vec::new();
         for item in list.split(',').filter(|s| !s.is_empty()) {
@@ -211,9 +222,10 @@ impl GraphSpec {
             }
             edges.push((u, v, w));
             if edges.len() > MAX_INLINE_EDGES {
-                return Err(WireError::bad(format!(
-                    "more than {MAX_INLINE_EDGES} inline edges"
-                )));
+                return Err(WireError::new(
+                    ErrCode::GraphTooLarge,
+                    format!("more than {MAX_INLINE_EDGES} inline edges"),
+                ));
             }
         }
         if edges.is_empty() {
@@ -238,8 +250,14 @@ impl GraphSpec {
             let b = b
                 .parse::<usize>()
                 .map_err(|_| WireError::bad(format!("bad dimension {s:?}")))?;
-            if a == 0 || b == 0 || a * b > MAX_INLINE_NODES {
+            if a == 0 || b == 0 {
                 return Err(WireError::bad(format!("dimensions {s:?} out of range")));
+            }
+            if a * b > MAX_INLINE_NODES {
+                return Err(WireError::new(
+                    ErrCode::GraphTooLarge,
+                    format!("dimensions {s:?} describe more than {MAX_INLINE_NODES} nodes"),
+                ));
             }
             Ok((a, b))
         };
@@ -257,8 +275,14 @@ impl GraphSpec {
                 let n = n
                     .parse::<usize>()
                     .map_err(|_| WireError::bad(format!("bad node count {n:?}")))?;
-                if !(3..=MAX_INLINE_NODES).contains(&n) {
+                if n < 3 {
                     return Err(WireError::bad(format!("powerlaw size {n} out of range")));
+                }
+                if n > MAX_INLINE_NODES {
+                    return Err(WireError::new(
+                        ErrCode::GraphTooLarge,
+                        format!("powerlaw size {n} exceeds the inline cap of {MAX_INLINE_NODES}"),
+                    ));
                 }
                 Ok(GenFamily::Powerlaw { n, seed: seed_of(s)? })
             }
@@ -344,6 +368,9 @@ pub struct SolveSpec {
     /// Append structured `trace.*` profiling tokens (stage timings, DP
     /// sizes, cache and queue facts) to the `ok` reply.
     pub trace: bool,
+    /// Route the solve through the multilevel V-cycle (coarsen → exact
+    /// core → refine) instead of the flat distribution sweep.
+    pub multilevel: bool,
 }
 
 impl SolveSpec {
@@ -459,7 +486,16 @@ fn parse_flag(key: &str, val: &str) -> Result<bool, WireError> {
 }
 
 fn parse_machine(desc: &str) -> Result<Hierarchy, WireError> {
-    parse_hierarchy(desc).map_err(|e| WireError::bad(format!("bad machine {desc:?}: {e}")))
+    parse_hierarchy(desc).map_err(|e| {
+        // descriptors that are merely too big for the solver get their own
+        // code so clients can tell "fix your syntax" from "shrink the
+        // machine" without string-matching
+        let code = match e.kind {
+            ParseErrorKind::TooLarge => ErrCode::MachineTooLarge,
+            ParseErrorKind::Invalid => ErrCode::BadRequest,
+        };
+        WireError::new(code, format!("bad machine {desc:?}: {e}"))
+    })
 }
 
 fn parse_nbrs(val: &str) -> Result<Vec<(usize, f64)>, WireError> {
@@ -520,6 +556,7 @@ impl Request {
         let mut refine = false;
         let mut want_assignment = false;
         let mut trace = false;
+        let mut multilevel = false;
         for tok in toks {
             let (key, val) = parse_kv(tok)?;
             match key {
@@ -543,6 +580,7 @@ impl Request {
                 "refine" => refine = parse_flag(key, val)?,
                 "assignment" => want_assignment = parse_flag(key, val)?,
                 "trace" => trace = parse_flag(key, val)?,
+                "multilevel" => multilevel = parse_flag(key, val)?,
                 _ => return Err(WireError::bad(format!("unknown solve field {key:?}"))),
             }
         }
@@ -572,6 +610,7 @@ impl Request {
             refine,
             want_assignment,
             trace,
+            multilevel,
         })))
     }
 
@@ -772,9 +811,6 @@ mod tests {
             "solve graph=edges:3:0-1:1.0 machine=4 demands=0.5,NaN,0.5",
             // oversized units would overflow the 16-bit signature lane
             "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 units=70000",
-            // machine bounds: height 5 and a 10^6-leaf shape
-            "solve graph=edges:2:0-1:1.0 machine=2x2x2x2x2:16,8,4,2,1,0",
-            "solve graph=edges:2:0-1:1.0 machine=1000x1000",
             // neighbour edges follow the same strictly-positive weight rule
             // as inline graph edges
             "place-incremental add session=1 demand=0.5 nbrs=0:0.0",
@@ -786,6 +822,69 @@ mod tests {
             let err = Request::parse(line).err().map(|e| e.code);
             assert_eq!(err, Some(ErrCode::BadRequest), "{line:?} -> {err:?}");
         }
+    }
+
+    #[test]
+    fn oversized_graphs_get_their_own_err_code() {
+        for line in [
+            // inline node count over the 65 536 cap
+            "solve graph=edges:70000:0-1:1.0 machine=4",
+            // generator families route through the same cap
+            "solve graph=gen:mesh:1000x1000:1 machine=4",
+            "solve graph=gen:powerlaw:70000:1 machine=4",
+            "solve graph=gen:clustered:1000x1000:1 machine=4",
+        ] {
+            let e = Request::parse(line).unwrap_err();
+            assert_eq!(e.code, ErrCode::GraphTooLarge, "{line:?} -> {e:?}");
+            assert_eq!(
+                e.to_line().split_whitespace().nth(1),
+                Some("graph-too-large")
+            );
+        }
+        // degenerate-but-small specs remain plain bad requests
+        let e = Request::parse("solve graph=edges:0: machine=4").unwrap_err();
+        assert_eq!(e.code, ErrCode::BadRequest);
+        let e = Request::parse("solve graph=gen:powerlaw:2:1 machine=4").unwrap_err();
+        assert_eq!(e.code, ErrCode::BadRequest);
+    }
+
+    #[test]
+    fn oversized_machines_get_their_own_err_code() {
+        for line in [
+            // height 5 exceeds the 4-level signature-DP ceiling
+            "solve graph=edges:2:0-1:1.0 machine=2x2x2x2x2:16,8,4,2,1,0",
+            // 10^6 leaves exceeds the leaf cap
+            "solve graph=edges:2:0-1:1.0 machine=1000x1000",
+        ] {
+            let e = Request::parse(line).unwrap_err();
+            assert_eq!(e.code, ErrCode::MachineTooLarge, "{line:?} -> {e:?}");
+            assert_eq!(
+                e.to_line().split_whitespace().nth(1),
+                Some("machine-too-large")
+            );
+        }
+        // a syntactically broken machine is still a bad request
+        let e = Request::parse("solve graph=edges:2:0-1:1.0 machine=2xfoo").unwrap_err();
+        assert_eq!(e.code, ErrCode::BadRequest);
+    }
+
+    #[test]
+    fn multilevel_flag_parses_and_defaults_off() {
+        let base = "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0";
+        let Ok(Request::Solve(spec)) = Request::parse(base) else {
+            panic!()
+        };
+        assert!(!spec.multilevel, "multilevel must default off");
+        let Ok(Request::Solve(spec)) = Request::parse(&format!("{base} multilevel=1")) else {
+            panic!()
+        };
+        assert!(spec.multilevel);
+        let Ok(Request::Solve(spec)) = Request::parse(&format!("{base} multilevel=false")) else {
+            panic!()
+        };
+        assert!(!spec.multilevel);
+        let err = Request::parse(&format!("{base} multilevel=2")).unwrap_err();
+        assert_eq!(err.code, ErrCode::BadRequest);
     }
 
     #[test]

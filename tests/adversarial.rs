@@ -121,27 +121,29 @@ fn arb_garbage_line() -> impl Strategy<Value = String> {
     )
 }
 
-/// Near-miss `solve` lines: `(line, must_reject)`. When `must_reject` the
-/// server must answer `err bad-request`; otherwise any single reply is
-/// acceptable (the truncation arm can land on a still-valid prefix).
-fn arb_near_miss() -> impl Strategy<Value = (String, bool)> {
+/// Near-miss `solve` lines: `(line, expected_code)`. With
+/// `Some(code)` the server must answer exactly `err <code>`; with `None`
+/// any single reply is acceptable (the truncation arm can land on a
+/// still-valid prefix). Oversized-but-well-formed machines draw the
+/// dedicated `machine-too-large` code, not `bad-request`.
+fn arb_near_miss() -> impl Strategy<Value = (String, Option<&'static str>)> {
     (0usize..8, 0u64..u64::MAX, 1.001f64..1.0e6).prop_map(|(kind, a, f)| match kind {
         // units past the 16-bit signature lane for this machine
         0 => (
             format!("{VALID_SOLVE} units={}", 32_768 + a % 1_000_000),
-            true,
+            Some("bad-request"),
         ),
         // machine one level taller than the DP supports
         1 => (
             "solve graph=edges:2:0-1:1.0 machine=2x2x2x2x2:16,8,4,2,1,0 demand=0.5".to_string(),
-            true,
+            Some("machine-too-large"),
         ),
         // machine with an absurd leaf count
         2 => {
             let d = 300 + a % 100_000;
             (
                 format!("solve graph=edges:2:0-1:1.0 machine={d}x{d} demand=0.5"),
-                true,
+                Some("machine-too-large"),
             )
         }
         // demand outside (0, 1]: too large or negative
@@ -149,7 +151,7 @@ fn arb_near_miss() -> impl Strategy<Value = (String, bool)> {
             let d = if a % 2 == 0 { -f } else { f };
             (
                 format!("solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 demand={d}"),
-                true,
+                Some("bad-request"),
             )
         }
         // non-finite demand (parses as f64, must still be rejected)
@@ -157,7 +159,7 @@ fn arb_near_miss() -> impl Strategy<Value = (String, bool)> {
             let d = if a % 2 == 0 { "NaN" } else { "inf" };
             (
                 format!("solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0 demand={d}"),
-                true,
+                Some("bad-request"),
             )
         }
         // edge weight violating the strictly-positive rule
@@ -165,16 +167,16 @@ fn arb_near_miss() -> impl Strategy<Value = (String, bool)> {
             let w = ["0.0", "-1.5", "NaN", "inf"][a as usize % 4];
             (
                 format!("solve graph=edges:2:0-1:{w} machine=2x2:4,1,0 demand=0.5"),
-                true,
+                Some("bad-request"),
             )
         }
         // unknown field
-        6 => (format!("{VALID_SOLVE} zzz{a}=1"), true),
+        6 => (format!("{VALID_SOLVE} zzz{a}=1"), Some("bad-request")),
         // truncation at an arbitrary byte: must get exactly one reply,
         // but a lucky cut can leave a valid request
         _ => {
             let cut = 1 + (a as usize) % (VALID_SOLVE.len() - 1);
-            (VALID_SOLVE[..cut].trim().to_string(), false)
+            (VALID_SOLVE[..cut].trim().to_string(), None)
         }
     })
 }
@@ -196,17 +198,17 @@ proptest! {
         c.assert_pool_healthy();
     }
 
-    /// Structured near-misses: out-of-range fields are rejected as
-    /// `err bad-request` without costing a worker.
+    /// Structured near-misses: out-of-range fields are rejected with the
+    /// right machine-readable `err` code without costing a worker.
     #[test]
     fn near_miss_requests_are_rejected(case in arb_near_miss()) {
-        let (line, must_reject) = case;
+        let (line, expected_code) = case;
         let mut c = Client::connect();
         let reply = c.req(&line);
-        if must_reject {
+        if let Some(code) = expected_code {
             prop_assert!(
-                reply.starts_with("err bad-request"),
-                "expected err bad-request for {line:?}, got {reply:?}"
+                reply.starts_with(&format!("err {code}")),
+                "expected err {code} for {line:?}, got {reply:?}"
             );
         } else {
             prop_assert!(
