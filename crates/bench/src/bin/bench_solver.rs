@@ -14,8 +14,9 @@
 //! validation (including cost parity between the arms and between the
 //! legacy and arena DP engines). With `--validate`, only checks an
 //! existing file. With `--smoke`, re-measures the workload and exits
-//! non-zero if `total.serial_ms` regressed more than 25% against the
-//! committed baseline at PATH — the CI bench-regression gate.
+//! non-zero if `total.serial_ms` or `stages.distribution.serial_ms`
+//! regressed more than 25% against the committed baseline at PATH — the
+//! CI bench-regression gate.
 //!
 //! This binary registers the counting global allocator, so the emitted
 //! per-stage allocation counts are real; library consumers see zeros.

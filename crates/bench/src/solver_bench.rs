@@ -24,6 +24,7 @@ use crate::json::Json;
 use crate::timed;
 use hgp_core::solver::{HgpReport, SolverOptions};
 use hgp_core::{DpOptions, Instance, Parallelism, Solve};
+use hgp_decomp::racke_distribution_ref;
 use hgp_graph::generators;
 use hgp_hierarchy::{presets, Hierarchy};
 use rand::rngs::StdRng;
@@ -35,7 +36,12 @@ use rand::SeedableRng;
 /// per-stage allocation counts (`allocs`). `/3` switched the DP/repair CPU
 /// totals to span-derived values from the solver trace and added the
 /// `trace` section (traced-vs-untraced wall time and span coverage).
-pub const SCHEMA: &str = "hgp-bench-solver/3";
+/// `/4` added the `distribution_ref` before/after arm (the pre-scratch
+/// allocating sampler vs the scratch-reuse path, with allocation counters
+/// and tree-prune cost parity) and the degenerate-host annotation: when
+/// the run has no real parallelism, stage objects carry
+/// `parallel_arm: "degenerate"` instead of a meaningless ~1.0 `speedup`.
+pub const SCHEMA: &str = "hgp-bench-solver/4";
 
 /// Workload and measurement knobs for [`run_solver_bench`].
 #[derive(Clone, Copy, Debug)]
@@ -177,6 +183,66 @@ impl TraceCost {
     }
 }
 
+/// Before/after comparison of the distribution stage, serial arm: the
+/// pre-scratch allocating reference sampler
+/// ([`hgp_decomp::racke_distribution_ref`]) against the production
+/// scratch-reuse path, on identical inputs — plus the tree-prune
+/// post-pass priced on the same workload.
+#[derive(Clone, Copy, Debug)]
+pub struct DistributionArm {
+    /// Reference (allocating) sampler wall time, min over repeats.
+    pub ref_serial_ms: f64,
+    /// Scratch-reuse path wall time, min over repeats.
+    pub new_serial_ms: f64,
+    /// Allocator calls of the reference sampler (last repeat).
+    pub ref_serial_calls: u64,
+    /// Allocator calls of the scratch-reuse path (last repeat).
+    pub new_serial_calls: u64,
+    /// `true` iff sweeping both builds returned bit-identical costs and
+    /// assignments (the scratch path must not change sampling).
+    pub identical_cost: bool,
+    /// Trees surviving the `prune_dominated` post-pass.
+    pub pruned_trees: usize,
+    /// Full-sweep cost on the pruned distribution.
+    pub pruned_cost: f64,
+    /// `true` iff the pruned build's sweep cost is within
+    /// [`PRUNE_COST_TOLERANCE`] of the default build's. Exact parity is
+    /// unobtainable in principle: the sweep arg-mins the mapped cost over
+    /// the tree set, and pruning minimises over a congestion-Pareto
+    /// *subset*, so the winner can be dropped — the check bounds the loss
+    /// instead.
+    pub pruned_cost_parity: bool,
+}
+
+/// Largest tolerated sweep-cost increase from the `prune_dominated`
+/// post-pass, as a fraction of the default build's cost: 5 %. Dropping
+/// congestion-dominated trees shrinks the DP fan-out (to a single tree on
+/// the reference mesh — an 8× sweep saving) and may only shift the final
+/// cost within this bound.
+pub const PRUNE_COST_TOLERANCE: f64 = 0.05;
+
+impl DistributionArm {
+    /// `ref / new` — the wall-time win of scratch reuse.
+    pub fn speedup(&self) -> f64 {
+        if self.new_serial_ms > 0.0 {
+            self.ref_serial_ms / self.new_serial_ms
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// `ref / new` allocator calls — the allocation win of scratch reuse
+    /// (`0` when the counting allocator is not registered, matching the
+    /// "all-zero = not measured" convention of the raw counts).
+    pub fn alloc_reduction(&self) -> f64 {
+        if self.new_serial_calls > 0 {
+            self.ref_serial_calls as f64 / self.new_serial_calls as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// One workload of the mesh/expander/power-law × height matrix: legacy and
 /// arena DP engines solve the same distribution and must agree bit-for-bit.
 #[derive(Clone, Debug)]
@@ -224,6 +290,9 @@ pub struct SolverBenchReport {
     pub total: StageTimes,
     /// Distribution-stage heap traffic.
     pub distribution_allocs: StageAllocs,
+    /// Before/after arm of the distribution stage (reference allocating
+    /// sampler vs scratch reuse, plus prune parity).
+    pub distribution_ref: DistributionArm,
     /// DP-sweep heap traffic.
     pub dp_allocs: StageAllocs,
     /// Legacy-vs-arena engine comparison on the reference workload.
@@ -344,6 +413,82 @@ fn measure_trace_cost(
         untraced_ms,
         traced_ms,
         stage_sum_ms,
+    })
+}
+
+/// Prices the distribution-stage rework: the pre-scratch reference
+/// sampler vs the scratch-reuse path, untraced and serial so the
+/// allocator counters compare like with like, then sweeps every build to
+/// pin cost parity — including the `prune_dominated` post-pass, which
+/// must shrink the DP fan-out without changing the answer.
+fn measure_distribution_arm(
+    inst: &Instance,
+    h: &Hierarchy,
+    serial_opts: &SolverOptions,
+    repeats: usize,
+) -> Result<DistributionArm, String> {
+    let untraced = serial_opts.to_builder().trace(false).build();
+    let req = Solve::new(inst, h).options(untraced);
+    let mut ref_ms = f64::INFINITY;
+    let mut new_ms = f64::INFINITY;
+    let mut ref_calls = 0u64;
+    let mut new_calls = 0u64;
+    let mut ref_dist = None;
+    let mut new_dist = None;
+    for _ in 0..repeats.max(1) {
+        let ((d, ms), calls, _bytes) = count_allocations(|| {
+            timed(|| {
+                let mut rng = StdRng::seed_from_u64(untraced.seed);
+                racke_distribution_ref(
+                    inst.graph(),
+                    inst.demands(),
+                    untraced.num_trees,
+                    &untraced.decomp,
+                    Parallelism::serial(),
+                    &mut rng,
+                )
+            })
+        });
+        ref_ms = ref_ms.min(ms);
+        ref_calls = calls;
+        ref_dist = Some(d);
+        let ((d, ms), calls, _bytes) = count_allocations(|| timed(|| req.distribution()));
+        let d = d.map_err(|e| format!("distribution failed: {e}"))?;
+        new_ms = new_ms.min(ms);
+        new_calls = calls;
+        new_dist = Some(d);
+    }
+    let ref_dist = ref_dist.expect("repeats >= 1");
+    let new_dist = new_dist.expect("repeats >= 1");
+    let on_ref = req
+        .run_on(&ref_dist)
+        .map_err(|e| format!("sweep on reference build failed: {e}"))?;
+    let on_new = req
+        .run_on(&new_dist)
+        .map_err(|e| format!("sweep on scratch build failed: {e}"))?;
+    let pruned_opts = {
+        let mut decomp = untraced.decomp;
+        decomp.prune_dominated = true;
+        untraced.to_builder().decomp(decomp).build()
+    };
+    let pruned_req = Solve::new(inst, h).options(pruned_opts);
+    let pruned_dist = pruned_req
+        .distribution()
+        .map_err(|e| format!("pruned distribution failed: {e}"))?;
+    let on_pruned = pruned_req
+        .run_on(&pruned_dist)
+        .map_err(|e| format!("sweep on pruned build failed: {e}"))?;
+    Ok(DistributionArm {
+        ref_serial_ms: ref_ms,
+        new_serial_ms: new_ms,
+        ref_serial_calls: ref_calls,
+        new_serial_calls: new_calls,
+        identical_cost: on_ref.cost.to_bits() == on_new.cost.to_bits()
+            && on_ref.assignment == on_new.assignment
+            && on_ref.best_tree == on_new.best_tree,
+        pruned_trees: pruned_dist.trees.len(),
+        pruned_cost: on_pruned.cost,
+        pruned_cost_parity: on_pruned.cost <= on_new.cost * (1.0 + PRUNE_COST_TOLERANCE),
     })
 }
 
@@ -476,6 +621,7 @@ pub fn run_solver_bench(opts: &SolverBenchOpts) -> Result<SolverBenchReport, Str
 
     let matrix = run_workload_matrix(opts.repeats, opts.seed)?;
     let trace = measure_trace_cost(&inst, &h, &serial_opts, opts.repeats)?;
+    let distribution_ref = measure_distribution_arm(&inst, &h, &serial_opts, opts.repeats)?;
 
     Ok(SolverBenchReport {
         opts: *opts,
@@ -502,6 +648,7 @@ pub fn run_solver_bench(opts: &SolverBenchOpts) -> Result<SolverBenchReport, Str
             calls: (s.dist_allocs.0, p.dist_allocs.0),
             bytes: (s.dist_allocs.1, p.dist_allocs.1),
         },
+        distribution_ref,
         dp_allocs: StageAllocs {
             calls: (s.sweep_allocs.0, p.sweep_allocs.0),
             bytes: (s.sweep_allocs.1, p.sweep_allocs.1),
@@ -523,12 +670,23 @@ impl SolverBenchReport {
     /// Renders the report as the `BENCH_solver.json` document.
     pub fn to_json(&self) -> Json {
         let o = &self.opts;
+        // On a host with one effective core (or a one-worker request) the
+        // serial and parallel arms run the same schedule, so a ~1.0
+        // "speedup" would read as "parallelism doesn't help" when nothing
+        // was actually measured — annotate instead of misleading.
+        let workers = Parallelism::from_threads(o.threads).workers(o.trees);
+        let degenerate = self.available_parallelism <= 1 || workers <= 1;
         let stage = |t: &StageTimes| {
-            Json::obj(vec![
+            let mut fields = vec![
                 ("serial_ms", Json::Num(t.serial_ms)),
                 ("parallel_ms", Json::Num(t.parallel_ms)),
-                ("speedup", Json::Num(t.speedup())),
-            ])
+            ];
+            if degenerate {
+                fields.push(("parallel_arm", Json::Str("degenerate".into())));
+            } else {
+                fields.push(("speedup", Json::Num(t.speedup())));
+            }
+            Json::obj(fields)
         };
         let allocs = |a: &StageAllocs| {
             Json::obj(vec![
@@ -586,6 +744,45 @@ impl SolverBenchReport {
                 Json::obj(vec![
                     ("distribution", allocs(&self.distribution_allocs)),
                     ("dp", allocs(&self.dp_allocs)),
+                ]),
+            ),
+            (
+                "distribution_ref",
+                Json::obj(vec![
+                    (
+                        "ref_serial_ms",
+                        Json::Num(self.distribution_ref.ref_serial_ms),
+                    ),
+                    (
+                        "new_serial_ms",
+                        Json::Num(self.distribution_ref.new_serial_ms),
+                    ),
+                    ("speedup", Json::Num(self.distribution_ref.speedup())),
+                    (
+                        "ref_serial_calls",
+                        Json::Num(self.distribution_ref.ref_serial_calls as f64),
+                    ),
+                    (
+                        "new_serial_calls",
+                        Json::Num(self.distribution_ref.new_serial_calls as f64),
+                    ),
+                    (
+                        "alloc_reduction",
+                        Json::Num(self.distribution_ref.alloc_reduction()),
+                    ),
+                    (
+                        "identical_cost",
+                        Json::Bool(self.distribution_ref.identical_cost),
+                    ),
+                    (
+                        "pruned_trees",
+                        Json::Num(self.distribution_ref.pruned_trees as f64),
+                    ),
+                    ("pruned_cost", Json::Num(self.distribution_ref.pruned_cost)),
+                    (
+                        "pruned_cost_parity",
+                        Json::Bool(self.distribution_ref.pruned_cost_parity),
+                    ),
                 ]),
             ),
             (
@@ -710,6 +907,28 @@ pub fn validate(text: &str) -> Result<(), String> {
             time(&["allocs", stage, field])?;
         }
     }
+    for field in [
+        "ref_serial_ms",
+        "new_serial_ms",
+        "ref_serial_calls",
+        "new_serial_calls",
+        "alloc_reduction",
+        "pruned_trees",
+        "pruned_cost",
+    ] {
+        time(&["distribution_ref", field])?;
+    }
+    for flag in ["identical_cost", "pruned_cost_parity"] {
+        match doc.path(&["distribution_ref", flag]).and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => {
+                return Err(format!(
+                    "distribution parity violated: distribution_ref.{flag} = false"
+                ))
+            }
+            None => return Err(format!("missing distribution_ref.{flag}")),
+        }
+    }
     time(&["engine", "legacy_dp_serial_ms"])?;
     time(&["engine", "arena_dp_serial_ms"])?;
     time(&["trace", "untraced_serial_ms"])?;
@@ -767,28 +986,41 @@ pub const SMOKE_TOLERANCE: f64 = 1.25;
 
 /// The CI bench-regression gate: compares a freshly measured report against
 /// the committed `BENCH_solver.json`. Fails when the fresh
-/// `total.serial_ms` exceeds the committed one by more than
-/// [`SMOKE_TOLERANCE`] (timing), or when the committed document itself
-/// fails [`validate`] (structure/parity).
+/// `total.serial_ms` — or the fresh `stages.distribution.serial_ms`, so a
+/// regression in the distribution stage can't hide behind a DP win —
+/// exceeds the committed one by more than [`SMOKE_TOLERANCE`], or when the
+/// committed document itself fails [`validate`] (structure/parity).
 ///
-/// The comparison deliberately uses only the end-to-end *serial* wall time:
-/// parallel times shift with machine load and core count, while the serial
-/// arm is the single-thread trajectory this PR series optimises.
+/// The comparison deliberately uses only *serial* wall times: parallel
+/// times shift with machine load and core count, while the serial arm is
+/// the single-thread trajectory this PR series optimises.
 pub fn smoke_check(committed: &str, fresh: &SolverBenchReport) -> Result<(), String> {
     validate(committed).map_err(|e| format!("committed baseline invalid: {e}"))?;
     let doc = Json::parse(committed)?;
-    let baseline = doc
-        .path(&["total", "serial_ms"])
-        .and_then(Json::as_f64)
-        .ok_or("committed baseline missing total.serial_ms")?;
-    let measured = fresh.total.serial_ms;
-    if baseline.is_nan() || baseline <= 0.0 {
-        return Err(format!("committed total.serial_ms = {baseline} unusable"));
-    }
-    if measured > baseline * SMOKE_TOLERANCE {
-        return Err(format!(
-            "perf regression: total.serial_ms {measured:.2} > {SMOKE_TOLERANCE} x committed {baseline:.2}"
-        ));
+    let gates = [
+        (
+            "total.serial_ms",
+            doc.path(&["total", "serial_ms"]),
+            fresh.total.serial_ms,
+        ),
+        (
+            "stages.distribution.serial_ms",
+            doc.path(&["stages", "distribution", "serial_ms"]),
+            fresh.distribution.serial_ms,
+        ),
+    ];
+    for (name, baseline, measured) in gates {
+        let baseline = baseline
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("committed baseline missing {name}"))?;
+        if baseline.is_nan() || baseline <= 0.0 {
+            return Err(format!("committed {name} = {baseline} unusable"));
+        }
+        if measured > baseline * SMOKE_TOLERANCE {
+            return Err(format!(
+                "perf regression: {name} {measured:.2} > {SMOKE_TOLERANCE} x committed {baseline:.2}"
+            ));
+        }
     }
     Ok(())
 }
@@ -853,6 +1085,33 @@ mod tests {
                 "missing trace.{field}"
             );
         }
+        // the before/after distribution arm: scratch reuse must not change
+        // the answer, and the prune post-pass must keep at least one tree
+        // at cost parity
+        assert!(
+            report.distribution_ref.identical_cost,
+            "scratch-reuse path changed the solve"
+        );
+        assert!(
+            report.distribution_ref.pruned_cost_parity,
+            "tree pruning changed the solve cost"
+        );
+        assert!(report.distribution_ref.pruned_trees >= 1);
+        assert!(report.distribution_ref.pruned_trees <= report.opts.trees);
+        for field in ["ref_serial_ms", "new_serial_ms", "alloc_reduction"] {
+            assert!(
+                doc.path(&["distribution_ref", field]).is_some(),
+                "missing distribution_ref.{field}"
+            );
+        }
+        // a stage object carries either a real speedup or the degenerate
+        // annotation, never both
+        let has_speedup = doc.path(&["total", "speedup"]).is_some();
+        let has_degenerate = doc.path(&["total", "parallel_arm"]).is_some();
+        assert!(has_speedup != has_degenerate, "{text}");
+        if report.available_parallelism <= 1 {
+            assert!(has_degenerate, "single-core host must annotate, not claim ~1.0x");
+        }
     }
 
     #[test]
@@ -863,7 +1122,15 @@ mod tests {
         let good = report.to_json().to_pretty();
         let no_parity = good.replace("\"identical_cost\": true", "\"identical_cost\": false");
         assert!(validate(&no_parity).is_err(), "parity=false must fail");
-        let wrong_schema = good.replace(SCHEMA, "hgp-bench-solver/2");
+        let no_prune_parity = good.replace(
+            "\"pruned_cost_parity\": true",
+            "\"pruned_cost_parity\": false",
+        );
+        assert!(
+            validate(&no_prune_parity).is_err(),
+            "prune parity=false must fail"
+        );
+        let wrong_schema = good.replace(SCHEMA, "hgp-bench-solver/3");
         assert!(validate(&wrong_schema).is_err(), "old schema must fail");
     }
 
@@ -876,6 +1143,13 @@ mod tests {
         // parallel-arm noise is ignored
         report.total.parallel_ms *= 100.0;
         smoke_check(&committed, &report).unwrap();
+        // a distribution-stage slowdown fails even when the total stays
+        // flat (a DP win must not mask a sampler regression)
+        let dist_ms = report.distribution.serial_ms;
+        report.distribution.serial_ms *= 1.5;
+        let err = smoke_check(&committed, &report).unwrap_err();
+        assert!(err.contains("stages.distribution.serial_ms"), "{err}");
+        report.distribution.serial_ms = dist_ms;
         // a >25% serial slowdown fails
         report.total.serial_ms *= 1.5;
         let err = smoke_check(&committed, &report).unwrap_err();

@@ -34,7 +34,8 @@
 //! ```
 
 use crate::solver::{
-    build_distribution_impl, solve_impl, solve_on_distribution_impl, HgpReport, SolverOptions,
+    build_distribution_impl, build_distribution_warm_impl, solve_impl, solve_on_distribution_impl,
+    HgpReport, SolverOptions,
 };
 use crate::tree_solver::{solve_tree_instance_impl, SolveError, TreeSolveReport};
 use crate::Instance;
@@ -100,6 +101,22 @@ impl<'a> Solve<'a> {
     /// through [`run_on`](Solve::run_on).
     pub fn distribution(&self) -> Result<Distribution, SolveError> {
         build_distribution_impl(self.inst, &self.opts, None)
+    }
+
+    /// Like [`distribution`](Solve::distribution), but warm-starts the
+    /// MWU loop from a previously built distribution for a
+    /// *topologically identical* graph (same node set and edge
+    /// endpoints; weights may differ — the near-hit tier of a
+    /// `DecompCache` keyed by
+    /// [`crate::fingerprint::topology_fingerprint`]). The cached trees'
+    /// congestion profile seeds the edge lengths, so sampling resumes
+    /// where the cached run converged. A `warm` argument that does not
+    /// match this instance's node set is ignored and the build falls
+    /// back to a cold start. Note the result generally *differs* from
+    /// the cold-start distribution — callers opting in trade
+    /// bit-reproducibility against cache state for faster convergence.
+    pub fn distribution_warm(&self, warm: &Distribution) -> Result<Distribution, SolveError> {
+        build_distribution_warm_impl(self.inst, &self.opts, Some(warm), None)
     }
 
     /// Runs the per-tree sweep on a pre-built distribution.

@@ -85,6 +85,25 @@ pub fn instance_fingerprint(inst: &Instance) -> u64 {
     fp.finish()
 }
 
+/// Weight-insensitive fingerprint of a communication **topology**: node
+/// count, edge count, and the canonical endpoint pairs in graph order —
+/// no edge weights, no demands.
+///
+/// Two instances that differ only in weights/demands collide here on
+/// purpose: that is the `DecompCache` *near-miss* tier. A near-hit cannot
+/// reuse a cached distribution verbatim (the MWU sampled against the old
+/// weights), but it can warm-start MWU from the cached trees' congestion
+/// profile (`hgp_decomp::warm_start_lengths`), which is sound because hop
+/// congestion is a function of topology and tree shape alone.
+pub fn topology_fingerprint(g: &hgp_graph::Graph) -> u64 {
+    let mut fp = Fingerprinter::new();
+    fp.write_usize(g.num_nodes()).write_usize(g.num_edges());
+    for (_, u, v, _) in g.edges() {
+        fp.write_usize(u.index()).write_usize(v.index());
+    }
+    fp.finish()
+}
+
 /// Fingerprint of a machine hierarchy: height, per-level degrees and cost
 /// multipliers.
 pub fn hierarchy_fingerprint(h: &Hierarchy) -> u64 {
@@ -113,7 +132,12 @@ fn write_decomp_opts(fp: &mut Fingerprinter, opts: &DecompOpts) {
         })
         // the MWU wave width changes which distribution is sampled (it is
         // an algorithm knob, unlike Parallelism), so it feeds the key
-        .write_usize(opts.mwu_wave);
+        .write_usize(opts.mwu_wave)
+        // both opt-ins change which trees the DP sees, so they feed the
+        // key (default off; a cache only ever compares keys produced by
+        // the same build, so extending the absorbed word stream is safe)
+        .write_u64(opts.warm_start as u64)
+        .write_u64(opts.prune_dominated as u64);
 }
 
 /// Cache key for a Räcke tree distribution: everything
@@ -183,6 +207,24 @@ mod tests {
     }
 
     #[test]
+    fn topology_fingerprint_ignores_weights_but_not_structure() {
+        let a = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+        let reweighted = Graph::from_edges(3, &[(0, 1, 9.0), (1, 2, 0.25)]);
+        let rewired = Graph::from_edges(3, &[(0, 1, 1.0), (0, 2, 2.0)]);
+        assert_eq!(
+            topology_fingerprint(&a),
+            topology_fingerprint(&reweighted),
+            "weights must not feed the near-miss key"
+        );
+        assert_ne!(topology_fingerprint(&a), topology_fingerprint(&rewired));
+        // and it differs from the weight-sensitive instance key on purpose
+        assert_ne!(
+            topology_fingerprint(&a),
+            instance_fingerprint(&Instance::uniform(a.clone(), 0.5))
+        );
+    }
+
+    #[test]
     fn machine_and_rounding_feed_solve_key_but_not_distribution_key() {
         let i = inst();
         let opts = SolverOptions::default();
@@ -248,6 +290,20 @@ mod tests {
             solve_fingerprint(&i, &h1, &opts),
             solve_fingerprint(&i, &h1, &ml_depth),
             "coarsen_until changes the V-cycle shape, so it feeds the key"
+        );
+        let mut warmed = opts;
+        warmed.decomp.warm_start = true;
+        assert_ne!(
+            distribution_fingerprint(&i, &opts),
+            distribution_fingerprint(&i, &warmed),
+            "warm-started root bisections sample a different distribution"
+        );
+        let mut pruned_trees = opts;
+        pruned_trees.decomp.prune_dominated = true;
+        assert_ne!(
+            distribution_fingerprint(&i, &opts),
+            distribution_fingerprint(&i, &pruned_trees),
+            "the Andersen–Feige post-pass changes the distribution"
         );
         let mut traced = opts;
         traced.trace = true;

@@ -9,7 +9,7 @@
 //!
 //! Both expensive stages are embarrassingly parallel and share the
 //! deterministic fan-out of [`hgp_decomp::par_map_indexed`]: tree sampling
-//! proceeds in MWU waves ([`racke_distribution_traced`]) and the per-tree DPs
+//! proceeds in MWU waves ([`racke_distribution_warm`]) and the per-tree DPs
 //! run on a crossbeam scope with work stealing. Results are reduced in tree
 //! order (cost ties broken by tree index), so the output is bit-identical
 //! for every [`Parallelism`] setting — see DESIGN.md §8.
@@ -18,7 +18,7 @@ use crate::relaxed::DpOptions;
 use crate::tree_solver::{solve_rooted_traced, SolveError, TreeSolveReport};
 use crate::{Assignment, Instance, Rounding, ViolationReport};
 use hgp_decomp::{
-    par_map_indexed, racke_distribution_traced, DecompOpts, Distribution, Parallelism,
+    par_map_indexed, racke_distribution_warm, DecompOpts, Distribution, Parallelism,
 };
 use hgp_hierarchy::Hierarchy;
 use hgp_obs::{SolveTrace, StageNanos, TraceSink};
@@ -300,17 +300,33 @@ pub(crate) fn build_distribution_impl(
     opts: &SolverOptions,
     sink: Option<&TraceSink>,
 ) -> Result<Distribution, SolveError> {
+    build_distribution_warm_impl(inst, opts, None, sink)
+}
+
+/// [`build_distribution_impl`] with an optional warm-start distribution
+/// (a `DecompCache` near-hit on the weight-insensitive
+/// [`crate::fingerprint::topology_fingerprint`]): the cached trees'
+/// congestion profile seeds the MWU edge lengths, so sampling resumes
+/// where the cached run converged instead of from uniform lengths. A
+/// `warm` that does not cover this instance's node set is ignored.
+pub(crate) fn build_distribution_warm_impl(
+    inst: &Instance,
+    opts: &SolverOptions,
+    warm: Option<&Distribution>,
+    sink: Option<&TraceSink>,
+) -> Result<Distribution, SolveError> {
     if !hgp_graph::traversal::is_connected(inst.graph()) {
         return Err(SolveError::Disconnected);
     }
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    Ok(racke_distribution_traced(
+    Ok(racke_distribution_warm(
         inst.graph(),
         inst.demands(),
         opts.num_trees,
         &opts.decomp,
         opts.parallelism,
         &mut rng,
+        warm,
         sink,
     ))
 }

@@ -1,6 +1,9 @@
 //! Building a single decomposition tree by recursive balanced bisection.
 
-use hgp_graph::partition::{fm_refine, multilevel_bisection, BisectOpts, Bisection};
+use hgp_graph::partition::{
+    fm_refine, multilevel_bisection, multilevel_bisection_with, BisectOpts, BisectScratch,
+    Bisection,
+};
 use hgp_graph::spectral::{spectral_bisection, SpectralOpts};
 use hgp_graph::tree::RootedTree;
 use hgp_graph::{Graph, GraphBuilder, NodeId, SubgraphScratch};
@@ -61,6 +64,24 @@ pub struct DecompOpts {
     /// thread count — so the sampled distribution is identical for every
     /// `Parallelism` setting.
     pub mwu_wave: usize,
+    /// Warm-start root bisections between MWU waves (default `false`).
+    ///
+    /// When set, tree `i` (for `i >= mwu_wave`) also evaluates the root
+    /// split of tree `i - mwu_wave`, FM-polished under the current wave's
+    /// edge lengths, and keeps it when its length-scaled cut is strictly
+    /// better than the fresh multilevel candidate's. RNG consumption is
+    /// unchanged, so this is deterministic at every `Parallelism` — but it
+    /// *changes which trees are sampled*, so it participates in the solve
+    /// fingerprint and is off in bit-identical-output mode.
+    pub warm_start: bool,
+    /// Andersen–Feige-style post-pass on the sampled distribution
+    /// (default `false`): re-weight trees by measured congestion
+    /// (`λᵢ ∝ 1 / (1 + avg-congestionᵢ)`) and drop trees whose congestion
+    /// stats are strictly Pareto-dominated by another tree's, so fewer,
+    /// better trees reach the DP fan-out. Changes the distribution the DP
+    /// sees, so it participates in the solve fingerprint and is off in
+    /// bit-identical-output mode.
+    pub prune_dominated: bool,
 }
 
 impl Default for DecompOpts {
@@ -69,6 +90,8 @@ impl Default for DecompOpts {
             bisect: BisectOpts::default(),
             oracle: CutOracle::Multilevel,
             mwu_wave: 4,
+            warm_start: false,
+            prune_dominated: false,
         }
     }
 }
@@ -127,6 +150,246 @@ pub fn scale_graph(g: &Graph, edge_scale: &[f64]) -> Graph {
         b.add_edge(u, v, w * edge_scale[e.index()]);
     }
     b.build()
+}
+
+/// Reusable arena for [`build_decomp_tree_prescaled_with`]: every buffer
+/// the recursive tree builder needs, including the multilevel bisection
+/// ladder, so that building a tree in steady state costs only the
+/// allocations of the returned [`DecompTree`] itself.
+///
+/// One scratch serves any number of sequential builds over graphs of any
+/// size (buffers grow to the high-water mark and stay). A scratch is an
+/// *allocation* cache, never a *value* cache: results are bit-identical to
+/// the allocating [`build_decomp_tree_prescaled`] regardless of what was
+/// built through the scratch before — pinned by the determinism property
+/// tests in `distribution.rs`.
+#[derive(Debug, Default)]
+pub struct DecompScratch {
+    sub: SubgraphScratch,
+    sub_w: Vec<f64>,
+    side_buf: Vec<u32>,
+    mark: Vec<u8>,
+    members: Vec<u32>,
+    stack: Vec<(usize, usize, usize)>,
+    bisect: BisectScratch,
+    bis_side: Vec<bool>,
+    hint_side: Vec<bool>,
+}
+
+impl DecompScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Runs the configured oracle on one cluster's induced subgraph, leaving
+/// the chosen side in `side`. Bit-identical (same side, same RNG draws) to
+/// [`bisect_cluster`] — the builder only consumes the side, so the
+/// reference path's cut/weight stats are pure outputs this variant skips.
+fn bisect_cluster_with<R: Rng + ?Sized>(
+    sub: &Graph,
+    sub_w: &[f64],
+    opts: &DecompOpts,
+    rng: &mut R,
+    bisect: &mut BisectScratch,
+    side: &mut Vec<bool>,
+) {
+    match opts.oracle {
+        CutOracle::Multilevel => {
+            multilevel_bisection_with(sub, sub_w, &opts.bisect, rng, bisect, side);
+        }
+        CutOracle::Spectral => {
+            let mut s = spectral_bisection(
+                sub,
+                sub_w,
+                &SpectralOpts {
+                    target0_frac: opts.bisect.target0_frac,
+                    ..Default::default()
+                },
+            );
+            if !opts.bisect.no_refine {
+                let total: f64 = sub_w.iter().sum();
+                let cap = 0.5 * total * (1.0 + opts.bisect.eps);
+                fm_refine(sub, sub_w, &mut s, cap, cap, opts.bisect.fm_passes);
+            }
+            side.clear();
+            side.extend_from_slice(&s);
+        }
+    }
+}
+
+/// [`build_decomp_tree_prescaled`] through a reusable [`DecompScratch`]:
+/// same tree, same RNG draws, no per-cluster allocations. This is the
+/// distribution sampler's hot path.
+pub fn build_decomp_tree_prescaled_with<R: Rng + ?Sized>(
+    g: &Graph,
+    scaled: &Graph,
+    node_w: &[f64],
+    opts: &DecompOpts,
+    rng: &mut R,
+    scratch: &mut DecompScratch,
+) -> DecompTree {
+    build_tree_with_hint(g, scaled, node_w, opts, rng, scratch, None, None)
+}
+
+/// Core scratch builder with optional warm-start plumbing: when `hint` is
+/// a side vector over all of `V(g)` that actually splits it, the root
+/// bisection FM-polishes a copy of it under the current `scaled` weights
+/// and keeps whichever of {fresh multilevel candidate, polished hint} has
+/// the strictly smaller length-scaled cut. `root_out`, when present,
+/// receives the root side that won (tree order = node order at the root),
+/// for use as a later tree's hint. RNG consumption is identical with and
+/// without a hint, so warm-started sampling stays deterministic at every
+/// `Parallelism`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_tree_with_hint<R: Rng + ?Sized>(
+    g: &Graph,
+    scaled: &Graph,
+    node_w: &[f64],
+    opts: &DecompOpts,
+    rng: &mut R,
+    scratch: &mut DecompScratch,
+    hint: Option<&[bool]>,
+    root_out: Option<&mut Vec<bool>>,
+) -> DecompTree {
+    let n = g.num_nodes();
+    assert!(n >= 1, "cannot decompose the empty graph");
+    assert_eq!(node_w.len(), n);
+    assert_eq!(scaled.num_nodes(), n);
+    assert_eq!(scaled.num_edges(), g.num_edges());
+
+    let mut parent: Vec<u32> = vec![0];
+    let mut weight: Vec<f64> = vec![0.0];
+    let mut task_of_leaf: Vec<u32> = vec![u32::MAX];
+
+    let DecompScratch {
+        sub,
+        sub_w,
+        side_buf,
+        mark,
+        members,
+        stack,
+        bisect,
+        bis_side,
+        hint_side,
+    } = scratch;
+    members.clear();
+    members.extend(0..n as u32);
+    stack.clear();
+    stack.push((0, 0, n));
+    mark.clear();
+    mark.resize(n, 0); // 0 = outside cluster, 1 = side 0, 2 = side 1
+    let mut root_out = root_out;
+
+    while let Some((id, lo, hi)) = stack.pop() {
+        if hi - lo == 1 {
+            task_of_leaf[id] = members[lo];
+            continue;
+        }
+        // bisect the cluster on the scaled graph
+        scaled.induced_subgraph_into(&members[lo..hi], sub);
+        sub_w.clear();
+        sub_w.extend(sub.map().iter().map(|v| node_w[v.index()]));
+        bisect_cluster_with(sub.graph(), sub_w, opts, rng, bisect, bis_side);
+
+        if id == 0 {
+            // warm start: at the root (members are 0..n in node order, so
+            // side index == node index) compare the fresh candidate with
+            // the FM-polished hint and keep the smaller length-scaled cut
+            if let Some(h) = hint {
+                let mixed = h.len() == n && h.contains(&true) && h.contains(&false);
+                if mixed {
+                    hint_side.clear();
+                    hint_side.extend_from_slice(h);
+                    if !opts.bisect.no_refine {
+                        let total: f64 = sub_w.iter().sum();
+                        let target0 = opts.bisect.target0_frac * total;
+                        let cap0 = target0 * (1.0 + opts.bisect.eps);
+                        let cap1 = (total - target0) * (1.0 + opts.bisect.eps);
+                        fm_refine(
+                            sub.graph(),
+                            sub_w,
+                            hint_side,
+                            cap0,
+                            cap1,
+                            opts.bisect.fm_passes,
+                        );
+                    }
+                    let still_mixed = hint_side.contains(&true) && hint_side.contains(&false);
+                    if still_mixed
+                        && sub.graph().cut_weight(hint_side) < sub.graph().cut_weight(bis_side)
+                    {
+                        std::mem::swap(bis_side, hint_side);
+                    }
+                }
+            }
+            if let Some(out) = root_out.as_deref_mut() {
+                out.clear();
+                out.extend_from_slice(bis_side);
+            }
+        }
+
+        // stable in-place partition: side-0 members compact to the front,
+        // side-1 members go to the back, both keeping ascending order (the
+        // write cursor never overtakes the read index)
+        side_buf.clear();
+        let mut w = lo;
+        for (i, &s) in bis_side.iter().enumerate() {
+            let v = members[lo + i];
+            if s {
+                side_buf.push(v);
+            } else {
+                members[w] = v;
+                w += 1;
+            }
+        }
+        members[w..hi].copy_from_slice(side_buf);
+        let mut mid = w;
+        // degenerate bisection (can happen on tiny/odd clusters): the range
+        // is untouched — still ascending — so force an even split at the
+        // midpoint, exactly the legacy sort-then-halve behaviour
+        if mid == lo || mid == hi {
+            mid = lo + (hi - lo) / 2;
+        }
+
+        // boundary weights of both sides from one marking pass over `g`;
+        // per side, additions run in ascending-member adjacency order, the
+        // same float order as a per-side recomputation
+        for &v in &members[lo..mid] {
+            mark[v as usize] = 1;
+        }
+        for &v in &members[mid..hi] {
+            mark[v as usize] = 2;
+        }
+        let mut bw = [0.0f64; 2];
+        for (side_ix, range) in [(0usize, lo..mid), (1usize, mid..hi)] {
+            let own = side_ix as u8 + 1;
+            let mut acc = 0.0;
+            for &v in &members[range] {
+                for (u, wt, _) in g.neighbors(NodeId(v)) {
+                    if mark[u.index()] != own {
+                        acc += wt;
+                    }
+                }
+            }
+            bw[side_ix] = acc;
+        }
+        for &v in &members[lo..hi] {
+            mark[v as usize] = 0;
+        }
+
+        for (side_ix, (slo, shi)) in [(0usize, (lo, mid)), (1, (mid, hi))] {
+            let child = parent.len();
+            parent.push(id as u32);
+            weight.push(bw[side_ix]);
+            task_of_leaf.push(u32::MAX);
+            stack.push((child, slo, shi));
+        }
+    }
+
+    let tree = RootedTree::from_parents(0, parent, weight);
+    DecompTree { tree, task_of_leaf }
 }
 
 /// Builds one decomposition tree of `g`.

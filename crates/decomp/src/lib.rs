@@ -32,10 +32,12 @@ mod distribution;
 mod parallel;
 
 pub use build::{
-    build_decomp_tree, build_decomp_tree_prescaled, scale_graph, CutOracle, DecompOpts, DecompTree,
+    build_decomp_tree, build_decomp_tree_prescaled, build_decomp_tree_prescaled_with, scale_graph,
+    CutOracle, DecompOpts, DecompScratch, DecompTree,
 };
 pub use distribution::{
-    hop_congestion, racke_distribution, racke_distribution_par, racke_distribution_traced,
-    CongestionStats, Distribution,
+    hop_congestion, racke_distribution, racke_distribution_par, racke_distribution_ref,
+    racke_distribution_traced, racke_distribution_warm, warm_start_lengths, CongestionStats,
+    Distribution,
 };
-pub use parallel::{par_map_indexed, Parallelism};
+pub use parallel::{par_map_indexed, par_map_indexed_scratch, Parallelism};

@@ -64,6 +64,9 @@ impl From<usize> for NodeId {
 pub struct GraphBuilder {
     num_nodes: usize,
     edges: Vec<(u32, u32, f64)>,
+    // finalisation scratch, reused by `build_into` across calls
+    degree: Vec<u32>,
+    cursor: Vec<u32>,
 }
 
 impl GraphBuilder {
@@ -72,6 +75,8 @@ impl GraphBuilder {
         Self {
             num_nodes,
             edges: Vec::new(),
+            degree: Vec::new(),
+            cursor: Vec::new(),
         }
     }
 
@@ -82,7 +87,17 @@ impl GraphBuilder {
         Self {
             num_nodes,
             edges: Vec::with_capacity(num_edges),
+            degree: Vec::new(),
+            cursor: Vec::new(),
         }
+    }
+
+    /// Resets the builder to an empty edge list over `num_nodes` nodes,
+    /// keeping every allocation. Pair with [`GraphBuilder::build_into`] to
+    /// construct graphs in a loop without churning the allocator.
+    pub fn reset(&mut self, num_nodes: usize) {
+        self.num_nodes = num_nodes;
+        self.edges.clear();
     }
 
     /// Number of nodes the built graph will have.
@@ -123,6 +138,19 @@ impl GraphBuilder {
 
     /// Finalises the builder into an immutable CSR graph.
     pub fn build(mut self) -> Graph {
+        let mut out = Graph::default();
+        self.build_into(&mut out);
+        out
+    }
+
+    /// Scratch-buffer variant of [`GraphBuilder::build`]: finalises the
+    /// current edge list into `out`, reusing both the builder's internal
+    /// scratch and `out`'s existing allocations. The produced graph is
+    /// **bit-identical** to what [`GraphBuilder::build`] would return for
+    /// the same inserted edges. The builder's edge list is left normalised
+    /// (sorted, loop-free) but otherwise intact; call
+    /// [`GraphBuilder::reset`] before reusing it for a new graph.
+    pub fn build_into(&mut self, out: &mut Graph) {
         // Normalise endpoints (min, max), drop self loops, merge parallels.
         self.edges.retain(|&(u, v, _)| u != v);
         for e in &mut self.edges {
@@ -131,52 +159,51 @@ impl GraphBuilder {
             }
         }
         self.edges.sort_unstable_by_key(|a| (a.0, a.1));
-        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
-        for (u, v, w) in self.edges {
-            match merged.last_mut() {
+        out.edges.clear();
+        out.edges.reserve(self.edges.len());
+        for &(u, v, w) in &self.edges {
+            match out.edges.last_mut() {
                 Some(last) if last.0 == u && last.1 == v => last.2 += w,
-                _ => merged.push((u, v, w)),
+                _ => out.edges.push((u, v, w)),
             }
         }
 
         let n = self.num_nodes;
-        let m = merged.len();
-        let mut degree = vec![0u32; n];
-        for &(u, v, _) in &merged {
-            degree[u as usize] += 1;
-            degree[v as usize] += 1;
+        let m = out.edges.len();
+        self.degree.clear();
+        self.degree.resize(n, 0);
+        for &(u, v, _) in &out.edges {
+            self.degree[u as usize] += 1;
+            self.degree[v as usize] += 1;
         }
-        let mut xadj = Vec::with_capacity(n + 1);
-        xadj.push(0u32);
-        for d in &degree {
-            let last = *xadj.last().unwrap();
-            xadj.push(last + d);
+        out.xadj.clear();
+        out.xadj.reserve(n + 1);
+        out.xadj.push(0u32);
+        for d in &self.degree {
+            let last = *out.xadj.last().unwrap();
+            out.xadj.push(last + d);
         }
-        let mut cursor: Vec<u32> = xadj[..n].to_vec();
-        let mut adjncy = vec![0u32; 2 * m];
-        let mut adjwgt = vec![0f64; 2 * m];
-        let mut adj_eid = vec![0u32; 2 * m];
-        for (eid, &(u, v, w)) in merged.iter().enumerate() {
-            let cu = cursor[u as usize] as usize;
-            adjncy[cu] = v;
-            adjwgt[cu] = w;
-            adj_eid[cu] = eid as u32;
-            cursor[u as usize] += 1;
-            let cv = cursor[v as usize] as usize;
-            adjncy[cv] = u;
-            adjwgt[cv] = w;
-            adj_eid[cv] = eid as u32;
-            cursor[v as usize] += 1;
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&out.xadj[..n]);
+        out.adjncy.clear();
+        out.adjncy.resize(2 * m, 0);
+        out.adjwgt.clear();
+        out.adjwgt.resize(2 * m, 0.0);
+        out.adj_eid.clear();
+        out.adj_eid.resize(2 * m, 0);
+        for (eid, &(u, v, w)) in out.edges.iter().enumerate() {
+            let cu = self.cursor[u as usize] as usize;
+            out.adjncy[cu] = v;
+            out.adjwgt[cu] = w;
+            out.adj_eid[cu] = eid as u32;
+            self.cursor[u as usize] += 1;
+            let cv = self.cursor[v as usize] as usize;
+            out.adjncy[cv] = u;
+            out.adjwgt[cv] = w;
+            out.adj_eid[cv] = eid as u32;
+            self.cursor[v as usize] += 1;
         }
-        let total_weight = merged.iter().map(|e| e.2).sum();
-        Graph {
-            xadj,
-            adjncy,
-            adjwgt,
-            adj_eid,
-            edges: merged,
-            total_weight,
-        }
+        out.total_weight = out.edges.iter().map(|e| e.2).sum();
     }
 }
 
@@ -294,6 +321,42 @@ impl Graph {
             .filter(|&&(u, v, _)| part[u as usize] != part[v as usize])
             .map(|e| e.2)
             .sum()
+    }
+
+    /// Writes a copy of this graph with every edge weight multiplied by
+    /// its `scale` entry into `out`, reusing `out`'s allocations.
+    ///
+    /// Because this graph is already simple and canonically ordered, the
+    /// result is **bit-identical** to rebuilding from scratch through a
+    /// [`GraphBuilder`] fed `w * scale[e]` edge weights — the MWU
+    /// distribution sampler relies on this to reuse one scaled-graph
+    /// buffer across waves instead of reconstructing the CSR every wave.
+    ///
+    /// # Panics
+    /// Panics if `scale.len() != self.num_edges()`.
+    pub fn rescale_into(&self, scale: &[f64], out: &mut Graph) {
+        assert_eq!(scale.len(), self.num_edges());
+        out.xadj.clear();
+        out.xadj.extend_from_slice(&self.xadj);
+        out.adjncy.clear();
+        out.adjncy.extend_from_slice(&self.adjncy);
+        out.adj_eid.clear();
+        out.adj_eid.extend_from_slice(&self.adj_eid);
+        out.edges.clear();
+        out.edges.extend(
+            self.edges
+                .iter()
+                .enumerate()
+                .map(|(e, &(u, v, w))| (u, v, w * scale[e])),
+        );
+        out.adjwgt.clear();
+        out.adjwgt.extend(
+            self.adjwgt
+                .iter()
+                .zip(&self.adj_eid)
+                .map(|(&w, &e)| w * scale[e as usize]),
+        );
+        out.total_weight = out.edges.iter().map(|e| e.2).sum();
     }
 
     /// Extracts the subgraph induced by `keep` (nodes with `keep[v]`),
@@ -575,5 +638,74 @@ mod tests {
         let g = triangle();
         let mut scratch = SubgraphScratch::new();
         g.induced_subgraph_into(&[2, 0], &mut scratch);
+    }
+
+    fn assert_bit_identical(got: &Graph, want: &Graph) {
+        assert_eq!(got.xadj, want.xadj);
+        assert_eq!(got.adjncy, want.adjncy);
+        assert_eq!(got.adj_eid, want.adj_eid);
+        assert_eq!(got.edges.len(), want.edges.len());
+        for (a, b) in got.edges.iter().zip(&want.edges) {
+            assert_eq!((a.0, a.1), (b.0, b.1));
+            assert_eq!(a.2.to_bits(), b.2.to_bits());
+        }
+        for (a, b) in got.adjwgt.iter().zip(&want.adjwgt) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(got.total_weight.to_bits(), want.total_weight.to_bits());
+    }
+
+    #[test]
+    fn build_into_reuses_buffers_and_matches_build() {
+        // several graphs of different sizes through one builder + one out
+        // graph: reset/build_into must be bit-identical to a fresh build(),
+        // including the loop-drop + parallel-merge normalisation
+        let cases: Vec<(usize, Vec<(u32, u32, f64)>)> = vec![
+            (3, vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]),
+            (4, vec![(2, 1, 0.5), (1, 2, 0.25), (3, 3, 9.0), (0, 3, 1.5)]),
+            (1, vec![]),
+            (5, vec![(4, 0, 2.0), (0, 4, 1.0), (1, 3, 0.125)]),
+        ];
+        let mut b = GraphBuilder::new(0);
+        let mut out = Graph::default();
+        for (n, edges) in cases {
+            b.reset(n);
+            let mut fresh = GraphBuilder::new(n);
+            for &(u, v, w) in &edges {
+                b.add_edge(NodeId(u), NodeId(v), w);
+                fresh.add_edge(NodeId(u), NodeId(v), w);
+            }
+            b.build_into(&mut out);
+            let want = fresh.build();
+            assert_bit_identical(&out, &want);
+        }
+    }
+
+    #[test]
+    fn rescale_into_is_bit_identical_to_rebuilding() {
+        let g = Graph::from_edges(
+            5,
+            &[
+                (0, 1, 1.25),
+                (1, 2, 2.0),
+                (0, 2, 3.5),
+                (2, 3, 0.75),
+                (3, 4, 1.0),
+            ],
+        );
+        let mut out = Graph::default();
+        // two different scalings through the SAME out buffer
+        for seed in [3u64, 11] {
+            let scale: Vec<f64> = (0..g.num_edges())
+                .map(|e| 0.5 + ((e as u64 * seed) % 7) as f64 / 4.0)
+                .collect();
+            g.rescale_into(&scale, &mut out);
+            let mut b = GraphBuilder::new(g.num_nodes());
+            for (e, u, v, w) in g.edges() {
+                b.add_edge(u, v, w * scale[e.index()]);
+            }
+            let want = b.build();
+            assert_bit_identical(&out, &want);
+        }
     }
 }

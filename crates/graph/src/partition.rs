@@ -14,6 +14,26 @@ use rand::Rng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+// Max-heap candidate ordered by key then node id — shared by the greedy
+// grower and the FM pass (both the allocating reference paths and the
+// scratch-backed ones, which must pop in exactly the same order).
+#[derive(Debug, PartialEq)]
+struct Cand(f64, u32);
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, o: &Self) -> Ordering {
+        self.0
+            .partial_cmp(&o.0)
+            .unwrap_or(Ordering::Equal)
+            .then(self.1.cmp(&o.1))
+    }
+}
+
 /// Result of a two-way partition: `side[v]` is `false` for side 0, `true`
 /// for side 1.
 #[derive(Clone, Debug)]
@@ -58,23 +78,6 @@ pub fn grow_bisection(g: &Graph, node_w: &[f64], target0: f64, seed: NodeId) -> 
     let mut side = vec![true; n]; // everything starts on side 1
     let mut attraction = vec![0f64; n];
     let mut in0 = vec![false; n];
-
-    #[derive(PartialEq)]
-    struct Cand(f64, u32);
-    impl Eq for Cand {}
-    impl PartialOrd for Cand {
-        fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
-            Some(self.cmp(o))
-        }
-    }
-    impl Ord for Cand {
-        fn cmp(&self, o: &Self) -> Ordering {
-            self.0
-                .partial_cmp(&o.0)
-                .unwrap_or(Ordering::Equal)
-                .then(self.1.cmp(&o.1))
-        }
-    }
 
     let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
     let mut w0 = 0.0;
@@ -154,23 +157,6 @@ pub fn fm_pass(g: &Graph, node_w: &[f64], side: &mut [bool], cap0: f64, cap1: f6
             w1 += node_w[v];
         } else {
             w0 += node_w[v];
-        }
-    }
-
-    #[derive(PartialEq)]
-    struct Cand(f64, u32);
-    impl Eq for Cand {}
-    impl PartialOrd for Cand {
-        fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
-            Some(self.cmp(o))
-        }
-    }
-    impl Ord for Cand {
-        fn cmp(&self, o: &Self) -> Ordering {
-            self.0
-                .partial_cmp(&o.0)
-                .unwrap_or(Ordering::Equal)
-                .then(self.1.cmp(&o.1))
         }
     }
 
@@ -623,6 +609,513 @@ fn initial_bisection<R: Rng + ?Sized>(
     best
 }
 
+/// Cut weight and per-side node weights of a bisection whose `side`
+/// vector lives in a caller-supplied buffer (the scratch-path counterpart
+/// of the owned fields on [`Bisection`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SideStats {
+    /// Total weight of edges crossing the partition.
+    pub cut: f64,
+    /// Total node weight on side 0.
+    pub weight0: f64,
+    /// Total node weight on side 1.
+    pub weight1: f64,
+}
+
+#[derive(Debug, Default)]
+struct FmScratch {
+    gain: Vec<f64>,
+    moved: Vec<bool>,
+    history: Vec<u32>,
+    heap_buf: Vec<Cand>,
+}
+
+#[derive(Debug, Default)]
+struct GrowScratch {
+    attraction: Vec<f64>,
+    in0: Vec<bool>,
+    heap_buf: Vec<Cand>,
+}
+
+#[derive(Debug, Default)]
+struct LevelScratch {
+    graph: Graph,
+    map: Vec<u32>,
+    node_w: Vec<f64>,
+    side: Vec<bool>,
+}
+
+/// Reusable buffers for [`multilevel_bisection_with`].
+///
+/// One scratch serves any sequence of bisections of any sizes — the
+/// decomposition-tree recursion performs thousands per tree, and reusing
+/// this arena instead of allocating per call is what removes the
+/// distribution stage's allocator traffic. Results are **bit-identical**
+/// to the allocating [`multilevel_bisection`] path (pinned by tests);
+/// the scratch carries no information between calls that could influence
+/// an output.
+#[derive(Debug, Default)]
+pub struct BisectScratch {
+    fm: FmScratch,
+    grow: GrowScratch,
+    // coarsening ladder: levels[d] holds the graph at depth d+1 plus the
+    // map from depth-d node ids and the side vector being refined there
+    levels: Vec<LevelScratch>,
+    caps: Vec<(f64, f64, f64)>, // (target0, cap0, cap1) per level
+    order: Vec<usize>,
+    mate: Vec<u32>,
+    builder: GraphBuilder,
+    cand_side: Vec<bool>,
+    best_side: Vec<bool>,
+}
+
+impl BisectScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+// One FM pass into reusable buffers; bit-identical to `fm_pass`.
+fn fm_pass_with(
+    g: &Graph,
+    node_w: &[f64],
+    side: &mut [bool],
+    cap0: f64,
+    cap1: f64,
+    s: &mut FmScratch,
+) -> f64 {
+    let n = g.num_nodes();
+    assert_eq!(node_w.len(), n);
+    assert_eq!(side.len(), n);
+    let FmScratch {
+        gain,
+        moved,
+        history,
+        heap_buf,
+    } = s;
+
+    gain.clear();
+    gain.resize(n, 0.0);
+    for (_, u, v, w) in g.edges() {
+        if side[u.index()] != side[v.index()] {
+            gain[u.index()] += w;
+            gain[v.index()] += w;
+        } else {
+            gain[u.index()] -= w;
+            gain[v.index()] -= w;
+        }
+    }
+    let mut w0 = 0.0;
+    let mut w1 = 0.0;
+    for v in 0..n {
+        if side[v] {
+            w1 += node_w[v];
+        } else {
+            w0 += node_w[v];
+        }
+    }
+
+    // BinaryHeap::from(vec) heapifies exactly like the reference path's
+    // collect(), so the pop order — and therefore every move — coincides
+    heap_buf.clear();
+    heap_buf.extend((0..n).map(|v| Cand(gain[v], v as u32)));
+    let mut heap = BinaryHeap::from(std::mem::take(heap_buf));
+    moved.clear();
+    moved.resize(n, false);
+    history.clear();
+    let mut cum = 0.0;
+    let mut best_cum = 0.0;
+    let mut best_len = 0usize;
+
+    while let Some(Cand(gn, v)) = heap.pop() {
+        let v = v as usize;
+        if moved[v] || (gn - gain[v]).abs() > 1e-12 {
+            continue; // stale entry
+        }
+        let fits = if side[v] {
+            w0 + node_w[v] <= cap0
+        } else {
+            w1 + node_w[v] <= cap1
+        };
+        if !fits {
+            continue; // cannot move v this pass
+        }
+        moved[v] = true;
+        history.push(v as u32);
+        cum += gain[v];
+        if side[v] {
+            w1 -= node_w[v];
+            w0 += node_w[v];
+        } else {
+            w0 -= node_w[v];
+            w1 += node_w[v];
+        }
+        side[v] = !side[v];
+        for (u, w, _) in g.neighbors(NodeId(v as u32)) {
+            let u = u.index();
+            if moved[u] {
+                continue;
+            }
+            if side[u] == side[v] {
+                gain[u] -= 2.0 * w;
+            } else {
+                gain[u] += 2.0 * w;
+            }
+            heap.push(Cand(gain[u], u as u32));
+        }
+        if cum > best_cum + 1e-12 {
+            best_cum = cum;
+            best_len = history.len();
+        }
+    }
+
+    for &v in history[best_len..].iter().rev() {
+        side[v as usize] = !side[v as usize];
+    }
+    *heap_buf = heap.into_vec();
+    heap_buf.clear();
+    best_cum
+}
+
+// Repeated scratch-path FM passes; bit-identical to `fm_refine`.
+fn fm_refine_with(
+    g: &Graph,
+    node_w: &[f64],
+    side: &mut [bool],
+    cap0: f64,
+    cap1: f64,
+    max_passes: usize,
+    s: &mut FmScratch,
+) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..max_passes {
+        let imp = fm_pass_with(g, node_w, side, cap0, cap1, s);
+        total += imp;
+        if imp <= 1e-12 {
+            break;
+        }
+    }
+    total
+}
+
+// Greedy growing into reusable buffers; the produced `side` is
+// bit-identical to `grow_bisection`'s.
+fn grow_bisection_into(
+    g: &Graph,
+    node_w: &[f64],
+    target0: f64,
+    seed: NodeId,
+    side: &mut Vec<bool>,
+    s: &mut GrowScratch,
+) {
+    let n = g.num_nodes();
+    assert_eq!(node_w.len(), n);
+    side.clear();
+    side.resize(n, true); // everything starts on side 1
+    let GrowScratch {
+        attraction,
+        in0,
+        heap_buf,
+    } = s;
+    attraction.clear();
+    attraction.resize(n, 0.0);
+    in0.clear();
+    in0.resize(n, false);
+    heap_buf.clear();
+    let mut heap = BinaryHeap::from(std::mem::take(heap_buf));
+    let mut w0 = 0.0;
+    let absorb = |v: usize,
+                  heap: &mut BinaryHeap<Cand>,
+                  in0: &mut Vec<bool>,
+                  side: &mut Vec<bool>,
+                  attraction: &mut Vec<f64>,
+                  w0: &mut f64| {
+        in0[v] = true;
+        side[v] = false;
+        *w0 += node_w[v];
+        for (u, w, _) in g.neighbors(NodeId(v as u32)) {
+            if !in0[u.index()] {
+                attraction[u.index()] += w;
+                heap.push(Cand(attraction[u.index()], u.0));
+            }
+        }
+    };
+
+    absorb(seed.index(), &mut heap, in0, side, attraction, &mut w0);
+    while w0 < target0 {
+        let next = loop {
+            match heap.pop() {
+                Some(Cand(a, v)) => {
+                    let v = v as usize;
+                    if !in0[v] && (a - attraction[v]).abs() < 1e-12 {
+                        break Some(v);
+                    }
+                }
+                None => break None,
+            }
+        };
+        let v = match next.or_else(|| (0..n).find(|&v| !in0[v])) {
+            Some(v) => v,
+            None => break, // everything absorbed
+        };
+        absorb(v, &mut heap, in0, side, attraction, &mut w0);
+    }
+    *heap_buf = heap.into_vec();
+    heap_buf.clear();
+}
+
+// Heavy-edge matching coarsening into a ladder level's reusable buffers;
+// bit-identical to `coarsen` (same RNG draws, same coarse ids).
+fn coarsen_into<R: Rng + ?Sized>(
+    g: &Graph,
+    node_w: &[f64],
+    rng: &mut R,
+    order: &mut Vec<usize>,
+    mate: &mut Vec<u32>,
+    builder: &mut GraphBuilder,
+    out: &mut LevelScratch,
+) {
+    let n = g.num_nodes();
+    assert_eq!(node_w.len(), n);
+    order.clear();
+    order.extend(0..n);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    mate.clear();
+    mate.resize(n, u32::MAX);
+    for &v in order.iter() {
+        if mate[v] != u32::MAX {
+            continue;
+        }
+        let mut best = u32::MAX;
+        let mut best_w = f64::NEG_INFINITY;
+        for (u, w, _) in g.neighbors(NodeId(v as u32)) {
+            if mate[u.index()] == u32::MAX && u.index() != v && w > best_w {
+                best_w = w;
+                best = u.0;
+            }
+        }
+        if best != u32::MAX {
+            mate[v] = best;
+            mate[best as usize] = v as u32;
+        } else {
+            mate[v] = v as u32; // matched with itself
+        }
+    }
+    out.map.clear();
+    out.map.resize(n, u32::MAX);
+    out.node_w.clear();
+    for v in 0..n {
+        if out.map[v] != u32::MAX {
+            continue;
+        }
+        let id = out.node_w.len() as u32;
+        let m = mate[v] as usize;
+        out.map[v] = id;
+        let mut w = node_w[v];
+        if m != v {
+            out.map[m] = id;
+            w += node_w[m];
+        }
+        out.node_w.push(w);
+    }
+    builder.reset(out.node_w.len());
+    for (_, u, v, w) in g.edges() {
+        let (cu, cv) = (out.map[u.index()], out.map[v.index()]);
+        if cu != cv {
+            builder.add_edge(NodeId(cu), NodeId(cv), w);
+        }
+    }
+    builder.build_into(&mut out.graph);
+}
+
+// Randomised initial bisection into a caller buffer; bit-identical seed
+// draws and candidate selection to `initial_bisection`.
+#[allow(clippy::too_many_arguments)]
+fn initial_bisection_into<R: Rng + ?Sized>(
+    g: &Graph,
+    node_w: &[f64],
+    target0: f64,
+    cap0: f64,
+    cap1: f64,
+    opts: &BisectOpts,
+    rng: &mut R,
+    fm: &mut FmScratch,
+    grow: &mut GrowScratch,
+    cand: &mut Vec<bool>,
+    best: &mut Vec<bool>,
+    out: &mut Vec<bool>,
+) {
+    let n = g.num_nodes();
+    if n <= 1 {
+        // degenerate: nothing to split — everything (if anything) on side 0
+        out.clear();
+        out.resize(n, false);
+        return;
+    }
+    let mut best_cut = f64::INFINITY;
+    for t in 0..opts.tries.max(1) {
+        let seed = NodeId(rng.gen_range(0..n as u32));
+        grow_bisection_into(g, node_w, target0, seed, cand, grow);
+        if !opts.no_refine {
+            fm_refine_with(g, node_w, cand, cap0, cap1, opts.fm_passes, fm);
+        }
+        let c = g.cut_weight(cand);
+        // seeding with the first try keeps this total (NaN-proof), exactly
+        // like the reference path's strict `<` selection
+        if t == 0 || c < best_cut {
+            best_cut = c;
+            std::mem::swap(cand, best);
+        }
+    }
+    out.clear();
+    out.extend_from_slice(best);
+}
+
+/// Scratch-buffer variant of [`multilevel_bisection`] for hot loops: the
+/// side vector lands in `out_side` and every intermediate buffer (ladder
+/// graphs, FM heaps, growth frontiers) comes from `scratch`, reused across
+/// calls. The result — side vector, cut, side weights, and the RNG stream
+/// consumed — is **bit-identical** to the allocating path.
+///
+/// The recursion of the reference implementation is unrolled into an
+/// explicit V-shape (coarsen down, initial-bisect the coarsest level,
+/// project and refine back up); the operation order, and with it every
+/// float operation and RNG draw, is unchanged.
+pub fn multilevel_bisection_with<R: Rng + ?Sized>(
+    g: &Graph,
+    node_w: &[f64],
+    opts: &BisectOpts,
+    rng: &mut R,
+    scratch: &mut BisectScratch,
+    out_side: &mut Vec<bool>,
+) -> SideStats {
+    let n = g.num_nodes();
+    assert_eq!(node_w.len(), n);
+    out_side.clear();
+    if n == 0 {
+        // `cut_weight` of an edgeless side is an empty f64 sum, i.e. -0.0;
+        // go through it so the bits match the reference exactly
+        return SideStats {
+            cut: g.cut_weight(out_side),
+            weight0: 0.0,
+            weight1: 0.0,
+        };
+    }
+    let BisectScratch {
+        fm,
+        grow,
+        levels,
+        caps,
+        order,
+        mate,
+        builder,
+        cand_side,
+        best_side,
+    } = scratch;
+    caps.clear();
+
+    // downward pass: coarsen until the size threshold or a stall, exactly
+    // where the recursive reference would stop
+    let mut d = 0usize;
+    loop {
+        let (n_d, total) = if d == 0 {
+            (n, node_w.iter().sum::<f64>())
+        } else {
+            let l = &levels[d - 1];
+            (l.graph.num_nodes(), l.node_w.iter().sum::<f64>())
+        };
+        let target0 = opts.target0_frac * total;
+        let cap0 = target0 * (1.0 + opts.eps);
+        let cap1 = (total - target0) * (1.0 + opts.eps);
+        caps.push((target0, cap0, cap1));
+
+        if n_d <= opts.coarsen_until.max(2) {
+            break;
+        }
+        if levels.len() == d {
+            levels.push(LevelScratch::default());
+        }
+        let (lo, hi) = levels.split_at_mut(d);
+        let (cur_g, cur_w): (&Graph, &[f64]) = if d == 0 {
+            (g, node_w)
+        } else {
+            (&lo[d - 1].graph, &lo[d - 1].node_w)
+        };
+        coarsen_into(cur_g, cur_w, rng, order, mate, builder, &mut hi[0]);
+        if hi[0].graph.num_nodes() as f64 > 0.95 * n_d as f64 {
+            // coarsening stalled (e.g. star graphs): solve level d directly
+            // (the stalled level consumed its RNG draws, like the reference)
+            break;
+        }
+        d += 1;
+    }
+
+    // initial bisection on the coarsest retained level
+    {
+        let (target0, cap0, cap1) = caps[d];
+        if d == 0 {
+            initial_bisection_into(
+                g, node_w, target0, cap0, cap1, opts, rng, fm, grow, cand_side, best_side,
+                out_side,
+            );
+        } else {
+            let LevelScratch {
+                graph,
+                node_w: lw,
+                side,
+                ..
+            } = &mut levels[d - 1];
+            initial_bisection_into(
+                graph, lw, target0, cap0, cap1, opts, rng, fm, grow, cand_side, best_side, side,
+            );
+        }
+    }
+
+    // upward pass: project each coarse side one level down and FM-refine
+    for lv in (0..d).rev() {
+        let (lo, hi) = levels.split_at_mut(lv);
+        let coarse = &hi[0]; // level lv+1: its side and the map from lv
+        let (fine_g, fine_w, fine_side): (&Graph, &[f64], &mut Vec<bool>) = if lv == 0 {
+            (g, node_w, &mut *out_side)
+        } else {
+            let LevelScratch {
+                graph,
+                node_w: lw,
+                side,
+                ..
+            } = &mut lo[lv - 1];
+            (&*graph, &lw[..], side)
+        };
+        fine_side.clear();
+        fine_side.extend(coarse.map.iter().map(|&m| coarse.side[m as usize]));
+        if !opts.no_refine {
+            let (_, cap0, cap1) = caps[lv];
+            fm_refine_with(fine_g, fine_w, fine_side, cap0, cap1, opts.fm_passes, fm);
+        }
+    }
+
+    // stats of the level-0 side, in the reference path's float order
+    let cut = g.cut_weight(out_side);
+    let mut w0 = 0.0;
+    let mut w1 = 0.0;
+    for (v, &s) in out_side.iter().enumerate() {
+        if s {
+            w1 += node_w[v];
+        } else {
+            w0 += node_w[v];
+        }
+    }
+    SideStats {
+        cut,
+        weight0: w0,
+        weight1: w1,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -793,6 +1286,60 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let b = multilevel_bisection(&g, &w, &BisectOpts::default(), &mut rng);
         assert_ne!(b.side[0], b.side[1]);
+    }
+
+    #[test]
+    fn scratch_bisection_is_bit_identical_to_allocating_path() {
+        // one scratch across many graphs, sizes and option sets: sides, cut
+        // stats AND the RNG stream consumed must all coincide exactly with
+        // the recursive allocating reference
+        let mut scratch = BisectScratch::new();
+        let mut side = Vec::new();
+        let opt_sets = [
+            BisectOpts::default(),
+            BisectOpts {
+                coarsen_until: 8,
+                tries: 2,
+                ..Default::default()
+            },
+            BisectOpts {
+                no_refine: true,
+                ..Default::default()
+            },
+            BisectOpts {
+                target0_frac: 0.3,
+                fm_passes: 2,
+                ..Default::default()
+            },
+        ];
+        for seed in 0..4u64 {
+            let mut gen_rng = StdRng::seed_from_u64(seed);
+            let graphs = [
+                generators::grid2d(&mut gen_rng, 9, 9, 0.5, 2.0),
+                generators::gnp_connected(&mut gen_rng, 120, 0.05, 0.5, 3.0),
+                generators::barabasi_albert(&mut gen_rng, 90, 2, 0.5, 2.0),
+                Graph::from_edges(1, &[]),
+                Graph::from_edges(0, &[]),
+            ];
+            for g in &graphs {
+                let n = g.num_nodes();
+                let mut wrng = StdRng::seed_from_u64(seed ^ 0xabc);
+                let w: Vec<f64> = (0..n).map(|_| wrng.gen_range(0.5..1.5)).collect();
+                for (oi, opts) in opt_sets.iter().enumerate() {
+                    let mut r1 = StdRng::seed_from_u64(1000 + seed);
+                    let mut r2 = StdRng::seed_from_u64(1000 + seed);
+                    let want = multilevel_bisection(g, &w, opts, &mut r1);
+                    let got = multilevel_bisection_with(g, &w, opts, &mut r2, &mut scratch, &mut side);
+                    let ctx = format!("seed={seed} n={n} opts#{oi}");
+                    assert_eq!(side, want.side, "{ctx}");
+                    assert_eq!(got.cut.to_bits(), want.cut.to_bits(), "{ctx} got={} want={}", got.cut, want.cut);
+                    assert_eq!(got.weight0.to_bits(), want.weight0.to_bits(), "{ctx}");
+                    assert_eq!(got.weight1.to_bits(), want.weight1.to_bits(), "{ctx}");
+                    // both paths must have consumed the same RNG stream
+                    assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+                }
+            }
+        }
     }
 
     #[test]

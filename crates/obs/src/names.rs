@@ -32,3 +32,21 @@ pub const ML_COARSEST_NODES: &str = "ml-coarsest-nodes";
 /// placement on the coarsest instance and seeded the uncoarsening,
 /// `0` when the core's own placement won.
 pub const ML_SEEDED_BY_KWAY: &str = "ml-seeded-by-kway";
+
+/// One MWU wave of the distribution sampler (`arg` = index of the wave's
+/// first tree).
+pub const DECOMP_WAVE: &str = "decomp.wave";
+
+/// One decomposition-tree build inside a wave (`arg` = tree index,
+/// parented on its [`DECOMP_WAVE`] span).
+pub const DECOMP_TREE: &str = "decomp.tree";
+
+/// Andersen–Feige re-weight/prune post-pass over the sampled distribution
+/// (`arg` = number of trees dropped as congestion-dominated). Emitted only
+/// when `DecompOpts::prune_dominated` is on.
+pub const DECOMP_PRUNE: &str = "decomp.prune";
+
+/// MWU length warm-start replay from a cached near-miss distribution
+/// (`arg` = number of cached trees replayed). Emitted only on the server's
+/// `cache.near-hits` path.
+pub const DECOMP_WARM: &str = "decomp.warm";

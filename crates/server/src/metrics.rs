@@ -56,6 +56,11 @@ pub struct Metrics {
     /// Decomposition-cache misses, mirrored like `cache_hits`.
     /// Wire: `cache.misses`.
     cache_misses: Arc<Gauge>,
+    /// Similarity-tier cache hits (a topology twin warm-started the
+    /// build), mirrored like `cache_hits`. `stats2`-only — the legacy
+    /// `stats` reply predates the tier and stays byte-compatible.
+    /// Wire: `cache.near-hits`.
+    cache_near_hits: Arc<Gauge>,
     /// End-to-end solve latency (enqueue to reply), successful solves
     /// only, in microseconds. Wire: `solve.latency-us`.
     pub solve_latency: Arc<Histogram>,
@@ -88,6 +93,7 @@ impl Metrics {
         let solve_panics = registry.counter("pool.solve-panics");
         let cache_hits = registry.gauge("cache.hits");
         let cache_misses = registry.gauge("cache.misses");
+        let cache_near_hits = registry.gauge("cache.near-hits");
         let solve_latency = registry.histogram("solve.latency-us");
         let queue_wait = registry.histogram("queue.wait-us");
         Self {
@@ -105,6 +111,7 @@ impl Metrics {
             solve_panics,
             cache_hits,
             cache_misses,
+            cache_near_hits,
             solve_latency,
             queue_wait,
         }
@@ -141,9 +148,10 @@ impl Metrics {
     /// Renders the versioned `stats2` reply body: `version=2` followed by
     /// every registered metric in registration order, histograms expanded
     /// to `-p50`/`-p99`/`-max`/`-count` tokens.
-    pub fn stats2_line(&self, cache_hits: u64, cache_misses: u64) -> String {
+    pub fn stats2_line(&self, cache_hits: u64, cache_misses: u64, cache_near_hits: u64) -> String {
         self.cache_hits.set(cache_hits);
         self.cache_misses.set(cache_misses);
+        self.cache_near_hits.set(cache_near_hits);
         self.registry.render(2)
     }
 }
@@ -212,12 +220,13 @@ mod tests {
         m.solve_latency
             .record_duration_us(Duration::from_micros(100));
         m.queue_wait.record_duration_us(Duration::from_micros(7));
-        let line = m.stats2_line(5, 2);
+        let line = m.stats2_line(5, 2, 3);
         assert!(line.starts_with("version=2 req.lines=1"), "{line}");
         for tok in [
             "solve.ok=1",
             "cache.hits=5",
             "cache.misses=2",
+            "cache.near-hits=3",
             "solve.latency-us-p50=128",
             "solve.latency-us-count=1",
             "queue.wait-us-p50=8",
@@ -236,7 +245,7 @@ mod tests {
         m.solve_degraded.inc();
         m.workers_alive.set(4);
         let v1 = m.stats_line(9, 9);
-        let v2 = m.stats2_line(9, 9);
+        let v2 = m.stats2_line(9, 9, 0);
         assert!(v1.contains("requests=3") && v2.contains("req.lines=3"));
         assert!(v1.contains("solve-degraded=1") && v2.contains("solve.degraded=1"));
         assert!(v1.contains("workers-alive=4") && v2.contains("pool.workers-alive=4"));

@@ -33,7 +33,7 @@ use crate::metrics::Metrics;
 use crate::protocol::{ErrCode, SolveSpec, WireError};
 use hgp_baselines::kway::{kway_partition, KwayOpts};
 use hgp_baselines::refine::{refine, RefineOpts};
-use hgp_core::fingerprint::distribution_fingerprint;
+use hgp_core::fingerprint::{distribution_fingerprint, topology_fingerprint};
 use hgp_core::solver::SolverOptions;
 use hgp_core::tree_solver::solve_rooted_with;
 use hgp_core::{
@@ -329,6 +329,7 @@ fn solve_inner(
 
     if !expired(job.deadline) {
         let key = distribution_fingerprint(&inst, &opts);
+        let topo = topology_fingerprint(inst.graph());
         let dist_start = Instant::now();
         let dist = match cache.get(key) {
             Some(d) => {
@@ -336,15 +337,30 @@ fn solve_inner(
                 d
             }
             None => {
-                cache_status = "miss";
-                let built = Solve::new(&inst, h)
-                    .options(opts)
-                    .distribution()
-                    .map_err(|e| {
-                        WireError::new(ErrCode::SolveFailed, format!("decomposition failed: {e}"))
-                    })?;
+                // similarity tier (opt-in): a cached distribution for a
+                // topologically identical graph warm-starts the MWU
+                // sampling. The result depends on cache state, so it is
+                // NOT inserted — the exact key must keep meaning "the
+                // cold-start build for these inputs" for near=0 requests.
+                let warm = if spec.near { cache.get_near(topo) } else { None };
+                let request = Solve::new(&inst, h).options(opts);
+                let built = match &warm {
+                    Some(w) => {
+                        cache_status = "near";
+                        request.distribution_warm(w)
+                    }
+                    None => {
+                        cache_status = "miss";
+                        request.distribution()
+                    }
+                }
+                .map_err(|e| {
+                    WireError::new(ErrCode::SolveFailed, format!("decomposition failed: {e}"))
+                })?;
                 let d = Arc::new(built);
-                cache.insert(key, Arc::clone(&d));
+                if warm.is_none() {
+                    cache.insert(key, topo, Arc::clone(&d));
+                }
                 d
             }
         };
@@ -583,6 +599,38 @@ mod tests {
         };
         assert_eq!(cost(&a), cost(&b));
         assert_eq!(metrics.solve_ok.get(), 2);
+    }
+
+    #[test]
+    fn near_flag_warm_starts_from_a_topology_twin() {
+        let (pool, cache, _metrics) = pool();
+        // same topology, different edge weights → different exact keys
+        let heavy = "solve graph=edges:4:0-1:1.0,1-2:1.0,2-3:1.0,0-3:1.0 \
+                     machine=2x2:4,1,0 demand=0.4 trees=4 seed=7";
+        let light = "solve graph=edges:4:0-1:2.0,1-2:0.5,2-3:2.0,0-3:0.5 \
+                     machine=2x2:4,1,0 demand=0.4 trees=4 seed=7";
+        let a = run(&pool, solve_spec(heavy), None);
+        assert!(a.contains("cache=miss"), "{a}");
+        // without near=1 a reweighted twin is a plain miss
+        let b = run(&pool, solve_spec(light), None);
+        assert!(b.contains("cache=miss"), "{b}");
+        assert_eq!(cache.near_hits(), 0);
+        // with near=1 and a fresh exact key the twin warm-starts the build
+        let near_line = format!(
+            "solve graph=edges:4:0-1:2.0,1-2:0.5,2-3:2.0,0-3:0.5 \
+             machine=2x2:4,1,0 demand=0.4 trees=4 seed=8 near=1"
+        );
+        let c = run(&pool, solve_spec(&near_line), None);
+        assert!(c.starts_with("ok "), "{c}");
+        assert!(c.contains("cache=near"), "{c}");
+        assert!(c.contains("mode=full"), "{c}");
+        assert_eq!(cache.near_hits(), 1);
+        // warm-built distributions are cache-state-dependent and must not
+        // be stored under the exact key: re-running the near request still
+        // reports a near hit, not an exact one
+        let d = run(&pool, solve_spec(&near_line), None);
+        assert!(d.contains("cache=near"), "{d}");
+        assert_eq!(cache.near_hits(), 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! solve graph=<spec> machine=<desc> [demand=<f>] [demands=<f,..>]
 //!       [units=<u>] [trees=<p>] [seed=<s>] [deadline-ms=<d>]
 //!       [refine=0|1] [assignment=0|1] [trace=0|1] [multilevel=0|1]
+//!       [near=0|1]
 //! place-incremental new machine=<desc>
 //! place-incremental add session=<id> demand=<f> [nbrs=<t>:<w>,..]
 //! place-incremental remove session=<id> task=<t>
@@ -371,6 +372,13 @@ pub struct SolveSpec {
     /// Route the solve through the multilevel V-cycle (coarsen → exact
     /// core → refine) instead of the flat distribution sweep.
     pub multilevel: bool,
+    /// On an exact distribution-cache miss, accept a *near* hit: warm-start
+    /// the MWU sampling from a cached distribution of a topologically
+    /// identical graph (same node set and edge endpoints, weights free).
+    /// Opt-in because the result then depends on cache state, trading the
+    /// exact-key path's bit-reproducibility for faster convergence; the
+    /// reply reports `cache=near` when taken.
+    pub near: bool,
 }
 
 impl SolveSpec {
@@ -557,6 +565,7 @@ impl Request {
         let mut want_assignment = false;
         let mut trace = false;
         let mut multilevel = false;
+        let mut near = false;
         for tok in toks {
             let (key, val) = parse_kv(tok)?;
             match key {
@@ -581,6 +590,7 @@ impl Request {
                 "assignment" => want_assignment = parse_flag(key, val)?,
                 "trace" => trace = parse_flag(key, val)?,
                 "multilevel" => multilevel = parse_flag(key, val)?,
+                "near" => near = parse_flag(key, val)?,
                 _ => return Err(WireError::bad(format!("unknown solve field {key:?}"))),
             }
         }
@@ -611,6 +621,7 @@ impl Request {
             want_assignment,
             trace,
             multilevel,
+            near,
         })))
     }
 
@@ -884,6 +895,25 @@ mod tests {
         };
         assert!(!spec.multilevel);
         let err = Request::parse(&format!("{base} multilevel=2")).unwrap_err();
+        assert_eq!(err.code, ErrCode::BadRequest);
+    }
+
+    #[test]
+    fn near_flag_parses_and_defaults_off() {
+        let base = "solve graph=edges:2:0-1:1.0 machine=2x2:4,1,0";
+        let Ok(Request::Solve(spec)) = Request::parse(base) else {
+            panic!()
+        };
+        assert!(!spec.near, "near must default off (bit-reproducible path)");
+        let Ok(Request::Solve(spec)) = Request::parse(&format!("{base} near=1")) else {
+            panic!()
+        };
+        assert!(spec.near);
+        let Ok(Request::Solve(spec)) = Request::parse(&format!("{base} near=false")) else {
+            panic!()
+        };
+        assert!(!spec.near);
+        let err = Request::parse(&format!("{base} near=2")).unwrap_err();
         assert_eq!(err.code, ErrCode::BadRequest);
     }
 

@@ -374,7 +374,11 @@ fn handle_line(line: &str, shared: &Shared) -> String {
                 .set(shared.sessions.open_count() as u64);
             format!(
                 "ok {}",
-                metrics.stats2_line(shared.cache.hits(), shared.cache.misses())
+                metrics.stats2_line(
+                    shared.cache.hits(),
+                    shared.cache.misses(),
+                    shared.cache.near_hits(),
+                )
             )
         }
         Request::Shutdown => {

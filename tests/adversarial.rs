@@ -220,6 +220,42 @@ proptest! {
     }
 }
 
+/// Degenerate-but-legal inputs must ride the wire as cleanly as hostile
+/// ones: `trees=0` is clamped to a single tree by the parser, and a
+/// single-node graph (a 1x1 mesh) yields a well-formed singleton
+/// placement instead of panicking the distribution stage.
+#[test]
+fn degenerate_solves_survive_the_wire() {
+    let mut c = Client::connect();
+
+    // trees=0 clamps to 1: still a real solve, not an error
+    let reply = c.req(
+        "solve graph=edges:4:0-1:3.0,1-2:1.0,2-3:3.0 machine=2x2:4,1,0 \
+         demand=0.4 trees=0 seed=1",
+    );
+    assert!(reply.starts_with("ok cost="), "{reply}");
+    assert_eq!(reply_field(&reply, "degraded"), Some("0"), "{reply}");
+
+    // single-node graph: the decomposition is a singleton tree and the
+    // placement is trivially optimal (zero communication cost)
+    for line in [
+        "solve graph=gen:mesh:1x1:7 machine=2x2:4,1,0 demand=0.5 trees=2 seed=1",
+        // both degeneracies at once
+        "solve graph=gen:mesh:1x1:7 machine=2x2:4,1,0 demand=0.5 trees=0 seed=1",
+    ] {
+        let reply = c.req(line);
+        assert!(reply.starts_with("ok cost="), "for {line:?}: {reply}");
+        // an edgeless graph sums no cut weights, so the cost may print as
+        // the empty-sum identity `-0` — compare numerically
+        let cost: f64 = reply_field(&reply, "cost").unwrap().parse().unwrap();
+        assert_eq!(cost, 0.0, "{reply}");
+        assert_eq!(reply_field(&reply, "degraded"), Some("0"), "{reply}");
+    }
+
+    // none of the above may cost a worker its life
+    c.assert_pool_healthy();
+}
+
 /// The acceptance batch: a fixed poison list (each line exactly one
 /// `err …` reply), then a valid solve answers `ok … degraded=0`, then
 /// `stats` shows the full pool alive with zero deaths.
