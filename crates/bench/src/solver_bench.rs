@@ -919,7 +919,10 @@ pub fn validate(text: &str) -> Result<(), String> {
         time(&["distribution_ref", field])?;
     }
     for flag in ["identical_cost", "pruned_cost_parity"] {
-        match doc.path(&["distribution_ref", flag]).and_then(Json::as_bool) {
+        match doc
+            .path(&["distribution_ref", flag])
+            .and_then(Json::as_bool)
+        {
             Some(true) => {}
             Some(false) => {
                 return Err(format!(
@@ -1110,7 +1113,10 @@ mod tests {
         let has_degenerate = doc.path(&["total", "parallel_arm"]).is_some();
         assert!(has_speedup != has_degenerate, "{text}");
         if report.available_parallelism <= 1 {
-            assert!(has_degenerate, "single-core host must annotate, not claim ~1.0x");
+            assert!(
+                has_degenerate,
+                "single-core host must annotate, not claim ~1.0x"
+            );
         }
     }
 

@@ -22,6 +22,7 @@ usage:
   hgp info --graph FILE.metis
   hgp serve [--addr HOST:PORT] [--workers N] [--queue N] [--threads N]
             [--cache-capacity N] [--max-sessions N] [--no-prune]
+            [--legacy-threads]
   hgp client --addr HOST:PORT [--seed S] [--solves N] [--topologies N]
              [--incr-ops N] [--deadline-frac F] [--machine SHAPE[:CMS]]
 
@@ -44,9 +45,11 @@ options for `partition`:
 thread demand is workers x threads).
 
 `serve` runs the placement daemon (newline-delimited text protocol; see
-DESIGN.md) until a client sends `shutdown`. `client` plays a deterministic
-closed-loop request script against a running server and summarises the
-replies.
+DESIGN.md) until a client sends `shutdown`. Connections are multiplexed
+by an event loop by default; `--legacy-threads` restores the old
+thread-per-connection front end (same wire protocol, lower connection
+capacity). `client` plays a deterministic closed-loop request script
+against a running server and summarises the replies.
 
 machine SHAPE examples: 16 | 2x8 | 4x8x2:8,2,1,0";
 
@@ -97,6 +100,8 @@ pub enum Cli {
         max_sessions: usize,
         /// Dominance pruning for every daemon solve (on unless `--no-prune`).
         prune: bool,
+        /// Thread-per-connection front end instead of the event loop.
+        legacy_threads: bool,
     },
     /// `hgp client …`
     Client {
@@ -132,6 +137,7 @@ impl Cli {
         let mut do_refine = false;
         let mut multilevel = false;
         let mut prune = true;
+        let mut legacy_threads = false;
         let mut addr = None;
         let mut workers = 4usize;
         let mut queue = 64usize;
@@ -161,6 +167,7 @@ impl Cli {
                 "--refine" => do_refine = true,
                 "--multilevel" => multilevel = true,
                 "--no-prune" => prune = false,
+                "--legacy-threads" => legacy_threads = true,
                 "--addr" => addr = Some(value("--addr")?),
                 "--workers" => workers = num("--workers", value("--workers")?)?,
                 "--queue" => queue = num("--queue", value("--queue")?)?,
@@ -201,6 +208,7 @@ impl Cli {
                 cache_capacity,
                 max_sessions: max_sessions.max(1),
                 prune,
+                legacy_threads,
             }),
             "client" => Ok(Cli::Client {
                 addr: addr.ok_or("--addr is required for client")?,
@@ -342,6 +350,7 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
             cache_capacity,
             max_sessions,
             prune,
+            legacy_threads,
         } => {
             let mut server = Server::start(
                 ServerConfig::builder()
@@ -352,6 +361,7 @@ pub fn run(cli: &Cli, out: &mut impl Write) -> Result<(), String> {
                     .cache_capacity(*cache_capacity)
                     .max_sessions(*max_sessions)
                     .dp(DpOptions::builder().dominance_prune(*prune).build())
+                    .legacy_threads(*legacy_threads)
                     .build(),
             )
             .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -513,8 +523,18 @@ mod tests {
                 cache_capacity: 32,
                 max_sessions: 256,
                 prune: true,
+                legacy_threads: false,
             }
         );
+        // the legacy front end stays selectable
+        let cli = Cli::parse(&argv("serve --legacy-threads")).unwrap();
+        assert!(matches!(
+            cli,
+            Cli::Serve {
+                legacy_threads: true,
+                ..
+            }
+        ));
         let cli = Cli::parse(&argv(
             "client --addr 127.0.0.1:7311 --seed 5 --solves 6 --topologies 2",
         ))

@@ -17,9 +17,7 @@
 use crate::relaxed::DpOptions;
 use crate::tree_solver::{solve_rooted_traced, SolveError, TreeSolveReport};
 use crate::{Assignment, Instance, Rounding, ViolationReport};
-use hgp_decomp::{
-    par_map_indexed, racke_distribution_warm, DecompOpts, Distribution, Parallelism,
-};
+use hgp_decomp::{par_map_indexed, racke_distribution_warm, DecompOpts, Distribution, Parallelism};
 use hgp_hierarchy::Hierarchy;
 use hgp_obs::{SolveTrace, StageNanos, TraceSink};
 use rand::rngs::StdRng;

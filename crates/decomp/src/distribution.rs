@@ -227,7 +227,16 @@ pub fn racke_distribution_warm<R: Rng + ?Sized>(
             } else {
                 None
             };
-            let dt = build_tree_with_hint(g, scaled, node_w, opts, &mut tree_rng, scratch, hint, root_out);
+            let dt = build_tree_with_hint(
+                g,
+                scaled,
+                node_w,
+                opts,
+                &mut tree_rng,
+                scratch,
+                hint,
+                root_out,
+            );
             let congestion = hop_congestion(&dt, g);
             (dt, root, congestion)
         });
@@ -451,7 +460,10 @@ mod tests {
             assert_eq!(x.tree.num_nodes(), y.tree.num_nodes());
             for v in 0..x.tree.num_nodes() {
                 assert_eq!(x.tree.children(v), y.tree.children(v));
-                assert_eq!(x.tree.edge_weight(v).to_bits(), y.tree.edge_weight(v).to_bits());
+                assert_eq!(
+                    x.tree.edge_weight(v).to_bits(),
+                    y.tree.edge_weight(v).to_bits()
+                );
             }
         }
     }
@@ -613,14 +625,8 @@ mod tests {
                     racke_distribution_ref(&g, &w, 6, &opts, Parallelism::serial(), &mut r_ref);
                 for width in [1usize, 2, 3] {
                     let mut r = StdRng::seed_from_u64(seed);
-                    let got = racke_distribution_par(
-                        &g,
-                        &w,
-                        6,
-                        &opts,
-                        Parallelism::Fixed(width),
-                        &mut r,
-                    );
+                    let got =
+                        racke_distribution_par(&g, &w, 6, &opts, Parallelism::Fixed(width), &mut r);
                     assert_distributions_bit_identical(&got, &want);
                     // and the caller-visible RNG must be in the same state
                     assert_eq!(r.gen::<u64>(), {
@@ -668,8 +674,7 @@ mod tests {
         assert!((d.lambdas.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(d.lambdas.iter().all(|&l| l > 0.0));
         // no kept tree's stats may be strictly dominated by another kept one
-        let stats: Vec<CongestionStats> =
-            d.trees.iter().map(|t| hop_congestion(t, &g).1).collect();
+        let stats: Vec<CongestionStats> = d.trees.iter().map(|t| hop_congestion(t, &g).1).collect();
         for i in 0..stats.len() {
             for j in 0..stats.len() {
                 if i != j {
@@ -734,13 +739,11 @@ mod tests {
         // the result differs from the cold run with the same RNG seed
         let mut r = StdRng::seed_from_u64(9);
         let cold = racke_distribution(&g, &w, 4, &DecompOpts::default(), &mut r);
-        let same = serial
-            .trees
-            .iter()
-            .zip(&cold.trees)
-            .all(|(a, b)| a.task_of_leaf == b.task_of_leaf
+        let same = serial.trees.iter().zip(&cold.trees).all(|(a, b)| {
+            a.task_of_leaf == b.task_of_leaf
                 && (0..a.tree.num_nodes().min(b.tree.num_nodes()))
-                    .all(|v| a.tree.children(v) == b.tree.children(v)));
+                    .all(|v| a.tree.children(v) == b.tree.children(v))
+        });
         assert!(!same, "warm start had no effect on sampling");
     }
 

@@ -281,8 +281,7 @@ mod tests {
         };
         for width in [1usize, 2, 4, 7] {
             let mut scratches: Vec<Vec<u64>> = (0..width).map(|_| Vec::new()).collect();
-            let got =
-                par_map_indexed_scratch(Parallelism::Fixed(width), 50, &mut scratches, f);
+            let got = par_map_indexed_scratch(Parallelism::Fixed(width), 50, &mut scratches, f);
             assert_eq!(got, want, "width {width}");
         }
     }

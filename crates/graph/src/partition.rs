@@ -1059,8 +1059,7 @@ pub fn multilevel_bisection_with<R: Rng + ?Sized>(
         let (target0, cap0, cap1) = caps[d];
         if d == 0 {
             initial_bisection_into(
-                g, node_w, target0, cap0, cap1, opts, rng, fm, grow, cand_side, best_side,
-                out_side,
+                g, node_w, target0, cap0, cap1, opts, rng, fm, grow, cand_side, best_side, out_side,
             );
         } else {
             let LevelScratch {
@@ -1329,10 +1328,17 @@ mod tests {
                     let mut r1 = StdRng::seed_from_u64(1000 + seed);
                     let mut r2 = StdRng::seed_from_u64(1000 + seed);
                     let want = multilevel_bisection(g, &w, opts, &mut r1);
-                    let got = multilevel_bisection_with(g, &w, opts, &mut r2, &mut scratch, &mut side);
+                    let got =
+                        multilevel_bisection_with(g, &w, opts, &mut r2, &mut scratch, &mut side);
                     let ctx = format!("seed={seed} n={n} opts#{oi}");
                     assert_eq!(side, want.side, "{ctx}");
-                    assert_eq!(got.cut.to_bits(), want.cut.to_bits(), "{ctx} got={} want={}", got.cut, want.cut);
+                    assert_eq!(
+                        got.cut.to_bits(),
+                        want.cut.to_bits(),
+                        "{ctx} got={} want={}",
+                        got.cut,
+                        want.cut
+                    );
                     assert_eq!(got.weight0.to_bits(), want.weight0.to_bits(), "{ctx}");
                     assert_eq!(got.weight1.to_bits(), want.weight1.to_bits(), "{ctx}");
                     // both paths must have consumed the same RNG stream

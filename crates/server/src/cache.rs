@@ -148,6 +148,24 @@ impl DecompCache {
         }
     }
 
+    /// Like [`DecompCache::get`] but without touching the hit/miss
+    /// counters: used for internal re-checks (a single-flight leader
+    /// confirming nobody published while it raced for leadership) that
+    /// are not client lookups and must not skew the request-facing stats.
+    pub fn peek(&self, key: u64) -> Option<Arc<Distribution>> {
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&key) {
+            let stamp = inner.touch(key);
+            let e = inner.map.get_mut(&key).expect("checked contains_key");
+            e.stamp = stamp;
+            let dist = Arc::clone(&e.dist);
+            inner.maybe_compact();
+            Some(dist)
+        } else {
+            None
+        }
+    }
+
     /// Looks up the most recently used distribution for a topologically
     /// identical graph (`topo` is the weight-insensitive
     /// `topology_fingerprint`), without refreshing its exact-key recency —
@@ -313,7 +331,10 @@ mod tests {
         // racing duplicate: the incumbent value survives...
         c.insert(1, 7, Arc::clone(&second));
         let got = c.get(1).unwrap();
-        assert!(Arc::ptr_eq(&got, &first), "incumbent must win duplicate race");
+        assert!(
+            Arc::ptr_eq(&got, &first),
+            "incumbent must win duplicate race"
+        );
         // ...and key 1 was refreshed twice, so 2 is the LRU entry
         c.insert(3, 9, second);
         assert_eq!(c.len(), 2);

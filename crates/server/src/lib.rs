@@ -19,23 +19,37 @@
 //!   sessions for task churn, with wire-safe validation;
 //! * [`metrics`] — typed `hgp-obs` counters, gauges and histograms in a
 //!   registry behind `stats` (legacy names) and `stats2` (versioned);
-//! * [`server`] — the std-only TCP front end tying it together.
+//! * [`flight`] — single-flight coalescing: concurrent solves sharing a
+//!   distribution fingerprint join one in-flight build (leader builds,
+//!   followers park and reuse, replies tagged `cache=shared`);
+//! * [`netpoll`] — a vendored-style shim over POSIX `poll(2)`/`pipe(2)`
+//!   (the workspace is crates.io-free) powering the event loop;
+//! * [`server`] — the std-only TCP front ends tying it together: an
+//!   event-driven readiness loop multiplexing thousands of non-blocking
+//!   connections on one thread (default on unix), with the legacy
+//!   thread-per-connection mode behind `ServerConfig::legacy_threads`.
 //!
 //! Everything is deterministic given request seeds: two identical `solve`
-//! lines return identical costs, whether or not the cache was hit.
+//! lines return identical costs, whether the distribution was built
+//! fresh, served from cache, or shared from a coalesced in-flight build.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+#[cfg(unix)]
+mod event;
+pub mod flight;
 pub mod metrics;
+pub mod netpoll;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
 pub use cache::DecompCache;
+pub use flight::{FlightError, FlightGroup, FollowerOutcome, Ticket};
 pub use metrics::Metrics;
-pub use pool::{SolveJob, SolverPool};
+pub use pool::{channel_reply, ReplySink, SolveJob, SolverPool};
 pub use protocol::{ErrCode, GraphSpec, IncrOp, Request, SolveSpec, WireError};
 pub use server::{Server, ServerConfig, ServerConfigBuilder};
 pub use session::SessionTable;

@@ -61,6 +61,24 @@ pub struct Metrics {
     /// `stats` reply predates the tier and stays byte-compatible.
     /// Wire: `cache.near-hits`.
     cache_near_hits: Arc<Gauge>,
+    /// Distribution builds actually executed (cold or warm). Unlike
+    /// `cache.misses` — which counts *lookups* that missed — this counts
+    /// the expensive `build_distribution` calls themselves, so
+    /// `misses − builds` is the work single-flight coalescing saved.
+    /// `stats2`-only. Wire: `cache.builds`.
+    pub cache_builds: Arc<Counter>,
+    /// Solves that joined an in-flight build as a follower and reused the
+    /// leader's distribution (reply tagged `cache=shared`). `stats2`-only.
+    /// Wire: `cache.coalesced`.
+    pub cache_coalesced: Arc<Counter>,
+    /// Cumulative microseconds workers spent executing solves (not
+    /// idle-waiting on the queue). Worker utilization over a window is
+    /// `Δbusy-us / (workers × Δwall-us)`. `stats2`-only.
+    /// Wire: `pool.busy-us`.
+    pub pool_busy_us: Arc<Counter>,
+    /// Client connections currently open (either front end).
+    /// `stats2`-only. Wire: `conns.open`.
+    pub conns_open: Arc<Gauge>,
     /// End-to-end solve latency (enqueue to reply), successful solves
     /// only, in microseconds. Wire: `solve.latency-us`.
     pub solve_latency: Arc<Histogram>,
@@ -94,6 +112,10 @@ impl Metrics {
         let cache_hits = registry.gauge("cache.hits");
         let cache_misses = registry.gauge("cache.misses");
         let cache_near_hits = registry.gauge("cache.near-hits");
+        let cache_builds = registry.counter("cache.builds");
+        let cache_coalesced = registry.counter("cache.coalesced");
+        let pool_busy_us = registry.counter("pool.busy-us");
+        let conns_open = registry.gauge("conns.open");
         let solve_latency = registry.histogram("solve.latency-us");
         let queue_wait = registry.histogram("queue.wait-us");
         Self {
@@ -112,6 +134,10 @@ impl Metrics {
             cache_hits,
             cache_misses,
             cache_near_hits,
+            cache_builds,
+            cache_coalesced,
+            pool_busy_us,
+            conns_open,
             solve_latency,
             queue_wait,
         }
@@ -220,6 +246,10 @@ mod tests {
         m.solve_latency
             .record_duration_us(Duration::from_micros(100));
         m.queue_wait.record_duration_us(Duration::from_micros(7));
+        m.cache_builds.inc();
+        m.cache_coalesced.inc();
+        m.pool_busy_us.add(250);
+        m.conns_open.set(12);
         let line = m.stats2_line(5, 2, 3);
         assert!(line.starts_with("version=2 req.lines=1"), "{line}");
         for tok in [
@@ -227,12 +257,31 @@ mod tests {
             "cache.hits=5",
             "cache.misses=2",
             "cache.near-hits=3",
+            "cache.builds=1",
+            "cache.coalesced=1",
+            "pool.busy-us=250",
+            "conns.open=12",
             "solve.latency-us-p50=128",
             "solve.latency-us-count=1",
             "queue.wait-us-p50=8",
             "queue.wait-us-count=1",
         ] {
             assert!(line.contains(tok), "missing {tok}: {line}");
+        }
+    }
+
+    #[test]
+    fn legacy_stats_omits_post_v1_keys() {
+        // the frozen v1 reply must not grow tokens for metrics added after
+        // the freeze (near tier, coalescing, utilization, connections)
+        let m = Metrics::new();
+        m.cache_builds.inc();
+        m.cache_coalesced.inc();
+        m.pool_busy_us.add(9);
+        m.conns_open.set(3);
+        let line = m.stats_line(0, 0);
+        for tok in ["near", "coalesced", "busy", "conns"] {
+            assert!(!line.contains(tok), "v1 stats must stay frozen: {line}");
         }
     }
 

@@ -27,8 +27,24 @@
 //! worker handles and respawns any thread that died anyway — a bug that
 //! slips past the isolation boundary costs one request, never a pool slot.
 //! `workers-alive` / `worker-deaths` in `stats` expose both layers.
+//!
+//! # Single-flight coalescing
+//!
+//! Cold-start distribution builds are deduplicated through a
+//! [`FlightGroup`] keyed by `distribution_fingerprint`: when N concurrent
+//! solves share a fingerprint, one worker (the leader) runs
+//! `build_distribution` while the rest park as followers and reuse the
+//! leader's `Arc<Distribution>` (reply `cache=shared`, counted in
+//! `cache.coalesced`). Because the fingerprint covers every input of the
+//! cold build, the shared distribution is bit-identical to what each
+//! follower would have built — determinism is preserved. Warm-started
+//! `near=1` builds depend on cache state and never enter a flight. A
+//! leader that panics unparks its followers with `err internal` via the
+//! flight's poison-on-drop guard; a follower whose deadline expires while
+//! parked degrades to the baseline path like any other blown deadline.
 
 use crate::cache::DecompCache;
+use crate::flight::{FlightError, FlightGroup, FollowerOutcome, Ticket};
 use crate::metrics::Metrics;
 use crate::protocol::{ErrCode, SolveSpec, WireError};
 use hgp_baselines::kway::{kway_partition, KwayOpts};
@@ -39,7 +55,7 @@ use hgp_core::tree_solver::solve_rooted_with;
 use hgp_core::{
     Assignment, DpOptions, HgpError, MultilevelOptions, Parallelism, Solve, SolveTrace,
 };
-use hgp_decomp::par_map_indexed;
+use hgp_decomp::{par_map_indexed, Distribution};
 use hgp_multilevel::solve_multilevel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,6 +69,24 @@ use std::time::{Duration, Instant};
 /// How often the supervisor checks for dead workers.
 const SUPERVISE_EVERY: Duration = Duration::from_millis(20);
 
+/// Where a finished reply line goes. Both front ends speak through this:
+/// the legacy threaded front end captures an `mpsc::Sender` (see
+/// [`channel_reply`]), the event loop captures a completion-queue push
+/// plus a [`crate::netpoll::WakePipe`] wake. If the pool shuts down with
+/// the job still queued, the sink is dropped uncalled — for the channel
+/// sink that disconnects the receiver, which the connection surfaces as
+/// `shutting-down`.
+pub type ReplySink = Box<dyn FnOnce(String) + Send>;
+
+/// A [`ReplySink`] that sends the reply into an mpsc channel (the legacy
+/// thread-per-connection front end, and most tests).
+pub fn channel_reply(tx: mpsc::Sender<String>) -> ReplySink {
+    Box::new(move |line| {
+        // receiver gone = client hung up; nothing to do
+        let _ = tx.send(line);
+    })
+}
+
 /// One queued solve.
 pub struct SolveJob {
     /// The parsed request.
@@ -62,7 +96,7 @@ pub struct SolveJob {
     /// Absolute deadline derived from `deadline-ms`, if any.
     pub deadline: Option<Instant>,
     /// Where the reply line goes.
-    pub reply: mpsc::Sender<String>,
+    pub reply: ReplySink,
     /// Test hook: panic *outside* the isolation boundary, killing the
     /// worker thread outright. Not reachable from the wire — exists so
     /// tests can exercise the supervisor's respawn path.
@@ -71,6 +105,40 @@ pub struct SolveJob {
     /// would. Not reachable from the wire — exercises the `err internal`
     /// catch_unwind path.
     pub panic_solve: bool,
+    /// Test hook: panic inside the distribution build *after* winning
+    /// single-flight leadership. Not reachable from the wire — exercises
+    /// the leader-panic path (followers must be unparked with
+    /// `err internal`, never left hanging).
+    pub panic_in_build: bool,
+}
+
+impl SolveJob {
+    /// A job with no test hooks, replying into `reply`.
+    pub fn new(
+        spec: SolveSpec,
+        enqueued: Instant,
+        deadline: Option<Instant>,
+        reply: ReplySink,
+    ) -> Self {
+        Self {
+            spec,
+            enqueued,
+            deadline,
+            reply,
+            crash_worker: false,
+            panic_solve: false,
+            panic_in_build: false,
+        }
+    }
+}
+
+/// The per-request facts a worker needs while solving (everything on
+/// [`SolveJob`] except the reply sink, which is consumed separately).
+struct JobView<'a> {
+    spec: &'a SolveSpec,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    panic_in_build: bool,
 }
 
 /// Everything a worker thread needs; cloneable so the supervisor can
@@ -86,6 +154,9 @@ struct WorkerCtx {
     parallelism: Parallelism,
     /// Signature-DP engine options applied to every solve.
     dp: DpOptions,
+    /// In-flight cold distribution builds, shared across workers so
+    /// concurrent same-fingerprint solves coalesce onto one build.
+    flights: Arc<FlightGroup<Arc<Distribution>>>,
 }
 
 fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
@@ -102,13 +173,29 @@ fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
                         // deliberately outside catch_unwind (see SolveJob)
                         panic!("crash-worker test hook");
                     }
+                    let SolveJob {
+                        spec,
+                        enqueued,
+                        deadline,
+                        reply,
+                        panic_solve,
+                        panic_in_build,
+                        crash_worker: _,
+                    } = job;
+                    let view = JobView {
+                        spec: &spec,
+                        enqueued,
+                        deadline,
+                        panic_in_build,
+                    };
+                    let busy_start = Instant::now();
                     // isolation boundary: a panicking solve costs this
                     // request, not the worker thread
                     let line = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        if job.panic_solve {
+                        if panic_solve {
                             panic!("panic-solve test hook");
                         }
-                        run_solve(&job, &ctx.cache, &ctx.metrics, ctx.parallelism, ctx.dp)
+                        run_solve(&view, &ctx)
                     }))
                     .unwrap_or_else(|payload| {
                         ctx.metrics.solve_panics.inc();
@@ -116,8 +203,12 @@ fn spawn_worker(id: usize, ctx: WorkerCtx) -> JoinHandle<()> {
                         let e = HgpError::from_panic(payload);
                         WireError::new(ErrCode::Internal, e.to_string()).to_line()
                     });
-                    // receiver gone = client hung up; nothing to do
-                    let _ = job.reply.send(line);
+                    // busy time feeds the utilization metric: executing,
+                    // not idle-waiting on the queue
+                    ctx.metrics
+                        .pool_busy_us
+                        .add(busy_start.elapsed().as_micros() as u64);
+                    reply(line);
                 }
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -156,6 +247,7 @@ impl SolverPool {
             stop: Arc::new(AtomicBool::new(false)),
             parallelism,
             dp,
+            flights: Arc::new(FlightGroup::new()),
         };
         let count = workers.max(1);
         let workers: Vec<JoinHandle<()>> =
@@ -259,40 +351,99 @@ fn expired(deadline: Option<Instant>) -> bool {
 type TreeFacts = (u64, u64, u64, u64);
 
 /// Executes one solve end to end and formats the reply line.
-fn run_solve(
-    job: &SolveJob,
-    cache: &DecompCache,
-    metrics: &Metrics,
-    par: Parallelism,
-    dp: DpOptions,
-) -> String {
+fn run_solve(job: &JobView<'_>, ctx: &WorkerCtx) -> String {
     // queue wait = accept to dequeue, recorded for every job (even ones
     // that go on to fail) — it measures the queue, not the solve
     let queue_wait = job.enqueued.elapsed();
-    metrics.queue_wait.record_duration_us(queue_wait);
-    match solve_inner(job, cache, metrics, par, dp, queue_wait) {
+    ctx.metrics.queue_wait.record_duration_us(queue_wait);
+    match solve_inner(job, ctx, queue_wait) {
         Ok(line) => line,
         Err(e) => {
             match e.code {
                 ErrCode::BadRequest | ErrCode::GraphTooLarge | ErrCode::MachineTooLarge => {
-                    metrics.bad_requests.inc()
+                    ctx.metrics.bad_requests.inc()
                 }
-                _ => metrics.solve_err.inc(),
+                _ => ctx.metrics.solve_err.inc(),
             }
             e.to_line()
         }
     }
 }
 
+/// Obtains the (possibly cached, possibly coalesced) Räcke distribution
+/// for a cold request. `Ok(None)` means the caller's deadline expired
+/// while parked as a follower — degrade to baseline, don't error.
+fn cold_distribution(
+    job: &JobView<'_>,
+    ctx: &WorkerCtx,
+    inst: &hgp_core::Instance,
+    opts: &SolverOptions,
+    key: u64,
+    topo: u64,
+    cache_status: &mut &'static str,
+) -> Result<Option<Arc<Distribution>>, WireError> {
+    match ctx.flights.join(key) {
+        Ticket::Leader(guard) => {
+            if job.panic_in_build {
+                // test hook: hold leadership long enough for racing
+                // followers to park, then unwind with the guard
+                // unpublished so its Drop poisons the flight
+                std::thread::sleep(Duration::from_millis(60));
+                panic!("panic-in-build test hook");
+            }
+            // double-check (uncounted — not a client lookup): a previous
+            // leader may have published and retired its flight between
+            // our cache miss and our join
+            if let Some(d) = ctx.cache.peek(key) {
+                *cache_status = "hit";
+                guard.publish(Ok(Arc::clone(&d)));
+                return Ok(Some(d));
+            }
+            *cache_status = "miss";
+            ctx.metrics.cache_builds.inc();
+            match Solve::new(inst, &job.spec.machine)
+                .options(*opts)
+                .distribution()
+            {
+                Ok(built) => {
+                    let d = Arc::new(built);
+                    ctx.cache.insert(key, topo, Arc::clone(&d));
+                    guard.publish(Ok(Arc::clone(&d)));
+                    Ok(Some(d))
+                }
+                Err(e) => {
+                    let msg = format!("decomposition failed: {e}");
+                    guard.publish(Err(msg.clone()));
+                    Err(WireError::new(ErrCode::SolveFailed, msg))
+                }
+            }
+        }
+        Ticket::Follower(f) => match f.wait(job.deadline) {
+            FollowerOutcome::Ready(d) => {
+                *cache_status = "shared";
+                ctx.metrics.cache_coalesced.inc();
+                Ok(Some(d))
+            }
+            FollowerOutcome::Err(FlightError::Failed(msg)) => {
+                // the build itself failed; every follower replies exactly
+                // as the leader did
+                Err(WireError::new(ErrCode::SolveFailed, msg))
+            }
+            FollowerOutcome::Err(FlightError::LeaderPanicked) => Err(WireError::new(
+                ErrCode::Internal,
+                "distribution build panicked in the coalesced leader",
+            )),
+            FollowerOutcome::DeadlineExpired => Ok(None),
+        },
+    }
+}
+
 fn solve_inner(
-    job: &SolveJob,
-    cache: &DecompCache,
-    metrics: &Metrics,
-    par: Parallelism,
-    dp: DpOptions,
+    job: &JobView<'_>,
+    ctx: &WorkerCtx,
     queue_wait: Duration,
 ) -> Result<String, WireError> {
-    let spec = &job.spec;
+    let spec = job.spec;
     let inst = spec.instance()?;
     let h = &spec.machine;
     inst.check_feasible(h)
@@ -300,9 +451,9 @@ fn solve_inner(
     let opts = SolverOptions::builder()
         .trees(spec.trees)
         .units(spec.units)
-        .threads(par)
+        .threads(ctx.parallelism)
         .seed(spec.seed)
-        .dp(dp)
+        .dp(ctx.dp)
         .trace(spec.trace)
         .multilevel(MultilevelOptions {
             enabled: spec.multilevel,
@@ -310,10 +461,10 @@ fn solve_inner(
         })
         .build();
     if spec.multilevel {
-        return run_multilevel(job, &inst, metrics, &opts, queue_wait);
+        return run_multilevel(job, &inst, &ctx.metrics, &opts, queue_wait);
     }
 
-    let mut cache_status = "skip";
+    let mut cache_status: &'static str = "skip";
     let mut solved = 0usize;
     let mut best: Option<(usize, Assignment, f64)> = None;
     let mut mode = Mode::Baseline;
@@ -331,85 +482,97 @@ fn solve_inner(
         let key = distribution_fingerprint(&inst, &opts);
         let topo = topology_fingerprint(inst.graph());
         let dist_start = Instant::now();
-        let dist = match cache.get(key) {
+        let dist = match ctx.cache.get(key) {
             Some(d) => {
                 cache_status = "hit";
-                d
+                Some(d)
             }
             None => {
                 // similarity tier (opt-in): a cached distribution for a
                 // topologically identical graph warm-starts the MWU
                 // sampling. The result depends on cache state, so it is
                 // NOT inserted — the exact key must keep meaning "the
-                // cold-start build for these inputs" for near=0 requests.
-                let warm = if spec.near { cache.get_near(topo) } else { None };
-                let request = Solve::new(&inst, h).options(opts);
-                let built = match &warm {
+                // cold-start build for these inputs" for near=0 requests
+                // — and never coalesced: followers may only share a value
+                // that is a pure function of the fingerprint.
+                let warm = if spec.near {
+                    ctx.cache.get_near(topo)
+                } else {
+                    None
+                };
+                match warm {
                     Some(w) => {
                         cache_status = "near";
-                        request.distribution_warm(w)
+                        ctx.metrics.cache_builds.inc();
+                        let built = Solve::new(&inst, h)
+                            .options(opts)
+                            .distribution_warm(&w)
+                            .map_err(|e| {
+                                WireError::new(
+                                    ErrCode::SolveFailed,
+                                    format!("decomposition failed: {e}"),
+                                )
+                            })?;
+                        Some(Arc::new(built))
                     }
                     None => {
-                        cache_status = "miss";
-                        request.distribution()
+                        // cold build: single-flight so concurrent
+                        // same-fingerprint requests share one build
+                        cold_distribution(job, ctx, &inst, &opts, key, topo, &mut cache_status)?
                     }
                 }
-                .map_err(|e| {
-                    WireError::new(ErrCode::SolveFailed, format!("decomposition failed: {e}"))
-                })?;
-                let d = Arc::new(built);
-                if warm.is_none() {
-                    cache.insert(key, topo, Arc::clone(&d));
-                }
-                d
             }
         };
         dist_nanos = dist_start.elapsed().as_nanos() as u64;
-        let total = dist.trees.len();
-        trees_total = total as u64;
-        // batch-wise fan-out: one worker-width of trees per batch, the
-        // soft deadline re-checked between batches. Serial parallelism
-        // degenerates to batches of one — the pre-parallel behaviour.
-        let sweep_start = Instant::now();
-        while solved < total && !expired(job.deadline) {
-            let end = (solved + opts.parallelism.workers(total - solved)).min(total);
-            let outcomes = par_map_indexed(opts.parallelism, end - solved, |k| {
-                let dt = &dist.trees[solved + k];
-                solve_rooted_with(&dt.tree, &dt.task_of_leaf, &inst, h, opts.rounding, opts.dp)
-                    .ok()
-                    .map(|rep| {
-                        // map back to G and score by true Equation-1 cost
-                        let cost = rep.assignment.cost(&inst, h);
-                        let facts: TreeFacts = (
-                            rep.dp_nanos,
-                            rep.repair_nanos,
-                            rep.dp_entries as u64,
-                            rep.dp_pruned as u64,
-                        );
-                        (rep.assignment, cost, facts)
-                    })
-            });
-            // deterministic reduction: tree order, strict improvement only
-            for (k, outcome) in outcomes.into_iter().enumerate() {
-                if let Some((assignment, cost, facts)) = outcome {
-                    trees_ok += 1;
-                    dp_cpu += facts.0;
-                    repair_cpu += facts.1;
-                    dp_entries += facts.2;
-                    dp_pruned += facts.3;
-                    if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
-                        best = Some((solved + k, assignment, cost));
+        if let Some(dist) = dist {
+            let total = dist.trees.len();
+            trees_total = total as u64;
+            // batch-wise fan-out: one worker-width of trees per batch, the
+            // soft deadline re-checked between batches. Serial parallelism
+            // degenerates to batches of one — the pre-parallel behaviour.
+            let sweep_start = Instant::now();
+            while solved < total && !expired(job.deadline) {
+                let end = (solved + opts.parallelism.workers(total - solved)).min(total);
+                let outcomes = par_map_indexed(opts.parallelism, end - solved, |k| {
+                    let dt = &dist.trees[solved + k];
+                    solve_rooted_with(&dt.tree, &dt.task_of_leaf, &inst, h, opts.rounding, opts.dp)
+                        .ok()
+                        .map(|rep| {
+                            // map back to G and score by true Equation-1 cost
+                            let cost = rep.assignment.cost(&inst, h);
+                            let facts: TreeFacts = (
+                                rep.dp_nanos,
+                                rep.repair_nanos,
+                                rep.dp_entries as u64,
+                                rep.dp_pruned as u64,
+                            );
+                            (rep.assignment, cost, facts)
+                        })
+                });
+                // deterministic reduction: tree order, strict improvement only
+                for (k, outcome) in outcomes.into_iter().enumerate() {
+                    if let Some((assignment, cost, facts)) = outcome {
+                        trees_ok += 1;
+                        dp_cpu += facts.0;
+                        repair_cpu += facts.1;
+                        dp_entries += facts.2;
+                        dp_pruned += facts.3;
+                        if best.as_ref().is_none_or(|(_, _, c)| cost < *c) {
+                            best = Some((solved + k, assignment, cost));
+                        }
                     }
                 }
+                solved = end;
             }
-            solved = end;
+            sweep_nanos = sweep_start.elapsed().as_nanos() as u64;
+            mode = if solved == total {
+                Mode::Full
+            } else {
+                Mode::Partial
+            };
         }
-        sweep_nanos = sweep_start.elapsed().as_nanos() as u64;
-        mode = if solved == total {
-            Mode::Full
-        } else {
-            Mode::Partial
-        };
+        // dist == None: the deadline expired while parked behind the
+        // flight leader — fall through to the baseline path below
     }
 
     let (mut assignment, mut detail) = match best {
@@ -439,12 +602,12 @@ fn solve_inner(
     let worst = assignment.violation_report(&inst, h).worst_factor();
     let degraded = mode != Mode::Full;
     if degraded {
-        metrics.solve_degraded.inc();
+        ctx.metrics.solve_degraded.inc();
     } else {
-        metrics.solve_ok.inc();
+        ctx.metrics.solve_ok.inc();
     }
     let elapsed = job.enqueued.elapsed();
-    metrics.solve_latency.record_duration_us(elapsed);
+    ctx.metrics.solve_latency.record_duration_us(elapsed);
 
     detail = format!(
         "cost={} degraded={} mode={} {} cache={} worst-factor={} elapsed-us={}",
@@ -483,13 +646,13 @@ fn solve_inner(
 /// the V-cycle is a single bounded pass sized to finish even at large
 /// `n`. The reply mirrors the flat path's token set plus `ml-*` facts.
 fn run_multilevel(
-    job: &SolveJob,
+    job: &JobView<'_>,
     inst: &hgp_core::Instance,
     metrics: &Metrics,
     opts: &SolverOptions,
     queue_wait: Duration,
 ) -> Result<String, WireError> {
-    let spec = &job.spec;
+    let spec = job.spec;
     let h = &spec.machine;
     let rep = solve_multilevel(inst, h, opts).map_err(|e| {
         WireError::new(
@@ -564,14 +727,12 @@ mod tests {
     fn run(pool: &SolverPool, spec: SolveSpec, deadline: Option<Duration>) -> String {
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
-        pool.submit(SolveJob {
+        pool.submit(SolveJob::new(
             spec,
-            enqueued: now,
-            deadline: deadline.map(|d| now + d),
-            reply: tx,
-            crash_worker: false,
-            panic_solve: false,
-        })
+            now,
+            deadline.map(|d| now + d),
+            channel_reply(tx),
+        ))
         .unwrap();
         rx.recv_timeout(Duration::from_secs(60)).unwrap()
     }
@@ -690,14 +851,7 @@ mod tests {
         let now = Instant::now();
         let mut rejected = 0;
         for _ in 0..16 {
-            let job = SolveJob {
-                spec: solve_spec(LINE),
-                enqueued: now,
-                deadline: None,
-                reply: tx.clone(),
-                crash_worker: false,
-                panic_solve: false,
-            };
+            let job = SolveJob::new(solve_spec(LINE), now, None, channel_reply(tx.clone()));
             if let Err(e) = pool.submit(job) {
                 assert_eq!(e.code, ErrCode::Overloaded);
                 rejected += 1;
@@ -750,12 +904,8 @@ mod tests {
         // kill one worker outright (bypasses the isolation boundary)
         let (tx, rx) = mpsc::channel();
         pool.submit(SolveJob {
-            spec: solve_spec(LINE),
-            enqueued: Instant::now(),
-            deadline: None,
-            reply: tx,
             crash_worker: true,
-            panic_solve: false,
+            ..SolveJob::new(solve_spec(LINE), Instant::now(), None, channel_reply(tx))
         })
         .unwrap();
         // the dying worker never replies; its channel just disconnects
@@ -794,12 +944,8 @@ mod tests {
         // a panic inside the boundary answers `err internal` ...
         let (tx, rx) = mpsc::channel();
         pool.submit(SolveJob {
-            spec: solve_spec(LINE),
-            enqueued: Instant::now(),
-            deadline: None,
-            reply: tx,
-            crash_worker: false,
             panic_solve: true,
+            ..SolveJob::new(solve_spec(LINE), Instant::now(), None, channel_reply(tx))
         })
         .unwrap();
         let reply = rx.recv_timeout(Duration::from_secs(30)).unwrap();
@@ -811,5 +957,134 @@ mod tests {
         let reply = run(&pool, solve_spec(LINE), None);
         assert!(reply.starts_with("ok "), "{reply}");
         assert_eq!(metrics.worker_deaths.get(), 0);
+    }
+
+    #[test]
+    fn racing_cold_fingerprints_coalesce_onto_one_build() {
+        const CLIENTS: usize = 9;
+        let cache = Arc::new(DecompCache::new(8));
+        let metrics = Arc::new(Metrics::new());
+        // enough workers that every request is in a worker simultaneously
+        let pool = SolverPool::new(
+            CLIENTS,
+            CLIENTS,
+            Parallelism::serial(),
+            DpOptions::default(),
+            cache,
+            Arc::clone(&metrics),
+        );
+        // a build slow enough that the OS preempts the leader mid-build
+        // even on one core — otherwise a single worker can drain the
+        // whole queue before its siblings ever get scheduled
+        let slow = "solve graph=gen:mesh:24x24:3 machine=2x2:4,1,0 demand=0.005 trees=4 seed=11";
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        for _ in 0..CLIENTS {
+            pool.submit(SolveJob::new(
+                solve_spec(slow),
+                now,
+                None,
+                channel_reply(tx.clone()),
+            ))
+            .unwrap();
+        }
+        let replies: Vec<String> = (0..CLIENTS)
+            .map(|_| rx.recv_timeout(Duration::from_secs(60)).unwrap())
+            .collect();
+        // exactly one expensive build ran, no matter how the race lands
+        assert_eq!(
+            metrics.cache_builds.get(),
+            1,
+            "coalescing failed: {replies:?}"
+        );
+        assert!(
+            metrics.cache_coalesced.get() >= 1,
+            "no request joined the flight as a follower"
+        );
+        // every reply is ok, full-mode, and bit-identical in cost
+        let cost = |s: &str| {
+            s.split_whitespace()
+                .find_map(|kv| kv.strip_prefix("cost="))
+                .unwrap()
+                .to_string()
+        };
+        let first = cost(&replies[0]);
+        for r in &replies {
+            assert!(r.starts_with("ok "), "{r}");
+            assert!(r.contains("mode=full"), "{r}");
+            assert_eq!(cost(r), first, "coalesced replies diverged: {r}");
+            assert!(
+                r.contains("cache=miss") || r.contains("cache=shared") || r.contains("cache=hit"),
+                "{r}"
+            );
+        }
+        // the leader's reply says miss; followers say shared
+        assert_eq!(
+            replies.iter().filter(|r| r.contains("cache=miss")).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn leader_panic_in_build_unparks_followers_with_err_internal() {
+        let cache = Arc::new(DecompCache::new(8));
+        let metrics = Arc::new(Metrics::new());
+        let pool = SolverPool::new(
+            4,
+            8,
+            Parallelism::serial(),
+            DpOptions::default(),
+            cache,
+            Arc::clone(&metrics),
+        );
+        // the poisoned job wins leadership first (idle pool), then panics
+        // inside the build after a grace period the followers use to park
+        let (ltx, lrx) = mpsc::channel();
+        pool.submit(SolveJob {
+            panic_in_build: true,
+            ..SolveJob::new(solve_spec(LINE), Instant::now(), None, channel_reply(ltx))
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let (ftx, frx) = mpsc::channel();
+        for _ in 0..3 {
+            pool.submit(SolveJob::new(
+                solve_spec(LINE),
+                Instant::now(),
+                None,
+                channel_reply(ftx.clone()),
+            ))
+            .unwrap();
+        }
+        let leader = lrx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(leader.starts_with("err internal "), "{leader}");
+        assert!(leader.contains("panic-in-build test hook"), "{leader}");
+        // followers parked on the flight get err internal, not a hang —
+        // any that raced past the retired flight instead rebuilt and
+        // answered ok (both are correct; hanging is the bug)
+        let mut follower_errs = 0;
+        for _ in 0..3 {
+            let r = frx.recv_timeout(Duration::from_secs(30)).unwrap();
+            if r.starts_with("err internal ") {
+                assert!(r.contains("coalesced leader"), "{r}");
+                follower_errs += 1;
+            } else {
+                assert!(r.starts_with("ok "), "{r}");
+            }
+        }
+        assert!(follower_errs >= 1, "no follower observed the leader panic");
+        assert_eq!(metrics.solve_panics.get(), 1);
+        // the poisoned flight retired: a fresh request builds and succeeds
+        let reply = run(&pool, solve_spec(LINE), None);
+        assert!(reply.starts_with("ok "), "{reply}");
+    }
+
+    #[test]
+    fn pool_busy_time_accumulates() {
+        let (pool, _cache, metrics) = pool();
+        assert_eq!(metrics.pool_busy_us.get(), 0);
+        let reply = run(&pool, solve_spec(LINE), None);
+        assert!(reply.starts_with("ok "), "{reply}");
+        assert!(metrics.pool_busy_us.get() > 0, "busy time not recorded");
     }
 }

@@ -1,16 +1,22 @@
-//! The TCP front end: accept loop, per-connection threads, shutdown.
+//! The TCP front ends: event-driven multiplexing (default) or legacy
+//! thread-per-connection, over one shared request router.
 //!
-//! Deliberately `std`-only (no async runtime is vendored): one thread per
-//! connection reading newline-delimited requests, with CPU-bound solving
-//! delegated to the bounded [`SolverPool`] so a slow solve never blocks
-//! other connections' `stats` or incremental traffic. Read timeouts keep
-//! connection threads responsive to the shutdown flag; the accept loop is
-//! woken from `shutdown` by a self-connect.
+//! Deliberately `std`-only (no async runtime is vendored). The default
+//! front end is the `event` readiness loop: one thread owns
+//! every connection through the [`crate::netpoll`] shim, parses lines,
+//! answers `stats`/`stats2`/`place-incremental`/`shutdown` inline, and
+//! dispatches `solve` into the bounded [`SolverPool`], flushing replies
+//! as workers complete. The legacy mode (`ServerConfig::legacy_threads`,
+//! `hgp serve --legacy-threads`) keeps the original thread per
+//! connection with 200 ms read timeouts; it remains wire-byte-compatible
+//! and is the only mode on non-unix targets. Both front ends route
+//! through `route_inline`, so request semantics cannot drift between
+//! them.
 
 use crate::cache::DecompCache;
 use crate::metrics::Metrics;
-use crate::pool::{SolveJob, SolverPool};
-use crate::protocol::{ErrCode, Request, WireError};
+use crate::pool::{channel_reply, SolveJob, SolverPool};
+use crate::protocol::{ErrCode, Request, SolveSpec, WireError};
 use crate::session::SessionTable;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -43,6 +49,12 @@ pub struct ServerConfig {
     /// Signature-DP engine options applied to every solve
     /// (`hgp serve --no-prune` disables dominance pruning).
     pub dp: hgp_core::DpOptions,
+    /// Use the legacy thread-per-connection front end instead of the
+    /// event-driven readiness loop (`hgp serve --legacy-threads`). The
+    /// wire protocol is byte-identical either way; legacy mode caps
+    /// practical concurrency at OS thread scale and is the automatic
+    /// fallback on non-unix targets.
+    pub legacy_threads: bool,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +67,7 @@ impl Default for ServerConfig {
             cache_capacity: 32,
             max_sessions: 256,
             dp: hgp_core::DpOptions::default(),
+            legacy_threads: false,
         }
     }
 }
@@ -131,30 +144,48 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Selects the legacy thread-per-connection front end.
+    pub fn legacy_threads(mut self, legacy: bool) -> Self {
+        self.config.legacy_threads = legacy;
+        self
+    }
+
     /// Finalises the configuration.
     pub fn build(self) -> ServerConfig {
         self.config
     }
 }
 
-struct Shared {
-    addr: SocketAddr,
-    pool: parking_lot::Mutex<SolverPool>,
-    sessions: SessionTable,
-    cache: Arc<DecompCache>,
-    metrics: Arc<Metrics>,
-    stop: AtomicBool,
-    conns: AtomicU64,
+pub(crate) struct Shared {
+    pub(crate) addr: SocketAddr,
+    pub(crate) pool: parking_lot::Mutex<SolverPool>,
+    pub(crate) sessions: SessionTable,
+    pub(crate) cache: Arc<DecompCache>,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) conns: AtomicU64,
 }
 
 impl Shared {
-    fn stopping(&self) -> bool {
+    pub(crate) fn stopping(&self) -> bool {
         self.stop.load(Ordering::Acquire)
     }
 
-    /// Idempotent shutdown trigger: raises the flag, wakes the accept loop
+    /// Bookkeeping for an accepted connection (drain counter + gauge).
+    pub(crate) fn conn_opened(&self) {
+        let now = self.conns.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.conns_open.set(now);
+    }
+
+    /// Bookkeeping for a closed connection.
+    pub(crate) fn conn_closed(&self) {
+        let now = self.conns.fetch_sub(1, Ordering::Release) - 1;
+        self.metrics.conns_open.set(now);
+    }
+
+    /// Idempotent shutdown trigger: raises the flag, wakes the front end
     /// with a self-connect, and drains the solver pool.
-    fn trigger_shutdown(&self) {
+    pub(crate) fn trigger_shutdown(&self) {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
         }
@@ -195,9 +226,25 @@ impl Server {
             conns: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("hgp-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_shared))?;
+        // non-unix targets have no netpoll shim: always fall back to the
+        // legacy threaded front end there
+        let legacy = config.legacy_threads || !cfg!(unix);
+        let accept_thread = if legacy {
+            std::thread::Builder::new()
+                .name("hgp-accept".to_string())
+                .spawn(move || accept_loop(listener, accept_shared))?
+        } else {
+            #[cfg(unix)]
+            {
+                std::thread::Builder::new()
+                    .name("hgp-event".to_string())
+                    .spawn(move || crate::event::event_loop(listener, accept_shared))?
+            }
+            #[cfg(not(unix))]
+            {
+                unreachable!("non-unix targets always take the legacy branch")
+            }
+        };
         Ok(Server {
             addr,
             shared,
@@ -241,14 +288,14 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+pub(crate) fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     for stream in listener.incoming() {
         if shared.stopping() {
             break;
         }
         let Ok(stream) = stream else { continue };
         let conn_shared = Arc::clone(&shared);
-        shared.conns.fetch_add(1, Ordering::Relaxed);
+        shared.conn_opened();
         let _ = std::thread::Builder::new()
             .name("hgp-conn".to_string())
             .spawn(move || {
@@ -258,7 +305,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let _ = handle_connection(stream, &conn_shared);
                 }));
-                conn_shared.conns.fetch_sub(1, Ordering::Release);
+                conn_shared.conn_closed();
             });
     }
 }
@@ -303,46 +350,40 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
     }
 }
 
-fn handle_line(line: &str, shared: &Shared) -> String {
+/// What [`route_inline`] decided about one request line.
+pub(crate) enum Routed {
+    /// The reply is ready — `stats`, `stats2`, `place-incremental`,
+    /// `shutdown`, and every error are answered without touching the
+    /// solver pool (so metrics stay readable even when the pool is
+    /// saturated).
+    Inline(String),
+    /// A `solve`: the caller owns dispatching it into the pool (blocking
+    /// in the legacy front end, completion-queue async in the event loop).
+    Solve(Box<SolveSpec>),
+}
+
+/// The single request router both front ends share: parses the line,
+/// answers everything except `solve` inline, and hands `solve` specs
+/// back to the caller for pool dispatch. Keeping this common is what
+/// guarantees the two modes stay wire-byte-compatible.
+pub(crate) fn route_inline(line: &str, shared: &Shared) -> Routed {
     let metrics = &shared.metrics;
     metrics.requests.inc();
     let request = match Request::parse(line) {
         Ok(r) => r,
         Err(e) => {
             metrics.bad_requests.inc();
-            return e.to_line();
+            return Routed::Inline(e.to_line());
         }
     };
-    match request {
+    Routed::Inline(match request {
         Request::Solve(spec) => {
             if shared.stopping() {
-                return WireError::new(ErrCode::ShuttingDown, "server is draining").to_line();
+                return Routed::Inline(
+                    WireError::new(ErrCode::ShuttingDown, "server is draining").to_line(),
+                );
             }
-            let (tx, rx) = mpsc::channel();
-            let now = Instant::now();
-            let deadline = spec.deadline_ms.map(|ms| now + Duration::from_millis(ms));
-            let job = SolveJob {
-                spec: *spec,
-                enqueued: now,
-                deadline,
-                reply: tx,
-                crash_worker: false,
-                panic_solve: false,
-            };
-            let submitted = shared.pool.lock().submit(job);
-            match submitted {
-                Ok(()) => match rx.recv() {
-                    Ok(reply) => reply,
-                    // worker dropped the job on the floor mid-drain
-                    Err(_) => WireError::new(ErrCode::ShuttingDown, "server is draining").to_line(),
-                },
-                Err(e) => {
-                    if e.code == ErrCode::Overloaded {
-                        metrics.overloaded.inc();
-                    }
-                    e.to_line()
-                }
-            }
+            return Routed::Solve(spec);
         }
         Request::Incr(op) => match shared.sessions.apply(op) {
             Ok(body) => {
@@ -384,6 +425,33 @@ fn handle_line(line: &str, shared: &Shared) -> String {
         Request::Shutdown => {
             shared.trigger_shutdown();
             "ok draining=1".to_string()
+        }
+    })
+}
+
+/// Legacy-mode line handler: routes, then blocks the connection thread
+/// on the solve reply (one in-flight solve per connection by design).
+fn handle_line(line: &str, shared: &Shared) -> String {
+    let spec = match route_inline(line, shared) {
+        Routed::Inline(reply) => return reply,
+        Routed::Solve(spec) => spec,
+    };
+    let (tx, rx) = mpsc::channel();
+    let now = Instant::now();
+    let deadline = spec.deadline_ms.map(|ms| now + Duration::from_millis(ms));
+    let job = SolveJob::new(*spec, now, deadline, channel_reply(tx));
+    let submitted = shared.pool.lock().submit(job);
+    match submitted {
+        Ok(()) => match rx.recv() {
+            Ok(reply) => reply,
+            // worker dropped the job on the floor mid-drain
+            Err(_) => WireError::new(ErrCode::ShuttingDown, "server is draining").to_line(),
+        },
+        Err(e) => {
+            if e.code == ErrCode::Overloaded {
+                shared.metrics.overloaded.inc();
+            }
+            e.to_line()
         }
     }
 }

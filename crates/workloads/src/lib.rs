@@ -11,11 +11,13 @@
 #![warn(missing_docs)]
 
 pub mod demand;
+pub mod openloop;
 pub mod requests;
 pub mod stream;
 pub mod suite;
 
 pub use demand::DemandModel;
+pub use openloop::{open_loop_schedule, warm_lines, Arrival, OpenLoopOpts, TrafficKind};
 pub use requests::{request_script, substitute_session, RequestScriptOpts};
 pub use stream::{stream_dag, StreamOpts};
 pub use suite::{machines, standard_suite, NamedInstance};

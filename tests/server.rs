@@ -289,6 +289,203 @@ fn concurrent_clients_mixed_load() {
     drop(server);
 }
 
+/// A cold build heavy enough (release or debug) that concurrent clients
+/// racing it overlap server-side and coalesce onto one flight.
+const HEAVY_COLD_SOLVE: &str =
+    "solve graph=gen:mesh:16x16:77 machine=2x2:4,1,0 demand=0.010 trees=4 seed=100";
+
+#[test]
+fn racing_cold_clients_coalesce_on_the_wire() {
+    const CLIENTS: usize = 8;
+    let server = Server::start(
+        ServerConfig::builder()
+            .workers(CLIENTS)
+            .queue_capacity(CLIENTS * 2)
+            .build(),
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    // every client fires the identical cold fingerprint at once
+    let replies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| scope.spawn(move || Client::connect(addr).req(HEAVY_COLD_SOLVE)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // bit-identical replies: one cost, full mode, no degradation
+    for r in &replies {
+        assert!(r.starts_with("ok cost="), "{r}");
+        assert_eq!(reply_field(r, "mode"), Some("full"), "{r}");
+        assert_eq!(reply_field(r, "cost"), reply_field(&replies[0], "cost"));
+    }
+    // exactly one expensive build ran server-side; someone shared it
+    let mut control = Client::connect(addr);
+    let stats2 = control.req("stats2");
+    assert_eq!(field_u64(&stats2, "cache.builds"), 1, "{stats2}");
+    assert!(field_u64(&stats2, "cache.coalesced") >= 1, "{stats2}");
+    let miss = replies
+        .iter()
+        .filter(|r| reply_field(r, "cache") == Some("miss"))
+        .count();
+    let shared = replies
+        .iter()
+        .filter(|r| reply_field(r, "cache") == Some("shared"))
+        .count();
+    assert_eq!(miss, 1, "exactly one leader: {replies:?}");
+    assert!(shared >= 1, "no follower reply observed: {replies:?}");
+    server.shutdown();
+}
+
+#[test]
+fn stats_are_answered_inline_while_the_pool_is_saturated() {
+    // one worker, so the heavy solve below occupies the whole pool
+    let server = Server::start(ServerConfig::builder().workers(1).build()).expect("start server");
+    let addr = server.addr();
+
+    let mut solver = Client::connect(addr);
+    solver
+        .writer
+        .write_all(HEAVY_COLD_SOLVE.as_bytes())
+        .unwrap();
+    solver.writer.write_all(b"\n").unwrap();
+    solver.writer.flush().unwrap();
+
+    // the event loop must answer stats from another connection without
+    // queueing behind the in-flight solve: the snapshot it returns still
+    // sees zero completed solves
+    let mut control = Client::connect(addr);
+    let stats2 = control.req("stats2");
+    assert!(stats2.starts_with("ok version=2"), "{stats2}");
+    assert_eq!(
+        field_u64(&stats2, "solve.ok"),
+        0,
+        "stats2 was queued behind the solve: {stats2}"
+    );
+
+    // the solve itself still completes normally afterwards
+    let mut reply = String::new();
+    solver.reader.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("ok cost="), "{reply}");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_reply_strictly_in_order() {
+    // one worker, so the two identical solves drain in queue order and
+    // the second is deterministically a cache hit rather than racing
+    // the first into a coalesced cache=shared reply
+    let server = Server::start(ServerConfig::builder().workers(1).build()).expect("start server");
+    let mut client = Client::connect(server.addr());
+
+    // one write carrying solve / inline / error / solve traffic: replies
+    // must come back one per line, in request order, even though the
+    // inline ones are computed long before the solves finish
+    let lines = [
+        "solve graph=gen:clustered:2x4:500 machine=2x2:4,1,0 demand=0.3 trees=4 seed=42",
+        "stats2",
+        "definitely-not-a-request",
+        "solve graph=gen:clustered:2x4:500 machine=2x2:4,1,0 demand=0.3 trees=4 seed=42",
+        "stats",
+    ];
+    let mut batch = lines.join("\n");
+    batch.push('\n');
+    client.writer.write_all(batch.as_bytes()).unwrap();
+    client.writer.flush().unwrap();
+
+    let mut replies = Vec::new();
+    for _ in 0..lines.len() {
+        let mut reply = String::new();
+        client.reader.read_line(&mut reply).unwrap();
+        replies.push(reply.trim().to_string());
+    }
+    assert!(replies[0].starts_with("ok cost="), "{:?}", replies[0]);
+    assert!(replies[1].starts_with("ok version=2"), "{:?}", replies[1]);
+    assert!(
+        replies[2].starts_with("err bad-request"),
+        "{:?}",
+        replies[2]
+    );
+    assert!(replies[3].starts_with("ok cost="), "{:?}", replies[3]);
+    assert!(replies[4].starts_with("ok requests="), "{:?}", replies[4]);
+    // the second identical solve was served from cache, same cost
+    assert_eq!(
+        reply_field(&replies[0], "cost"),
+        reply_field(&replies[3], "cost")
+    );
+    assert_eq!(reply_field(&replies[3], "cache"), Some("hit"));
+    server.shutdown();
+}
+
+#[test]
+fn legacy_and_event_front_ends_are_wire_compatible() {
+    let script = [
+        "solve graph=gen:clustered:2x4:900 machine=2x2:4,1,0 demand=0.3 trees=4 seed=42",
+        "solve graph=gen:clustered:2x4:900 machine=2x2:4,1,0 demand=0.3 trees=4 seed=42",
+        "solve graph=gen:clustered:2x4:900 machine=2x2:4,1,0 demand=0.31 trees=4 seed=42 near=1",
+        "place-incremental new machine=2x2:4,1,0",
+        "place-incremental add session=1 demand=0.25",
+        "place-incremental resize session=1 task=0 demand=0.4",
+        "place-incremental rebalance session=1 max-moves=4",
+        "place-incremental end session=1",
+        "solve graph=gen:clustered:2x4:901 machine=2x2:4,1,0 demand=0.3 trees=4 seed=42 deadline-ms=0",
+        "solve graph=bad",
+        "nonsense",
+    ];
+    let run_against = |legacy: bool| -> Vec<String> {
+        let server = Server::start(
+            ServerConfig::builder()
+                .workers(2)
+                .legacy_threads(legacy)
+                .build(),
+        )
+        .expect("start server");
+        let mut client = Client::connect(server.addr());
+        let replies = script.iter().map(|line| client.req(line)).collect();
+        server.shutdown();
+        replies
+    };
+    // replies are deterministic given the request sequence — modulo the
+    // wall-clock elapsed-us token — so the two front ends must agree
+    // byte for byte on everything else
+    let strip_timing = |replies: Vec<String>| -> Vec<String> {
+        replies
+            .into_iter()
+            .map(|r| {
+                r.split_whitespace()
+                    .filter(|kv| !kv.starts_with("elapsed-us="))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect()
+    };
+    let event = strip_timing(run_against(false));
+    let legacy = strip_timing(run_against(true));
+    assert_eq!(event, legacy);
+}
+
+#[test]
+fn event_loop_holds_hundreds_of_connections() {
+    const CONNS: usize = 300;
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let addr = server.addr();
+
+    let mut clients: Vec<Client> = (0..CONNS).map(|_| Client::connect(addr)).collect();
+    // with every connection held open, the gauge sees them all
+    let stats2 = clients[0].req("stats2");
+    assert!(field_u64(&stats2, "conns.open") >= CONNS as u64, "{stats2}");
+
+    // every connection stays serviceable (same warm topology: one build)
+    let line = "solve graph=gen:clustered:2x4:600 machine=2x2:4,1,0 demand=0.3 trees=4 seed=42";
+    for client in clients.iter_mut() {
+        let reply = client.req(line);
+        assert!(reply.starts_with("ok cost="), "{reply}");
+    }
+    drop(clients);
+    server.shutdown();
+}
+
 #[test]
 fn sessions_are_isolated_between_connections() {
     let server = Server::start(ServerConfig::default()).expect("start server");
