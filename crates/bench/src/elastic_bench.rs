@@ -1,0 +1,692 @@
+//! The elastic re-placement trajectory: `BENCH_elastic.json`.
+//!
+//! Replays an `hgp-workloads` demand-churn stream against a single
+//! [`hgp_core::Session`] and, at every epoch, re-solves the same post-churn
+//! state twice:
+//!
+//! * **warm** — on the live session, whose cached Räcke distribution stays
+//!   valid across demand edits, so the re-solve skips the distribution
+//!   stage and sweeps only the previously-winning tree;
+//! * **cold** — on a discarded clone with `cold = true`, forcing the full
+//!   rebuild-and-sweep pipeline (what a cacheless placer would pay).
+//!
+//! The emitted document records per-epoch wall times, committed costs and
+//! churn for both arms, the aggregate warm-over-cold speedup, and a
+//! cost-vs-churn **Pareto curve**: the final churned state rebuilt with a
+//! naive round-robin placement (a failover restore), then resolved under
+//! increasing move budgets — how much churn budget buys back how much
+//! placement quality. [`validate`] enforces the
+//! acceptance bars: every epoch must actually hit the warm path at a cost
+//! no worse than [`WARM_COST_TOLERANCE`] times the cold arm's, the
+//! aggregate speedup must reach [`MIN_WARM_SPEEDUP`], and the Pareto curve
+//! must be monotone (more budget never costs more). [`smoke_check`] is the
+//! CI gate: committed costs are deterministic for a fixed seed (compared
+//! at [`SMOKE_COST_TOLERANCE`]), while the speedup — a dimensionless ratio,
+//! but still timing-derived — gets the looser
+//! [`SMOKE_SPEEDUP_TOLERANCE`]; raw wall times are never compared.
+
+use crate::json::Json;
+use crate::timed;
+use hgp_core::{Assignment, ReplaceOptions, Session, Solve, SolverOptions};
+use hgp_hierarchy::{presets, Hierarchy};
+use hgp_workloads::{demand_churn, stream_dag, ChurnOpts, StreamOpts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Schema tag emitted into (and required from) `BENCH_elastic.json`.
+pub const SCHEMA: &str = "hgp-bench-elastic/1";
+
+/// Acceptance bar on the aggregate `Σ cold_ms / Σ warm_ms` ratio: the warm
+/// path must be at least this much faster than a from-scratch re-solve.
+pub const MIN_WARM_SPEEDUP: f64 = 2.0;
+
+/// Per-epoch cost slack the warm arm is allowed over the cold arm. A warm
+/// re-solve sweeps only the previously-winning tree, so after demand drift
+/// another tree may map slightly cheaper — but both arms still share the
+/// FM and keep-previous candidates, which bounds the gap tightly.
+pub const WARM_COST_TOLERANCE: f64 = 1.05;
+
+/// Deterministic-cost regression tolerance for [`smoke_check`] (same role
+/// as the scale bench's: absorbs representation noise, not algorithm
+/// changes).
+pub const SMOKE_COST_TOLERANCE: f64 = 1.02;
+
+/// How far the freshly measured speedup may fall below the committed one
+/// before [`smoke_check`] fails. Speedup is a within-run ratio, so machine
+/// speed cancels, but scheduling noise does not — hence 25 %, and the
+/// `bench_elastic --smoke` driver takes the best of two fresh runs.
+pub const SMOKE_SPEEDUP_TOLERANCE: f64 = 1.25;
+
+/// Workload and solver knobs for [`run_elastic_bench`].
+#[derive(Clone, Debug)]
+pub struct ElasticBenchOpts {
+    /// Churn epochs to replay (each epoch = one batch + one re-solve).
+    pub epochs: usize,
+    /// Demand edits per epoch.
+    pub batch: usize,
+    /// Multiplicative demand jitter per edit (see
+    /// [`hgp_workloads::ChurnOpts`]).
+    pub jitter: f64,
+    /// Streaming queries in the generated DAG.
+    pub queries: usize,
+    /// Stages per query.
+    pub depth: usize,
+    /// Maximum operators per stage.
+    pub max_width: usize,
+    /// Demand normalisation ceiling (keeps the instance feasible on the
+    /// 16-leaf machine with drift headroom).
+    pub max_demand: f64,
+    /// Decomposition trees (the cold arm sweeps all of them; the warm arm
+    /// sweeps one — this knob directly scales the gap being measured).
+    pub trees: usize,
+    /// Rounding grid units per leaf.
+    pub units: u32,
+    /// Workload + solver seed.
+    pub seed: u64,
+}
+
+impl ElasticBenchOpts {
+    /// The full committed configuration.
+    pub fn standard() -> Self {
+        Self {
+            epochs: 8,
+            batch: 24,
+            jitter: 0.3,
+            queries: 24,
+            depth: 6,
+            max_width: 4,
+            max_demand: 0.08,
+            trees: 8,
+            units: 4,
+            seed: 0xE1A5_2014,
+        }
+    }
+
+    /// The CI variant. Identical to [`Self::standard`]: the whole replay is
+    /// already CI-sized, and sharing the configuration is what makes the
+    /// committed per-epoch costs deterministic anchors for
+    /// [`smoke_check`].
+    pub fn smoke() -> Self {
+        Self::standard()
+    }
+}
+
+/// One churn epoch: both arms re-solving the same post-churn state.
+#[derive(Clone, Debug)]
+pub struct EpochEntry {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Warm-arm wall time.
+    pub warm_ms: f64,
+    /// Warm-arm committed Equation-1 cost.
+    pub warm_cost: f64,
+    /// Tasks the warm re-solve moved.
+    pub warm_moves: usize,
+    /// Whether the warm arm actually hit the cached distribution.
+    pub warm: bool,
+    /// Whether the warm arm obtained a full-pipeline candidate (a failed
+    /// solve silently degrades to FM-vs-previous, which would fake a
+    /// speedup — so the bench refuses to count such epochs as healthy).
+    pub solved: bool,
+    /// Cold-arm wall time (full distribution rebuild + all-tree sweep).
+    pub cold_ms: f64,
+    /// Cold-arm committed Equation-1 cost.
+    pub cold_cost: f64,
+    /// Tasks the cold re-solve moved.
+    pub cold_moves: usize,
+}
+
+impl EpochEntry {
+    /// The per-epoch acceptance bar: warm cost within
+    /// [`WARM_COST_TOLERANCE`] of cold.
+    pub fn warm_not_worse(&self) -> bool {
+        self.warm_cost <= self.cold_cost * WARM_COST_TOLERANCE + 1e-9
+    }
+}
+
+/// One point of the cost-vs-churn Pareto curve: the final post-churn state
+/// re-solved under a move budget.
+#[derive(Clone, Debug)]
+pub struct ParetoPoint {
+    /// `ChurnBudget::max_moves` for this resolve.
+    pub budget: usize,
+    /// Committed Equation-1 cost.
+    pub cost: f64,
+    /// Moves actually spent (`<= budget`).
+    pub moves: usize,
+    /// Which candidate won (`"Previous"` / `"Refined"` / `"Solved"`), as a
+    /// diagnostic: low budgets ride the bounded FM prefix, and the full
+    /// pipeline's solution takes over once its churn fits.
+    pub choice: String,
+    /// The full-pipeline candidate's cost at this point, when one was
+    /// obtained (it is rejected while its churn exceeds the budget).
+    pub target_cost: Option<f64>,
+}
+
+/// Everything [`run_elastic_bench`] measured.
+#[derive(Clone, Debug)]
+pub struct ElasticBenchReport {
+    /// The options the run used.
+    pub opts: ElasticBenchOpts,
+    /// Tasks in the generated instance.
+    pub tasks: usize,
+    /// Edges in the generated instance.
+    pub edges: usize,
+    /// Per-epoch measurements, epoch-ordered.
+    pub epochs: Vec<EpochEntry>,
+    /// Budget-ordered Pareto sweep of the final state.
+    pub pareto: Vec<ParetoPoint>,
+    /// What `available_parallelism` reported on the measuring machine.
+    pub available_parallelism: usize,
+}
+
+impl ElasticBenchReport {
+    /// Total warm-arm wall time.
+    pub fn warm_ms_total(&self) -> f64 {
+        self.epochs.iter().map(|e| e.warm_ms).sum()
+    }
+
+    /// Total cold-arm wall time.
+    pub fn cold_ms_total(&self) -> f64 {
+        self.epochs.iter().map(|e| e.cold_ms).sum()
+    }
+
+    /// `Σ cold_ms / Σ warm_ms` — what [`MIN_WARM_SPEEDUP`] gates.
+    pub fn warm_speedup(&self) -> f64 {
+        let warm = self.warm_ms_total();
+        if warm > 0.0 {
+            self.cold_ms_total() / warm
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The machine every epoch targets (16 leaves, same box as the scale
+/// bench — elasticity is a *demand-side* story, the machine stays fixed).
+fn machine() -> Hierarchy {
+    presets::multicore(4, 4, 4.0, 1.0)
+}
+
+/// Descriptor string for the bench machine, recorded in the document.
+const MACHINE_DESC: &str = "4x4:4,1,0";
+
+/// Replays the churn stream and assembles the report.
+pub fn run_elastic_bench(opts: &ElasticBenchOpts) -> Result<ElasticBenchReport, String> {
+    if opts.epochs == 0 {
+        return Err("elastic bench needs at least one epoch".into());
+    }
+    let h = machine();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let inst = stream_dag(
+        &mut rng,
+        &StreamOpts {
+            queries: opts.queries,
+            depth: opts.depth,
+            max_width: opts.max_width,
+            max_demand: opts.max_demand,
+            ..Default::default()
+        },
+    );
+    let total: f64 = inst.demands().iter().sum();
+    if total > 0.5 * h.num_leaves() as f64 {
+        return Err(format!(
+            "instance infeasible with drift headroom: total demand {total:.2} on {} leaves",
+            h.num_leaves()
+        ));
+    }
+
+    let solver = SolverOptions::builder()
+        .trees(opts.trees)
+        .units(opts.units)
+        .seed(opts.seed)
+        .build();
+    let initial = Solve::new(&inst, &h)
+        .options(solver)
+        .run()
+        .map_err(|e| format!("initial solve failed: {e}"))?
+        .assignment;
+    let mut session = Session::with_initial(h.clone(), &inst, &initial);
+
+    let warm_opts = ReplaceOptions::builder().solver(solver).build();
+    let cold_opts = warm_opts.to_builder().cold(true).build();
+    // Prime the cache: the one cold build whose cost the warm path
+    // amortises across every later epoch. Untimed by design — the cold
+    // arm below re-pays it every epoch, which is exactly the comparison.
+    session.resolve(&cold_opts);
+
+    // epochs + 1: the extra batch is the pre-Pareto shake, drawn from the
+    // same cumulative drift so demands stay consistent with the session
+    let mut churn_rng = StdRng::seed_from_u64(opts.seed ^ 0x9E37_79B9);
+    let stream = demand_churn(
+        &mut churn_rng,
+        &inst,
+        &ChurnOpts {
+            epochs: opts.epochs + 1,
+            batch: opts.batch,
+            jitter: opts.jitter,
+        },
+    );
+
+    let mut epochs = Vec::with_capacity(opts.epochs);
+    for (i, batch) in stream.iter().take(opts.epochs).enumerate() {
+        session
+            .apply(batch)
+            .map_err(|e| format!("epoch {i}: churn batch rejected: {e}"))?;
+        // the cold arm resolves the identical post-churn state on a clone
+        // that is then discarded, so it never pollutes the live cache
+        let mut cold_session = session.clone();
+        let (warm_report, warm_ms) = timed(|| session.resolve(&warm_opts));
+        let (cold_report, cold_ms) = timed(|| cold_session.resolve(&cold_opts));
+        epochs.push(EpochEntry {
+            epoch: i,
+            warm_ms,
+            warm_cost: warm_report.cost,
+            warm_moves: warm_report.moves,
+            warm: warm_report.warm,
+            solved: warm_report.target_cost.is_some() && cold_report.target_cost.is_some(),
+            cold_ms,
+            cold_cost: cold_report.cost,
+            cold_moves: cold_report.moves,
+        });
+    }
+
+    // Pareto sweep. The steady-state epochs above stay near the optimum
+    // (demand jitter only binds through capacity, which is slack here), so
+    // a meaningful cost-vs-churn curve needs real displacement: rebuild
+    // the final churned state as if a failover had restored it naively
+    // round-robin, then resolve that session under doubling move budgets —
+    // how much churn budget buys back how much placement quality. One
+    // budget-0 resolve first: it commits nothing (zero moves keeps the
+    // previous placement) but primes the cache, so the sweep measures
+    // placement recovery, not distribution builds. Each budget then gets
+    // its own clone of the same state, so the curve is apples-to-apples.
+    session
+        .apply(&stream[opts.epochs])
+        .map_err(|e| format!("pareto shake rejected: {e}"))?;
+    let snap = session
+        .snapshot()
+        .ok_or("no live tasks left for the pareto sweep")?;
+    let k = h.num_leaves();
+    let naive = Assignment::new(
+        (0..snap.instance.num_tasks())
+            .map(|v| (v % k) as u32)
+            .collect(),
+        &h,
+    );
+    let mut displaced = Session::with_initial(h, &snap.instance, &naive);
+    displaced.resolve(&warm_opts.to_builder().max_moves(0).build());
+    let active = displaced.num_active();
+    let mut budgets = vec![0usize];
+    let mut b = 1usize;
+    while b < active {
+        budgets.push(b);
+        b *= 2;
+    }
+    budgets.push(active);
+    let mut pareto = Vec::with_capacity(budgets.len());
+    for &budget in &budgets {
+        let mut s = displaced.clone();
+        let report = s.resolve(&warm_opts.to_builder().max_moves(budget).build());
+        pareto.push(ParetoPoint {
+            budget,
+            cost: report.cost,
+            moves: report.moves,
+            choice: format!("{:?}", report.choice),
+            target_cost: report.target_cost,
+        });
+    }
+
+    Ok(ElasticBenchReport {
+        opts: opts.clone(),
+        tasks: inst.num_tasks(),
+        edges: inst.graph().num_edges(),
+        epochs,
+        pareto,
+        available_parallelism: std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1),
+    })
+}
+
+impl ElasticBenchReport {
+    /// Renders the report as the `BENCH_elastic.json` document.
+    pub fn to_json(&self) -> Json {
+        let o = &self.opts;
+        Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.into())),
+            (
+                "environment",
+                Json::obj(vec![(
+                    "available_parallelism",
+                    Json::Num(self.available_parallelism as f64),
+                )]),
+            ),
+            (
+                "workload",
+                Json::obj(vec![
+                    ("machine", Json::Str(MACHINE_DESC.into())),
+                    ("tasks", Json::Num(self.tasks as f64)),
+                    ("edges", Json::Num(self.edges as f64)),
+                    ("queries", Json::Num(o.queries as f64)),
+                    ("depth", Json::Num(o.depth as f64)),
+                    ("max_width", Json::Num(o.max_width as f64)),
+                    ("max_demand", Json::Num(o.max_demand)),
+                    ("epochs", Json::Num(o.epochs as f64)),
+                    ("batch", Json::Num(o.batch as f64)),
+                    ("jitter", Json::Num(o.jitter)),
+                    ("trees", Json::Num(o.trees as f64)),
+                    ("units", Json::Num(o.units as f64)),
+                    ("seed", Json::Num(o.seed as f64)),
+                ]),
+            ),
+            (
+                "epochs",
+                Json::Arr(
+                    self.epochs
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("epoch", Json::Num(e.epoch as f64)),
+                                ("warm_ms", Json::Num(e.warm_ms)),
+                                ("warm_cost", Json::Num(e.warm_cost)),
+                                ("warm_moves", Json::Num(e.warm_moves as f64)),
+                                ("warm", Json::Bool(e.warm)),
+                                ("solved", Json::Bool(e.solved)),
+                                ("cold_ms", Json::Num(e.cold_ms)),
+                                ("cold_cost", Json::Num(e.cold_cost)),
+                                ("cold_moves", Json::Num(e.cold_moves as f64)),
+                                ("warm_not_worse", Json::Bool(e.warm_not_worse())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "pareto",
+                Json::Arr(
+                    self.pareto
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("budget", Json::Num(p.budget as f64)),
+                                ("cost", Json::Num(p.cost)),
+                                ("moves", Json::Num(p.moves as f64)),
+                                ("choice", Json::Str(p.choice.clone())),
+                                (
+                                    "target_cost",
+                                    p.target_cost.map(Json::Num).unwrap_or(Json::Null),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("warm_ms_total", Json::Num(self.warm_ms_total())),
+                    ("cold_ms_total", Json::Num(self.cold_ms_total())),
+                    ("warm_speedup", Json::Num(self.warm_speedup())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Validates an emitted `BENCH_elastic.json`: parses, checks the schema
+/// tag, requires the environment header, a non-empty epoch list where
+/// every epoch hit the warm path (`warm = true`), obtained a full-pipeline
+/// candidate (`solved = true`) and stayed within the cost tolerance
+/// (`warm_not_worse = true`); requires `summary.warm_speedup >=`
+/// [`MIN_WARM_SPEEDUP`]; and requires a Pareto curve that starts at budget
+/// 0, keeps budgets strictly increasing, spends no more moves than each
+/// budget allows, and never gets *more* expensive as the budget grows.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("bad schema tag {other:?}, want {SCHEMA:?}")),
+    }
+    doc.path(&["environment", "available_parallelism"])
+        .and_then(Json::as_f64)
+        .ok_or("missing environment.available_parallelism")?;
+    doc.path(&["workload", "seed"])
+        .and_then(Json::as_f64)
+        .ok_or("missing workload.seed")?;
+
+    let Some(Json::Arr(epochs)) = doc.get("epochs") else {
+        return Err("missing epochs array".into());
+    };
+    if epochs.is_empty() {
+        return Err("empty epochs array".into());
+    }
+    for e in epochs {
+        let i = e
+            .get("epoch")
+            .and_then(Json::as_f64)
+            .ok_or("epoch entry missing its index")?;
+        for field in ["warm_ms", "warm_cost", "cold_ms", "cold_cost"] {
+            let x = e
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("epoch {i}: missing {field}"))?;
+            if !(x.is_finite() && x >= 0.0) {
+                return Err(format!("epoch {i}: {field} = {x} is not a measurement"));
+            }
+        }
+        for (flag, why) in [
+            ("warm", "the re-solve missed the cached distribution"),
+            (
+                "solved",
+                "an arm degraded to FM-only (pipeline solve failed)",
+            ),
+            (
+                "warm_not_worse",
+                "warm cost exceeded the cold-arm tolerance",
+            ),
+        ] {
+            match e.get(flag).and_then(Json::as_bool) {
+                Some(true) => {}
+                Some(false) => return Err(format!("epoch {i}: {why} ({flag} = false)")),
+                None => return Err(format!("epoch {i}: missing {flag}")),
+            }
+        }
+    }
+
+    let speedup = doc
+        .path(&["summary", "warm_speedup"])
+        .and_then(Json::as_f64)
+        .ok_or("missing summary.warm_speedup")?;
+    if !(speedup.is_finite() && speedup >= MIN_WARM_SPEEDUP) {
+        return Err(format!(
+            "warm_speedup {speedup:.2} below the {MIN_WARM_SPEEDUP} acceptance bar"
+        ));
+    }
+
+    let Some(Json::Arr(pareto)) = doc.get("pareto") else {
+        return Err("missing pareto array".into());
+    };
+    if pareto.is_empty() {
+        return Err("empty pareto array".into());
+    }
+    let mut prev: Option<(f64, f64)> = None; // (budget, cost)
+    for p in pareto {
+        let budget = p
+            .get("budget")
+            .and_then(Json::as_f64)
+            .ok_or("pareto point missing budget")?;
+        let cost = p
+            .get("cost")
+            .and_then(Json::as_f64)
+            .ok_or("pareto point missing cost")?;
+        let moves = p
+            .get("moves")
+            .and_then(Json::as_f64)
+            .ok_or("pareto point missing moves")?;
+        if !(cost.is_finite() && cost >= 0.0) {
+            return Err(format!("pareto budget {budget}: cost {cost} is not a cost"));
+        }
+        if moves > budget {
+            return Err(format!(
+                "pareto budget {budget}: spent {moves} moves, over budget"
+            ));
+        }
+        match prev {
+            None if budget != 0.0 => {
+                return Err("pareto curve must start at budget 0".into());
+            }
+            Some((pb, _)) if budget <= pb => {
+                return Err(format!(
+                    "pareto budgets must be strictly increasing ({pb} then {budget})"
+                ));
+            }
+            Some((_, pc)) if cost > pc + 1e-6 * pc.max(1.0) => {
+                return Err(format!(
+                    "pareto curve is not monotone: cost {cost} at budget {budget} \
+                     exceeds {pc} at a smaller budget"
+                ));
+            }
+            _ => {}
+        }
+        prev = Some((budget, cost));
+    }
+    Ok(())
+}
+
+/// The CI elastic-regression gate: validates the committed
+/// `BENCH_elastic.json`, then compares a freshly measured run against it —
+/// failing when the fresh warm speedup falls more than
+/// [`SMOKE_SPEEDUP_TOLERANCE`] below the committed one, or when any
+/// epoch's fresh warm cost exceeds its committed counterpart by more than
+/// [`SMOKE_COST_TOLERANCE`] (costs are deterministic for a fixed seed).
+/// Raw wall times are never compared — only the within-run ratio, which is
+/// machine-speed-free.
+pub fn smoke_check(committed: &str, fresh: &ElasticBenchReport) -> Result<(), String> {
+    validate(committed).map_err(|e| format!("committed baseline invalid: {e}"))?;
+    let doc = Json::parse(committed)?;
+    let committed_speedup = doc
+        .path(&["summary", "warm_speedup"])
+        .and_then(Json::as_f64)
+        .ok_or("committed baseline missing summary.warm_speedup")?;
+    let fresh_speedup = fresh.warm_speedup();
+    if fresh_speedup < committed_speedup / SMOKE_SPEEDUP_TOLERANCE {
+        return Err(format!(
+            "warm-solve regression: fresh speedup {fresh_speedup:.2}x vs committed \
+             {committed_speedup:.2}x (tolerance {SMOKE_SPEEDUP_TOLERANCE}x)"
+        ));
+    }
+    let Some(Json::Arr(epochs)) = doc.get("epochs") else {
+        return Err("committed baseline missing epochs".into());
+    };
+    for (e, c) in fresh.epochs.iter().zip(epochs) {
+        let committed_cost = c
+            .get("warm_cost")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("committed epoch {} missing warm_cost", e.epoch))?;
+        if e.warm_cost > committed_cost * SMOKE_COST_TOLERANCE + 1e-9 {
+            return Err(format!(
+                "cost regression at epoch {}: fresh warm_cost {:.4} > \
+                 {SMOKE_COST_TOLERANCE} x committed {committed_cost:.4}",
+                e.epoch, e.warm_cost
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A seconds-scale configuration for library tests: a smaller DAG and
+    /// fewer epochs, but the same 8-tree spread so the warm-vs-cold gap
+    /// (what `validate` gates at 2x) stays structural, not incidental.
+    fn test_opts() -> ElasticBenchOpts {
+        ElasticBenchOpts {
+            epochs: 3,
+            queries: 10,
+            depth: 4,
+            ..ElasticBenchOpts::standard()
+        }
+    }
+
+    #[test]
+    fn replay_emits_valid_json_and_stays_warm() {
+        let report = run_elastic_bench(&test_opts()).unwrap();
+        assert_eq!(report.epochs.len(), 3);
+        for e in &report.epochs {
+            assert!(e.warm, "epoch {}: demand churn must stay warm", e.epoch);
+            assert!(e.solved, "epoch {}: both arms must fully solve", e.epoch);
+            assert!(
+                e.warm_not_worse(),
+                "epoch {}: warm {} vs cold {}",
+                e.epoch,
+                e.warm_cost,
+                e.cold_cost
+            );
+        }
+        assert_eq!(report.pareto.first().map(|p| p.budget), Some(0));
+        assert_eq!(report.pareto.first().map(|p| p.moves), Some(0));
+        let text = report.to_json().to_pretty();
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_broken_documents() {
+        assert!(validate("{}").is_err());
+        assert!(validate("not json").is_err());
+        let report = run_elastic_bench(&test_opts()).unwrap();
+        let good = report.to_json().to_pretty();
+        let cold = good.replacen("\"warm\": true", "\"warm\": false", 1);
+        assert!(validate(&cold).is_err(), "a cache miss must fail");
+        let degraded = good.replacen("\"solved\": true", "\"solved\": false", 1);
+        assert!(validate(&degraded).is_err(), "a failed solve must fail");
+        let worse = good.replacen("\"warm_not_worse\": true", "\"warm_not_worse\": false", 1);
+        assert!(validate(&worse).is_err(), "a cost blow-up must fail");
+        let wrong_schema = good.replace(SCHEMA, "hgp-bench-elastic/0");
+        assert!(validate(&wrong_schema).is_err(), "old schema must fail");
+
+        // a non-monotone Pareto curve must fail
+        let mut bent = report.clone();
+        let last = bent.pareto.len() - 1;
+        bent.pareto[last].cost = bent.pareto[0].cost * 2.0 + 1.0;
+        assert!(validate(&bent.to_json().to_pretty()).is_err());
+
+        // a too-slow warm path must fail
+        let mut slow = report;
+        for e in &mut slow.epochs {
+            e.warm_ms = e.cold_ms; // speedup 1.0 < MIN_WARM_SPEEDUP
+        }
+        assert!(validate(&slow.to_json().to_pretty()).is_err());
+    }
+
+    #[test]
+    fn smoke_check_flags_regressions_only() {
+        let report = run_elastic_bench(&test_opts()).unwrap();
+        let committed = report.to_json().to_pretty();
+        // same run against itself: no regression
+        smoke_check(&committed, &report).unwrap();
+        // absolute wall-clock noise is ignored (ratio is preserved)
+        let mut noisy = report.clone();
+        for e in &mut noisy.epochs {
+            e.warm_ms *= 3.0;
+            e.cold_ms *= 3.0;
+        }
+        smoke_check(&committed, &noisy).unwrap();
+        // a >25 % speedup drop fails
+        let mut slow = report.clone();
+        for e in &mut slow.epochs {
+            e.warm_ms *= 2.0;
+        }
+        let err = smoke_check(&committed, &slow).unwrap_err();
+        assert!(err.contains("warm-solve regression"), "{err}");
+        // a deterministic cost drift fails
+        let mut drifted = report.clone();
+        drifted.epochs[0].warm_cost *= 1.1;
+        let err = smoke_check(&committed, &drifted).unwrap_err();
+        assert!(err.contains("cost regression"), "{err}");
+        // an invalid baseline fails regardless
+        assert!(smoke_check("{}", &report).is_err());
+    }
+}

@@ -8,11 +8,15 @@
 //! serial-vs-parallel trajectory (`BENCH_solver.json`) is produced by the
 //! `bench_solver` binary on top of [`solver_bench`]. The server load
 //! trajectory (`BENCH_server.json`, open-loop event-vs-legacy A/B) is
-//! produced by the `bench_server` binary on top of [`server_bench`].
+//! produced by the `bench_server` binary on top of [`server_bench`], and
+//! the elastic re-placement trajectory (`BENCH_elastic.json`, warm-vs-cold
+//! re-solves under churn) by the `bench_elastic` binary on top of
+//! [`elastic_bench`].
 
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod elastic_bench;
 pub mod experiments;
 pub mod json;
 pub mod scale_bench;

@@ -118,7 +118,7 @@ pub fn hierarchy_fingerprint(h: &Hierarchy) -> u64 {
     fp.finish()
 }
 
-fn write_decomp_opts(fp: &mut Fingerprinter, opts: &DecompOpts) {
+pub(crate) fn write_decomp_opts(fp: &mut Fingerprinter, opts: &DecompOpts) {
     let b = &opts.bisect;
     fp.write_f64(b.target0_frac)
         .write_f64(b.eps)

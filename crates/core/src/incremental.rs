@@ -5,25 +5,41 @@
 //! every change would re-pin everything. [`DynamicPlacer`] maintains a
 //! placement under such churn: new tasks are placed best-fit against the
 //! hierarchical cost, removals free capacity, demand changes trigger
-//! relocation only on overflow, and [`DynamicPlacer::rebalance`] runs
-//! bounded local-search passes (single-task moves) against the true
-//! Equation-1 objective. Every mutation is counted so operators can weigh
-//! placement quality against re-pinning churn.
+//! relocation only on overflow, and bounded local-search passes
+//! (single-task moves) improve against the true Equation-1 objective.
+//! Every mutation is counted so operators can weigh placement quality
+//! against re-pinning churn.
+//!
+//! The placer's free mutating methods (`add_task`, `remove_task`,
+//! `update_demand`, `rebalance`) are **deprecated**: they apply one change
+//! at a time with no validation boundary, no batch atomicity, and no
+//! hierarchy mutations. New code goes through the transactional
+//! [`crate::elastic::Session`] API — [`Session::apply`](crate::elastic::Session::apply) takes a batch of
+//! typed [`Mutation`](crate::elastic::Mutation)s, validates the whole
+//! batch up front, and applies it all-or-nothing; the same state machine
+//! (this struct) runs underneath, so behaviour is bit-identical.
 
 use crate::{Assignment, Instance};
 use hgp_hierarchy::Hierarchy;
 
 /// An online task-to-leaf placement under task churn.
+///
+/// Mutate through [`crate::elastic::Session`]; the direct mutators on this
+/// type are deprecated (see the module docs).
 #[derive(Clone, Debug)]
 pub struct DynamicPlacer {
-    h: Hierarchy,
-    demands: Vec<f64>,
-    active: Vec<bool>,
+    pub(crate) h: Hierarchy,
+    pub(crate) demands: Vec<f64>,
+    pub(crate) active: Vec<bool>,
     /// adjacency: per task, `(neighbour, weight)` (symmetric).
-    adj: Vec<Vec<(u32, f64)>>,
-    leaf_of: Vec<u32>,
-    loads: Vec<f64>,
-    moves: u64,
+    pub(crate) adj: Vec<Vec<(u32, f64)>>,
+    pub(crate) leaf_of: Vec<u32>,
+    pub(crate) loads: Vec<f64>,
+    pub(crate) moves: u64,
+    /// Leaves fenced off by [`crate::elastic::Mutation::DrainLeaf`]: they
+    /// hold no tasks and never receive new ones. Always all-`false` for
+    /// placers driven through the deprecated direct mutators.
+    pub(crate) drained: Vec<bool>,
 }
 
 impl DynamicPlacer {
@@ -38,6 +54,7 @@ impl DynamicPlacer {
             leaf_of: Vec::new(),
             loads: vec![0.0; k],
             moves: 0,
+            drained: vec![false; k],
         }
     }
 
@@ -57,6 +74,11 @@ impl DynamicPlacer {
         }
         p.moves = 0;
         p
+    }
+
+    /// The machine hierarchy this placer places onto.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.h
     }
 
     /// Number of live tasks.
@@ -108,7 +130,7 @@ impl DynamicPlacer {
         c
     }
 
-    fn marginal(&self, task: usize, leaf: usize) -> f64 {
+    pub(crate) fn marginal(&self, task: usize, leaf: usize) -> f64 {
         self.adj[task]
             .iter()
             .filter(|&&(v, _)| self.active[v as usize])
@@ -120,12 +142,12 @@ impl DynamicPlacer {
             .sum()
     }
 
-    fn best_leaf(&self, task: usize, demand: f64) -> usize {
+    pub(crate) fn best_leaf(&self, task: usize, demand: f64) -> usize {
         let k = self.h.num_leaves();
         let mut best = usize::MAX;
         let mut best_cost = f64::INFINITY;
         for leaf in 0..k {
-            if self.loads[leaf] + demand > 1.0 + 1e-9 {
+            if self.drained[leaf] || self.loads[leaf] + demand > 1.0 + 1e-9 {
                 continue;
             }
             let c = self.marginal(task, leaf);
@@ -135,10 +157,12 @@ impl DynamicPlacer {
             }
         }
         if best == usize::MAX {
-            // overloaded: least-loaded leaf, violation accepted and visible
+            // overloaded: least-loaded undrained leaf, violation accepted
+            // and visible (Session validation guarantees one exists)
             (0..k)
+                .filter(|&l| !self.drained[l])
                 .min_by(|&a, &b| self.loads[a].partial_cmp(&self.loads[b]).unwrap())
-                .unwrap()
+                .expect("at least one undrained leaf")
         } else {
             best
         }
@@ -148,7 +172,15 @@ impl DynamicPlacer {
     ///
     /// # Panics
     /// Panics on an invalid demand or a neighbour that is absent/removed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the transactional API: `elastic::Session::apply(&[Mutation::AddTask { .. }])`"
+    )]
     pub fn add_task(&mut self, demand: f64, neighbors: &[(usize, f64)]) -> usize {
+        self.add_task_impl(demand, neighbors)
+    }
+
+    pub(crate) fn add_task_impl(&mut self, demand: f64, neighbors: &[(usize, f64)]) -> usize {
         assert!(demand > 0.0 && demand <= 1.0, "demand must be in (0,1]");
         let id = self.demands.len();
         for &(v, w) in neighbors {
@@ -171,7 +203,15 @@ impl DynamicPlacer {
     }
 
     /// Removes a task, freeing its capacity. Its id is never reused.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the transactional API: `elastic::Session::apply(&[Mutation::RemoveTask { .. }])`"
+    )]
     pub fn remove_task(&mut self, task: usize) {
+        self.remove_task_impl(task);
+    }
+
+    pub(crate) fn remove_task_impl(&mut self, task: usize) {
         assert!(self.active[task], "task {task} already removed");
         self.active[task] = false;
         self.loads[self.leaf_of[task] as usize] -= self.demands[task];
@@ -179,7 +219,15 @@ impl DynamicPlacer {
 
     /// Changes a task's demand; relocates it (best-fit) only if its leaf
     /// overflows.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the transactional API: `elastic::Session::apply(&[Mutation::UpdateDemand { .. }])`"
+    )]
     pub fn update_demand(&mut self, task: usize, demand: f64) {
+        self.update_demand_impl(task, demand);
+    }
+
+    pub(crate) fn update_demand_impl(&mut self, task: usize, demand: f64) {
         assert!(self.active[task]);
         assert!(demand > 0.0 && demand <= 1.0);
         let leaf = self.leaf_of[task] as usize;
@@ -199,7 +247,16 @@ impl DynamicPlacer {
     /// One bounded local-search pass: strictly-improving single-task moves
     /// in task order, at most `max_moves` of them. Returns `(moves made,
     /// cost gained)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `elastic::Session::rebalance` (same pass) or `elastic::Session::resolve` \
+                for budgeted warm re-solves"
+    )]
     pub fn rebalance(&mut self, max_moves: usize) -> (usize, f64) {
+        self.rebalance_impl(max_moves)
+    }
+
+    pub(crate) fn rebalance_impl(&mut self, max_moves: usize) -> (usize, f64) {
         let k = self.h.num_leaves();
         let mut made = 0usize;
         let mut gained = 0.0;
@@ -216,7 +273,7 @@ impl DynamicPlacer {
             let mut best = from;
             let mut best_cost = cur;
             for leaf in 0..k {
-                if leaf == from || self.loads[leaf] + d > 1.0 + 1e-9 {
+                if leaf == from || self.drained[leaf] || self.loads[leaf] + d > 1.0 + 1e-9 {
                     continue;
                 }
                 let c = self.marginal(t, leaf);
@@ -240,6 +297,9 @@ impl DynamicPlacer {
 
 #[cfg(test)]
 mod tests {
+    // deprecation-compat coverage: the direct mutators stay exercised here
+    // on purpose until they are removed
+    #![allow(deprecated)]
     use super::*;
     use hgp_graph::Graph;
     use hgp_hierarchy::presets;
@@ -323,5 +383,56 @@ mod tests {
         let a = p.add_task(0.3, &[]);
         p.remove_task(a);
         p.add_task(0.3, &[(a, 1.0)]);
+    }
+
+    // ---- audit pins (ISSUE 10): id-reuse and removed-task semantics ----
+
+    #[test]
+    fn removed_ids_are_never_reused_and_readd_is_a_fresh_task() {
+        // "remove then re-add the same logical task": the placer hands out
+        // a *new* id; the old id stays dead and its load stays freed.
+        let mut p = DynamicPlacer::new(machine());
+        let a = p.add_task(0.6, &[]);
+        let leaf_a = p.leaf_of(a);
+        p.remove_task(a);
+        let b = p.add_task(0.6, &[]);
+        assert_ne!(a, b, "ids are monotone, never recycled");
+        assert_eq!(p.num_active(), 1);
+        // the freed capacity is reusable, so the replacement may land on
+        // the same leaf, and total load accounts only the live task
+        assert_eq!(p.leaf_of(b), leaf_a);
+        let total: f64 = p.loads().iter().sum();
+        assert!((total - 0.6).abs() < 1e-12, "dead id must not carry load");
+    }
+
+    #[test]
+    #[should_panic]
+    fn update_demand_on_removed_task_panics() {
+        // pinned behaviour: demand updates require a live task. The wire
+        // layer (hgp-server) validates live-ness first and turns this into
+        // a `not-found` error instead of panicking.
+        let mut p = DynamicPlacer::new(machine());
+        let a = p.add_task(0.3, &[]);
+        p.remove_task(a);
+        p.update_demand(a, 0.5);
+    }
+
+    #[test]
+    fn double_remove_panics_but_remove_readd_load_books_balance() {
+        // load accounting under a remove / re-add / resize storm stays
+        // consistent with a from-scratch recompute
+        let mut p = DynamicPlacer::new(machine());
+        let a = p.add_task(0.4, &[]);
+        let b = p.add_task(0.5, &[(a, 2.0)]);
+        p.remove_task(a);
+        let c = p.add_task(0.4, &[(b, 1.0)]);
+        p.update_demand(c, 0.2);
+        let mut expect = vec![0.0; p.loads().len()];
+        for t in [b, c] {
+            expect[p.leaf_of(t)] += if t == b { 0.5 } else { 0.2 };
+        }
+        for (l, (&got, &want)) in p.loads().iter().zip(&expect).enumerate() {
+            assert!((got - want).abs() < 1e-12, "leaf {l}: {got} vs {want}");
+        }
     }
 }

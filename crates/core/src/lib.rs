@@ -20,6 +20,14 @@
 //!   free functions `solve`, `build_distribution`,
 //!   `solve_on_distribution`, and `solve_tree_instance` are deprecated
 //!   thin wrappers around it);
+//! * [`elastic`] — the transactional mutation + warm re-solve layer for
+//!   long-lived placements: [`Session::apply`] validates and applies
+//!   batches of typed [`Mutation`]s all-or-nothing, and
+//!   [`Session::resolve`] re-places under a [`ChurnBudget`] reusing the
+//!   cached tree distribution when the mutations left the topology alone;
+//! * [`fm`] — the shared hierarchy-aware FM pass scoring moves by
+//!   Equation-1 level costs (used by `hgp-multilevel` refinement and
+//!   bounded-churn re-solves);
 //! * [`exact`] — a branch-and-bound reference optimum for small instances;
 //! * [`cost`] — Equation-3 mirror costs and minimum leaf-separating tree
 //!   cuts, used to validate Lemmas 1–2 and Corollaries 2–3.
@@ -38,10 +46,12 @@
 mod assignment;
 pub mod bounds;
 pub mod cost;
+pub mod elastic;
 pub mod error;
 pub mod exact;
 pub mod facade;
 pub mod fingerprint;
+pub mod fm;
 pub mod incremental;
 mod instance;
 pub mod kbgp;
@@ -53,6 +63,10 @@ pub mod solver;
 pub mod tree_solver;
 
 pub use assignment::{Assignment, ViolationReport};
+pub use elastic::{
+    ChurnBudget, Delta, Mutation, MutationError, ReplaceOptions, ReplaceOptionsBuilder,
+    ResolveChoice, ResolveReport, Session, SessionSnapshot,
+};
 pub use error::HgpError;
 pub use facade::Solve;
 pub use hgp_decomp::Parallelism;

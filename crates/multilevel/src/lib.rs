@@ -44,6 +44,7 @@
 
 use hgp_baselines::kway::{kway_partition, KwayOpts};
 use hgp_baselines::refine::{refine, RefineOpts};
+use hgp_core::fm::hier_fm_pass;
 use hgp_core::solver::HgpReport;
 use hgp_core::{Assignment, Instance, Solve, SolveError, SolverOptions};
 use hgp_graph::partition::{coarsen_capped, coarsen_lp, Coarsening};
@@ -421,164 +422,6 @@ pub fn solve_multilevel(
         core,
         trace,
     })
-}
-
-/// Max-heap candidate: gain first, then node index for deterministic
-/// tie-breaks (mirrors `fm_pass`'s ordering).
-#[derive(PartialEq)]
-struct Cand(f64, u32);
-
-impl Eq for Cand {}
-
-impl PartialOrd for Cand {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Cand {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(self.1.cmp(&other.1).reverse())
-    }
-}
-
-/// Marginal Equation-1 cost of node `v` if placed on `leaf`: each incident
-/// edge pays its weight times the cost multiplier of the LCA level between
-/// `leaf` and the neighbour's current leaf. This — not flat cut weight —
-/// is what a hierarchy-aware gain must score: a move that leaves the cut
-/// unchanged but pulls an edge from a cross-socket LCA down to an
-/// intra-socket one is strictly profitable under Equation 1.
-fn marginal(g: &Graph, h: &Hierarchy, leaf_of: &[u32], v: usize, leaf: usize) -> f64 {
-    let mut c = 0.0;
-    for (u, w, _) in g.neighbors(NodeId(v as u32)) {
-        c += w * h.edge_multiplier(leaf, leaf_of[u.index()] as usize);
-    }
-    c
-}
-
-/// The best feasible boundary move for `v`: the target leaf among its
-/// neighbours' leaves with the largest Equation-1 gain (positive *or*
-/// negative — the FM pass hill-climbs and rolls back) whose load stays
-/// within `cap`. Returns `(gain, target)`; `target == u32::MAX` means no
-/// feasible boundary move exists at all.
-fn best_move(
-    g: &Graph,
-    node_w: &[f64],
-    h: &Hierarchy,
-    leaf_of: &[u32],
-    loads: &[f64],
-    cap: f64,
-    v: usize,
-) -> (f64, u32) {
-    let from = leaf_of[v] as usize;
-    let w_v = node_w[v];
-    let base = marginal(g, h, leaf_of, v, from);
-    let mut best = (f64::NEG_INFINITY, u32::MAX);
-    // candidate targets: leaves hosting at least one neighbour (boundary
-    // moves — a leaf with no neighbours can only raise every edge's LCA)
-    let mut cands: Vec<u32> = Vec::with_capacity(8);
-    for (u, _, _) in g.neighbors(NodeId(v as u32)) {
-        let t = leaf_of[u.index()];
-        if t as usize != from && !cands.contains(&t) {
-            cands.push(t);
-        }
-    }
-    for &t in &cands {
-        if loads[t as usize] + w_v > cap + 1e-9 {
-            continue;
-        }
-        let gain = base - marginal(g, h, leaf_of, v, t as usize);
-        if gain > best.0 {
-            best = (gain, t);
-        }
-    }
-    best
-}
-
-/// One hierarchy-aware FM pass in the classic Fiduccia–Mattheyses style:
-/// apply capacity-feasible single-node boundary moves in best-gain-first
-/// order (each node moves at most once per pass), *including* negative-gain
-/// moves — hill-climbing off the plateaus that trap a strictly-improving
-/// relocator on mesh-like graphs — then roll back to the best prefix of
-/// the move journal. The returned pass gain is the best running total,
-/// never negative, so Equation-1 cost is still monotonically
-/// non-increasing per pass.
-fn hier_fm_pass(
-    g: &Graph,
-    node_w: &[f64],
-    h: &Hierarchy,
-    leaf_of: &mut [u32],
-    loads: &mut [f64],
-    cap: f64,
-) -> f64 {
-    let n = g.num_nodes();
-    let mut heap = std::collections::BinaryHeap::new();
-    for v in 0..n {
-        let (gain, target) = best_move(g, node_w, h, leaf_of, loads, cap, v);
-        if target != u32::MAX {
-            heap.push(Cand(gain, v as u32));
-        }
-    }
-    let mut moved = vec![false; n];
-    // journal of applied moves as (node, previous leaf); the suffix past
-    // the best running total is undone at the end of the pass
-    let mut journal: Vec<(u32, u32)> = Vec::new();
-    let mut total = 0.0;
-    let mut best_total = 0.0;
-    let mut best_len = 0usize;
-    // hill-climb patience: give up once this many consecutive moves fail
-    // to reach a new best total (bounds pass time on large graphs while
-    // still allowing deep enough descents to cross cost ridges)
-    let stall_limit = (n / 8).max(64);
-    while let Some(Cand(gn, vi)) = heap.pop() {
-        let v = vi as usize;
-        if moved[v] {
-            continue;
-        }
-        // loads and neighbour placements may have shifted since this entry
-        // was pushed: re-score, and re-queue instead of applying stale gains
-        let (gain, target) = best_move(g, node_w, h, leaf_of, loads, cap, v);
-        if target == u32::MAX {
-            continue;
-        }
-        if (gn - gain).abs() > 1e-12 {
-            heap.push(Cand(gain, vi));
-            continue;
-        }
-        let from = leaf_of[v] as usize;
-        loads[from] -= node_w[v];
-        loads[target as usize] += node_w[v];
-        leaf_of[v] = target;
-        moved[v] = true;
-        journal.push((vi, from as u32));
-        total += gain;
-        if total > best_total + 1e-12 {
-            best_total = total;
-            best_len = journal.len();
-        } else if journal.len() - best_len > stall_limit {
-            break;
-        }
-        for (u, _, _) in g.neighbors(NodeId(vi)) {
-            if !moved[u.index()] {
-                let (g2, t2) = best_move(g, node_w, h, leaf_of, loads, cap, u.index());
-                if t2 != u32::MAX {
-                    heap.push(Cand(g2, u.0));
-                }
-            }
-        }
-    }
-    // undo the exploratory suffix: everything past the best running total
-    for &(vi, from) in journal[best_len..].iter().rev() {
-        let v = vi as usize;
-        let cur = leaf_of[v] as usize;
-        loads[cur] -= node_w[v];
-        loads[from as usize] += node_w[v];
-        leaf_of[v] = from;
-    }
-    best_total
 }
 
 #[cfg(test)]

@@ -15,8 +15,9 @@
 //! * [`cache`] — an LRU over Räcke tree distributions keyed by the
 //!   structural fingerprints in `hgp_core::fingerprint`, so repeat
 //!   topologies skip the expensive embedding;
-//! * [`session`] — server-held [`hgp_core::incremental::DynamicPlacer`]
-//!   sessions for task churn, with wire-safe validation;
+//! * [`session`] — server-held elastic [`hgp_core::Session`]s for task
+//!   churn (typed `mutate` batches, bounded-churn `resolve`), with
+//!   wire-safe validation;
 //! * [`metrics`] — typed `hgp-obs` counters, gauges and histograms in a
 //!   registry behind `stats` (legacy names) and `stats2` (versioned);
 //! * [`flight`] — single-flight coalescing: concurrent solves sharing a

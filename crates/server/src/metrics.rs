@@ -79,6 +79,19 @@ pub struct Metrics {
     /// Client connections currently open (either front end).
     /// `stats2`-only. Wire: `conns.open`.
     pub conns_open: Arc<Gauge>,
+    /// Mutations committed through the transactional session API (each
+    /// element of a `mutate` batch, plus the legacy single-shot verbs
+    /// which route through the same API). `stats2`-only.
+    /// Wire: `session.mutations`.
+    pub session_mutations: Arc<Counter>,
+    /// `resolve` operations that reused the session's cached tree
+    /// distribution (replied `warm=1`). `stats2`-only.
+    /// Wire: `session.warm-solves`.
+    pub session_warm_solves: Arc<Counter>,
+    /// Placement moves session operations incurred (arrivals, overflow
+    /// relocations, drain evacuations, resolve commits) — the fleet-wide
+    /// re-pinning churn. `stats2`-only. Wire: `session.moves`.
+    pub session_moves: Arc<Counter>,
     /// End-to-end solve latency (enqueue to reply), successful solves
     /// only, in microseconds. Wire: `solve.latency-us`.
     pub solve_latency: Arc<Histogram>,
@@ -116,6 +129,9 @@ impl Metrics {
         let cache_coalesced = registry.counter("cache.coalesced");
         let pool_busy_us = registry.counter("pool.busy-us");
         let conns_open = registry.gauge("conns.open");
+        let session_mutations = registry.counter("session.mutations");
+        let session_warm_solves = registry.counter("session.warm-solves");
+        let session_moves = registry.counter("session.moves");
         let solve_latency = registry.histogram("solve.latency-us");
         let queue_wait = registry.histogram("queue.wait-us");
         Self {
@@ -138,6 +154,9 @@ impl Metrics {
             cache_coalesced,
             pool_busy_us,
             conns_open,
+            session_mutations,
+            session_warm_solves,
+            session_moves,
             solve_latency,
             queue_wait,
         }
@@ -250,6 +269,9 @@ mod tests {
         m.cache_coalesced.inc();
         m.pool_busy_us.add(250);
         m.conns_open.set(12);
+        m.session_mutations.add(4);
+        m.session_warm_solves.inc();
+        m.session_moves.add(9);
         let line = m.stats2_line(5, 2, 3);
         assert!(line.starts_with("version=2 req.lines=1"), "{line}");
         for tok in [
@@ -261,6 +283,9 @@ mod tests {
             "cache.coalesced=1",
             "pool.busy-us=250",
             "conns.open=12",
+            "session.mutations=4",
+            "session.warm-solves=1",
+            "session.moves=9",
             "solve.latency-us-p50=128",
             "solve.latency-us-count=1",
             "queue.wait-us-p50=8",

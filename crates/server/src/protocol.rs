@@ -14,6 +14,8 @@
 //! place-incremental remove session=<id> task=<t>
 //! place-incremental resize session=<id> task=<t> demand=<f>
 //! place-incremental rebalance session=<id> [max-moves=<n>]
+//! place-incremental mutate session=<id> <mutation>...
+//! place-incremental resolve session=<id> [budget=<n>] [ratio=<f>] [cold=0|1]
 //! place-incremental info session=<id>
 //! place-incremental end session=<id>
 //! stats
@@ -27,6 +29,26 @@
 //! `cache.*` keys — mapping table in `docs/PROTOCOL.md`). `trace=1` on a
 //! `solve` appends per-stage `trace.*` profiling tokens to the `ok`
 //! reply.
+//!
+//! A `mutate` line carries one transactional batch: every token after
+//! `session=` is one mutation, applied in line order, all-or-nothing
+//! (the whole batch is validated before anything commits). Mutation
+//! tokens:
+//!
+//! ```text
+//! add=<demand>[:<t>:<w>,..]   add a task (optional weighted neighbours)
+//! remove=<t>                  remove a live task
+//! demand=<t>:<d>              update a live task's demand
+//! drain=<l>                   drain leaf l (evacuate + fence off)
+//! grow=<g>                    add g level-1 machine groups
+//! mult=<lvl>:<m>              re-scale one level's cost multiplier
+//! ```
+//!
+//! `resolve` re-places the session's live tasks under a churn budget
+//! (at most `budget` tasks leave their current leaves; `ratio` trades
+//! cost slack for fewer moves; `cold=1` forces a distribution rebuild).
+//! The reply carries `moves=`/`churn=`/`warm=` tokens; `warm=1` means
+//! the cached tree distribution was reused.
 //!
 //! Graph specs: `edges:<n>:<u>-<v>:<w>,...` inlines a weighted edge list;
 //! `gen:stream:<seed>`, `gen:mesh:<r>x<c>:<seed>`, `gen:powerlaw:<n>:<seed>`
@@ -447,6 +469,25 @@ pub enum IncrOp {
         /// Move budget.
         max_moves: usize,
     },
+    /// Apply a transactional batch of typed mutations, all-or-nothing.
+    Mutate {
+        /// Session id.
+        session: u64,
+        /// Mutations in line order.
+        ops: Vec<hgp_core::Mutation>,
+    },
+    /// Warm-started re-solve under a churn budget.
+    Resolve {
+        /// Session id.
+        session: u64,
+        /// Maximum tasks that may leave their current leaves
+        /// (`None` = unlimited).
+        budget: Option<usize>,
+        /// Cost-ratio slack traded for fewer moves (`None` = 1.0).
+        ratio: Option<f64>,
+        /// Force a cold distribution rebuild.
+        cold: bool,
+    },
     /// Report session state.
     Info {
         /// Session id.
@@ -629,6 +670,15 @@ impl Request {
         let op = toks
             .next()
             .ok_or_else(|| WireError::bad("place-incremental needs an operation"))?;
+        // `mutate` and `resolve` have their own grammars: `mutate` tokens
+        // are order-sensitive (each one is a mutation in a transactional
+        // batch) and reuse keys like `demand=` with different shapes
+        if op == "mutate" {
+            return Self::parse_mutate(toks).map(Request::Incr);
+        }
+        if op == "resolve" {
+            return Self::parse_resolve(toks).map(Request::Incr);
+        }
         let mut machine = None;
         let mut session = None;
         let mut task = None;
@@ -690,6 +740,97 @@ impl Request {
             }
         };
         Ok(Request::Incr(op))
+    }
+
+    fn parse_mutate<'a>(toks: impl Iterator<Item = &'a str>) -> Result<IncrOp, WireError> {
+        use hgp_core::Mutation;
+        let mut session = None;
+        let mut ops = Vec::new();
+        for tok in toks {
+            let (key, val) = parse_kv(tok)?;
+            match key {
+                "session" => session = Some(parse_num::<u64>(key, val)?),
+                "add" => {
+                    let (d_str, nbrs_str) = match val.split_once(':') {
+                        Some((d, rest)) => (d, rest),
+                        None => (val, ""),
+                    };
+                    let demand = check_demand(parse_num("add", d_str)?)?;
+                    let nbrs = parse_nbrs(nbrs_str)?;
+                    ops.push(Mutation::AddTask { demand, nbrs });
+                }
+                "remove" => ops.push(Mutation::RemoveTask {
+                    task: parse_num(key, val)?,
+                }),
+                "demand" => {
+                    let (t, d) = val.split_once(':').ok_or_else(|| {
+                        WireError::bad(format!("bad demand update {val:?} (want task:demand)"))
+                    })?;
+                    ops.push(Mutation::UpdateDemand {
+                        task: parse_num("demand", t)?,
+                        demand: check_demand(parse_num("demand", d)?)?,
+                    });
+                }
+                "drain" => ops.push(Mutation::DrainLeaf {
+                    leaf: parse_num(key, val)?,
+                }),
+                "grow" => ops.push(Mutation::AddLeaves {
+                    groups: parse_num(key, val)?,
+                }),
+                "mult" => {
+                    let (l, m) = val.split_once(':').ok_or_else(|| {
+                        WireError::bad(format!("bad multiplier {val:?} (want level:mult)"))
+                    })?;
+                    let multiplier: f64 = parse_num("mult", m)?;
+                    if !(multiplier.is_finite() && multiplier >= 0.0) {
+                        return Err(WireError::bad(format!(
+                            "multiplier {multiplier} must be finite and non-negative"
+                        )));
+                    }
+                    ops.push(Mutation::SetMultiplier {
+                        level: parse_num("mult", l)?,
+                        multiplier,
+                    });
+                }
+                _ => return Err(WireError::bad(format!("unknown mutation {key:?}"))),
+            }
+        }
+        let session = session.ok_or_else(|| WireError::bad("mutate needs session=…"))?;
+        if ops.is_empty() {
+            return Err(WireError::bad("mutate needs at least one mutation"));
+        }
+        Ok(IncrOp::Mutate { session, ops })
+    }
+
+    fn parse_resolve<'a>(toks: impl Iterator<Item = &'a str>) -> Result<IncrOp, WireError> {
+        let mut session = None;
+        let mut budget = None;
+        let mut ratio = None;
+        let mut cold = false;
+        for tok in toks {
+            let (key, val) = parse_kv(tok)?;
+            match key {
+                "session" => session = Some(parse_num::<u64>(key, val)?),
+                "budget" => budget = Some(parse_num::<usize>(key, val)?),
+                "ratio" => {
+                    let r: f64 = parse_num(key, val)?;
+                    if !(r.is_finite() && r >= 1.0) {
+                        return Err(WireError::bad(format!(
+                            "ratio {r} must be finite and at least 1"
+                        )));
+                    }
+                    ratio = Some(r);
+                }
+                "cold" => cold = parse_flag(key, val)?,
+                _ => return Err(WireError::bad(format!("unknown resolve field {key:?}"))),
+            }
+        }
+        Ok(IncrOp::Resolve {
+            session: session.ok_or_else(|| WireError::bad("resolve needs session=…"))?,
+            budget,
+            ratio,
+            cold,
+        })
     }
 }
 

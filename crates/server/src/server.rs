@@ -386,12 +386,17 @@ pub(crate) fn route_inline(line: &str, shared: &Shared) -> Routed {
             return Routed::Solve(spec);
         }
         Request::Incr(op) => match shared.sessions.apply(op) {
-            Ok(body) => {
+            Ok(out) => {
                 metrics.incr_ops.inc();
                 metrics
                     .sessions_open
                     .set(shared.sessions.open_count() as u64);
-                format!("ok {body}")
+                metrics.session_mutations.add(out.mutations);
+                metrics.session_moves.add(out.moves);
+                if out.warm_solve {
+                    metrics.session_warm_solves.inc();
+                }
+                format!("ok {}", out.reply)
             }
             Err(e) => {
                 if e.code == ErrCode::BadRequest {

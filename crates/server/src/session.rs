@@ -1,28 +1,72 @@
-//! Session table for `place-incremental`: server-held [`DynamicPlacer`]s.
+//! Session table for `place-incremental`: server-held elastic
+//! [`Session`]s.
 //!
-//! Each session owns one placer plus the bookkeeping needed to answer a
-//! hostile wire safely: `DynamicPlacer`'s mutators *panic* on invalid
-//! arguments (removed tasks, dead neighbours), which is the right contract
-//! for an in-process library but not for a network service — so every
-//! operation is validated against the session's live-task set first and
-//! invalid requests turn into `err` replies, never a worker panic.
+//! Each wire session owns one [`hgp_core::Session`] — the transactional
+//! mutation + warm re-solve layer. The core API validates whole batches
+//! up front and returns typed [`MutationError`]s, so a hostile wire can
+//! never drive the placer into a panic: invalid requests turn into `err`
+//! replies with the right code (`not-found` for dead task ids,
+//! `machine-too-large` for runaway growth, `bad-request` otherwise).
+//!
+//! The legacy single-shot ops (`add`/`remove`/`resize`) route through the
+//! same [`Session::apply`] as one-mutation batches, so the deprecated
+//! wire verbs and the transactional `mutate` verb cannot drift: both run
+//! the exact same state machine underneath.
 
 use crate::protocol::{ErrCode, IncrOp, WireError};
-use hgp_core::incremental::DynamicPlacer;
+use hgp_core::{ChurnBudget, Mutation, MutationError, ReplaceOptions, Session};
 use hgp_hierarchy::Hierarchy;
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-struct SessionEntry {
-    placer: DynamicPlacer,
-    /// Task ids that are currently live (added and not removed).
-    live: HashSet<usize>,
+/// What applying one wire operation did — the reply body plus the facts
+/// the metrics layer records (kept out of the reply path so both front
+/// ends update counters identically through one integration point).
+#[derive(Debug)]
+pub struct ApplyOutcome {
+    /// The `ok …` reply body.
+    pub reply: String,
+    /// Mutations committed through the transactional API by this op.
+    pub mutations: u64,
+    /// Placement moves this op incurred (arrivals, relocations,
+    /// evacuations, resolve commits).
+    pub moves: u64,
+    /// `true` iff this op was a resolve that reused the cached
+    /// distribution.
+    pub warm_solve: bool,
+}
+
+impl ApplyOutcome {
+    fn reply_only(reply: String) -> Self {
+        Self {
+            reply,
+            mutations: 0,
+            moves: 0,
+            warm_solve: false,
+        }
+    }
+}
+
+/// Maps a typed core rejection to its wire class: dead ids are
+/// `not-found`, runaway growth is `machine-too-large`, everything else —
+/// malformed demands, weights, multipliers, degenerate drains — is a
+/// plain `bad-request`.
+fn wire_err(e: MutationError) -> WireError {
+    let code = match &e {
+        MutationError::UnknownTask { .. }
+        | MutationError::UnknownNeighbour { .. }
+        | MutationError::UnknownLeaf { .. }
+        | MutationError::UnknownLevel { .. } => ErrCode::NotFound,
+        MutationError::MachineTooLarge { .. } => ErrCode::MachineTooLarge,
+        _ => ErrCode::BadRequest,
+    };
+    WireError::new(code, e.to_string())
 }
 
 /// All open sessions, keyed by server-assigned id.
 pub struct SessionTable {
-    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    sessions: Mutex<HashMap<u64, Session>>,
     next_id: AtomicU64,
     max_sessions: usize,
 }
@@ -42,95 +86,149 @@ impl SessionTable {
         self.sessions.lock().len()
     }
 
-    /// Applies one operation and formats the `ok …` reply body.
-    pub fn apply(&self, op: IncrOp) -> Result<String, WireError> {
+    /// Applies one operation; the outcome carries the `ok …` reply body
+    /// plus the session-metric facts.
+    pub fn apply(&self, op: IncrOp) -> Result<ApplyOutcome, WireError> {
         match op {
             IncrOp::New { machine } => self.open(machine),
             IncrOp::Add {
                 session,
                 demand,
                 nbrs,
-            } => self.with_session(session, |e| {
-                for &(t, _) in &nbrs {
-                    if !e.live.contains(&t) {
-                        return Err(WireError::new(
-                            ErrCode::NotFound,
-                            format!("neighbour task {t} is not live in this session"),
-                        ));
-                    }
-                }
-                let id = e.placer.add_task(demand, &nbrs);
-                e.live.insert(id);
-                Ok(format!(
-                    "task={} leaf={} cost={} max-load={}",
-                    id,
-                    e.placer.leaf_of(id),
-                    e.placer.cost(),
-                    e.placer.max_load()
-                ))
+            } => self.with_session(session, |s| {
+                let delta = s
+                    .apply(&[Mutation::AddTask { demand, nbrs }])
+                    .map_err(wire_err)?;
+                let id = delta.added[0];
+                Ok(ApplyOutcome {
+                    reply: format!(
+                        "task={} leaf={} cost={} max-load={}",
+                        id,
+                        s.leaf_of(id).expect("just added"),
+                        delta.cost,
+                        delta.max_load
+                    ),
+                    mutations: 1,
+                    moves: delta.moves,
+                    warm_solve: false,
+                })
             }),
-            IncrOp::Remove { session, task } => self.with_session(session, |e| {
-                if !e.live.remove(&task) {
-                    return Err(WireError::new(
-                        ErrCode::NotFound,
-                        format!("task {task} is not live in this session"),
-                    ));
-                }
-                e.placer.remove_task(task);
-                Ok(format!(
-                    "task={} active={} cost={}",
-                    task,
-                    e.placer.num_active(),
-                    e.placer.cost()
-                ))
+            IncrOp::Remove { session, task } => self.with_session(session, |s| {
+                let delta = s
+                    .apply(&[Mutation::RemoveTask { task }])
+                    .map_err(wire_err)?;
+                Ok(ApplyOutcome {
+                    reply: format!(
+                        "task={} active={} cost={}",
+                        task,
+                        s.num_active(),
+                        delta.cost
+                    ),
+                    mutations: 1,
+                    moves: delta.moves,
+                    warm_solve: false,
+                })
             }),
             IncrOp::Resize {
                 session,
                 task,
                 demand,
-            } => self.with_session(session, |e| {
-                if !e.live.contains(&task) {
-                    return Err(WireError::new(
-                        ErrCode::NotFound,
-                        format!("task {task} is not live in this session"),
-                    ));
+            } => self.with_session(session, |s| {
+                let delta = s
+                    .apply(&[Mutation::UpdateDemand { task, demand }])
+                    .map_err(wire_err)?;
+                Ok(ApplyOutcome {
+                    reply: format!(
+                        "task={} leaf={} max-load={} churn={}",
+                        task,
+                        s.leaf_of(task).expect("validated live"),
+                        delta.max_load,
+                        s.churn()
+                    ),
+                    mutations: 1,
+                    moves: delta.moves,
+                    warm_solve: false,
+                })
+            }),
+            IncrOp::Rebalance { session, max_moves } => self.with_session(session, |s| {
+                let before = s.cost();
+                let (moves, gained) = s.rebalance(max_moves);
+                Ok(ApplyOutcome {
+                    reply: format!(
+                        "moves={} gained={} cost={} was={}",
+                        moves,
+                        gained,
+                        s.cost(),
+                        before
+                    ),
+                    mutations: 0,
+                    moves: moves as u64,
+                    warm_solve: false,
+                })
+            }),
+            IncrOp::Mutate { session, ops } => self.with_session(session, |s| {
+                let delta = s.apply(&ops).map_err(wire_err)?;
+                let added = if delta.added.is_empty() {
+                    "-".to_string()
+                } else {
+                    delta
+                        .added
+                        .iter()
+                        .map(|id| id.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                Ok(ApplyOutcome {
+                    reply: format!(
+                        "applied={} added={} moves={} cost={} max-load={} leaves={}",
+                        delta.applied, added, delta.moves, delta.cost, delta.max_load, delta.leaves
+                    ),
+                    mutations: delta.applied as u64,
+                    moves: delta.moves,
+                    warm_solve: false,
+                })
+            }),
+            IncrOp::Resolve {
+                session,
+                budget,
+                ratio,
+                cold,
+            } => self.with_session(session, |s| {
+                let mut b = ChurnBudget::default();
+                if let Some(m) = budget {
+                    b.max_moves = m;
                 }
-                e.placer.update_demand(task, demand);
-                Ok(format!(
-                    "task={} leaf={} max-load={} churn={}",
-                    task,
-                    e.placer.leaf_of(task),
-                    e.placer.max_load(),
-                    e.placer.churn()
-                ))
+                if let Some(r) = ratio {
+                    b.max_cost_ratio = r;
+                }
+                let opts = ReplaceOptions::builder().budget(b).cold(cold).build();
+                let rep = s.resolve(&opts);
+                Ok(ApplyOutcome {
+                    reply: format!(
+                        "cost={} moves={} churn={} warm={} max-load={} active={}",
+                        rep.cost, rep.moves, rep.churn, rep.warm as u8, rep.max_load, rep.active
+                    ),
+                    mutations: 0,
+                    moves: rep.moves as u64,
+                    warm_solve: rep.warm,
+                })
             }),
-            IncrOp::Rebalance { session, max_moves } => self.with_session(session, |e| {
-                let before = e.placer.cost();
-                let (moves, gained) = e.placer.rebalance(max_moves);
-                Ok(format!(
-                    "moves={} gained={} cost={} was={}",
-                    moves,
-                    gained,
-                    e.placer.cost(),
-                    before
-                ))
-            }),
-            IncrOp::Info { session } => self.with_session(session, |e| {
-                Ok(format!(
+            IncrOp::Info { session } => self.with_session(session, |s| {
+                Ok(ApplyOutcome::reply_only(format!(
                     "active={} cost={} max-load={} churn={}",
-                    e.placer.num_active(),
-                    e.placer.cost(),
-                    e.placer.max_load(),
-                    e.placer.churn()
-                ))
+                    s.num_active(),
+                    s.cost(),
+                    s.max_load(),
+                    s.churn()
+                )))
             }),
             IncrOp::End { session } => match self.sessions.lock().remove(&session) {
-                Some(e) => Ok(format!(
+                Some(s) => Ok(ApplyOutcome::reply_only(format!(
                     "session={} active={} churn={}",
                     session,
-                    e.placer.num_active(),
-                    e.placer.churn()
-                )),
+                    s.num_active(),
+                    s.churn()
+                ))),
                 None => Err(WireError::new(
                     ErrCode::NotFound,
                     format!("no session {session}"),
@@ -139,7 +237,7 @@ impl SessionTable {
         }
     }
 
-    fn open(&self, machine: Hierarchy) -> Result<String, WireError> {
+    fn open(&self, machine: Hierarchy) -> Result<ApplyOutcome, WireError> {
         let mut map = self.sessions.lock();
         if map.len() >= self.max_sessions {
             return Err(WireError::new(
@@ -149,19 +247,15 @@ impl SessionTable {
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let leaves = machine.num_leaves();
-        map.insert(
-            id,
-            SessionEntry {
-                placer: DynamicPlacer::new(machine),
-                live: HashSet::new(),
-            },
-        );
-        Ok(format!("session={id} leaves={leaves}"))
+        map.insert(id, Session::new(machine));
+        Ok(ApplyOutcome::reply_only(format!(
+            "session={id} leaves={leaves}"
+        )))
     }
 
-    fn with_session<F>(&self, id: u64, f: F) -> Result<String, WireError>
+    fn with_session<F>(&self, id: u64, f: F) -> Result<ApplyOutcome, WireError>
     where
-        F: FnOnce(&mut SessionEntry) -> Result<String, WireError>,
+        F: FnOnce(&mut Session) -> Result<ApplyOutcome, WireError>,
     {
         let mut map = self.sessions.lock();
         let entry = map
@@ -177,12 +271,12 @@ mod tests {
     use hgp_hierarchy::presets;
 
     fn open(t: &SessionTable) -> u64 {
-        let reply = t
+        let out = t
             .apply(IncrOp::New {
                 machine: presets::multicore(2, 2, 4.0, 1.0),
             })
             .unwrap();
-        reply
+        out.reply
             .split_whitespace()
             .find_map(|kv| kv.strip_prefix("session="))
             .unwrap()
@@ -202,7 +296,8 @@ mod tests {
                 nbrs: vec![],
             })
             .unwrap();
-        assert!(r.contains("task=0"), "{r}");
+        assert!(r.reply.contains("task=0"), "{}", r.reply);
+        assert_eq!(r.mutations, 1);
         let r = t
             .apply(IncrOp::Add {
                 session: s,
@@ -210,7 +305,7 @@ mod tests {
                 nbrs: vec![(0, 3.0)],
             })
             .unwrap();
-        assert!(r.contains("task=1"), "{r}");
+        assert!(r.reply.contains("task=1"), "{}", r.reply);
         t.apply(IncrOp::Remove {
             session: s,
             task: 0,
@@ -276,5 +371,109 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(e.code, ErrCode::Overloaded);
+    }
+
+    #[test]
+    fn mutate_batch_is_atomic_on_the_wire_path() {
+        let t = SessionTable::new(8);
+        let s = open(&t);
+        let r = t
+            .apply(IncrOp::Mutate {
+                session: s,
+                ops: vec![
+                    Mutation::AddTask {
+                        demand: 0.4,
+                        nbrs: vec![],
+                    },
+                    Mutation::AddTask {
+                        demand: 0.4,
+                        nbrs: vec![(0, 2.0)],
+                    },
+                ],
+            })
+            .unwrap();
+        assert!(r.reply.contains("applied=2"), "{}", r.reply);
+        assert!(r.reply.contains("added=0,1"), "{}", r.reply);
+        assert_eq!(r.mutations, 2);
+        // a batch with one bad op applies nothing
+        let e = t
+            .apply(IncrOp::Mutate {
+                session: s,
+                ops: vec![
+                    Mutation::AddTask {
+                        demand: 0.4,
+                        nbrs: vec![],
+                    },
+                    Mutation::RemoveTask { task: 77 },
+                ],
+            })
+            .unwrap_err();
+        assert_eq!(e.code, ErrCode::NotFound);
+        let info = t.apply(IncrOp::Info { session: s }).unwrap();
+        assert!(info.reply.contains("active=2"), "{}", info.reply);
+        // runaway growth maps to machine-too-large
+        let e = t
+            .apply(IncrOp::Mutate {
+                session: s,
+                ops: vec![Mutation::AddLeaves { groups: usize::MAX }],
+            })
+            .unwrap_err();
+        assert_eq!(e.code, ErrCode::MachineTooLarge);
+    }
+
+    #[test]
+    fn resolve_reports_moves_churn_and_warmth() {
+        let t = SessionTable::new(8);
+        let s = open(&t);
+        t.apply(IncrOp::Mutate {
+            session: s,
+            ops: vec![
+                Mutation::AddTask {
+                    demand: 0.4,
+                    nbrs: vec![],
+                },
+                Mutation::AddTask {
+                    demand: 0.4,
+                    nbrs: vec![(0, 1.0)],
+                },
+                Mutation::AddTask {
+                    demand: 0.4,
+                    nbrs: vec![(1, 1.0)],
+                },
+                Mutation::AddTask {
+                    demand: 0.4,
+                    nbrs: vec![(2, 1.0)],
+                },
+            ],
+        })
+        .unwrap();
+        let cold = t
+            .apply(IncrOp::Resolve {
+                session: s,
+                budget: None,
+                ratio: None,
+                cold: false,
+            })
+            .unwrap();
+        assert!(cold.reply.contains("warm=0"), "{}", cold.reply);
+        assert!(!cold.warm_solve);
+        // a demand edit keeps the cache warm
+        t.apply(IncrOp::Resize {
+            session: s,
+            task: 0,
+            demand: 0.5,
+        })
+        .unwrap();
+        let warm = t
+            .apply(IncrOp::Resolve {
+                session: s,
+                budget: Some(2),
+                ratio: None,
+                cold: false,
+            })
+            .unwrap();
+        assert!(warm.reply.contains("warm=1"), "{}", warm.reply);
+        assert!(warm.warm_solve);
+        assert!(warm.moves <= 2, "budget exceeded: {}", warm.moves);
     }
 }

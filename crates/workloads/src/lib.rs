@@ -11,12 +11,14 @@
 #![warn(missing_docs)]
 
 pub mod demand;
+pub mod elastic;
 pub mod openloop;
 pub mod requests;
 pub mod stream;
 pub mod suite;
 
 pub use demand::DemandModel;
+pub use elastic::{demand_churn, ChurnOpts};
 pub use openloop::{open_loop_schedule, warm_lines, Arrival, OpenLoopOpts, TrafficKind};
 pub use requests::{request_script, substitute_session, RequestScriptOpts};
 pub use stream::{stream_dag, StreamOpts};

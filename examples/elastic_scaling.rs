@@ -1,13 +1,12 @@
 //! Online operation: a streaming job scales out at runtime and the
-//! incremental placer keeps the pinning good without re-placing the world.
+//! elastic session keeps the pinning good without re-placing the world.
 //!
 //! ```text
 //! cargo run --release --example elastic_scaling
 //! ```
 
-use hgp::core::incremental::DynamicPlacer;
 use hgp::core::solver::SolverOptions;
-use hgp::core::Solve;
+use hgp::core::{Mutation, ReplaceOptions, Session, Solve};
 use hgp::hierarchy::presets;
 use hgp::workloads::{stream_dag, StreamOpts};
 use rand::rngs::StdRng;
@@ -40,48 +39,66 @@ fn main() {
         initial.violation.worst_factor()
     );
 
-    // online: wrap it in a dynamic placer and scale out
-    let mut placer = DynamicPlacer::with_initial(machine.clone(), &inst, &initial.assignment);
-    let base_churn = placer.churn();
+    // online: wrap it in an elastic session and scale out
+    let mut session = Session::with_initial(machine.clone(), &inst, &initial.assignment);
+    let base_churn = session.churn();
 
     // a query gets 4 new parallel aggregation operators reading from
-    // operators 0 and 1 with heavy streams
-    let mut new_ops = Vec::new();
-    for i in 0..4 {
-        let id = placer.add_task(0.25, &[(0, 4.0), (1, 2.0 + i as f64)]);
-        new_ops.push(id);
-    }
+    // operators 0 and 1 with heavy streams — one atomic batch
+    let scale_out: Vec<Mutation> = (0..4)
+        .map(|i| Mutation::AddTask {
+            demand: 0.25,
+            nbrs: vec![(0, 4.0), (1, 2.0 + i as f64)],
+        })
+        .collect();
+    let delta = session.apply(&scale_out).expect("scale-out is valid");
+    let new_ops = delta.added.clone();
     println!(
-        "\nafter scale-out (+4 operators): cost {:.2}, max load {:.2}, churn {}",
-        placer.cost(),
-        placer.max_load(),
-        placer.churn() - base_churn
+        "\nafter scale-out (+{} operators): cost {:.2}, max load {:.2}, churn {}",
+        new_ops.len(),
+        session.cost(),
+        session.max_load(),
+        session.churn() - base_churn
     );
 
     // load spike: the hub operator's demand doubles
-    placer.update_demand(0, (inst.demand(0) * 2.0).min(1.0));
+    session
+        .apply(&[Mutation::UpdateDemand {
+            task: 0,
+            demand: (inst.demand(0) * 2.0).min(1.0),
+        }])
+        .expect("demand update is valid");
     println!(
         "after hub demand spike: cost {:.2}, max load {:.2}",
-        placer.cost(),
-        placer.max_load()
+        session.cost(),
+        session.max_load()
     );
 
-    // periodic rebalance pass (bounded churn)
-    let (moves, gained) = placer.rebalance(8);
+    // bounded-churn re-solve: at most 8 moves, warm-started off the
+    // cached distribution whenever the mutations allowed keeping it
+    let resolve = ReplaceOptions::builder()
+        .solver(SolverOptions::builder().trees(4).units(8).build())
+        .max_moves(8)
+        .build();
+    let report = session.resolve(&resolve);
     println!(
-        "rebalance: {moves} moves recovered {gained:.2} cost -> cost {:.2}, max load {:.2}",
-        placer.cost(),
-        placer.max_load()
+        "re-solve: {} moves ({}) -> cost {:.2}, max load {:.2}",
+        report.moves,
+        if report.warm { "warm" } else { "cold" },
+        session.cost(),
+        session.max_load()
     );
 
-    // scale back in
-    for id in new_ops {
-        placer.remove_task(id);
-    }
+    // scale back in — again one transaction
+    let scale_in: Vec<Mutation> = new_ops
+        .iter()
+        .map(|&task| Mutation::RemoveTask { task })
+        .collect();
+    session.apply(&scale_in).expect("scale-in is valid");
     println!(
         "after scale-in: cost {:.2}, {} operators live, total churn {}",
-        placer.cost(),
-        placer.num_active(),
-        placer.churn()
+        session.cost(),
+        session.num_active(),
+        session.churn()
     );
 }

@@ -256,6 +256,104 @@ fn degenerate_solves_survive_the_wire() {
     c.assert_pool_healthy();
 }
 
+/// The elastic mutation verbs under hostile input: malformed `mutate`
+/// tokens and out-of-domain `resolve` knobs each draw exactly one
+/// machine-readable error, a failed batch leaves the session untouched
+/// (all-or-nothing on the wire too), and a session that has been ended
+/// answers `err not-found` to both verbs instead of resurrecting.
+#[test]
+fn elastic_mutate_resolve_poison_then_serve() {
+    let mut c = Client::connect();
+
+    let reply = c.req("place-incremental new machine=2x4:4,1,0");
+    assert!(reply.starts_with("ok session="), "{reply}");
+    let sid = reply_field(&reply, "session").unwrap().to_string();
+
+    // seed the session through the typed batch verb
+    let reply = c.req(&format!(
+        "place-incremental mutate session={sid} add=0.3 add=0.2:0:1.5"
+    ));
+    assert!(reply.starts_with("ok applied=2"), "{reply}");
+
+    let bad_request: Vec<String> = vec![
+        // structurally broken requests
+        "place-incremental mutate".into(),
+        format!("place-incremental mutate session={sid}"),
+        format!("place-incremental mutate session={sid} zzz=1"),
+        "place-incremental mutate session=zz add=0.5".into(),
+        // demand domain violations, malformed numbers
+        format!("place-incremental mutate session={sid} add=NaN"),
+        format!("place-incremental mutate session={sid} add=0"),
+        format!("place-incremental mutate session={sid} add=2.0"),
+        format!("place-incremental mutate session={sid} add=0.5:0:-1.0"),
+        format!("place-incremental mutate session={sid} demand=0:5.0"),
+        format!("place-incremental mutate session={sid} demand=zz"),
+        format!("place-incremental mutate session={sid} drain=zz"),
+        // hierarchy mutations out of domain
+        format!("place-incremental mutate session={sid} mult=0:-1.0"),
+        format!("place-incremental mutate session={sid} mult=0:NaN"),
+        format!("place-incremental mutate session={sid} grow=0"),
+        // resolve knobs: u64 overflow, sub-1 / non-finite ratio, bad flag
+        format!("place-incremental resolve session={sid} budget=99999999999999999999"),
+        format!("place-incremental resolve session={sid} ratio=0.5"),
+        format!("place-incremental resolve session={sid} ratio=NaN"),
+        format!("place-incremental resolve session={sid} cold=maybe"),
+        format!("place-incremental resolve session={sid} zzz=1"),
+    ];
+    for line in &bad_request {
+        let reply = c.req(line);
+        assert!(
+            reply.starts_with("err bad-request"),
+            "expected err bad-request for {line:?}, got {reply:?}"
+        );
+    }
+
+    // entity errors draw not-found, and a failed batch applies nothing:
+    // the valid add in front of the unknown remove must not survive
+    let before = c.req(&format!("place-incremental info session={sid}"));
+    let active = reply_field(&before, "active").unwrap().to_string();
+    let reply = c.req(&format!(
+        "place-incremental mutate session={sid} add=0.3 remove=999"
+    ));
+    assert!(reply.starts_with("err not-found"), "{reply}");
+    let after = c.req(&format!("place-incremental info session={sid}"));
+    assert_eq!(
+        reply_field(&after, "active").map(str::to_string),
+        Some(active),
+        "a rejected batch must leave the session untouched: {before:?} vs {after:?}"
+    );
+
+    // the poisoned session still serves: a real batch and a real re-solve
+    let reply = c.req(&format!(
+        "place-incremental mutate session={sid} demand=0:0.4 add=0.1:1:2.0"
+    ));
+    assert!(reply.starts_with("ok applied=2"), "{reply}");
+    let reply = c.req(&format!("place-incremental resolve session={sid} budget=4"));
+    assert!(reply.starts_with("ok cost="), "{reply}");
+    for key in ["moves", "churn", "warm", "max-load", "active"] {
+        assert!(
+            reply_field(&reply, key).is_some(),
+            "resolve reply missing {key}: {reply:?}"
+        );
+    }
+
+    // mutate-after-expiry: an ended session is gone for both verbs
+    let reply = c.req(&format!("place-incremental end session={sid}"));
+    assert!(reply.starts_with("ok "), "{reply}");
+    for line in [
+        format!("place-incremental mutate session={sid} add=0.5"),
+        format!("place-incremental resolve session={sid}"),
+    ] {
+        let reply = c.req(&line);
+        assert!(
+            reply.starts_with("err not-found"),
+            "expected err not-found for {line:?}, got {reply:?}"
+        );
+    }
+
+    c.assert_pool_healthy();
+}
+
 /// The acceptance batch: a fixed poison list (each line exactly one
 /// `err …` reply), then a valid solve answers `ok … degraded=0`, then
 /// `stats` shows the full pool alive with zero deaths.

@@ -1,14 +1,27 @@
 //! The online placer against offline re-solves: churn stays bounded while
-//! quality stays within a constant of recomputing from scratch.
+//! quality stays within a constant of recomputing from scratch. All churn
+//! goes through the typed [`hgp::core::Mutation`] batches of
+//! [`hgp::core::Session`]; the single `deprecated_` test at the bottom is
+//! the compatibility pin for the old free-method mutators.
 
-use hgp::core::incremental::DynamicPlacer;
 use hgp::core::solver::SolverOptions;
-use hgp::core::{Instance, Solve};
+use hgp::core::{Instance, Mutation, Session, Solve};
 use hgp::graph::GraphBuilder;
 use hgp::graph::NodeId;
 use hgp::hierarchy::presets;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Adds one task through the typed mutation API, returning its id.
+fn add_task(s: &mut Session, demand: f64, nbrs: &[(usize, f64)]) -> usize {
+    let delta = s
+        .apply(&[Mutation::AddTask {
+            demand,
+            nbrs: nbrs.to_vec(),
+        }])
+        .expect("a single valid add must apply");
+    delta.added[0]
+}
 
 /// Replays a random arrival sequence through the placer and through
 /// periodic full re-solves, comparing final quality and churn.
@@ -17,12 +30,12 @@ fn online_quality_tracks_offline_within_constant() {
     let machine = presets::multicore(2, 4, 4.0, 1.0);
     let mut rng = StdRng::seed_from_u64(2024);
 
-    let mut placer = DynamicPlacer::new(machine.clone());
+    let mut session = Session::new(machine.clone());
     // growing task graph mirror, for offline comparison
     let mut demands: Vec<f64> = Vec::new();
     let mut edges: Vec<(u32, u32, f64)> = Vec::new();
 
-    let first = placer.add_task(0.3, &[]);
+    let first = add_task(&mut session, 0.3, &[]);
     demands.push(0.3);
     assert_eq!(first, 0);
     for i in 1..24usize {
@@ -37,7 +50,7 @@ fn online_quality_tracks_offline_within_constant() {
                 nbrs.push((t, w));
             }
         }
-        let id = placer.add_task(d, &nbrs);
+        let id = add_task(&mut session, d, &nbrs);
         assert_eq!(id, i);
         demands.push(d);
         for &(t, w) in &nbrs {
@@ -45,7 +58,7 @@ fn online_quality_tracks_offline_within_constant() {
         }
     }
     // a rebalance pass after the burst
-    placer.rebalance(24);
+    session.rebalance(24);
 
     // offline re-solve on the final graph
     let mut b = GraphBuilder::new(24);
@@ -56,7 +69,7 @@ fn online_quality_tracks_offline_within_constant() {
     let opts = SolverOptions::builder().trees(4).units(8).build();
     let offline = Solve::new(&inst, &machine).options(opts).run().unwrap();
 
-    let online_cost = placer.cost();
+    let online_cost = session.cost();
     assert!(
         online_cost <= 4.0 * offline.cost.max(1.0) + 1e-9,
         "online {} vs offline {}",
@@ -64,42 +77,44 @@ fn online_quality_tracks_offline_within_constant() {
         offline.cost
     );
     // churn: one placement per arrival plus the bounded rebalance
-    assert!(placer.churn() <= 24 + 24, "churn {}", placer.churn());
+    assert!(session.churn() <= 24 + 24, "churn {}", session.churn());
     // load discipline maintained throughout
-    assert!(placer.max_load() <= 1.0 + 1e-9);
+    assert!(session.max_load() <= 1.0 + 1e-9);
 }
 
-/// Removing everything returns the placer to a clean state.
+/// Removing everything returns the session to a clean state.
 #[test]
 fn full_drain_leaves_no_residue() {
     let machine = presets::multicore(2, 2, 4.0, 1.0);
-    let mut placer = DynamicPlacer::new(machine);
+    let mut session = Session::new(machine);
     let mut ids = Vec::new();
-    let prev_edges: Vec<(usize, f64)> = Vec::new();
     for i in 0..6 {
         let nbrs: Vec<(usize, f64)> = if i > 0 {
             vec![(ids[i - 1], 1.0)]
         } else {
-            prev_edges.clone()
+            Vec::new()
         };
-        ids.push(placer.add_task(0.3, &nbrs));
+        ids.push(add_task(&mut session, 0.3, &nbrs));
     }
-    assert!(placer.cost() >= 0.0);
-    for &id in &ids {
-        placer.remove_task(id);
-    }
-    assert_eq!(placer.num_active(), 0);
-    assert!(placer.loads().iter().all(|&l| l.abs() < 1e-12));
-    assert_eq!(placer.cost(), 0.0);
+    assert!(session.cost() >= 0.0);
+    // one transaction: the batch removes every task atomically
+    let batch: Vec<Mutation> = ids
+        .iter()
+        .map(|&task| Mutation::RemoveTask { task })
+        .collect();
+    session.apply(&batch).expect("removing live tasks is valid");
+    assert_eq!(session.num_active(), 0);
+    assert!(session.loads().iter().all(|&l| l.abs() < 1e-12));
+    assert_eq!(session.cost(), 0.0);
 }
 
-/// Drives a placer through a seeded churn sequence (adds, removes,
+/// Drives a session through a seeded churn sequence (adds, removes,
 /// resizes, rebalances) while mirroring the surviving tasks in plain
-/// vectors, returning the placer plus the mirror for cross-checks.
-fn churn_sequence(seed: u64, steps: usize) -> (DynamicPlacer, Vec<(usize, f64)>) {
+/// vectors, returning the session plus the mirror for cross-checks.
+fn churn_sequence(seed: u64, steps: usize) -> (Session, Vec<(usize, f64)>) {
     let machine = presets::multicore(2, 4, 4.0, 1.0);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut placer = DynamicPlacer::new(machine);
+    let mut session = Session::new(machine);
     let mut live: Vec<(usize, f64)> = Vec::new(); // (task id, demand)
     for _ in 0..steps {
         let roll = rng.gen_range(0..10u32);
@@ -111,43 +126,48 @@ fn churn_sequence(seed: u64, steps: usize) -> (DynamicPlacer, Vec<(usize, f64)>)
                 let &(t, _) = &live[rng.gen_range(0..live.len())];
                 vec![(t, rng.gen_range(0.5..4.0))]
             };
-            let id = placer.add_task(d, &nbrs);
+            let id = add_task(&mut session, d, &nbrs);
             live.push((id, d));
         } else if roll < 7 {
             let idx = rng.gen_range(0..live.len());
-            let (t, _) = live.swap_remove(idx);
-            placer.remove_task(t);
+            let (task, _) = live.swap_remove(idx);
+            session.apply(&[Mutation::RemoveTask { task }]).unwrap();
         } else if roll < 9 {
             let idx = rng.gen_range(0..live.len());
             let d = rng.gen_range(0.05..0.5);
-            placer.update_demand(live[idx].0, d);
+            session
+                .apply(&[Mutation::UpdateDemand {
+                    task: live[idx].0,
+                    demand: d,
+                }])
+                .unwrap();
             live[idx].1 = d;
         } else {
-            placer.rebalance(4);
+            session.rebalance(4);
         }
     }
-    (placer, live)
+    (session, live)
 }
 
-/// After an arbitrary churn sequence, the placer's per-leaf loads must
+/// After an arbitrary churn sequence, the session's per-leaf loads must
 /// equal a from-scratch recompute over the surviving tasks — the
 /// incremental bookkeeping (adds, removals, resizes, relocations,
 /// rebalance moves) may not drift.
 #[test]
 fn churn_load_bookkeeping_matches_recompute() {
     for seed in [1u64, 7, 42, 2024] {
-        let (placer, live) = churn_sequence(seed, 60);
-        let mut expect = vec![0.0f64; placer.loads().len()];
+        let (session, live) = churn_sequence(seed, 60);
+        let mut expect = vec![0.0f64; session.loads().len()];
         for &(t, d) in &live {
-            expect[placer.leaf_of(t)] += d;
+            expect[session.leaf_of(t).expect("mirrored task is live")] += d;
         }
-        for (leaf, (&got, &want)) in placer.loads().iter().zip(expect.iter()).enumerate() {
+        for (leaf, (&got, &want)) in session.loads().iter().zip(expect.iter()).enumerate() {
             assert!(
                 (got - want).abs() < 1e-9,
                 "seed {seed}: leaf {leaf} load drifted ({got} vs recomputed {want})"
             );
         }
-        assert_eq!(placer.num_active(), live.len(), "seed {seed}");
+        assert_eq!(session.num_active(), live.len(), "seed {seed}");
     }
 }
 
@@ -157,20 +177,20 @@ fn churn_load_bookkeeping_matches_recompute() {
 fn churn_counter_is_monotone() {
     let machine = presets::multicore(2, 4, 4.0, 1.0);
     let mut rng = StdRng::seed_from_u64(99);
-    let mut placer = DynamicPlacer::new(machine);
+    let mut session = Session::new(machine);
     let mut live: Vec<usize> = Vec::new();
-    let mut last = placer.churn();
+    let mut last = session.churn();
     for step in 0..80 {
         let roll = rng.gen_range(0..10u32);
         if live.is_empty() || roll < 6 {
-            live.push(placer.add_task(rng.gen_range(0.05..0.3), &[]));
+            live.push(add_task(&mut session, rng.gen_range(0.05..0.3), &[]));
         } else if roll < 8 {
-            let t = live.swap_remove(rng.gen_range(0..live.len()));
-            placer.remove_task(t);
+            let task = live.swap_remove(rng.gen_range(0..live.len()));
+            session.apply(&[Mutation::RemoveTask { task }]).unwrap();
         } else {
-            placer.rebalance(2);
+            session.rebalance(2);
         }
-        let now = placer.churn();
+        let now = session.churn();
         assert!(
             now >= last,
             "step {step}: churn went backwards ({last} -> {now})"
@@ -178,10 +198,10 @@ fn churn_counter_is_monotone() {
         last = now;
     }
     // adds alone account for at least one move each
-    assert!(placer.churn() >= live.len() as u64);
+    assert!(session.churn() >= live.len() as u64);
 }
 
-/// The placer is a deterministic function of the operation sequence: the
+/// The session is a deterministic function of the operation sequence: the
 /// same seeded churn yields identical placements, loads, cost and churn.
 #[test]
 fn churn_sequences_are_deterministic_for_fixed_seed() {
@@ -207,18 +227,66 @@ fn churn_sequences_are_deterministic_for_fixed_seed() {
 #[test]
 fn demand_oscillation_preserves_load_accounting() {
     let machine = presets::flat(4);
-    let mut placer = DynamicPlacer::new(machine);
-    let a = placer.add_task(0.5, &[]);
-    let b = placer.add_task(0.5, &[(a, 2.0)]);
+    let mut session = Session::new(machine);
+    let a = add_task(&mut session, 0.5, &[]);
+    let b = add_task(&mut session, 0.5, &[(a, 2.0)]);
     for round in 0..10 {
         let d = if round % 2 == 0 { 0.9 } else { 0.2 };
-        placer.update_demand(a, d);
-        placer.update_demand(b, 1.0 - d + 0.05);
-        let total: f64 = placer.loads().iter().sum();
+        session
+            .apply(&[
+                Mutation::UpdateDemand { task: a, demand: d },
+                Mutation::UpdateDemand {
+                    task: b,
+                    demand: 1.0 - d + 0.05,
+                },
+            ])
+            .unwrap();
+        let total: f64 = session.loads().iter().sum();
         let expect = d + (1.0 - d + 0.05);
         assert!(
             (total - expect).abs() < 1e-9,
             "round {round}: loads drifted ({total} vs {expect})"
         );
     }
+}
+
+/// Deprecation-compat pin: the old `DynamicPlacer` free-method mutators
+/// must keep working and must trace the exact trajectory the typed
+/// [`Mutation`] batches produce — they are documented as delegating to the
+/// same state machine.
+#[test]
+#[allow(deprecated)]
+fn deprecated_mutators_match_the_session_api() {
+    use hgp::core::incremental::DynamicPlacer;
+    let machine = presets::multicore(2, 4, 4.0, 1.0);
+    let mut old = DynamicPlacer::new(machine.clone());
+    let mut new = Session::new(machine);
+
+    let a_old = old.add_task(0.3, &[]);
+    let a_new = add_task(&mut new, 0.3, &[]);
+    assert_eq!(a_old, a_new);
+    let b_old = old.add_task(0.25, &[(a_old, 2.0)]);
+    let b_new = add_task(&mut new, 0.25, &[(a_new, 2.0)]);
+    assert_eq!(b_old, b_new);
+    let c_old = old.add_task(0.4, &[(a_old, 1.0), (b_old, 0.5)]);
+    let c_new = add_task(&mut new, 0.4, &[(a_new, 1.0), (b_new, 0.5)]);
+    assert_eq!(c_old, c_new);
+
+    old.update_demand(b_old, 0.1);
+    new.apply(&[Mutation::UpdateDemand {
+        task: b_new,
+        demand: 0.1,
+    }])
+    .unwrap();
+    old.remove_task(a_old);
+    new.apply(&[Mutation::RemoveTask { task: a_new }]).unwrap();
+    old.rebalance(4);
+    new.rebalance(4);
+
+    for t in [b_old, c_old] {
+        assert_eq!(Some(old.leaf_of(t)), new.leaf_of(t), "task {t} diverged");
+    }
+    assert_eq!(old.loads(), new.loads());
+    assert_eq!(old.churn(), new.churn());
+    assert!((old.cost() - new.cost()).abs() < 1e-12);
 }

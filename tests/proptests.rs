@@ -3,7 +3,8 @@
 use hgp::core::cost::{mirror_cost_boundary, tree_min_cut};
 use hgp::core::laminar::build_level_sets;
 use hgp::core::relaxed::{labelling_cost, solve_relaxed, solve_relaxed_with, DpOptions};
-use hgp::core::{Assignment, Instance, Rounding};
+use hgp::core::solver::SolverOptions;
+use hgp::core::{Assignment, Instance, Mutation, ReplaceOptions, Rounding, Session, Solve};
 use hgp::graph::tree::TreeBuilder;
 use hgp::graph::Graph;
 use hgp::hierarchy::Hierarchy;
@@ -253,6 +254,145 @@ proptest! {
                 (Err(a), Err(l)) => prop_assert_eq!(a, l),
                 (a, l) => prop_assert!(false, "feasibility disagreement: {:?} vs {:?}", a, l),
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Typed [`Mutation`] batches applied through [`Session::apply`] trace
+    /// the deprecated `DynamicPlacer` one-at-a-time mutators bit for bit:
+    /// same placements, same loads, same cost, same churn — batching is
+    /// pure API, never a different trajectory.
+    #[test]
+    #[allow(deprecated)]
+    fn session_batches_match_deprecated_one_by_one(
+        ops in proptest::collection::vec(
+            (0u8..10, 0.05f64..0.4, any::<u64>(), 0.1f64..4.0),
+            1..40,
+        ),
+    ) {
+        use hgp::core::incremental::DynamicPlacer;
+        use hgp::hierarchy::presets;
+        let machine = presets::multicore(2, 4, 4.0, 1.0);
+        let mut old = DynamicPlacer::new(machine.clone());
+        let mut new = Session::new(machine);
+
+        // Translate the op stream into mutations against a shadow state,
+        // so ids referenced later in a batch are known up front.
+        let mut live: Vec<usize> = Vec::new();
+        let mut next_id = 0usize;
+        let mut muts: Vec<Mutation> = Vec::with_capacity(ops.len());
+        for &(kind, demand, pick, weight) in &ops {
+            match kind {
+                0..=4 => {
+                    let nbrs: Vec<(usize, f64)> = if live.is_empty() || pick % 3 == 0 {
+                        Vec::new()
+                    } else {
+                        vec![(live[pick as usize % live.len()], weight)]
+                    };
+                    muts.push(Mutation::AddTask { demand, nbrs });
+                    live.push(next_id);
+                    next_id += 1;
+                }
+                5 | 6 if !live.is_empty() => {
+                    let task = live.swap_remove(pick as usize % live.len());
+                    muts.push(Mutation::RemoveTask { task });
+                }
+                _ if !live.is_empty() => {
+                    let task = live[pick as usize % live.len()];
+                    muts.push(Mutation::UpdateDemand { task, demand });
+                }
+                _ => {}
+            }
+        }
+
+        // old API: strictly one at a time
+        for m in &muts {
+            match m {
+                Mutation::AddTask { demand, nbrs } => {
+                    old.add_task(*demand, nbrs);
+                }
+                Mutation::RemoveTask { task } => old.remove_task(*task),
+                Mutation::UpdateDemand { task, demand } => {
+                    old.update_demand(*task, *demand)
+                }
+                _ => unreachable!("the stream only emits task mutations"),
+            }
+        }
+        // new API: the same stream in batches of three
+        for chunk in muts.chunks(3) {
+            new.apply(chunk).expect("a replayed valid stream must apply");
+        }
+
+        prop_assert_eq!(old.churn(), new.churn());
+        prop_assert_eq!(old.cost().to_bits(), new.cost().to_bits());
+        for (leaf, (o, n)) in old.loads().iter().zip(new.loads()).enumerate() {
+            prop_assert_eq!(o.to_bits(), n.to_bits(), "leaf {} load diverged", leaf);
+        }
+        for &t in &live {
+            prop_assert_eq!(Some(old.leaf_of(t)), new.leaf_of(t), "task {} diverged", t);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Budget-∞ re-solves: a cold resolve never loses to a from-scratch
+    /// pipeline run on the same state (that run *is* one of its
+    /// candidates), and the follow-up warm resolve — demand edits keep the
+    /// cached distribution valid — never loses to staying put.
+    #[test]
+    fn unbounded_resolve_never_loses(
+        (g, seed) in (arb_graph(), any::<u64>()),
+        edits in proptest::collection::vec((any::<u64>(), 0.05f64..0.6), 1..6),
+    ) {
+        use hgp::hierarchy::presets;
+        let n = g.num_nodes();
+        let inst = Instance::uniform(g, 0.3);
+        let h = presets::multicore(2, 4, 4.0, 1.0);
+        let k = h.num_leaves();
+        // pseudo-random (typically bad) initial placement from the seed
+        let leaves: Vec<u32> = (0..n)
+            .map(|v| ((seed.rotate_left(v as u32 * 13) as usize) % k) as u32)
+            .collect();
+        let initial = Assignment::new(leaves, &h);
+        let mut s = Session::with_initial(h.clone(), &inst, &initial);
+        let opts = ReplaceOptions::builder()
+            .solver(SolverOptions::builder().trees(2).units(4).seed(7).build())
+            .build();
+
+        let cold = s.resolve(&opts);
+        let scratch = Solve::new(&inst, &h).options(opts.solver).run();
+        if let Ok(scratch) = scratch {
+            prop_assert!(
+                cold.cost <= scratch.cost + 1e-9,
+                "cold resolve {} vs from-scratch {}",
+                cold.cost,
+                scratch.cost
+            );
+        }
+
+        let batch: Vec<Mutation> = edits
+            .iter()
+            .map(|&(pick, demand)| Mutation::UpdateDemand {
+                task: pick as usize % n,
+                demand,
+            })
+            .collect();
+        s.apply(&batch).expect("demand edits on live tasks are valid");
+        let before = s.cost();
+        let warm = s.resolve(&opts);
+        prop_assert!(
+            warm.cost <= before + 1e-9,
+            "warm resolve {} worse than staying put at {}",
+            warm.cost,
+            before
+        );
+        if cold.target_cost.is_some() {
+            prop_assert!(warm.warm, "demand edits must keep the cache warm");
         }
     }
 }

@@ -428,6 +428,11 @@ fn legacy_and_event_front_ends_are_wire_compatible() {
         "place-incremental add session=1 demand=0.25",
         "place-incremental resize session=1 task=0 demand=0.4",
         "place-incremental rebalance session=1 max-moves=4",
+        "place-incremental mutate session=1 add=0.2:0:1.5 demand=0:0.3",
+        "place-incremental resolve session=1 budget=2",
+        "place-incremental mutate session=1 drain=0",
+        "place-incremental resolve session=1 cold=1 ratio=1.5",
+        "place-incremental mutate session=1 remove=99",
         "place-incremental end session=1",
         "solve graph=gen:clustered:2x4:901 machine=2x2:4,1,0 demand=0.3 trees=4 seed=42 deadline-ms=0",
         "solve graph=bad",
@@ -483,6 +488,60 @@ fn event_loop_holds_hundreds_of_connections() {
         assert!(reply.starts_with("ok cost="), "{reply}");
     }
     drop(clients);
+    server.shutdown();
+}
+
+/// The elastic verbs end to end: a typed `mutate` batch applies
+/// atomically with ids in the reply, `resolve` reports warmth honestly
+/// across the invalidation matrix (demand edits keep the cached
+/// distribution, node-set edits drop it), and the `stats2` session
+/// counters reconcile with the traffic.
+#[test]
+fn elastic_mutate_resolve_roundtrip_with_metrics() {
+    let server = Server::start(ServerConfig::default()).expect("start server");
+    let mut c = Client::connect(server.addr());
+
+    let r = c.req("place-incremental new machine=2x4:4,1,0");
+    let sid = field_u64(&r, "session");
+
+    // one transaction: three adds, later ones wired to earlier ones
+    let r = c.req(&format!(
+        "place-incremental mutate session={sid} add=0.3 add=0.2:0:1.5 add=0.25:1:0.5"
+    ));
+    assert!(r.starts_with("ok applied=3"), "{r}");
+    assert_eq!(reply_field(&r, "added"), Some("0,1,2"), "{r}");
+
+    // first re-solve: nothing cached yet, so it must report a cold build
+    let r = c.req(&format!("place-incremental resolve session={sid}"));
+    assert!(r.starts_with("ok cost="), "{r}");
+    assert_eq!(reply_field(&r, "warm"), Some("0"), "{r}");
+
+    // demand-only churn keeps the distribution cached: warm=1, and the
+    // move budget is honoured on the wire
+    let r = c.req(&format!(
+        "place-incremental mutate session={sid} demand=0:0.35"
+    ));
+    assert!(r.starts_with("ok applied=1"), "{r}");
+    let r = c.req(&format!(
+        "place-incremental resolve session={sid} budget=2 ratio=1.5"
+    ));
+    assert_eq!(reply_field(&r, "warm"), Some("1"), "{r}");
+    assert!(field_u64(&r, "moves") <= 2, "{r}");
+
+    // node-set churn changes the topology fingerprint: cold again
+    let r = c.req(&format!(
+        "place-incremental mutate session={sid} add=0.1:2:1.0"
+    ));
+    assert!(r.starts_with("ok applied=1"), "{r}");
+    let r = c.req(&format!("place-incremental resolve session={sid}"));
+    assert_eq!(reply_field(&r, "warm"), Some("0"), "{r}");
+
+    // the stats2 session counters saw all of it
+    let stats2 = c.req("stats2");
+    assert_eq!(field_u64(&stats2, "session.mutations"), 5, "{stats2}");
+    assert_eq!(field_u64(&stats2, "session.warm-solves"), 1, "{stats2}");
+    assert!(field_u64(&stats2, "session.moves") >= 3, "{stats2}");
+
     server.shutdown();
 }
 
